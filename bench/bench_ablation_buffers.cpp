@@ -1,0 +1,47 @@
+// Ablation A1 (ours): lane buffer depth. The paper fixes input and output
+// lanes at 4 flits (§4); this bench varies the depth to show how much of
+// the two networks' throughput comes from buffering rather than from the
+// topology or the routing freedom.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const std::vector<double> loads =
+      quick_mode() ? std::vector<double>{0.4, 0.8}
+                   : std::vector<double>{0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::printf("Ablation — lane buffer depth (paper value: 4 flits)\n");
+
+  Table table({"network", "buffer depth", "offered (frac)",
+               "accepted (frac)", "latency (cycles)"});
+  const struct {
+    const char* label;
+    NetworkSpec spec;
+  } networks[] = {
+      {"16-ary 2-cube, Duato", paper_cube_spec(RoutingKind::kCubeDuato)},
+      {"4-ary 4-tree, 4 vc", paper_tree_spec(4)},
+  };
+  for (const auto& net : networks) {
+    for (unsigned depth : {2U, 4U, 8U}) {
+      NetworkSpec spec = net.spec;
+      spec.buffer_depth = depth;
+      const auto sweep =
+          run_sweep(figure_config(spec, PatternKind::kUniform), loads);
+      for (const SimulationResult& point : sweep) {
+        table.begin_row()
+            .add_cell(std::string{net.label})
+            .add_cell(depth)
+            .add_cell(point.offered_fraction, 2)
+            .add_cell(point.accepted_fraction, 3)
+            .add_cell(point.latency_cycles.count() > 0
+                          ? format_double(point.latency_cycles.mean(), 1)
+                          : std::string{"-"});
+      }
+    }
+  }
+  std::printf("\n%s", table.to_text().c_str());
+  write_csv(table, "ablation_buffers");
+  return 0;
+}

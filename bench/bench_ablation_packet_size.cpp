@@ -1,0 +1,48 @@
+// Ablation A2 (ours): packet size. The paper fixes packets at 64 bytes
+// (§4); this bench varies the size. Longer worms hold their wormhole paths
+// longer, so blocking costs grow with packet size — especially on the
+// narrow-flit fat-tree, where the same bytes make twice the flits.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const std::vector<double> loads =
+      quick_mode() ? std::vector<double>{0.4, 0.8}
+                   : std::vector<double>{0.3, 0.6, 0.9};
+
+  std::printf("Ablation — packet size (paper value: 64 bytes)\n");
+
+  Table table({"network", "packet (bytes)", "flits/packet", "offered (frac)",
+               "accepted (frac)", "latency (cycles)"});
+  const struct {
+    const char* label;
+    NetworkSpec spec;
+  } networks[] = {
+      {"16-ary 2-cube, Duato", paper_cube_spec(RoutingKind::kCubeDuato)},
+      {"4-ary 4-tree, 4 vc", paper_tree_spec(4)},
+  };
+  for (const auto& net : networks) {
+    for (unsigned bytes : {32U, 64U, 128U, 256U}) {
+      NetworkSpec spec = net.spec;
+      spec.packet_bytes = bytes;
+      const auto sweep =
+          run_sweep(figure_config(spec, PatternKind::kUniform), loads);
+      for (const SimulationResult& point : sweep) {
+        table.begin_row()
+            .add_cell(std::string{net.label})
+            .add_cell(bytes)
+            .add_cell(spec.flits_per_packet())
+            .add_cell(point.offered_fraction, 2)
+            .add_cell(point.accepted_fraction, 3)
+            .add_cell(point.latency_cycles.count() > 0
+                          ? format_double(point.latency_cycles.mean(), 1)
+                          : std::string{"-"});
+      }
+    }
+  }
+  std::printf("\n%s", table.to_text().c_str());
+  write_csv(table, "ablation_packet_size");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A3 (ours): source throttling. The paper's nodes inject through a
+// single injection channel (§3), which keeps throughput stable above
+// saturation. Opening one injection channel per virtual channel lets more
+// packets enter a congested network; this bench compares accepted bandwidth
+// and end-of-run backlog above saturation for both interfaces.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const std::vector<double> loads =
+      quick_mode() ? std::vector<double>{0.6, 1.0}
+                   : std::vector<double>{0.4, 0.6, 0.8, 0.9, 1.0};
+
+  std::printf("Ablation — source throttling (single injection channel vs one "
+              "per virtual channel)\n");
+
+  Table table({"network", "inj. channels", "offered (frac)",
+               "accepted (frac)", "latency (cycles)", "in flight (end)"});
+  const struct {
+    const char* label;
+    NetworkSpec spec;
+  } networks[] = {
+      {"16-ary 2-cube, Duato", paper_cube_spec(RoutingKind::kCubeDuato)},
+      {"4-ary 4-tree, 4 vc", paper_tree_spec(4)},
+  };
+  for (const auto& net : networks) {
+    for (unsigned channels : {1U, 4U}) {
+      NetworkSpec spec = net.spec;
+      spec.injection_channels = channels;
+      const auto sweep =
+          run_sweep(figure_config(spec, PatternKind::kUniform), loads);
+      for (const SimulationResult& point : sweep) {
+        table.begin_row()
+            .add_cell(std::string{net.label})
+            .add_cell(channels)
+            .add_cell(point.offered_fraction, 2)
+            .add_cell(point.accepted_fraction, 3)
+            .add_cell(point.latency_cycles.count() > 0
+                          ? format_double(point.latency_cycles.mean(), 1)
+                          : std::string{"-"})
+            .add_cell(point.packets_in_flight_end);
+      }
+    }
+  }
+  std::printf("\n%s", table.to_text().c_str());
+  write_csv(table, "ablation_throttling");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared plumbing for the figure-reproduction benches: the paper's four
+// traffic patterns, the offered-load grid, and CSV emission.
+//
+// Each bench prints the tables that correspond to one figure of the paper
+// and writes the same data as CSV files under ./bench_out/ for plotting.
+// Set SMARTSIM_QUICK=1 to run a coarser load grid.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+
+namespace smart::benchtool {
+
+inline const std::vector<PatternKind>& paper_patterns() {
+  static const std::vector<PatternKind> patterns{
+      PatternKind::kUniform,
+      PatternKind::kComplement,
+      PatternKind::kTranspose,
+      PatternKind::kBitReversal,
+  };
+  return patterns;
+}
+
+/// The offered-load grid used by the figure sweeps: 10 %..100 % of the
+/// uniform-traffic capacity (6 points in quick mode).
+inline std::vector<double> figure_load_grid() {
+  const unsigned points = quick_mode() ? 6 : 10;
+  std::vector<double> grid;
+  for (unsigned i = 1; i <= points; ++i) {
+    grid.push_back(static_cast<double>(i) / points);
+  }
+  return grid;
+}
+
+inline SimConfig figure_config(NetworkSpec net, PatternKind pattern) {
+  SimConfig config;
+  config.net = net;
+  config.traffic.pattern = pattern;
+  config.traffic.seed = 12345;
+  return config;  // paper timing defaults: warm-up 2000, horizon 20000
+}
+
+inline std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : name) out += (c == ' ') ? '_' : c;
+  return out;
+}
+
+inline void write_csv(const Table& table, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("  [csv] %s\n", path.c_str());
+  }
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace smart::benchtool

@@ -1,0 +1,54 @@
+// Regenerates Figure 5 of the paper: communication performance of a 4-ary
+// 4-tree (256 nodes) with adaptive routing and 1, 2 and 4 virtual channels,
+// in Chaos Normal Form — accepted bandwidth and network latency against the
+// offered bandwidth (fractions of the uniform-traffic capacity), for the
+// uniform, complement, transpose and bit-reversal patterns (panels a-h).
+//
+// Paper reference points (§8):
+//   uniform    saturates at 36 % (1 vc), 55 % (2 vc), 72 % (4 vc)
+//   complement saturates around 95 % for ALL flow-control variants
+//              (congestion-free on the descending phase)
+//   transpose  saturates at 33 %, 60 %, 78 %
+//   bit rev.   similar to transpose
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const auto loads = figure_load_grid();
+  std::printf("Figure 5 — 4-ary 4-tree, adaptive routing, 1/2/4 virtual "
+              "channels (CNF)\n");
+
+  std::vector<Curve> all_summary;
+  for (PatternKind pattern : paper_patterns()) {
+    const std::string pattern_name = to_string(pattern);
+    std::vector<Curve> curves;
+    for (unsigned vcs : {1U, 2U, 4U}) {
+      curves.push_back(run_curve(std::to_string(vcs) + " vc",
+                                 figure_config(paper_tree_spec(vcs), pattern),
+                                 loads));
+      all_summary.push_back(curves.back());
+      all_summary.back().label = pattern_name + ", " + curves.back().label;
+    }
+
+    print_section("Accepted vs. offered bandwidth (" + pattern_name +
+                  " traffic)");
+    const Table accepted = cnf_accepted_table(curves);
+    std::printf("%s", accepted.to_text().c_str());
+    write_csv(accepted, "fig5_" + slug(pattern_name) + "_accepted");
+
+    print_section("Network latency vs. offered bandwidth (" + pattern_name +
+                  " traffic), cycles");
+    const Table latency = cnf_latency_table(curves);
+    std::printf("%s", latency.to_text().c_str());
+    write_csv(latency, "fig5_" + slug(pattern_name) + "_latency");
+  }
+
+  print_section("Saturation summary (paper §8: uniform 36/55/72 %, "
+                "complement ~95 % for all, transpose 33/60/78 %)");
+  const Table summary = saturation_summary_table(all_summary);
+  std::printf("%s", summary.to_text().c_str());
+  write_csv(summary, "fig5_saturation_summary");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Figure 6 of the paper: communication performance of a 16-ary
+// 2-cube (256 nodes) with deterministic and Duato minimal-adaptive routing,
+// in Chaos Normal Form, for the uniform, complement, transpose and
+// bit-reversal patterns (panels a-h).
+//
+// Paper reference points (§9):
+//   uniform    adaptive saturates at 80 %, deterministic at 60 %;
+//              latency ~70 cycles before saturation
+//   complement deterministic near-optimal at 47 %, adaptive saturates
+//              early at 35 % (dimension order prevents conflicts here)
+//   transpose  adaptive 50 %, more than twice the deterministic
+//   bit rev.   adaptive 60 %, deterministic 20 %
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const auto loads = figure_load_grid();
+  std::printf("Figure 6 — 16-ary 2-cube, deterministic vs. Duato minimal "
+              "adaptive (CNF)\n");
+
+  std::vector<Curve> all_summary;
+  for (PatternKind pattern : paper_patterns()) {
+    const std::string pattern_name = to_string(pattern);
+    std::vector<Curve> curves;
+    curves.push_back(run_curve(
+        "deterministic",
+        figure_config(paper_cube_spec(RoutingKind::kCubeDeterministic),
+                      pattern),
+        loads));
+    curves.push_back(run_curve(
+        "Duato",
+        figure_config(paper_cube_spec(RoutingKind::kCubeDuato), pattern),
+        loads));
+    for (const Curve& curve : curves) {
+      all_summary.push_back(curve);
+      all_summary.back().label = pattern_name + ", " + curve.label;
+    }
+
+    print_section("Accepted vs. offered bandwidth (" + pattern_name +
+                  " traffic)");
+    const Table accepted = cnf_accepted_table(curves);
+    std::printf("%s", accepted.to_text().c_str());
+    write_csv(accepted, "fig6_" + slug(pattern_name) + "_accepted");
+
+    print_section("Network latency vs. offered bandwidth (" + pattern_name +
+                  " traffic), cycles");
+    const Table latency = cnf_latency_table(curves);
+    std::printf("%s", latency.to_text().c_str());
+    write_csv(latency, "fig6_" + slug(pattern_name) + "_latency");
+  }
+
+  print_section("Saturation summary (paper §9: uniform 60/80 %, complement "
+                "47/35 %, transpose ~22/50 %, bit reversal 20/60 %)");
+  const Table summary = saturation_summary_table(all_summary);
+  std::printf("%s", summary.to_text().c_str());
+  write_csv(summary, "fig6_saturation_summary");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Figure 7 of the paper: the two networks compared in ABSOLUTE
+// units. The raw CNF data of Figures 5 and 6 is re-expressed through the
+// Chien cost model — traffic in bits/nsec, latency in nsec — using each
+// configuration's own router clock (Tables 1 and 2), so the router
+// complexity and the wire delay are priced in (panels a-h: five curves per
+// pattern).
+//
+// Paper reference points (§10/§11):
+//   uniform    cube wins: Duato ~440 bits/ns, deterministic ~350, best tree
+//              (4 vc) ~280, tree 1 vc ~150; cube latency ~0.5 us vs ~1 us
+//   complement tree wins: ~400 bits/ns all variants vs cube det ~280/250
+//   transpose, bit reversal: duato + tree 2/4 vc cluster at 250-300;
+//              deterministic and tree 1 vc at 100-150
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const auto loads = figure_load_grid();
+  std::printf("Figure 7 — normalized comparison of the 16-ary 2-cube and the "
+              "4-ary 4-tree (absolute units)\n");
+
+  std::vector<Curve> all_summary;
+  for (PatternKind pattern : paper_patterns()) {
+    const std::string pattern_name = to_string(pattern);
+    std::vector<Curve> curves;
+    curves.push_back(run_curve(
+        "cube, deterministic",
+        figure_config(paper_cube_spec(RoutingKind::kCubeDeterministic),
+                      pattern),
+        loads));
+    curves.push_back(run_curve(
+        "cube, Duato",
+        figure_config(paper_cube_spec(RoutingKind::kCubeDuato), pattern),
+        loads));
+    for (unsigned vcs : {1U, 2U, 4U}) {
+      curves.push_back(
+          run_curve("fat tree, " + std::to_string(vcs) + " vc",
+                    figure_config(paper_tree_spec(vcs), pattern), loads));
+    }
+    for (const Curve& curve : curves) {
+      all_summary.push_back(curve);
+      all_summary.back().label = pattern_name + ", " + curve.label;
+    }
+
+    print_section("Traffic and latency in absolute units (" + pattern_name +
+                  " traffic)");
+    const Table absolute = absolute_table(curves);
+    std::printf("%s", absolute.to_text().c_str());
+    write_csv(absolute, "fig7_" + slug(pattern_name) + "_absolute");
+  }
+
+  print_section("Saturation summary in absolute units (paper §10: uniform "
+                "440/350/280/150 bits/ns; complement tree ~400 vs cube "
+                "~250-280; cube latency ~0.5 us vs tree ~1 us below "
+                "saturation)");
+  const Table summary = saturation_summary_table(all_summary);
+  std::printf("%s", summary.to_text().c_str());
+  write_csv(summary, "fig7_saturation_summary");
+  return 0;
+}

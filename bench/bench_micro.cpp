@@ -1,0 +1,108 @@
+// Micro-benchmarks of the simulator's building blocks (google-benchmark):
+// simulation speed in cycles/second, topology construction, pattern
+// generation and RNG throughput. These guard against performance
+// regressions in the hot per-cycle loops.
+#include <benchmark/benchmark.h>
+
+#include "core/network.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+#include "traffic/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace smart;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(255));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_CubeConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    KaryNCube cube(16, 2);
+    benchmark::DoNotOptimize(cube.node_count());
+  }
+}
+BENCHMARK(BM_CubeConstruction);
+
+void BM_TreeConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    KaryNTree tree(4, 4);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeConstruction);
+
+void BM_TreePortPeerAll(benchmark::State& state) {
+  const KaryNTree tree(4, 4);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (SwitchId s = 0; s < tree.switch_count(); ++s) {
+      for (PortId p = 0; p < tree.ports_per_switch(); ++p) {
+        acc += tree.port_peer(s, p).id;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TreePortPeerAll);
+
+void BM_UniformPatternDraw(benchmark::State& state) {
+  const UniformPattern pattern(256);
+  Rng rng(1);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern.destination(src, rng));
+    src = (src + 1) % 256;
+  }
+}
+BENCHMARK(BM_UniformPatternDraw);
+
+SimConfig simulation_config(TopologyKind topology, double load) {
+  SimConfig config;
+  if (topology == TopologyKind::kCube) {
+    config.net = paper_cube_spec(RoutingKind::kCubeDuato);
+  } else {
+    config.net = paper_tree_spec(4);
+  }
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = load;
+  return config;
+}
+
+void BM_CubeSimulationCycles(benchmark::State& state) {
+  Network network(simulation_config(TopologyKind::kCube, 0.5));
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CubeSimulationCycles)->Iterations(4000);
+
+void BM_TreeSimulationCycles(benchmark::State& state) {
+  Network network(simulation_config(TopologyKind::kTree, 0.5));
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TreeSimulationCycles)->Iterations(4000);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Regenerates Table 1 of the paper: delays of the two routing algorithms
+// for the 16-ary 2-cube under Chien's cost model, in nanoseconds.
+//
+//   paper:            T_routing  T_crossbar  T_link  T_clock
+//     deterministic      5.9        5.85      6.34     6.34
+//     Duato              7.8        5.85      6.34     7.8
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace smart;
+
+  Table table({"algorithm", "T_routing (ns)", "T_crossbar (ns)",
+               "T_link (ns)", "T_clock (ns)", "limited by"});
+  const struct {
+    const char* label;
+    RoutingKind routing;
+  } rows[] = {
+      {"deterministic", RoutingKind::kCubeDeterministic},
+      {"Duato", RoutingKind::kCubeDuato},
+  };
+  for (const auto& row : rows) {
+    const RouterDelays delays = delays_for(paper_cube_spec(row.routing));
+    table.begin_row()
+        .add_cell(std::string{row.label})
+        .add_cell(delays.routing_ns, 2)
+        .add_cell(delays.crossbar_ns, 2)
+        .add_cell(delays.link_ns, 2)
+        .add_cell(delays.clock_ns(), 2)
+        .add_cell(to_string(delays.limiting_phase()));
+  }
+
+  std::printf("Table 1 — router delays of the 16-ary 2-cube algorithms\n");
+  std::printf("(V = 4, P = 17, short wires; paper: 5.9/5.85/6.34/6.34 and "
+              "7.8/5.85/6.34/7.8)\n\n%s\n", table.to_text().c_str());
+  return 0;
+}

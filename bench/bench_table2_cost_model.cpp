@@ -1,0 +1,36 @@
+// Regenerates Table 2 of the paper: delays of the three variants of the
+// adaptive fat-tree algorithm (1, 2 and 4 virtual channels) under Chien's
+// cost model, in nanoseconds.
+//
+//   paper:    T_routing  T_crossbar  T_link  T_clock
+//     1 vc       8.06       5.2       9.64     9.64
+//     2 vc       9.26       5.8      10.24    10.24
+//     4 vc      10.46       6.4      10.84    10.84
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace smart;
+
+  Table table({"variant", "T_routing (ns)", "T_crossbar (ns)", "T_link (ns)",
+               "T_clock (ns)", "limited by"});
+  for (unsigned vcs : {1U, 2U, 4U}) {
+    const RouterDelays delays = delays_for(paper_tree_spec(vcs));
+    table.begin_row()
+        .add_cell(std::to_string(vcs) + " vc")
+        .add_cell(delays.routing_ns, 2)
+        .add_cell(delays.crossbar_ns, 2)
+        .add_cell(delays.link_ns, 2)
+        .add_cell(delays.clock_ns(), 2)
+        .add_cell(to_string(delays.limiting_phase()));
+  }
+
+  std::printf("Table 2 — router delays of the 4-ary 4-tree adaptive variants\n");
+  std::printf("(F = (2k-1)V, P = 2kV, medium wires; paper: 8.06/5.2/9.64, "
+              "9.26/5.8/10.24, 10.46/6.4/10.84)\n\n%s\n",
+              table.to_text().c_str());
+  return 0;
+}

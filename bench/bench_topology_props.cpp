@@ -1,0 +1,83 @@
+// Regenerates the analytic quantities the paper derives for the two
+// networks: node/switch/link counts (§5 normalization: same processors,
+// same routers), bisection and capacity, diameters, and eq. (5) — the
+// average distance d_m = 7.125 of the 4-ary 4-tree under the transpose and
+// bit-reversal permutations — plus the distance-class histogram of §8.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  const KaryNCube cube(16, 2);
+  const KaryNTree tree(4, 4);
+
+  Table table({"property", "16-ary 2-cube", "4-ary 4-tree"});
+  table.begin_row()
+      .add_cell(std::string{"processing nodes"})
+      .add_cell(static_cast<std::uint64_t>(cube.node_count()))
+      .add_cell(static_cast<std::uint64_t>(tree.node_count()));
+  table.begin_row()
+      .add_cell(std::string{"routing switches"})
+      .add_cell(static_cast<std::uint64_t>(cube.switch_count()))
+      .add_cell(static_cast<std::uint64_t>(tree.switch_count()));
+  table.begin_row()
+      .add_cell(std::string{"switch arity (network ports)"})
+      .add_cell(std::uint64_t{4})
+      .add_cell(std::uint64_t{8});
+  table.begin_row()
+      .add_cell(std::string{"flit width (bytes, normalized)"})
+      .add_cell(static_cast<std::uint64_t>(
+          paper_cube_spec(RoutingKind::kCubeDuato).resolved_flit_bytes()))
+      .add_cell(static_cast<std::uint64_t>(paper_tree_spec(1).resolved_flit_bytes()));
+  table.begin_row()
+      .add_cell(std::string{"diameter (channels)"})
+      .add_cell(static_cast<std::uint64_t>(cube.diameter()))
+      .add_cell(static_cast<std::uint64_t>(tree.diameter()));
+  table.begin_row()
+      .add_cell(std::string{"average distance, uniform"})
+      .add_cell(cube.average_distance(), 3)
+      .add_cell(tree.average_distance(), 3);
+  table.begin_row()
+      .add_cell(std::string{"bisection channels (one way)"})
+      .add_cell(static_cast<std::uint64_t>(cube.bisection_channels()))
+      .add_cell(static_cast<std::uint64_t>(tree.bisection_channels()));
+  table.begin_row()
+      .add_cell(std::string{"capacity (flits/node/cycle)"})
+      .add_cell(cube.uniform_capacity_flits_per_node_cycle(), 3)
+      .add_cell(tree.uniform_capacity_flits_per_node_cycle(), 3);
+  table.begin_row()
+      .add_cell(std::string{"capacity (bytes/node/cycle)"})
+      .add_cell(cube.uniform_capacity_flits_per_node_cycle() * 4, 3)
+      .add_cell(tree.uniform_capacity_flits_per_node_cycle() * 2, 3);
+
+  std::printf("Topology properties of the paper's two networks (§5)\n\n%s\n",
+              table.to_text().c_str());
+  write_csv(table, "topology_properties");
+
+  // Equation (5): d_m for transpose / bit reversal on the 4-ary 4-tree.
+  for (PatternKind kind : {PatternKind::kTranspose, PatternKind::kBitReversal}) {
+    const auto pattern = make_pattern(kind, tree.node_count());
+    const double dm =
+        tree.average_distance_under_permutation(pattern->destination_table());
+    std::printf("d_m under %s: %.3f (paper eq. 5: 7.125)\n",
+                pattern->name().c_str(), dm);
+
+    std::map<unsigned, unsigned> classes;
+    const auto dest = pattern->destination_table();
+    for (NodeId p = 0; p < tree.node_count(); ++p) {
+      ++classes[tree.min_hops(p, dest[p])];
+    }
+    std::printf("  distance classes:");
+    for (const auto& [distance, count] : classes) {
+      std::printf("  d=%u x%u", distance, count);
+    }
+    std::printf("   (paper: k^(n/2)=16 at d=0, (k-1)k^(n/2+i-1) at n+2i)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Example: a "capacity planner" for an interconnect architect. Given a
+// target packet latency budget in nanoseconds, find — for each candidate
+// network — the highest uniform-traffic load that stays within budget, and
+// report the absolute bandwidth that load represents. This exercises the
+// full public API: load sweeps, the Chien cost model, and the absolute
+// unit conversions of the paper's final comparison.
+//
+// Usage: capacity_planner [latency_budget_ns]   (default 1000 ns)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smart;
+
+  const double budget_ns = argc > 1 ? std::atof(argv[1]) : 1000.0;
+  if (budget_ns <= 0.0) {
+    std::fprintf(stderr, "latency budget must be positive\n");
+    return 1;
+  }
+
+  std::printf("capacity planner: max uniform load with mean network latency "
+              "<= %.0f ns\n\n", budget_ns);
+
+  const struct {
+    const char* label;
+    NetworkSpec spec;
+  } candidates[] = {
+      {"16-ary 2-cube, deterministic",
+       paper_cube_spec(RoutingKind::kCubeDeterministic)},
+      {"16-ary 2-cube, Duato", paper_cube_spec(RoutingKind::kCubeDuato)},
+      {"4-ary 4-tree, 1 vc", paper_tree_spec(1)},
+      {"4-ary 4-tree, 2 vc", paper_tree_spec(2)},
+      {"4-ary 4-tree, 4 vc", paper_tree_spec(4)},
+  };
+
+  const std::vector<double> loads{0.1, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9, 1.0};
+
+  Table table({"network", "clock (ns)", "max load (frac)",
+               "bandwidth (bits/ns)", "latency there (ns)"});
+  for (const auto& candidate : candidates) {
+    SimConfig config;
+    config.net = candidate.spec;
+    config.traffic.pattern = PatternKind::kUniform;
+    const auto sweep = run_sweep(config, loads);
+    const NormalizedScale scale = scale_for(candidate.spec);
+
+    double best_load = 0.0;
+    double best_bits = 0.0;
+    double best_latency = 0.0;
+    for (const SimulationResult& point : sweep) {
+      if (point.latency_cycles.count() == 0) continue;
+      const double latency_ns =
+          to_ns(point.latency_cycles.mean(), scale.clock_ns);
+      // Within budget AND actually delivering what is offered.
+      const bool delivers =
+          point.accepted_fraction >=
+          point.effective_offered_fraction() * 0.95;
+      if (latency_ns <= budget_ns && delivers &&
+          point.offered_fraction > best_load) {
+        best_load = point.offered_fraction;
+        best_bits = to_bits_per_ns(point.accepted_flits_per_node_cycle,
+                                   scale.nodes, scale.flit_bytes,
+                                   scale.clock_ns);
+        best_latency = latency_ns;
+      }
+    }
+
+    table.begin_row().add_cell(std::string{candidate.label}).add_cell(
+        scale.clock_ns, 2);
+    if (best_load > 0.0) {
+      table.add_cell(best_load, 2)
+          .add_cell(best_bits, 1)
+          .add_cell(best_latency, 1);
+    } else {
+      table.add_cell(std::string{"-"})
+          .add_cell(std::string{"-"})
+          .add_cell(std::string{"over budget"});
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("Physical constraints decide the ranking: the cube's 4-byte\n"
+              "data paths and short wires buy a faster clock, so it carries\n"
+              "more absolute bandwidth within the same latency budget\n"
+              "(paper §10).\n");
+  return 0;
+}

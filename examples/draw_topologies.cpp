@@ -1,0 +1,91 @@
+// Example: text renderings of the paper's topology figures.
+//
+// Figure 2 of the paper shows a 4-ary 2-tree, Figure 3 a 5-ary 2-cube.
+// This example prints the same structures from the topology library: the
+// fat-tree level by level with every switch's down connectivity, and the
+// torus as a coordinate grid with its wrap-around links — a quick way to
+// convince yourself (and test visually) that the wiring rules match the
+// figures.
+#include <cstdio>
+#include <string>
+
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+
+namespace {
+
+using namespace smart;
+
+void draw_tree(unsigned k, unsigned n) {
+  const KaryNTree tree(k, n);
+  std::printf("%s — %zu nodes, %zu switches (%zu per level), %zu ports each\n\n",
+              tree.name().c_str(), tree.node_count(), tree.switch_count(),
+              tree.switches_per_level(), tree.ports_per_switch());
+
+  for (unsigned level = 0; level < n; ++level) {
+    std::printf("level %u%s:\n", level,
+                level == 0             ? " (root; up ports are the external connections)"
+                : level == n - 1       ? " (leaf; down ports reach the processing nodes)"
+                                       : "");
+    for (std::uint64_t word = 0; word < tree.switches_per_level(); ++word) {
+      const SwitchId sw = tree.switch_id(level, word);
+      std::string digits;
+      for (unsigned i = 0; i + 1 < n; ++i) {
+        digits += std::to_string(tree.word_digit(word, i));
+      }
+      if (digits.empty()) digits = "-";
+      std::printf("  <%s,%u>  down:", digits.c_str(), level);
+      for (PortId p = 0; p < k; ++p) {
+        const PortPeer peer = tree.port_peer(sw, p);
+        if (peer.kind == PeerKind::kTerminal) {
+          std::printf(" P%u", peer.id);
+        } else {
+          std::printf(" s%u", peer.id);
+        }
+      }
+      std::printf("   up:");
+      for (PortId p = k; p < 2 * k; ++p) {
+        const PortPeer peer = tree.port_peer(sw, p);
+        if (peer.kind == PeerKind::kUnconnected) {
+          std::printf(" ext");
+        } else {
+          std::printf(" s%u", peer.id);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nAny minimal path climbs to a nearest common ancestor and "
+              "descends (paper Figure 2).\n\n");
+}
+
+void draw_cube(unsigned k) {
+  const KaryNCube cube(k, 2);
+  std::printf("%s — %zu nodes, diameter %u, bisection %zu channels/direction\n\n",
+              cube.name().c_str(), cube.node_count(), cube.diameter(),
+              cube.bisection_channels());
+
+  // Grid with explicit horizontal links; the wrap-around is marked '~'.
+  for (unsigned y = k; y-- > 0;) {
+    std::printf("  ~");
+    for (unsigned x = 0; x < k; ++x) {
+      std::printf("%3u%s", cube.switch_at({x, y}), x + 1 < k ? " --" : " ~");
+    }
+    std::printf("\n");
+    if (y > 0) {
+      std::printf("   ");
+      for (unsigned x = 0; x < k; ++x) std::printf("  |  ");
+      std::printf("\n");
+    }
+  }
+  std::printf("\n('~' = wrap-around links closing each row; each column "
+              "wraps the same way; paper Figure 3.)\n");
+}
+
+}  // namespace
+
+int main() {
+  draw_tree(4, 2);   // the paper's Figure 2
+  draw_cube(5);      // the paper's Figure 3
+  return 0;
+}

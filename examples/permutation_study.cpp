@@ -1,0 +1,75 @@
+// Example: studying how a parallel algorithm's communication pattern
+// interacts with the network — the workload the paper's introduction
+// motivates (matrix transposition, FFT-style bit reversal, and global
+// exchanges occur in practical computations [Leighton 92]).
+//
+// For one network configuration this example sweeps every built-in
+// permutation pattern at a fixed offered load and reports throughput,
+// latency, and the pattern's average distance, showing which permutations
+// a fat-tree routes at capacity (congestion-free) and which congest its
+// descending phase.
+//
+// Usage: permutation_study [offered_fraction]   (default 0.6)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "topology/kary_ntree.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smart;
+
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.6;
+  if (load <= 0.0 || load > 1.0) {
+    std::fprintf(stderr, "offered fraction must be in (0, 1]\n");
+    return 1;
+  }
+
+  SimConfig config;
+  config.net = paper_tree_spec(4);
+  config.traffic.offered_fraction = load;
+
+  const KaryNTree tree(config.net.k, config.net.n);
+
+  std::printf("permutation study: %s, offered load %.0f%% of capacity\n\n",
+              config.net.description().c_str(), load * 100.0);
+
+  Table table({"pattern", "injecting", "avg distance", "accepted (frac)",
+               "latency (cycles)", "p95 flow"});
+  const PatternKind kinds[] = {
+      PatternKind::kComplement,      PatternKind::kTranspose,
+      PatternKind::kBitReversal,     PatternKind::kShuffle,
+      PatternKind::kNeighbor,        PatternKind::kTornado,
+      PatternKind::kRandomPermutation,
+  };
+  for (PatternKind kind : kinds) {
+    config.traffic.pattern = kind;
+    Network network(config);
+    const SimulationResult& result = network.run();
+
+    const auto pattern = make_pattern(kind, tree.node_count(), config.net.k,
+                                      config.net.n, config.traffic.seed);
+    const double distance = tree.average_distance_under_permutation(
+        pattern->destination_table());
+
+    table.begin_row()
+        .add_cell(pattern->name())
+        .add_cell(format_double(result.injecting_fraction * 100.0, 1) + "%")
+        .add_cell(distance, 3)
+        .add_cell(result.accepted_fraction, 3)
+        .add_cell(result.latency_cycles.count() > 0
+                      ? format_double(result.latency_cycles.mean(), 1)
+                      : std::string{"-"})
+        .add_cell(result.accepted_fraction >=
+                          load * result.injecting_fraction * 0.95
+                      ? std::string{"full"}
+                      : std::string{"congested"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "Patterns that map the tree into itself without descending conflicts\n"
+      "(complement) run at full load; transpose-like permutations congest\n"
+      "the descending phase and saturate earlier (paper §8.1).\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Runs every benchmark binary; used to produce bench_output.txt.
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b ====="
+    "$b"
+    echo
+  fi
+done

@@ -1,0 +1,110 @@
+// Simulation configuration.
+//
+// A SimConfig fully determines a simulation run: the network (topology,
+// routing algorithm, router parameters, normalization), the traffic
+// (pattern, offered load as a fraction of the theoretical capacity, seed)
+// and the timing (warm-up and horizon, paper §4: statistics collected after
+// 2000 cycles, runs halted at 20000 cycles).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "routing/tree_adaptive.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+
+namespace smart {
+
+enum class TopologyKind : std::uint8_t { kCube, kTree };
+
+enum class RoutingKind : std::uint8_t {
+  kCubeDeterministic,  ///< dimension order, two virtual networks
+  kCubeDuato,          ///< minimal adaptive with escape channels
+  kCubeValiant,        ///< randomized two-phase oblivious (extension)
+  kTreeAdaptive,       ///< ascending adaptive / descending deterministic
+};
+
+[[nodiscard]] std::string to_string(TopologyKind kind);
+[[nodiscard]] std::string to_string(RoutingKind kind);
+
+struct NetworkSpec {
+  TopologyKind topology = TopologyKind::kCube;
+  unsigned k = 16;  ///< radix (cube) / switch arity half (tree)
+  unsigned n = 2;   ///< dimensions (cube) / levels (tree)
+  RoutingKind routing = RoutingKind::kCubeDeterministic;
+  /// Cube only: false builds the open-boundary mesh (Intel Delta/Paragon
+  /// style) instead of the torus; the dateline virtual networks are then
+  /// never engaged but remain configured.
+  bool wraparound = true;
+  unsigned vcs = 4;           ///< virtual channels per link direction
+  unsigned buffer_depth = 4;  ///< flits per input and per output lane
+  unsigned packet_bytes = 64;
+  /// Phit/flit width; 0 selects the paper's normalization (2 bytes on the
+  /// tree, pin-count-equalized width on the cube: 4 bytes for the paper's
+  /// 4-ary-tree/2-cube pair).
+  unsigned flit_bytes = 0;
+  /// Injection channels between the processor and its router; 1 is the
+  /// paper's source-throttled interface. Values > 1 (ablation) must not
+  /// exceed the terminal link's input lanes.
+  unsigned injection_channels = 1;
+  /// Tree only: fair tie-break of the ascending link choice (ablation).
+  TreeSelection tree_selection = TreeSelection::kSaltedAffine;
+
+  [[nodiscard]] unsigned resolved_flit_bytes() const;
+  [[nodiscard]] unsigned flits_per_packet() const;
+  [[nodiscard]] std::string description() const;
+};
+
+struct TrafficSpec {
+  PatternKind pattern = PatternKind::kUniform;
+  double offered_fraction = 0.5;  ///< of the uniform-traffic capacity
+  std::uint64_t seed = 1;
+  /// Arrival process (paper: Bernoulli). Bursty keeps the same average
+  /// rate but clusters packets into on/off phases.
+  InjectionKind injection = InjectionKind::kBernoulli;
+  double burst_factor = 8.0;      ///< peak/average rate during a burst
+  double mean_burst_cycles = 200; ///< mean ON-phase duration
+};
+
+/// Optional per-packet delivery log (off by default: it grows with the
+/// delivered-packet count).
+struct TraceSpec {
+  bool collect_packet_log = false;
+};
+
+struct SimTiming {
+  std::uint64_t warmup_cycles = 2000;
+  std::uint64_t horizon_cycles = 20000;
+  /// Cycles without any flit movement (with packets in flight) after which
+  /// the run is declared deadlocked.
+  std::uint64_t deadlock_threshold = 3000;
+  /// Width of the throughput time-series windows in the results.
+  std::uint64_t stats_window_cycles = 1000;
+};
+
+struct SimConfig {
+  NetworkSpec net;
+  TrafficSpec traffic;
+  SimTiming timing;
+  TraceSpec trace;
+
+  /// Extension point: when set, overrides NetworkSpec::routing with a
+  /// user-supplied algorithm (also how tests inject faulty algorithms to
+  /// exercise the deadlock watchdog). The factory receives the built
+  /// topology, which outlives the algorithm.
+  std::function<std::unique_ptr<RoutingAlgorithm>(const Topology&)>
+      custom_routing;
+
+  /// Extension point: when set, overrides TrafficSpec::pattern.
+  std::function<std::unique_ptr<TrafficPattern>(std::size_t nodes)>
+      custom_pattern;
+};
+
+/// The paper's two evaluated networks, pre-normalized.
+[[nodiscard]] NetworkSpec paper_cube_spec(RoutingKind routing);
+[[nodiscard]] NetworkSpec paper_tree_spec(unsigned vcs);
+
+}  // namespace smart

@@ -1,0 +1,328 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/network.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace smart {
+
+std::vector<SimulationResult> run_sweep(const SimConfig& base,
+                                        const std::vector<double>& loads,
+                                        unsigned threads) {
+  std::vector<SimulationResult> results(loads.size());
+  auto run_point = [&](std::size_t i) {
+    SimConfig config = base;
+    config.traffic.offered_fraction = loads[i];
+    Network network(config);
+    results[i] = network.run();
+  };
+  if (threads == 1 || loads.size() <= 1) {
+    for (std::size_t i = 0; i < loads.size(); ++i) run_point(i);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(loads.size(), run_point);
+  }
+  return results;
+}
+
+Curve run_curve(std::string label, const SimConfig& base,
+                const std::vector<double>& loads, unsigned threads) {
+  Curve curve;
+  curve.label = std::move(label);
+  curve.spec = base.net;
+  curve.points = run_sweep(base, loads, threads);
+  return curve;
+}
+
+bool quick_mode() {
+  const char* env = std::getenv("SMARTSIM_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<double> default_load_grid(double max_fraction) {
+  SMART_CHECK(max_fraction > 0.0 && max_fraction <= 1.0);
+  const unsigned points = quick_mode() ? 6 : 13;
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (unsigned i = 1; i <= points; ++i) {
+    grid.push_back(max_fraction * static_cast<double>(i) /
+                   static_cast<double>(points));
+  }
+  return grid;
+}
+
+SaturationEstimate estimate_saturation(
+    const std::vector<SimulationResult>& sweep, double tolerance) {
+  SaturationEstimate est;
+  SMART_CHECK(!sweep.empty());
+  std::size_t sat_index = sweep.size();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SimulationResult& point = sweep[i];
+    // Compare against the load actually entering the network: permutation
+    // fixed points never inject, so a full-accepted sweep tops out at
+    // injecting_fraction of the nominal offered load.
+    if (point.accepted_fraction <
+        point.effective_offered_fraction() * (1.0 - tolerance)) {
+      sat_index = i;
+      break;
+    }
+  }
+  if (sat_index == sweep.size()) {
+    // Never saturated within the sweep: report the last point.
+    est.saturated = false;
+    est.offered_fraction = sweep.back().offered_fraction;
+    est.accepted_fraction = sweep.back().accepted_fraction;
+    est.post_saturation_min = est.post_saturation_max = est.accepted_fraction;
+    return est;
+  }
+  est.saturated = true;
+  est.offered_fraction = sweep[sat_index].offered_fraction;
+  est.accepted_fraction = sweep[sat_index].accepted_fraction;
+  est.post_saturation_min = est.post_saturation_max =
+      sweep[sat_index].accepted_fraction;
+  for (std::size_t i = sat_index; i < sweep.size(); ++i) {
+    est.post_saturation_min =
+        std::min(est.post_saturation_min, sweep[i].accepted_fraction);
+    est.post_saturation_max =
+        std::max(est.post_saturation_max, sweep[i].accepted_fraction);
+  }
+  return est;
+}
+
+RouterDelays delays_for(const NetworkSpec& spec) {
+  switch (spec.routing) {
+    case RoutingKind::kCubeDeterministic:
+      return cube_deterministic_delays(spec.n, spec.vcs);
+    case RoutingKind::kCubeDuato:
+      return cube_duato_delays(spec.n, spec.vcs);
+    case RoutingKind::kCubeValiant:
+      // Oblivious: the routing decision is as simple as dimension order.
+      return cube_deterministic_delays(spec.n, spec.vcs);
+    case RoutingKind::kTreeAdaptive:
+      return tree_adaptive_delays(spec.k, spec.vcs);
+  }
+  SMART_CHECK_MSG(false, "unknown routing kind");
+  return {};
+}
+
+NormalizedScale scale_for(const NetworkSpec& spec) {
+  NormalizedScale scale;
+  scale.flit_bytes = spec.resolved_flit_bytes();
+  scale.clock_ns = delays_for(spec).clock_ns();
+  if (spec.topology == TopologyKind::kCube) {
+    const KaryNCube cube(spec.k, spec.n, spec.wraparound);
+    scale.nodes = cube.node_count();
+    scale.capacity_flits_per_node_cycle =
+        cube.uniform_capacity_flits_per_node_cycle();
+  } else {
+    const KaryNTree tree(spec.k, spec.n);
+    scale.nodes = tree.node_count();
+    scale.capacity_flits_per_node_cycle =
+        tree.uniform_capacity_flits_per_node_cycle();
+  }
+  return scale;
+}
+
+double ReplicatedPoint::accepted_ci95() const {
+  const auto n = static_cast<double>(accepted_fraction.count());
+  if (n < 2.0) return 0.0;
+  return 1.96 * std::sqrt(accepted_fraction.sample_variance() / n);
+}
+
+std::vector<ReplicatedPoint> run_replicated(const SimConfig& base,
+                                            const std::vector<double>& loads,
+                                            unsigned replications,
+                                            unsigned threads) {
+  SMART_CHECK(replications >= 1);
+  std::vector<ReplicatedPoint> points(loads.size());
+  // One flat task list so the pool stays busy across loads and seeds.
+  std::vector<SimulationResult> results(loads.size() * replications);
+  auto run_one = [&](std::size_t task) {
+    const std::size_t load_index = task / replications;
+    const std::size_t rep = task % replications;
+    SimConfig config = base;
+    config.traffic.offered_fraction = loads[load_index];
+    config.traffic.seed = base.traffic.seed + rep;
+    Network network(config);
+    results[task] = network.run();
+  };
+  if (threads == 1 || results.size() <= 1) {
+    for (std::size_t task = 0; task < results.size(); ++task) run_one(task);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(results.size(), run_one);
+  }
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    points[i].offered_fraction = loads[i];
+    for (unsigned r = 0; r < replications; ++r) {
+      const SimulationResult& result = results[i * replications + r];
+      points[i].accepted_fraction.add(result.accepted_fraction);
+      if (result.latency_cycles.count() > 0) {
+        points[i].latency_mean_cycles.add(result.latency_cycles.mean());
+      }
+    }
+  }
+  return points;
+}
+
+Table replicated_table(const std::vector<ReplicatedPoint>& points) {
+  Table table({"offered (frac)", "accepted mean", "accepted ci95",
+               "accepted min", "accepted max", "latency mean (cycles)"});
+  for (const ReplicatedPoint& point : points) {
+    table.begin_row()
+        .add_cell(point.offered_fraction, 3)
+        .add_cell(point.accepted_fraction.mean(), 4)
+        .add_cell(point.accepted_ci95(), 4)
+        .add_cell(point.accepted_fraction.min(), 4)
+        .add_cell(point.accepted_fraction.max(), 4)
+        .add_cell(point.latency_mean_cycles.count() > 0
+                      ? format_double(point.latency_mean_cycles.mean(), 1)
+                      : std::string{"-"});
+  }
+  return table;
+}
+
+Table packet_log_table(const std::vector<PacketRecord>& log) {
+  Table table({"src", "dst", "gen", "inject", "deliver", "latency (cycles)",
+               "queueing (cycles)", "hops"});
+  for (const PacketRecord& record : log) {
+    table.begin_row()
+        .add_cell(record.src)
+        .add_cell(record.dst)
+        .add_cell(record.gen_cycle)
+        .add_cell(record.inject_cycle)
+        .add_cell(record.deliver_cycle)
+        .add_cell(record.network_latency())
+        .add_cell(record.source_queueing())
+        .add_cell(record.hops);
+  }
+  return table;
+}
+
+namespace {
+
+void check_shared_grid(const std::vector<Curve>& curves) {
+  SMART_CHECK(!curves.empty());
+  for (const Curve& curve : curves) {
+    SMART_CHECK_MSG(curve.points.size() == curves.front().points.size(),
+                    "curves must share the offered-load grid");
+  }
+}
+
+}  // namespace
+
+Table cnf_accepted_table(const std::vector<Curve>& curves) {
+  check_shared_grid(curves);
+  std::vector<std::string> headers{"offered (frac)"};
+  for (const Curve& curve : curves) headers.push_back(curve.label);
+  Table table(std::move(headers));
+  for (std::size_t row = 0; row < curves.front().points.size(); ++row) {
+    table.begin_row().add_cell(curves.front().points[row].offered_fraction, 3);
+    for (const Curve& curve : curves) {
+      table.add_cell(curve.points[row].accepted_fraction, 3);
+    }
+  }
+  return table;
+}
+
+Table cnf_latency_table(const std::vector<Curve>& curves) {
+  check_shared_grid(curves);
+  std::vector<std::string> headers{"offered (frac)"};
+  for (const Curve& curve : curves) headers.push_back(curve.label);
+  Table table(std::move(headers));
+  for (std::size_t row = 0; row < curves.front().points.size(); ++row) {
+    table.begin_row().add_cell(curves.front().points[row].offered_fraction, 3);
+    for (const Curve& curve : curves) {
+      const SimulationResult& point = curve.points[row];
+      if (point.latency_cycles.count() == 0) {
+        table.add_cell(std::string{"-"});
+      } else {
+        table.add_cell(point.latency_cycles.mean(), 1);
+      }
+    }
+  }
+  return table;
+}
+
+Table absolute_table(const std::vector<Curve>& curves) {
+  Table table({"configuration", "offered (frac)", "offered (bits/ns)",
+               "accepted (bits/ns)", "latency (ns)"});
+  for (const Curve& curve : curves) {
+    const NormalizedScale scale = scale_for(curve.spec);
+    for (const SimulationResult& point : curve.points) {
+      table.begin_row()
+          .add_cell(curve.label)
+          .add_cell(point.offered_fraction, 3)
+          .add_cell(to_bits_per_ns(point.offered_flits_per_node_cycle,
+                                   scale.nodes, scale.flit_bytes,
+                                   scale.clock_ns),
+                    1)
+          .add_cell(to_bits_per_ns(point.accepted_flits_per_node_cycle,
+                                   scale.nodes, scale.flit_bytes,
+                                   scale.clock_ns),
+                    1);
+      if (point.latency_cycles.count() == 0) {
+        table.add_cell(std::string{"-"});
+      } else {
+        table.add_cell(to_ns(point.latency_cycles.mean(), scale.clock_ns), 1);
+      }
+    }
+  }
+  return table;
+}
+
+Table saturation_summary_table(const std::vector<Curve>& curves) {
+  Table table({"configuration", "saturation (frac)", "throughput (frac)",
+               "throughput (bits/ns)", "latency@low (ns)",
+               "latency@sat (ns)", "post-sat stable"});
+  for (const Curve& curve : curves) {
+    const NormalizedScale scale = scale_for(curve.spec);
+    const SaturationEstimate est = estimate_saturation(curve.points);
+    // Latency at roughly one third of capacity ("normal traffic") and at
+    // the saturation point.
+    const SimulationResult* low = nullptr;
+    const SimulationResult* sat = nullptr;
+    for (const SimulationResult& point : curve.points) {
+      if (point.offered_fraction <= est.offered_fraction / 2.0 + 1e-9 &&
+          point.latency_cycles.count() > 0) {
+        low = &point;
+      }
+      if (sat == nullptr &&
+          point.offered_fraction >= est.offered_fraction - 1e-9) {
+        sat = &point;
+      }
+    }
+    table.begin_row()
+        .add_cell(curve.label)
+        .add_cell(est.saturated ? format_double(est.offered_fraction, 2)
+                                : (">" + format_double(est.offered_fraction, 2)))
+        .add_cell(est.accepted_fraction, 3)
+        .add_cell(to_bits_per_ns(
+                      est.accepted_fraction *
+                          scale.capacity_flits_per_node_cycle,
+                      scale.nodes, scale.flit_bytes, scale.clock_ns),
+                  1)
+        .add_cell(low != nullptr && low->latency_cycles.count() > 0
+                      ? format_double(
+                            to_ns(low->latency_cycles.mean(), scale.clock_ns),
+                            1)
+                      : std::string{"-"})
+        .add_cell(sat != nullptr && sat->latency_cycles.count() > 0
+                      ? format_double(
+                            to_ns(sat->latency_cycles.mean(), scale.clock_ns),
+                            1)
+                      : std::string{"-"})
+        .add_cell(est.post_saturation_max - est.post_saturation_min < 0.08
+                      ? std::string{"yes"}
+                      : std::string{"no"});
+  }
+  return table;
+}
+
+}  // namespace smart

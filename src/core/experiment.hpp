@@ -1,0 +1,111 @@
+// Experiment harness: load sweeps, saturation estimation, and the paper's
+// two presentation forms.
+//
+// Chaos Normal Form (CNF, paper §6): two graphs per traffic pattern — the
+// accepted bandwidth and the network latency, both against the offered
+// bandwidth normalized by the maximum bandwidth acceptable under uniform
+// traffic. The final comparison (paper §10, Figure 7) instead uses absolute
+// units, bits/nsec and nsec, obtained from each configuration's own router
+// clock via the Chien cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "cost/chien.hpp"
+#include "cost/normalization.hpp"
+#include "util/table.hpp"
+
+namespace smart {
+
+/// One labelled curve of a figure: a sweep of simulation results.
+struct Curve {
+  std::string label;
+  NetworkSpec spec;
+  std::vector<SimulationResult> points;
+};
+
+/// Runs one simulation per load fraction (in parallel when threads != 1;
+/// 0 = hardware concurrency). Results are deterministic for a fixed
+/// (config, load) regardless of the thread count.
+[[nodiscard]] std::vector<SimulationResult> run_sweep(
+    const SimConfig& base, const std::vector<double>& loads,
+    unsigned threads = 0);
+
+/// Convenience wrapper building a labelled Curve.
+[[nodiscard]] Curve run_curve(std::string label, const SimConfig& base,
+                              const std::vector<double>& loads,
+                              unsigned threads = 0);
+
+/// Evenly spaced offered-load grid in (0, max]; the quick grid (used when
+/// the SMARTSIM_QUICK environment variable is set) trades resolution for
+/// runtime without changing the model.
+[[nodiscard]] std::vector<double> default_load_grid(double max_fraction = 1.0);
+[[nodiscard]] bool quick_mode();
+
+/// Saturation (paper §6): the minimum offered bandwidth at which accepted
+/// bandwidth drops below the packet-creation rate.
+struct SaturationEstimate {
+  double offered_fraction = 1.0;   ///< first offered load with a deficit
+  double accepted_fraction = 0.0;  ///< throughput sustained at that load
+  bool saturated = false;          ///< false = no deficit anywhere in sweep
+  /// Post-saturation stability: min/max accepted fraction over all points
+  /// at or beyond the saturation load.
+  double post_saturation_min = 0.0;
+  double post_saturation_max = 0.0;
+};
+
+[[nodiscard]] SaturationEstimate estimate_saturation(
+    const std::vector<SimulationResult>& sweep, double tolerance = 0.05);
+
+/// Router delays of a network configuration under the Chien model.
+[[nodiscard]] RouterDelays delays_for(const NetworkSpec& spec);
+
+/// Absolute-unit scale (flit width, clock, capacity) of a configuration.
+[[nodiscard]] NormalizedScale scale_for(const NetworkSpec& spec);
+
+/// Multi-seed replication of one load point: distribution of the accepted
+/// fraction and of the mean latency across independent seeds.
+struct ReplicatedPoint {
+  double offered_fraction = 0.0;
+  OnlineStats accepted_fraction;   ///< one sample per seed
+  OnlineStats latency_mean_cycles; ///< one sample per seed
+
+  /// Half-width of the ~95 % confidence interval on the mean accepted
+  /// fraction (normal approximation, 1.96 * s / sqrt(n)).
+  [[nodiscard]] double accepted_ci95() const;
+};
+
+/// Runs `replications` independent seeds per load (seed = base seed + r)
+/// and aggregates. Deterministic and thread-count independent.
+[[nodiscard]] std::vector<ReplicatedPoint> run_replicated(
+    const SimConfig& base, const std::vector<double>& loads,
+    unsigned replications, unsigned threads = 0);
+
+/// Table: offered, mean accepted +/- CI95, mean latency, across seeds.
+[[nodiscard]] Table replicated_table(const std::vector<ReplicatedPoint>& points);
+
+/// Long-format table of a packet log (src, dst, cycles, latency, hops).
+[[nodiscard]] Table packet_log_table(const std::vector<PacketRecord>& log);
+
+// ---- Tabular presentation ----------------------------------------------
+
+/// CNF accepted-bandwidth table: one row per offered load, one column per
+/// curve (fractions of capacity). All curves must share the load grid.
+[[nodiscard]] Table cnf_accepted_table(const std::vector<Curve>& curves);
+
+/// CNF network-latency table (average cycles; '-' above saturation when no
+/// packet was delivered).
+[[nodiscard]] Table cnf_latency_table(const std::vector<Curve>& curves);
+
+/// Long-format absolute table (Figure 7 axes): one row per (curve, load),
+/// offered and accepted traffic in bits/nsec, latency in nsec.
+[[nodiscard]] Table absolute_table(const std::vector<Curve>& curves);
+
+/// Saturation summary: label, saturation offered/accepted fraction,
+/// absolute accepted bits/nsec, latency at ~half load and at saturation.
+[[nodiscard]] Table saturation_summary_table(const std::vector<Curve>& curves);
+
+}  // namespace smart

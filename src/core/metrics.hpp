@@ -1,0 +1,102 @@
+// Metrics of one simulation run (paper §6).
+//
+// Accepted bandwidth (throughput) is the sustained data delivery rate given
+// some offered bandwidth; before saturation offered and accepted coincide.
+// Network latency is the time from the insertion of the header flit in the
+// injection lane until the reception of the tail flit at the destination —
+// source queueing excluded. Both are collected only after the warm-up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace smart {
+
+/// One delivered packet (collected only when TraceSpec::collect_packet_log
+/// is set).
+struct PacketRecord {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t gen_cycle = 0;
+  std::uint64_t inject_cycle = 0;
+  std::uint64_t deliver_cycle = 0;
+  std::uint32_t hops = 0;
+
+  [[nodiscard]] std::uint64_t network_latency() const {
+    return deliver_cycle - inject_cycle;
+  }
+  [[nodiscard]] std::uint64_t source_queueing() const {
+    return inject_cycle - gen_cycle;
+  }
+};
+
+struct SimulationResult {
+  // Load axis.
+  double offered_fraction = 0.0;            ///< of capacity, as configured
+  double offered_flits_per_node_cycle = 0.0;
+  double capacity_flits_per_node_cycle = 0.0;
+  /// Fraction of nodes that inject (< 1 for permutations with fixed
+  /// points, e.g. the 16 palindromes under bit reversal on 256 nodes).
+  double injecting_fraction = 1.0;
+  /// offered_fraction scaled by injecting_fraction: the load actually
+  /// entering the network; accepted bandwidth is compared against this.
+  [[nodiscard]] double effective_offered_fraction() const {
+    return offered_fraction * injecting_fraction;
+  }
+
+  // Measured rates (per node per cycle, over the measurement window).
+  double generated_flits_per_node_cycle = 0.0;
+  double accepted_flits_per_node_cycle = 0.0;
+  /// accepted / capacity, the y-axis of the paper's CNF throughput graphs.
+  double accepted_fraction = 0.0;
+
+  // Latency and distance of packets delivered in the window.
+  OnlineStats latency_cycles;
+  OnlineStats hops;
+  /// Latency distribution (10-cycle bins, packets above 4000 cycles land in
+  /// the overflow bin); quantiles via latency_percentile().
+  Histogram latency_histogram{10.0, 400};
+  [[nodiscard]] double latency_percentile(double q) const {
+    return latency_histogram.quantile(q);
+  }
+
+  /// Accepted fraction of capacity per stats window (timing.stats_window
+  /// cycles each), covering the measurement period in order. Shows whether
+  /// throughput stays stable after saturation (paper §6).
+  std::vector<double> window_accepted;
+  /// max - min of window_accepted (0 when fewer than 2 windows).
+  [[nodiscard]] double throughput_swing() const {
+    if (window_accepted.size() < 2) return 0.0;
+    double lo = window_accepted.front();
+    double hi = lo;
+    for (double w : window_accepted) {
+      lo = lo < w ? lo : w;
+      hi = hi > w ? hi : w;
+    }
+    return hi - lo;
+  }
+
+  // Link utilization over the measurement window: flits transmitted per
+  // cycle per directed physical channel (terminal links included). The
+  // mean shows overall fabric load; the max exposes hotspots (e.g. 1.0 on
+  // the bisection links of the cube under complement traffic).
+  OnlineStats link_utilization;
+
+  // Raw counters (measurement window).
+  std::uint64_t generated_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_flits = 0;
+  std::uint64_t measured_cycles = 0;
+
+  /// Per-packet delivery log (empty unless requested in TraceSpec).
+  std::vector<PacketRecord> packet_log;
+
+  // End-of-run state.
+  std::uint64_t packets_in_flight_end = 0;
+  std::uint64_t source_queue_backlog_end = 0;
+  bool deadlocked = false;
+};
+
+}  // namespace smart

@@ -1,0 +1,145 @@
+// The simulated network: construction and the cycle engine.
+//
+// Network builds the switches, lanes and NICs for a SimConfig, wires them
+// according to the topology, and advances the whole system one router clock
+// at a time. Each cycle runs the phases of the paper's switch model
+// (§4) in order, with arrival stamps guaranteeing that a flit advances at
+// most one pipeline stage per cycle:
+//
+//   1. NIC phase      packet generation (Bernoulli per node) and streaming
+//                     into the injection channel(s)
+//   2. link phase     per directed physical channel, a fair arbiter moves
+//                     one flit with credit to the peer input lane; flits
+//                     reaching a terminal are consumed by the node
+//   3. routing phase  per switch, at most one header is assigned an output
+//                     lane by the routing algorithm (T_routing = 1 clock)
+//   4. crossbar phase every bound input lane advances one flit to its
+//                     output lane; freed buffer slots are acknowledged to
+//                     the upstream credit counter with a one-cycle delay
+//
+// Statistics are collected between warm-up and horizon (paper: 2000 and
+// 20000 cycles). A watchdog flags deadlock if nothing moves for a
+// configurable number of cycles while packets are in flight.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "router/nic.hpp"
+#include "router/switch.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+
+namespace smart {
+
+class Network {
+ public:
+  explicit Network(SimConfig config);
+
+  /// Runs warm-up plus measurement and fills result().
+  const SimulationResult& run();
+
+  /// Advances a single cycle (exposed for tests).
+  void step();
+
+  [[nodiscard]] const SimulationResult& result() const noexcept {
+    return result_;
+  }
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const TrafficPattern& pattern() const noexcept {
+    return *pattern_;
+  }
+  [[nodiscard]] const RoutingAlgorithm& routing() const noexcept {
+    return *routing_;
+  }
+
+  [[nodiscard]] Switch& switch_at(SwitchId s) { return switches_.at(s); }
+  [[nodiscard]] Nic& nic_at(NodeId node) { return nics_.at(node); }
+  [[nodiscard]] const PacketPool& packets() const noexcept { return pool_; }
+
+  /// Per-node nominal injection rate, packets per cycle.
+  [[nodiscard]] double packet_rate() const noexcept { return packet_rate_; }
+  [[nodiscard]] double capacity_flits_per_node_cycle() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] unsigned flits_per_packet() const noexcept {
+    return flits_per_packet_;
+  }
+
+  /// Flits currently buffered anywhere in the system (invariant checks).
+  [[nodiscard]] std::uint64_t buffered_flits() const;
+  /// Injected minus consumed flits must equal buffered_flits() at any time.
+  [[nodiscard]] std::uint64_t injected_flits() const noexcept {
+    return injected_flits_;
+  }
+  [[nodiscard]] std::uint64_t consumed_flits() const noexcept {
+    return consumed_flits_;
+  }
+  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+
+  /// Manually enqueue one packet at `src` for `dst` (tests and examples);
+  /// returns the packet id.
+  PacketId enqueue_packet(NodeId src, NodeId dst);
+
+ private:
+  void build_topology();
+  void build_routing();
+  void build_fabric();
+
+  void nic_phase();
+  void link_phase();
+  void switch_link_phase(Switch& sw);
+  void nic_link_phase(Nic& nic);
+  void routing_phase();
+  void crossbar_phase();
+  void apply_pending_credits();
+  void consume(Flit flit);
+  void finalize_result();
+
+  SimConfig config_;
+  std::unique_ptr<Topology> topo_;
+  const class KaryNCube* cube_ = nullptr;  // concrete views, owned by topo_
+  const class KaryNTree* tree_ = nullptr;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::unique_ptr<TrafficPattern> pattern_;
+
+  std::vector<Switch> switches_;
+  std::vector<Nic> nics_;
+  std::vector<std::unique_ptr<InjectionProcess>> injection_;  ///< per node
+  PacketPool pool_;
+
+  std::uint64_t cycle_ = 0;
+  double packet_rate_ = 0.0;
+  double capacity_ = 0.0;
+  unsigned flits_per_packet_ = 0;
+
+  std::vector<std::uint32_t*> pending_credits_;
+
+  // Counters (whole run).
+  std::uint64_t injected_flits_ = 0;
+  std::uint64_t consumed_flits_ = 0;
+  std::uint64_t last_progress_cycle_ = 0;
+  bool deadlocked_ = false;
+
+  // Counters (measurement window).
+  bool measuring_ = false;
+  std::uint64_t window_generated_packets_ = 0;
+  std::uint64_t window_delivered_packets_ = 0;
+  std::uint64_t window_delivered_flits_ = 0;
+  OnlineStats window_latency_;
+  OnlineStats window_hops_;
+  Histogram latency_histogram_{10.0, 400};
+  std::uint64_t stats_window_flits_ = 0;   ///< flits in the current window
+  std::uint64_t stats_window_start_ = 0;   ///< cycle the window opened
+  std::vector<double> window_accepted_;
+
+  SimulationResult result_;
+};
+
+}  // namespace smart

@@ -1,0 +1,89 @@
+#include "cost/chien.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+namespace {
+double log2d(unsigned x) {
+  SMART_CHECK(x >= 1);
+  return std::log2(static_cast<double>(x));
+}
+}  // namespace
+
+double t_routing_ns(unsigned degrees_of_freedom) {
+  return 4.7 + 1.2 * log2d(degrees_of_freedom);
+}
+
+double t_crossbar_ns(unsigned crossbar_ports) {
+  return 3.4 + 0.6 * log2d(crossbar_ports);
+}
+
+double t_link_short_ns(unsigned virtual_channels) {
+  return 5.14 + 0.6 * log2d(virtual_channels);
+}
+
+double t_link_medium_ns(unsigned virtual_channels) {
+  return 9.64 + 0.6 * log2d(virtual_channels);
+}
+
+double RouterDelays::clock_ns() const noexcept {
+  return std::max({routing_ns, crossbar_ns, link_ns});
+}
+
+LimitingPhase RouterDelays::limiting_phase() const noexcept {
+  const double clock = clock_ns();
+  if (clock == link_ns) return LimitingPhase::kLink;
+  if (clock == routing_ns) return LimitingPhase::kRouting;
+  return LimitingPhase::kCrossbar;
+}
+
+std::string to_string(LimitingPhase phase) {
+  switch (phase) {
+    case LimitingPhase::kRouting: return "routing";
+    case LimitingPhase::kCrossbar: return "crossbar";
+    case LimitingPhase::kLink: return "link";
+  }
+  return "unknown";
+}
+
+RouterDelays router_delays(unsigned degrees_of_freedom, unsigned crossbar_ports,
+                           unsigned virtual_channels, WireLength wires) {
+  RouterDelays delays;
+  delays.routing_ns = t_routing_ns(degrees_of_freedom);
+  delays.crossbar_ns = t_crossbar_ns(crossbar_ports);
+  delays.link_ns = wires == WireLength::kShort
+                       ? t_link_short_ns(virtual_channels)
+                       : t_link_medium_ns(virtual_channels);
+  return delays;
+}
+
+RouterDelays cube_deterministic_delays(unsigned n, unsigned vcs) {
+  SMART_CHECK_MSG(vcs >= 2 && vcs % 2 == 0,
+                  "deterministic cube routing needs two virtual networks");
+  const unsigned freedom = vcs / 2;  // channels in the single legal direction
+  const unsigned ports = 2 * n * vcs + 1;
+  return router_delays(freedom, ports, vcs, WireLength::kShort);
+}
+
+RouterDelays cube_duato_delays(unsigned n, unsigned vcs) {
+  SMART_CHECK_MSG(vcs >= 2 && vcs % 2 == 0,
+                  "Duato routing splits channels into adaptive and escape");
+  const unsigned adaptive = vcs / 2;
+  const unsigned escape = vcs / 2;
+  const unsigned freedom = n * adaptive + escape;
+  const unsigned ports = 2 * n * vcs + 1;
+  return router_delays(freedom, ports, vcs, WireLength::kShort);
+}
+
+RouterDelays tree_adaptive_delays(unsigned k, unsigned vcs) {
+  SMART_CHECK(vcs >= 1);
+  const unsigned freedom = (2 * k - 1) * vcs;
+  const unsigned ports = 2 * k * vcs;
+  return router_delays(freedom, ports, vcs, WireLength::kMedium);
+}
+
+}  // namespace smart

@@ -1,0 +1,71 @@
+// Chien's router cost/speed model (paper §5, eqs. 1-4).
+//
+// The model assumes a 0.8 micron CMOS gate-array implementation of the
+// routing chip and expresses the three per-phase delays in nanoseconds as a
+// function of the routing freedom F, the crossbar port count P and the
+// virtual-channel count V:
+//
+//   T_routing  = 4.7  + 1.2 * log2(F)            (eq. 1)
+//   T_crossbar = 3.4  + 0.6 * log2(P)            (eq. 2)
+//   T_link     = 5.14 + 0.6 * log2(V)  (short)   (eq. 3)
+//   T_link     = 9.64 + 0.6 * log2(V)  (medium)  (eq. 4)
+//
+// Low-dimensional cubes embed in 3-space with constant-length (short)
+// wires; a 256-node quaternary fat-tree inevitably has some longer wires,
+// so it is charged the medium-wire link delay. The router clock is the
+// maximum of the three delays and every simulator phase takes one clock.
+#pragma once
+
+#include <string>
+
+namespace smart {
+
+[[nodiscard]] double t_routing_ns(unsigned degrees_of_freedom);
+[[nodiscard]] double t_crossbar_ns(unsigned crossbar_ports);
+[[nodiscard]] double t_link_short_ns(unsigned virtual_channels);
+[[nodiscard]] double t_link_medium_ns(unsigned virtual_channels);
+
+enum class WireLength : unsigned char { kShort, kMedium };
+
+/// Which of the three phases sets the clock.
+enum class LimitingPhase : unsigned char { kRouting, kCrossbar, kLink };
+
+struct RouterDelays {
+  double routing_ns = 0.0;
+  double crossbar_ns = 0.0;
+  double link_ns = 0.0;
+
+  [[nodiscard]] double clock_ns() const noexcept;
+  [[nodiscard]] LimitingPhase limiting_phase() const noexcept;
+};
+
+[[nodiscard]] std::string to_string(LimitingPhase phase);
+
+/// Delays for arbitrary router parameters.
+[[nodiscard]] RouterDelays router_delays(unsigned degrees_of_freedom,
+                                         unsigned crossbar_ports,
+                                         unsigned virtual_channels,
+                                         WireLength wires);
+
+// ---- The paper's concrete configurations -------------------------------
+
+/// Deterministic dimension-order router of a k-ary n-cube with V virtual
+/// channels per link (V/2 per virtual network): F = V/2 (the channels
+/// available in the single permitted direction), P = 2nV + 1 (one injection
+/// channel), short wires. The paper's 16-ary 2-cube with V = 4 gives
+/// F = 2, P = 17, clock 6.34 ns.
+[[nodiscard]] RouterDelays cube_deterministic_delays(unsigned n, unsigned vcs);
+
+/// Duato minimal-adaptive router: half the channels are adaptive and usable
+/// in every dimension, half are deterministic escape channels, so
+/// F = n*(V/2) + V/2, P = 2nV + 1, short wires. The paper's configuration
+/// gives F = 6, P = 17, clock 7.8 ns.
+[[nodiscard]] RouterDelays cube_duato_delays(unsigned n, unsigned vcs);
+
+/// Adaptive fat-tree router of a k-ary n-tree: in the ascending phase a
+/// packet may take any of the 2k-1 other links, each with V channels, so
+/// F = (2k-1)*V and P = 2kV; medium wires. The paper's 4-ary 4-tree gives
+/// clocks 9.64 / 10.24 / 10.84 ns for V = 1 / 2 / 4.
+[[nodiscard]] RouterDelays tree_adaptive_delays(unsigned k, unsigned vcs);
+
+}  // namespace smart

@@ -1,0 +1,29 @@
+#include "cost/normalization.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+unsigned normalized_cube_flit_bytes(unsigned tree_k, unsigned cube_n) {
+  SMART_CHECK(tree_k >= 1 && cube_n >= 1);
+  // Equal pin count: tree arity 2k at kTreeFlitBytes vs cube arity 2n.
+  const unsigned bytes = kTreeFlitBytes * (2 * tree_k) / (2 * cube_n);
+  SMART_CHECK_MSG(bytes >= 1, "cube arity exceeds the available pin budget");
+  return bytes;
+}
+
+unsigned packet_flits(unsigned packet_bytes, unsigned flit_bytes) {
+  SMART_CHECK(packet_bytes >= 1 && flit_bytes >= 1);
+  return (packet_bytes + flit_bytes - 1) / flit_bytes;
+}
+
+double to_bits_per_ns(double flits_per_node_cycle, std::size_t nodes,
+                      unsigned flit_bytes, double clock_ns) {
+  SMART_CHECK(clock_ns > 0.0);
+  return flits_per_node_cycle * static_cast<double>(nodes) *
+         (8.0 * flit_bytes) / clock_ns;
+}
+
+double to_ns(double cycles, double clock_ns) { return cycles * clock_ns; }
+
+}  // namespace smart

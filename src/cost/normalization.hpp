@@ -1,0 +1,59 @@
+// Performance normalization between the two network families (paper §5).
+//
+// Technological pin limits fix the number of pins per routing chip. The
+// quaternary fat-tree switch has arity 2k = 8, the bi-dimensional cube
+// router arity 2n = 4 (plus the local node). Equal pin budgets therefore
+// allow the cube data paths to be (2k)/(2n) times wider: with the paper's
+// baseline of 2-byte fat-tree phits, the 16-ary 2-cube gets 4-byte phits.
+// The same normalization equalizes the total (peak) network bandwidth —
+// the tree has n*k^n links, twice as many as the 2-cube — and makes the
+// theoretical uniform-traffic capacity of both networks 2 bytes/node/cycle.
+//
+// Conversions to the absolute units of Figure 7 (bits/nsec and nsec) use
+// each configuration's own router clock from the Chien model.
+#pragma once
+
+#include "cost/chien.hpp"
+#include "topology/topology.hpp"
+
+namespace smart {
+
+/// Baseline fat-tree phit/flit width used by the paper.
+inline constexpr unsigned kTreeFlitBytes = 2;
+
+/// Paper packet size.
+inline constexpr unsigned kPacketBytes = 64;
+
+/// Flit width that equalizes the pin count of a k-ary n-tree switch
+/// (arity 2k) and a k-ary n-cube router (arity 2n), with the tree at the
+/// baseline width. For the paper's pair (k=4 tree, n=2 cube): 4 bytes.
+[[nodiscard]] unsigned normalized_cube_flit_bytes(unsigned tree_k,
+                                                  unsigned cube_n);
+
+/// Flits needed to carry a packet of `packet_bytes` with `flit_bytes` phits.
+[[nodiscard]] unsigned packet_flits(unsigned packet_bytes, unsigned flit_bytes);
+
+/// Absolute accepted bandwidth for the whole network, in bits/nsec, from a
+/// per-node flit rate measured in flits/node/cycle.
+[[nodiscard]] double to_bits_per_ns(double flits_per_node_cycle,
+                                    std::size_t nodes, unsigned flit_bytes,
+                                    double clock_ns);
+
+/// Absolute latency in nanoseconds from cycles.
+[[nodiscard]] double to_ns(double cycles, double clock_ns);
+
+/// Everything needed to place one network configuration on Figure 7's axes.
+struct NormalizedScale {
+  unsigned flit_bytes = 0;
+  double clock_ns = 0.0;
+  double capacity_flits_per_node_cycle = 0.0;  ///< paper §5 upper bound
+  std::size_t nodes = 0;
+
+  /// Network-wide injection rate at 100 % offered load, in bits/nsec.
+  [[nodiscard]] double capacity_bits_per_ns() const {
+    return to_bits_per_ns(capacity_flits_per_node_cycle, nodes, flit_bytes,
+                          clock_ns);
+  }
+};
+
+}  // namespace smart

@@ -1,0 +1,92 @@
+// Flits, packets and the packet pool.
+//
+// Wormhole switching moves packets as worms of flits: a header flit that
+// carries the routing information, body flits, and a tail flit that tears
+// down the path. The simulator keeps per-packet state (source, destination,
+// timestamps, routing state) in a pooled Packet record; a Flit is a small
+// value referencing its packet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+using PacketId = std::uint32_t;
+inline constexpr PacketId kInvalidPacket = ~0U;
+
+struct Flit {
+  PacketId packet = kInvalidPacket;
+  std::uint32_t seq = 0;      ///< flit index within the packet, 0 = header
+  std::uint64_t arrival = 0;  ///< cycle this flit entered its current buffer
+  std::uint8_t lane = 0;      ///< VC assigned for the link being traversed
+  bool head = false;
+  bool tail = false;
+};
+
+/// Per-packet record; recycled through PacketPool.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t size_flits = 0;
+
+  std::uint64_t gen_cycle = 0;     ///< creation into the source queue
+  std::uint64_t inject_cycle = 0;  ///< header flit entered the injection lane
+  std::uint32_t hops = 0;          ///< network channels traversed by the head
+
+  // Routing state.
+  std::uint32_t wrap_mask = 0;  ///< per-dimension dateline-crossed bits (cube)
+  std::uint8_t nic_lane = 0;    ///< VC chosen by the NIC on the terminal link
+  NodeId intermediate = 0;      ///< Valiant phase-1 target
+  std::uint8_t val_phase = 0;   ///< Valiant: 0 = to intermediate, 1 = to dst
+  bool val_assigned = false;    ///< Valiant intermediate drawn yet?
+
+  // Delivery-invariant bookkeeping.
+  std::uint32_t consumed_seq = 0;  ///< next flit index expected at the sink
+};
+
+/// Fixed-id pool of in-flight packets with free-list recycling. Ids stay
+/// valid from allocation until release (tail consumed at the destination).
+class PacketPool {
+ public:
+  PacketId allocate() {
+    if (!free_.empty()) {
+      const PacketId id = free_.back();
+      free_.pop_back();
+      packets_[id] = Packet{};
+      return id;
+    }
+    packets_.emplace_back();
+    return static_cast<PacketId>(packets_.size() - 1);
+  }
+
+  void release(PacketId id) {
+    SMART_DCHECK(id < packets_.size());
+    free_.push_back(id);
+  }
+
+  [[nodiscard]] Packet& operator[](PacketId id) {
+    SMART_DCHECK(id < packets_.size());
+    return packets_[id];
+  }
+  [[nodiscard]] const Packet& operator[](PacketId id) const {
+    SMART_DCHECK(id < packets_.size());
+    return packets_[id];
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return packets_.size();
+  }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return packets_.size() - free_.size();
+  }
+
+ private:
+  std::vector<Packet> packets_;
+  std::vector<PacketId> free_;
+};
+
+}  // namespace smart

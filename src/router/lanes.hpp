@@ -1,0 +1,51 @@
+// Virtual-channel lanes (paper §4, Figure 4).
+//
+// Each direction of a physical channel is split into V virtual channels;
+// every virtual channel has an input lane on the receiving side and an
+// output lane on the sending side, both FIFO buffers of a few flits. Each
+// output lane keeps a credit counter initialized to the capacity of the
+// matching input lane: it is decremented when a flit is sent and
+// incremented when the downstream acknowledges a freed buffer slot.
+#pragma once
+
+#include <cstdint>
+
+#include "router/flit.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace smart {
+
+/// Receiving side of a virtual channel inside a switch.
+struct InputLane {
+  RingBuffer<Flit> buf;
+  std::int32_t bound_port = -1;  ///< crossbar binding target, -1 = unbound
+  std::int32_t bound_lane = -1;
+  std::uint64_t bound_cycle = 0;  ///< cycle the binding was established
+
+  [[nodiscard]] bool bound() const noexcept { return bound_port >= 0; }
+
+  void bind(std::int32_t port, std::int32_t lane, std::uint64_t cycle) noexcept {
+    bound_port = port;
+    bound_lane = lane;
+    bound_cycle = cycle;
+  }
+
+  void unbind() noexcept {
+    bound_port = -1;
+    bound_lane = -1;
+  }
+};
+
+/// Sending side of a virtual channel inside a switch or NIC.
+struct OutputLane {
+  RingBuffer<Flit> buf;
+  std::uint32_t credits = 0;  ///< free slots in the downstream input lane
+  bool bound = false;         ///< currently the target of a crossbar binding
+
+  /// Free for a new crossbar binding (paper: "neither full nor bound").
+  [[nodiscard]] bool bindable() const noexcept {
+    return !bound && !buf.full();
+  }
+};
+
+}  // namespace smart

@@ -1,0 +1,57 @@
+#include "router/nic.hpp"
+
+namespace smart {
+
+Nic::Nic(NodeId node, unsigned buffer_depth, unsigned downstream_lanes,
+         unsigned channels, std::uint64_t seed)
+    : node_(node), credits_(downstream_lanes, buffer_depth), rng_(seed) {
+  SMART_CHECK_MSG(channels == 1 || channels == downstream_lanes,
+                  "injection channels must be 1 or match the terminal lanes");
+  channels_.reserve(channels);
+  for (unsigned c = 0; c < channels; ++c) {
+    channels_.emplace_back();
+    channels_.back().buf = RingBuffer<Flit>(buffer_depth);
+  }
+}
+
+void Nic::stream(std::uint64_t cycle, PacketPool& pool) {
+  for (InjectChannel& channel : channels_) {
+    if (channel.current == kInvalidPacket) {
+      if (source_queue_.empty()) continue;
+      channel.current = source_queue_.front();
+      source_queue_.pop_front();
+      channel.streamed = 0;
+    }
+    if (channel.buf.full()) continue;
+
+    Packet& pkt = pool[channel.current];
+    if (channel.streamed == 0) pkt.inject_cycle = cycle;
+
+    Flit flit;
+    flit.packet = channel.current;
+    flit.seq = channel.streamed;
+    flit.head = channel.streamed == 0;
+    flit.tail = channel.streamed + 1 == pkt.size_flits;
+    flit.arrival = cycle;
+    channel.buf.push(flit);
+
+    ++channel.streamed;
+    if (channel.streamed == pkt.size_flits) {
+      channel.current = kInvalidPacket;
+    }
+  }
+}
+
+int Nic::choose_lane() const {
+  int best = -1;
+  std::uint32_t best_credits = 0;
+  for (std::size_t lane = 0; lane < credits_.size(); ++lane) {
+    if (credits_[lane] > best_credits) {
+      best_credits = credits_[lane];
+      best = static_cast<int>(lane);
+    }
+  }
+  return best;
+}
+
+}  // namespace smart

@@ -1,0 +1,88 @@
+// Routing switch state (paper §4, Figure 4).
+//
+// A switch has one bidirectional port per external channel. Each port holds
+// V input lanes and V output lanes (terminal ports may have a different
+// input-lane count: the cube's single injection channel). The crossbar is
+// represented implicitly by the input-lane bindings; the routing engine
+// processes at most one header per T_routing (one simulator cycle).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "router/lanes.hpp"
+#include "topology/topology.hpp"
+
+namespace smart {
+
+struct SwitchPort {
+  std::vector<InputLane> in;
+  std::vector<OutputLane> out;
+  PortPeer peer;
+  std::uint32_t link_rr = 0;  ///< round-robin pointer of the link arbiter
+  std::uint32_t out_buffered = 0;  ///< flits across all output lanes
+  std::uint64_t flits_sent = 0;    ///< flits transmitted while measuring
+};
+
+class Switch {
+ public:
+  Switch(SwitchId id, std::size_t port_count) : id_(id), ports_(port_count) {}
+
+  [[nodiscard]] SwitchId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return ports_.size();
+  }
+  [[nodiscard]] SwitchPort& port(PortId p) {
+    SMART_DCHECK(p < ports_.size());
+    return ports_[p];
+  }
+  [[nodiscard]] const SwitchPort& port(PortId p) const {
+    SMART_DCHECK(p < ports_.size());
+    return ports_[p];
+  }
+
+  /// Output lanes of port p that could accept a new binding right now.
+  [[nodiscard]] unsigned free_output_lanes(PortId p) const {
+    unsigned free_lanes = 0;
+    for (const OutputLane& lane : ports_[p].out) {
+      if (lane.bindable()) ++free_lanes;
+    }
+    return free_lanes;
+  }
+
+  /// Round-robin cursor used by the routing engine to scan input lanes and
+  /// by the algorithms' fair tie-breaks; advanced once per routing success.
+  std::uint32_t route_rr = 0;
+
+  /// Flits currently buffered in any lane of this switch; maintained by the
+  /// engine so idle switches can be skipped entirely.
+  std::uint32_t buffered = 0;
+
+  /// Active crossbar bindings; lets the crossbar phase skip idle switches.
+  std::uint32_t bound_count = 0;
+
+  /// Flattened (port, lane) directory of all input lanes, built once after
+  /// wiring; the routing engine scans it round-robin.
+  [[nodiscard]] const std::vector<std::pair<std::uint16_t, std::uint16_t>>&
+  input_lane_index() const noexcept {
+    return in_lane_index_;
+  }
+
+  void build_input_lane_index() {
+    in_lane_index_.clear();
+    for (PortId p = 0; p < ports_.size(); ++p) {
+      for (std::size_t v = 0; v < ports_[p].in.size(); ++v) {
+        in_lane_index_.emplace_back(static_cast<std::uint16_t>(p),
+                                    static_cast<std::uint16_t>(v));
+      }
+    }
+  }
+
+ private:
+  SwitchId id_;
+  std::vector<SwitchPort> ports_;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> in_lane_index_;
+};
+
+}  // namespace smart

@@ -1,0 +1,52 @@
+#include "routing/cube_dor.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+CubeDorRouting::CubeDorRouting(const KaryNCube& cube, unsigned vcs)
+    : cube_(cube), vcs_(vcs), per_vn_(vcs / 2) {
+  SMART_CHECK_MSG(vcs >= 2 && vcs % 2 == 0,
+                  "dimension-order routing needs two virtual networks");
+  SMART_CHECK_MSG(cube.dimensions() <= 32,
+                  "dateline mask supports up to 32 dimensions");
+}
+
+std::optional<std::pair<unsigned, bool>> CubeDorRouting::dor_hop(
+    SwitchId s, NodeId dst) const {
+  for (unsigned d = 0; d < cube_.dimensions(); ++d) {
+    if (cube_.coord(s, d) == cube_.coord(dst, d)) continue;
+    return std::make_pair(d, cube_.dor_direction(s, dst, d));
+  }
+  return std::nullopt;
+}
+
+std::optional<OutputChoice> CubeDorRouting::route(Switch& sw, PortId /*in_port*/,
+                                                  unsigned /*in_lane*/,
+                                                  Packet& pkt,
+                                                  std::uint64_t /*cycle*/) {
+  const auto hop = dor_hop(sw.id(), pkt.dst);
+  if (!hop) {
+    // Arrived: eject through the local processor interface.
+    const PortId local = cube_.local_port();
+    const auto lane =
+        best_bindable_lane(sw.port(local), 0,
+                           static_cast<unsigned>(sw.port(local).out.size()));
+    if (!lane) return std::nullopt;
+    return OutputChoice{local, *lane};
+  }
+
+  const auto [dim, plus] = *hop;
+  const PortId port = KaryNCube::port_of(dim, plus);
+  const bool crossing = cube_.crosses_wraparound(sw.id(), dim, plus);
+  const bool after_dateline =
+      crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;
+  const unsigned vn = after_dateline ? 1 : 0;
+
+  const auto lane = best_bindable_lane(sw.port(port), vn * per_vn_, per_vn_);
+  if (!lane) return std::nullopt;
+  if (crossing) pkt.wrap_mask |= 1U << dim;
+  return OutputChoice{port, *lane};
+}
+
+}  // namespace smart

@@ -1,0 +1,41 @@
+// Deterministic dimension-order routing on the k-ary n-cube (paper §3,
+// Dally & Seitz).
+//
+// Packets correct dimensions in fixed order (0 first) along the unique
+// minimal path (ties at distance k/2 go in the + direction). Deadlocks from
+// the wrap-around links are avoided with two virtual networks: a packet
+// travels in virtual network 0 within each dimension until it crosses that
+// dimension's wrap-around link (the dateline), after which it uses virtual
+// network 1 for the rest of the dimension. With V virtual channels per
+// link, each virtual network owns V/2 of them (the paper uses V = 4, two
+// channels per virtual network; routing freedom F = 2).
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace smart {
+
+class CubeDorRouting final : public RoutingAlgorithm {
+ public:
+  CubeDorRouting(const KaryNCube& cube, unsigned vcs);
+
+  [[nodiscard]] std::string name() const override { return "deterministic"; }
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+
+  /// The unique productive (dimension, +direction) for a packet at switch s,
+  /// or nullopt when s is the destination. Exposed for tests and for the
+  /// Duato algorithm's escape path.
+  [[nodiscard]] std::optional<std::pair<unsigned, bool>> dor_hop(
+      SwitchId s, NodeId dst) const;
+
+ private:
+  const KaryNCube& cube_;
+  unsigned vcs_;
+  unsigned per_vn_;  ///< channels per virtual network (V/2)
+};
+
+}  // namespace smart

@@ -1,0 +1,41 @@
+// Minimal adaptive routing on the k-ary n-cube based on Duato's methodology
+// (paper §3; Duato TPDS'93/'95).
+//
+// Each link's V virtual channels split into V/2 adaptive channels — on
+// which a packet may be routed along ANY minimal direction — and V/2
+// deterministic escape channels. When no adaptive channel is free, the
+// packet falls back to the escape channel of its dimension-order hop, whose
+// virtual network is chosen by the dateline rule (one escape channel per
+// virtual network). Channel allocation is non-monotonic: a packet in the
+// escape channels re-enters the adaptive ones at the next hop whenever one
+// is free. The single injection channel per node (source throttling) keeps
+// throughput stable above saturation.
+//
+// With the paper's V = 4 on a 2-cube: 2 adaptive channels usable in both
+// dimensions plus 2 escape channels, routing freedom F = 6.
+#pragma once
+
+#include "routing/cube_dor.hpp"
+#include "routing/routing.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace smart {
+
+class CubeDuatoRouting final : public RoutingAlgorithm {
+ public:
+  CubeDuatoRouting(const KaryNCube& cube, unsigned vcs);
+
+  [[nodiscard]] std::string name() const override { return "Duato"; }
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+
+ private:
+  const KaryNCube& cube_;
+  CubeDorRouting escape_;  ///< supplies the deterministic escape hop
+  unsigned vcs_;
+  unsigned adaptive_;  ///< adaptive channels per link (= V/2, lanes [0, adaptive))
+};
+
+}  // namespace smart

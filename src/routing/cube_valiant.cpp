@@ -1,0 +1,64 @@
+#include "routing/cube_valiant.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+CubeValiantRouting::CubeValiantRouting(const KaryNCube& cube, unsigned vcs,
+                                       std::uint64_t seed)
+    : cube_(cube), vcs_(vcs), rng_(seed) {
+  SMART_CHECK_MSG(vcs >= 4 && vcs % 4 == 0,
+                  "Valiant routing needs two phases of two virtual networks");
+  per_phase_ = vcs / 2;
+  per_vn_ = per_phase_ / 2;
+}
+
+std::optional<OutputChoice> CubeValiantRouting::route(Switch& sw,
+                                                      PortId /*in_port*/,
+                                                      unsigned /*in_lane*/,
+                                                      Packet& pkt,
+                                                      std::uint64_t /*cycle*/) {
+  const SwitchId s = sw.id();
+  if (!pkt.val_assigned) {
+    pkt.intermediate = static_cast<NodeId>(rng_.below(cube_.node_count()));
+    pkt.val_assigned = true;
+    pkt.val_phase = 0;
+  }
+  if (pkt.val_phase == 0 && s == pkt.intermediate) {
+    pkt.val_phase = 1;
+    pkt.wrap_mask = 0;  // fresh dateline state for the second phase
+  }
+  const NodeId target = pkt.val_phase == 0 ? pkt.intermediate : pkt.dst;
+
+  if (pkt.val_phase == 1 && s == pkt.dst) {
+    const PortId local = cube_.local_port();
+    const auto lane =
+        best_bindable_lane(sw.port(local), 0,
+                           static_cast<unsigned>(sw.port(local).out.size()));
+    if (!lane) return std::nullopt;
+    return OutputChoice{local, *lane};
+  }
+
+  // Dimension-order hop toward the phase target.
+  std::optional<unsigned> dim;
+  for (unsigned d = 0; d < cube_.dimensions(); ++d) {
+    if (cube_.coord(s, d) != cube_.coord(target, d)) {
+      dim = d;
+      break;
+    }
+  }
+  SMART_CHECK(dim.has_value());
+  const bool plus = cube_.dor_direction(s, target, *dim);
+  const PortId port = KaryNCube::port_of(*dim, plus);
+  const bool crossing = cube_.crosses_wraparound(s, *dim, plus);
+  const bool after_dateline = crossing || ((pkt.wrap_mask >> *dim) & 1U) != 0;
+
+  const unsigned first =
+      pkt.val_phase * per_phase_ + (after_dateline ? per_vn_ : 0);
+  const auto lane = best_bindable_lane(sw.port(port), first, per_vn_);
+  if (!lane) return std::nullopt;
+  if (crossing) pkt.wrap_mask |= 1U << *dim;
+  return OutputChoice{port, *lane};
+}
+
+}  // namespace smart

@@ -1,0 +1,47 @@
+// Valiant randomized two-phase routing on the k-ary n-cube (Valiant &
+// Brebner, 1981) — the classic oblivious baseline beyond the paper.
+//
+// Every packet first travels, by dimension-order routing, to an
+// intermediate node drawn uniformly at random, and from there to its real
+// destination. This destroys adversarial structure: ANY traffic pattern
+// behaves like two superimposed uniform-random phases, at the cost of
+// roughly doubling the average distance (so at most half the uniform
+// capacity). Against the paper's algorithms it loses on uniform traffic
+// but wins on patterns that concentrate load under minimal routing (e.g.
+// tornado).
+//
+// Deadlock avoidance: the V virtual channels split into two phase
+// subnetworks (lanes [0, V/2) for phase 1, [V/2, V) for phase 2); within
+// each phase the dateline rule of deterministic routing applies, with
+// V/4-channel virtual networks. Phases are strictly ordered, each phase
+// subnetwork is acyclic, so the whole scheme is deadlock-free. V = 4 gives
+// one lane per (phase, virtual network).
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/kary_ncube.hpp"
+#include "util/rng.hpp"
+
+namespace smart {
+
+class CubeValiantRouting final : public RoutingAlgorithm {
+ public:
+  CubeValiantRouting(const KaryNCube& cube, unsigned vcs,
+                     std::uint64_t seed = 0xa11ce);
+
+  [[nodiscard]] std::string name() const override { return "Valiant"; }
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  [[nodiscard]] bool is_minimal() const override { return false; }
+
+ private:
+  const KaryNCube& cube_;
+  unsigned vcs_;
+  unsigned per_phase_;  ///< lanes per phase (V/2)
+  unsigned per_vn_;     ///< lanes per virtual network within a phase (V/4, min 1)
+  Rng rng_;
+};
+
+}  // namespace smart

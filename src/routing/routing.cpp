@@ -1,0 +1,25 @@
+#include "routing/routing.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+std::optional<unsigned> best_bindable_lane(const SwitchPort& port,
+                                           unsigned first, unsigned count,
+                                           std::uint32_t rr) {
+  SMART_DCHECK(first + count <= port.out.size());
+  std::optional<unsigned> best;
+  std::uint32_t best_credits = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    const unsigned lane = first + (i + rr) % count;
+    const OutputLane& out = port.out[lane];
+    if (!out.bindable()) continue;
+    if (!best || out.credits > best_credits) {
+      best = lane;
+      best_credits = out.credits;
+    }
+  }
+  return best;
+}
+
+}  // namespace smart

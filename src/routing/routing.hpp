@@ -1,0 +1,59 @@
+// Routing-algorithm interface.
+//
+// The routing engine of a switch calls route() for the header flit at the
+// head of an input lane. The algorithm inspects the switch's output lanes
+// and returns a (port, lane) pair that is currently bindable — an output
+// lane that is neither full nor bound to another input lane (paper §4) —
+// or nullopt to stall the header for this cycle. Algorithms may update the
+// packet's routing state (e.g. dateline bits) when they commit to a choice,
+// because a returned choice is always bound by the engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "router/flit.hpp"
+#include "router/switch.hpp"
+
+namespace smart {
+
+struct OutputChoice {
+  PortId port = 0;
+  unsigned lane = 0;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses an output lane for `pkt`, whose header sits at the head of
+  /// input lane (`in_port`, `in_lane`) of switch `sw`. Selection policies
+  /// may use the input position for fair, stream-stable tie-breaking (a
+  /// per-input-port arbiter start, as in hardware round-robin allocators).
+  [[nodiscard]] virtual std::optional<OutputChoice> route(Switch& sw,
+                                                          PortId in_port,
+                                                          unsigned in_lane,
+                                                          Packet& pkt,
+                                                          std::uint64_t cycle) = 0;
+
+  /// Virtual channels per link direction this algorithm requires/expects.
+  [[nodiscard]] virtual unsigned virtual_channels() const = 0;
+
+  /// True when every packet follows a minimal path (the engine then asserts
+  /// hop counts against Topology::min_hops). Randomized two-phase schemes
+  /// such as Valiant routing return false.
+  [[nodiscard]] virtual bool is_minimal() const { return true; }
+};
+
+/// The bindable lane with the most credits on `port`, scanning lanes
+/// [first, first + count); nullopt if none is bindable. Ties go to the
+/// lowest index past the rotating offset `rr` for fairness.
+[[nodiscard]] std::optional<unsigned> best_bindable_lane(const SwitchPort& port,
+                                                         unsigned first,
+                                                         unsigned count,
+                                                         std::uint32_t rr = 0);
+
+}  // namespace smart

@@ -1,0 +1,90 @@
+#include "routing/tree_adaptive.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+std::string to_string(TreeSelection selection) {
+  switch (selection) {
+    case TreeSelection::kSaltedAffine: return "salted affine";
+    case TreeSelection::kRotating: return "rotating";
+    case TreeSelection::kRandom: return "random";
+    case TreeSelection::kMostCredits: return "most credits";
+  }
+  return "unknown";
+}
+
+TreeAdaptiveRouting::TreeAdaptiveRouting(const KaryNTree& tree, unsigned vcs,
+                                         TreeSelection selection)
+    : tree_(tree), vcs_(vcs), selection_(selection) {
+  SMART_CHECK(vcs >= 1);
+}
+
+std::string TreeAdaptiveRouting::name() const {
+  return "adaptive " + std::to_string(vcs_) + "vc";
+}
+
+unsigned TreeAdaptiveRouting::scan_start(const Switch& sw, PortId in_port) {
+  const unsigned k = tree_.radix();
+  switch (selection_) {
+    case TreeSelection::kSaltedAffine: {
+      std::uint64_t salt_state = sw.id() * 0x9e3779b97f4a7c15ULL + 1;
+      const unsigned salt = static_cast<unsigned>(splitmix64(salt_state) % k);
+      return (in_port + salt) % k;
+    }
+    case TreeSelection::kRotating:
+    case TreeSelection::kMostCredits:
+      return sw.route_rr % k;
+    case TreeSelection::kRandom:
+      return static_cast<unsigned>(rng_.below(k));
+  }
+  return 0;
+}
+
+std::optional<OutputChoice> TreeAdaptiveRouting::route(Switch& sw,
+                                                       PortId in_port,
+                                                       unsigned /*in_lane*/,
+                                                       Packet& pkt,
+                                                       std::uint64_t /*cycle*/) {
+  if (tree_.is_ancestor(sw.id(), pkt.dst)) {
+    // Descending phase: the down port is unique; only the lane is free.
+    const PortId port = tree_.down_port_towards(sw.id(), pkt.dst);
+    const auto lane = best_bindable_lane(sw.port(port), 0, vcs_);
+    if (!lane) return std::nullopt;
+    return OutputChoice{port, *lane};
+  }
+
+  // Ascending phase: any up port is minimal; pick the least loaded link —
+  // the one with the most free virtual channels (paper §2). The tie-break
+  // among links in a similar state is the selection policy; see the header
+  // and DESIGN.md §6 for why the default keeps streams on their links.
+  const unsigned k = tree_.radix();
+  const unsigned start = scan_start(sw, in_port);
+  const bool use_credits = selection_ == TreeSelection::kMostCredits;
+  std::optional<PortId> best_port;
+  unsigned best_free = 0;
+  std::uint32_t best_credits = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    const PortId port = k + (i + start) % k;
+    const unsigned free_lanes = sw.free_output_lanes(port);
+    if (free_lanes == 0) continue;
+    std::uint32_t credits = 0;
+    if (use_credits) {
+      for (const OutputLane& lane : sw.port(port).out) credits += lane.credits;
+    }
+    const bool better =
+        !best_port || free_lanes > best_free ||
+        (use_credits && free_lanes == best_free && credits > best_credits);
+    if (better) {
+      best_free = free_lanes;
+      best_credits = credits;
+      best_port = port;
+    }
+  }
+  if (!best_port) return std::nullopt;
+  const auto lane = best_bindable_lane(sw.port(*best_port), 0, vcs_);
+  SMART_DCHECK(lane.has_value());
+  return OutputChoice{*best_port, *lane};
+}
+
+}  // namespace smart

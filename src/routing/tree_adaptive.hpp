@@ -1,0 +1,63 @@
+// Minimal adaptive routing on the k-ary n-tree (paper §2).
+//
+// A packet experiences two phases: an ascending ADAPTIVE phase up to one of
+// the nearest common ancestors of source and destination, followed by a
+// descending DETERMINISTIC phase (the down path from an ancestor is
+// unique). While ascending, the algorithm picks the least-loaded up link —
+// the one with the maximum number of free virtual channels — with a fair
+// choice among links in a similar state; within the chosen link it takes
+// the free lane with the most credits. The channel dependency graph of
+// up*/down* routing is acyclic, so the algorithm is deadlock-free for any
+// V >= 1 (the paper evaluates V = 1, 2 and 4).
+//
+// The paper leaves the fair tie-break unspecified; it turns out to matter
+// (see DESIGN.md §6 and the selection-policy ablation):
+//  * kSaltedAffine (default) starts the scan at the up port affine to the
+//    input port, offset by a per-switch hash. Streams stay on their links
+//    (back-to-back worms queue behind their predecessors), which keeps
+//    congestion-free permutations such as complement conflict-free at any
+//    V, while the salt decorrelates structured permutations.
+//  * kRotating advances a per-switch round-robin pointer: maximal spreading
+//    but no stream stability (complement degrades at V >= 2).
+//  * kRandom draws the start uniformly: statistically like kRotating.
+//  * kMostCredits uses the credit balance as a secondary key after the
+//    free-lane count, scanning round-robin.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/kary_ntree.hpp"
+#include "util/rng.hpp"
+
+namespace smart {
+
+enum class TreeSelection : std::uint8_t {
+  kSaltedAffine,
+  kRotating,
+  kRandom,
+  kMostCredits,
+};
+
+[[nodiscard]] std::string to_string(TreeSelection selection);
+
+class TreeAdaptiveRouting final : public RoutingAlgorithm {
+ public:
+  TreeAdaptiveRouting(const KaryNTree& tree, unsigned vcs,
+                      TreeSelection selection = TreeSelection::kSaltedAffine);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  [[nodiscard]] TreeSelection selection() const noexcept { return selection_; }
+
+ private:
+  [[nodiscard]] unsigned scan_start(const Switch& sw, PortId in_port);
+
+  const KaryNTree& tree_;
+  unsigned vcs_;
+  TreeSelection selection_;
+  Rng rng_{0x7ee5e1ec7ULL};  ///< kRandom tie-breaks (deterministic stream)
+};
+
+}  // namespace smart

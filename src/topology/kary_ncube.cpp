@@ -1,0 +1,140 @@
+#include "topology/kary_ncube.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+KaryNCube::KaryNCube(unsigned k, unsigned n, bool wraparound)
+    : k_(k), n_(n), wraparound_(wraparound) {
+  SMART_CHECK_MSG(k >= 2, "k-ary n-cube requires radix k >= 2");
+  SMART_CHECK_MSG(n >= 1, "k-ary n-cube requires dimension n >= 1");
+  std::uint64_t count = 1;
+  stride_.reserve(n);
+  for (unsigned d = 0; d < n; ++d) {
+    stride_.push_back(count);
+    SMART_CHECK_MSG(count <= (1ULL << 32) / k, "k^n exceeds 2^32 nodes");
+    count *= k;
+  }
+  nodes_ = static_cast<std::size_t>(count);
+}
+
+std::string KaryNCube::name() const {
+  return std::to_string(k_) + "-ary " + std::to_string(n_) +
+         (wraparound_ ? "-cube" : "-mesh");
+}
+
+unsigned KaryNCube::coord(SwitchId s, unsigned d) const {
+  SMART_DCHECK(d < n_);
+  return static_cast<unsigned>((s / stride_[d]) % k_);
+}
+
+SwitchId KaryNCube::switch_at(const std::vector<unsigned>& coords) const {
+  SMART_CHECK(coords.size() == n_);
+  std::uint64_t s = 0;
+  for (unsigned d = 0; d < n_; ++d) {
+    SMART_CHECK(coords[d] < k_);
+    s += coords[d] * stride_[d];
+  }
+  return static_cast<SwitchId>(s);
+}
+
+SwitchId KaryNCube::neighbor(SwitchId s, unsigned d, bool plus) const {
+  SMART_DCHECK(d < n_);
+  const unsigned c = coord(s, d);
+  const unsigned nc = plus ? (c + 1) % k_ : (c + k_ - 1) % k_;
+  const std::uint64_t base = s - c * stride_[d];
+  return static_cast<SwitchId>(base + nc * stride_[d]);
+}
+
+PortPeer KaryNCube::port_peer(SwitchId s, PortId p) const {
+  SMART_DCHECK(s < nodes_);
+  if (p == local_port()) {
+    return PortPeer{PeerKind::kTerminal, s, 0};
+  }
+  SMART_CHECK(p < 2 * n_);
+  const unsigned d = dim_of_port(p);
+  const bool plus = is_plus_port(p);
+  if (!wraparound_ && crosses_wraparound(s, d, plus)) {
+    return PortPeer{PeerKind::kUnconnected, 0, 0};  // mesh boundary
+  }
+  const SwitchId peer = neighbor(s, d, plus);
+  // The peer receives us on its opposite-direction port of the same dim.
+  return PortPeer{PeerKind::kSwitch, peer, port_of(d, !plus)};
+}
+
+Attachment KaryNCube::terminal_attachment(NodeId node) const {
+  SMART_DCHECK(node < nodes_);
+  return Attachment{node, local_port()};
+}
+
+unsigned KaryNCube::dist_plus(SwitchId src, SwitchId dst, unsigned d) const {
+  const unsigned cs = coord(src, d);
+  const unsigned cd = coord(dst, d);
+  if (!wraparound_) {
+    return cd >= cs ? cd - cs : std::numeric_limits<unsigned>::max();
+  }
+  return (cd + k_ - cs) % k_;
+}
+
+unsigned KaryNCube::ring_distance(SwitchId src, SwitchId dst, unsigned d) const {
+  const unsigned cs = coord(src, d);
+  const unsigned cd = coord(dst, d);
+  if (!wraparound_) return cd >= cs ? cd - cs : cs - cd;
+  const unsigned forward = (cd + k_ - cs) % k_;
+  return std::min(forward, k_ - forward);
+}
+
+unsigned KaryNCube::min_hops(NodeId src, NodeId dst) const {
+  unsigned hops = 0;
+  for (unsigned d = 0; d < n_; ++d) hops += ring_distance(src, dst, d);
+  return hops;
+}
+
+unsigned KaryNCube::diameter() const {
+  return wraparound_ ? n_ * (k_ / 2) : n_ * (k_ - 1);
+}
+
+std::size_t KaryNCube::bisection_channels() const {
+  // Cutting the highest dimension into two arcs severs every one of the
+  // k^(n-1) rings at exactly two points (one point for the open lines of a
+  // mesh); one unidirectional channel crosses at each point per direction.
+  const std::size_t cuts_per_line = wraparound_ ? 2 : 1;
+  return cuts_per_line * static_cast<std::size_t>(ipow(k_, n_ - 1));
+}
+
+bool KaryNCube::crosses_wraparound(SwitchId s, unsigned d, bool plus) const {
+  // On a mesh this marks the boundary ports, which are unconnected.
+  const unsigned c = coord(s, d);
+  return plus ? (c == k_ - 1) : (c == 0);
+}
+
+bool KaryNCube::direction_minimal(SwitchId s, NodeId dst, unsigned d,
+                                  bool plus) const {
+  const unsigned cs = coord(s, d);
+  const unsigned cd = coord(dst, d);
+  if (cs == cd) return false;
+  if (!wraparound_) return plus ? cd > cs : cd < cs;
+  const unsigned forward = (cd + k_ - cs) % k_;
+  const unsigned dist = plus ? forward : k_ - forward;
+  return dist <= k_ - dist;
+}
+
+bool KaryNCube::dor_direction(SwitchId s, NodeId dst, unsigned d) const {
+  const unsigned cs = coord(s, d);
+  const unsigned cd = coord(dst, d);
+  SMART_DCHECK(cs != cd);
+  if (!wraparound_) return cd > cs;
+  const unsigned forward = (cd + k_ - cs) % k_;
+  return forward <= k_ - forward;  // ties resolve to +
+}
+
+double KaryNCube::mean_ring_distance(unsigned k) noexcept {
+  if (k % 2 == 0) return static_cast<double>(k) / 4.0;
+  return (static_cast<double>(k) * k - 1.0) / (4.0 * k);
+}
+
+}  // namespace smart

@@ -1,0 +1,106 @@
+// k-ary n-cube (torus) and k-ary n-mesh topology.
+//
+// k^n nodes arranged in an n-dimensional grid with k nodes per dimension and
+// wrap-around links (paper §3). This is a *direct* network: every switch is
+// co-located with a processing node and has 2n bidirectional network ports
+// plus a local processor interface. The binary hypercube (k = 2) and the
+// two-dimensional torus (n = 2) are special cases; the paper's evaluation
+// uses the 16-ary 2-cube. Disabling the wrap-around links yields the mesh
+// used by machines like the Intel Delta and Paragon; the boundary ports of
+// a mesh are unconnected and the dateline machinery is never engaged.
+//
+// Coordinates: coordinate c_d of switch s in dimension d is
+// (s / k^d) mod k, i.e. dimension 0 is the least-significant digit.
+// Port numbering: port 2d goes in the +1 direction of dimension d, port
+// 2d + 1 in the -1 direction; port 2n is the local processor interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace smart {
+
+class KaryNCube final : public Topology {
+ public:
+  /// Builds a k-ary n-cube; requires k >= 2 and n >= 1 and k^n <= 2^32.
+  /// `wraparound` = false builds the open-boundary mesh instead.
+  explicit KaryNCube(unsigned k, unsigned n, bool wraparound = true);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t node_count() const override { return nodes_; }
+  [[nodiscard]] std::size_t switch_count() const override { return nodes_; }
+  [[nodiscard]] std::size_t ports_per_switch() const override {
+    return 2 * n_ + 1;  // 2n network ports + local interface
+  }
+  [[nodiscard]] PortPeer port_peer(SwitchId s, PortId p) const override;
+  [[nodiscard]] Attachment terminal_attachment(NodeId node) const override;
+  [[nodiscard]] unsigned min_hops(NodeId src, NodeId dst) const override;
+  [[nodiscard]] unsigned diameter() const override;
+  [[nodiscard]] std::size_t bisection_channels() const override;
+  [[nodiscard]] bool is_direct() const override { return true; }
+
+  [[nodiscard]] unsigned radix() const noexcept { return k_; }
+  [[nodiscard]] unsigned dimensions() const noexcept { return n_; }
+  [[nodiscard]] bool wraparound() const noexcept { return wraparound_; }
+
+  /// Index of the local processor-interface port.
+  [[nodiscard]] PortId local_port() const noexcept { return 2 * n_; }
+
+  /// Coordinate of switch s in dimension d.
+  [[nodiscard]] unsigned coord(SwitchId s, unsigned d) const;
+
+  /// Switch at the given coordinates (dimension 0 first).
+  [[nodiscard]] SwitchId switch_at(const std::vector<unsigned>& coords) const;
+
+  /// Neighbor of s one step along dimension d (+1 or -1, with wrap).
+  [[nodiscard]] SwitchId neighbor(SwitchId s, unsigned d, bool plus) const;
+
+  /// Network port for direction (d, +/-).
+  [[nodiscard]] static constexpr PortId port_of(unsigned d, bool plus) noexcept {
+    return 2 * d + (plus ? 0U : 1U);
+  }
+  [[nodiscard]] static constexpr unsigned dim_of_port(PortId p) noexcept {
+    return p / 2;
+  }
+  [[nodiscard]] static constexpr bool is_plus_port(PortId p) noexcept {
+    return (p % 2) == 0;
+  }
+
+  /// Hops from src to dst along dimension d going in the +1 direction
+  /// (UINT_MAX on a mesh when the + direction cannot reach dst).
+  [[nodiscard]] unsigned dist_plus(SwitchId src, SwitchId dst, unsigned d) const;
+
+  /// Minimal ring distance along dimension d.
+  [[nodiscard]] unsigned ring_distance(SwitchId src, SwitchId dst, unsigned d) const;
+
+  /// True iff stepping from s along (d, +/-) crosses the wrap-around link
+  /// (the dateline used by the deterministic algorithm's virtual networks).
+  [[nodiscard]] bool crosses_wraparound(SwitchId s, unsigned d, bool plus) const;
+
+  /// True iff moving along (d, +/-) from s lies on SOME minimal path to dst
+  /// (false when the coordinates already agree in dimension d). On a mesh
+  /// only the direct direction qualifies; on a torus both do when the two
+  /// arcs tie at k/2.
+  [[nodiscard]] bool direction_minimal(SwitchId s, NodeId dst, unsigned d,
+                                       bool plus) const;
+
+  /// The unique dimension-order direction along d (ties on a torus resolve
+  /// to +); requires the coordinates to differ in dimension d.
+  [[nodiscard]] bool dor_direction(SwitchId s, NodeId dst, unsigned d) const;
+
+  /// Analytic mean ring distance per dimension under uniform traffic over
+  /// all offsets including zero: k/4 for even k, (k^2-1)/(4k) for odd k.
+  [[nodiscard]] static double mean_ring_distance(unsigned k) noexcept;
+
+ private:
+  unsigned k_;
+  unsigned n_;
+  bool wraparound_;
+  std::size_t nodes_;
+  std::vector<std::uint64_t> stride_;  ///< k^d for each dimension d
+};
+
+}  // namespace smart

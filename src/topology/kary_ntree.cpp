@@ -1,0 +1,143 @@
+#include "topology/kary_ntree.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+KaryNTree::KaryNTree(unsigned k, unsigned n) : k_(k), n_(n) {
+  SMART_CHECK_MSG(k >= 2, "k-ary n-tree requires radix k >= 2");
+  SMART_CHECK_MSG(n >= 1, "k-ary n-tree requires n >= 1 levels");
+  std::uint64_t count = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    SMART_CHECK_MSG(count <= (1ULL << 32) / k, "k^n exceeds 2^32 nodes");
+    count *= k;
+  }
+  nodes_ = static_cast<std::size_t>(count);
+  switches_per_level_ = static_cast<std::size_t>(count / k);
+
+  // Stride of digit i (most significant first) in an m-digit base-k number.
+  word_stride_.resize(n >= 2 ? n - 1 : 0);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    word_stride_[i] = ipow(k, n - 2 - i);
+  }
+  node_stride_.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    node_stride_[i] = ipow(k, n - 1 - i);
+  }
+}
+
+std::string KaryNTree::name() const {
+  return std::to_string(k_) + "-ary " + std::to_string(n_) + "-tree";
+}
+
+SwitchId KaryNTree::switch_id(unsigned level, std::uint64_t word) const {
+  SMART_DCHECK(level < n_);
+  SMART_DCHECK(word < switches_per_level_);
+  return static_cast<SwitchId>(level * switches_per_level_ + word);
+}
+
+unsigned KaryNTree::level_of(SwitchId s) const {
+  SMART_DCHECK(s < switch_count());
+  return static_cast<unsigned>(s / switches_per_level_);
+}
+
+std::uint64_t KaryNTree::word_of(SwitchId s) const {
+  SMART_DCHECK(s < switch_count());
+  return s % switches_per_level_;
+}
+
+unsigned KaryNTree::word_digit(std::uint64_t word, unsigned i) const {
+  SMART_DCHECK(i + 1 < n_);
+  return static_cast<unsigned>((word / word_stride_[i]) % k_);
+}
+
+unsigned KaryNTree::node_digit(NodeId node, unsigned i) const {
+  SMART_DCHECK(i < n_);
+  return static_cast<unsigned>((node / node_stride_[i]) % k_);
+}
+
+PortPeer KaryNTree::port_peer(SwitchId s, PortId p) const {
+  SMART_CHECK(p < 2 * k_);
+  const unsigned level = level_of(s);
+  const std::uint64_t word = word_of(s);
+
+  if (is_down_port(p)) {
+    const unsigned c = p;  // child index
+    if (level == n_ - 1) {
+      // Leaf switch: down ports reach the processing nodes directly.
+      const auto node = static_cast<NodeId>(word * k_ + c);
+      return PortPeer{PeerKind::kTerminal, node, 0};
+    }
+    // Child switch <w[level := c], level + 1>; from the child's side the
+    // freed digit is still `level`, so its up port back to us is w_level.
+    const std::uint64_t child_word =
+        word + (static_cast<std::uint64_t>(c) - word_digit(word, level)) *
+                   word_stride_[level];
+    const PortId child_up = k_ + word_digit(word, level);
+    return PortPeer{PeerKind::kSwitch, switch_id(level + 1, child_word),
+                    child_up};
+  }
+
+  // Up port.
+  const unsigned u = p - k_;
+  if (level == 0) {
+    // Root-level external connections (paper Figure 1): unconnected.
+    return PortPeer{PeerKind::kUnconnected, 0, 0};
+  }
+  // Parent switch <w[level-1 := u], level - 1>; its down port back to us is
+  // our digit at the freed position, w_(level-1).
+  const unsigned freed = level - 1;
+  const std::uint64_t parent_word =
+      word + (static_cast<std::uint64_t>(u) - word_digit(word, freed)) *
+                 word_stride_[freed];
+  const PortId parent_down = word_digit(word, freed);
+  return PortPeer{PeerKind::kSwitch, switch_id(level - 1, parent_word),
+                  parent_down};
+}
+
+Attachment KaryNTree::terminal_attachment(NodeId node) const {
+  SMART_DCHECK(node < nodes_);
+  const std::uint64_t word = node / k_;
+  const PortId port = node % k_;
+  return Attachment{switch_id(n_ - 1, word), port};
+}
+
+bool KaryNTree::is_ancestor(SwitchId s, NodeId q) const {
+  const unsigned level = level_of(s);
+  const std::uint64_t word = word_of(s);
+  for (unsigned i = 0; i < level; ++i) {
+    if (word_digit(word, i) != node_digit(q, i)) return false;
+  }
+  return true;
+}
+
+PortId KaryNTree::down_port_towards(SwitchId s, NodeId q) const {
+  SMART_DCHECK(is_ancestor(s, q));
+  return node_digit(q, level_of(s));
+}
+
+unsigned KaryNTree::nca_level(NodeId p, NodeId q) const {
+  SMART_DCHECK(p != q);
+  unsigned m = 0;
+  while (m < n_ && node_digit(p, m) == node_digit(q, m)) ++m;
+  SMART_DCHECK(m < n_);
+  return m;
+}
+
+unsigned KaryNTree::min_hops(NodeId src, NodeId dst) const {
+  if (src == dst) return 0;
+  // Terminal link up, (n-1-m) switch-to-switch links up to level m, the
+  // mirror image down: 2(n - m) channels in total.
+  return 2 * (n_ - nca_level(src, dst));
+}
+
+std::size_t KaryNTree::bisection_channels() const {
+  // The k-ary n-tree has full bisection bandwidth: splitting the terminals
+  // into halves by the most significant digit, every packet between halves
+  // can use a distinct root path; N/2 unidirectional channels cross the cut
+  // in each direction at every level boundary above the NCA level.
+  return nodes_ / 2;
+}
+
+}  // namespace smart

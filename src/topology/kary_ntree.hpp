@@ -1,0 +1,97 @@
+// k-ary n-tree (fat-tree) topology.
+//
+// The k-ary n-tree (paper §2, and Petrini & Vanneschi IPPS'97) has k^n
+// processing nodes at the leaves and n levels of k^(n-1) switches, each with
+// 2k ports (k down, k up). Level 0 is the root level; level n-1 is the leaf
+// level, whose down ports connect to the processing nodes. Root-level up
+// ports are the "external connections" of Figure 1 and are left unconnected.
+//
+// A switch is identified by <w, l> where l is the level and w is a word of
+// n-1 base-k digits w_0 ... w_(n-2) (w_0 most significant). A switch <w, l>
+// and a switch <w', l+1> are connected iff w and w' agree in every digit
+// except possibly digit l. A processing node p_0 ... p_(n-1) attaches to the
+// leaf switch <p_0 ... p_(n-2), n-1> on down port p_(n-1).
+//
+// Consequences used by the routing algorithm:
+//  * <w, l> is an ancestor of node q iff w_i = q_i for all i < l;
+//  * the descending path from an ancestor is unique: at level l take down
+//    port q_l;
+//  * the nearest common ancestors of p and q sit at level m = length of the
+//    longest common digit prefix of p and q, and any up port works while
+//    ascending (full adaptivity).
+//
+// Port numbering: ports 0..k-1 are down ports (child/terminal index c),
+// ports k..2k-1 are up ports (up index u = port - k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace smart {
+
+class KaryNTree final : public Topology {
+ public:
+  /// Builds a k-ary n-tree; requires k >= 2, n >= 1, k^n <= 2^32.
+  KaryNTree(unsigned k, unsigned n);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t node_count() const override { return nodes_; }
+  [[nodiscard]] std::size_t switch_count() const override {
+    return static_cast<std::size_t>(n_) * switches_per_level_;
+  }
+  [[nodiscard]] std::size_t ports_per_switch() const override { return 2 * k_; }
+  [[nodiscard]] PortPeer port_peer(SwitchId s, PortId p) const override;
+  [[nodiscard]] Attachment terminal_attachment(NodeId node) const override;
+  [[nodiscard]] unsigned min_hops(NodeId src, NodeId dst) const override;
+  [[nodiscard]] unsigned diameter() const override { return 2 * n_; }
+  [[nodiscard]] std::size_t bisection_channels() const override;
+  [[nodiscard]] bool is_direct() const override { return false; }
+
+  [[nodiscard]] unsigned radix() const noexcept { return k_; }
+  [[nodiscard]] unsigned levels() const noexcept { return n_; }
+  [[nodiscard]] std::size_t switches_per_level() const noexcept {
+    return switches_per_level_;
+  }
+
+  /// Switch id for <word, level>.
+  [[nodiscard]] SwitchId switch_id(unsigned level, std::uint64_t word) const;
+  [[nodiscard]] unsigned level_of(SwitchId s) const;
+  [[nodiscard]] std::uint64_t word_of(SwitchId s) const;
+
+  /// Digit w_i (i in [0, n-2], most significant first) of a switch word.
+  [[nodiscard]] unsigned word_digit(std::uint64_t word, unsigned i) const;
+
+  /// Digit p_i (i in [0, n-1], most significant first) of a node label.
+  [[nodiscard]] unsigned node_digit(NodeId node, unsigned i) const;
+
+  /// True iff switch s can reach node q going only downwards.
+  [[nodiscard]] bool is_ancestor(SwitchId s, NodeId q) const;
+
+  /// The unique down port from ancestor s towards node q.
+  [[nodiscard]] PortId down_port_towards(SwitchId s, NodeId q) const;
+
+  /// Level of the nearest common ancestors of p and q (p != q); equals the
+  /// length of their longest common digit prefix.
+  [[nodiscard]] unsigned nca_level(NodeId p, NodeId q) const;
+
+  [[nodiscard]] static constexpr bool is_down_port(PortId p, unsigned k) noexcept {
+    return p < k;
+  }
+  [[nodiscard]] bool is_down_port(PortId p) const noexcept { return p < k_; }
+  [[nodiscard]] bool is_up_port(PortId p) const noexcept {
+    return p >= k_ && p < 2 * k_;
+  }
+
+ private:
+  unsigned k_;
+  unsigned n_;
+  std::size_t nodes_;
+  std::size_t switches_per_level_;
+  std::vector<std::uint64_t> word_stride_;  ///< k^(n-2-i) for digit i
+  std::vector<std::uint64_t> node_stride_;  ///< k^(n-1-i) for digit i
+};
+
+}  // namespace smart

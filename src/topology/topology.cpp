@@ -1,0 +1,47 @@
+#include "topology/topology.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+double Topology::average_distance() const {
+  const std::size_t n = node_count();
+  SMART_CHECK(n > 1);
+  std::uint64_t total = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      total += min_hops(s, d);
+    }
+  }
+  const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+  return static_cast<double>(total) / pairs;
+}
+
+double Topology::average_distance_under_permutation(
+    const std::vector<NodeId>& destination_of) const {
+  SMART_CHECK(destination_of.size() == node_count());
+  std::uint64_t total = 0;
+  for (NodeId p = 0; p < node_count(); ++p) {
+    total += min_hops(p, destination_of[p]);
+  }
+  return static_cast<double>(total) / static_cast<double>(node_count());
+}
+
+double Topology::uniform_capacity_flits_per_node_cycle() const {
+  if (is_direct()) {
+    // Bisection argument (paper §5 footnote): under uniform traffic each
+    // half sends half of its load across the cut in one direction, so
+    // N/2 · lambda/2 <= B  =>  lambda <= 4B/N with B counted one-way.
+    // Small radices are injection-limited instead: never above the
+    // terminal link rate of 1 flit/cycle.
+    const double bisection_bound =
+        4.0 * static_cast<double>(bisection_channels()) /
+        static_cast<double>(node_count());
+    return bisection_bound < 1.0 ? bisection_bound : 1.0;
+  }
+  // Fat-trees are not bisection limited; the bound is the terminal link.
+  return 1.0;
+}
+
+}  // namespace smart

@@ -1,0 +1,99 @@
+// Abstract interconnection-network topology.
+//
+// A topology describes the wiring of a network: a set of routing switches
+// with bidirectional ports, some ports connected to peer switch ports, some
+// to processing nodes (terminals), and some left unconnected (the external
+// connections at the root of a fat-tree). The router engine consumes this
+// wiring; routing algorithms additionally use the concrete subclasses'
+// coordinate queries (see kary_ncube.hpp / kary_ntree.hpp).
+//
+// Distance conventions: min_hops counts physical network channels traversed
+// between the source and destination processing nodes, *including* terminal
+// links where those are real network links (indirect topologies such as the
+// fat-tree). For direct topologies the processor/router interface is not a
+// network link and is not counted. This matches the paper's fat-tree
+// distance (eq. 5: distances n+2i on a k-ary n-tree).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smart {
+
+using NodeId = std::uint32_t;    ///< processing node (terminal)
+using SwitchId = std::uint32_t;  ///< routing switch
+using PortId = std::uint32_t;    ///< port index within a switch
+
+/// What sits on the far side of a switch port.
+enum class PeerKind : std::uint8_t {
+  kSwitch,        ///< another switch port
+  kTerminal,      ///< a processing node
+  kUnconnected,   ///< e.g. root-level up links of a fat-tree
+};
+
+/// Far end of a switch port.
+struct PortPeer {
+  PeerKind kind = PeerKind::kUnconnected;
+  std::uint32_t id = 0;    ///< SwitchId or NodeId depending on kind
+  PortId port = 0;         ///< peer's port index (kSwitch only)
+};
+
+/// Where a processing node plugs into the switch fabric.
+struct Attachment {
+  SwitchId sw = 0;
+  PortId port = 0;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+  [[nodiscard]] virtual std::size_t switch_count() const = 0;
+
+  /// Ports per switch (uniform across switches for both families here).
+  [[nodiscard]] virtual std::size_t ports_per_switch() const = 0;
+
+  /// Wiring of port p of switch s.
+  [[nodiscard]] virtual PortPeer port_peer(SwitchId s, PortId p) const = 0;
+
+  /// Switch/port the given processing node attaches to.
+  [[nodiscard]] virtual Attachment terminal_attachment(NodeId node) const = 0;
+
+  /// Minimal channel distance between two processing nodes (see header
+  /// comment for the counting convention).
+  [[nodiscard]] virtual unsigned min_hops(NodeId src, NodeId dst) const = 0;
+
+  /// Maximum of min_hops over all node pairs.
+  [[nodiscard]] virtual unsigned diameter() const = 0;
+
+  /// Mean of min_hops over all ordered pairs with src != dst.
+  [[nodiscard]] virtual double average_distance() const;
+
+  /// Unidirectional channels crossing the network bisection, counted in ONE
+  /// direction (the other direction contributes the same number).
+  [[nodiscard]] virtual std::size_t bisection_channels() const = 0;
+
+  /// True for direct networks (router co-located with the node; injection
+  /// and ejection use a dedicated processor/router interface instead of a
+  /// network link).
+  [[nodiscard]] virtual bool is_direct() const = 0;
+
+  /// Mean node-to-node distance (channels) when every node p sends to
+  /// destination_of[p]; fixed points contribute 0. For the k-ary n-tree
+  /// under transpose / bit reversal this is the paper's d_m (eq. 5).
+  [[nodiscard]] double average_distance_under_permutation(
+      const std::vector<NodeId>& destination_of) const;
+
+  /// Theoretical per-node injection upper bound under uniform traffic, in
+  /// flits/node/cycle (paper §5). Direct, bisection-limited networks:
+  /// 4·bisection_channels()/N. Indirect full-bandwidth networks: the
+  /// terminal link rate, 1 flit/node/cycle.
+  [[nodiscard]] virtual double uniform_capacity_flits_per_node_cycle() const;
+};
+
+}  // namespace smart

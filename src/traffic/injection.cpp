@@ -1,0 +1,74 @@
+#include "traffic/injection.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+std::string to_string(InjectionKind kind) {
+  switch (kind) {
+    case InjectionKind::kBernoulli: return "Bernoulli";
+    case InjectionKind::kBursty: return "bursty";
+  }
+  return "unknown";
+}
+
+BernoulliInjection::BernoulliInjection(double rate) : rate_(rate) {
+  SMART_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                  "injection rate must be in [0, 1] packets/cycle");
+}
+
+bool BernoulliInjection::fires(Rng& rng) { return rng.bernoulli(rate_); }
+
+BurstyInjection::BurstyInjection(double rate, double burst_factor,
+                                 double mean_on_cycles)
+    : rate_(rate) {
+  SMART_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                  "injection rate must be in [0, 1] packets/cycle");
+  SMART_CHECK_MSG(burst_factor >= 1.0, "burst factor must be >= 1");
+  SMART_CHECK_MSG(mean_on_cycles >= 1.0, "mean burst length must be >= 1");
+
+  on_rate_ = std::min(1.0, burst_factor * rate);
+  p_leave_on_ = 1.0 / mean_on_cycles;
+  if (rate <= 0.0 || on_rate_ <= rate) {
+    // Degenerate: always on (burst_factor 1, or rate saturating the clamp).
+    on_rate_ = std::max(on_rate_, rate);
+    p_leave_on_ = 0.0;
+    p_leave_off_ = 1.0;
+    on_ = true;
+    return;
+  }
+  // Stationary fraction of ON time is rate / on_rate; geometric residence
+  // times give p_off->on = p_on->off * f_on / (1 - f_on).
+  const double f_on = rate_ / on_rate_;
+  p_leave_off_ = p_leave_on_ * f_on / (1.0 - f_on);
+  SMART_CHECK_MSG(p_leave_off_ <= 1.0,
+                  "burst length too short for the requested burst factor");
+}
+
+bool BurstyInjection::fires(Rng& rng) {
+  if (on_) {
+    if (p_leave_on_ > 0.0 && rng.bernoulli(p_leave_on_)) on_ = false;
+  } else {
+    if (rng.bernoulli(p_leave_off_)) on_ = true;
+  }
+  return on_ && rng.bernoulli(on_rate_);
+}
+
+std::unique_ptr<InjectionProcess> make_injection(InjectionKind kind,
+                                                 double rate,
+                                                 double burst_factor,
+                                                 double mean_on_cycles) {
+  switch (kind) {
+    case InjectionKind::kBernoulli:
+      return std::make_unique<BernoulliInjection>(rate);
+    case InjectionKind::kBursty:
+      return std::make_unique<BurstyInjection>(rate, burst_factor,
+                                               mean_on_cycles);
+  }
+  SMART_CHECK_MSG(false, "unknown injection kind");
+  return nullptr;
+}
+
+}  // namespace smart

@@ -1,0 +1,78 @@
+// Packet-injection processes.
+//
+// The paper's load model is an open-loop Bernoulli process per node. The
+// paper also motivates post-saturation stability with "bursty applications
+// that require peak performance for a short period of time" (§6); the
+// bursty process here makes that workload explicit: a two-state Markov-
+// modulated Bernoulli process (on/off) with the same average rate but
+// clustered arrivals. Each node owns one process instance (independent
+// state), driven by the node's RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace smart {
+
+enum class InjectionKind : std::uint8_t { kBernoulli, kBursty };
+
+[[nodiscard]] std::string to_string(InjectionKind kind);
+
+class InjectionProcess {
+ public:
+  virtual ~InjectionProcess() = default;
+
+  /// One trial per node per cycle: true = generate a packet now.
+  [[nodiscard]] virtual bool fires(Rng& rng) = 0;
+
+  /// Long-run average packets/cycle this process generates.
+  [[nodiscard]] virtual double average_rate() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Independent trials with fixed probability (the paper's model).
+class BernoulliInjection final : public InjectionProcess {
+ public:
+  explicit BernoulliInjection(double rate);
+  [[nodiscard]] bool fires(Rng& rng) override;
+  [[nodiscard]] double average_rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "Bernoulli"; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state on/off process. In the ON state packets are generated at
+/// `burst_factor` times the average rate (clamped to 1 packet/cycle); the
+/// OFF state generates nothing. State residence times are geometric with
+/// the given mean ON duration; the OFF duration is derived so the long-run
+/// average equals `rate`. burst_factor = 1 degenerates to Bernoulli.
+class BurstyInjection final : public InjectionProcess {
+ public:
+  BurstyInjection(double rate, double burst_factor, double mean_on_cycles);
+  [[nodiscard]] bool fires(Rng& rng) override;
+  [[nodiscard]] double average_rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "bursty"; }
+
+  [[nodiscard]] double on_rate() const noexcept { return on_rate_; }
+  [[nodiscard]] bool on() const noexcept { return on_; }
+
+ private:
+  double rate_;
+  double on_rate_;
+  double p_leave_on_;   ///< per-cycle probability of ending a burst
+  double p_leave_off_;  ///< per-cycle probability of starting a burst
+  bool on_ = false;
+};
+
+/// Builds one process instance (per node). burst parameters are ignored by
+/// the Bernoulli process.
+[[nodiscard]] std::unique_ptr<InjectionProcess> make_injection(
+    InjectionKind kind, double rate, double burst_factor = 8.0,
+    double mean_on_cycles = 200.0);
+
+}  // namespace smart

@@ -1,0 +1,239 @@
+#include "traffic/pattern.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kUniform: return "uniform";
+    case PatternKind::kComplement: return "complement";
+    case PatternKind::kBitReversal: return "bit reversal";
+    case PatternKind::kTranspose: return "transpose";
+    case PatternKind::kTornado: return "tornado";
+    case PatternKind::kNeighbor: return "neighbor";
+    case PatternKind::kShuffle: return "shuffle";
+    case PatternKind::kBitRotation: return "bit rotation";
+    case PatternKind::kDigitReversal: return "digit reversal";
+    case PatternKind::kRandomPermutation: return "random permutation";
+    case PatternKind::kHotspot: return "hotspot";
+  }
+  return "unknown";
+}
+
+TrafficPattern::TrafficPattern(std::size_t nodes) : nodes_(nodes) {
+  SMART_CHECK_MSG(nodes >= 2, "traffic pattern needs at least two nodes");
+}
+
+double TrafficPattern::injecting_fraction() const {
+  Rng rng(0);
+  std::size_t injecting = 0;
+  for (NodeId src = 0; src < nodes_; ++src) {
+    if (destination(src, rng).has_value()) ++injecting;
+  }
+  return static_cast<double>(injecting) / static_cast<double>(nodes_);
+}
+
+std::vector<NodeId> TrafficPattern::destination_table() const {
+  SMART_CHECK_MSG(is_permutation(),
+                  "destination_table() requires a permutation pattern");
+  Rng rng(0);
+  std::vector<NodeId> table(nodes_);
+  for (NodeId src = 0; src < nodes_; ++src) {
+    table[src] = destination(src, rng).value_or(src);
+  }
+  return table;
+}
+
+UniformPattern::UniformPattern(std::size_t nodes) : TrafficPattern(nodes) {}
+
+std::optional<NodeId> UniformPattern::destination(NodeId src, Rng& rng) const {
+  // Draw over N-1 values and skip over src, keeping the draw unbiased.
+  auto dst = static_cast<NodeId>(rng.below(nodes_ - 1));
+  if (dst >= src) ++dst;
+  return dst;
+}
+
+BitPermutationPattern::BitPermutationPattern(std::size_t nodes,
+                                             bool require_even_bits)
+    : TrafficPattern(nodes), table_(nodes) {
+  SMART_CHECK_MSG(is_power_of_two(nodes),
+                  "bit-string patterns require a power-of-two node count");
+  bits_ = log2_exact(nodes);
+  if (require_even_bits) {
+    SMART_CHECK_MSG(bits_ % 2 == 0,
+                    "transpose requires an even number of label bits");
+  }
+}
+
+std::optional<NodeId> BitPermutationPattern::destination(NodeId src,
+                                                         Rng& /*rng*/) const {
+  SMART_DCHECK(src < nodes_);
+  const NodeId dst = table_[src];
+  if (dst == src) return std::nullopt;  // fixed point: no packet injected
+  return dst;
+}
+
+void BitPermutationPattern::set_destination(NodeId src, NodeId dst) {
+  table_[src] = dst;
+}
+
+ComplementPattern::ComplementPattern(std::size_t nodes)
+    : BitPermutationPattern(nodes, /*require_even_bits=*/false) {
+  for (NodeId src = 0; src < nodes; ++src) {
+    set_destination(src, static_cast<NodeId>(complement_bits(src, bits_)));
+  }
+}
+
+BitReversalPattern::BitReversalPattern(std::size_t nodes)
+    : BitPermutationPattern(nodes, /*require_even_bits=*/false) {
+  for (NodeId src = 0; src < nodes; ++src) {
+    set_destination(src, static_cast<NodeId>(reverse_bits(src, bits_)));
+  }
+}
+
+TransposePattern::TransposePattern(std::size_t nodes)
+    : BitPermutationPattern(nodes, /*require_even_bits=*/true) {
+  for (NodeId src = 0; src < nodes; ++src) {
+    set_destination(src, static_cast<NodeId>(transpose_bits(src, bits_)));
+  }
+}
+
+ShufflePattern::ShufflePattern(std::size_t nodes)
+    : BitPermutationPattern(nodes, /*require_even_bits=*/false) {
+  for (NodeId src = 0; src < nodes; ++src) {
+    const NodeId rotated = static_cast<NodeId>(
+        ((static_cast<std::uint64_t>(src) << 1) |
+         label_bit(src, 0, bits_)) &
+        (nodes - 1));
+    set_destination(src, rotated);
+  }
+}
+
+BitRotationPattern::BitRotationPattern(std::size_t nodes)
+    : BitPermutationPattern(nodes, /*require_even_bits=*/false) {
+  for (NodeId src = 0; src < nodes; ++src) {
+    const NodeId rotated = static_cast<NodeId>(
+        (static_cast<std::uint64_t>(src) >> 1) |
+        (static_cast<std::uint64_t>(src & 1U) << (bits_ - 1)));
+    set_destination(src, rotated);
+  }
+}
+
+DigitReversalPattern::DigitReversalPattern(unsigned k, unsigned n)
+    : TrafficPattern(ipow(k, n)), k_(k), n_(n) {
+  SMART_CHECK(k >= 2 && n >= 1);
+}
+
+std::optional<NodeId> DigitReversalPattern::destination(NodeId src,
+                                                        Rng& /*rng*/) const {
+  std::uint64_t value = src;
+  std::uint64_t reversed = 0;
+  for (unsigned d = 0; d < n_; ++d) {
+    reversed = reversed * k_ + value % k_;
+    value /= k_;
+  }
+  const auto dst = static_cast<NodeId>(reversed);
+  if (dst == src) return std::nullopt;
+  return dst;
+}
+
+TornadoPattern::TornadoPattern(unsigned k, unsigned n)
+    : TrafficPattern(ipow(k, n)), k_(k), n_(n) {
+  SMART_CHECK(k >= 2 && n >= 1);
+}
+
+std::optional<NodeId> TornadoPattern::destination(NodeId src,
+                                                  Rng& /*rng*/) const {
+  const unsigned shift = (k_ + 1) / 2 - 1;
+  if (shift == 0) return std::nullopt;
+  std::uint64_t dst = 0;
+  std::uint64_t stride = 1;
+  std::uint64_t value = src;
+  for (unsigned d = 0; d < n_; ++d) {
+    const std::uint64_t digit_value = value % k_;
+    dst += ((digit_value + shift) % k_) * stride;
+    value /= k_;
+    stride *= k_;
+  }
+  return static_cast<NodeId>(dst);
+}
+
+NeighborPattern::NeighborPattern(std::size_t nodes) : TrafficPattern(nodes) {}
+
+std::optional<NodeId> NeighborPattern::destination(NodeId src,
+                                                   Rng& /*rng*/) const {
+  return static_cast<NodeId>((src + 1) % nodes_);
+}
+
+RandomPermutationPattern::RandomPermutationPattern(std::size_t nodes,
+                                                   std::uint64_t seed)
+    : TrafficPattern(nodes), table_(nodes) {
+  for (NodeId i = 0; i < nodes; ++i) table_[i] = i;
+  Rng rng(seed);
+  for (std::size_t i = nodes - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    std::swap(table_[i], table_[j]);
+  }
+}
+
+std::optional<NodeId> RandomPermutationPattern::destination(
+    NodeId src, Rng& /*rng*/) const {
+  const NodeId dst = table_[src];
+  if (dst == src) return std::nullopt;
+  return dst;
+}
+
+HotspotPattern::HotspotPattern(std::size_t nodes, NodeId hotspot,
+                               double fraction)
+    : TrafficPattern(nodes), hotspot_(hotspot), fraction_(fraction) {
+  SMART_CHECK(hotspot < nodes);
+  SMART_CHECK(fraction >= 0.0 && fraction <= 1.0);
+}
+
+std::optional<NodeId> HotspotPattern::destination(NodeId src, Rng& rng) const {
+  if (src != hotspot_ && rng.bernoulli(fraction_)) return hotspot_;
+  auto dst = static_cast<NodeId>(rng.below(nodes_ - 1));
+  if (dst >= src) ++dst;
+  return dst;
+}
+
+std::unique_ptr<TrafficPattern> make_pattern(PatternKind kind,
+                                             std::size_t nodes, unsigned k,
+                                             unsigned n, std::uint64_t seed) {
+  switch (kind) {
+    case PatternKind::kUniform:
+      return std::make_unique<UniformPattern>(nodes);
+    case PatternKind::kComplement:
+      return std::make_unique<ComplementPattern>(nodes);
+    case PatternKind::kBitReversal:
+      return std::make_unique<BitReversalPattern>(nodes);
+    case PatternKind::kTranspose:
+      return std::make_unique<TransposePattern>(nodes);
+    case PatternKind::kShuffle:
+      return std::make_unique<ShufflePattern>(nodes);
+    case PatternKind::kBitRotation:
+      return std::make_unique<BitRotationPattern>(nodes);
+    case PatternKind::kDigitReversal:
+      SMART_CHECK_MSG(k >= 2 && n >= 1 && ipow(k, n) == nodes,
+                      "digit reversal needs the machine geometry (k, n)");
+      return std::make_unique<DigitReversalPattern>(k, n);
+    case PatternKind::kTornado:
+      SMART_CHECK_MSG(k >= 2 && n >= 1 && ipow(k, n) == nodes,
+                      "tornado needs the cube geometry (k, n)");
+      return std::make_unique<TornadoPattern>(k, n);
+    case PatternKind::kNeighbor:
+      return std::make_unique<NeighborPattern>(nodes);
+    case PatternKind::kRandomPermutation:
+      return std::make_unique<RandomPermutationPattern>(nodes, seed);
+    case PatternKind::kHotspot:
+      return std::make_unique<HotspotPattern>(nodes, 0, 0.1);
+  }
+  SMART_CHECK_MSG(false, "unknown pattern kind");
+  return nullptr;
+}
+
+}  // namespace smart

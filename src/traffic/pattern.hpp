@@ -1,0 +1,213 @@
+// Synthetic traffic patterns (paper §7).
+//
+// A pattern maps a source node to a destination for each generated packet.
+// The four patterns of the paper operate on the binary representation
+// a_0 ... a_(B-1) of the node label (B = log2 N, a_0 most significant):
+//
+//   uniform      destinations drawn uniformly among the other nodes
+//   complement   !a_0 !a_1 ... !a_(B-1)
+//   bit reversal a_(B-1) ... a_0
+//   transpose    a_(B/2) ... a_(B-1) a_0 ... a_(B/2-1)
+//
+// A permutation fixed point (e.g. the 16 palindromes under bit reversal on
+// 256 nodes) means the node injects nothing. Additional patterns beyond the
+// paper (tornado, neighbor, shuffle, random permutation, hotspot) are
+// provided for wider experimentation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace smart {
+
+enum class PatternKind : std::uint8_t {
+  kUniform,
+  kComplement,
+  kBitReversal,
+  kTranspose,
+  kTornado,
+  kNeighbor,
+  kShuffle,
+  kBitRotation,
+  kDigitReversal,
+  kRandomPermutation,
+  kHotspot,
+};
+
+[[nodiscard]] std::string to_string(PatternKind kind);
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Destination of a packet generated at src; nullopt means the node does
+  /// not inject (permutation fixed point). rng is only consulted by random
+  /// patterns.
+  [[nodiscard]] virtual std::optional<NodeId> destination(NodeId src,
+                                                          Rng& rng) const = 0;
+
+  /// True when every node has a single, fixed destination.
+  [[nodiscard]] virtual bool is_permutation() const = 0;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+
+  /// Fraction of nodes that actually inject (1.0 unless the permutation has
+  /// fixed points).
+  [[nodiscard]] double injecting_fraction() const;
+
+  /// Destination table for permutations (fixed points map to self).
+  [[nodiscard]] std::vector<NodeId> destination_table() const;
+
+ protected:
+  explicit TrafficPattern(std::size_t nodes);
+
+  std::size_t nodes_;
+};
+
+/// Uniformly random destination among the N-1 other nodes.
+class UniformPattern final : public TrafficPattern {
+ public:
+  explicit UniformPattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return false; }
+};
+
+/// Base for the bit-string permutations; precomputes the destination table.
+class BitPermutationPattern : public TrafficPattern {
+ public:
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return true; }
+  [[nodiscard]] unsigned total_bits() const noexcept { return bits_; }
+
+ protected:
+  BitPermutationPattern(std::size_t nodes, bool require_even_bits);
+
+  void set_destination(NodeId src, NodeId dst);
+
+  unsigned bits_;
+  std::vector<NodeId> table_;
+};
+
+class ComplementPattern final : public BitPermutationPattern {
+ public:
+  explicit ComplementPattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "complement"; }
+};
+
+class BitReversalPattern final : public BitPermutationPattern {
+ public:
+  explicit BitReversalPattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "bit reversal"; }
+};
+
+class TransposePattern final : public BitPermutationPattern {
+ public:
+  explicit TransposePattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "transpose"; }
+};
+
+/// Perfect shuffle: left-rotate the bit string by one.
+class ShufflePattern final : public BitPermutationPattern {
+ public:
+  explicit ShufflePattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "shuffle"; }
+};
+
+/// Inverse shuffle: right-rotate the bit string by one.
+class BitRotationPattern final : public BitPermutationPattern {
+ public:
+  explicit BitRotationPattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "bit rotation"; }
+};
+
+/// Base-k digit reversal: p_0...p_(n-1) -> p_(n-1)...p_0. Coincides with
+/// bit reversal only for k = 2; the natural FFT layout permutation on a
+/// radix-k machine.
+class DigitReversalPattern final : public TrafficPattern {
+ public:
+  DigitReversalPattern(unsigned k, unsigned n);
+  [[nodiscard]] std::string name() const override { return "digit reversal"; }
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return true; }
+
+ private:
+  unsigned k_;
+  unsigned n_;
+};
+
+/// Tornado on a k-ary n-cube label: every base-k digit shifted by
+/// ceil(k/2) - 1, the worst case for minimal routing on rings.
+class TornadoPattern final : public TrafficPattern {
+ public:
+  TornadoPattern(unsigned k, unsigned n);
+  [[nodiscard]] std::string name() const override { return "tornado"; }
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return true; }
+
+ private:
+  unsigned k_;
+  unsigned n_;
+};
+
+/// Ring neighbor: dst = (src + 1) mod N.
+class NeighborPattern final : public TrafficPattern {
+ public:
+  explicit NeighborPattern(std::size_t nodes);
+  [[nodiscard]] std::string name() const override { return "neighbor"; }
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return true; }
+};
+
+/// A fixed random permutation (Fisher-Yates over a seeded stream); models a
+/// global personalized exchange with an arbitrary layout.
+class RandomPermutationPattern final : public TrafficPattern {
+ public:
+  RandomPermutationPattern(std::size_t nodes, std::uint64_t seed);
+  [[nodiscard]] std::string name() const override {
+    return "random permutation";
+  }
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return true; }
+
+ private:
+  std::vector<NodeId> table_;
+};
+
+/// With probability `fraction` the destination is the hotspot node;
+/// otherwise uniform over the other nodes.
+class HotspotPattern final : public TrafficPattern {
+ public:
+  HotspotPattern(std::size_t nodes, NodeId hotspot, double fraction);
+  [[nodiscard]] std::string name() const override { return "hotspot"; }
+  [[nodiscard]] std::optional<NodeId> destination(NodeId src,
+                                                  Rng& rng) const override;
+  [[nodiscard]] bool is_permutation() const override { return false; }
+
+ private:
+  NodeId hotspot_;
+  double fraction_;
+};
+
+/// Factory covering the paper's four patterns plus the extensions. k and n
+/// are only consulted by the tornado pattern; seed only by the random
+/// permutation.
+[[nodiscard]] std::unique_ptr<TrafficPattern> make_pattern(
+    PatternKind kind, std::size_t nodes, unsigned k = 0, unsigned n = 0,
+    std::uint64_t seed = 1);
+
+}  // namespace smart

@@ -1,0 +1,32 @@
+#include "util/bits.hpp"
+
+namespace smart {
+
+std::uint64_t digit(std::uint64_t label, unsigned i, unsigned n,
+                    std::uint64_t k) noexcept {
+  SMART_DCHECK(i < n);
+  std::uint64_t divisor = ipow(k, n - 1 - i);
+  return (label / divisor) % k;
+}
+
+std::vector<std::uint64_t> to_digits(std::uint64_t label, unsigned n,
+                                     std::uint64_t k) {
+  std::vector<std::uint64_t> digits(n);
+  for (unsigned i = 0; i < n; ++i) {
+    digits[n - 1 - i] = label % k;
+    label /= k;
+  }
+  return digits;
+}
+
+std::uint64_t from_digits(const std::vector<std::uint64_t>& digits,
+                          std::uint64_t k) {
+  std::uint64_t label = 0;
+  for (std::uint64_t d : digits) {
+    SMART_CHECK(d < k);
+    label = label * k + d;
+  }
+  return label;
+}
+
+}  // namespace smart

@@ -1,0 +1,119 @@
+// Bit-string manipulation of node labels.
+//
+// Following §7 of the paper, a node of a k-ary n-cube or k-ary n-tree is
+// labelled p0 p1 ... p(n-1) in base k (p0 most significant), and the binary
+// representation of that number is a0 a1 ... a(B-1) with B = n·log2(k) and
+// a0 the most significant bit. The traffic permutations (complement, bit
+// reversal, transpose) are defined on that a-indexed bit string; this header
+// provides the exact transformations plus base-k digit utilities used by the
+// topologies and routing algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+/// True iff x is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Exact integer log2; requires a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t x) noexcept {
+  unsigned bits = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Floor of log2(x) for x >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  unsigned bits = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Ceiling of log2(x) for x >= 1.
+[[nodiscard]] constexpr unsigned log2_ceil(std::uint64_t x) noexcept {
+  return is_power_of_two(x) ? log2_exact(x) : log2_floor(x) + 1;
+}
+
+/// Integer power k^n (no overflow checking beyond 64 bits).
+[[nodiscard]] constexpr std::uint64_t ipow(std::uint64_t k, unsigned n) noexcept {
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < n; ++i) result *= k;
+  return result;
+}
+
+/// Bit a_i of an MSB-first B-bit label (i = 0 is the most significant bit).
+[[nodiscard]] constexpr unsigned label_bit(std::uint64_t label, unsigned i,
+                                           unsigned total_bits) noexcept {
+  return static_cast<unsigned>((label >> (total_bits - 1 - i)) & 1U);
+}
+
+/// Sets bit a_i of an MSB-first B-bit label to `value` (0 or 1).
+[[nodiscard]] constexpr std::uint64_t with_label_bit(std::uint64_t label,
+                                                     unsigned i,
+                                                     unsigned total_bits,
+                                                     unsigned value) noexcept {
+  const std::uint64_t mask = 1ULL << (total_bits - 1 - i);
+  return value != 0 ? (label | mask) : (label & ~mask);
+}
+
+/// Complement pattern: a0 a1 ... a(B-1) -> !a0 !a1 ... !a(B-1).
+[[nodiscard]] constexpr std::uint64_t complement_bits(std::uint64_t label,
+                                                      unsigned total_bits) noexcept {
+  const std::uint64_t mask =
+      total_bits >= 64 ? ~0ULL : ((1ULL << total_bits) - 1);
+  return (~label) & mask;
+}
+
+/// Bit reversal pattern: a0 ... a(B-1) -> a(B-1) ... a0.
+[[nodiscard]] constexpr std::uint64_t reverse_bits(std::uint64_t label,
+                                                   unsigned total_bits) noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < total_bits; ++i) {
+    out = (out << 1) | ((label >> i) & 1ULL);
+  }
+  return out;
+}
+
+/// Transpose pattern: swap the two halves of the bit string,
+/// a(B/2) ... a(B-1) a0 ... a(B/2-1). Requires an even bit count.
+[[nodiscard]] constexpr std::uint64_t transpose_bits(std::uint64_t label,
+                                                     unsigned total_bits) noexcept {
+  const unsigned half = total_bits / 2;
+  const std::uint64_t low_mask = (1ULL << half) - 1;
+  const std::uint64_t high = label >> half;
+  const std::uint64_t low = label & low_mask;
+  return (low << half) | high;
+}
+
+/// True iff the B-bit string reads the same forwards and backwards.
+/// (Bit-reversal fixed points; the paper notes 16 such nodes for 256 nodes.)
+[[nodiscard]] constexpr bool is_bit_palindrome(std::uint64_t label,
+                                               unsigned total_bits) noexcept {
+  return reverse_bits(label, total_bits) == label;
+}
+
+/// Base-k digit p_i of a node label (i = 0 most significant), given n digits.
+[[nodiscard]] std::uint64_t digit(std::uint64_t label, unsigned i, unsigned n,
+                                  std::uint64_t k) noexcept;
+
+/// Decomposes a label into its n base-k digits, p0 first.
+[[nodiscard]] std::vector<std::uint64_t> to_digits(std::uint64_t label,
+                                                   unsigned n, std::uint64_t k);
+
+/// Recomposes a label from base-k digits, p0 first.
+[[nodiscard]] std::uint64_t from_digits(const std::vector<std::uint64_t>& digits,
+                                        std::uint64_t k);
+
+}  // namespace smart

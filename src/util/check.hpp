@@ -1,0 +1,39 @@
+// Lightweight invariant checking.
+//
+// SMART_CHECK is active in all build types: simulator invariants guard the
+// correctness of every experiment, and their cost is negligible next to the
+// per-cycle work. SMART_DCHECK compiles out in release builds and is meant
+// for hot-loop assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smart {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "SMART_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace smart
+
+#define SMART_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr)) ::smart::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SMART_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::smart::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define SMART_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define SMART_DCHECK(expr) SMART_CHECK(expr)
+#endif

@@ -1,0 +1,80 @@
+// Fixed-capacity ring buffer used for virtual-channel lanes.
+//
+// Lanes hold at most a handful of flits (4 by default in the paper's router
+// model), are pushed/popped every cycle across thousands of instances, and
+// must never allocate in the simulation loop. Capacity is fixed at
+// construction; overflow/underflow are checked invariants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    SMART_CHECK(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return count_ == slots_.size(); }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return slots_.size() - count_;
+  }
+
+  void push(const T& value) {
+    SMART_DCHECK(!full());
+    slots_[tail_] = value;
+    tail_ = advance(tail_);
+    ++count_;
+  }
+
+  [[nodiscard]] T& front() {
+    SMART_DCHECK(!empty());
+    return slots_[head_];
+  }
+
+  [[nodiscard]] const T& front() const {
+    SMART_DCHECK(!empty());
+    return slots_[head_];
+  }
+
+  /// Element i positions behind the front (i = 0 is the front itself).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    SMART_DCHECK(i < count_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  T pop() {
+    SMART_DCHECK(!empty());
+    T value = slots_[head_];
+    head_ = advance(head_);
+    --count_;
+    return value;
+  }
+
+  void clear() noexcept {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t advance(std::size_t i) const noexcept {
+    return (i + 1) % slots_.size();
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace smart

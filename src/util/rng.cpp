@@ -1,0 +1,44 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+#ifdef __SIZEOF_INT128__
+using uint128 = unsigned __int128;
+#endif
+
+namespace smart {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  SMART_DCHECK(bound > 0);
+  if (bound <= 1) return 0;
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = next();
+  uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Rejection sampling fallback.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % bound;
+#endif
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  SMART_DCHECK(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+}  // namespace smart

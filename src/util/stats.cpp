@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+void OnlineStats::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double OnlineStats::sample_variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double bin_width, std::size_t bin_count)
+    : bin_width_(bin_width), bins_(bin_count, 0) {
+  SMART_CHECK(bin_width > 0.0);
+  SMART_CHECK(bin_count > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < 0.0) x = 0.0;
+  const auto index = static_cast<std::size_t>(x / bin_width_);
+  if (index < bins_.size()) {
+    ++bins_[index];
+  } else {
+    ++overflow_;
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto in_bin = static_cast<double>(bins_[i]);
+    if (cumulative + in_bin >= target && in_bin > 0.0) {
+      const double fraction = (target - cumulative) / in_bin;
+      return (static_cast<double>(i) + fraction) * bin_width_;
+    }
+    cumulative += in_bin;
+  }
+  return static_cast<double>(bins_.size()) * bin_width_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+}
+
+}  // namespace smart

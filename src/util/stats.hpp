@@ -1,0 +1,67 @@
+// Online statistics accumulators for simulation metrics.
+//
+// OnlineStats implements Welford's streaming mean/variance; Histogram bins
+// latencies with fixed-width buckets plus an overflow bin; both are cheap
+// enough to update once per delivered packet.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace smart {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;      ///< population variance
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void reset() noexcept { *this = OnlineStats{}; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram with an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t bin_count);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_width() const noexcept { return bin_width_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies; linear within bins.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace smart

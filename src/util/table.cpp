@@ -1,0 +1,142 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SMART_CHECK(!headers_.empty());
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add_cell(std::string value) {
+  SMART_CHECK_MSG(!rows_.empty(), "call begin_row() before add_cell()");
+  SMART_CHECK_MSG(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add_cell(double value, int precision) {
+  return add_cell(format_double(value, precision));
+}
+
+Table& Table::add_cell(std::uint64_t value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(unsigned value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(int value) { return add_cell(std::to_string(value)); }
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  SMART_CHECK(row < rows_.size());
+  SMART_CHECK(col < rows_[row].size());
+  return rows_[row][col];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - value.size();
+      os << "  ";
+      const bool right = align_right && looks_numeric(value);
+      if (right) os << std::string(pad, ' ');
+      os << value;
+      if (!right) os << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, false);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace smart

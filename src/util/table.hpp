@@ -1,0 +1,48 @@
+// Tabular output: aligned text tables for the console (the form the paper's
+// tables take) and CSV emission for plotting the figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smart {
+
+/// A simple column-oriented table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering right-aligns numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  Table& begin_row();
+  Table& add_cell(std::string value);
+  Table& add_cell(double value, int precision = 3);
+  Table& add_cell(std::uint64_t value);
+  Table& add_cell(unsigned value);
+  Table& add_cell(int value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders an aligned monospace table.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes to_csv() to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by Table and benches).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace smart

@@ -1,0 +1,127 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart {
+namespace {
+
+TEST(Bits, PowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(256));
+  EXPECT_FALSE(is_power_of_two(255));
+  EXPECT_TRUE(is_power_of_two(1ULL << 63));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0U);
+  EXPECT_EQ(log2_exact(2), 1U);
+  EXPECT_EQ(log2_exact(256), 8U);
+  EXPECT_EQ(log2_exact(1ULL << 40), 40U);
+}
+
+TEST(Bits, Log2FloorCeil) {
+  EXPECT_EQ(log2_floor(1), 0U);
+  EXPECT_EQ(log2_floor(5), 2U);
+  EXPECT_EQ(log2_ceil(5), 3U);
+  EXPECT_EQ(log2_ceil(8), 3U);
+  EXPECT_EQ(log2_ceil(9), 4U);
+}
+
+TEST(Bits, IPow) {
+  EXPECT_EQ(ipow(2, 10), 1024U);
+  EXPECT_EQ(ipow(4, 4), 256U);
+  EXPECT_EQ(ipow(16, 2), 256U);
+  EXPECT_EQ(ipow(7, 0), 1U);
+  EXPECT_EQ(ipow(1, 100), 1U);
+}
+
+TEST(Bits, LabelBitMsbFirst) {
+  // Label 0b1010 with B = 4: a0 = 1, a1 = 0, a2 = 1, a3 = 0.
+  EXPECT_EQ(label_bit(0b1010, 0, 4), 1U);
+  EXPECT_EQ(label_bit(0b1010, 1, 4), 0U);
+  EXPECT_EQ(label_bit(0b1010, 2, 4), 1U);
+  EXPECT_EQ(label_bit(0b1010, 3, 4), 0U);
+}
+
+TEST(Bits, WithLabelBit) {
+  EXPECT_EQ(with_label_bit(0b0000, 0, 4, 1), 0b1000U);
+  EXPECT_EQ(with_label_bit(0b1111, 3, 4, 0), 0b1110U);
+  EXPECT_EQ(with_label_bit(0b1010, 1, 4, 1), 0b1110U);
+}
+
+TEST(Bits, ComplementPattern) {
+  // Paper §7: destination = !a0 !a1 ... !a(B-1).
+  EXPECT_EQ(complement_bits(0, 8), 255U);
+  EXPECT_EQ(complement_bits(0b10101010, 8), 0b01010101U);
+  EXPECT_EQ(complement_bits(complement_bits(0xAB, 8), 8), 0xABU);
+}
+
+TEST(Bits, ComplementIsInvolution) {
+  for (std::uint64_t label = 0; label < 256; ++label) {
+    EXPECT_EQ(complement_bits(complement_bits(label, 8), 8), label);
+  }
+}
+
+TEST(Bits, ReversePattern) {
+  EXPECT_EQ(reverse_bits(0b10000000, 8), 0b00000001U);
+  EXPECT_EQ(reverse_bits(0b11000000, 8), 0b00000011U);
+  EXPECT_EQ(reverse_bits(0b10110010, 8), 0b01001101U);
+}
+
+TEST(Bits, ReverseIsInvolution) {
+  for (std::uint64_t label = 0; label < 256; ++label) {
+    EXPECT_EQ(reverse_bits(reverse_bits(label, 8), 8), label);
+  }
+}
+
+TEST(Bits, TransposePattern) {
+  // Swap halves: a4..a7 a0..a3.
+  EXPECT_EQ(transpose_bits(0b11110000, 8), 0b00001111U);
+  EXPECT_EQ(transpose_bits(0b10100101, 8), 0b01011010U);
+}
+
+TEST(Bits, TransposeIsInvolution) {
+  for (std::uint64_t label = 0; label < 256; ++label) {
+    EXPECT_EQ(transpose_bits(transpose_bits(label, 8), 8), label);
+  }
+}
+
+TEST(Bits, PalindromeCount256) {
+  // Paper §9: 16 nodes of the 256 have a palindromic bit string and inject
+  // nothing under bit reversal.
+  unsigned palindromes = 0;
+  for (std::uint64_t label = 0; label < 256; ++label) {
+    if (is_bit_palindrome(label, 8)) ++palindromes;
+  }
+  EXPECT_EQ(palindromes, 16U);
+}
+
+TEST(Bits, DigitBaseK) {
+  // 256 = 4^4 in base 4 with 5 digits: 1 0 0 0 0 -> p0=1, the rest 0.
+  EXPECT_EQ(digit(256, 0, 5, 4), 1U);
+  EXPECT_EQ(digit(256, 1, 5, 4), 0U);
+  EXPECT_EQ(digit(27, 0, 3, 4), 1U);  // 27 = 123 base 4
+  EXPECT_EQ(digit(27, 1, 3, 4), 2U);
+  EXPECT_EQ(digit(27, 2, 3, 4), 3U);
+}
+
+TEST(Bits, DigitsRoundTrip) {
+  for (std::uint64_t label : {0ULL, 1ULL, 27ULL, 255ULL, 256ULL, 999ULL}) {
+    const auto digits = to_digits(label, 5, 4);
+    EXPECT_EQ(digits.size(), 5U);
+    EXPECT_EQ(from_digits(digits, 4), label % ipow(4, 5));
+  }
+}
+
+TEST(Bits, DigitConsistentWithToDigits) {
+  const auto digits = to_digits(200, 4, 4);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(digit(200, i, 4, 4), digits[i]);
+  }
+}
+
+}  // namespace
+}  // namespace smart

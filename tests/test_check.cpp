@@ -1,0 +1,34 @@
+// SMART_CHECK failure behavior (death tests): invariant violations must
+// abort loudly with the failing expression, never continue silently.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart {
+namespace {
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ SMART_CHECK(1 == 2); }, "SMART_CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, MessageIsIncluded) {
+  EXPECT_DEATH({ SMART_CHECK_MSG(false, "the reason"); }, "the reason");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  SMART_CHECK(2 + 2 == 4);
+  SMART_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, DcheckActiveInDebugOnly) {
+#ifdef NDEBUG
+  SMART_DCHECK(false);  // compiled out in release builds
+  SUCCEED();
+#else
+  EXPECT_DEATH({ SMART_DCHECK(false); }, "SMART_CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace smart

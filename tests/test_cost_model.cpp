@@ -1,0 +1,108 @@
+#include "cost/chien.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart {
+namespace {
+
+constexpr double kTol = 0.01;  // the paper rounds to two decimals
+
+TEST(ChienModel, RoutingDelayEquation) {
+  EXPECT_DOUBLE_EQ(t_routing_ns(1), 4.7);
+  EXPECT_DOUBLE_EQ(t_routing_ns(2), 5.9);
+  EXPECT_NEAR(t_routing_ns(6), 7.8, kTol);
+  EXPECT_NEAR(t_routing_ns(7), 8.06, kTol);
+}
+
+TEST(ChienModel, CrossbarDelayEquation) {
+  EXPECT_DOUBLE_EQ(t_crossbar_ns(1), 3.4);
+  EXPECT_NEAR(t_crossbar_ns(17), 5.85, kTol);
+  EXPECT_NEAR(t_crossbar_ns(8), 5.2, kTol);
+}
+
+TEST(ChienModel, LinkDelayEquations) {
+  EXPECT_DOUBLE_EQ(t_link_short_ns(1), 5.14);
+  EXPECT_NEAR(t_link_short_ns(4), 6.34, kTol);
+  EXPECT_DOUBLE_EQ(t_link_medium_ns(1), 9.64);
+  EXPECT_NEAR(t_link_medium_ns(2), 10.24, kTol);
+  EXPECT_NEAR(t_link_medium_ns(4), 10.84, kTol);
+}
+
+TEST(ChienModel, Table1DeterministicRow) {
+  // Paper Table 1: T_routing 5.9, T_crossbar 5.85, T_link 6.34, clock 6.34.
+  const RouterDelays delays = cube_deterministic_delays(2, 4);
+  EXPECT_NEAR(delays.routing_ns, 5.9, kTol);
+  EXPECT_NEAR(delays.crossbar_ns, 5.85, kTol);
+  EXPECT_NEAR(delays.link_ns, 6.34, kTol);
+  EXPECT_NEAR(delays.clock_ns(), 6.34, kTol);
+  EXPECT_EQ(delays.limiting_phase(), LimitingPhase::kLink);
+}
+
+TEST(ChienModel, Table1DuatoRow) {
+  // Paper Table 1: T_routing 7.8, T_crossbar 5.85, T_link 6.34, clock 7.8.
+  const RouterDelays delays = cube_duato_delays(2, 4);
+  EXPECT_NEAR(delays.routing_ns, 7.8, kTol);
+  EXPECT_NEAR(delays.crossbar_ns, 5.85, kTol);
+  EXPECT_NEAR(delays.link_ns, 6.34, kTol);
+  EXPECT_NEAR(delays.clock_ns(), 7.8, kTol);
+  EXPECT_EQ(delays.limiting_phase(), LimitingPhase::kRouting);
+}
+
+TEST(ChienModel, Table2OneVirtualChannel) {
+  // Paper Table 2: 8.06 / 5.2 / 9.64 -> clock 9.64.
+  const RouterDelays delays = tree_adaptive_delays(4, 1);
+  EXPECT_NEAR(delays.routing_ns, 8.06, kTol);
+  EXPECT_NEAR(delays.crossbar_ns, 5.2, kTol);
+  EXPECT_NEAR(delays.link_ns, 9.64, kTol);
+  EXPECT_NEAR(delays.clock_ns(), 9.64, kTol);
+  EXPECT_EQ(delays.limiting_phase(), LimitingPhase::kLink);
+}
+
+TEST(ChienModel, Table2TwoVirtualChannels) {
+  // Paper Table 2: 9.26 / 5.8 / 10.24 -> clock 10.24.
+  const RouterDelays delays = tree_adaptive_delays(4, 2);
+  EXPECT_NEAR(delays.routing_ns, 9.26, kTol);
+  EXPECT_NEAR(delays.crossbar_ns, 5.8, kTol);
+  EXPECT_NEAR(delays.link_ns, 10.24, kTol);
+  EXPECT_NEAR(delays.clock_ns(), 10.24, kTol);
+}
+
+TEST(ChienModel, Table2FourVirtualChannels) {
+  // Paper Table 2: 10.46 / 6.4 / 10.84 -> clock 10.84; the gap between the
+  // routing and link delay is narrow (wire-limited design).
+  const RouterDelays delays = tree_adaptive_delays(4, 4);
+  EXPECT_NEAR(delays.routing_ns, 10.46, kTol);
+  EXPECT_NEAR(delays.crossbar_ns, 6.4, kTol);
+  EXPECT_NEAR(delays.link_ns, 10.84, kTol);
+  EXPECT_NEAR(delays.clock_ns(), 10.84, kTol);
+  EXPECT_EQ(delays.limiting_phase(), LimitingPhase::kLink);
+}
+
+TEST(ChienModel, MoreVirtualChannelsWouldBeRoutingLimited) {
+  // Paper §11: with more than four VCs the routing delay overtakes the
+  // wire delay on the fat-tree (diminishing returns).
+  const RouterDelays delays = tree_adaptive_delays(4, 8);
+  EXPECT_EQ(delays.limiting_phase(), LimitingPhase::kRouting);
+}
+
+TEST(ChienModel, FreedomGrowsWithAdaptivity) {
+  EXPECT_LT(cube_deterministic_delays(2, 4).routing_ns,
+            cube_duato_delays(2, 4).routing_ns);
+}
+
+TEST(ChienModel, GenericRouterDelays) {
+  const RouterDelays delays =
+      router_delays(2, 17, 4, WireLength::kShort);
+  EXPECT_NEAR(delays.routing_ns, 5.9, kTol);
+  EXPECT_NEAR(delays.crossbar_ns, 5.85, kTol);
+  EXPECT_NEAR(delays.link_ns, 6.34, kTol);
+}
+
+TEST(ChienModel, LimitingPhaseNames) {
+  EXPECT_EQ(to_string(LimitingPhase::kRouting), "routing");
+  EXPECT_EQ(to_string(LimitingPhase::kCrossbar), "crossbar");
+  EXPECT_EQ(to_string(LimitingPhase::kLink), "link");
+}
+
+}  // namespace
+}  // namespace smart

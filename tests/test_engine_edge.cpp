@@ -1,0 +1,149 @@
+// Engine edge cases: degenerate timing windows, odd packet sizes, single
+// flits, disabled stats windows, tiny buffers and link-utilization
+// accounting.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig tiny_cube(double load = 0.3) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = load;
+  config.timing.warmup_cycles = 300;
+  config.timing.horizon_cycles = 2500;
+  return config;
+}
+
+TEST(EngineEdge, WarmupEqualToHorizonYieldsEmptyWindow) {
+  SimConfig config = tiny_cube();
+  config.timing.warmup_cycles = config.timing.horizon_cycles;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_EQ(result.measured_cycles, 0U);
+  EXPECT_EQ(result.delivered_packets, 0U);
+  EXPECT_DOUBLE_EQ(result.accepted_fraction, 0.0);
+}
+
+TEST(EngineEdge, SingleFlitPackets) {
+  SimConfig config = tiny_cube(0.4);
+  config.net.packet_bytes = 4;  // one 4-byte flit
+  Network network(config);
+  EXPECT_EQ(network.flits_per_packet(), 1U);
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.delivered_packets, 0U);
+  EXPECT_GE(result.latency_cycles.min(), 1.0);
+}
+
+TEST(EngineEdge, OddPacketSizeRoundsUp) {
+  SimConfig config = tiny_cube();
+  config.net.packet_bytes = 65;
+  Network network(config);
+  EXPECT_EQ(network.flits_per_packet(), 17U);
+  EXPECT_FALSE(network.run().deadlocked);
+}
+
+TEST(EngineEdge, BufferDepthOne) {
+  SimConfig config = tiny_cube(0.2);
+  config.net.buffer_depth = 1;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.delivered_packets, 0U);
+}
+
+TEST(EngineEdge, StatsWindowDisabled) {
+  SimConfig config = tiny_cube();
+  config.timing.stats_window_cycles = 0;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_TRUE(result.window_accepted.empty());
+  EXPECT_GT(result.delivered_packets, 0U);
+}
+
+TEST(EngineEdge, StatsWindowsCoverMeasurement) {
+  SimConfig config = tiny_cube();
+  config.timing.stats_window_cycles = 500;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  // (2500 - 300) / 500 full windows.
+  EXPECT_EQ(result.window_accepted.size(), 4U);
+  for (double w : result.window_accepted) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(EngineEdge, LinkUtilizationAccounted) {
+  Network network(tiny_cube(0.5));
+  const SimulationResult& result = network.run();
+  // 16 switches x (4 network + 1 terminal) ports + 16 NIC links.
+  EXPECT_EQ(result.link_utilization.count(), 16U * 5U + 16U);
+  EXPECT_GT(result.link_utilization.mean(), 0.0);
+  EXPECT_LE(result.link_utilization.max(), 1.0 + 1e-9);
+}
+
+TEST(EngineEdge, LinkUtilizationScalesWithLoad) {
+  Network low(tiny_cube(0.2));
+  Network high(tiny_cube(0.6));
+  const double low_mean = low.run().link_utilization.mean();
+  const double high_mean = high.run().link_utilization.mean();
+  EXPECT_GT(high_mean, 2.0 * low_mean);
+}
+
+TEST(EngineEdge, TreeRootLinksIdleUnderLocalTraffic) {
+  // Neighbor traffic between sibling leaves never climbs past level n-1's
+  // parents; overall utilization must be far below the terminal links'.
+  SimConfig config;
+  config.net = paper_tree_spec(2);
+  config.traffic.pattern = PatternKind::kNeighbor;
+  config.traffic.offered_fraction = 0.5;
+  config.timing.warmup_cycles = 500;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.link_utilization.max(), 0.4);   // terminal links busy
+  EXPECT_LT(result.link_utilization.mean(), 0.25); // upper tree mostly idle
+}
+
+TEST(EngineEdge, ZeroLoadPermutationPattern) {
+  SimConfig config = tiny_cube(0.0);
+  config.traffic.pattern = PatternKind::kTranspose;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_EQ(result.delivered_packets, 0U);
+  EXPECT_FALSE(result.deadlocked);
+}
+
+TEST(EngineEdge, VeryShortHorizon) {
+  SimConfig config = tiny_cube(0.5);
+  config.timing.warmup_cycles = 0;
+  config.timing.horizon_cycles = 5;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_EQ(network.cycle(), 5U);
+  EXPECT_EQ(result.delivered_packets, 0U);  // nothing can arrive in 5 cycles
+}
+
+TEST(EngineEdge, EightVirtualChannelsTree) {
+  SimConfig config;
+  config.net = paper_tree_spec(4);
+  config.net.vcs = 8;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.5;
+  config.timing.warmup_cycles = 500;
+  config.timing.horizon_cycles = 3000;
+  Network network(config);
+  EXPECT_FALSE(network.run().deadlocked);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,129 @@
+// Unit tests of the experiment harness pieces that do not need long
+// simulations: saturation estimation on synthetic sweeps, scale/delay
+// lookup, grid construction and table assembly.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smart {
+namespace {
+
+SimulationResult point(double offered, double accepted,
+                       double injecting = 1.0) {
+  SimulationResult result;
+  result.offered_fraction = offered;
+  result.accepted_fraction = accepted;
+  result.injecting_fraction = injecting;
+  return result;
+}
+
+TEST(Saturation, DetectsFirstDeficit) {
+  const std::vector<SimulationResult> sweep{
+      point(0.2, 0.2), point(0.4, 0.4), point(0.6, 0.45), point(0.8, 0.46)};
+  const auto est = estimate_saturation(sweep);
+  EXPECT_TRUE(est.saturated);
+  EXPECT_DOUBLE_EQ(est.offered_fraction, 0.6);
+  EXPECT_DOUBLE_EQ(est.accepted_fraction, 0.45);
+}
+
+TEST(Saturation, UnsaturatedReportsLastPoint) {
+  const std::vector<SimulationResult> sweep{point(0.3, 0.3), point(0.6, 0.59)};
+  const auto est = estimate_saturation(sweep);
+  EXPECT_FALSE(est.saturated);
+  EXPECT_DOUBLE_EQ(est.offered_fraction, 0.6);
+}
+
+TEST(Saturation, ToleranceAvoidsFalsePositives) {
+  const std::vector<SimulationResult> sweep{point(0.5, 0.48)};
+  EXPECT_FALSE(estimate_saturation(sweep, 0.05).saturated);
+  EXPECT_TRUE(estimate_saturation(sweep, 0.01).saturated);
+}
+
+TEST(Saturation, UsesEffectiveOfferedForFixedPoints) {
+  // 93.75 % injecting (bit reversal): accepted == offered * injecting is
+  // NOT saturation.
+  const std::vector<SimulationResult> sweep{
+      point(0.4, 0.375, 240.0 / 256.0), point(0.8, 0.74, 240.0 / 256.0)};
+  EXPECT_FALSE(estimate_saturation(sweep).saturated);
+}
+
+TEST(Saturation, PostSaturationStabilityRange) {
+  const std::vector<SimulationResult> sweep{
+      point(0.5, 0.5), point(0.7, 0.5), point(0.9, 0.3), point(1.0, 0.55)};
+  const auto est = estimate_saturation(sweep);
+  ASSERT_TRUE(est.saturated);
+  EXPECT_DOUBLE_EQ(est.post_saturation_min, 0.3);
+  EXPECT_DOUBLE_EQ(est.post_saturation_max, 0.55);
+}
+
+TEST(Scales, PaperConfigurations) {
+  const NormalizedScale det =
+      scale_for(paper_cube_spec(RoutingKind::kCubeDeterministic));
+  EXPECT_EQ(det.flit_bytes, 4U);
+  EXPECT_EQ(det.nodes, 256U);
+  EXPECT_NEAR(det.clock_ns, 6.34, 0.01);
+  EXPECT_DOUBLE_EQ(det.capacity_flits_per_node_cycle, 0.5);
+  EXPECT_NEAR(det.capacity_bits_per_ns(), 646.0, 1.0);
+
+  const NormalizedScale tree = scale_for(paper_tree_spec(2));
+  EXPECT_EQ(tree.flit_bytes, 2U);
+  EXPECT_NEAR(tree.clock_ns, 10.24, 0.01);
+  EXPECT_DOUBLE_EQ(tree.capacity_flits_per_node_cycle, 1.0);
+}
+
+TEST(Delays, MatchRoutingKind) {
+  EXPECT_NEAR(delays_for(paper_cube_spec(RoutingKind::kCubeDuato)).clock_ns(),
+              7.8, 0.01);
+  EXPECT_NEAR(delays_for(paper_tree_spec(1)).clock_ns(), 9.64, 0.01);
+}
+
+TEST(LoadGrid, RespectsMaxFraction) {
+  const auto grid = default_load_grid(0.5);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.5);
+  for (double load : grid) {
+    EXPECT_GT(load, 0.0);
+    EXPECT_LE(load, 0.5);
+  }
+}
+
+TEST(Tables, LatencyDashWhenNoPackets) {
+  Curve curve;
+  curve.label = "x";
+  curve.spec = paper_cube_spec(RoutingKind::kCubeDuato);
+  SimulationResult empty = point(0.5, 0.0);
+  curve.points.push_back(empty);
+  const Table table = cnf_latency_table({curve});
+  EXPECT_EQ(table.cell(0, 1), "-");
+}
+
+TEST(Tables, AbsoluteTableScalesByClock) {
+  Curve curve;
+  curve.label = "cube";
+  curve.spec = paper_cube_spec(RoutingKind::kCubeDeterministic);
+  SimulationResult result = point(0.5, 0.5);
+  result.offered_flits_per_node_cycle = 0.25;  // 0.5 of capacity 0.5
+  result.accepted_flits_per_node_cycle = 0.25;
+  result.latency_cycles.add(100.0);
+  curve.points.push_back(result);
+  const Table table = absolute_table({curve});
+  // 0.25 * 256 * 32 bits / 6.34 ns = 323 bits/ns.
+  EXPECT_NEAR(std::stod(table.cell(0, 2)), 323.0, 1.0);
+  EXPECT_NEAR(std::stod(table.cell(0, 3)), 323.0, 1.0);
+  EXPECT_NEAR(std::stod(table.cell(0, 4)), 634.0, 0.5);
+}
+
+TEST(Tables, SaturationSummaryOneRowPerCurve) {
+  Curve a;
+  a.label = "a";
+  a.spec = paper_tree_spec(1);
+  a.points = {point(0.5, 0.5), point(1.0, 0.6)};
+  Curve b = a;
+  b.label = "b";
+  const Table table = saturation_summary_table({a, b});
+  EXPECT_EQ(table.row_count(), 2U);
+  EXPECT_EQ(table.cell(0, 0), "a");
+  EXPECT_EQ(table.cell(1, 0), "b");
+}
+
+}  // namespace
+}  // namespace smart

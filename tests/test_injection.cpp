@@ -1,0 +1,118 @@
+#include "traffic/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/network.hpp"
+#include "util/stats.hpp"
+
+namespace smart {
+namespace {
+
+double measured_rate(InjectionProcess& process, Rng& rng, int cycles) {
+  int fired = 0;
+  for (int i = 0; i < cycles; ++i) fired += process.fires(rng) ? 1 : 0;
+  return static_cast<double>(fired) / cycles;
+}
+
+/// Variance of packet counts over fixed windows (burstiness indicator).
+double window_variance(InjectionProcess& process, Rng& rng, int windows,
+                       int window_cycles) {
+  OnlineStats stats;
+  for (int w = 0; w < windows; ++w) {
+    int count = 0;
+    for (int i = 0; i < window_cycles; ++i) {
+      count += process.fires(rng) ? 1 : 0;
+    }
+    stats.add(count);
+  }
+  return stats.variance();
+}
+
+TEST(BernoulliInjection, MatchesRate) {
+  BernoulliInjection process(0.25);
+  Rng rng(1);
+  EXPECT_NEAR(measured_rate(process, rng, 200000), 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(process.average_rate(), 0.25);
+}
+
+TEST(BernoulliInjection, ZeroAndOne) {
+  Rng rng(1);
+  BernoulliInjection zero(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(zero.fires(rng));
+  BernoulliInjection one(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(one.fires(rng));
+}
+
+TEST(BurstyInjection, PreservesAverageRate) {
+  BurstyInjection process(0.05, 8.0, 200.0);
+  Rng rng(2);
+  EXPECT_NEAR(measured_rate(process, rng, 2000000), 0.05, 0.005);
+}
+
+TEST(BurstyInjection, OnRateIsBurstFactorTimesAverage) {
+  BurstyInjection process(0.05, 8.0, 200.0);
+  EXPECT_DOUBLE_EQ(process.on_rate(), 0.4);
+  BurstyInjection clamped(0.3, 8.0, 200.0);
+  EXPECT_DOUBLE_EQ(clamped.on_rate(), 1.0);  // clamped to link rate
+}
+
+TEST(BurstyInjection, MoreVariableThanBernoulli) {
+  BernoulliInjection smooth(0.05);
+  BurstyInjection bursty(0.05, 8.0, 200.0);
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const double var_smooth = window_variance(smooth, rng_a, 2000, 100);
+  const double var_bursty = window_variance(bursty, rng_b, 2000, 100);
+  EXPECT_GT(var_bursty, 3.0 * var_smooth);
+}
+
+TEST(BurstyInjection, BurstFactorOneDegeneratesToBernoulli) {
+  BurstyInjection process(0.1, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(process.on_rate(), 0.1);
+  Rng rng(4);
+  EXPECT_NEAR(measured_rate(process, rng, 500000), 0.1, 0.005);
+}
+
+TEST(BurstyInjection, ZeroRateNeverFires) {
+  BurstyInjection process(0.0, 8.0, 100.0);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(process.fires(rng));
+}
+
+TEST(InjectionFactory, CreatesBothKinds) {
+  EXPECT_EQ(make_injection(InjectionKind::kBernoulli, 0.1)->name(),
+            "Bernoulli");
+  EXPECT_EQ(make_injection(InjectionKind::kBursty, 0.1)->name(), "bursty");
+  EXPECT_EQ(to_string(InjectionKind::kBursty), "bursty");
+}
+
+TEST(InjectionInNetwork, BurstyRunMatchesAverageRate) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.3;
+  config.traffic.injection = InjectionKind::kBursty;
+  config.traffic.burst_factor = 4.0;
+  config.traffic.mean_burst_cycles = 100.0;
+  config.timing.warmup_cycles = 1000;
+  config.timing.horizon_cycles = 12000;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_NEAR(result.generated_flits_per_node_cycle,
+              result.offered_flits_per_node_cycle, 0.05);
+  // Same average load but clustered arrivals: latency must exceed the
+  // smooth-arrival latency at this load.
+  config.traffic.injection = InjectionKind::kBernoulli;
+  Network smooth(config);
+  const SimulationResult& smooth_result = smooth.run();
+  EXPECT_GT(result.latency_cycles.mean(), smooth_result.latency_cycles.mean());
+}
+
+}  // namespace
+}  // namespace smart

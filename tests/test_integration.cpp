@@ -1,0 +1,239 @@
+// Cross-module integration and property tests: deadlock freedom under
+// sustained overload, post-saturation stability, congestion-free patterns,
+// and the experiment harness end to end.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig make_config(NetworkSpec net, PatternKind pattern, double load,
+                      std::uint64_t warmup = 500,
+                      std::uint64_t horizon = 4000) {
+  SimConfig config;
+  config.net = net;
+  config.traffic.pattern = pattern;
+  config.traffic.offered_fraction = load;
+  config.timing.warmup_cycles = warmup;
+  config.timing.horizon_cycles = horizon;
+  return config;
+}
+
+NetworkSpec small_cube(RoutingKind routing) {
+  NetworkSpec spec;
+  spec.topology = TopologyKind::kCube;
+  spec.k = 8;
+  spec.n = 2;
+  spec.routing = routing;
+  spec.vcs = 4;
+  return spec;
+}
+
+NetworkSpec small_tree(unsigned vcs) {
+  NetworkSpec spec;
+  spec.topology = TopologyKind::kTree;
+  spec.k = 4;
+  spec.n = 3;
+  spec.routing = RoutingKind::kTreeAdaptive;
+  spec.vcs = vcs;
+  return spec;
+}
+
+struct OverloadCase {
+  NetworkSpec net;
+  PatternKind pattern;
+};
+
+class DeadlockFreedomTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// Every (routing, pattern) combination must survive sustained overload
+// (offered = 100 % of capacity) without deadlock and still make progress.
+TEST_P(DeadlockFreedomTest, SurvivesSaturation) {
+  const int net_index = std::get<0>(GetParam());
+  const int pattern_index = std::get<1>(GetParam());
+  const NetworkSpec nets[] = {
+      small_cube(RoutingKind::kCubeDeterministic),
+      small_cube(RoutingKind::kCubeDuato),
+      small_tree(1),
+      small_tree(2),
+      small_tree(4),
+  };
+  const PatternKind patterns[] = {
+      PatternKind::kUniform,
+      PatternKind::kComplement,
+      PatternKind::kBitReversal,
+      PatternKind::kTranspose,
+      PatternKind::kTornado,
+  };
+  auto config = make_config(nets[net_index], patterns[pattern_index], 1.0);
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.delivered_packets, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoutingsAllPatterns, DeadlockFreedomTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 5)));
+
+TEST(Integration, TreeComplementIsCongestionFree) {
+  // Paper §8: complement generates no congestion in the descending phase;
+  // the tree accepts ~95 % of capacity even with one virtual channel.
+  auto config = make_config(small_tree(1), PatternKind::kComplement, 0.85,
+                            1000, 8000);
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.accepted_fraction, 0.78);
+}
+
+TEST(Integration, TreeUniformSaturatesLowWithOneVc) {
+  // Paper §8: wormhole fat-trees with a single VC do not achieve good
+  // throughput under uniform traffic (saturation near ~36 %).
+  auto config = make_config(small_tree(1), PatternKind::kUniform, 0.9,
+                            1000, 8000);
+  Network network(config);
+  const SimulationResult& result = network.run();
+  EXPECT_LT(result.accepted_fraction, 0.65);
+}
+
+TEST(Integration, TreeVirtualChannelsImproveUniformThroughput) {
+  double accepted[3];
+  const unsigned vcs[] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    auto config = make_config(small_tree(vcs[i]), PatternKind::kUniform, 1.0,
+                              1000, 8000);
+    Network network(config);
+    accepted[i] = network.run().accepted_fraction;
+  }
+  EXPECT_GT(accepted[1], accepted[0]);
+  EXPECT_GT(accepted[2], accepted[1]);
+}
+
+TEST(Integration, CubeDuatoBeatsDeterministicOnTranspose) {
+  // Paper §9: the adaptive algorithm more than doubles deterministic
+  // throughput under transpose.
+  auto det = make_config(small_cube(RoutingKind::kCubeDeterministic),
+                         PatternKind::kTranspose, 0.9, 1000, 8000);
+  auto ada = make_config(small_cube(RoutingKind::kCubeDuato),
+                         PatternKind::kTranspose, 0.9, 1000, 8000);
+  Network det_net(det);
+  Network ada_net(ada);
+  EXPECT_GT(ada_net.run().accepted_fraction,
+            det_net.run().accepted_fraction);
+}
+
+TEST(Integration, PostSaturationThroughputIsStable) {
+  // Paper §6/§8: with source throttling the accepted bandwidth stays stable
+  // above saturation.
+  double accepted_at[2];
+  const double loads[] = {0.8, 1.0};
+  for (int i = 0; i < 2; ++i) {
+    auto config = make_config(small_cube(RoutingKind::kCubeDuato),
+                              PatternKind::kUniform, loads[i], 1000, 8000);
+    Network network(config);
+    accepted_at[i] = network.run().accepted_fraction;
+  }
+  EXPECT_NEAR(accepted_at[0], accepted_at[1], 0.12);
+}
+
+TEST(Integration, SweepIsMonotoneBeforeSaturation) {
+  auto base = make_config(small_cube(RoutingKind::kCubeDuato),
+                          PatternKind::kUniform, 0.0, 500, 4000);
+  const auto sweep = run_sweep(base, {0.1, 0.2, 0.3, 0.4}, 1);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].accepted_fraction, sweep[i - 1].accepted_fraction);
+  }
+}
+
+TEST(Integration, SweepParallelMatchesSerial) {
+  auto base = make_config(small_tree(2), PatternKind::kTranspose, 0.0,
+                          500, 3000);
+  const std::vector<double> loads{0.2, 0.5, 0.8};
+  const auto serial = run_sweep(base, loads, 1);
+  const auto parallel = run_sweep(base, loads, 3);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_EQ(serial[i].delivered_flits, parallel[i].delivered_flits);
+    EXPECT_DOUBLE_EQ(serial[i].latency_cycles.mean(),
+                     parallel[i].latency_cycles.mean());
+  }
+}
+
+TEST(Integration, SaturationEstimateFindsKnee) {
+  auto base = make_config(small_tree(1), PatternKind::kUniform, 0.0,
+                          1000, 6000);
+  const auto sweep =
+      run_sweep(base, {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, 1);
+  const auto est = estimate_saturation(sweep);
+  EXPECT_TRUE(est.saturated);
+  EXPECT_GT(est.offered_fraction, 0.2);
+  EXPECT_LT(est.offered_fraction, 0.9);
+}
+
+TEST(Integration, SaturationEstimateUnsaturatedSweep) {
+  auto base = make_config(small_tree(4), PatternKind::kComplement, 0.0,
+                          500, 4000);
+  const auto sweep = run_sweep(base, {0.1, 0.3, 0.5}, 1);
+  const auto est = estimate_saturation(sweep);
+  EXPECT_FALSE(est.saturated);
+}
+
+TEST(Integration, CurveAndTables) {
+  auto base = make_config(small_cube(RoutingKind::kCubeDuato),
+                          PatternKind::kUniform, 0.0, 500, 3000);
+  const std::vector<double> loads{0.2, 0.6};
+  std::vector<Curve> curves;
+  curves.push_back(run_curve("Duato", base, loads, 1));
+  base.net.routing = RoutingKind::kCubeDeterministic;
+  curves.push_back(run_curve("deterministic", base, loads, 1));
+
+  const Table accepted = cnf_accepted_table(curves);
+  EXPECT_EQ(accepted.row_count(), loads.size());
+  EXPECT_EQ(accepted.column_count(), 3U);
+
+  const Table latency = cnf_latency_table(curves);
+  EXPECT_EQ(latency.row_count(), loads.size());
+
+  const Table absolute = absolute_table(curves);
+  EXPECT_EQ(absolute.row_count(), loads.size() * curves.size());
+
+  const Table summary = saturation_summary_table(curves);
+  EXPECT_EQ(summary.row_count(), curves.size());
+}
+
+TEST(Integration, LoadGridCoversRange) {
+  const auto grid = default_load_grid(1.0);
+  EXPECT_GE(grid.size(), 6U);
+  EXPECT_GT(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(Integration, PaperNetworksShortSmoke) {
+  // Full 256-node instances, abbreviated horizon: both paper networks run
+  // without deadlock and with sensible throughput at moderate load.
+  {
+    auto config = make_config(paper_cube_spec(RoutingKind::kCubeDuato),
+                              PatternKind::kUniform, 0.4, 1000, 5000);
+    Network network(config);
+    const auto& result = network.run();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_NEAR(result.accepted_fraction, 0.4, 0.08);
+  }
+  {
+    auto config = make_config(paper_tree_spec(4), PatternKind::kUniform, 0.4,
+                              1000, 5000);
+    Network network(config);
+    const auto& result = network.run();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_NEAR(result.accepted_fraction, 0.4, 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace smart

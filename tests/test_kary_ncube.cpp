@@ -1,0 +1,157 @@
+#include "topology/kary_ncube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace smart {
+namespace {
+
+TEST(KaryNCube, PaperNetworkCounts) {
+  const KaryNCube cube(16, 2);
+  EXPECT_EQ(cube.node_count(), 256U);
+  EXPECT_EQ(cube.switch_count(), 256U);
+  EXPECT_EQ(cube.ports_per_switch(), 5U);  // 2n network + local
+  EXPECT_EQ(cube.local_port(), 4U);
+  EXPECT_TRUE(cube.is_direct());
+  EXPECT_EQ(cube.name(), "16-ary 2-cube");
+}
+
+TEST(KaryNCube, CoordinateRoundTrip) {
+  const KaryNCube cube(5, 3);
+  for (SwitchId s = 0; s < cube.switch_count(); ++s) {
+    std::vector<unsigned> coords;
+    for (unsigned d = 0; d < 3; ++d) coords.push_back(cube.coord(s, d));
+    EXPECT_EQ(cube.switch_at(coords), s);
+  }
+}
+
+TEST(KaryNCube, NeighborWrapsAround) {
+  const KaryNCube cube(4, 2);
+  const SwitchId origin = cube.switch_at({0, 0});
+  EXPECT_EQ(cube.coord(cube.neighbor(origin, 0, true), 0), 1U);
+  EXPECT_EQ(cube.coord(cube.neighbor(origin, 0, false), 0), 3U);  // wrap
+  const SwitchId edge = cube.switch_at({3, 2});
+  EXPECT_EQ(cube.coord(cube.neighbor(edge, 0, true), 0), 0U);  // wrap
+}
+
+TEST(KaryNCube, NeighborInverse) {
+  const KaryNCube cube(7, 2);
+  for (SwitchId s = 0; s < cube.switch_count(); ++s) {
+    for (unsigned d = 0; d < 2; ++d) {
+      EXPECT_EQ(cube.neighbor(cube.neighbor(s, d, true), d, false), s);
+    }
+  }
+}
+
+TEST(KaryNCube, PortPeerIsMutual) {
+  const KaryNCube cube(4, 3);
+  for (SwitchId s = 0; s < cube.switch_count(); ++s) {
+    for (PortId p = 0; p < 2 * 3; ++p) {
+      const PortPeer peer = cube.port_peer(s, p);
+      ASSERT_EQ(peer.kind, PeerKind::kSwitch);
+      const PortPeer back = cube.port_peer(peer.id, peer.port);
+      EXPECT_EQ(back.kind, PeerKind::kSwitch);
+      EXPECT_EQ(back.id, s);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST(KaryNCube, LocalPortReachesTerminal) {
+  const KaryNCube cube(16, 2);
+  for (NodeId node : {0U, 17U, 255U}) {
+    const PortPeer peer = cube.port_peer(node, cube.local_port());
+    EXPECT_EQ(peer.kind, PeerKind::kTerminal);
+    EXPECT_EQ(peer.id, node);
+    const Attachment at = cube.terminal_attachment(node);
+    EXPECT_EQ(at.sw, node);
+    EXPECT_EQ(at.port, cube.local_port());
+  }
+}
+
+TEST(KaryNCube, MinHopsRingDistance) {
+  const KaryNCube cube(16, 2);
+  // Same row, forward distance 3.
+  EXPECT_EQ(cube.min_hops(cube.switch_at({0, 0}), cube.switch_at({3, 0})), 3U);
+  // Wrap is shorter: 16 - 13 = 3.
+  EXPECT_EQ(cube.min_hops(cube.switch_at({0, 0}), cube.switch_at({13, 0})), 3U);
+  // Two dimensions add up.
+  EXPECT_EQ(cube.min_hops(cube.switch_at({0, 0}), cube.switch_at({8, 8})),
+            16U);
+}
+
+TEST(KaryNCube, MinHopsSymmetric) {
+  const KaryNCube cube(6, 2);
+  for (NodeId a = 0; a < cube.node_count(); ++a) {
+    for (NodeId b = 0; b < cube.node_count(); ++b) {
+      EXPECT_EQ(cube.min_hops(a, b), cube.min_hops(b, a));
+    }
+  }
+}
+
+TEST(KaryNCube, Diameter) {
+  EXPECT_EQ(KaryNCube(16, 2).diameter(), 16U);
+  EXPECT_EQ(KaryNCube(4, 4).diameter(), 8U);
+  EXPECT_EQ(KaryNCube(2, 10).diameter(), 10U);  // binary hypercube
+}
+
+TEST(KaryNCube, BisectionAndCapacity) {
+  const KaryNCube cube(16, 2);
+  EXPECT_EQ(cube.bisection_channels(), 32U);
+  // Paper §5: capacity corresponds to twice the bisection bandwidth, i.e.
+  // 0.5 flits/node/cycle for the 16-ary 2-cube.
+  EXPECT_DOUBLE_EQ(cube.uniform_capacity_flits_per_node_cycle(), 0.5);
+}
+
+TEST(KaryNCube, WraparoundDetection) {
+  const KaryNCube cube(4, 2);
+  EXPECT_TRUE(cube.crosses_wraparound(cube.switch_at({3, 0}), 0, true));
+  EXPECT_FALSE(cube.crosses_wraparound(cube.switch_at({2, 0}), 0, true));
+  EXPECT_TRUE(cube.crosses_wraparound(cube.switch_at({0, 1}), 0, false));
+  EXPECT_FALSE(cube.crosses_wraparound(cube.switch_at({1, 1}), 0, false));
+}
+
+TEST(KaryNCube, DistPlus) {
+  const KaryNCube cube(16, 2);
+  EXPECT_EQ(cube.dist_plus(cube.switch_at({2, 0}), cube.switch_at({5, 0}), 0),
+            3U);
+  EXPECT_EQ(cube.dist_plus(cube.switch_at({5, 0}), cube.switch_at({2, 0}), 0),
+            13U);
+  EXPECT_EQ(cube.ring_distance(cube.switch_at({5, 0}),
+                               cube.switch_at({2, 0}), 0),
+            3U);
+}
+
+TEST(KaryNCube, MeanRingDistance) {
+  EXPECT_DOUBLE_EQ(KaryNCube::mean_ring_distance(16), 4.0);
+  EXPECT_DOUBLE_EQ(KaryNCube::mean_ring_distance(4), 1.0);
+  EXPECT_DOUBLE_EQ(KaryNCube::mean_ring_distance(5), 24.0 / 20.0);
+}
+
+TEST(KaryNCube, AverageDistanceMatchesAnalytic) {
+  // Average over ordered pairs with src != dst:
+  // n * mean_ring_distance * N / (N - 1).
+  const KaryNCube cube(8, 2);
+  const double analytic = 2.0 * KaryNCube::mean_ring_distance(8) * 64.0 / 63.0;
+  EXPECT_NEAR(cube.average_distance(), analytic, 1e-9);
+}
+
+TEST(KaryNCube, HypercubeSpecialCase) {
+  const KaryNCube cube(2, 4);
+  EXPECT_EQ(cube.node_count(), 16U);
+  // Hamming distance between 0b0000 and 0b1111.
+  EXPECT_EQ(cube.min_hops(0, 15), 4U);
+}
+
+TEST(KaryNCube, PortDirectionHelpers) {
+  EXPECT_EQ(KaryNCube::port_of(0, true), 0U);
+  EXPECT_EQ(KaryNCube::port_of(0, false), 1U);
+  EXPECT_EQ(KaryNCube::port_of(3, true), 6U);
+  EXPECT_EQ(KaryNCube::dim_of_port(6), 3U);
+  EXPECT_TRUE(KaryNCube::is_plus_port(6));
+  EXPECT_FALSE(KaryNCube::is_plus_port(7));
+}
+
+}  // namespace
+}  // namespace smart

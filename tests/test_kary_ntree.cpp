@@ -1,0 +1,204 @@
+#include "topology/kary_ntree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "traffic/pattern.hpp"
+
+namespace smart {
+namespace {
+
+TEST(KaryNTree, PaperNetworkCounts) {
+  const KaryNTree tree(4, 4);
+  EXPECT_EQ(tree.node_count(), 256U);
+  // n levels of k^(n-1) switches: same router count as the 16-ary 2-cube.
+  EXPECT_EQ(tree.switch_count(), 256U);
+  EXPECT_EQ(tree.switches_per_level(), 64U);
+  EXPECT_EQ(tree.ports_per_switch(), 8U);  // 2k
+  EXPECT_FALSE(tree.is_direct());
+  EXPECT_EQ(tree.name(), "4-ary 4-tree");
+}
+
+TEST(KaryNTree, Figure2QuaternaryTwoTree) {
+  // Figure 2 of the paper: a 4-ary 2-tree has 16 leaves and two levels of
+  // 4 switches; the two levels form a complete bipartite graph.
+  const KaryNTree tree(4, 2);
+  EXPECT_EQ(tree.node_count(), 16U);
+  EXPECT_EQ(tree.switch_count(), 8U);
+  for (std::uint64_t word = 0; word < 4; ++word) {
+    const SwitchId leaf = tree.switch_id(1, word);
+    for (PortId up = 4; up < 8; ++up) {
+      const PortPeer peer = tree.port_peer(leaf, up);
+      ASSERT_EQ(peer.kind, PeerKind::kSwitch);
+      EXPECT_EQ(tree.level_of(peer.id), 0U);
+      EXPECT_EQ(tree.word_of(peer.id), up - 4U);  // reaches every root
+    }
+  }
+}
+
+TEST(KaryNTree, LevelWordRoundTrip) {
+  const KaryNTree tree(4, 4);
+  for (SwitchId s = 0; s < tree.switch_count(); ++s) {
+    EXPECT_EQ(tree.switch_id(tree.level_of(s), tree.word_of(s)), s);
+  }
+}
+
+TEST(KaryNTree, PortPeerIsMutual) {
+  const KaryNTree tree(4, 3);
+  for (SwitchId s = 0; s < tree.switch_count(); ++s) {
+    for (PortId p = 0; p < tree.ports_per_switch(); ++p) {
+      const PortPeer peer = tree.port_peer(s, p);
+      if (peer.kind != PeerKind::kSwitch) continue;
+      const PortPeer back = tree.port_peer(peer.id, peer.port);
+      ASSERT_EQ(back.kind, PeerKind::kSwitch) << "switch " << s << " port " << p;
+      EXPECT_EQ(back.id, s);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST(KaryNTree, RootUpPortsUnconnected) {
+  const KaryNTree tree(4, 4);
+  for (std::uint64_t word = 0; word < tree.switches_per_level(); ++word) {
+    const SwitchId root = tree.switch_id(0, word);
+    for (PortId up = 4; up < 8; ++up) {
+      EXPECT_EQ(tree.port_peer(root, up).kind, PeerKind::kUnconnected);
+    }
+    for (PortId down = 0; down < 4; ++down) {
+      EXPECT_EQ(tree.port_peer(root, down).kind, PeerKind::kSwitch);
+    }
+  }
+}
+
+TEST(KaryNTree, TerminalAttachmentConsistent) {
+  const KaryNTree tree(4, 4);
+  for (NodeId node = 0; node < tree.node_count(); ++node) {
+    const Attachment at = tree.terminal_attachment(node);
+    EXPECT_EQ(tree.level_of(at.sw), 3U);
+    const PortPeer peer = tree.port_peer(at.sw, at.port);
+    ASSERT_EQ(peer.kind, PeerKind::kTerminal);
+    EXPECT_EQ(peer.id, node);
+  }
+}
+
+TEST(KaryNTree, LeafSwitchIsAncestorOfItsNodes) {
+  const KaryNTree tree(4, 4);
+  for (NodeId node = 0; node < tree.node_count(); ++node) {
+    const Attachment at = tree.terminal_attachment(node);
+    EXPECT_TRUE(tree.is_ancestor(at.sw, node));
+    EXPECT_EQ(tree.down_port_towards(at.sw, node), at.port);
+  }
+}
+
+TEST(KaryNTree, RootIsAncestorOfEverything) {
+  const KaryNTree tree(4, 3);
+  for (std::uint64_t word = 0; word < tree.switches_per_level(); ++word) {
+    const SwitchId root = tree.switch_id(0, word);
+    for (NodeId node = 0; node < tree.node_count(); ++node) {
+      EXPECT_TRUE(tree.is_ancestor(root, node));
+    }
+  }
+}
+
+TEST(KaryNTree, AncestorRequiresPrefixMatch) {
+  const KaryNTree tree(4, 4);
+  // Leaf switch <0 0 0, 3> covers nodes 0..3 only.
+  const SwitchId leaf = tree.switch_id(3, 0);
+  EXPECT_TRUE(tree.is_ancestor(leaf, 2));
+  EXPECT_FALSE(tree.is_ancestor(leaf, 4));
+  // Level-1 switch <0 w1 w2, 1> covers nodes 0..63.
+  const SwitchId mid = tree.switch_id(1, 5);
+  EXPECT_TRUE(tree.is_ancestor(mid, 63));
+  EXPECT_FALSE(tree.is_ancestor(mid, 64));
+}
+
+TEST(KaryNTree, NcaLevelIsCommonPrefixLength) {
+  const KaryNTree tree(4, 4);
+  // Nodes 0 (0000) and 3 (0003): share 3 digits -> NCA level 3.
+  EXPECT_EQ(tree.nca_level(0, 3), 3U);
+  // Nodes 0 (0000) and 16 (0100): share 1 digit -> NCA level 1.
+  EXPECT_EQ(tree.nca_level(0, 16), 1U);
+  // Nodes 0 and 255 (3333): no common digit -> NCA at the root level 0.
+  EXPECT_EQ(tree.nca_level(0, 255), 0U);
+}
+
+TEST(KaryNTree, MinHopsFromNcaLevel) {
+  const KaryNTree tree(4, 4);
+  EXPECT_EQ(tree.min_hops(0, 0), 0U);
+  EXPECT_EQ(tree.min_hops(0, 3), 2U);    // same leaf switch
+  EXPECT_EQ(tree.min_hops(0, 16), 6U);   // NCA level 1 -> 2*(4-1)
+  EXPECT_EQ(tree.min_hops(0, 255), 8U);  // root -> 2*4 = diameter
+  EXPECT_EQ(tree.diameter(), 8U);
+}
+
+TEST(KaryNTree, MinHopsSymmetric) {
+  const KaryNTree tree(4, 3);
+  for (NodeId a = 0; a < tree.node_count(); ++a) {
+    for (NodeId b = 0; b < tree.node_count(); ++b) {
+      EXPECT_EQ(tree.min_hops(a, b), tree.min_hops(b, a));
+    }
+  }
+}
+
+TEST(KaryNTree, Equation5AverageDistanceTranspose) {
+  // Paper eq. (5): for a 4-ary 4-tree under transpose (and bit reversal)
+  // the average distance d_m is 7.125, very close to the diameter.
+  const KaryNTree tree(4, 4);
+  const TransposePattern transpose(tree.node_count());
+  EXPECT_DOUBLE_EQ(
+      tree.average_distance_under_permutation(transpose.destination_table()),
+      7.125);
+}
+
+TEST(KaryNTree, Equation5AverageDistanceBitReversal) {
+  const KaryNTree tree(4, 4);
+  const BitReversalPattern reversal(tree.node_count());
+  EXPECT_DOUBLE_EQ(
+      tree.average_distance_under_permutation(reversal.destination_table()),
+      7.125);
+}
+
+TEST(KaryNTree, DistanceClassCountsForTranspose) {
+  // Paper §8: k^(n/2) nodes at distance 0 and (k-1) k^(n/2+i-1) nodes at
+  // distance n+2i for i in {1, ..., n/2}.
+  const KaryNTree tree(4, 4);
+  const TransposePattern transpose(tree.node_count());
+  const auto table = transpose.destination_table();
+  std::map<unsigned, unsigned> histogram;
+  for (NodeId p = 0; p < tree.node_count(); ++p) {
+    ++histogram[tree.min_hops(p, table[p])];
+  }
+  EXPECT_EQ(histogram[0], 16U);   // k^(n/2)
+  EXPECT_EQ(histogram[6], 48U);   // (k-1) k^(n/2)
+  EXPECT_EQ(histogram[8], 192U);  // (k-1) k^(n/2+1)
+}
+
+TEST(KaryNTree, UniformCapacityIsTerminalLink) {
+  const KaryNTree tree(4, 4);
+  EXPECT_DOUBLE_EQ(tree.uniform_capacity_flits_per_node_cycle(), 1.0);
+  EXPECT_EQ(tree.bisection_channels(), 128U);
+}
+
+TEST(KaryNTree, SingleLevelTree) {
+  // k-ary 1-tree: one switch, k terminals, no up connectivity needed.
+  const KaryNTree tree(4, 1);
+  EXPECT_EQ(tree.node_count(), 4U);
+  EXPECT_EQ(tree.switch_count(), 1U);
+  EXPECT_EQ(tree.min_hops(0, 3), 2U);
+  for (PortId down = 0; down < 4; ++down) {
+    EXPECT_EQ(tree.port_peer(0, down).kind, PeerKind::kTerminal);
+  }
+}
+
+TEST(KaryNTree, NodeDigits) {
+  const KaryNTree tree(4, 4);
+  // Node 27 = 0 1 2 3 in base 4.
+  EXPECT_EQ(tree.node_digit(27, 0), 0U);
+  EXPECT_EQ(tree.node_digit(27, 1), 1U);
+  EXPECT_EQ(tree.node_digit(27, 2), 2U);
+  EXPECT_EQ(tree.node_digit(27, 3), 3U);
+}
+
+}  // namespace
+}  // namespace smart

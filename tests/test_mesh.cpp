@@ -1,0 +1,147 @@
+// The open-boundary mesh variant of the k-ary n-cube (Intel Delta/Paragon
+// style): wiring, distances and routing without wrap-around links.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace smart {
+namespace {
+
+TEST(Mesh, NameAndBasics) {
+  const KaryNCube mesh(4, 2, /*wraparound=*/false);
+  EXPECT_EQ(mesh.name(), "4-ary 2-mesh");
+  EXPECT_FALSE(mesh.wraparound());
+  EXPECT_EQ(mesh.node_count(), 16U);
+}
+
+TEST(Mesh, BoundaryPortsUnconnected) {
+  const KaryNCube mesh(4, 2, false);
+  // Corner (0,0): minus ports of both dimensions are open.
+  const SwitchId corner = mesh.switch_at({0, 0});
+  EXPECT_EQ(mesh.port_peer(corner, KaryNCube::port_of(0, false)).kind,
+            PeerKind::kUnconnected);
+  EXPECT_EQ(mesh.port_peer(corner, KaryNCube::port_of(1, false)).kind,
+            PeerKind::kUnconnected);
+  EXPECT_EQ(mesh.port_peer(corner, KaryNCube::port_of(0, true)).kind,
+            PeerKind::kSwitch);
+  // Opposite corner: plus ports open.
+  const SwitchId far = mesh.switch_at({3, 3});
+  EXPECT_EQ(mesh.port_peer(far, KaryNCube::port_of(0, true)).kind,
+            PeerKind::kUnconnected);
+  EXPECT_EQ(mesh.port_peer(far, KaryNCube::port_of(1, true)).kind,
+            PeerKind::kUnconnected);
+}
+
+TEST(Mesh, InteriorPortsMutual) {
+  const KaryNCube mesh(5, 2, false);
+  for (SwitchId s = 0; s < mesh.switch_count(); ++s) {
+    for (PortId p = 0; p < 4; ++p) {
+      const PortPeer peer = mesh.port_peer(s, p);
+      if (peer.kind != PeerKind::kSwitch) continue;
+      const PortPeer back = mesh.port_peer(peer.id, peer.port);
+      EXPECT_EQ(back.kind, PeerKind::kSwitch);
+      EXPECT_EQ(back.id, s);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST(Mesh, DistancesWithoutWrap) {
+  const KaryNCube mesh(16, 2, false);
+  EXPECT_EQ(mesh.min_hops(mesh.switch_at({0, 0}), mesh.switch_at({13, 0})),
+            13U);  // no shortcut through the wrap
+  EXPECT_EQ(mesh.min_hops(mesh.switch_at({0, 0}), mesh.switch_at({15, 15})),
+            30U);
+  EXPECT_EQ(mesh.diameter(), 30U);
+}
+
+TEST(Mesh, HalvedBisection) {
+  const KaryNCube mesh(16, 2, false);
+  EXPECT_EQ(mesh.bisection_channels(), 16U);  // torus has 32
+  EXPECT_DOUBLE_EQ(mesh.uniform_capacity_flits_per_node_cycle(), 0.25);
+}
+
+TEST(Mesh, DirectionHelpers) {
+  const KaryNCube mesh(8, 1, false);
+  EXPECT_TRUE(mesh.direction_minimal(2, 5, 0, true));
+  EXPECT_FALSE(mesh.direction_minimal(2, 5, 0, false));
+  EXPECT_FALSE(mesh.direction_minimal(5, 5, 0, true));
+  EXPECT_TRUE(mesh.dor_direction(2, 5, 0));
+  EXPECT_FALSE(mesh.dor_direction(5, 2, 0));
+
+  const KaryNCube torus(8, 1, true);
+  // Distance 4 each way: both directions minimal, DOR tie goes +.
+  EXPECT_TRUE(torus.direction_minimal(0, 4, 0, true));
+  EXPECT_TRUE(torus.direction_minimal(0, 4, 0, false));
+  EXPECT_TRUE(torus.dor_direction(0, 4, 0));
+  // Distance 6 forward, 2 backward: only minus is minimal.
+  EXPECT_FALSE(torus.direction_minimal(0, 6, 0, true));
+  EXPECT_TRUE(torus.direction_minimal(0, 6, 0, false));
+}
+
+SimConfig mesh_config(RoutingKind routing, double load) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 8;
+  config.net.n = 2;
+  config.net.wraparound = false;
+  config.net.routing = routing;
+  config.net.vcs = 4;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = load;
+  config.timing.warmup_cycles = 500;
+  config.timing.horizon_cycles = 4000;
+  return config;
+}
+
+TEST(Mesh, DorDeliversUniformTraffic) {
+  Network network(mesh_config(RoutingKind::kCubeDeterministic, 0.3));
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_NEAR(result.accepted_fraction, 0.3, 0.06);
+}
+
+TEST(Mesh, DuatoDeliversUniformTraffic) {
+  Network network(mesh_config(RoutingKind::kCubeDuato, 0.3));
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_NEAR(result.accepted_fraction, 0.3, 0.06);
+}
+
+TEST(Mesh, SurvivesOverloadWithoutDeadlock) {
+  for (RoutingKind routing :
+       {RoutingKind::kCubeDeterministic, RoutingKind::kCubeDuato}) {
+    Network network(mesh_config(routing, 1.0));
+    const SimulationResult& result = network.run();
+    EXPECT_FALSE(result.deadlocked) << to_string(routing);
+    EXPECT_GT(result.delivered_packets, 0U) << to_string(routing);
+  }
+}
+
+TEST(Mesh, AllPairsMinimalDelivery) {
+  SimConfig config = mesh_config(RoutingKind::kCubeDuato, 0.0);
+  config.net.k = 4;
+  Network network(config);
+  unsigned packets = 0;
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      network.enqueue_packet(src, dst);
+      ++packets;
+    }
+  }
+  for (int i = 0; i < 20000 && network.packets().in_flight() > 0; ++i) {
+    network.step();
+  }
+  // The engine asserts per-packet minimality and destination correctness.
+  EXPECT_EQ(network.consumed_flits(), packets * 16U);
+}
+
+TEST(Mesh, SpecDescription) {
+  SimConfig config = mesh_config(RoutingKind::kCubeDeterministic, 0.1);
+  EXPECT_EQ(config.net.description(), "8-ary 2-mesh, deterministic, 4 vc");
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,84 @@
+#include "cost/normalization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+
+namespace smart {
+namespace {
+
+TEST(Normalization, CubeFlitWidthFromPinCount) {
+  // Paper §5: tree switch arity 8 vs cube arity 4 -> double data paths.
+  EXPECT_EQ(normalized_cube_flit_bytes(4, 2), 4U);
+  // A 3-cube would get 8/6 of the tree width, truncated to 2 bytes.
+  EXPECT_EQ(normalized_cube_flit_bytes(4, 3), 2U);
+}
+
+TEST(Normalization, PacketFlits) {
+  // 64-byte packets: 32 flits on the tree, 16 on the cube.
+  EXPECT_EQ(packet_flits(64, 2), 32U);
+  EXPECT_EQ(packet_flits(64, 4), 16U);
+  EXPECT_EQ(packet_flits(65, 4), 17U);  // rounds up
+  EXPECT_EQ(packet_flits(1, 4), 1U);
+}
+
+TEST(Normalization, BitsPerNsConversion) {
+  // 256 nodes at 0.5 flits/node/cycle of 4-byte flits, 6.34 ns clock:
+  // 256 * 0.5 * 32 bits / 6.34 ns = 646 bits/ns (the cube's capacity).
+  EXPECT_NEAR(to_bits_per_ns(0.5, 256, 4, 6.34), 646.0, 1.0);
+  // Tree at 1 flit/node/cycle of 2-byte flits, 9.64 ns clock: 425 bits/ns.
+  EXPECT_NEAR(to_bits_per_ns(1.0, 256, 2, 9.64), 424.9, 1.0);
+}
+
+TEST(Normalization, LatencyConversion) {
+  EXPECT_DOUBLE_EQ(to_ns(100.0, 7.8), 780.0);
+}
+
+TEST(Normalization, PaperCapacitiesInBits) {
+  // Headline sanity from §10: the best cube throughput (Duato, ~80 % of
+  // capacity at clock 7.8 ns) lands near 440 bits/ns; the best tree
+  // throughput (4 VCs, ~72 %) near 280 bits/ns.
+  const NormalizedScale duato = scale_for(paper_cube_spec(RoutingKind::kCubeDuato));
+  EXPECT_NEAR(0.8 * duato.capacity_bits_per_ns(), 440.0, 25.0);
+  const NormalizedScale tree4 = scale_for(paper_tree_spec(4));
+  EXPECT_NEAR(0.72 * tree4.capacity_bits_per_ns(), 280.0, 15.0);
+  const NormalizedScale det =
+      scale_for(paper_cube_spec(RoutingKind::kCubeDeterministic));
+  EXPECT_NEAR(0.6 * det.capacity_bits_per_ns(), 350.0, 40.0);
+  const NormalizedScale tree1 = scale_for(paper_tree_spec(1));
+  EXPECT_NEAR(0.36 * tree1.capacity_bits_per_ns(), 150.0, 10.0);
+}
+
+TEST(Normalization, EqualBytesPerCycleCapacity) {
+  // The normalization equalizes capacity in bytes/node/cycle: the cube's
+  // 0.5 flits of 4 bytes match the tree's 1 flit of 2 bytes.
+  const NormalizedScale cube =
+      scale_for(paper_cube_spec(RoutingKind::kCubeDeterministic));
+  const NormalizedScale tree = scale_for(paper_tree_spec(1));
+  EXPECT_DOUBLE_EQ(
+      cube.capacity_flits_per_node_cycle * cube.flit_bytes,
+      tree.capacity_flits_per_node_cycle * tree.flit_bytes);
+}
+
+TEST(NetworkSpec, ResolvedFlitBytes) {
+  EXPECT_EQ(paper_cube_spec(RoutingKind::kCubeDuato).resolved_flit_bytes(), 4U);
+  EXPECT_EQ(paper_tree_spec(2).resolved_flit_bytes(), 2U);
+  NetworkSpec custom = paper_cube_spec(RoutingKind::kCubeDuato);
+  custom.flit_bytes = 8;
+  EXPECT_EQ(custom.resolved_flit_bytes(), 8U);
+}
+
+TEST(NetworkSpec, FlitsPerPacket) {
+  EXPECT_EQ(paper_cube_spec(RoutingKind::kCubeDuato).flits_per_packet(), 16U);
+  EXPECT_EQ(paper_tree_spec(1).flits_per_packet(), 32U);
+}
+
+TEST(NetworkSpec, Descriptions) {
+  EXPECT_EQ(paper_cube_spec(RoutingKind::kCubeDeterministic).description(),
+            "16-ary 2-cube, deterministic, 4 vc");
+  EXPECT_EQ(paper_tree_spec(2).description(), "4-ary 4-tree, tree adaptive, 2 vc");
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,257 @@
+#include "traffic/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/bits.hpp"
+
+namespace smart {
+namespace {
+
+TEST(UniformPattern, NeverSendsToSelf) {
+  UniformPattern pattern(256);
+  Rng rng(1);
+  for (NodeId src = 0; src < 256; ++src) {
+    for (int i = 0; i < 50; ++i) {
+      const auto dst = pattern.destination(src, rng);
+      ASSERT_TRUE(dst.has_value());
+      EXPECT_NE(*dst, src);
+      EXPECT_LT(*dst, 256U);
+    }
+  }
+}
+
+TEST(UniformPattern, CoversAllDestinations) {
+  UniformPattern pattern(16);
+  Rng rng(2);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(*pattern.destination(3, rng));
+  EXPECT_EQ(seen.size(), 15U);
+  EXPECT_EQ(seen.count(3), 0U);
+}
+
+TEST(UniformPattern, RoughlyUniformOverDestinations) {
+  UniformPattern pattern(8);
+  Rng rng(3);
+  std::map<NodeId, int> counts;
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[*pattern.destination(0, rng)];
+  for (const auto& [dst, count] : counts) {
+    EXPECT_NEAR(count, draws / 7, draws / 70) << "dst " << dst;
+  }
+}
+
+TEST(ComplementPattern, MatchesDefinition) {
+  ComplementPattern pattern(256);
+  Rng rng(1);
+  EXPECT_EQ(*pattern.destination(0, rng), 255U);
+  EXPECT_EQ(*pattern.destination(0b10101010, rng), 0b01010101U);
+}
+
+TEST(ComplementPattern, EveryNodeInjects) {
+  ComplementPattern pattern(256);
+  EXPECT_DOUBLE_EQ(pattern.injecting_fraction(), 1.0);
+  EXPECT_TRUE(pattern.is_permutation());
+}
+
+TEST(ComplementPattern, IsInvolutionAndDerangement) {
+  ComplementPattern pattern(64);
+  const auto table = pattern.destination_table();
+  for (NodeId src = 0; src < 64; ++src) {
+    EXPECT_NE(table[src], src);
+    EXPECT_EQ(table[table[src]], src);
+  }
+}
+
+TEST(BitReversalPattern, PalindromesDoNotInject) {
+  // Paper §9: 16 of the 256 nodes have palindromic labels.
+  BitReversalPattern pattern(256);
+  Rng rng(1);
+  unsigned fixed_points = 0;
+  for (NodeId src = 0; src < 256; ++src) {
+    if (!pattern.destination(src, rng).has_value()) ++fixed_points;
+  }
+  EXPECT_EQ(fixed_points, 16U);
+  EXPECT_DOUBLE_EQ(pattern.injecting_fraction(), 240.0 / 256.0);
+}
+
+TEST(BitReversalPattern, MatchesDefinition) {
+  BitReversalPattern pattern(256);
+  Rng rng(1);
+  EXPECT_EQ(*pattern.destination(0b10000000, rng), 0b00000001U);
+  EXPECT_EQ(*pattern.destination(0b11100000, rng), 0b00000111U);
+}
+
+TEST(TransposePattern, MatchesDefinition) {
+  TransposePattern pattern(256);
+  Rng rng(1);
+  EXPECT_EQ(*pattern.destination(0b11110000, rng), 0b00001111U);
+  // Fixed points: equal halves.
+  EXPECT_FALSE(pattern.destination(0b10101010, rng).has_value());
+}
+
+TEST(TransposePattern, FixedPointCount) {
+  // Labels whose two halves are equal: 2^(B/2) = 16 for 256 nodes.
+  TransposePattern pattern(256);
+  Rng rng(1);
+  unsigned fixed_points = 0;
+  for (NodeId src = 0; src < 256; ++src) {
+    if (!pattern.destination(src, rng).has_value()) ++fixed_points;
+  }
+  EXPECT_EQ(fixed_points, 16U);
+}
+
+TEST(TransposePattern, SwapsBaseKDigitsOfTheCube) {
+  // On the 16-ary 2-cube the transpose swaps the two base-16 coordinates:
+  // a reflection along the main diagonal (paper §9).
+  TransposePattern pattern(256);
+  Rng rng(1);
+  for (NodeId src = 0; src < 256; ++src) {
+    const unsigned x = src % 16;
+    const unsigned y = src / 16;
+    if (x == y) {
+      EXPECT_FALSE(pattern.destination(src, rng).has_value());
+    } else {
+      EXPECT_EQ(*pattern.destination(src, rng), x * 16 + y);
+    }
+  }
+}
+
+TEST(ShufflePattern, RotatesLeft) {
+  ShufflePattern pattern(16);
+  Rng rng(1);
+  EXPECT_EQ(*pattern.destination(0b0001, rng), 0b0010U);
+  EXPECT_EQ(*pattern.destination(0b1000, rng), 0b0001U);
+  EXPECT_FALSE(pattern.destination(0b0000, rng).has_value());
+  EXPECT_FALSE(pattern.destination(0b1111, rng).has_value());
+}
+
+TEST(BitRotationPattern, IsInverseOfShuffle) {
+  ShufflePattern shuffle(256);
+  BitRotationPattern rotation(256);
+  const auto forward = shuffle.destination_table();
+  const auto backward = rotation.destination_table();
+  for (NodeId src = 0; src < 256; ++src) {
+    EXPECT_EQ(backward[forward[src]], src);
+  }
+}
+
+TEST(DigitReversalPattern, ReversesBaseKDigits) {
+  DigitReversalPattern pattern(4, 3);  // 64 nodes, digits p0 p1 p2
+  Rng rng(1);
+  // 27 = 1 2 3 base 4 -> 3 2 1 = 57.
+  EXPECT_EQ(*pattern.destination(27, rng), 57U);
+  // Palindromic digits are fixed points: 1 0 1 = 17.
+  EXPECT_FALSE(pattern.destination(17, rng).has_value());
+}
+
+TEST(DigitReversalPattern, DiffersFromBitReversalForK4) {
+  DigitReversalPattern digits(4, 4);
+  BitReversalPattern bits(256);
+  Rng rng(1);
+  bool differs = false;
+  for (NodeId src = 0; src < 256; ++src) {
+    const auto a = digits.destination(src, rng);
+    const auto b = bits.destination(src, rng);
+    if (a.has_value() != b.has_value() || (a && b && *a != *b)) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DigitReversalPattern, MatchesBitReversalForK2) {
+  DigitReversalPattern digits(2, 8);
+  BitReversalPattern bits(256);
+  EXPECT_EQ(digits.destination_table(), bits.destination_table());
+}
+
+TEST(TornadoPattern, ShiftsEveryDigit) {
+  TornadoPattern pattern(4, 2);  // 16 nodes, shift (4+1)/2-1 = 1
+  Rng rng(1);
+  // src (0,0) -> (1,1): 1*4 + 1 = 5 with digit order (low, high).
+  EXPECT_EQ(*pattern.destination(0, rng), 5U);
+  // Wrap: (3,3) -> (0,0).
+  EXPECT_EQ(*pattern.destination(15, rng), 0U);
+}
+
+TEST(TornadoPattern, IsPermutation) {
+  TornadoPattern pattern(8, 2);
+  Rng rng(1);
+  std::set<NodeId> dests;
+  for (NodeId src = 0; src < 64; ++src) {
+    dests.insert(*pattern.destination(src, rng));
+  }
+  EXPECT_EQ(dests.size(), 64U);
+}
+
+TEST(NeighborPattern, WrapsAtEnd) {
+  NeighborPattern pattern(8);
+  Rng rng(1);
+  EXPECT_EQ(*pattern.destination(0, rng), 1U);
+  EXPECT_EQ(*pattern.destination(7, rng), 0U);
+}
+
+TEST(RandomPermutationPattern, IsBijective) {
+  RandomPermutationPattern pattern(128, 99);
+  Rng rng(1);
+  std::set<NodeId> dests;
+  unsigned injecting = 0;
+  for (NodeId src = 0; src < 128; ++src) {
+    const auto dst = pattern.destination(src, rng);
+    if (dst) {
+      ++injecting;
+      dests.insert(*dst);
+    } else {
+      dests.insert(src);  // fixed point occupies its own slot
+    }
+  }
+  EXPECT_EQ(dests.size(), 128U);
+  EXPECT_GT(injecting, 100U);  // fixed points are rare
+}
+
+TEST(RandomPermutationPattern, SeedDeterminesTable) {
+  RandomPermutationPattern a(64, 7);
+  RandomPermutationPattern b(64, 7);
+  RandomPermutationPattern c(64, 8);
+  EXPECT_EQ(a.destination_table(), b.destination_table());
+  EXPECT_NE(a.destination_table(), c.destination_table());
+}
+
+TEST(HotspotPattern, ConcentratesOnHotspot) {
+  HotspotPattern pattern(64, 5, 0.5);
+  Rng rng(1);
+  int to_hotspot = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    if (*pattern.destination(0, rng) == 5U) ++to_hotspot;
+  }
+  // 50 % direct + ~1/63 of the uniform remainder.
+  EXPECT_NEAR(static_cast<double>(to_hotspot) / draws, 0.508, 0.03);
+}
+
+TEST(PatternFactory, CreatesEveryKind) {
+  for (PatternKind kind :
+       {PatternKind::kUniform, PatternKind::kComplement,
+        PatternKind::kBitReversal, PatternKind::kTranspose,
+        PatternKind::kShuffle, PatternKind::kNeighbor,
+        PatternKind::kRandomPermutation, PatternKind::kHotspot}) {
+    const auto pattern = make_pattern(kind, 256, 16, 2);
+    ASSERT_NE(pattern, nullptr) << to_string(kind);
+    EXPECT_EQ(pattern->node_count(), 256U);
+  }
+  const auto tornado = make_pattern(PatternKind::kTornado, 256, 16, 2);
+  ASSERT_NE(tornado, nullptr);
+}
+
+TEST(PatternNames, AreStable) {
+  EXPECT_EQ(to_string(PatternKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(PatternKind::kBitReversal), "bit reversal");
+  EXPECT_EQ(make_pattern(PatternKind::kTranspose, 256)->name(), "transpose");
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,148 @@
+// Golden-trace tests of the pipeline timing model.
+//
+// One packet in an otherwise empty network must advance exactly one stage
+// per cycle (DESIGN.md §6): stream into the injection channel, terminal
+// link, routing decision (T_routing), crossbar (T_crossbar), link (T_link),
+// then one body flit per cycle behind the header. These tests pin the exact
+// delivery cycles so that any accidental change to the stage ordering or
+// the arrival-stamp rules shows up immediately.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+std::uint64_t cycles_until_delivered_ret(Network& network,
+                                         std::uint64_t flits) {
+  std::uint64_t guard = 0;
+  while (network.consumed_flits() < flits && guard < 10000) {
+    network.step();
+    ++guard;
+  }
+  return network.cycle();
+}
+
+TEST(PipelineTiming, CubeAdjacentNodesGoldenTrace) {
+  // 16-flit packet (64 B / 4 B flits) from node 0 to its +x neighbor:
+  //   cycle 1  header enters the injection channel   (latency clock starts)
+  //   cycle 2  header crosses the processor->router link
+  //   cycle 3  routing decision at switch 0
+  //   cycle 4  crossbar at switch 0
+  //   cycle 5  link to switch 1
+  //   cycle 6  routing decision at switch 1 (ejection)
+  //   cycle 7  crossbar at switch 1
+  //   cycle 8  consumed by node 1; body flit i follows at cycle 8 + i
+  SimConfig config;
+  config.net = paper_cube_spec(RoutingKind::kCubeDeterministic);
+  config.traffic.offered_fraction = 0.0;
+  config.timing.warmup_cycles = 0;  // measure from the first cycle
+  Network network(config);
+  network.enqueue_packet(0, 1);
+
+  // Header flit.
+  const std::uint64_t header_cycle = cycles_until_delivered_ret(network, 1);
+  EXPECT_EQ(header_cycle, 8U);
+  // Tail flit: 15 more cycles of pipelined body flits.
+  const std::uint64_t tail_cycle = cycles_until_delivered_ret(network, 16);
+  EXPECT_EQ(tail_cycle, 23U);
+}
+
+TEST(PipelineTiming, CubeLatencyExcludesSourceQueueing) {
+  SimConfig config;
+  config.net = paper_cube_spec(RoutingKind::kCubeDeterministic);
+  config.traffic.offered_fraction = 0.0;
+  config.timing.warmup_cycles = 0;
+  config.timing.horizon_cycles = 100;
+  config.trace.collect_packet_log = true;
+  Network network(config);
+  network.enqueue_packet(0, 1);
+  network.run();
+  ASSERT_EQ(network.result().packet_log.size(), 1U);
+  const PacketRecord& record = network.result().packet_log.front();
+  EXPECT_EQ(record.inject_cycle, 1U);     // header entered the channel
+  EXPECT_EQ(record.deliver_cycle, 23U);   // tail consumed
+  EXPECT_EQ(record.network_latency(), 22U);
+  EXPECT_EQ(record.hops, 3U);             // inject + 1 network link + eject
+}
+
+TEST(PipelineTiming, EachExtraCubeHopCostsThreeCycles) {
+  // route + crossbar + link per intermediate switch.
+  for (unsigned distance : {1U, 2U, 3U, 5U}) {
+    SimConfig config;
+    config.net = paper_cube_spec(RoutingKind::kCubeDeterministic);
+    config.traffic.offered_fraction = 0.0;
+    config.timing.warmup_cycles = 0;
+    Network network(config);
+    network.enqueue_packet(0, distance);  // +x direction, same row
+    const std::uint64_t tail = cycles_until_delivered_ret(network, 16);
+    EXPECT_EQ(tail, 23U + 3U * (distance - 1)) << "distance " << distance;
+  }
+}
+
+TEST(PipelineTiming, TreeSameLeafGoldenTrace) {
+  // 32-flit packet (2 B flits) between nodes on the same leaf switch:
+  // inject(1) + nic link(2) + route(3) + xbar(4) + terminal link(5),
+  // then 31 body flits: tail at cycle 36, latency 35, hops 2.
+  SimConfig config;
+  config.net = paper_tree_spec(1);
+  config.traffic.offered_fraction = 0.0;
+  config.timing.warmup_cycles = 0;
+  config.timing.horizon_cycles = 200;
+  config.trace.collect_packet_log = true;
+  Network network(config);
+  network.enqueue_packet(0, 1);
+  network.run();
+  ASSERT_EQ(network.result().packet_log.size(), 1U);
+  const PacketRecord& record = network.result().packet_log.front();
+  EXPECT_EQ(record.deliver_cycle, 36U);
+  EXPECT_EQ(record.network_latency(), 35U);
+  EXPECT_EQ(record.hops, 2U);
+}
+
+TEST(PipelineTiming, TreeDiameterPath) {
+  // Distance 8 (through a root): 2 terminal links + 6 switch links, each
+  // switch adding route+xbar+link = 3 cycles; the terminal-link hop at the
+  // source adds 2 (stream + link) and each switch 3, consumption included
+  // in the last link. Empirically locked: tail of a 32-flit worm.
+  SimConfig config;
+  config.net = paper_tree_spec(1);
+  config.traffic.offered_fraction = 0.0;
+  config.timing.warmup_cycles = 0;
+  config.timing.horizon_cycles = 300;
+  config.trace.collect_packet_log = true;
+  Network network(config);
+  network.enqueue_packet(0, 255);
+  network.run();
+  ASSERT_EQ(network.result().packet_log.size(), 1U);
+  const PacketRecord& record = network.result().packet_log.front();
+  EXPECT_EQ(record.hops, 8U);
+  // Header: inject at 1, NIC link at 2, then 7 switches (4 up to the root,
+  // 3 down) at 3 cycles each -> consumed at cycle 23; tail 31 flits later
+  // at cycle 54; latency 54 - 1 = 53.
+  EXPECT_EQ(record.network_latency(), 53U);
+}
+
+TEST(PipelineTiming, OneFlitPerLinkPerCycle) {
+  // Two packets to the same destination from the same source serialize on
+  // the shared links: 16 flit cycles plus one routing bubble — the second
+  // header becomes the lane head during the crossbar phase (when the first
+  // tail tears its path down), one phase AFTER this cycle's routing ran,
+  // so it is routed in the next cycle.
+  SimConfig config;
+  config.net = paper_cube_spec(RoutingKind::kCubeDeterministic);
+  config.traffic.offered_fraction = 0.0;
+  config.timing.warmup_cycles = 0;
+  config.timing.horizon_cycles = 200;
+  config.trace.collect_packet_log = true;
+  Network network(config);
+  network.enqueue_packet(0, 1);
+  network.enqueue_packet(0, 1);
+  network.run();
+  ASSERT_EQ(network.result().packet_log.size(), 2U);
+  const auto& log = network.result().packet_log;
+  EXPECT_EQ(log[1].deliver_cycle - log[0].deliver_cycle, 17U);
+}
+
+}  // namespace
+}  // namespace smart

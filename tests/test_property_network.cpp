@@ -1,0 +1,155 @@
+// Property suite over simulation configurations: conservation, determinism
+// and physical bounds that must hold for every (topology, routing, pattern,
+// load) combination. The engine itself additionally asserts per-packet
+// minimality, in-order delivery and destination correctness on every run.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+struct NetCase {
+  const char* name;
+  NetworkSpec spec;
+};
+
+std::vector<NetCase> network_cases() {
+  std::vector<NetCase> cases;
+  {
+    NetworkSpec spec;
+    spec.topology = TopologyKind::kCube;
+    spec.k = 8;
+    spec.n = 2;
+    spec.routing = RoutingKind::kCubeDeterministic;
+    cases.push_back({"cube8x2_det", spec});
+    spec.routing = RoutingKind::kCubeDuato;
+    cases.push_back({"cube8x2_duato", spec});
+    spec.wraparound = false;
+    cases.push_back({"mesh8x2_duato", spec});
+    spec.wraparound = true;
+    spec.k = 2;
+    spec.n = 6;  // 64-node binary hypercube
+    cases.push_back({"hypercube64_duato", spec});
+  }
+  {
+    NetworkSpec spec;
+    spec.topology = TopologyKind::kTree;
+    spec.k = 4;
+    spec.n = 3;
+    spec.routing = RoutingKind::kTreeAdaptive;
+    spec.vcs = 1;
+    cases.push_back({"tree4x3_1vc", spec});
+    spec.vcs = 4;
+    cases.push_back({"tree4x3_4vc", spec});
+    spec.k = 2;
+    spec.n = 4;
+    spec.vcs = 2;
+    cases.push_back({"tree2x4_2vc", spec});
+  }
+  return cases;
+}
+
+using NetworkParam = std::tuple<int, int, double>;
+
+std::string network_case_name(
+    const ::testing::TestParamInfo<NetworkParam>& info) {
+  const auto cases = network_cases();
+  const char* patterns[] = {"uniform", "transpose", "complement"};
+  return std::string(
+             cases[static_cast<std::size_t>(std::get<0>(info.param))].name) +
+         "_" + patterns[std::get<1>(info.param)] + "_" +
+         (std::get<2>(info.param) < 0.5 ? "low" : "high");
+}
+
+class NetworkProperty : public ::testing::TestWithParam<NetworkParam> {
+ protected:
+  SimConfig make_config() const {
+    const auto cases = network_cases();
+    SimConfig config;
+    config.net = cases[static_cast<std::size_t>(std::get<0>(GetParam()))].spec;
+    const PatternKind patterns[] = {PatternKind::kUniform,
+                                    PatternKind::kTranspose,
+                                    PatternKind::kComplement};
+    config.traffic.pattern = patterns[std::get<1>(GetParam())];
+    config.traffic.offered_fraction = std::get<2>(GetParam());
+    config.timing.warmup_cycles = 400;
+    config.timing.horizon_cycles = 2500;
+    return config;
+  }
+};
+
+TEST_P(NetworkProperty, FlitConservation) {
+  Network network(make_config());
+  for (int i = 0; i < 1200; ++i) {
+    network.step();
+    ASSERT_EQ(network.injected_flits() - network.consumed_flits(),
+              network.buffered_flits());
+  }
+}
+
+TEST_P(NetworkProperty, NoDeadlockAndProgress) {
+  Network network(make_config());
+  const SimulationResult& result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  if (network.packet_rate() > 0.0) {
+    EXPECT_GT(result.delivered_packets, 0U);
+  }
+}
+
+TEST_P(NetworkProperty, AcceptedNeverExceedsEffectiveOfferedOrCapacity) {
+  Network network(make_config());
+  const SimulationResult& result = network.run();
+  EXPECT_LE(result.accepted_fraction,
+            result.effective_offered_fraction() + 0.05);
+  EXPECT_LE(result.accepted_flits_per_node_cycle,
+            result.capacity_flits_per_node_cycle + 1e-9);
+}
+
+TEST_P(NetworkProperty, LatencyAboveSerializationFloor) {
+  Network network(make_config());
+  const SimulationResult& result = network.run();
+  if (result.latency_cycles.count() == 0) return;
+  // A packet cannot beat its own serialization (size_flits cycles).
+  EXPECT_GE(result.latency_cycles.min(),
+            static_cast<double>(network.flits_per_packet()));
+}
+
+TEST_P(NetworkProperty, DeterministicReplay) {
+  Network a(make_config());
+  Network b(make_config());
+  a.run();
+  b.run();
+  EXPECT_EQ(a.result().delivered_flits, b.result().delivered_flits);
+  EXPECT_EQ(a.result().generated_packets, b.result().generated_packets);
+  EXPECT_DOUBLE_EQ(a.result().latency_cycles.mean(),
+                   b.result().latency_cycles.mean());
+}
+
+TEST_P(NetworkProperty, HistogramConsistentWithStats) {
+  Network network(make_config());
+  const SimulationResult& result = network.run();
+  EXPECT_EQ(result.latency_histogram.total(), result.latency_cycles.count());
+  if (result.latency_cycles.count() > 50 &&
+      result.latency_histogram.overflow() == 0) {
+    EXPECT_LE(result.latency_percentile(0.5),
+              result.latency_percentile(0.95));
+    // Median from the histogram must sit near the online mean for these
+    // unimodal distributions (loose sanity bound).
+    EXPECT_LT(result.latency_percentile(0.5),
+              result.latency_cycles.mean() * 2.0 + 20.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NetworkProperty,
+    ::testing::Combine(::testing::Range(0, 7),       // network cases
+                       ::testing::Range(0, 3),       // patterns
+                       ::testing::Values(0.2, 0.9)   // below/above saturation
+                       ),
+    network_case_name);
+
+}  // namespace
+}  // namespace smart

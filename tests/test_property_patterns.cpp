@@ -1,0 +1,145 @@
+// Property suite over traffic patterns and node counts: permutation
+// patterns must be bijections (with fixed points mapped to "no injection"),
+// the paper's three bit patterns are involutions, and random patterns stay
+// in range and deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "traffic/pattern.hpp"
+#include "util/bits.hpp"
+
+namespace smart {
+namespace {
+
+struct Case {
+  PatternKind kind;
+  std::size_t nodes;
+  unsigned k;  // tornado geometry
+  unsigned n;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = to_string(info.param.kind);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+  }
+  return name + "_" + std::to_string(info.param.nodes);
+}
+
+class PermutationProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PermutationProperty, IsBijective) {
+  const Case& param = GetParam();
+  const auto pattern =
+      make_pattern(param.kind, param.nodes, param.k, param.n, 7);
+  ASSERT_TRUE(pattern->is_permutation());
+  const auto table = pattern->destination_table();
+  std::set<NodeId> images(table.begin(), table.end());
+  EXPECT_EQ(images.size(), param.nodes);
+  for (NodeId dst : table) EXPECT_LT(dst, param.nodes);
+}
+
+TEST_P(PermutationProperty, FixedPointsNeverInject) {
+  const Case& param = GetParam();
+  const auto pattern =
+      make_pattern(param.kind, param.nodes, param.k, param.n, 7);
+  Rng rng(1);
+  const auto table = pattern->destination_table();
+  for (NodeId src = 0; src < param.nodes; ++src) {
+    const auto dst = pattern->destination(src, rng);
+    if (table[src] == src) {
+      EXPECT_FALSE(dst.has_value());
+    } else {
+      ASSERT_TRUE(dst.has_value());
+      EXPECT_EQ(*dst, table[src]);
+      EXPECT_NE(*dst, src);
+    }
+  }
+}
+
+TEST_P(PermutationProperty, StableAcrossCalls) {
+  const Case& param = GetParam();
+  const auto pattern =
+      make_pattern(param.kind, param.nodes, param.k, param.n, 7);
+  EXPECT_EQ(pattern->destination_table(), pattern->destination_table());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Permutations, PermutationProperty,
+    ::testing::Values(Case{PatternKind::kComplement, 16, 0, 0},
+                      Case{PatternKind::kComplement, 256, 0, 0},
+                      Case{PatternKind::kComplement, 1024, 0, 0},
+                      Case{PatternKind::kBitReversal, 16, 0, 0},
+                      Case{PatternKind::kBitReversal, 256, 0, 0},
+                      Case{PatternKind::kBitReversal, 1024, 0, 0},
+                      Case{PatternKind::kTranspose, 16, 0, 0},
+                      Case{PatternKind::kTranspose, 256, 0, 0},
+                      Case{PatternKind::kTranspose, 4096, 0, 0},
+                      Case{PatternKind::kShuffle, 64, 0, 0},
+                      Case{PatternKind::kShuffle, 256, 0, 0},
+                      Case{PatternKind::kNeighbor, 100, 0, 0},
+                      Case{PatternKind::kNeighbor, 256, 0, 0},
+                      Case{PatternKind::kTornado, 256, 16, 2},
+                      Case{PatternKind::kTornado, 64, 4, 3},
+                      Case{PatternKind::kBitRotation, 64, 0, 0},
+                      Case{PatternKind::kBitRotation, 256, 0, 0},
+                      Case{PatternKind::kDigitReversal, 256, 16, 2},
+                      Case{PatternKind::kDigitReversal, 64, 4, 3},
+                      Case{PatternKind::kRandomPermutation, 256, 0, 0},
+                      Case{PatternKind::kRandomPermutation, 333, 0, 0}),
+    case_name);
+
+class InvolutionProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InvolutionProperty, PaperPatternsAreInvolutions) {
+  const std::size_t nodes = GetParam();
+  for (PatternKind kind : {PatternKind::kComplement, PatternKind::kBitReversal,
+                           PatternKind::kTranspose}) {
+    const auto pattern = make_pattern(kind, nodes);
+    const auto table = pattern->destination_table();
+    for (NodeId src = 0; src < nodes; ++src) {
+      EXPECT_EQ(table[table[src]], src) << to_string(kind) << " at " << src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InvolutionProperty,
+                         ::testing::Values(4, 16, 64, 256, 1024, 4096));
+
+class UniformProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UniformProperty, InRangeAndNeverSelf) {
+  const std::size_t nodes = GetParam();
+  UniformPattern pattern(nodes);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.below(nodes));
+    const auto dst = pattern.destination(src, rng);
+    ASSERT_TRUE(dst.has_value());
+    EXPECT_LT(*dst, nodes);
+    EXPECT_NE(*dst, src);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UniformProperty,
+                         ::testing::Values(2, 3, 16, 255, 256, 1000));
+
+TEST(PatternGeometry, TransposeDistanceClassesScale) {
+  // The §8 distance-class law holds for every even-n quaternary tree:
+  // k^(n/2) fixed points, (k-1) k^(n/2+i-1) nodes at distance n+2i.
+  for (unsigned n : {2U, 4U}) {
+    const std::size_t nodes = ipow(4, n);
+    const auto pattern = make_pattern(PatternKind::kTranspose, nodes);
+    Rng rng(1);
+    std::size_t fixed = 0;
+    for (NodeId src = 0; src < nodes; ++src) {
+      if (!pattern->destination(src, rng)) ++fixed;
+    }
+    EXPECT_EQ(fixed, ipow(4, n / 2)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,166 @@
+// Property suite over a grid of topology shapes: structural invariants
+// that must hold for every k-ary n-cube, k-ary n-mesh and k-ary n-tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+
+namespace smart {
+namespace {
+
+struct Shape {
+  char family;  // 'c' cube, 'm' mesh, 't' tree
+  unsigned k;
+  unsigned n;
+};
+
+std::unique_ptr<Topology> build(const Shape& shape) {
+  switch (shape.family) {
+    case 'c': return std::make_unique<KaryNCube>(shape.k, shape.n, true);
+    case 'm': return std::make_unique<KaryNCube>(shape.k, shape.n, false);
+    default: return std::make_unique<KaryNTree>(shape.k, shape.n);
+  }
+}
+
+std::string shape_name(const ::testing::TestParamInfo<Shape>& info) {
+  const char* family = info.param.family == 'c'   ? "Cube"
+                       : info.param.family == 'm' ? "Mesh"
+                                                  : "Tree";
+  return std::string(family) + std::to_string(info.param.k) + "x" +
+         std::to_string(info.param.n);
+}
+
+class TopologyProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TopologyProperty, PortPeersAreMutual) {
+  const auto topo = build(GetParam());
+  for (SwitchId s = 0; s < topo->switch_count(); ++s) {
+    for (PortId p = 0; p < topo->ports_per_switch(); ++p) {
+      const PortPeer peer = topo->port_peer(s, p);
+      if (peer.kind != PeerKind::kSwitch) continue;
+      ASSERT_LT(peer.id, topo->switch_count());
+      const PortPeer back = topo->port_peer(peer.id, peer.port);
+      ASSERT_EQ(back.kind, PeerKind::kSwitch);
+      EXPECT_EQ(back.id, s);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST_P(TopologyProperty, EveryTerminalHasAValidAttachment) {
+  const auto topo = build(GetParam());
+  for (NodeId node = 0; node < topo->node_count(); ++node) {
+    const Attachment at = topo->terminal_attachment(node);
+    ASSERT_LT(at.sw, topo->switch_count());
+    const PortPeer peer = topo->port_peer(at.sw, at.port);
+    EXPECT_EQ(peer.kind, PeerKind::kTerminal);
+    EXPECT_EQ(peer.id, node);
+  }
+}
+
+TEST_P(TopologyProperty, EachTerminalPortHasUniqueNode) {
+  const auto topo = build(GetParam());
+  std::vector<unsigned> seen(topo->node_count(), 0);
+  for (SwitchId s = 0; s < topo->switch_count(); ++s) {
+    for (PortId p = 0; p < topo->ports_per_switch(); ++p) {
+      const PortPeer peer = topo->port_peer(s, p);
+      if (peer.kind != PeerKind::kTerminal) continue;
+      ASSERT_LT(peer.id, topo->node_count());
+      ++seen[peer.id];
+    }
+  }
+  for (NodeId node = 0; node < topo->node_count(); ++node) {
+    EXPECT_EQ(seen[node], 1U) << "node " << node;
+  }
+}
+
+TEST_P(TopologyProperty, MinHopsIsAMetric) {
+  const auto topo = build(GetParam());
+  const auto nodes = static_cast<NodeId>(topo->node_count());
+  for (NodeId a = 0; a < nodes; ++a) {
+    EXPECT_EQ(topo->min_hops(a, a), 0U);
+    for (NodeId b = 0; b < nodes; ++b) {
+      const unsigned ab = topo->min_hops(a, b);
+      EXPECT_EQ(ab, topo->min_hops(b, a));
+      if (a != b) EXPECT_GT(ab, 0U);
+    }
+  }
+  // Triangle inequality on a sample (full O(N^3) is too slow for 256).
+  const NodeId step = std::max<NodeId>(1, nodes / 7);
+  for (NodeId a = 0; a < nodes; a += step) {
+    for (NodeId b = 0; b < nodes; b += step) {
+      for (NodeId c = 0; c < nodes; c += step) {
+        EXPECT_LE(topo->min_hops(a, c),
+                  topo->min_hops(a, b) + topo->min_hops(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(TopologyProperty, DiameterIsMaxDistance) {
+  const auto topo = build(GetParam());
+  unsigned max_distance = 0;
+  for (NodeId a = 0; a < topo->node_count(); ++a) {
+    for (NodeId b = 0; b < topo->node_count(); ++b) {
+      max_distance = std::max(max_distance, topo->min_hops(a, b));
+    }
+  }
+  EXPECT_EQ(topo->diameter(), max_distance);
+}
+
+TEST_P(TopologyProperty, AverageDistanceBounds) {
+  const auto topo = build(GetParam());
+  const double avg = topo->average_distance();
+  EXPECT_GT(avg, 0.0);
+  EXPECT_LE(avg, static_cast<double>(topo->diameter()));
+}
+
+TEST_P(TopologyProperty, CapacityIsPositiveAndAtMostLinkRate) {
+  const auto topo = build(GetParam());
+  const double capacity = topo->uniform_capacity_flits_per_node_cycle();
+  EXPECT_GT(capacity, 0.0);
+  EXPECT_LE(capacity, 1.0);
+  EXPECT_GT(topo->bisection_channels(), 0U);
+}
+
+TEST_P(TopologyProperty, SwitchGraphIsConnectedThroughTerminals) {
+  // BFS over switches from node 0's switch must reach every switch that
+  // has a terminal attached (all of them for cubes, leaf level for trees
+  // plus everything above through up links).
+  const auto topo = build(GetParam());
+  std::vector<char> visited(topo->switch_count(), 0);
+  std::vector<SwitchId> frontier{topo->terminal_attachment(0).sw};
+  visited[frontier[0]] = 1;
+  while (!frontier.empty()) {
+    const SwitchId s = frontier.back();
+    frontier.pop_back();
+    for (PortId p = 0; p < topo->ports_per_switch(); ++p) {
+      const PortPeer peer = topo->port_peer(s, p);
+      if (peer.kind != PeerKind::kSwitch || visited[peer.id]) continue;
+      visited[peer.id] = 1;
+      frontier.push_back(peer.id);
+    }
+  }
+  for (NodeId node = 0; node < topo->node_count(); ++node) {
+    EXPECT_TRUE(visited[topo->terminal_attachment(node).sw])
+        << "node " << node << " unreachable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologyProperty,
+    ::testing::Values(Shape{'c', 2, 2}, Shape{'c', 2, 4}, Shape{'c', 3, 2},
+                      Shape{'c', 4, 2}, Shape{'c', 4, 3}, Shape{'c', 5, 2},
+                      Shape{'c', 16, 2}, Shape{'c', 8, 2}, Shape{'c', 2, 8},
+                      Shape{'m', 2, 2}, Shape{'m', 3, 2}, Shape{'m', 4, 2},
+                      Shape{'m', 16, 2}, Shape{'m', 4, 3},
+                      Shape{'t', 2, 1}, Shape{'t', 2, 2}, Shape{'t', 2, 4},
+                      Shape{'t', 3, 2}, Shape{'t', 4, 2}, Shape{'t', 4, 3},
+                      Shape{'t', 4, 4}, Shape{'t', 8, 2}),
+    shape_name);
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,109 @@
+// Multi-seed replication and the per-packet delivery log.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig base_config() {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 3000;
+  return config;
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  const auto points = run_replicated(base_config(), {0.3}, 5, 1);
+  ASSERT_EQ(points.size(), 1U);
+  EXPECT_EQ(points[0].accepted_fraction.count(), 5U);
+  EXPECT_NEAR(points[0].accepted_fraction.mean(), 0.3, 0.05);
+  EXPECT_GT(points[0].latency_mean_cycles.mean(), 16.0);
+  // Independent seeds genuinely differ.
+  EXPECT_GT(points[0].accepted_fraction.max(),
+            points[0].accepted_fraction.min());
+}
+
+TEST(Replication, ConfidenceIntervalShrinksWithSamples) {
+  const auto few = run_replicated(base_config(), {0.4}, 3, 1);
+  const auto many = run_replicated(base_config(), {0.4}, 12, 1);
+  EXPECT_GT(few[0].accepted_ci95(), 0.0);
+  EXPECT_LT(many[0].accepted_ci95(), few[0].accepted_ci95() * 1.2);
+}
+
+TEST(Replication, SingleSeedHasZeroCi) {
+  const auto points = run_replicated(base_config(), {0.3}, 1, 1);
+  EXPECT_DOUBLE_EQ(points[0].accepted_ci95(), 0.0);
+}
+
+TEST(Replication, ParallelMatchesSerial) {
+  const auto serial = run_replicated(base_config(), {0.2, 0.5}, 4, 1);
+  const auto parallel = run_replicated(base_config(), {0.2, 0.5}, 4, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].accepted_fraction.mean(),
+                     parallel[i].accepted_fraction.mean());
+    EXPECT_DOUBLE_EQ(serial[i].latency_mean_cycles.mean(),
+                     parallel[i].latency_mean_cycles.mean());
+  }
+}
+
+TEST(Replication, TableHasOneRowPerLoad) {
+  const auto points = run_replicated(base_config(), {0.2, 0.4, 0.6}, 2, 1);
+  const Table table = replicated_table(points);
+  EXPECT_EQ(table.row_count(), 3U);
+}
+
+TEST(PacketLog, CollectsEveryMeasuredDelivery) {
+  SimConfig config = base_config();
+  config.trace.collect_packet_log = true;
+  config.traffic.offered_fraction = 0.3;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  ASSERT_GT(result.delivered_packets, 0U);
+  EXPECT_EQ(result.packet_log.size(), result.delivered_packets);
+  for (const PacketRecord& record : result.packet_log) {
+    EXPECT_NE(record.src, record.dst);
+    EXPECT_GE(record.inject_cycle, record.gen_cycle);
+    EXPECT_GT(record.deliver_cycle, record.inject_cycle);
+    EXPECT_GE(record.hops, 2U);  // at least inject + eject on the cube
+  }
+}
+
+TEST(PacketLog, LatenciesMatchOnlineStats) {
+  SimConfig config = base_config();
+  config.trace.collect_packet_log = true;
+  config.traffic.offered_fraction = 0.4;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  OnlineStats from_log;
+  for (const PacketRecord& record : result.packet_log) {
+    from_log.add(static_cast<double>(record.network_latency()));
+  }
+  EXPECT_EQ(from_log.count(), result.latency_cycles.count());
+  EXPECT_NEAR(from_log.mean(), result.latency_cycles.mean(), 1e-9);
+}
+
+TEST(PacketLog, OffByDefault) {
+  SimConfig config = base_config();
+  config.traffic.offered_fraction = 0.3;
+  Network network(config);
+  EXPECT_TRUE(network.run().packet_log.empty());
+}
+
+TEST(PacketLog, TableRendering) {
+  std::vector<PacketRecord> log{{1, 2, 10, 12, 60, 8}};
+  const Table table = packet_log_table(log);
+  EXPECT_EQ(table.row_count(), 1U);
+  EXPECT_EQ(table.cell(0, 5), "48");  // network latency
+  EXPECT_EQ(table.cell(0, 6), "2");   // source queueing
+}
+
+}  // namespace
+}  // namespace smart

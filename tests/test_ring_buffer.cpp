@@ -1,0 +1,99 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace smart {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> buf(4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.full());
+  EXPECT_EQ(buf.size(), 0U);
+  EXPECT_EQ(buf.capacity(), 4U);
+  EXPECT_EQ(buf.free_slots(), 4U);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> buf(4);
+  buf.push(1);
+  buf.push(2);
+  buf.push(3);
+  EXPECT_EQ(buf.pop(), 1);
+  EXPECT_EQ(buf.pop(), 2);
+  EXPECT_EQ(buf.pop(), 3);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(RingBuffer, FullDetection) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  EXPECT_FALSE(buf.full());
+  buf.push(2);
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.free_slots(), 0U);
+}
+
+TEST(RingBuffer, WrapsAround) {
+  RingBuffer<int> buf(3);
+  for (int round = 0; round < 10; ++round) {
+    buf.push(round);
+    buf.push(round + 100);
+    EXPECT_EQ(buf.pop(), round);
+    EXPECT_EQ(buf.pop(), round + 100);
+  }
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(RingBuffer, FrontDoesNotPop) {
+  RingBuffer<int> buf(2);
+  buf.push(42);
+  EXPECT_EQ(buf.front(), 42);
+  EXPECT_EQ(buf.size(), 1U);
+  EXPECT_EQ(buf.pop(), 42);
+}
+
+TEST(RingBuffer, AtIndexesFromFront) {
+  RingBuffer<int> buf(4);
+  buf.push(10);
+  buf.push(20);
+  buf.push(30);
+  buf.pop();
+  buf.push(40);  // exercise wrap
+  EXPECT_EQ(buf.at(0), 20);
+  EXPECT_EQ(buf.at(1), 30);
+  EXPECT_EQ(buf.at(2), 40);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buf(3);
+  buf.push(1);
+  buf.push(2);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(9);
+  EXPECT_EQ(buf.front(), 9);
+}
+
+TEST(RingBuffer, HoldsNonTrivialTypes) {
+  RingBuffer<std::string> buf(2);
+  buf.push("head");
+  buf.push("tail");
+  EXPECT_EQ(buf.pop(), "head");
+  EXPECT_EQ(buf.pop(), "tail");
+}
+
+TEST(RingBuffer, CapacityOnePingPong) {
+  RingBuffer<int> buf(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(buf.empty());
+    buf.push(i);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.pop(), i);
+  }
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,178 @@
+// Unit tests of the router building blocks: lanes, credits, the switch
+// state helpers, the packet pool and the NIC injection interface.
+#include <gtest/gtest.h>
+
+#include "router/flit.hpp"
+#include "router/lanes.hpp"
+#include "router/nic.hpp"
+#include "router/switch.hpp"
+
+namespace smart {
+namespace {
+
+TEST(PacketPool, AllocateAndRecycle) {
+  PacketPool pool;
+  const PacketId a = pool.allocate();
+  const PacketId b = pool.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.in_flight(), 2U);
+  pool.release(a);
+  EXPECT_EQ(pool.in_flight(), 1U);
+  const PacketId c = pool.allocate();
+  EXPECT_EQ(c, a);  // recycled id
+  EXPECT_EQ(pool.in_flight(), 2U);
+}
+
+TEST(PacketPool, AllocationResetsRecord) {
+  PacketPool pool;
+  const PacketId id = pool.allocate();
+  pool[id].hops = 42;
+  pool[id].wrap_mask = 7;
+  pool.release(id);
+  const PacketId again = pool.allocate();
+  ASSERT_EQ(again, id);
+  EXPECT_EQ(pool[again].hops, 0U);
+  EXPECT_EQ(pool[again].wrap_mask, 0U);
+}
+
+TEST(OutputLaneState, BindableRules) {
+  OutputLane lane;
+  lane.buf = RingBuffer<Flit>(2);
+  lane.credits = 2;
+  EXPECT_TRUE(lane.bindable());
+  lane.bound = true;
+  EXPECT_FALSE(lane.bindable());
+  lane.bound = false;
+  lane.buf.push(Flit{});
+  lane.buf.push(Flit{});
+  EXPECT_FALSE(lane.bindable());  // full
+  (void)lane.buf.pop();
+  EXPECT_TRUE(lane.bindable());
+}
+
+TEST(InputLaneState, BindLifecycle) {
+  InputLane lane;
+  lane.buf = RingBuffer<Flit>(4);
+  EXPECT_FALSE(lane.bound());
+  lane.bind(3, 1, 100);
+  EXPECT_TRUE(lane.bound());
+  EXPECT_EQ(lane.bound_port, 3);
+  EXPECT_EQ(lane.bound_lane, 1);
+  EXPECT_EQ(lane.bound_cycle, 100U);
+  lane.unbind();
+  EXPECT_FALSE(lane.bound());
+}
+
+TEST(SwitchState, FreeOutputLaneCount) {
+  Switch sw(0, 2);
+  sw.port(0).out.resize(3);
+  for (OutputLane& lane : sw.port(0).out) {
+    lane.buf = RingBuffer<Flit>(2);
+    lane.credits = 2;
+  }
+  EXPECT_EQ(sw.free_output_lanes(0), 3U);
+  sw.port(0).out[0].bound = true;
+  EXPECT_EQ(sw.free_output_lanes(0), 2U);
+  sw.port(0).out[1].buf.push(Flit{});
+  sw.port(0).out[1].buf.push(Flit{});
+  EXPECT_EQ(sw.free_output_lanes(0), 1U);
+}
+
+TEST(SwitchState, InputLaneIndexFlattens) {
+  Switch sw(7, 3);
+  sw.port(0).in.resize(2);
+  sw.port(1).in.resize(0);
+  sw.port(2).in.resize(3);
+  sw.build_input_lane_index();
+  const auto& index = sw.input_lane_index();
+  ASSERT_EQ(index.size(), 5U);
+  EXPECT_EQ(index[0], (std::pair<std::uint16_t, std::uint16_t>{0, 0}));
+  EXPECT_EQ(index[1], (std::pair<std::uint16_t, std::uint16_t>{0, 1}));
+  EXPECT_EQ(index[2], (std::pair<std::uint16_t, std::uint16_t>{2, 0}));
+  EXPECT_EQ(index[4], (std::pair<std::uint16_t, std::uint16_t>{2, 2}));
+}
+
+TEST(NicInjection, StreamsOnePacketFlitByFlit) {
+  PacketPool pool;
+  Nic nic(0, 4, 1, 1, 1);
+  const PacketId id = pool.allocate();
+  pool[id].size_flits = 3;
+  nic.source_queue().push_back(id);
+
+  nic.stream(10, pool);
+  ASSERT_EQ(nic.channels()[0].buf.size(), 1U);
+  EXPECT_TRUE(nic.channels()[0].buf.front().head);
+  EXPECT_EQ(pool[id].inject_cycle, 10U);  // latency clock starts here
+
+  nic.stream(11, pool);
+  nic.stream(12, pool);
+  EXPECT_EQ(nic.channels()[0].buf.size(), 3U);
+  EXPECT_TRUE(nic.channels()[0].buf.at(2).tail);
+  EXPECT_TRUE(nic.source_queue().empty());
+}
+
+TEST(NicInjection, RespectsBufferCapacity) {
+  PacketPool pool;
+  Nic nic(0, 2, 1, 1, 1);
+  const PacketId id = pool.allocate();
+  pool[id].size_flits = 5;
+  nic.source_queue().push_back(id);
+  for (std::uint64_t cycle = 0; cycle < 10; ++cycle) nic.stream(cycle, pool);
+  EXPECT_EQ(nic.channels()[0].buf.size(), 2U);  // capacity-bound
+}
+
+TEST(NicInjection, SourceThrottlingSerializesPackets) {
+  PacketPool pool;
+  Nic nic(0, 8, 1, 1, 1);
+  const PacketId a = pool.allocate();
+  const PacketId b = pool.allocate();
+  pool[a].size_flits = 2;
+  pool[b].size_flits = 2;
+  nic.source_queue().push_back(a);
+  nic.source_queue().push_back(b);
+  for (std::uint64_t cycle = 0; cycle < 4; ++cycle) nic.stream(cycle, pool);
+  // Single channel: a0 a1 b0 b1 in FIFO order.
+  EXPECT_EQ(nic.channels()[0].buf.at(0).packet, a);
+  EXPECT_EQ(nic.channels()[0].buf.at(1).packet, a);
+  EXPECT_TRUE(nic.channels()[0].buf.at(1).tail);
+  EXPECT_EQ(nic.channels()[0].buf.at(2).packet, b);
+  EXPECT_TRUE(nic.channels()[0].buf.at(2).head);
+}
+
+TEST(NicInjection, MultiChannelStreamsConcurrently) {
+  PacketPool pool;
+  Nic nic(0, 4, 2, 2, 1);
+  EXPECT_TRUE(nic.fixed_lane_mapping());
+  const PacketId a = pool.allocate();
+  const PacketId b = pool.allocate();
+  pool[a].size_flits = 4;
+  pool[b].size_flits = 4;
+  nic.source_queue().push_back(a);
+  nic.source_queue().push_back(b);
+  nic.stream(0, pool);
+  // Both channels picked up a packet in the same cycle.
+  EXPECT_EQ(nic.channels()[0].buf.size(), 1U);
+  EXPECT_EQ(nic.channels()[1].buf.size(), 1U);
+  EXPECT_NE(nic.channels()[0].buf.front().packet,
+            nic.channels()[1].buf.front().packet);
+}
+
+TEST(NicInjection, ChoosesLaneWithMostCredits) {
+  Nic nic(0, 4, 4, 1, 1);
+  EXPECT_FALSE(nic.fixed_lane_mapping());
+  nic.credits() = {1, 3, 2, 3};
+  EXPECT_EQ(nic.choose_lane(), 1);  // first of the maxima
+  nic.credits() = {0, 0, 0, 0};
+  EXPECT_EQ(nic.choose_lane(), -1);
+}
+
+TEST(FlitDefaults, AreInert) {
+  Flit flit;
+  EXPECT_EQ(flit.packet, kInvalidPacket);
+  EXPECT_FALSE(flit.head);
+  EXPECT_FALSE(flit.tail);
+  EXPECT_EQ(flit.seq, 0U);
+}
+
+}  // namespace
+}  // namespace smart

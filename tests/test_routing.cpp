@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "routing/cube_dor.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig zero_traffic_config(NetworkSpec net) {
+  SimConfig config;
+  config.net = net;
+  config.traffic.offered_fraction = 0.0;
+  config.traffic.pattern = PatternKind::kUniform;
+  return config;
+}
+
+/// Drives the network until the given packet count is delivered or the
+/// cycle budget runs out; returns delivered count.
+std::uint64_t drive(Network& network, std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) network.step();
+  return network.consumed_flits();
+}
+
+TEST(CubeDor, DorHopFollowsDimensionOrder) {
+  const KaryNCube cube(16, 2);
+  CubeDorRouting routing(cube, 4);
+  // From (0,0) to (3,5): dimension 0 first, + direction.
+  const auto hop = routing.dor_hop(cube.switch_at({0, 0}),
+                                   static_cast<NodeId>(cube.switch_at({3, 5})));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->first, 0U);
+  EXPECT_TRUE(hop->second);
+  // Dimension 0 resolved: move in dimension 1.
+  const auto hop2 = routing.dor_hop(cube.switch_at({3, 0}),
+                                    static_cast<NodeId>(cube.switch_at({3, 5})));
+  ASSERT_TRUE(hop2.has_value());
+  EXPECT_EQ(hop2->first, 1U);
+}
+
+TEST(CubeDor, DorHopTakesShortestWayAround) {
+  const KaryNCube cube(16, 2);
+  CubeDorRouting routing(cube, 4);
+  // (0,0) -> (13,0): 13 forward vs 3 backward: go minus.
+  const auto hop = routing.dor_hop(cube.switch_at({0, 0}),
+                                   static_cast<NodeId>(cube.switch_at({13, 0})));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_FALSE(hop->second);
+  // Tie at distance 8 resolves to plus.
+  const auto tie = routing.dor_hop(cube.switch_at({0, 0}),
+                                   static_cast<NodeId>(cube.switch_at({8, 0})));
+  ASSERT_TRUE(tie.has_value());
+  EXPECT_TRUE(tie->second);
+}
+
+TEST(CubeDor, DorHopAtDestinationIsEmpty) {
+  const KaryNCube cube(8, 2);
+  CubeDorRouting routing(cube, 4);
+  EXPECT_FALSE(routing.dor_hop(12, 12).has_value());
+}
+
+TEST(CubeDor, DeliversSinglePacketMinimally) {
+  auto config = zero_traffic_config(paper_cube_spec(RoutingKind::kCubeDeterministic));
+  Network network(config);
+  network.enqueue_packet(0, 37);
+  drive(network, 500);
+  EXPECT_EQ(network.consumed_flits(), 16U);  // one 16-flit packet
+  EXPECT_EQ(network.packets().in_flight(), 0U);
+}
+
+TEST(CubeDor, DeliversWraparoundPacket) {
+  auto config = zero_traffic_config(paper_cube_spec(RoutingKind::kCubeDeterministic));
+  Network network(config);
+  const KaryNCube cube(16, 2);
+  // (1,1) -> (15,15): crosses the wrap in both dimensions.
+  network.enqueue_packet(cube.switch_at({1, 1}),
+                         static_cast<NodeId>(cube.switch_at({15, 15})));
+  drive(network, 500);
+  EXPECT_EQ(network.consumed_flits(), 16U);
+}
+
+TEST(CubeDuato, DeliversSinglePacketMinimally) {
+  auto config = zero_traffic_config(paper_cube_spec(RoutingKind::kCubeDuato));
+  Network network(config);
+  network.enqueue_packet(3, 250);
+  drive(network, 500);
+  EXPECT_EQ(network.consumed_flits(), 16U);
+  EXPECT_EQ(network.packets().in_flight(), 0U);
+}
+
+TEST(CubeDuato, AllPairsDeliverOnSmallCube) {
+  NetworkSpec spec;
+  spec.topology = TopologyKind::kCube;
+  spec.k = 4;
+  spec.n = 2;
+  spec.routing = RoutingKind::kCubeDuato;
+  spec.vcs = 4;
+  for (NodeId src = 0; src < 16; ++src) {
+    auto config = zero_traffic_config(spec);
+    Network network(config);
+    unsigned packets = 0;
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (dst == src) continue;
+      network.enqueue_packet(src, dst);
+      ++packets;
+    }
+    drive(network, 3000);
+    EXPECT_EQ(network.consumed_flits(), packets * 16U) << "src " << src;
+  }
+}
+
+TEST(CubeDor, AllPairsDeliverOnSmallCube) {
+  NetworkSpec spec;
+  spec.topology = TopologyKind::kCube;
+  spec.k = 4;
+  spec.n = 2;
+  spec.routing = RoutingKind::kCubeDeterministic;
+  spec.vcs = 4;
+  auto config = zero_traffic_config(spec);
+  Network network(config);
+  unsigned packets = 0;
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      network.enqueue_packet(src, dst);
+      ++packets;
+    }
+  }
+  drive(network, 20000);
+  EXPECT_EQ(network.consumed_flits(), packets * 16U);
+  EXPECT_FALSE(network.deadlocked());
+}
+
+TEST(TreeAdaptive, DeliversSinglePacketMinimally) {
+  for (unsigned vcs : {1U, 2U, 4U}) {
+    auto config = zero_traffic_config(paper_tree_spec(vcs));
+    Network network(config);
+    network.enqueue_packet(0, 255);  // diameter-distance pair
+    drive(network, 500);
+    EXPECT_EQ(network.consumed_flits(), 32U) << vcs << " vcs";
+  }
+}
+
+TEST(TreeAdaptive, SameLeafPairStaysLocal) {
+  auto config = zero_traffic_config(paper_tree_spec(2));
+  Network network(config);
+  network.enqueue_packet(4, 5);  // same leaf switch
+  std::uint64_t cycles = 0;
+  while (network.consumed_flits() < 32 && cycles < 500) {
+    network.step();
+    ++cycles;
+  }
+  EXPECT_EQ(network.consumed_flits(), 32U);
+  // 2 channels + serialization of 32 flits: well under 100 cycles.
+  EXPECT_LT(cycles, 100U);
+}
+
+TEST(TreeAdaptive, AllPairsDeliverOnSmallTree) {
+  NetworkSpec spec;
+  spec.topology = TopologyKind::kTree;
+  spec.k = 4;
+  spec.n = 2;
+  spec.routing = RoutingKind::kTreeAdaptive;
+  spec.vcs = 1;  // hardest flow-control case
+  for (NodeId src : {0U, 5U, 15U}) {
+    auto config = zero_traffic_config(spec);
+    Network network(config);
+    unsigned packets = 0;
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (dst == src) continue;
+      network.enqueue_packet(src, dst);
+      ++packets;
+    }
+    drive(network, 5000);
+    EXPECT_EQ(network.consumed_flits(), packets * 32U) << "src " << src;
+  }
+}
+
+// The engine itself asserts minimality, destination correctness and
+// in-order arrival on every delivered packet (see Network::consume); the
+// tests above exercise those invariants across all-pairs workloads.
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smart {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0U);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1U);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, SampleVariance) {
+  OnlineStats stats;
+  for (double x : {1.0, 2.0, 3.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 1.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, BinsValues) {
+  Histogram hist(10.0, 5);
+  hist.add(0.0);
+  hist.add(9.99);
+  hist.add(10.0);
+  hist.add(49.0);
+  hist.add(50.0);   // overflow
+  hist.add(1000.0); // overflow
+  EXPECT_EQ(hist.total(), 6U);
+  EXPECT_EQ(hist.bin(0), 2U);
+  EXPECT_EQ(hist.bin(1), 1U);
+  EXPECT_EQ(hist.bin(4), 1U);
+  EXPECT_EQ(hist.overflow(), 2U);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin) {
+  Histogram hist(1.0, 4);
+  hist.add(-5.0);
+  EXPECT_EQ(hist.bin(0), 1U);
+}
+
+TEST(Histogram, QuantileLinearInterpolation) {
+  Histogram hist(1.0, 10);
+  for (int i = 0; i < 100; ++i) hist.add(i / 10.0);  // uniform on [0, 10)
+  EXPECT_NEAR(hist.quantile(0.5), 5.0, 0.2);
+  EXPECT_NEAR(hist.quantile(0.9), 9.0, 0.2);
+  EXPECT_NEAR(hist.quantile(0.0), 0.0, 0.2);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram hist(1.0, 2);
+  hist.add(0.5);
+  hist.add(5.0);
+  hist.reset();
+  EXPECT_EQ(hist.total(), 0U);
+  EXPECT_EQ(hist.bin(0), 0U);
+  EXPECT_EQ(hist.overflow(), 0U);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace smart {
+namespace {
+
+TEST(Table, BuildsRows) {
+  Table table({"a", "b"});
+  table.begin_row().add_cell(std::string{"x"}).add_cell(1.5, 1);
+  table.begin_row().add_cell(std::string{"y"}).add_cell(std::uint64_t{7});
+  EXPECT_EQ(table.row_count(), 2U);
+  EXPECT_EQ(table.column_count(), 2U);
+  EXPECT_EQ(table.cell(0, 0), "x");
+  EXPECT_EQ(table.cell(0, 1), "1.5");
+  EXPECT_EQ(table.cell(1, 1), "7");
+}
+
+TEST(Table, TextContainsHeadersAndValues) {
+  Table table({"name", "value"});
+  table.begin_row().add_cell(std::string{"alpha"}).add_cell(3.14159, 2);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table table({"a", "b"});
+  table.begin_row().add_cell(std::string{"1"}).add_cell(std::string{"2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"field"});
+  table.begin_row().add_cell(std::string{"has,comma"});
+  table.begin_row().add_cell(std::string{"has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+  EXPECT_EQ(format_double(-0.5, 2), "-0.50");
+}
+
+TEST(Table, IntCells) {
+  Table table({"i"});
+  table.begin_row().add_cell(-42);
+  EXPECT_EQ(table.cell(0, 0), "-42");
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table table({"x"});
+  table.begin_row().add_cell(std::string{"v"});
+  const std::string path = testing::TempDir() + "/smartsim_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,60 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace smart {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<int> touched(257, 0);
+  pool.parallel_for(touched.size(),
+                    [&touched](std::size_t i) { touched[i] = 1; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0),
+            static_cast<int>(touched.size()));
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1U);
+}
+
+}  // namespace
+}  // namespace smart

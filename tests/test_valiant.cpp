@@ -1,0 +1,106 @@
+// Valiant randomized two-phase routing: correctness, deadlock freedom and
+// the oblivious load-balancing behavior it exists for.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig valiant_config(PatternKind pattern, double load, unsigned k = 8) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = k;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeValiant;
+  config.net.vcs = 4;
+  config.traffic.pattern = pattern;
+  config.traffic.offered_fraction = load;
+  config.timing.warmup_cycles = 1000;
+  config.timing.horizon_cycles = 8000;
+  return config;
+}
+
+TEST(Valiant, DeliversSinglePacket) {
+  SimConfig config = valiant_config(PatternKind::kUniform, 0.0);
+  Network network(config);
+  network.enqueue_packet(0, 37);
+  for (int i = 0; i < 2000 && network.packets().in_flight() > 0; ++i) {
+    network.step();
+  }
+  EXPECT_EQ(network.consumed_flits(), 16U);
+}
+
+TEST(Valiant, AllPairsDeliver) {
+  SimConfig config = valiant_config(PatternKind::kUniform, 0.0, 4);
+  Network network(config);
+  unsigned packets = 0;
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      network.enqueue_packet(src, dst);
+      ++packets;
+    }
+  }
+  for (int i = 0; i < 30000 && network.packets().in_flight() > 0; ++i) {
+    network.step();
+  }
+  EXPECT_EQ(network.consumed_flits(), packets * 16U);
+  EXPECT_FALSE(network.deadlocked());
+}
+
+TEST(Valiant, HopsExceedMinimalOnAverage) {
+  SimConfig config = valiant_config(PatternKind::kUniform, 0.2);
+  Network network(config);
+  const SimulationResult& result = network.run();
+  ASSERT_GT(result.hops.count(), 100U);
+  // Two uniform phases roughly double the average distance (+2 interface
+  // crossings); it must clearly exceed the minimal average.
+  const double minimal_avg = network.topology().average_distance() + 2.0;
+  EXPECT_GT(result.hops.mean(), minimal_avg * 1.4);
+}
+
+TEST(Valiant, NoDeadlockUnderOverload) {
+  for (PatternKind pattern :
+       {PatternKind::kUniform, PatternKind::kTornado,
+        PatternKind::kTranspose, PatternKind::kComplement}) {
+    Network network(valiant_config(pattern, 1.0));
+    const SimulationResult& result = network.run();
+    EXPECT_FALSE(result.deadlocked) << to_string(pattern);
+    EXPECT_GT(result.delivered_packets, 0U) << to_string(pattern);
+  }
+}
+
+TEST(Valiant, ObliviousToAdversarialStructure) {
+  // Valiant's throughput must be nearly pattern-independent: tornado and
+  // uniform land within a small factor of each other.
+  Network uniform(valiant_config(PatternKind::kUniform, 1.0));
+  Network tornado(valiant_config(PatternKind::kTornado, 1.0));
+  const double uniform_accepted = uniform.run().accepted_fraction;
+  const double tornado_accepted = tornado.run().accepted_fraction;
+  EXPECT_GT(uniform_accepted, 0.15);
+  EXPECT_GT(tornado_accepted, 0.7 * uniform_accepted);
+  EXPECT_LT(tornado_accepted, 1.4 * uniform_accepted);
+}
+
+TEST(Valiant, CostsHalfTheUniformCapacity) {
+  // On uniform traffic Valiant pays ~2x path length, so it saturates well
+  // below the minimal-adaptive algorithm.
+  SimConfig config = valiant_config(PatternKind::kUniform, 1.0);
+  Network valiant(config);
+  config.net.routing = RoutingKind::kCubeDuato;
+  Network duato(config);
+  EXPECT_LT(valiant.run().accepted_fraction,
+            0.75 * duato.run().accepted_fraction);
+}
+
+TEST(Valiant, RequiresFourVcs) {
+  EXPECT_EQ(to_string(RoutingKind::kCubeValiant), "Valiant");
+  SimConfig config = valiant_config(PatternKind::kUniform, 0.2);
+  config.net.vcs = 8;  // 2 lanes per (phase, VN): also legal
+  Network network(config);
+  EXPECT_FALSE(network.run().deadlocked);
+}
+
+}  // namespace
+}  // namespace smart

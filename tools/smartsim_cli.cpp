@@ -1,0 +1,289 @@
+// smartsim — command-line driver for the simulator.
+//
+// Runs a single simulation or a load sweep for any supported network,
+// routing algorithm, traffic pattern and arrival process, and prints the
+// metrics (optionally as CSV). Examples:
+//
+//   smartsim --topology cube --k 16 --n 2 --routing duato --pattern uniform \
+//            --load 0.6
+//   smartsim --topology tree --k 4 --n 4 --vcs 2 --pattern transpose --sweep
+//   smartsim --topology mesh --k 8 --n 2 --routing det --pattern tornado \
+//            --load 0.4 --injection bursty --csv out.csv
+//
+// Exit status: 0 on success, 1 on bad usage, 2 if the run deadlocked.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+
+namespace {
+
+using namespace smart;
+
+void usage() {
+  std::printf(
+      "usage: smartsim_cli [options]\n"
+      "  --topology cube|mesh|tree   (default cube)\n"
+      "  --k <radix>                 (default 16 cube / 4 tree)\n"
+      "  --n <dims|levels>           (default 2 cube / 4 tree)\n"
+      "  --routing det|duato|valiant|tree   (default duato / tree)\n"
+      "  --vcs <1|2|4|...>           virtual channels (default 4)\n"
+      "  --selection affine|rotating|random|credits   tree tie-break\n"
+      "  --pattern uniform|complement|bitrev|transpose|shuffle|tornado|\n"
+      "            neighbor|randperm|hotspot            (default uniform)\n"
+      "  --load <0..1>               offered fraction of capacity (default 0.5)\n"
+      "  --sweep                     sweep the default load grid instead\n"
+      "  --injection bernoulli|bursty  arrival process (default bernoulli)\n"
+      "  --burst-factor <f>          bursty peak/average (default 8)\n"
+      "  --packet-bytes <B>          (default 64)\n"
+      "  --buffer-depth <flits>      lane depth (default 4)\n"
+      "  --flit-bytes <B>            0 = paper normalization (default)\n"
+      "  --seed <u64>                (default 1)\n"
+      "  --warmup <cycles>           (default 2000)\n"
+      "  --horizon <cycles>          (default 20000)\n"
+      "  --replications <N>         average N seeds, report 95%% CIs\n"
+      "  --csv <path>                also write results as CSV\n"
+      "  --absolute                  report bits/ns and ns via the cost model\n");
+}
+
+bool parse_pattern(const std::string& value, PatternKind& out) {
+  if (value == "uniform") out = PatternKind::kUniform;
+  else if (value == "complement") out = PatternKind::kComplement;
+  else if (value == "bitrev") out = PatternKind::kBitReversal;
+  else if (value == "transpose") out = PatternKind::kTranspose;
+  else if (value == "shuffle") out = PatternKind::kShuffle;
+  else if (value == "tornado") out = PatternKind::kTornado;
+  else if (value == "neighbor") out = PatternKind::kNeighbor;
+  else if (value == "randperm") out = PatternKind::kRandomPermutation;
+  else if (value == "hotspot") out = PatternKind::kHotspot;
+  else return false;
+  return true;
+}
+
+bool parse_selection(const std::string& value, TreeSelection& out) {
+  if (value == "affine") out = TreeSelection::kSaltedAffine;
+  else if (value == "rotating") out = TreeSelection::kRotating;
+  else if (value == "random") out = TreeSelection::kRandom;
+  else if (value == "credits") out = TreeSelection::kMostCredits;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimConfig config;
+  bool topology_set = false;
+  bool routing_set = false;
+  bool k_set = false;
+  bool n_set = false;
+  bool sweep = false;
+  bool absolute = false;
+  unsigned replications = 1;
+  std::string csv_path;
+
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--topology") {
+      const std::string value = next_value(i);
+      topology_set = true;
+      if (value == "cube") {
+        config.net.topology = TopologyKind::kCube;
+      } else if (value == "mesh") {
+        config.net.topology = TopologyKind::kCube;
+        config.net.wraparound = false;
+      } else if (value == "tree") {
+        config.net.topology = TopologyKind::kTree;
+      } else {
+        std::fprintf(stderr, "unknown topology '%s'\n", value.c_str());
+        return 1;
+      }
+    } else if (arg == "--k") {
+      config.net.k = static_cast<unsigned>(std::atoi(next_value(i)));
+      k_set = true;
+    } else if (arg == "--n") {
+      config.net.n = static_cast<unsigned>(std::atoi(next_value(i)));
+      n_set = true;
+    } else if (arg == "--routing") {
+      const std::string value = next_value(i);
+      routing_set = true;
+      if (value == "det") config.net.routing = RoutingKind::kCubeDeterministic;
+      else if (value == "duato") config.net.routing = RoutingKind::kCubeDuato;
+      else if (value == "valiant") config.net.routing = RoutingKind::kCubeValiant;
+      else if (value == "tree") config.net.routing = RoutingKind::kTreeAdaptive;
+      else {
+        std::fprintf(stderr, "unknown routing '%s'\n", value.c_str());
+        return 1;
+      }
+    } else if (arg == "--vcs") {
+      config.net.vcs = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--selection") {
+      if (!parse_selection(next_value(i), config.net.tree_selection)) {
+        std::fprintf(stderr, "unknown selection policy\n");
+        return 1;
+      }
+    } else if (arg == "--pattern") {
+      if (!parse_pattern(next_value(i), config.traffic.pattern)) {
+        std::fprintf(stderr, "unknown pattern\n");
+        return 1;
+      }
+    } else if (arg == "--load") {
+      config.traffic.offered_fraction = std::atof(next_value(i));
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--injection") {
+      const std::string value = next_value(i);
+      if (value == "bernoulli") config.traffic.injection = InjectionKind::kBernoulli;
+      else if (value == "bursty") config.traffic.injection = InjectionKind::kBursty;
+      else {
+        std::fprintf(stderr, "unknown injection process\n");
+        return 1;
+      }
+    } else if (arg == "--burst-factor") {
+      config.traffic.burst_factor = std::atof(next_value(i));
+    } else if (arg == "--packet-bytes") {
+      config.net.packet_bytes = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--buffer-depth") {
+      config.net.buffer_depth = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--flit-bytes") {
+      config.net.flit_bytes = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--seed") {
+      config.traffic.seed = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--warmup") {
+      config.timing.warmup_cycles = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--horizon") {
+      config.timing.horizon_cycles = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--replications") {
+      replications = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--csv") {
+      csv_path = next_value(i);
+    } else if (arg == "--absolute") {
+      absolute = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  // Sensible defaults by topology family.
+  if (config.net.topology == TopologyKind::kTree) {
+    if (!k_set) config.net.k = 4;
+    if (!n_set) config.net.n = 4;
+    if (!routing_set) config.net.routing = RoutingKind::kTreeAdaptive;
+  } else {
+    if (!routing_set) config.net.routing = RoutingKind::kCubeDuato;
+  }
+  if (config.net.topology == TopologyKind::kTree &&
+      config.net.routing != RoutingKind::kTreeAdaptive) {
+    std::fprintf(stderr, "tree topology requires --routing tree\n");
+    return 1;
+  }
+  if (config.net.topology == TopologyKind::kCube &&
+      config.net.routing == RoutingKind::kTreeAdaptive) {
+    std::fprintf(stderr, "cube/mesh topology requires det or duato routing\n");
+    return 1;
+  }
+  (void)topology_set;
+
+  const std::vector<double> loads =
+      sweep ? default_load_grid()
+            : std::vector<double>{config.traffic.offered_fraction};
+
+  std::printf("smartsim: %s, %s traffic, %s arrivals, %u-byte packets\n\n",
+              config.net.description().c_str(),
+              to_string(config.traffic.pattern).c_str(),
+              to_string(config.traffic.injection).c_str(),
+              config.net.packet_bytes);
+
+  if (replications > 1) {
+    const auto points = run_replicated(config, loads, replications);
+    Table table = replicated_table(points);
+    std::printf("%s", table.to_text().c_str());
+    if (!csv_path.empty() && !table.write_csv(csv_path)) {
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const auto results = run_sweep(config, loads);
+
+  Table table(absolute
+                  ? std::vector<std::string>{"offered (frac)",
+                                             "offered (bits/ns)",
+                                             "accepted (bits/ns)",
+                                             "latency (ns)", "p99 (ns)",
+                                             "deadlock"}
+                  : std::vector<std::string>{"offered (frac)",
+                                             "accepted (frac)",
+                                             "latency (cycles)",
+                                             "p99 (cycles)", "hops",
+                                             "deadlock"});
+  const NormalizedScale scale = scale_for(config.net);
+  bool any_deadlock = false;
+  for (const SimulationResult& point : results) {
+    any_deadlock |= point.deadlocked;
+    table.begin_row();
+    if (absolute) {
+      table.add_cell(point.offered_fraction, 3)
+          .add_cell(to_bits_per_ns(point.offered_flits_per_node_cycle,
+                                   scale.nodes, scale.flit_bytes,
+                                   scale.clock_ns),
+                    1)
+          .add_cell(to_bits_per_ns(point.accepted_flits_per_node_cycle,
+                                   scale.nodes, scale.flit_bytes,
+                                   scale.clock_ns),
+                    1)
+          .add_cell(point.latency_cycles.count() > 0
+                        ? format_double(to_ns(point.latency_cycles.mean(),
+                                              scale.clock_ns),
+                                        1)
+                        : std::string{"-"})
+          .add_cell(point.latency_cycles.count() > 0
+                        ? format_double(to_ns(point.latency_percentile(0.99),
+                                              scale.clock_ns),
+                                        1)
+                        : std::string{"-"});
+    } else {
+      table.add_cell(point.offered_fraction, 3)
+          .add_cell(point.accepted_fraction, 3)
+          .add_cell(point.latency_cycles.count() > 0
+                        ? format_double(point.latency_cycles.mean(), 1)
+                        : std::string{"-"})
+          .add_cell(point.latency_cycles.count() > 0
+                        ? format_double(point.latency_percentile(0.99), 1)
+                        : std::string{"-"})
+          .add_cell(point.hops.count() > 0
+                        ? format_double(point.hops.mean(), 2)
+                        : std::string{"-"});
+    }
+    table.add_cell(point.deadlocked ? std::string{"YES"} : std::string{"no"});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  if (!csv_path.empty()) {
+    if (table.write_csv(csv_path)) {
+      std::printf("\nwrote %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  return any_deadlock ? 2 : 0;
+}
