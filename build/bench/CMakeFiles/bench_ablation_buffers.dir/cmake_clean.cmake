@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_buffers.dir/bench_ablation_buffers.cpp.o"
+  "CMakeFiles/bench_ablation_buffers.dir/bench_ablation_buffers.cpp.o.d"
+  "bench_ablation_buffers"
+  "bench_ablation_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

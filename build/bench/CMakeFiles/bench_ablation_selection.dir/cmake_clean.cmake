@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selection.dir/bench_ablation_selection.cpp.o"
+  "CMakeFiles/bench_ablation_selection.dir/bench_ablation_selection.cpp.o.d"
+  "bench_ablation_selection"
+  "bench_ablation_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_throttling.dir/bench_ablation_throttling.cpp.o"
+  "CMakeFiles/bench_ablation_throttling.dir/bench_ablation_throttling.cpp.o.d"
+  "bench_ablation_throttling"
+  "bench_ablation_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

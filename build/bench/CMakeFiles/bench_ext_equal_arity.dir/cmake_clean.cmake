@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_equal_arity.dir/bench_ext_equal_arity.cpp.o"
+  "CMakeFiles/bench_ext_equal_arity.dir/bench_ext_equal_arity.cpp.o.d"
+  "bench_ext_equal_arity"
+  "bench_ext_equal_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_equal_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

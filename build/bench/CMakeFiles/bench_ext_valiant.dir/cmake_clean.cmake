@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_valiant.dir/bench_ext_valiant.cpp.o"
+  "CMakeFiles/bench_ext_valiant.dir/bench_ext_valiant.cpp.o.d"
+  "bench_ext_valiant"
+  "bench_ext_valiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_valiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wire_delay.dir/bench_ext_wire_delay.cpp.o"
+  "CMakeFiles/bench_ext_wire_delay.dir/bench_ext_wire_delay.cpp.o.d"
+  "bench_ext_wire_delay"
+  "bench_ext_wire_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wire_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

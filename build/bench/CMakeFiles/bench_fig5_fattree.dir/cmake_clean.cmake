@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fattree.dir/bench_fig5_fattree.cpp.o"
+  "CMakeFiles/bench_fig5_fattree.dir/bench_fig5_fattree.cpp.o.d"
+  "bench_fig5_fattree"
+  "bench_fig5_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

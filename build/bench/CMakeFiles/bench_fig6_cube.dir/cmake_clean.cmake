@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cube.dir/bench_fig6_cube.cpp.o"
+  "CMakeFiles/bench_fig6_cube.dir/bench_fig6_cube.cpp.o.d"
+  "bench_fig6_cube"
+  "bench_fig6_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

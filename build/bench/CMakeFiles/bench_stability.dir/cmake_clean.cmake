@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stability.dir/bench_stability.cpp.o"
+  "CMakeFiles/bench_stability.dir/bench_stability.cpp.o.d"
+  "bench_stability"
+  "bench_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cost_model.dir/bench_table2_cost_model.cpp.o"
+  "CMakeFiles/bench_table2_cost_model.dir/bench_table2_cost_model.cpp.o.d"
+  "bench_table2_cost_model"
+  "bench_table2_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

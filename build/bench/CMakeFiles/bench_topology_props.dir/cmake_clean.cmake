@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_props.dir/bench_topology_props.cpp.o"
+  "CMakeFiles/bench_topology_props.dir/bench_topology_props.cpp.o.d"
+  "bench_topology_props"
+  "bench_topology_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

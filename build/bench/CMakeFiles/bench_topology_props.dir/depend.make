@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_topology_props.
+# This may be replaced when dependencies are built.

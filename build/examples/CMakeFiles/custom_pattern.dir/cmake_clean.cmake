@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pattern.dir/custom_pattern.cpp.o"
+  "CMakeFiles/custom_pattern.dir/custom_pattern.cpp.o.d"
+  "custom_pattern"
+  "custom_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draw_topologies.dir/draw_topologies.cpp.o"
+  "CMakeFiles/draw_topologies.dir/draw_topologies.cpp.o.d"
+  "draw_topologies"
+  "draw_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draw_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

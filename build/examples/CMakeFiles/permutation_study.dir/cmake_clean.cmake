@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_study.dir/permutation_study.cpp.o"
+  "CMakeFiles/permutation_study.dir/permutation_study.cpp.o.d"
+  "permutation_study"
+  "permutation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

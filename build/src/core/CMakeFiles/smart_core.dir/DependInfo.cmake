@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/smart_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/smart_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/smart_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/smart_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/smart_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/smart_core.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smart_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/smart_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/smart_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/smart_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/smart_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

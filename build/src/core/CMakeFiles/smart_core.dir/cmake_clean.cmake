@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_core.dir/config.cpp.o"
+  "CMakeFiles/smart_core.dir/config.cpp.o.d"
+  "CMakeFiles/smart_core.dir/experiment.cpp.o"
+  "CMakeFiles/smart_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/smart_core.dir/network.cpp.o"
+  "CMakeFiles/smart_core.dir/network.cpp.o.d"
+  "libsmart_core.a"
+  "libsmart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/chien.cpp" "src/cost/CMakeFiles/smart_cost.dir/chien.cpp.o" "gcc" "src/cost/CMakeFiles/smart_cost.dir/chien.cpp.o.d"
+  "/root/repo/src/cost/normalization.cpp" "src/cost/CMakeFiles/smart_cost.dir/normalization.cpp.o" "gcc" "src/cost/CMakeFiles/smart_cost.dir/normalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smart_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_cost.dir/chien.cpp.o"
+  "CMakeFiles/smart_cost.dir/chien.cpp.o.d"
+  "CMakeFiles/smart_cost.dir/normalization.cpp.o"
+  "CMakeFiles/smart_cost.dir/normalization.cpp.o.d"
+  "libsmart_cost.a"
+  "libsmart_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_router.dir/nic.cpp.o"
+  "CMakeFiles/smart_router.dir/nic.cpp.o.d"
+  "libsmart_router.a"
+  "libsmart_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/cube_dor.cpp" "src/routing/CMakeFiles/smart_routing.dir/cube_dor.cpp.o" "gcc" "src/routing/CMakeFiles/smart_routing.dir/cube_dor.cpp.o.d"
+  "/root/repo/src/routing/cube_duato.cpp" "src/routing/CMakeFiles/smart_routing.dir/cube_duato.cpp.o" "gcc" "src/routing/CMakeFiles/smart_routing.dir/cube_duato.cpp.o.d"
+  "/root/repo/src/routing/cube_valiant.cpp" "src/routing/CMakeFiles/smart_routing.dir/cube_valiant.cpp.o" "gcc" "src/routing/CMakeFiles/smart_routing.dir/cube_valiant.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/routing/CMakeFiles/smart_routing.dir/routing.cpp.o" "gcc" "src/routing/CMakeFiles/smart_routing.dir/routing.cpp.o.d"
+  "/root/repo/src/routing/tree_adaptive.cpp" "src/routing/CMakeFiles/smart_routing.dir/tree_adaptive.cpp.o" "gcc" "src/routing/CMakeFiles/smart_routing.dir/tree_adaptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smart_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/smart_router.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

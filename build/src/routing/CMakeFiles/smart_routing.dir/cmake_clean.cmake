@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_routing.dir/cube_dor.cpp.o"
+  "CMakeFiles/smart_routing.dir/cube_dor.cpp.o.d"
+  "CMakeFiles/smart_routing.dir/cube_duato.cpp.o"
+  "CMakeFiles/smart_routing.dir/cube_duato.cpp.o.d"
+  "CMakeFiles/smart_routing.dir/cube_valiant.cpp.o"
+  "CMakeFiles/smart_routing.dir/cube_valiant.cpp.o.d"
+  "CMakeFiles/smart_routing.dir/routing.cpp.o"
+  "CMakeFiles/smart_routing.dir/routing.cpp.o.d"
+  "CMakeFiles/smart_routing.dir/tree_adaptive.cpp.o"
+  "CMakeFiles/smart_routing.dir/tree_adaptive.cpp.o.d"
+  "libsmart_routing.a"
+  "libsmart_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

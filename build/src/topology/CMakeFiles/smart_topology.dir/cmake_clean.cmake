@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_topology.dir/kary_ncube.cpp.o"
+  "CMakeFiles/smart_topology.dir/kary_ncube.cpp.o.d"
+  "CMakeFiles/smart_topology.dir/kary_ntree.cpp.o"
+  "CMakeFiles/smart_topology.dir/kary_ntree.cpp.o.d"
+  "CMakeFiles/smart_topology.dir/topology.cpp.o"
+  "CMakeFiles/smart_topology.dir/topology.cpp.o.d"
+  "libsmart_topology.a"
+  "libsmart_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

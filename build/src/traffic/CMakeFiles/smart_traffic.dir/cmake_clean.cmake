@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_traffic.dir/injection.cpp.o"
+  "CMakeFiles/smart_traffic.dir/injection.cpp.o.d"
+  "CMakeFiles/smart_traffic.dir/pattern.cpp.o"
+  "CMakeFiles/smart_traffic.dir/pattern.cpp.o.d"
+  "libsmart_traffic.a"
+  "libsmart_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_util.dir/bits.cpp.o"
+  "CMakeFiles/smart_util.dir/bits.cpp.o.d"
+  "CMakeFiles/smart_util.dir/rng.cpp.o"
+  "CMakeFiles/smart_util.dir/rng.cpp.o.d"
+  "CMakeFiles/smart_util.dir/stats.cpp.o"
+  "CMakeFiles/smart_util.dir/stats.cpp.o.d"
+  "CMakeFiles/smart_util.dir/table.cpp.o"
+  "CMakeFiles/smart_util.dir/table.cpp.o.d"
+  "CMakeFiles/smart_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/smart_util.dir/thread_pool.cpp.o.d"
+  "libsmart_util.a"
+  "libsmart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

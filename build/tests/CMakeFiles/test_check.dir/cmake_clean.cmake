@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check.dir/test_check.cpp.o"
+  "CMakeFiles/test_check.dir/test_check.cpp.o.d"
+  "test_check"
+  "test_check.pdb"
+  "test_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_watchdog.dir/test_deadlock_watchdog.cpp.o"
+  "CMakeFiles/test_deadlock_watchdog.dir/test_deadlock_watchdog.cpp.o.d"
+  "test_deadlock_watchdog"
+  "test_deadlock_watchdog.pdb"
+  "test_deadlock_watchdog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_deadlock_watchdog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kary_ncube.dir/test_kary_ncube.cpp.o"
+  "CMakeFiles/test_kary_ncube.dir/test_kary_ncube.cpp.o.d"
+  "test_kary_ncube"
+  "test_kary_ncube.pdb"
+  "test_kary_ncube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kary_ncube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

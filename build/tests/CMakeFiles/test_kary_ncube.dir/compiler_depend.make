@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_kary_ncube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kary_ncube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kary_ntree.dir/test_kary_ntree.cpp.o"
+  "CMakeFiles/test_kary_ntree.dir/test_kary_ntree.cpp.o.d"
+  "test_kary_ntree"
+  "test_kary_ntree.pdb"
+  "test_kary_ntree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kary_ntree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

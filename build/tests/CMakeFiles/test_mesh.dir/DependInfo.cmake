@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/test_mesh.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/test_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/smart_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/smart_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/smart_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/smart_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smart_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normalization.dir/test_normalization.cpp.o"
+  "CMakeFiles/test_normalization.dir/test_normalization.cpp.o.d"
+  "test_normalization"
+  "test_normalization.pdb"
+  "test_normalization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

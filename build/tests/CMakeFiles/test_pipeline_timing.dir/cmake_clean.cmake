@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_timing.dir/test_pipeline_timing.cpp.o"
+  "CMakeFiles/test_pipeline_timing.dir/test_pipeline_timing.cpp.o.d"
+  "test_pipeline_timing"
+  "test_pipeline_timing.pdb"
+  "test_pipeline_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

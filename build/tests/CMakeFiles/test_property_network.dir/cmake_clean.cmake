@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_network.dir/test_property_network.cpp.o"
+  "CMakeFiles/test_property_network.dir/test_property_network.cpp.o.d"
+  "test_property_network"
+  "test_property_network.pdb"
+  "test_property_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

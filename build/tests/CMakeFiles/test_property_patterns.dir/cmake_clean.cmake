@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_patterns.dir/test_property_patterns.cpp.o"
+  "CMakeFiles/test_property_patterns.dir/test_property_patterns.cpp.o.d"
+  "test_property_patterns"
+  "test_property_patterns.pdb"
+  "test_property_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

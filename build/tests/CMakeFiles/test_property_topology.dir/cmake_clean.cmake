@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_topology.dir/test_property_topology.cpp.o"
+  "CMakeFiles/test_property_topology.dir/test_property_topology.cpp.o.d"
+  "test_property_topology"
+  "test_property_topology.pdb"
+  "test_property_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replication.dir/test_replication.cpp.o"
+  "CMakeFiles/test_replication.dir/test_replication.cpp.o.d"
+  "test_replication"
+  "test_replication.pdb"
+  "test_replication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

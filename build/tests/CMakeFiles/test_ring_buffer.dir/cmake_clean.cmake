@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_buffer.dir/test_ring_buffer.cpp.o"
+  "CMakeFiles/test_ring_buffer.dir/test_ring_buffer.cpp.o.d"
+  "test_ring_buffer"
+  "test_ring_buffer.pdb"
+  "test_ring_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_selection.dir/test_tree_selection.cpp.o"
+  "CMakeFiles/test_tree_selection.dir/test_tree_selection.cpp.o.d"
+  "test_tree_selection"
+  "test_tree_selection.pdb"
+  "test_tree_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_valiant.dir/test_valiant.cpp.o"
+  "CMakeFiles/test_valiant.dir/test_valiant.cpp.o.d"
+  "test_valiant"
+  "test_valiant.pdb"
+  "test_valiant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_valiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_valiant.
+# This may be replaced when dependencies are built.

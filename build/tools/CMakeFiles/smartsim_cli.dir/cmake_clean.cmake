@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsim_cli.dir/smartsim_cli.cpp.o"
+  "CMakeFiles/smartsim_cli.dir/smartsim_cli.cpp.o.d"
+  "smartsim_cli"
+  "smartsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
