@@ -1,0 +1,118 @@
+// Extension experiment: graceful degradation under link faults.
+//
+// The paper compares the 4-ary 4-tree and the 16-ary 2-cube on fault-free
+// fabrics. Here we break links on both 256-node networks and measure what
+// each keeps delivering. The fat-tree's up*/down* path diversity lets the
+// adaptive ascent steer around dead channels, while the cube's minimal
+// routing loses capacity (and drops the packets whose only minimal path
+// crosses a dead link). Fault sets are drawn from one seeded shuffle, so
+// the set for N faults contains the set for N-1: each curve is a genuine
+// progression, not independent samples.
+//
+// Two tables:
+//   1. degradation — accepted bandwidth and latency (cycles and absolute
+//      units via the Chien cost model) against the number of faulted
+//      links, both networks at a moderate 60 % offered load;
+//   2. epochs — a burst of faults landing mid-run (cycle 8000): per-epoch
+//      accepted bandwidth before/after the event and the post-horizon
+//      time-to-drain.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  std::printf("Extension — degradation under faulted links "
+              "(uniform traffic, load 0.60)\n");
+
+  constexpr double kLoad = 0.6;
+  constexpr std::uint64_t kFaultSeed = 99;
+
+  struct NetworkUnderTest {
+    const char* label;
+    NetworkSpec spec;
+  };
+  const NetworkUnderTest nets[] = {
+      {"fat tree, 4 vc", paper_tree_spec(4)},
+      {"cube, Duato", paper_cube_spec(RoutingKind::kCubeDuato)},
+  };
+
+  const std::vector<unsigned> fault_counts =
+      quick_mode() ? std::vector<unsigned>{0, 1, 4, 16}
+                   : std::vector<unsigned>{0, 1, 2, 4, 8, 16, 32};
+
+  print_section("accepted bandwidth vs faulted links");
+  Table table({"configuration", "faulted links", "accepted (frac)",
+               "retained", "accepted (bits/ns)", "latency (cycles)",
+               "latency (ns)", "unroutable", "verdict"});
+  for (const NetworkUnderTest& net : nets) {
+    const NormalizedScale scale = scale_for(net.spec);
+    double baseline = 0.0;
+    for (unsigned faults : fault_counts) {
+      SimConfig config = figure_config(net.spec, PatternKind::kUniform);
+      config.traffic.offered_fraction = kLoad;
+      if (faults > 0) {
+        config.faults.add_random_links(faults, kFaultSeed, /*start=*/0);
+      }
+      Network network(config);
+      const SimulationResult& r = network.run();
+      if (faults == 0) baseline = r.accepted_fraction;
+      const double latency =
+          r.latency_cycles.count() > 0 ? r.latency_cycles.mean() : 0.0;
+      table.begin_row()
+          .add_cell(std::string{net.label})
+          .add_cell(static_cast<double>(faults), 0)
+          .add_cell(r.accepted_fraction, 3)
+          .add_cell(baseline > 0.0 ? r.accepted_fraction / baseline : 0.0, 3)
+          .add_cell(to_bits_per_ns(r.accepted_flits_per_node_cycle,
+                                   scale.nodes, scale.flit_bytes,
+                                   scale.clock_ns),
+                    1)
+          .add_cell(latency, 1)
+          .add_cell(to_ns(latency, scale.clock_ns), 1)
+          .add_cell(static_cast<double>(r.unroutable_packets), 0)
+          .add_cell(std::string{to_string(r.stall_verdict)});
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+  write_csv(table, "ext_fault_degradation");
+
+  print_section("mid-run fault burst (8 links at cycle 8000) — epochs");
+  Table epochs({"configuration", "epoch start", "epoch end", "faults",
+                "accepted (frac)", "latency (cycles)", "dropped",
+                "drain (cycles)"});
+  for (const NetworkUnderTest& net : nets) {
+    const NormalizedScale scale = scale_for(net.spec);
+    SimConfig config = figure_config(net.spec, PatternKind::kUniform);
+    config.traffic.offered_fraction = kLoad;
+    config.faults.add_random_links(8, kFaultSeed, /*start=*/8000);
+    config.timing.drain_after_horizon = true;
+    Network network(config);
+    const SimulationResult& r = network.run();
+    for (const FaultEpoch& epoch : r.fault_epochs) {
+      epochs.begin_row()
+          .add_cell(std::string{net.label})
+          .add_cell(static_cast<double>(epoch.start_cycle), 0)
+          .add_cell(static_cast<double>(epoch.end_cycle), 0)
+          .add_cell(static_cast<double>(epoch.active_faults), 0)
+          .add_cell(epoch.accepted_flits_per_node_cycle /
+                        scale.capacity_flits_per_node_cycle,
+                    3)
+          .add_cell(epoch.mean_latency_cycles, 1)
+          .add_cell(static_cast<double>(epoch.dropped_packets), 0)
+          .add_cell(&epoch == &r.fault_epochs.back()
+                        ? format_double(static_cast<double>(r.drain_cycles), 0)
+                        : std::string{""});
+    }
+  }
+  std::printf("%s", epochs.to_text().c_str());
+  write_csv(epochs, "ext_fault_epochs");
+
+  std::printf(
+      "\nThe tree sheds almost no bandwidth for small fault counts — the\n"
+      "ascent simply avoids dead channels and every healthy root still\n"
+      "reaches every leaf — while the cube pays immediately: packets whose\n"
+      "minimal quadrant crosses a dead link either detour onto the escape\n"
+      "lanes or, when no healthy minimal hop remains, are dropped.\n");
+  return 0;
+}

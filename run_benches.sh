@@ -1,9 +1,28 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Runs every benchmark binary; used to produce bench_output.txt.
-for b in build/bench/*; do
+# Fails fast: the first bench that exits non-zero aborts the run and its
+# status is propagated, so CI and scripts can trust the exit code.
+set -euo pipefail
+
+BENCH_DIR="${1:-build/bench}"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: bench directory '$BENCH_DIR' not found (build first)" >&2
+  exit 1
+fi
+
+found=0
+for b in "$BENCH_DIR"/*; do
+  # Skip cmake droppings; bench_micro needs its own argv, so it still runs.
   if [ -f "$b" ] && [ -x "$b" ]; then
+    found=1
     echo "===== $b ====="
     "$b"
     echo
   fi
 done
+
+if [ "$found" -eq 0 ]; then
+  echo "error: no benchmark binaries in '$BENCH_DIR'" >&2
+  exit 1
+fi

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "routing/tree_adaptive.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/pattern.hpp"
@@ -79,10 +80,15 @@ struct SimTiming {
   std::uint64_t warmup_cycles = 2000;
   std::uint64_t horizon_cycles = 20000;
   /// Cycles without any flit movement (with packets in flight) after which
-  /// the run is declared deadlocked.
+  /// the run is declared stalled (deadlock or fault-stall verdict).
   std::uint64_t deadlock_threshold = 3000;
   /// Width of the throughput time-series windows in the results.
   std::uint64_t stats_window_cycles = 1000;
+  /// When set, injection stops at the horizon and the run continues until
+  /// every in-flight packet is delivered or dropped (or drain_max_cycles /
+  /// the watchdog fire) — measures time-to-drain after a fault schedule.
+  bool drain_after_horizon = false;
+  std::uint64_t drain_max_cycles = 20000;
 };
 
 struct SimConfig {
@@ -90,6 +96,11 @@ struct SimConfig {
   TrafficSpec traffic;
   SimTiming timing;
   TraceSpec trace;
+
+  /// Deterministic fault schedule (empty = fault-free: the fault machinery
+  /// is bypassed entirely and results are bit-identical to a build without
+  /// it). See src/fault/fault.hpp and docs/MODEL.md §8.
+  FaultPlan faults;
 
   /// Extension point: when set, overrides NetworkSpec::routing with a
   /// user-supplied algorithm (also how tests inject faulty algorithms to

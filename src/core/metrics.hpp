@@ -32,6 +32,44 @@ struct PacketRecord {
   }
 };
 
+/// Why a run stopped making progress (watchdog verdicts).
+enum class StallVerdict : std::uint8_t {
+  kNone,       ///< the run reached its horizon (or drained) normally
+  kDeadlock,   ///< classic deadlock: no movement, no active fault
+  kFaultStall, ///< no movement while faults were active: packets wedged on
+               ///< failed components, not on a cyclic dependency
+};
+
+[[nodiscard]] constexpr const char* to_string(StallVerdict verdict) noexcept {
+  switch (verdict) {
+    case StallVerdict::kNone: return "none";
+    case StallVerdict::kDeadlock: return "deadlock";
+    case StallVerdict::kFaultStall: return "fault-stall";
+  }
+  return "unknown";
+}
+
+/// Resilience accounting for one fault epoch: the span of cycles between
+/// two consecutive fault activations/repairs (first epoch starts at cycle
+/// 1, last ends at the final cycle). Collected over the whole run — fault
+/// schedules need not align with the measurement window.
+struct FaultEpoch {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;  ///< inclusive
+  unsigned active_faults = 0;   ///< faults active during this epoch
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_flits = 0;
+  std::uint64_t dropped_packets = 0;  ///< unroutable worms fully drained
+  /// Accepted bandwidth over the epoch, flits per node per cycle.
+  double accepted_flits_per_node_cycle = 0.0;
+  /// Mean network latency of packets delivered in the epoch (0 if none).
+  double mean_latency_cycles = 0.0;
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept {
+    return end_cycle >= start_cycle ? end_cycle - start_cycle + 1 : 0;
+  }
+};
+
 struct SimulationResult {
   // Load axis.
   double offered_fraction = 0.0;            ///< of capacity, as configured
@@ -97,6 +135,28 @@ struct SimulationResult {
   std::uint64_t packets_in_flight_end = 0;
   std::uint64_t source_queue_backlog_end = 0;
   bool deadlocked = false;
+
+  // Resilience (all zero / empty on a fault-free run).
+  /// Verdict of the progress watchdog; kDeadlock mirrors `deadlocked`.
+  StallVerdict stall_verdict = StallVerdict::kNone;
+  /// Packets declared unroutable by the routing layer (whole run).
+  std::uint64_t unroutable_packets = 0;
+  /// Unroutable packets whose worm finished draining (whole run).
+  std::uint64_t dropped_packets = 0;
+  /// Flits discarded while draining unroutable worms (whole run).
+  std::uint64_t dropped_flits = 0;
+  /// Unroutable packets declared inside the measurement window.
+  std::uint64_t window_unroutable_packets = 0;
+  /// Per-epoch degradation curve (empty without a fault plan).
+  std::vector<FaultEpoch> fault_epochs;
+  /// Faults active when the run ended.
+  unsigned active_faults_end = 0;
+
+  // Post-horizon drain (only when SimTiming::drain_after_horizon is set):
+  // injection stops at the horizon and the run continues until the fabric
+  // empties — the time-to-drain after the configured fault schedule.
+  std::uint64_t drain_cycles = 0;
+  bool drained_clean = false;  ///< true when every in-flight packet left
 };
 
 }  // namespace smart

@@ -25,6 +25,13 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
   build_routing();
   build_fabric();
 
+  // Fault machinery engages only with a non-empty plan; a fault-free run
+  // never touches it, keeping results bit-identical to earlier builds.
+  if (!config_.faults.empty()) {
+    faults_ = std::make_unique<FaultState>(*topo_, config_.faults);
+    routing_->attach_fault_state(faults_.get());
+  }
+
   const NetworkSpec& net = config_.net;
   flits_per_packet_ = net.flits_per_packet();
   capacity_ = topo_->uniform_capacity_flits_per_node_cycle();
@@ -165,7 +172,8 @@ PacketId Network::enqueue_packet(NodeId src, NodeId dst) {
 
 void Network::nic_phase() {
   for (Nic& nic : nics_) {
-    if (packet_rate_ > 0.0 && injection_[nic.node()]->fires(nic.rng())) {
+    if (!draining_ && packet_rate_ > 0.0 &&
+        injection_[nic.node()]->fires(nic.rng())) {
       const auto dst = pattern_->destination(nic.node(), nic.rng());
       if (dst) enqueue_packet(nic.node(), *dst);
     }
@@ -181,9 +189,13 @@ void Network::nic_phase() {
 
 void Network::switch_link_phase(Switch& sw) {
   if (sw.buffered == 0) return;
+  if (faults_ && !faults_->switch_ok(sw.id())) return;  // dead switch
   for (PortId p = 0; p < sw.port_count(); ++p) {
     SwitchPort& port = sw.port(p);
     if (port.out_buffered == 0) continue;
+    // A faulted link transmits nothing; its flits and credits freeze in
+    // place until repair (docs/MODEL.md §8).
+    if (faults_ && !faults_->link_ok(sw.id(), p)) continue;
     const auto lane_count = static_cast<unsigned>(port.out.size());
     for (unsigned i = 0; i < lane_count; ++i) {
       const unsigned lane = (i + port.link_rr) % lane_count;
@@ -218,6 +230,9 @@ void Network::switch_link_phase(Switch& sw) {
 
 void Network::nic_link_phase(Nic& nic) {
   const Attachment at = topo_->terminal_attachment(nic.node());
+  // A dead attachment switch (or faulted terminal link) freezes injection;
+  // generated packets pile up in the source queue and injection channels.
+  if (faults_ && !faults_->link_ok(at.sw, at.port)) return;
   SwitchPort& port = switches_[at.sw].port(at.port);
   auto& channels = nic.channels();
   const auto channel_count = static_cast<unsigned>(channels.size());
@@ -265,6 +280,7 @@ void Network::link_phase() {
 void Network::routing_phase() {
   for (Switch& sw : switches_) {
     if (sw.buffered == 0) continue;
+    if (faults_ && !faults_->switch_ok(sw.id())) continue;  // dead switch
     // Scan the flattened (port, lane) directory from a rotating start; the
     // first header that obtains an output lane consumes this T_routing.
     const auto& lanes = sw.input_lane_index();
@@ -274,14 +290,27 @@ void Network::routing_phase() {
     for (unsigned i = 0; i < total_lanes; ++i) {
       const unsigned index = (i + sw.route_rr) % total_lanes;
       InputLane& in = sw.port(lanes[index].first).in[lanes[index].second];
-      if (in.bound() || in.buf.empty()) continue;
+      if (in.bound() || in.dropping || in.buf.empty()) continue;
       const Flit& front = in.buf.front();
       if (!front.head || front.arrival >= cycle_) continue;
 
       Packet& pkt = pool_[front.packet];
       const auto choice = routing_->route(sw, lanes[index].first,
                                           lanes[index].second, pkt, cycle_);
-      if (!choice) continue;  // header stalls; try the next candidate
+      if (!choice) {
+        if (pkt.unroutable) {
+          // Faults left this packet without a route: drain and discard the
+          // worm (one flit per cycle, crediting upstream) instead of
+          // letting it wedge the lane forever.
+          pkt.unroutable = false;
+          in.dropping = true;
+          sw.dropping_count += 1;
+          ++unroutable_packets_;
+          if (measuring_) ++window_unroutable_packets_;
+          last_progress_cycle_ = cycle_;
+        }
+        continue;  // header stalls; try the next candidate
+      }
       OutputLane& out = sw.port(choice->port).out[choice->lane];
       SMART_CHECK_MSG(out.bindable(),
                       "routing algorithm returned a non-bindable lane");
@@ -295,12 +324,41 @@ void Network::routing_phase() {
   }
 }
 
+void Network::drain_lane(Switch& sw, SwitchPort& port, InputLane& in) {
+  if (in.buf.empty() || in.buf.front().arrival >= cycle_) return;
+  const Flit flit = in.buf.pop();
+  sw.buffered -= 1;
+  ++dropped_flits_;
+  // The freed slot is acknowledged upstream exactly like a crossbar
+  // advance, so body flits still in flight keep streaming to the drain.
+  const auto lane_index = static_cast<std::size_t>(&in - port.in.data());
+  if (port.peer.kind == PeerKind::kSwitch) {
+    pending_credits_.push_back(
+        &switches_[port.peer.id].port(port.peer.port).out[lane_index].credits);
+  } else if (port.peer.kind == PeerKind::kTerminal) {
+    pending_credits_.push_back(&nics_[port.peer.id].credits()[lane_index]);
+  }
+  last_progress_cycle_ = cycle_;
+  if (flit.tail) {
+    in.dropping = false;
+    sw.dropping_count -= 1;
+    ++dropped_packets_;
+    ++epoch_dropped_packets_;
+    pool_.release(flit.packet);
+  }
+}
+
 void Network::crossbar_phase() {
   for (Switch& sw : switches_) {
-    if (sw.bound_count == 0) continue;
+    if (sw.bound_count == 0 && sw.dropping_count == 0) continue;
+    if (faults_ && !faults_->switch_ok(sw.id())) continue;  // dead switch
     for (PortId p = 0; p < sw.port_count(); ++p) {
       SwitchPort& port = sw.port(p);
       for (InputLane& in : port.in) {
+        if (in.dropping) {
+          drain_lane(sw, port, in);
+          continue;
+        }
         if (!in.bound() || in.bound_cycle >= cycle_) continue;
         if (in.buf.empty() || in.buf.front().arrival >= cycle_) continue;
         SwitchPort& out_port = sw.port(static_cast<PortId>(in.bound_port));
@@ -361,6 +419,11 @@ void Network::consume(Flit flit) {
     } else {
       SMART_CHECK_MSG(pkt.hops >= floor_hops, "impossibly short path");
     }
+    if (faults_) {
+      ++epoch_delivered_packets_;
+      epoch_delivered_flits_ += pkt.size_flits;
+      epoch_latency_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
+    }
     if (measuring_) {
       ++window_delivered_packets_;
       window_delivered_flits_ += pkt.size_flits;
@@ -379,8 +442,55 @@ void Network::consume(Flit flit) {
   }
 }
 
+void Network::advance_faults() {
+  const unsigned prev_active = faults_->active_faults();
+  const auto events = faults_->advance(cycle_);
+  if (events.empty()) return;
+  // Every activation/repair boundary closes the current fault epoch; the
+  // cycle the events fire on starts the next one.
+  if (cycle_ > epoch_start_cycle_) close_fault_epoch(cycle_ - 1, prev_active);
+}
+
+void Network::close_fault_epoch(std::uint64_t end_cycle,
+                                unsigned active_faults) {
+  FaultEpoch epoch;
+  epoch.start_cycle = epoch_start_cycle_;
+  epoch.end_cycle = end_cycle;
+  epoch.active_faults = active_faults;
+  epoch.delivered_packets = epoch_delivered_packets_;
+  epoch.delivered_flits = epoch_delivered_flits_;
+  epoch.dropped_packets = epoch_dropped_packets_;
+  if (epoch.cycles() > 0) {
+    epoch.accepted_flits_per_node_cycle =
+        static_cast<double>(epoch_delivered_flits_) /
+        (static_cast<double>(epoch.cycles()) *
+         static_cast<double>(topo_->node_count()));
+  }
+  if (epoch_latency_.count() > 0) {
+    epoch.mean_latency_cycles = epoch_latency_.mean();
+  }
+  fault_epochs_.push_back(epoch);
+  epoch_start_cycle_ = end_cycle + 1;
+  epoch_delivered_packets_ = 0;
+  epoch_delivered_flits_ = 0;
+  epoch_dropped_packets_ = 0;
+  epoch_latency_ = OnlineStats{};
+}
+
+void Network::record_stall() {
+  // A stall with faults active means packets are wedged on failed
+  // components; only a fault-free stall is the classic cyclic deadlock.
+  if (faults_ && faults_->any_active()) {
+    stall_verdict_ = StallVerdict::kFaultStall;
+  } else {
+    stall_verdict_ = StallVerdict::kDeadlock;
+    deadlocked_ = true;
+  }
+}
+
 void Network::step() {
   ++cycle_;
+  if (faults_) advance_faults();
   if (!measuring_ && cycle_ > config_.timing.warmup_cycles) {
     measuring_ = true;
     stats_window_start_ = cycle_;
@@ -408,9 +518,26 @@ const SimulationResult& Network::run() {
     step();
     if (pool_.in_flight() > 0 &&
         cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
-      deadlocked_ = true;
+      record_stall();
       break;
     }
+  }
+  if (config_.timing.drain_after_horizon &&
+      stall_verdict_ == StallVerdict::kNone) {
+    // Time-to-drain: stop injecting and keep the fabric running until every
+    // in-flight packet is delivered or dropped (or the watchdog fires).
+    draining_ = true;
+    const std::uint64_t drain_start = cycle_;
+    while (pool_.in_flight() > 0 &&
+           cycle_ - drain_start < config_.timing.drain_max_cycles) {
+      step();
+      if (cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
+        record_stall();
+        break;
+      }
+    }
+    result_.drain_cycles = cycle_ - drain_start;
+    result_.drained_clean = pool_.in_flight() == 0;
   }
   finalize_result();
   return result_;
@@ -464,6 +591,18 @@ void Network::finalize_result() {
   }
   result_.source_queue_backlog_end = backlog;
   result_.deadlocked = deadlocked_;
+  result_.stall_verdict = stall_verdict_;
+  result_.unroutable_packets = unroutable_packets_;
+  result_.dropped_packets = dropped_packets_;
+  result_.dropped_flits = dropped_flits_;
+  result_.window_unroutable_packets = window_unroutable_packets_;
+  if (faults_) {
+    if (cycle_ >= epoch_start_cycle_) {
+      close_fault_epoch(cycle_, faults_->active_faults());
+    }
+    result_.fault_epochs = fault_epochs_;
+    result_.active_faults_end = faults_->active_faults();
+  }
 }
 
 std::uint64_t Network::buffered_flits() const {

@@ -27,6 +27,7 @@
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "fault/fault.hpp"
 #include "router/nic.hpp"
 #include "router/switch.hpp"
 #include "routing/routing.hpp"
@@ -74,14 +75,24 @@ class Network {
 
   /// Flits currently buffered anywhere in the system (invariant checks).
   [[nodiscard]] std::uint64_t buffered_flits() const;
-  /// Injected minus consumed flits must equal buffered_flits() at any time.
+  /// Injected minus consumed minus dropped flits must equal
+  /// buffered_flits() at any time.
   [[nodiscard]] std::uint64_t injected_flits() const noexcept {
     return injected_flits_;
   }
   [[nodiscard]] std::uint64_t consumed_flits() const noexcept {
     return consumed_flits_;
   }
+  /// Flits discarded while draining unroutable worms (fault handling).
+  [[nodiscard]] std::uint64_t dropped_flits() const noexcept {
+    return dropped_flits_;
+  }
   [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+
+  /// Null on a fault-free run (empty SimConfig::faults).
+  [[nodiscard]] const FaultState* fault_state() const noexcept {
+    return faults_.get();
+  }
 
   /// Manually enqueue one packet at `src` for `dst` (tests and examples);
   /// returns the packet id.
@@ -98,8 +109,12 @@ class Network {
   void nic_link_phase(Nic& nic);
   void routing_phase();
   void crossbar_phase();
+  void drain_lane(Switch& sw, SwitchPort& port, InputLane& in);
   void apply_pending_credits();
   void consume(Flit flit);
+  void advance_faults();
+  void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
+  void record_stall();
   void finalize_result();
 
   SimConfig config_;
@@ -108,6 +123,7 @@ class Network {
   const class KaryNTree* tree_ = nullptr;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<TrafficPattern> pattern_;
+  std::unique_ptr<FaultState> faults_;  ///< null when the plan is empty
 
   std::vector<Switch> switches_;
   std::vector<Nic> nics_;
@@ -126,6 +142,22 @@ class Network {
   std::uint64_t consumed_flits_ = 0;
   std::uint64_t last_progress_cycle_ = 0;
   bool deadlocked_ = false;
+  StallVerdict stall_verdict_ = StallVerdict::kNone;
+  bool draining_ = false;  ///< past the horizon with injection stopped
+
+  // Resilience counters (whole run; stay zero without a fault plan).
+  std::uint64_t unroutable_packets_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t dropped_flits_ = 0;
+  std::uint64_t window_unroutable_packets_ = 0;
+
+  // Current fault epoch (see FaultEpoch; tracked only with faults_).
+  std::uint64_t epoch_start_cycle_ = 1;
+  std::uint64_t epoch_delivered_packets_ = 0;
+  std::uint64_t epoch_delivered_flits_ = 0;
+  std::uint64_t epoch_dropped_packets_ = 0;
+  OnlineStats epoch_latency_;
+  std::vector<FaultEpoch> fault_epochs_;
 
   // Counters (measurement window).
   bool measuring_ = false;

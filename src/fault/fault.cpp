@@ -1,0 +1,248 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace smart {
+
+void FaultPlan::add_random_links(unsigned count, std::uint64_t seed,
+                                 std::uint64_t start, std::uint64_t repair) {
+  if (count == 0) return;
+  random_.push_back({count, 0.0, seed, start, repair});
+}
+
+void FaultPlan::add_random_fraction(double fraction, std::uint64_t seed,
+                                    std::uint64_t start,
+                                    std::uint64_t repair) {
+  SMART_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                  "fault fraction must lie in [0, 1]");
+  if (fraction == 0.0) return;
+  random_.push_back({0, fraction, seed, start, repair});
+}
+
+std::vector<std::pair<SwitchId, PortId>> switch_links(const Topology& topo) {
+  std::vector<std::pair<SwitchId, PortId>> links;
+  for (SwitchId s = 0; s < topo.switch_count(); ++s) {
+    for (PortId p = 0; p < topo.ports_per_switch(); ++p) {
+      const PortPeer peer = topo.port_peer(s, p);
+      if (peer.kind != PeerKind::kSwitch) continue;
+      // Each bidirectional channel appears once from either side; keep the
+      // lexicographically smaller endpoint. (Two parallel channels between
+      // the same switch pair — e.g. a 2-ary ring — stay distinct because
+      // their port pairs differ.)
+      if (std::make_pair(peer.id, peer.port) <
+          std::make_pair(s, p)) {
+        continue;
+      }
+      links.emplace_back(s, p);
+    }
+  }
+  return links;
+}
+
+std::vector<FaultSpec> FaultPlan::materialize(const Topology& topo) const {
+  std::vector<FaultSpec> out;
+  for (const FaultSpec& spec : faults_) {
+    SMART_CHECK_MSG(spec.sw < topo.switch_count(),
+                    "fault names a switch outside the topology");
+    if (spec.kind == FaultKind::kLink) {
+      SMART_CHECK_MSG(spec.port < topo.ports_per_switch(),
+                      "fault names a port outside the switch radix");
+      SMART_CHECK_MSG(
+          topo.port_peer(spec.sw, spec.port).kind != PeerKind::kUnconnected,
+          "fault names an unconnected port");
+    }
+    SMART_CHECK_MSG(spec.start_cycle < spec.repair_cycle,
+                    "fault repair must come after activation");
+    out.push_back(spec);
+  }
+  for (const RandomDirective& directive : random_) {
+    auto links = switch_links(topo);
+    unsigned count = directive.count;
+    if (count == 0) {
+      count = static_cast<unsigned>(std::llround(
+          directive.fraction * static_cast<double>(links.size())));
+    }
+    count = std::min<unsigned>(count, static_cast<unsigned>(links.size()));
+    // Seeded Fisher-Yates; taking the first `count` entries of the same
+    // shuffle makes fault sets nested across increasing counts.
+    Rng rng(directive.seed);
+    for (std::size_t i = links.size(); i > 1; --i) {
+      std::swap(links[i - 1], links[rng.below(i)]);
+    }
+    for (unsigned i = 0; i < count; ++i) {
+      out.push_back({FaultKind::kLink, links[i].first, links[i].second,
+                     directive.start, directive.repair});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses the unsigned integer at *s, advancing it; false on no digits.
+bool parse_u64(const char*& s, std::uint64_t& out) {
+  char* end = nullptr;
+  if (*s < '0' || *s > '9') return false;
+  out = std::strtoull(s, &end, 10);
+  s = end;
+  return true;
+}
+
+/// Parses "@START[:REPAIR]" into spec; false on malformed input.
+bool parse_window(const char*& s, FaultSpec& spec) {
+  if (*s != '@') return false;
+  ++s;
+  if (!parse_u64(s, spec.start_cycle)) return false;
+  if (*s == ':') {
+    ++s;
+    if (!parse_u64(s, spec.repair_cycle)) return false;
+    if (spec.repair_cycle <= spec.start_cycle) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const char* s = entry.c_str();
+    FaultSpec fault;
+    std::uint64_t value = 0;
+    if (entry.rfind("link:", 0) == 0) {
+      s += 5;
+      fault.kind = FaultKind::kLink;
+      if (!parse_u64(s, value)) return std::nullopt;
+      fault.sw = static_cast<SwitchId>(value);
+      if (*s != ':') return std::nullopt;
+      ++s;
+      if (!parse_u64(s, value)) return std::nullopt;
+      fault.port = static_cast<PortId>(value);
+    } else if (entry.rfind("switch:", 0) == 0) {
+      s += 7;
+      fault.kind = FaultKind::kSwitch;
+      if (!parse_u64(s, value)) return std::nullopt;
+      fault.sw = static_cast<SwitchId>(value);
+    } else {
+      return std::nullopt;
+    }
+    if (!parse_window(s, fault) || *s != '\0') return std::nullopt;
+    plan.add(fault);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  auto append_entry = [&out](const std::string& entry) {
+    if (!out.empty()) out += ',';
+    out += entry;
+  };
+  for (const FaultSpec& f : faults_) {
+    std::string entry;
+    if (f.kind == FaultKind::kLink) {
+      entry.append("link:")
+          .append(std::to_string(f.sw))
+          .append(":")
+          .append(std::to_string(f.port));
+    } else {
+      entry.append("switch:").append(std::to_string(f.sw));
+    }
+    entry.append("@").append(std::to_string(f.start_cycle));
+    if (!f.permanent()) {
+      entry.append(":").append(std::to_string(f.repair_cycle));
+    }
+    append_entry(entry);
+  }
+  for (const RandomDirective& d : random_) {
+    std::string entry("rand:");
+    entry
+        .append(d.count > 0 ? std::to_string(d.count)
+                            : std::to_string(d.fraction))
+        .append("@")
+        .append(std::to_string(d.start));
+    append_entry(entry);
+  }
+  return out;
+}
+
+FaultState::FaultState(const Topology& topo, const FaultPlan& plan)
+    : topo_(&topo),
+      schedule_(plan.materialize(topo)),
+      active_(schedule_.size(), 0),
+      ports_(topo.ports_per_switch()),
+      port_ok_(topo.switch_count() * topo.ports_per_switch(), 1),
+      switch_ok_(topo.switch_count(), 1) {
+  events_.reserve(2 * schedule_.size());
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultSpec& spec = schedule_[i];
+    // The engine's first cycle is 1; earlier activations clamp to it.
+    events_.push_back({std::max<std::uint64_t>(spec.start_cycle, 1), i, true});
+    if (!spec.permanent()) {
+      events_.push_back(
+          {std::max<std::uint64_t>(spec.repair_cycle, 1), i, false});
+    }
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const ScheduledEvent& a, const ScheduledEvent& b) {
+              if (a.cycle != b.cycle) return a.cycle < b.cycle;
+              if (a.fault_index != b.fault_index) {
+                return a.fault_index < b.fault_index;
+              }
+              return a.activated && !b.activated;  // activate before repair
+            });
+}
+
+std::vector<FaultEvent> FaultState::advance(std::uint64_t cycle) {
+  std::vector<FaultEvent> fired;
+  while (next_event_ < events_.size() && events_[next_event_].cycle <= cycle) {
+    const ScheduledEvent& ev = events_[next_event_];
+    ++next_event_;
+    if (active_[ev.fault_index] == (ev.activated ? 1 : 0)) continue;
+    active_[ev.fault_index] = ev.activated ? 1 : 0;
+    if (ev.activated) {
+      ++active_count_;
+    } else {
+      --active_count_;
+    }
+    fired.push_back({ev.cycle, ev.fault_index, ev.activated});
+  }
+  if (!fired.empty()) rebuild_masks();
+  return fired;
+}
+
+void FaultState::rebuild_masks() {
+  std::fill(port_ok_.begin(), port_ok_.end(), 1);
+  std::fill(switch_ok_.begin(), switch_ok_.end(), 1);
+  auto kill_port = [this](SwitchId s, PortId p) {
+    port_ok_[static_cast<std::size_t>(s) * ports_ + p] = 0;
+  };
+  auto kill_link = [this, &kill_port](SwitchId s, PortId p) {
+    kill_port(s, p);
+    const PortPeer peer = topo_->port_peer(s, p);
+    if (peer.kind == PeerKind::kSwitch) kill_port(peer.id, peer.port);
+  };
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    if (active_[i] == 0) continue;
+    const FaultSpec& spec = schedule_[i];
+    if (spec.kind == FaultKind::kSwitch) {
+      switch_ok_[spec.sw] = 0;
+      for (PortId p = 0; p < ports_; ++p) kill_link(spec.sw, p);
+    } else {
+      kill_link(spec.sw, spec.port);
+    }
+  }
+}
+
+}  // namespace smart

@@ -1,0 +1,175 @@
+// Fault injection: deterministic schedules of component failures.
+//
+// A FaultPlan describes WHICH components fail and WHEN: permanent or
+// transient link and switch faults, either listed explicitly or drawn
+// deterministically from a seed (same seed + same topology => same faulted
+// links, and the set for N faults is a superset of the set for N-1, so
+// degradation sweeps are nested). A FaultState resolves the plan against a
+// concrete topology and answers the engine's per-cycle health queries.
+//
+// Semantics (docs/MODEL.md §8):
+//  * A fault scheduled for cycle c takes effect before any phase of cycle
+//    c (activation cycles below 1 clamp to 1, the first simulated cycle);
+//    a transient fault with repair cycle r is active during [c, r).
+//  * A faulted LINK stops transmitting in both directions. Flits already
+//    buffered in its output lanes stay put and the lane's credits freeze;
+//    transmission resumes on repair with credit state intact.
+//  * A faulted SWITCH faults all its ports (links and terminal interface)
+//    and freezes its routing engine and crossbar.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace smart {
+
+enum class FaultKind : std::uint8_t { kLink, kSwitch };
+
+/// Sentinel repair cycle: the fault is never repaired.
+inline constexpr std::uint64_t kFaultPermanent = ~0ULL;
+
+/// One scheduled component failure. Link faults identify the link by either
+/// endpoint: (sw, port) faults the whole bidirectional physical channel.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLink;
+  SwitchId sw = 0;
+  PortId port = 0;  ///< meaningful for link faults only
+  std::uint64_t start_cycle = 0;
+  std::uint64_t repair_cycle = kFaultPermanent;
+
+  [[nodiscard]] bool permanent() const noexcept {
+    return repair_cycle == kFaultPermanent;
+  }
+  [[nodiscard]] bool operator==(const FaultSpec&) const = default;
+};
+
+/// One activation or repair that fired while advancing the FaultState.
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  std::size_t fault_index = 0;  ///< into FaultState::schedule()
+  bool activated = false;       ///< false = repaired
+};
+
+/// A deterministic schedule of faults. Topology-independent until
+/// materialize(): explicit faults are stored as given; random directives
+/// are resolved against the topology's switch-to-switch links.
+class FaultPlan {
+ public:
+  void add(const FaultSpec& spec) { faults_.push_back(spec); }
+  void add_link(SwitchId sw, PortId port, std::uint64_t start,
+                std::uint64_t repair = kFaultPermanent) {
+    faults_.push_back({FaultKind::kLink, sw, port, start, repair});
+  }
+  void add_switch(SwitchId sw, std::uint64_t start,
+                  std::uint64_t repair = kFaultPermanent) {
+    faults_.push_back({FaultKind::kSwitch, sw, 0, start, repair});
+  }
+
+  /// Schedules `count` distinct switch-to-switch link faults chosen by a
+  /// seeded shuffle of the topology's links (resolved in materialize()).
+  /// The same seed yields nested sets across increasing counts.
+  void add_random_links(unsigned count, std::uint64_t seed,
+                        std::uint64_t start,
+                        std::uint64_t repair = kFaultPermanent);
+
+  /// Like add_random_links, but as a fraction (0..1] of the topology's
+  /// switch-to-switch links, rounded to the nearest whole link.
+  void add_random_fraction(double fraction, std::uint64_t seed,
+                           std::uint64_t start,
+                           std::uint64_t repair = kFaultPermanent);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return faults_.empty() && random_.empty();
+  }
+  [[nodiscard]] const std::vector<FaultSpec>& explicit_faults() const noexcept {
+    return faults_;
+  }
+
+  /// Resolves the plan against a topology: validates explicit ids and
+  /// expands random directives into concrete link faults. Deterministic.
+  [[nodiscard]] std::vector<FaultSpec> materialize(const Topology& topo) const;
+
+  /// Parses a comma-separated spec, e.g. "link:5:2@3000,switch:7@0:9000".
+  /// Entries: link:SW:PORT@START[:REPAIR] | switch:SW@START[:REPAIR].
+  /// Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<FaultPlan> parse(const std::string& spec);
+
+  /// Inverse of parse() for the explicit faults (random directives are
+  /// rendered as rand:COUNT@START entries, informational only).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct RandomDirective {
+    unsigned count = 0;      ///< used when > 0
+    double fraction = 0.0;   ///< used when count == 0
+    std::uint64_t seed = 0;
+    std::uint64_t start = 0;
+    std::uint64_t repair = kFaultPermanent;
+  };
+
+  std::vector<FaultSpec> faults_;
+  std::vector<RandomDirective> random_;
+};
+
+/// Canonical enumeration of a topology's bidirectional switch-to-switch
+/// links, each listed once from its lexicographically smaller (switch,
+/// port) endpoint. The order is deterministic (row-major scan).
+[[nodiscard]] std::vector<std::pair<SwitchId, PortId>> switch_links(
+    const Topology& topo);
+
+/// The engine-facing view of a FaultPlan: advances through the schedule one
+/// cycle at a time and answers O(1) health queries against precomputed
+/// masks (rebuilt only on the rare activation/repair events).
+class FaultState {
+ public:
+  FaultState(const Topology& topo, const FaultPlan& plan);
+
+  /// Applies every activation and repair scheduled at or before `cycle`
+  /// that has not fired yet; returns the events that fired. Must be called
+  /// with non-decreasing cycles (the engine calls it once per cycle).
+  std::vector<FaultEvent> advance(std::uint64_t cycle);
+
+  [[nodiscard]] const std::vector<FaultSpec>& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] bool configured() const noexcept { return !schedule_.empty(); }
+  [[nodiscard]] unsigned active_faults() const noexcept {
+    return active_count_;
+  }
+  [[nodiscard]] bool any_active() const noexcept { return active_count_ > 0; }
+
+  /// False when switch s is currently faulted.
+  [[nodiscard]] bool switch_ok(SwitchId s) const {
+    return switch_ok_[s] != 0;
+  }
+  /// False when the physical channel behind port p of switch s cannot
+  /// carry flits: the link itself is faulted, or either endpoint switch is.
+  [[nodiscard]] bool link_ok(SwitchId s, PortId p) const {
+    return port_ok_[static_cast<std::size_t>(s) * ports_ + p] != 0;
+  }
+
+ private:
+  struct ScheduledEvent {
+    std::uint64_t cycle = 0;
+    std::size_t fault_index = 0;
+    bool activated = false;
+  };
+
+  void rebuild_masks();
+
+  const Topology* topo_;
+  std::vector<FaultSpec> schedule_;
+  std::vector<ScheduledEvent> events_;  ///< sorted by cycle
+  std::size_t next_event_ = 0;
+  std::vector<std::uint8_t> active_;    ///< per schedule entry
+  unsigned active_count_ = 0;
+  std::size_t ports_ = 0;
+  std::vector<std::uint8_t> port_ok_;   ///< switch-major [s * ports_ + p]
+  std::vector<std::uint8_t> switch_ok_;
+};
+
+}  // namespace smart

@@ -38,6 +38,10 @@ struct Packet {
   std::uint32_t hops = 0;          ///< network channels traversed by the head
 
   // Routing state.
+  /// Set by a fault-aware routing algorithm when the packet has no healthy
+  /// route left from its current switch; the engine then drains and drops
+  /// the worm instead of stalling it forever (see docs/MODEL.md §8).
+  bool unroutable = false;
   std::uint32_t wrap_mask = 0;  ///< per-dimension dateline-crossed bits (cube)
   std::uint8_t nic_lane = 0;    ///< VC chosen by the NIC on the terminal link
   NodeId intermediate = 0;      ///< Valiant phase-1 target

@@ -21,6 +21,9 @@ struct InputLane {
   std::int32_t bound_port = -1;  ///< crossbar binding target, -1 = unbound
   std::int32_t bound_lane = -1;
   std::uint64_t bound_cycle = 0;  ///< cycle the binding was established
+  /// The lane head is an unroutable packet being drained: the engine
+  /// discards its flits (crediting upstream) instead of switching them.
+  bool dropping = false;
 
   [[nodiscard]] bool bound() const noexcept { return bound_port >= 0; }
 

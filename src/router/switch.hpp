@@ -62,6 +62,10 @@ class Switch {
   /// Active crossbar bindings; lets the crossbar phase skip idle switches.
   std::uint32_t bound_count = 0;
 
+  /// Input lanes currently draining an unroutable packet (fault handling);
+  /// lets the crossbar phase skip switches with nothing to drop.
+  std::uint32_t dropping_count = 0;
+
   /// Flattened (port, lane) directory of all input lanes, built once after
   /// wiring; the routing engine scans it round-robin.
   [[nodiscard]] const std::vector<std::pair<std::uint16_t, std::uint16_t>>&

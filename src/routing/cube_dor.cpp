@@ -38,6 +38,12 @@ std::optional<OutputChoice> CubeDorRouting::route(Switch& sw, PortId /*in_port*/
 
   const auto [dim, plus] = *hop;
   const PortId port = KaryNCube::port_of(dim, plus);
+  if (!link_ok(sw, port)) {
+    // Dimension order is fully deterministic: a faulted hop leaves no legal
+    // alternative, so report the packet unroutable instead of wedging.
+    pkt.unroutable = true;
+    return std::nullopt;
+  }
   const bool crossing = cube_.crosses_wraparound(sw.id(), dim, plus);
   const bool after_dateline =
       crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;

@@ -24,11 +24,12 @@ std::optional<OutputChoice> CubeDuatoRouting::route(Switch& sw, PortId /*in_port
     return OutputChoice{local, *lane};
   }
 
-  // Adaptive channels first: any minimal direction, most-credits lane,
-  // rotating tie-break across the candidate ports.
+  // Adaptive channels first: any minimal direction over a healthy link,
+  // most-credits lane, rotating tie-break across the candidate ports.
   std::optional<OutputChoice> best;
   std::uint32_t best_credits = 0;
   bool best_crossing = false;
+  bool healthy_adaptive = false;  ///< some minimal direction survives faults
   const unsigned n = cube_.dimensions();
   const std::uint32_t rotate = sw.route_rr;
   for (unsigned i = 0; i < 2 * n; ++i) {
@@ -37,6 +38,8 @@ std::optional<OutputChoice> CubeDuatoRouting::route(Switch& sw, PortId /*in_port
     const bool plus = (candidate % 2) == 0;
     if (!cube_.direction_minimal(s, pkt.dst, dim, plus)) continue;
     const PortId port = KaryNCube::port_of(dim, plus);
+    if (!link_ok(sw, port)) continue;
+    healthy_adaptive = true;
     const auto lane = best_bindable_lane(sw.port(port), 0, adaptive_);
     if (!lane) continue;
     const std::uint32_t credits = sw.port(port).out[*lane].credits;
@@ -54,11 +57,19 @@ std::optional<OutputChoice> CubeDuatoRouting::route(Switch& sw, PortId /*in_port
   }
 
   // Escape path: the deterministic hop, restricted to the escape channels
-  // of the dateline-selected virtual network.
+  // of the dateline-selected virtual network. The escape network is never
+  // rerouted around faults — that is what keeps it deadlock-free — so a
+  // faulted escape hop either stalls the packet (healthy adaptive links
+  // remain: wait for one of their lanes) or, when the faults severed every
+  // minimal direction, makes it unroutable.
   const auto hop = escape_.dor_hop(s, pkt.dst);
   SMART_CHECK(hop.has_value());
   const auto [dim, plus] = *hop;
   const PortId port = KaryNCube::port_of(dim, plus);
+  if (!link_ok(sw, port)) {
+    if (!healthy_adaptive) pkt.unroutable = true;
+    return std::nullopt;
+  }
   const bool crossing = cube_.crosses_wraparound(s, dim, plus);
   const bool after_dateline = crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;
   const unsigned escape_per_vn = (vcs_ - adaptive_) / 2;

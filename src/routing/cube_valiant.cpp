@@ -50,6 +50,12 @@ std::optional<OutputChoice> CubeValiantRouting::route(Switch& sw,
   SMART_CHECK(dim.has_value());
   const bool plus = cube_.dor_direction(s, target, *dim);
   const PortId port = KaryNCube::port_of(*dim, plus);
+  if (!link_ok(sw, port)) {
+    // Both phases are deterministic dimension-order walks; a faulted hop
+    // leaves no legal alternative within the chosen phase subnetwork.
+    pkt.unroutable = true;
+    return std::nullopt;
+  }
   const bool crossing = cube_.crosses_wraparound(s, *dim, plus);
   const bool after_dateline = crossing || ((pkt.wrap_mask >> *dim) & 1U) != 0;
 

@@ -1,8 +1,13 @@
 #include "routing/routing.hpp"
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 
 namespace smart {
+
+bool RoutingAlgorithm::link_ok(const Switch& sw, PortId port) const {
+  return faults_ == nullptr || faults_->link_ok(sw.id(), port);
+}
 
 std::optional<unsigned> best_bindable_lane(const SwitchPort& port,
                                            unsigned first, unsigned count,

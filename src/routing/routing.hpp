@@ -18,6 +18,8 @@
 
 namespace smart {
 
+class FaultState;
+
 struct OutputChoice {
   PortId port = 0;
   unsigned lane = 0;
@@ -28,6 +30,16 @@ class RoutingAlgorithm {
   virtual ~RoutingAlgorithm() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Engine wiring: gives the algorithm visibility of link health. Null
+  /// (the default) means a fault-free fabric; algorithms must then behave
+  /// exactly as if fault support did not exist. Fault-aware algorithms mark
+  /// a packet that has NO healthy route left by setting Packet::unroutable
+  /// before stalling it (returning nullopt); the engine drops such packets
+  /// instead of letting the worm wedge the fabric.
+  void attach_fault_state(const FaultState* faults) noexcept {
+    faults_ = faults;
+  }
 
   /// Chooses an output lane for `pkt`, whose header sits at the head of
   /// input lane (`in_port`, `in_lane`) of switch `sw`. Selection policies
@@ -46,6 +58,13 @@ class RoutingAlgorithm {
   /// hop counts against Topology::min_hops). Randomized two-phase schemes
   /// such as Valiant routing return false.
   [[nodiscard]] virtual bool is_minimal() const { return true; }
+
+ protected:
+  /// True when the physical channel behind output port `port` of `sw`
+  /// currently accepts traffic (always true without an attached FaultState).
+  [[nodiscard]] bool link_ok(const Switch& sw, PortId port) const;
+
+  const FaultState* faults_ = nullptr;
 };
 
 /// The bindable lane with the most credits on `port`, scanning lanes

@@ -1,5 +1,6 @@
 #include "routing/tree_adaptive.hpp"
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 
 namespace smart {
@@ -41,6 +42,24 @@ unsigned TreeAdaptiveRouting::scan_start(const Switch& sw, PortId in_port) {
   return 0;
 }
 
+bool TreeAdaptiveRouting::ascent_port_ok(const Switch& sw, PortId up_port,
+                                         NodeId dst) const {
+  if (faults_ == nullptr) return true;
+  if (!faults_->link_ok(sw.id(), up_port)) return false;
+  // One-step lookahead: if the parent behind this up port is already an
+  // ancestor of the destination, the descent starts there and its first
+  // (unique) down hop is known now — avoid parents that cannot take it.
+  // Faults deeper in the descent stay invisible until reached; packets
+  // that meet one are dropped mid-descent.
+  const PortPeer parent = tree_.port_peer(sw.id(), up_port);
+  if (parent.kind != PeerKind::kSwitch) return false;
+  if (tree_.is_ancestor(parent.id, dst)) {
+    const PortId down = tree_.down_port_towards(parent.id, dst);
+    if (!faults_->link_ok(parent.id, down)) return false;
+  }
+  return true;
+}
+
 std::optional<OutputChoice> TreeAdaptiveRouting::route(Switch& sw,
                                                        PortId in_port,
                                                        unsigned /*in_lane*/,
@@ -49,6 +68,10 @@ std::optional<OutputChoice> TreeAdaptiveRouting::route(Switch& sw,
   if (tree_.is_ancestor(sw.id(), pkt.dst)) {
     // Descending phase: the down port is unique; only the lane is free.
     const PortId port = tree_.down_port_towards(sw.id(), pkt.dst);
+    if (!link_ok(sw, port)) {
+      pkt.unroutable = true;  // unique descent severed: no route remains
+      return std::nullopt;
+    }
     const auto lane = best_bindable_lane(sw.port(port), 0, vcs_);
     if (!lane) return std::nullopt;
     return OutputChoice{port, *lane};
@@ -58,14 +81,18 @@ std::optional<OutputChoice> TreeAdaptiveRouting::route(Switch& sw,
   // the one with the most free virtual channels (paper §2). The tie-break
   // among links in a similar state is the selection policy; see the header
   // and DESIGN.md §6 for why the default keeps streams on their links.
+  // Under faults the candidate set shrinks to the healthy siblings.
   const unsigned k = tree_.radix();
   const unsigned start = scan_start(sw, in_port);
   const bool use_credits = selection_ == TreeSelection::kMostCredits;
   std::optional<PortId> best_port;
+  unsigned healthy_candidates = 0;
   unsigned best_free = 0;
   std::uint32_t best_credits = 0;
   for (unsigned i = 0; i < k; ++i) {
     const PortId port = k + (i + start) % k;
+    if (!ascent_port_ok(sw, port, pkt.dst)) continue;
+    ++healthy_candidates;
     const unsigned free_lanes = sw.free_output_lanes(port);
     if (free_lanes == 0) continue;
     std::uint32_t credits = 0;
@@ -81,7 +108,11 @@ std::optional<OutputChoice> TreeAdaptiveRouting::route(Switch& sw,
       best_port = port;
     }
   }
-  if (!best_port) return std::nullopt;
+  if (!best_port) {
+    // No healthy sibling at all is a fault partition, not congestion.
+    if (faults_ != nullptr && healthy_candidates == 0) pkt.unroutable = true;
+    return std::nullopt;
+  }
   const auto lane = best_bindable_lane(sw.port(*best_port), 0, vcs_);
   SMART_DCHECK(lane.has_value());
   return OutputChoice{*best_port, *lane};

@@ -54,6 +54,12 @@ class TreeAdaptiveRouting final : public RoutingAlgorithm {
  private:
   [[nodiscard]] unsigned scan_start(const Switch& sw, PortId in_port);
 
+  /// Fault filter for one ascending candidate: the up link must be healthy
+  /// and, when the parent is already an ancestor of `dst`, so must the
+  /// parent's unique down link towards `dst` (one-step lookahead).
+  [[nodiscard]] bool ascent_port_ok(const Switch& sw, PortId up_port,
+                                    NodeId dst) const;
+
   const KaryNTree& tree_;
   unsigned vcs_;
   TreeSelection selection_;

@@ -1,0 +1,231 @@
+// FaultPlan / FaultState unit tests: deterministic schedules, parsing, and
+// the health masks the engine queries every cycle (docs/MODEL.md §8).
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+
+namespace smart {
+namespace {
+
+TEST(SwitchLinks, CanonicalEnumerationIsMutualAndUnique) {
+  const KaryNTree tree(4, 2);
+  const auto links = switch_links(tree);
+  // A 4-ary 2-tree is a complete bipartite graph between 4 roots and 4
+  // leaf switches: 16 bidirectional channels.
+  EXPECT_EQ(links.size(), 16U);
+  std::set<std::pair<SwitchId, PortId>> seen;
+  for (const auto& [s, p] : links) {
+    EXPECT_TRUE(seen.insert({s, p}).second) << "duplicate link endpoint";
+    const PortPeer peer = tree.port_peer(s, p);
+    ASSERT_EQ(peer.kind, PeerKind::kSwitch);
+    // Listed from the lexicographically smaller endpoint, and the far
+    // endpoint must not be listed again.
+    EXPECT_LT(std::make_pair(s, p), std::make_pair(peer.id, peer.port));
+    EXPECT_EQ(seen.count({peer.id, peer.port}), 0U);
+  }
+}
+
+TEST(FaultPlan, SameSeedSameFaults) {
+  const KaryNCube cube(8, 2);
+  FaultPlan a;
+  a.add_random_links(8, /*seed=*/42, /*start=*/0);
+  FaultPlan b;
+  b.add_random_links(8, /*seed=*/42, /*start=*/0);
+  EXPECT_EQ(a.materialize(cube), b.materialize(cube));
+}
+
+TEST(FaultPlan, DifferentSeedDifferentFaults) {
+  const KaryNCube cube(8, 2);
+  FaultPlan a;
+  a.add_random_links(8, /*seed=*/42, /*start=*/0);
+  FaultPlan b;
+  b.add_random_links(8, /*seed=*/43, /*start=*/0);
+  EXPECT_NE(a.materialize(cube), b.materialize(cube));
+}
+
+TEST(FaultPlan, IncreasingCountsAreNestedSets) {
+  const KaryNTree tree(4, 4);
+  std::vector<FaultSpec> previous;
+  for (unsigned count : {1U, 2U, 4U, 8U, 16U}) {
+    FaultPlan plan;
+    plan.add_random_links(count, /*seed=*/7, /*start=*/0);
+    const auto faults = plan.materialize(tree);
+    ASSERT_EQ(faults.size(), count);
+    // The first |previous| entries are exactly the previous set.
+    for (std::size_t i = 0; i < previous.size(); ++i) {
+      EXPECT_EQ(faults[i], previous[i]);
+    }
+    previous = faults;
+  }
+}
+
+TEST(FaultPlan, FractionRoundsToWholeLinks) {
+  const KaryNTree tree(4, 2);  // 16 switch-to-switch links
+  FaultPlan plan;
+  plan.add_random_fraction(0.5, /*seed=*/1, /*start=*/0);
+  EXPECT_EQ(plan.materialize(tree).size(), 8U);
+}
+
+TEST(FaultPlan, RandomFaultsAreDistinctLinks) {
+  const KaryNCube cube(4, 2);
+  FaultPlan plan;
+  plan.add_random_links(1000, /*seed=*/5, /*start=*/0);  // clamps to all
+  const auto faults = plan.materialize(cube);
+  EXPECT_EQ(faults.size(), switch_links(cube).size());
+  std::set<std::pair<SwitchId, PortId>> seen;
+  for (const FaultSpec& f : faults) {
+    EXPECT_TRUE(seen.insert({f.sw, f.port}).second);
+  }
+}
+
+TEST(FaultPlan, ParseRoundTrip) {
+  const std::string spec = "link:5:2@3000,switch:7@100:900,link:0:1@0";
+  const auto plan = FaultPlan::parse(spec);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->to_string(), spec);
+  ASSERT_EQ(plan->explicit_faults().size(), 3U);
+  const FaultSpec& link = plan->explicit_faults()[0];
+  EXPECT_EQ(link.kind, FaultKind::kLink);
+  EXPECT_EQ(link.sw, 5U);
+  EXPECT_EQ(link.port, 2U);
+  EXPECT_EQ(link.start_cycle, 3000U);
+  EXPECT_TRUE(link.permanent());
+  const FaultSpec& sw = plan->explicit_faults()[1];
+  EXPECT_EQ(sw.kind, FaultKind::kSwitch);
+  EXPECT_EQ(sw.start_cycle, 100U);
+  EXPECT_EQ(sw.repair_cycle, 900U);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"link:5@3000",       // missing port
+        "link:5:2",          // missing activation window
+        "switch:1@5:3",      // repair before activation
+        "bogus:1@2",         // unknown kind
+        "link:a:b@1",        // not numbers
+        "link:1:2@x",        // window not a number
+        "switch:@1"}) {      // missing switch id
+    EXPECT_FALSE(FaultPlan::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(FaultPlan, ParseEmptyIsEmptyPlan) {
+  const auto plan = FaultPlan::parse("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlan, MaterializeValidatesAgainstTopology) {
+  const KaryNTree tree(4, 2);
+  FaultPlan bad_switch;
+  bad_switch.add_switch(999, 0);
+  EXPECT_DEATH((void)bad_switch.materialize(tree), "outside the topology");
+  FaultPlan bad_port;
+  bad_port.add_link(0, 99, 0);
+  EXPECT_DEATH((void)bad_port.materialize(tree), "outside the switch radix");
+  // Port 0 of a root switch in a 2-level tree is a down link to a leaf
+  // switch; ports k..2k-1 of a root are unconnected.
+  FaultPlan unconnected;
+  unconnected.add_link(0, 4, 0);
+  EXPECT_DEATH((void)unconnected.materialize(tree), "unconnected port");
+}
+
+TEST(FaultState, TransientFaultActivatesAndRepairsOnSchedule) {
+  const KaryNTree tree(4, 2);
+  FaultPlan plan;
+  plan.add_link(4, 4, /*start=*/5, /*repair=*/9);
+  FaultState state(tree, plan);
+  const PortPeer peer = tree.port_peer(4, 4);
+  ASSERT_EQ(peer.kind, PeerKind::kSwitch);
+  for (std::uint64_t cycle = 1; cycle <= 12; ++cycle) {
+    const auto events = state.advance(cycle);
+    const bool should_be_faulted = cycle >= 5 && cycle < 9;
+    EXPECT_EQ(state.link_ok(4, 4), !should_be_faulted) << "cycle " << cycle;
+    // The peer-side view of the same physical channel agrees.
+    EXPECT_EQ(state.link_ok(peer.id, peer.port), !should_be_faulted);
+    EXPECT_EQ(state.any_active(), should_be_faulted);
+    if (cycle == 5 || cycle == 9) {
+      ASSERT_EQ(events.size(), 1U);
+      EXPECT_EQ(events[0].activated, cycle == 5);
+    } else {
+      EXPECT_TRUE(events.empty());
+    }
+  }
+}
+
+TEST(FaultState, ActivationCycleZeroClampsToFirstCycle) {
+  const KaryNTree tree(4, 2);
+  FaultPlan plan;
+  plan.add_link(4, 4, /*start=*/0);
+  FaultState state(tree, plan);
+  EXPECT_TRUE(state.link_ok(4, 4));  // before any advance
+  state.advance(1);
+  EXPECT_FALSE(state.link_ok(4, 4));
+  EXPECT_EQ(state.active_faults(), 1U);
+}
+
+TEST(FaultState, SwitchFaultMasksEveryPortAndItsPeers) {
+  const KaryNTree tree(4, 2);
+  const SwitchId victim = 4;  // a leaf switch: 4 terminals + 4 up links
+  FaultPlan plan;
+  plan.add_switch(victim, /*start=*/1);
+  FaultState state(tree, plan);
+  state.advance(1);
+  EXPECT_FALSE(state.switch_ok(victim));
+  for (PortId p = 0; p < tree.ports_per_switch(); ++p) {
+    EXPECT_FALSE(state.link_ok(victim, p));
+    const PortPeer peer = tree.port_peer(victim, p);
+    if (peer.kind == PeerKind::kSwitch) {
+      // The neighbour cannot transmit towards the dead switch...
+      EXPECT_FALSE(state.link_ok(peer.id, peer.port));
+      EXPECT_TRUE(state.switch_ok(peer.id));
+      // ...but its other links stay healthy.
+      for (PortId q = 0; q < tree.ports_per_switch(); ++q) {
+        if (q == peer.port) continue;
+        const PortPeer other = tree.port_peer(peer.id, q);
+        if (other.kind == PeerKind::kSwitch && other.id != victim) {
+          EXPECT_TRUE(state.link_ok(peer.id, q));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultState, RepairRestoresExactlyTheFaultedChannel) {
+  const KaryNCube cube(4, 2);
+  FaultPlan plan;
+  plan.add_link(0, 0, /*start=*/2, /*repair=*/5);
+  plan.add_link(5, 1, /*start=*/3);  // permanent
+  FaultState state(cube, plan);
+  state.advance(4);
+  EXPECT_FALSE(state.link_ok(0, 0));
+  EXPECT_FALSE(state.link_ok(5, 1));
+  EXPECT_EQ(state.active_faults(), 2U);
+  state.advance(5);
+  EXPECT_TRUE(state.link_ok(0, 0));   // repaired
+  EXPECT_FALSE(state.link_ok(5, 1));  // still down
+  EXPECT_EQ(state.active_faults(), 1U);
+}
+
+TEST(FaultState, AdvanceSkippingCyclesAppliesEverythingDue) {
+  const KaryNCube cube(4, 2);
+  FaultPlan plan;
+  plan.add_link(0, 0, /*start=*/2, /*repair=*/5);
+  FaultState state(cube, plan);
+  // Jumping straight past both events: activation and repair both fire.
+  const auto events = state.advance(100);
+  ASSERT_EQ(events.size(), 2U);
+  EXPECT_TRUE(events[0].activated);
+  EXPECT_FALSE(events[1].activated);
+  EXPECT_TRUE(state.link_ok(0, 0));
+  EXPECT_FALSE(state.any_active());
+}
+
+}  // namespace
+}  // namespace smart

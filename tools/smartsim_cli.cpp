@@ -9,8 +9,11 @@
 //   smartsim --topology tree --k 4 --n 4 --vcs 2 --pattern transpose --sweep
 //   smartsim --topology mesh --k 8 --n 2 --routing det --pattern tornado \
 //            --load 0.4 --injection bursty --csv out.csv
+//   smartsim --topology tree --faults link:5:2@3000 --load 0.6
+//   smartsim --topology cube --fault-rate 0.02 --fault-cycle 5000 --load 0.5
 //
-// Exit status: 0 on success, 1 on bad usage, 2 if the run deadlocked.
+// Exit status: 0 on success, 1 on bad usage, 2 if the run deadlocked,
+// 3 if faults made traffic unroutable (packets dropped or fault-stall).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,7 +50,17 @@ void usage() {
       "  --horizon <cycles>          (default 20000)\n"
       "  --replications <N>         average N seeds, report 95%% CIs\n"
       "  --csv <path>                also write results as CSV\n"
-      "  --absolute                  report bits/ns and ns via the cost model\n");
+      "  --absolute                  report bits/ns and ns via the cost model\n"
+      "  --faults <spec>             deterministic fault schedule, comma-\n"
+      "                              separated link:SW:PORT@START[:REPAIR]\n"
+      "                              and switch:SW@START[:REPAIR] entries\n"
+      "  --fault-rate <0..1>         fraction of links to fault at random\n"
+      "                              (deterministic in --seed)\n"
+      "  --fault-cycle <c>           activation cycle for --fault-rate\n"
+      "                              faults (default 0 = from the start)\n"
+      "  --drain                     after the horizon, stop injecting and\n"
+      "                              report the cycles to drain the fabric\n"
+      "exit status: 0 ok, 1 usage, 2 deadlock, 3 unroutable traffic\n");
 }
 
 bool parse_pattern(const std::string& value, PatternKind& out) {
@@ -85,6 +98,9 @@ int main(int argc, char** argv) {
   bool absolute = false;
   unsigned replications = 1;
   std::string csv_path;
+  std::string faults_spec;
+  double fault_rate = 0.0;
+  std::uint64_t fault_cycle = 0;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -174,6 +190,18 @@ int main(int argc, char** argv) {
       csv_path = next_value(i);
     } else if (arg == "--absolute") {
       absolute = true;
+    } else if (arg == "--faults") {
+      faults_spec = next_value(i);
+    } else if (arg == "--fault-rate") {
+      fault_rate = std::atof(next_value(i));
+      if (fault_rate < 0.0 || fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must lie in [0, 1]\n");
+        return 1;
+      }
+    } else if (arg == "--fault-cycle") {
+      fault_cycle = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--drain") {
+      config.timing.drain_after_horizon = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
@@ -200,6 +228,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   (void)topology_set;
+
+  if (!faults_spec.empty()) {
+    auto plan = FaultPlan::parse(faults_spec);
+    if (!plan) {
+      std::fprintf(stderr, "malformed --faults spec '%s'\n",
+                   faults_spec.c_str());
+      return 1;
+    }
+    config.faults = *plan;
+  }
+  if (fault_rate > 0.0) {
+    // Mix the traffic seed so the fault sample is decorrelated from the
+    // arrival stream but still fully determined by --seed.
+    config.faults.add_random_fraction(
+        fault_rate, config.traffic.seed ^ 0x9e3779b97f4a7c15ULL, fault_cycle);
+  }
 
   const std::vector<double> loads =
       sweep ? default_load_grid()
@@ -237,8 +281,11 @@ int main(int argc, char** argv) {
                                              "deadlock"});
   const NormalizedScale scale = scale_for(config.net);
   bool any_deadlock = false;
+  bool any_unroutable = false;
   for (const SimulationResult& point : results) {
     any_deadlock |= point.deadlocked;
+    any_unroutable |= point.unroutable_packets > 0 ||
+                      point.stall_verdict == StallVerdict::kFaultStall;
     table.begin_row();
     if (absolute) {
       table.add_cell(point.offered_fraction, 3)
@@ -277,6 +324,34 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_text().c_str());
 
+  if (!config.faults.empty()) {
+    std::printf("\nfault plan: %s\n", config.faults.to_string().c_str());
+    for (const SimulationResult& point : results) {
+      std::printf(
+          "load %.3f: verdict %s, %llu unroutable packet(s), "
+          "%llu flit(s) dropped, %u fault(s) active at end\n",
+          point.offered_fraction, to_string(point.stall_verdict),
+          static_cast<unsigned long long>(point.unroutable_packets),
+          static_cast<unsigned long long>(point.dropped_flits),
+          point.active_faults_end);
+      for (const FaultEpoch& epoch : point.fault_epochs) {
+        std::printf(
+            "  epoch [%llu, %llu] %u fault(s): accepted %.4f flits/node/"
+            "cycle, latency %.1f cycles, %llu dropped packet(s)\n",
+            static_cast<unsigned long long>(epoch.start_cycle),
+            static_cast<unsigned long long>(epoch.end_cycle),
+            epoch.active_faults, epoch.accepted_flits_per_node_cycle,
+            epoch.mean_latency_cycles,
+            static_cast<unsigned long long>(epoch.dropped_packets));
+      }
+      if (config.timing.drain_after_horizon) {
+        std::printf("  drain: %llu cycle(s), %s\n",
+                    static_cast<unsigned long long>(point.drain_cycles),
+                    point.drained_clean ? "clean" : "packets left wedged");
+      }
+    }
+  }
+
   if (!csv_path.empty()) {
     if (table.write_csv(csv_path)) {
       std::printf("\nwrote %s\n", csv_path.c_str());
@@ -285,5 +360,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return any_deadlock ? 2 : 0;
+  if (any_deadlock) return 2;
+  if (any_unroutable) return 3;
+  return 0;
 }
