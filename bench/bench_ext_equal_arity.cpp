@@ -74,12 +74,15 @@ int main() {
         low = &point;
       }
     }
+    // Built via insert rather than `">" + ...`: the char* + string&&
+    // operator trips GCC 12's -Wrestrict false positive (PR 105651).
+    std::string sat_cell = format_double(sat.offered_fraction, 2);
+    if (!sat.saturated) sat_cell.insert(0, 1, '>');
     table.begin_row()
         .add_cell(row.label)
         .add_cell(scale.clock_ns, 2)
         .add_cell(scale.capacity_bits_per_ns(), 1)
-        .add_cell(sat.saturated ? format_double(sat.offered_fraction, 2)
-                                : ">" + format_double(sat.offered_fraction, 2))
+        .add_cell(sat_cell)
         .add_cell(to_bits_per_ns(sat.accepted_fraction *
                                      scale.capacity_flits_per_node_cycle,
                                  scale.nodes, scale.flit_bytes,

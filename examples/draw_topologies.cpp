@@ -31,9 +31,13 @@ void draw_tree(unsigned k, unsigned n) {
       const SwitchId sw = tree.switch_id(level, word);
       std::string digits;
       for (unsigned i = 0; i + 1 < n; ++i) {
-        digits += std::to_string(tree.word_digit(word, i));
+        // Formatted into a char buffer: appending std::to_string's
+        // temporary trips GCC 12's -Wrestrict false positive (PR 105651).
+        char digit[12];
+        std::snprintf(digit, sizeof digit, "%u", tree.word_digit(word, i));
+        digits += digit;
       }
-      if (digits.empty()) digits = "-";
+      if (digits.empty()) digits.assign(1, '-');
       std::printf("  <%s,%u>  down:", digits.c_str(), level);
       for (PortId p = 0; p < k; ++p) {
         const PortPeer peer = tree.port_peer(sw, p);

@@ -76,6 +76,26 @@ struct TraceSpec {
   bool collect_packet_log = false;
 };
 
+/// Opt-in observability (src/obs/): stall-cause attribution per switch
+/// port, utilization/occupancy time series, and Chrome trace export. Off
+/// by default; with `enabled` false the engine never touches the subsystem
+/// and results are bit-identical to a build without it.
+struct ObsSpec {
+  bool enabled = false;
+  /// Cycles between utilization/occupancy samples (0 disables the series
+  /// while keeping the stall counters and trace).
+  std::uint64_t sample_interval_cycles = 1000;
+  /// Chrome trace-event JSON output path; empty = no trace collected.
+  std::string trace_out;
+  /// Also emit one slice per switch the header visits (grows the trace by
+  /// roughly the mean hop count per packet).
+  bool trace_hops = false;
+
+  [[nodiscard]] bool trace_enabled() const noexcept {
+    return !trace_out.empty();
+  }
+};
+
 struct SimTiming {
   std::uint64_t warmup_cycles = 2000;
   std::uint64_t horizon_cycles = 20000;
@@ -96,6 +116,7 @@ struct SimConfig {
   TrafficSpec traffic;
   SimTiming timing;
   TraceSpec trace;
+  ObsSpec obs;
 
   /// Deterministic fault schedule (empty = fault-free: the fault machinery
   /// is bypassed entirely and results are bit-identical to a build without

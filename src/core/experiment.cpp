@@ -95,6 +95,17 @@ SaturationEstimate estimate_saturation(
   return est;
 }
 
+std::size_t normal_traffic_index(const std::vector<SimulationResult>& sweep) {
+  std::size_t index = sweep.size();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].offered_fraction <= 1.0 / 3.0 + 1e-9 &&
+        sweep[i].latency_cycles.count() > 0) {
+      index = i;
+    }
+  }
+  return index;
+}
+
 RouterDelays delays_for(const NetworkSpec& spec) {
   switch (spec.routing) {
     case RoutingKind::kCubeDeterministic:
@@ -148,7 +159,7 @@ std::vector<ReplicatedPoint> run_replicated(const SimConfig& base,
     const std::size_t rep = task % replications;
     SimConfig config = base;
     config.traffic.offered_fraction = loads[load_index];
-    config.traffic.seed = base.traffic.seed + rep;
+    config.traffic.seed = replication_seed(base.traffic.seed, rep);
     Network network(config);
     results[task] = network.run();
   };
@@ -279,29 +290,31 @@ Table absolute_table(const std::vector<Curve>& curves) {
 
 Table saturation_summary_table(const std::vector<Curve>& curves) {
   Table table({"configuration", "saturation (frac)", "throughput (frac)",
-               "throughput (bits/ns)", "latency@low (ns)",
+               "throughput (bits/ns)", "latency@norm (ns)",
                "latency@sat (ns)", "post-sat stable"});
   for (const Curve& curve : curves) {
     const NormalizedScale scale = scale_for(curve.spec);
     const SaturationEstimate est = estimate_saturation(curve.points);
-    // Latency at roughly one third of capacity ("normal traffic") and at
-    // the saturation point.
-    const SimulationResult* low = nullptr;
+    // Latency at the paper's "normal traffic" operating point — one third
+    // of capacity (normal_traffic_index) — and at the saturation point.
+    const std::size_t low_index = normal_traffic_index(curve.points);
+    const SimulationResult* low =
+        low_index < curve.points.size() ? &curve.points[low_index] : nullptr;
     const SimulationResult* sat = nullptr;
     for (const SimulationResult& point : curve.points) {
-      if (point.offered_fraction <= est.offered_fraction / 2.0 + 1e-9 &&
-          point.latency_cycles.count() > 0) {
-        low = &point;
-      }
       if (sat == nullptr &&
           point.offered_fraction >= est.offered_fraction - 1e-9) {
         sat = &point;
+        break;
       }
     }
+    // Built via insert rather than `">" + ...`: the char* + string&&
+    // operator trips GCC 12's -Wrestrict false positive (PR 105651).
+    std::string sat_cell = format_double(est.offered_fraction, 2);
+    if (!est.saturated) sat_cell.insert(0, 1, '>');
     table.begin_row()
         .add_cell(curve.label)
-        .add_cell(est.saturated ? format_double(est.offered_fraction, 2)
-                                : (">" + format_double(est.offered_fraction, 2)))
+        .add_cell(sat_cell)
         .add_cell(est.accepted_fraction, 3)
         .add_cell(to_bits_per_ns(
                       est.accepted_fraction *

@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "cost/chien.hpp"
 #include "cost/normalization.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace smart {
@@ -60,6 +61,13 @@ struct SaturationEstimate {
 [[nodiscard]] SaturationEstimate estimate_saturation(
     const std::vector<SimulationResult>& sweep, double tolerance = 0.05);
 
+/// The paper's "normal traffic" operating point of a sweep: the last point
+/// offering at most one third of capacity that delivered packets — the
+/// low-load latency reference of the summary tables. Returns sweep.size()
+/// when no point qualifies.
+[[nodiscard]] std::size_t normal_traffic_index(
+    const std::vector<SimulationResult>& sweep);
+
 /// Router delays of a network configuration under the Chien model.
 [[nodiscard]] RouterDelays delays_for(const NetworkSpec& spec);
 
@@ -78,8 +86,19 @@ struct ReplicatedPoint {
   [[nodiscard]] double accepted_ci95() const;
 };
 
-/// Runs `replications` independent seeds per load (seed = base seed + r)
-/// and aggregates. Deterministic and thread-count independent.
+/// Seed of replication `rep` under base seed `seed`: replication 0 runs
+/// the base seed itself (one replication reproduces a plain run exactly);
+/// later replications hash the (seed, rep) pair through SplitMix64 so the
+/// streams of different (seed, rep) pairs never coincide — the old
+/// `seed + rep` arithmetic made replication r of seed s reuse the stream
+/// of replication r-1 of seed s+1.
+[[nodiscard]] constexpr std::uint64_t replication_seed(
+    std::uint64_t seed, std::uint64_t rep) noexcept {
+  return rep == 0 ? seed : mix_seed(seed, rep);
+}
+
+/// Runs `replications` independent seeds per load (replication_seed) and
+/// aggregates. Deterministic and thread-count independent.
 [[nodiscard]] std::vector<ReplicatedPoint> run_replicated(
     const SimConfig& base, const std::vector<double>& loads,
     unsigned replications, unsigned threads = 0);
@@ -105,7 +124,8 @@ struct ReplicatedPoint {
 [[nodiscard]] Table absolute_table(const std::vector<Curve>& curves);
 
 /// Saturation summary: label, saturation offered/accepted fraction,
-/// absolute accepted bits/nsec, latency at ~half load and at saturation.
+/// absolute accepted bits/nsec, latency at the normal-traffic operating
+/// point (one third of capacity, normal_traffic_index) and at saturation.
 [[nodiscard]] Table saturation_summary_table(const std::vector<Curve>& curves);
 
 }  // namespace smart

@@ -10,9 +10,27 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/sampler.hpp"
 #include "util/stats.hpp"
 
 namespace smart {
+
+/// Observability report (filled only when ObsSpec::enabled; see src/obs/).
+struct ObsReport {
+  bool enabled = false;
+  /// Fabric-wide stall attribution totals, lane-cycle events per cause.
+  StallBreakdown stalls;
+  /// Cycles a dead switch spent frozen with flits buffered inside.
+  std::uint64_t switch_frozen_cycles = 0;
+  /// Per-port attribution, ports with at least one stall.
+  std::vector<PortStallRecord> port_stalls;
+  /// Utilization/occupancy time series (empty when the interval is 0).
+  ObsSeries series;
+  /// Chrome trace events collected / written to ObsSpec::trace_out.
+  std::uint64_t trace_events = 0;
+  bool trace_written = false;
+};
 
 /// One delivered packet (collected only when TraceSpec::collect_packet_log
 /// is set).
@@ -154,9 +172,23 @@ struct SimulationResult {
 
   // Post-horizon drain (only when SimTiming::drain_after_horizon is set):
   // injection stops at the horizon and the run continues until the fabric
-  // empties — the time-to-drain after the configured fault schedule.
+  // empties — the time-to-drain after the configured fault schedule. The
+  // measurement window closes at the horizon: packets delivered while
+  // draining count only here, never into the window rates above.
   std::uint64_t drain_cycles = 0;
   bool drained_clean = false;  ///< true when every in-flight packet left
+  std::uint64_t drain_delivered_packets = 0;
+  std::uint64_t drain_delivered_flits = 0;
+
+  // Observability (empty unless ObsSpec::enabled; see src/obs/).
+  ObsReport obs;
+
+  // Simulator self-metrics: wall-clock measurements of the simulator
+  // itself, filled by Network::run(). Inherently nondeterministic — they
+  // are excluded from every bit-identity guarantee.
+  double sim_wall_seconds = 0.0;
+  double sim_cycles_per_second = 0.0;   ///< simulated cycles / wall second
+  double sim_mflits_per_second = 0.0;   ///< consumed flits / wall second, 1e6
 };
 
 }  // namespace smart

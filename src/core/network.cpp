@@ -1,5 +1,7 @@
 #include "core/network.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "routing/cube_dor.hpp"
@@ -30,6 +32,17 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
   if (!config_.faults.empty()) {
     faults_ = std::make_unique<FaultState>(*topo_, config_.faults);
     routing_->attach_fault_state(faults_.get());
+  }
+
+  // Observability engages only when requested; the disabled path costs one
+  // null check per hook site and perturbs nothing (same discipline as the
+  // fault machinery above).
+  if (config_.obs.enabled) {
+    const unsigned lane_stride =
+        std::max({config_.net.vcs, config_.net.injection_channels, 1U});
+    obs_ = std::make_unique<ObsState>(*topo_,
+                                      config_.obs.sample_interval_cycles,
+                                      lane_stride, config_.obs.trace_hops);
   }
 
   const NetworkSpec& net = config_.net;
@@ -189,28 +202,43 @@ void Network::nic_phase() {
 
 void Network::switch_link_phase(Switch& sw) {
   if (sw.buffered == 0) return;
-  if (faults_ && !faults_->switch_ok(sw.id())) return;  // dead switch
+  if (faults_ && !faults_->switch_ok(sw.id())) {
+    // Dead switch: every flit buffered inside is frozen this cycle.
+    if (obs_) obs_->stalls.count_switch_frozen();
+    return;
+  }
   for (PortId p = 0; p < sw.port_count(); ++p) {
     SwitchPort& port = sw.port(p);
     if (port.out_buffered == 0) continue;
     // A faulted link transmits nothing; its flits and credits freeze in
     // place until repair (docs/MODEL.md §8).
-    if (faults_ && !faults_->link_ok(sw.id(), p)) continue;
+    if (faults_ && !faults_->link_ok(sw.id(), p)) {
+      if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kFaultFrozen);
+      continue;
+    }
     const auto lane_count = static_cast<unsigned>(port.out.size());
     for (unsigned i = 0; i < lane_count; ++i) {
       const unsigned lane = (i + port.link_rr) % lane_count;
       OutputLane& out = port.out[lane];
       if (out.buf.empty() || out.buf.front().arrival >= cycle_) continue;
-      if (out.credits == 0) continue;
+      if (out.credits == 0) {
+        // A flit was ready to cross but the downstream lane has no slot.
+        if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kCreditStarved);
+        continue;
+      }
       Flit flit = out.buf.pop();
       flit.arrival = cycle_;
       sw.buffered -= 1;
       port.out_buffered -= 1;
       if (measuring_) ++port.flits_sent;
+      if (obs_) obs_->sampler.on_flit(obs_->sampler.link_index(sw.id(), p));
       if (port.peer.kind == PeerKind::kTerminal) {
         if (flit.head) ++pool_[flit.packet].hops;
         SMART_CHECK_MSG(port.peer.id == pool_[flit.packet].dst,
                         "flit consumed at the wrong destination");
+        if (obs_ && obs_->trace_hops() && flit.head) {
+          obs_->hop_exit(flit.packet, cycle_);
+        }
         consume(flit);
       } else {
         out.credits -= 1;
@@ -218,6 +246,10 @@ void Network::switch_link_phase(Switch& sw) {
         InputLane& in = peer.port(port.peer.port).in[lane];
         SMART_DCHECK(!in.buf.full());
         if (flit.head) ++pool_[flit.packet].hops;
+        if (obs_ && obs_->trace_hops() && flit.head) {
+          obs_->hop_exit(flit.packet, cycle_);
+          obs_->hop_enter(flit.packet, port.peer.id, cycle_);
+        }
         in.buf.push(flit);
         peer.buffered += 1;
       }
@@ -262,6 +294,12 @@ void Network::nic_link_phase(Nic& nic) {
     if (flit.head) ++pool_[flit.packet].hops;
     InputLane& in = port.in[lane];
     SMART_DCHECK(!in.buf.full());
+    if (obs_) {
+      obs_->sampler.on_flit(obs_->sampler.injection_index(nic.node()));
+      if (obs_->trace_hops() && flit.head) {
+        obs_->hop_enter(flit.packet, at.sw, cycle_);
+      }
+    }
     in.buf.push(flit);
     switches_[at.sw].buffered += 1;
     if (measuring_) ++nic.flits_sent;
@@ -298,6 +336,11 @@ void Network::routing_phase() {
       const auto choice = routing_->route(sw, lanes[index].first,
                                           lanes[index].second, pkt, cycle_);
       if (!choice) {
+        // The header was considered but no legal output lane was free.
+        if (obs_ && !pkt.unroutable) {
+          obs_->stalls.count(sw.id(), lanes[index].first,
+                             StallCause::kRoutingBlocked);
+        }
         if (pkt.unroutable) {
           // Faults left this packet without a route: drain and discard the
           // worm (one flit per cycle, crediting upstream) instead of
@@ -344,6 +387,14 @@ void Network::drain_lane(Switch& sw, SwitchPort& port, InputLane& in) {
     sw.dropping_count -= 1;
     ++dropped_packets_;
     ++epoch_dropped_packets_;
+    if (obs_ && config_.obs.trace_enabled()) {
+      const Packet& pkt = pool_[flit.packet];
+      if (obs_->trace_hops()) obs_->hop_exit(flit.packet, cycle_);
+      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
+                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
+                         /*dropped=*/true);
+      obs_->forget(flit.packet);
+    }
     pool_.release(flit.packet);
   }
 }
@@ -363,7 +414,11 @@ void Network::crossbar_phase() {
         if (in.buf.empty() || in.buf.front().arrival >= cycle_) continue;
         SwitchPort& out_port = sw.port(static_cast<PortId>(in.bound_port));
         OutputLane& out = out_port.out[static_cast<std::size_t>(in.bound_lane)];
-        if (out.buf.full()) continue;
+        if (out.buf.full()) {
+          // Bound and ready, but the output lane's buffer has no slot.
+          if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kCrossbarBlocked);
+          continue;
+        }
 
         Flit flit = in.buf.pop();
         flit.lane = static_cast<std::uint8_t>(in.bound_lane);
@@ -423,6 +478,18 @@ void Network::consume(Flit flit) {
       ++epoch_delivered_packets_;
       epoch_delivered_flits_ += pkt.size_flits;
       epoch_latency_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
+    }
+    if (draining_) {
+      // Past the horizon: these deliveries belong to the drain report,
+      // never to the measurement window.
+      ++drain_delivered_packets_;
+      drain_delivered_flits_ += pkt.size_flits;
+    }
+    if (obs_ && config_.obs.trace_enabled()) {
+      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
+                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
+                         /*dropped=*/false);
+      obs_->forget(flit.packet);
     }
     if (measuring_) {
       ++window_delivered_packets_;
@@ -491,7 +558,7 @@ void Network::record_stall() {
 void Network::step() {
   ++cycle_;
   if (faults_) advance_faults();
-  if (!measuring_ && cycle_ > config_.timing.warmup_cycles) {
+  if (!measuring_ && !draining_ && cycle_ > config_.timing.warmup_cycles) {
     measuring_ = true;
     stats_window_start_ = cycle_;
   }
@@ -500,6 +567,10 @@ void Network::step() {
   routing_phase();
   crossbar_phase();
   apply_pending_credits();
+  if (obs_ && config_.obs.sample_interval_cycles > 0 &&
+      cycle_ % config_.obs.sample_interval_cycles == 0) {
+    obs_->sampler.sample(cycle_, switches_, nics_);
+  }
   if (measuring_ && config_.timing.stats_window_cycles > 0 &&
       cycle_ - stats_window_start_ + 1 >= config_.timing.stats_window_cycles) {
     const double per_node_cycle =
@@ -513,6 +584,7 @@ void Network::step() {
 }
 
 const SimulationResult& Network::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   last_progress_cycle_ = 0;
   while (cycle_ < config_.timing.horizon_cycles) {
     step();
@@ -522,11 +594,16 @@ const SimulationResult& Network::run() {
       break;
     }
   }
+  // The measurement window closes here, whether or not a drain follows:
+  // drain cycles run with injection off and must not dilute the window
+  // rates (they used to, deflating accepted bandwidth by the drain length).
+  measurement_end_cycle_ = cycle_;
   if (config_.timing.drain_after_horizon &&
       stall_verdict_ == StallVerdict::kNone) {
     // Time-to-drain: stop injecting and keep the fabric running until every
     // in-flight packet is delivered or dropped (or the watchdog fires).
     draining_ = true;
+    measuring_ = false;
     const std::uint64_t drain_start = cycle_;
     while (pool_.in_flight() > 0 &&
            cycle_ - drain_start < config_.timing.drain_max_cycles) {
@@ -539,14 +616,28 @@ const SimulationResult& Network::run() {
     result_.drain_cycles = cycle_ - drain_start;
     result_.drained_clean = pool_.in_flight() == 0;
   }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  result_.sim_wall_seconds = wall.count();
+  if (wall.count() > 0.0) {
+    result_.sim_cycles_per_second =
+        static_cast<double>(cycle_) / wall.count();
+    result_.sim_mflits_per_second =
+        static_cast<double>(consumed_flits_) / wall.count() / 1e6;
+  }
   finalize_result();
   return result_;
 }
 
 void Network::finalize_result() {
+  // The window spans warm-up to the horizon snapshot taken before any
+  // post-horizon drain ran (drain cycles inject nothing and would deflate
+  // every per-cycle rate below).
+  const std::uint64_t window_end =
+      measurement_end_cycle_ > 0 ? measurement_end_cycle_ : cycle_;
   const std::uint64_t window =
-      cycle_ > config_.timing.warmup_cycles
-          ? cycle_ - config_.timing.warmup_cycles
+      window_end > config_.timing.warmup_cycles
+          ? window_end - config_.timing.warmup_cycles
           : 0;
   const auto nodes = static_cast<double>(topo_->node_count());
   result_.measured_cycles = window;
@@ -596,12 +687,25 @@ void Network::finalize_result() {
   result_.dropped_packets = dropped_packets_;
   result_.dropped_flits = dropped_flits_;
   result_.window_unroutable_packets = window_unroutable_packets_;
+  result_.drain_delivered_packets = drain_delivered_packets_;
+  result_.drain_delivered_flits = drain_delivered_flits_;
   if (faults_) {
     if (cycle_ >= epoch_start_cycle_) {
       close_fault_epoch(cycle_, faults_->active_faults());
     }
     result_.fault_epochs = fault_epochs_;
     result_.active_faults_end = faults_->active_faults();
+  }
+  if (obs_) {
+    result_.obs.enabled = true;
+    result_.obs.stalls = obs_->stalls.totals();
+    result_.obs.switch_frozen_cycles = obs_->stalls.switch_frozen_cycles();
+    result_.obs.port_stalls = obs_->stalls.nonzero_ports();
+    result_.obs.series = obs_->sampler.take_series();
+    if (config_.obs.trace_enabled()) {
+      result_.obs.trace_events = obs_->trace.event_count();
+      result_.obs.trace_written = obs_->trace.write(config_.obs.trace_out);
+    }
   }
 }
 

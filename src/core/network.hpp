@@ -28,6 +28,7 @@
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "router/nic.hpp"
 #include "router/switch.hpp"
 #include "routing/routing.hpp"
@@ -94,6 +95,11 @@ class Network {
     return faults_.get();
   }
 
+  /// Null unless ObsSpec::enabled (see src/obs/).
+  [[nodiscard]] const ObsState* obs_state() const noexcept {
+    return obs_.get();
+  }
+
   /// Manually enqueue one packet at `src` for `dst` (tests and examples);
   /// returns the packet id.
   PacketId enqueue_packet(NodeId src, NodeId dst);
@@ -124,6 +130,7 @@ class Network {
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<TrafficPattern> pattern_;
   std::unique_ptr<FaultState> faults_;  ///< null when the plan is empty
+  std::unique_ptr<ObsState> obs_;       ///< null unless obs is enabled
 
   std::vector<Switch> switches_;
   std::vector<Nic> nics_;
@@ -144,6 +151,12 @@ class Network {
   bool deadlocked_ = false;
   StallVerdict stall_verdict_ = StallVerdict::kNone;
   bool draining_ = false;  ///< past the horizon with injection stopped
+  /// Cycle the measurement window closed: the horizon (or the stall that
+  /// ended the run early), never extended by the post-horizon drain.
+  std::uint64_t measurement_end_cycle_ = 0;
+  // Deliveries during the post-horizon drain (kept out of the window).
+  std::uint64_t drain_delivered_packets_ = 0;
+  std::uint64_t drain_delivered_flits_ = 0;
 
   // Resilience counters (whole run; stay zero without a fault plan).
   std::uint64_t unroutable_packets_ = 0;

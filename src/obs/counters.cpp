@@ -1,0 +1,28 @@
+#include "obs/counters.hpp"
+
+namespace smart {
+
+StallBreakdown StallCounters::totals() const {
+  StallBreakdown sum;
+  for (const StallBreakdown& port : counters_) {
+    for (std::size_t c = 0; c < kStallCauseCount; ++c) {
+      sum.by_cause[c] += port.by_cause[c];
+    }
+  }
+  return sum;
+}
+
+std::vector<PortStallRecord> StallCounters::nonzero_ports() const {
+  std::vector<PortStallRecord> records;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].total() == 0) continue;
+    PortStallRecord record;
+    record.sw = static_cast<SwitchId>(i / ports_per_switch_);
+    record.port = static_cast<PortId>(i % ports_per_switch_);
+    record.stalls = counters_[i];
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace smart

@@ -1,0 +1,100 @@
+// Stall-cause attribution counters (observability layer).
+//
+// The engine's per-cycle phases skip work for exactly four reasons: an
+// output lane holds a flit but the downstream input lane has no free slot
+// (credit-starved), a header found no free output lane at its switch
+// (routing-blocked), a bound input lane could not advance because the
+// output lane's buffer is full (crossbar-blocked), or a fault froze the
+// component (fault-frozen). StallCounters attributes every such skipped
+// opportunity to the switch port it happened at, turning "the network
+// saturated" into "these ports starved for these reasons" — the lens the
+// paper's §6–§9 analysis applies informally.
+//
+// One counter bump per (lane, cycle) event; totals are therefore
+// lane-cycles lost, comparable across causes and against the number of
+// flit-cycles actually delivered.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace smart {
+
+enum class StallCause : std::uint8_t {
+  kCreditStarved,   ///< flit ready, zero credits on the output lane
+  kRoutingBlocked,  ///< header routed, but no free output lane anywhere legal
+  kCrossbarBlocked, ///< bound lane stalled on a full output-lane buffer
+  kFaultFrozen,     ///< flits frozen on a faulted link or dead switch
+};
+inline constexpr std::size_t kStallCauseCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(StallCause cause) noexcept {
+  switch (cause) {
+    case StallCause::kCreditStarved: return "credit-starved";
+    case StallCause::kRoutingBlocked: return "routing-blocked";
+    case StallCause::kCrossbarBlocked: return "crossbar-blocked";
+    case StallCause::kFaultFrozen: return "fault-frozen";
+  }
+  return "unknown";
+}
+
+/// Fabric-wide stall totals, one slot per cause.
+struct StallBreakdown {
+  std::array<std::uint64_t, kStallCauseCount> by_cause{};
+
+  [[nodiscard]] std::uint64_t operator[](StallCause cause) const noexcept {
+    return by_cause[static_cast<std::size_t>(cause)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : by_cause) sum += c;
+    return sum;
+  }
+};
+
+/// One switch port's stall attribution in a results report.
+struct PortStallRecord {
+  SwitchId sw = 0;
+  PortId port = 0;
+  StallBreakdown stalls;
+};
+
+/// Per-(switch, port) stall counters, flat storage for hot-path increments.
+class StallCounters {
+ public:
+  StallCounters(std::size_t switch_count, std::size_t ports_per_switch)
+      : ports_per_switch_(ports_per_switch),
+        counters_(switch_count * ports_per_switch) {}
+
+  void count(SwitchId sw, PortId port, StallCause cause) noexcept {
+    ++counters_[sw * ports_per_switch_ + port]
+          .by_cause[static_cast<std::size_t>(cause)];
+  }
+
+  /// A dead switch freezes every buffered flit it holds; counted once per
+  /// cycle against the switch (not attributable to a single port).
+  void count_switch_frozen() noexcept { ++switch_frozen_cycles_; }
+
+  [[nodiscard]] const StallBreakdown& at(SwitchId sw, PortId port) const {
+    return counters_[sw * ports_per_switch_ + port];
+  }
+  [[nodiscard]] std::uint64_t switch_frozen_cycles() const noexcept {
+    return switch_frozen_cycles_;
+  }
+
+  /// Sum over all ports (switch_frozen_cycles excluded: different unit).
+  [[nodiscard]] StallBreakdown totals() const;
+
+  /// Ports with at least one stall, for the results report.
+  [[nodiscard]] std::vector<PortStallRecord> nonzero_ports() const;
+
+ private:
+  std::size_t ports_per_switch_;
+  std::vector<StallBreakdown> counters_;
+  std::uint64_t switch_frozen_cycles_ = 0;
+};
+
+}  // namespace smart

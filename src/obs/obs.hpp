@@ -1,0 +1,76 @@
+// Observability state: the engine-facing façade of src/obs/.
+//
+// Network owns one ObsState when observability is enabled (and none at all
+// otherwise — the disabled path costs a single null check per hook site, so
+// results stay bit-identical to a build without the subsystem, the same
+// discipline src/fault/ established). The state aggregates the three
+// collectors — stall attribution, the utilization/occupancy sampler, and
+// the Chrome trace exporter — plus the per-packet bookkeeping the trace
+// needs: a unique id per generated packet (pool ids recycle) and the
+// header's current switch for hop slices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace_export.hpp"
+#include "router/flit.hpp"
+#include "topology/topology.hpp"
+
+namespace smart {
+
+class ObsState {
+ public:
+  ObsState(const Topology& topo, std::uint64_t sample_interval,
+           unsigned lane_stride, bool trace_hops)
+      : stalls(topo.switch_count(), topo.ports_per_switch()),
+        sampler(topo, sample_interval, lane_stride),
+        trace_hops_(trace_hops) {}
+
+  StallCounters stalls;
+  ObsSampler sampler;
+  TraceExporter trace;
+
+  [[nodiscard]] bool trace_hops() const noexcept { return trace_hops_; }
+
+  /// Stable id for the packet currently occupying pool slot `id`; assigned
+  /// on first use and retired by forget() when the worm leaves the network.
+  [[nodiscard]] std::uint64_t uid_of(PacketId id) {
+    if (id >= uid_.size()) uid_.resize(id + 1, kNoUid);
+    if (uid_[id] == kNoUid) uid_[id] = next_uid_++;
+    return uid_[id];
+  }
+
+  void forget(PacketId id) noexcept {
+    if (id < uid_.size()) uid_[id] = kNoUid;
+  }
+
+  /// The header flit entered `sw` this cycle.
+  void hop_enter(PacketId id, SwitchId sw, std::uint64_t cycle) {
+    if (id >= hop_switch_.size()) {
+      hop_switch_.resize(id + 1, 0);
+      hop_enter_cycle_.resize(id + 1, 0);
+    }
+    hop_switch_[id] = sw;
+    hop_enter_cycle_[id] = cycle;
+  }
+
+  /// The worm left its current switch this cycle; emits the hop slice.
+  void hop_exit(PacketId id, std::uint64_t cycle) {
+    if (id >= hop_switch_.size()) return;  // header never tracked
+    trace.hop(uid_of(id), hop_switch_[id], hop_enter_cycle_[id], cycle);
+  }
+
+ private:
+  static constexpr std::uint64_t kNoUid = ~0ULL;
+
+  bool trace_hops_;
+  std::uint64_t next_uid_ = 0;
+  std::vector<std::uint64_t> uid_;
+  std::vector<SwitchId> hop_switch_;
+  std::vector<std::uint64_t> hop_enter_cycle_;
+};
+
+}  // namespace smart

@@ -1,0 +1,109 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace smart {
+
+namespace {
+constexpr std::uint32_t kNoLink = std::numeric_limits<std::uint32_t>::max();
+
+std::uint8_t clamp_fill(std::size_t fill) noexcept {
+  return fill > 255 ? std::uint8_t{255} : static_cast<std::uint8_t>(fill);
+}
+}  // namespace
+
+double ObsSeries::mean_utilization(std::size_t link) const {
+  if (sample_cycles.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t tick = 0; tick < sample_cycles.size(); ++tick) {
+    sum += static_cast<double>(utilization(tick, link));
+  }
+  return sum / static_cast<double>(sample_cycles.size());
+}
+
+std::vector<std::size_t> ObsSeries::top_utilized(std::size_t n) const {
+  std::vector<std::size_t> order(links.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return mean_utilization(a) > mean_utilization(b);
+  });
+  if (order.size() > n) order.resize(n);
+  return order;
+}
+
+ObsSampler::ObsSampler(const Topology& topo, std::uint64_t interval,
+                       unsigned lane_stride)
+    : ports_per_switch_(topo.ports_per_switch()),
+      port_to_link_(topo.switch_count() * topo.ports_per_switch(), kNoLink),
+      node_to_link_(topo.node_count(), kNoLink) {
+  series_.interval = interval;
+  series_.lane_stride = lane_stride;
+  for (SwitchId s = 0; s < topo.switch_count(); ++s) {
+    for (PortId p = 0; p < topo.ports_per_switch(); ++p) {
+      const PortPeer peer = topo.port_peer(s, p);
+      if (peer.kind == PeerKind::kUnconnected) continue;
+      ObsLink link;
+      link.kind = peer.kind == PeerKind::kTerminal ? ObsLinkKind::kEjection
+                                                   : ObsLinkKind::kSwitchLink;
+      link.sw = s;
+      link.port = p;
+      port_to_link_[s * ports_per_switch_ + p] =
+          static_cast<std::uint32_t>(series_.links.size());
+      series_.links.push_back(link);
+    }
+  }
+  for (NodeId node = 0; node < topo.node_count(); ++node) {
+    ObsLink link;
+    link.kind = ObsLinkKind::kInjection;
+    const Attachment at = topo.terminal_attachment(node);
+    link.sw = at.sw;
+    link.port = at.port;
+    link.node = node;
+    node_to_link_[node] = static_cast<std::uint32_t>(series_.links.size());
+    series_.links.push_back(link);
+  }
+  flits_.assign(series_.links.size(), 0);
+  flits_at_last_tick_.assign(series_.links.size(), 0);
+}
+
+void ObsSampler::sample(std::uint64_t cycle,
+                        const std::vector<Switch>& switches,
+                        const std::vector<Nic>& nics) {
+  const std::size_t link_count = series_.links.size();
+  const unsigned stride = series_.lane_stride;
+  series_.sample_cycles.push_back(cycle);
+  series_.link_utilization.resize(series_.link_utilization.size() + link_count,
+                                  0.0F);
+  series_.in_occupancy.resize(series_.in_occupancy.size() +
+                              link_count * stride);
+  series_.out_occupancy.resize(series_.out_occupancy.size() +
+                               link_count * stride);
+  const std::size_t tick = series_.sample_cycles.size() - 1;
+  const auto interval = static_cast<double>(series_.interval);
+
+  for (std::size_t i = 0; i < link_count; ++i) {
+    series_.link_utilization[tick * link_count + i] = static_cast<float>(
+        static_cast<double>(flits_[i] - flits_at_last_tick_[i]) / interval);
+    flits_at_last_tick_[i] = flits_[i];
+
+    const ObsLink& link = series_.links[i];
+    const std::size_t base = (tick * link_count + i) * stride;
+    if (link.kind == ObsLinkKind::kInjection) {
+      const auto& channels = nics[link.node].channels();
+      for (unsigned c = 0; c < channels.size() && c < stride; ++c) {
+        series_.in_occupancy[base + c] = clamp_fill(channels[c].buf.size());
+      }
+      continue;
+    }
+    const SwitchPort& port = switches[link.sw].port(link.port);
+    for (unsigned v = 0; v < port.in.size() && v < stride; ++v) {
+      series_.in_occupancy[base + v] = clamp_fill(port.in[v].buf.size());
+    }
+    for (unsigned v = 0; v < port.out.size() && v < stride; ++v) {
+      series_.out_occupancy[base + v] = clamp_fill(port.out[v].buf.size());
+    }
+  }
+}
+
+}  // namespace smart

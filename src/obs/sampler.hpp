@@ -1,0 +1,117 @@
+// Utilization and buffer-occupancy time series (observability layer).
+//
+// The sampler snapshots the whole fabric every `interval` cycles: for each
+// directed link it records the flits transmitted during the interval
+// (utilization = flits / interval, 1.0 = wire fully busy), and for each
+// virtual-channel lane of that link the buffer fill at the sample instant.
+// This is the per-lane occupancy/utilization lens of Stergiou's multistage
+// wormhole studies: saturation shows up as specific lanes pinned at full
+// occupancy, not as a fabric-wide average.
+//
+// Storage is flat and compact (one float per link-tick, one byte per
+// lane-tick); a paper-sized run (256 nodes, 20 000 cycles, interval 1000)
+// samples ~1500 links x 20 ticks — well under a megabyte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "router/nic.hpp"
+#include "router/switch.hpp"
+#include "topology/topology.hpp"
+
+namespace smart {
+
+enum class ObsLinkKind : std::uint8_t {
+  kSwitchLink,  ///< switch-to-switch channel (outgoing direction)
+  kEjection,    ///< switch-to-terminal channel
+  kInjection,   ///< terminal-to-switch channel (the NIC's injection side)
+};
+
+[[nodiscard]] constexpr const char* to_string(ObsLinkKind kind) noexcept {
+  switch (kind) {
+    case ObsLinkKind::kSwitchLink: return "link";
+    case ObsLinkKind::kEjection: return "eject";
+    case ObsLinkKind::kInjection: return "inject";
+  }
+  return "unknown";
+}
+
+/// One directed link in the sample directory. Switch-side links are
+/// identified by (sw, port); injection links by the node.
+struct ObsLink {
+  ObsLinkKind kind = ObsLinkKind::kSwitchLink;
+  SwitchId sw = 0;
+  PortId port = 0;
+  NodeId node = 0;
+};
+
+/// The collected time series, shipped inside SimulationResult::obs.
+/// All per-tick arrays are flattened [tick][link] (and [tick][link][lane]
+/// for occupancy, stride `lane_stride`; lanes a link does not have read 0).
+struct ObsSeries {
+  std::uint64_t interval = 0;   ///< cycles between samples (0 = no series)
+  unsigned lane_stride = 0;     ///< occupancy slots reserved per link
+  std::vector<ObsLink> links;   ///< directory, parallel to the inner axis
+  std::vector<std::uint64_t> sample_cycles;
+  std::vector<float> link_utilization;    ///< flits/cycle over the interval
+  std::vector<std::uint8_t> in_occupancy;   ///< input-lane fill at the tick
+  std::vector<std::uint8_t> out_occupancy;  ///< output-lane fill at the tick
+
+  [[nodiscard]] std::size_t tick_count() const noexcept {
+    return sample_cycles.size();
+  }
+  [[nodiscard]] float utilization(std::size_t tick, std::size_t link) const {
+    return link_utilization[tick * links.size() + link];
+  }
+  [[nodiscard]] std::uint8_t in_fill(std::size_t tick, std::size_t link,
+                                     unsigned lane) const {
+    return in_occupancy[(tick * links.size() + link) * lane_stride + lane];
+  }
+  [[nodiscard]] std::uint8_t out_fill(std::size_t tick, std::size_t link,
+                                      unsigned lane) const {
+    return out_occupancy[(tick * links.size() + link) * lane_stride + lane];
+  }
+
+  /// Mean utilization of one link over all ticks (0 with no ticks).
+  [[nodiscard]] double mean_utilization(std::size_t link) const;
+  /// Indices of the `n` highest-mean-utilization links, ordered descending.
+  [[nodiscard]] std::vector<std::size_t> top_utilized(std::size_t n) const;
+};
+
+/// Collects the series: the engine reports every transmitted flit through
+/// on_flit()/on_injection_flit(); sample() closes the current interval.
+class ObsSampler {
+ public:
+  ObsSampler(const Topology& topo, std::uint64_t interval,
+             unsigned lane_stride);
+
+  /// Dense link-index lookup for the engine's hot path.
+  [[nodiscard]] std::uint32_t link_index(SwitchId sw, PortId port) const {
+    return port_to_link_[sw * ports_per_switch_ + port];
+  }
+  [[nodiscard]] std::uint32_t injection_index(NodeId node) const {
+    return node_to_link_[node];
+  }
+
+  void on_flit(std::uint32_t link) noexcept { ++flits_[link]; }
+
+  /// Appends one tick: per-link interval flit counts and lane occupancy.
+  void sample(std::uint64_t cycle, const std::vector<Switch>& switches,
+              const std::vector<Nic>& nics);
+
+  [[nodiscard]] const ObsSeries& series() const noexcept { return series_; }
+  [[nodiscard]] ObsSeries&& take_series() noexcept {
+    return static_cast<ObsSeries&&>(series_);
+  }
+
+ private:
+  std::size_t ports_per_switch_;
+  std::vector<std::uint32_t> port_to_link_;  ///< (sw, port) -> link index
+  std::vector<std::uint32_t> node_to_link_;  ///< node -> injection link
+  std::vector<std::uint64_t> flits_;         ///< cumulative per link
+  std::vector<std::uint64_t> flits_at_last_tick_;
+  ObsSeries series_;
+};
+
+}  // namespace smart

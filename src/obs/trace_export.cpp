@@ -1,0 +1,85 @@
+#include "obs/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace smart {
+
+void TraceExporter::packet(std::uint64_t uid, NodeId src, NodeId dst,
+                           std::uint64_t gen_cycle, std::uint64_t inject_cycle,
+                           std::uint64_t end_cycle, std::uint32_t hops,
+                           bool dropped) {
+  packets_.push_back(PacketEvent{uid, src, dst, gen_cycle, inject_cycle,
+                                 end_cycle, hops, dropped});
+}
+
+void TraceExporter::hop(std::uint64_t uid, SwitchId sw,
+                        std::uint64_t enter_cycle, std::uint64_t exit_cycle) {
+  hops_.push_back(HopEvent{uid, sw, enter_cycle, exit_cycle});
+}
+
+std::size_t TraceExporter::event_count() const noexcept {
+  // Each packet expands to begin + inject-instant + end.
+  return packets_.size() * 3 + hops_.size();
+}
+
+std::string TraceExporter::to_json() const {
+  std::string out;
+  out.reserve(256 + event_count() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char buf[256];
+  bool first = true;
+  auto append = [&](const char* event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  // Name the two process groups so trace viewers label the tracks.
+  append("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"packets (by source node)\"}}");
+  append("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"switch hops\"}}");
+  for (const PacketEvent& p : packets_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"b\",\"cat\":\"packet\",\"id\":%" PRIu64
+                  ",\"name\":\"%s\",\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64
+                  ",\"args\":{\"src\":%u,\"dst\":%u,\"hops\":%u}}",
+                  p.uid, p.dropped ? "dropped" : "packet", p.src, p.gen,
+                  p.src, p.dst, p.hops);
+    append(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"n\",\"cat\":\"packet\",\"id\":%" PRIu64
+                  ",\"name\":\"inject\",\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64
+                  "}",
+                  p.uid, p.src, p.inject);
+    append(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"e\",\"cat\":\"packet\",\"id\":%" PRIu64
+                  ",\"name\":\"%s\",\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64 "}",
+                  p.uid, p.dropped ? "dropped" : "packet", p.src, p.end);
+    append(buf);
+  }
+  for (const HopEvent& h : hops_) {
+    // Zero-duration slices render invisibly; stretch them to one cycle.
+    const std::uint64_t dur = h.exit > h.enter ? h.exit - h.enter : 1;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"cat\":\"hop\",\"name\":\"pkt %" PRIu64
+                  "\",\"pid\":1,\"tid\":%u,\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64 ",\"args\":{\"packet\":%" PRIu64 "}}",
+                  h.uid, h.sw, h.enter, dur, h.uid);
+    append(buf);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceExporter::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  const bool closed = std::fclose(file) == 0;
+  return wrote && closed;
+}
+
+}  // namespace smart

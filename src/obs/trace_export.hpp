@@ -1,0 +1,69 @@
+// Chrome trace-event JSON exporter (observability layer).
+//
+// Emits one async event per packet — begin at generation, an instant at
+// injection, end at delivery (or drop) — and, when hop tracing is on, one
+// complete ("X") slice per switch the worm's header visited. The output is
+// the Trace Event Format that chrome://tracing and Perfetto load directly;
+// one simulated cycle maps to one microsecond of trace time.
+//
+// Rows: packets group under pid 0 with one track per source node; hop
+// slices group under pid 1 with one track per switch, so a packet's path
+// reads as a staircase across switch tracks.
+//
+// Events are buffered in memory and serialized by write(); timestamps are
+// explicit, so emission order does not matter and delivered packets can be
+// recorded retrospectively from their Packet bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace smart {
+
+class TraceExporter {
+ public:
+  /// Records gen -> inject -> deliver for one packet; `dropped` marks the
+  /// worms discarded as unroutable (their async slice ends at the drop).
+  void packet(std::uint64_t uid, NodeId src, NodeId dst,
+              std::uint64_t gen_cycle, std::uint64_t inject_cycle,
+              std::uint64_t end_cycle, std::uint32_t hops, bool dropped);
+
+  /// Records one per-hop slice: the header occupied `sw` over
+  /// [enter_cycle, exit_cycle].
+  void hop(std::uint64_t uid, SwitchId sw, std::uint64_t enter_cycle,
+           std::uint64_t exit_cycle);
+
+  [[nodiscard]] std::size_t event_count() const noexcept;
+
+  /// Serializes all buffered events as Trace Event Format JSON.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  struct PacketEvent {
+    std::uint64_t uid = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t gen = 0;
+    std::uint64_t inject = 0;
+    std::uint64_t end = 0;
+    std::uint32_t hops = 0;
+    bool dropped = false;
+  };
+  struct HopEvent {
+    std::uint64_t uid = 0;
+    SwitchId sw = 0;
+    std::uint64_t enter = 0;
+    std::uint64_t exit = 0;
+  };
+
+  std::vector<PacketEvent> packets_;
+  std::vector<HopEvent> hops_;
+};
+
+}  // namespace smart

@@ -3,7 +3,7 @@
 #include "util/check.hpp"
 
 #ifdef __SIZEOF_INT128__
-using uint128 = unsigned __int128;
+__extension__ typedef unsigned __int128 uint128;  // NOLINT: pedantic-clean
 #endif
 
 namespace smart {

@@ -24,6 +24,17 @@ namespace smart {
   return z ^ (z >> 31);
 }
 
+/// Derives a decorrelated seed for stream `stream` of base seed `seed`.
+/// Unlike arithmetic like `seed + stream`, the pair is hashed, so stream r
+/// of seed s never lands on the stream of a neighbouring (seed, stream)
+/// pair — structurally distinct pairs give structurally unrelated seeds.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t seed,
+                                               std::uint64_t stream) noexcept {
+  std::uint64_t state = seed;
+  std::uint64_t mixed = splitmix64(state) ^ (stream * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(mixed);
+}
+
 /// xoshiro256** pseudo-random generator with explicit, portable draws.
 class Rng {
  public:

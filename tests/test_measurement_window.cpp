@@ -1,0 +1,152 @@
+// Measurement-window accounting: the post-horizon drain must not dilute
+// the measured window, the summary tables read the paper's normal-traffic
+// point, and replication seeds never reuse a neighbouring stream.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig base_config(double load) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = load;
+  config.traffic.seed = 42;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 3000;
+  return config;
+}
+
+// The headline regression: draining after the horizon used to keep the
+// window counters live, so every drained delivery inflated the accepted
+// fraction while the elapsed drain cycles deflated the per-cycle rates.
+// The measured window must be identical with and without the drain; the
+// drain contributes only its own drain_* fields.
+TEST(MeasurementWindow, DrainDoesNotContaminateWindow) {
+  SimConfig plain = base_config(0.6);
+  SimConfig drained = plain;
+  drained.timing.drain_after_horizon = true;
+  Network net_plain(plain);
+  Network net_drained(drained);
+  const SimulationResult& a = net_plain.run();
+  const SimulationResult& b = net_drained.run();
+
+  EXPECT_DOUBLE_EQ(a.accepted_fraction, b.accepted_fraction);
+  EXPECT_EQ(a.generated_packets, b.generated_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.delivered_flits, b.delivered_flits);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.latency_cycles.count(), b.latency_cycles.count());
+  EXPECT_DOUBLE_EQ(a.latency_cycles.mean(), b.latency_cycles.mean());
+  EXPECT_DOUBLE_EQ(a.link_utilization.mean(), b.link_utilization.mean());
+
+  // The drain itself ran and is reported separately.
+  EXPECT_EQ(a.drain_cycles, 0U);
+  EXPECT_EQ(a.drain_delivered_packets, 0U);
+  EXPECT_GT(b.drain_cycles, 0U);
+  EXPECT_GT(b.drain_delivered_packets, 0U);  // 0.6 load has packets in flight
+  EXPECT_GT(b.drain_delivered_flits, b.drain_delivered_packets);
+  EXPECT_TRUE(b.drained_clean);
+}
+
+TEST(MeasurementWindow, MeasuredCyclesStopAtHorizon) {
+  SimConfig config = base_config(0.5);
+  config.timing.drain_after_horizon = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_EQ(r.measured_cycles,
+            config.timing.horizon_cycles - config.timing.warmup_cycles);
+}
+
+SimulationResult synthetic_point(double offered, bool delivered) {
+  SimulationResult r;
+  r.offered_fraction = offered;
+  r.accepted_fraction = delivered ? offered : 0.0;
+  if (delivered) r.latency_cycles.add(30.0);
+  return r;
+}
+
+TEST(MeasurementWindow, NormalTrafficIndexPicksLastPointUnderOneThird) {
+  std::vector<SimulationResult> sweep;
+  for (double load : {0.1, 0.2, 0.3, 0.5, 0.8}) {
+    sweep.push_back(synthetic_point(load, true));
+  }
+  // 0.3 <= 1/3 < 0.5: the normal-traffic point is index 2.
+  EXPECT_EQ(normal_traffic_index(sweep), 2U);
+}
+
+TEST(MeasurementWindow, NormalTrafficIndexSkipsEmptyPoints) {
+  std::vector<SimulationResult> sweep;
+  sweep.push_back(synthetic_point(0.1, true));
+  sweep.push_back(synthetic_point(0.3, false));  // no deliveries: unusable
+  sweep.push_back(synthetic_point(0.6, true));
+  EXPECT_EQ(normal_traffic_index(sweep), 0U);
+}
+
+TEST(MeasurementWindow, NormalTrafficIndexEmptyWhenNothingQualifies) {
+  std::vector<SimulationResult> sweep;
+  sweep.push_back(synthetic_point(0.5, true));
+  sweep.push_back(synthetic_point(0.9, true));
+  EXPECT_EQ(normal_traffic_index(sweep), sweep.size());
+}
+
+TEST(MeasurementWindow, SummaryTableLabelsNormalTrafficColumn) {
+  Curve curve;
+  curve.label = "cube";
+  for (double load : {0.2, 0.3, 0.6, 0.9}) {
+    curve.points.push_back(synthetic_point(load, true));
+  }
+  const Table table = saturation_summary_table({curve});
+  EXPECT_NE(table.to_text().find("latency@norm (ns)"), std::string::npos);
+}
+
+// The old seed derivation was base.seed + rep: replication r of seed s
+// collided with replication r-1 of seed s+1. The mixed derivation keeps
+// every (seed, rep) pair on its own stream.
+TEST(ReplicationSeeds, PairwiseDisjointAcrossSeedsAndReps) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    for (std::uint64_t rep = 0; rep < 5; ++rep) {
+      EXPECT_TRUE(seen.insert(replication_seed(seed, rep)).second)
+          << "collision at seed " << seed << " rep " << rep;
+    }
+  }
+}
+
+TEST(ReplicationSeeds, ReplicationZeroIsTheBaseSeed) {
+  EXPECT_EQ(replication_seed(7, 0), 7U);
+  EXPECT_EQ(replication_seed(12345, 0), 12345U);
+}
+
+TEST(ReplicationSeeds, NoDiagonalCollisions) {
+  // The exact structural failure of seed + rep.
+  for (std::uint64_t seed = 1; seed < 20; ++seed) {
+    for (std::uint64_t rep = 1; rep < 20; ++rep) {
+      EXPECT_NE(replication_seed(seed, rep), replication_seed(seed + 1, rep - 1));
+      EXPECT_NE(replication_seed(seed, rep), seed + rep);
+    }
+  }
+}
+
+TEST(ReplicationSeeds, SingleReplicationMatchesPlainRun) {
+  SimConfig config = base_config(0.4);
+  Network network(config);
+  const SimulationResult& plain = network.run();
+  const auto replicated = run_replicated(config, {0.4}, 1, 1);
+  ASSERT_EQ(replicated.size(), 1U);
+  EXPECT_DOUBLE_EQ(replicated[0].accepted_fraction.mean(),
+                   plain.accepted_fraction);
+  EXPECT_DOUBLE_EQ(replicated[0].latency_mean_cycles.mean(),
+                   plain.latency_cycles.mean());
+}
+
+}  // namespace
+}  // namespace smart

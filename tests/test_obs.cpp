@@ -1,0 +1,248 @@
+// Observability layer: disabled-path bit-identity, stall attribution,
+// utilization series, and the Chrome trace exporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig congested_config() {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.8;  // past saturation: plenty of stalls
+  config.traffic.seed = 11;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 3000;
+  return config;
+}
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.generated_packets, b.generated_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.delivered_flits, b.delivered_flits);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_DOUBLE_EQ(a.accepted_fraction, b.accepted_fraction);
+  EXPECT_EQ(a.latency_cycles.count(), b.latency_cycles.count());
+  EXPECT_DOUBLE_EQ(a.latency_cycles.mean(), b.latency_cycles.mean());
+  EXPECT_DOUBLE_EQ(a.hops.mean(), b.hops.mean());
+  EXPECT_DOUBLE_EQ(a.link_utilization.mean(), b.link_utilization.mean());
+}
+
+TEST(Obs, DisabledPathBitIdenticalToEnabled) {
+  SimConfig off = congested_config();
+  SimConfig on = off;
+  on.obs.enabled = true;
+  on.obs.sample_interval_cycles = 500;
+  Network net_off(off);
+  Network net_on(on);
+  const SimulationResult& a = net_off.run();
+  const SimulationResult& b = net_on.run();
+  expect_identical(a, b);
+  EXPECT_FALSE(a.obs.enabled);
+  EXPECT_TRUE(b.obs.enabled);
+}
+
+// Golden regression pinned against the pre-observability build: the default
+// (obs disabled) engine must reproduce these values bit-for-bit.
+TEST(Obs, GoldenCubeDuatoUniform) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.46166666666666667);
+  EXPECT_EQ(r.generated_packets, 1650U);
+  EXPECT_EQ(r.delivered_packets, 1662U);
+  EXPECT_EQ(r.delivered_flits, 26592U);
+  EXPECT_EQ(r.measured_cycles, 3600U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 42.521660649819474);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.0992779783393649);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.31429976851851849);
+}
+
+TEST(Obs, GoldenTreeTranspose) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kTree;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.vcs = 2;
+  config.net.routing = RoutingKind::kTreeAdaptive;
+  config.traffic.pattern = PatternKind::kTranspose;
+  config.traffic.offered_fraction = 0.6;
+  config.traffic.seed = 21;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.47666666666666668);
+  EXPECT_EQ(r.delivered_packets, 858U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 66.015151515151402);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.0);
+}
+
+TEST(Obs, GoldenMeshDorTornado) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.wraparound = false;
+  config.net.routing = RoutingKind::kCubeDeterministic;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.35;
+  config.traffic.seed = 3;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.32555555555555554);
+  EXPECT_EQ(r.delivered_packets, 1172U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 28.680034129692832);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.9795221843003477);
+}
+
+TEST(Obs, StallTotalsMatchPerPortRecords) {
+  SimConfig config = congested_config();
+  config.obs.enabled = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  // Past saturation the fabric must stall somewhere.
+  EXPECT_GT(r.obs.stalls.total(), 0U);
+  // Fabric totals are exactly the sum of the per-port records.
+  StallBreakdown from_ports;
+  for (const PortStallRecord& record : r.obs.port_stalls) {
+    EXPECT_GT(record.stalls.total(), 0U);  // nonzero_ports means nonzero
+    for (std::size_t c = 0; c < kStallCauseCount; ++c) {
+      from_ports.by_cause[c] += record.stalls.by_cause[c];
+    }
+  }
+  for (std::size_t c = 0; c < kStallCauseCount; ++c) {
+    EXPECT_EQ(r.obs.stalls.by_cause[c], from_ports.by_cause[c]);
+  }
+  // A healthy fabric never freezes on faults.
+  EXPECT_EQ(r.obs.stalls[StallCause::kFaultFrozen], 0U);
+  EXPECT_EQ(r.obs.switch_frozen_cycles, 0U);
+}
+
+TEST(Obs, FaultFrozenAttributedOnFaultedLink) {
+  SimConfig config = congested_config();
+  config.obs.enabled = true;
+  config.faults.add_link(0, /*port=*/0, /*start=*/500);
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_GT(r.obs.stalls[StallCause::kFaultFrozen], 0U);
+}
+
+TEST(Obs, SeriesSamplesUtilizationAndOccupancy) {
+  SimConfig config = congested_config();
+  config.obs.enabled = true;
+  config.obs.sample_interval_cycles = 500;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  const ObsSeries& series = r.obs.series;
+  ASSERT_GT(series.tick_count(), 0U);
+  ASSERT_FALSE(series.links.empty());
+  EXPECT_EQ(series.interval, 500U);
+  // Samples land on interval boundaries, strictly increasing.
+  for (std::size_t t = 0; t < series.tick_count(); ++t) {
+    EXPECT_EQ(series.sample_cycles[t] % 500, 0U);
+    if (t > 0) {
+      EXPECT_GT(series.sample_cycles[t], series.sample_cycles[t - 1]);
+    }
+  }
+  // Utilization is flits per cycle on a one-flit-per-cycle wire: in [0, 1].
+  double peak = 0.0;
+  for (std::size_t t = 0; t < series.tick_count(); ++t) {
+    for (std::size_t l = 0; l < series.links.size(); ++l) {
+      const float u = series.utilization(t, l);
+      EXPECT_GE(u, 0.0F);
+      EXPECT_LE(u, 1.0F);
+      peak = std::max(peak, static_cast<double>(u));
+    }
+  }
+  EXPECT_GT(peak, 0.0);  // traffic flowed during sampling
+  // top_utilized orders by descending mean utilization.
+  const auto top = series.top_utilized(4);
+  ASSERT_GE(top.size(), 2U);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(series.mean_utilization(top[i - 1]),
+              series.mean_utilization(top[i]));
+  }
+}
+
+TEST(Obs, TraceFileWrittenAndWellFormed) {
+  const std::string path = ::testing::TempDir() + "smartsim_trace.json";
+  SimConfig config = congested_config();
+  config.traffic.offered_fraction = 0.3;
+  config.obs.trace_out = path;
+  config.obs.enabled = true;
+  config.obs.trace_hops = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_TRUE(r.obs.trace_written);
+  EXPECT_GT(r.obs.trace_events, 0U);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);  // packet begin
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // hop slice
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Obs, HopTracingAddsEvents) {
+  const std::string flat = ::testing::TempDir() + "smartsim_trace_flat.json";
+  const std::string hops = ::testing::TempDir() + "smartsim_trace_hops.json";
+  SimConfig config = congested_config();
+  config.traffic.offered_fraction = 0.3;
+  config.obs.enabled = true;
+  config.obs.trace_out = flat;
+  Network without(config);
+  const std::uint64_t flat_events = without.run().obs.trace_events;
+  config.obs.trace_out = hops;
+  config.obs.trace_hops = true;
+  Network with(config);
+  const std::uint64_t hop_events = with.run().obs.trace_events;
+  EXPECT_GT(hop_events, flat_events);
+  std::remove(flat.c_str());
+  std::remove(hops.c_str());
+}
+
+TEST(Obs, SelfMetricsReported) {
+  SimConfig config = congested_config();
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_GT(r.sim_wall_seconds, 0.0);
+  EXPECT_GT(r.sim_cycles_per_second, 0.0);
+  EXPECT_GT(r.sim_mflits_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace smart

@@ -85,7 +85,9 @@ TEST_P(TopologyProperty, MinHopsIsAMetric) {
     for (NodeId b = 0; b < nodes; ++b) {
       const unsigned ab = topo->min_hops(a, b);
       EXPECT_EQ(ab, topo->min_hops(b, a));
-      if (a != b) EXPECT_GT(ab, 0U);
+      if (a != b) {
+        EXPECT_GT(ab, 0U);
+      }
     }
   }
   // Triangle inequality on a sample (full O(N^3) is too slow for 256).

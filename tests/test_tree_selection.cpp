@@ -54,8 +54,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, TreeSelectionTest,
     ::testing::Values(TreeSelection::kSaltedAffine, TreeSelection::kRotating,
                       TreeSelection::kRandom, TreeSelection::kMostCredits),
-    [](const ::testing::TestParamInfo<TreeSelection>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<TreeSelection>& named) {
+      switch (named.param) {
         case TreeSelection::kSaltedAffine: return "SaltedAffine";
         case TreeSelection::kRotating: return "Rotating";
         case TreeSelection::kRandom: return "Random";

@@ -4,10 +4,10 @@
 // routing algorithm, traffic pattern and arrival process, and prints the
 // metrics (optionally as CSV). Examples:
 //
-//   smartsim --topology cube --k 16 --n 2 --routing duato --pattern uniform \
-//            --load 0.6
+//   smartsim --topology cube --k 16 --n 2 --routing duato
+//            --pattern uniform --load 0.6
 //   smartsim --topology tree --k 4 --n 4 --vcs 2 --pattern transpose --sweep
-//   smartsim --topology mesh --k 8 --n 2 --routing det --pattern tornado \
+//   smartsim --topology mesh --k 8 --n 2 --routing det --pattern tornado
 //            --load 0.4 --injection bursty --csv out.csv
 //   smartsim --topology tree --faults link:5:2@3000 --load 0.6
 //   smartsim --topology cube --fault-rate 0.02 --fault-cycle 5000 --load 0.5
@@ -60,6 +60,14 @@ void usage() {
       "                              faults (default 0 = from the start)\n"
       "  --drain                     after the horizon, stop injecting and\n"
       "                              report the cycles to drain the fabric\n"
+      "  --obs                       collect stall attribution and link\n"
+      "                              utilization/occupancy (opt-in)\n"
+      "  --obs-interval <cycles>     sampling interval for --obs (default\n"
+      "                              1000; 0 = counters only, no series)\n"
+      "  --trace-out <path>          write a Chrome trace-event JSON of\n"
+      "                              every packet (implies --obs; single\n"
+      "                              run only, not --sweep)\n"
+      "  --trace-hops                add per-switch hop slices to the trace\n"
       "exit status: 0 ok, 1 usage, 2 deadlock, 3 unroutable traffic\n");
 }
 
@@ -202,6 +210,16 @@ int main(int argc, char** argv) {
       fault_cycle = std::strtoull(next_value(i), nullptr, 10);
     } else if (arg == "--drain") {
       config.timing.drain_after_horizon = true;
+    } else if (arg == "--obs") {
+      config.obs.enabled = true;
+    } else if (arg == "--obs-interval") {
+      config.obs.sample_interval_cycles =
+          std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--trace-out") {
+      config.obs.trace_out = next_value(i);
+      config.obs.enabled = true;
+    } else if (arg == "--trace-hops") {
+      config.obs.trace_hops = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
@@ -243,6 +261,13 @@ int main(int argc, char** argv) {
     // arrival stream but still fully determined by --seed.
     config.faults.add_random_fraction(
         fault_rate, config.traffic.seed ^ 0x9e3779b97f4a7c15ULL, fault_cycle);
+  }
+
+  if (sweep && config.obs.trace_enabled()) {
+    std::fprintf(stderr,
+                 "--trace-out writes one trace file and cannot be combined "
+                 "with --sweep\n");
+    return 1;
   }
 
   const std::vector<double> loads =
@@ -345,10 +370,69 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(epoch.dropped_packets));
       }
       if (config.timing.drain_after_horizon) {
-        std::printf("  drain: %llu cycle(s), %s\n",
-                    static_cast<unsigned long long>(point.drain_cycles),
-                    point.drained_clean ? "clean" : "packets left wedged");
+        std::printf(
+            "  drain: %llu cycle(s), %s, %llu packet(s) delivered while "
+            "draining\n",
+            static_cast<unsigned long long>(point.drain_cycles),
+            point.drained_clean ? "clean" : "packets left wedged",
+            static_cast<unsigned long long>(point.drain_delivered_packets));
       }
+    }
+  }
+
+  if (config.obs.enabled) {
+    for (const SimulationResult& point : results) {
+      const ObsReport& obs = point.obs;
+      std::printf("\nobservability (load %.3f): %llu stall event(s)\n",
+                  point.offered_fraction,
+                  static_cast<unsigned long long>(obs.stalls.total()));
+      for (std::size_t c = 0; c < kStallCauseCount; ++c) {
+        std::printf("  %-16s %llu\n",
+                    to_string(static_cast<StallCause>(c)),
+                    static_cast<unsigned long long>(obs.stalls.by_cause[c]));
+      }
+      if (obs.switch_frozen_cycles > 0) {
+        std::printf("  dead-switch frozen cycles: %llu\n",
+                    static_cast<unsigned long long>(obs.switch_frozen_cycles));
+      }
+      if (obs.series.tick_count() > 0) {
+        std::printf("  hottest links (mean utilization over %llu samples):\n",
+                    static_cast<unsigned long long>(obs.series.tick_count()));
+        for (std::size_t link : obs.series.top_utilized(5)) {
+          const ObsLink& l = obs.series.links[link];
+          if (l.kind == ObsLinkKind::kInjection) {
+            std::printf("    node %-4u inject       %.3f\n", l.node,
+                        obs.series.mean_utilization(link));
+          } else {
+            std::printf("    sw %-4u port %-3u %-6s %.3f\n", l.sw, l.port,
+                        to_string(l.kind), obs.series.mean_utilization(link));
+          }
+        }
+      }
+      if (config.obs.trace_enabled()) {
+        std::printf("  trace: %llu event(s) %s %s\n",
+                    static_cast<unsigned long long>(obs.trace_events),
+                    obs.trace_written ? "written to" : "FAILED to write",
+                    config.obs.trace_out.c_str());
+        if (!obs.trace_written) return 1;
+      }
+    }
+  }
+
+  // Simulator self-metrics: the perf trajectory of the simulator itself.
+  {
+    double wall = 0.0;
+    double cycles = 0.0;
+    double flits = 0.0;
+    for (const SimulationResult& point : results) {
+      wall += point.sim_wall_seconds;
+      cycles += point.sim_cycles_per_second * point.sim_wall_seconds;
+      flits += point.sim_mflits_per_second * point.sim_wall_seconds;
+    }
+    if (wall > 0.0) {
+      std::printf(
+          "\nsimulator: %.2fs wall, %.2f Mcycles/s, %.2f Mflits/s\n", wall,
+          cycles / wall / 1e6, flits / wall);
     }
   }
 
