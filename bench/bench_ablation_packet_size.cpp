@@ -4,7 +4,8 @@
 // narrow-flit fat-tree, where the same bytes make twice the flits.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

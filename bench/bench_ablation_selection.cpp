@@ -10,7 +10,8 @@
 // policies in turn do slightly better on transpose-like permutations.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

@@ -5,7 +5,8 @@
 // and end-of-run backlog above saturation for both interfaces.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

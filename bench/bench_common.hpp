@@ -1,13 +1,18 @@
 // Shared plumbing for the figure-reproduction benches: the paper's four
-// traffic patterns, the offered-load grid, and CSV emission.
+// traffic patterns, the offered-load grid, CSV emission, and the optional
+// machine-readable JSON report.
 //
 // Each bench prints the tables that correspond to one figure of the paper
 // and writes the same data as CSV files under ./bench_out/ for plotting.
+// With `--json <path>` (parsed by init_cli) every table the bench emits is
+// additionally collected into one JSON document at <path>, so scripts can
+// consume a whole bench run without scraping stdout or globbing CSVs.
 // Set SMARTSIM_QUICK=1 to run a coarser load grid.
 #pragma once
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +20,105 @@
 #include "core/network.hpp"
 
 namespace smart::benchtool {
+
+/// Accumulates every table of the running bench and rewrites the JSON
+/// document after each addition, so a bench aborting midway still leaves
+/// the tables it finished on disk.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  /// Enables the report: `bench` names the producing binary, `path` the
+  /// output file.
+  void enable(std::string bench, std::string path) {
+    bench_ = std::move(bench);
+    path_ = std::move(path);
+    flush();
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  void add(const std::string& name, const Table& table) {
+    if (!enabled()) return;
+    std::string json = "    {\"name\": " + quote(name) + ", \"columns\": [";
+    for (std::size_t c = 0; c < table.column_count(); ++c) {
+      if (c > 0) json += ", ";
+      json += quote(table.header(c));
+    }
+    json += "], \"rows\": [";
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      if (r > 0) json += ", ";
+      json += '[';
+      for (std::size_t c = 0; c < table.column_count(); ++c) {
+        if (c > 0) json += ", ";
+        json += quote(table.cell(r, c));
+      }
+      json += ']';
+    }
+    json += "]}";
+    tables_.push_back(std::move(json));
+    flush();
+  }
+
+ private:
+  static std::string quote(const std::string& value) {
+    std::string out = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  void flush() const {
+    std::error_code ec;
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": " << quote(bench_) << ",\n  \"tables\": [\n";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      out << tables_[i] << (i + 1 < tables_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> tables_;
+};
+
+/// Parses the shared bench command line: `--json <path>` turns on the
+/// JSON report. Unknown flags are rejected so typos fail loudly.
+inline void init_cli(int argc, char** argv) {
+  const std::string bench =
+      argc > 0 ? std::filesystem::path(argv[0]).filename().string()
+               : std::string{"bench"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      JsonReport::instance().enable(bench, argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n",
+                   argc > 0 ? argv[0] : "bench");
+      std::exit(1);
+    }
+  }
+}
 
 inline const std::vector<PatternKind>& paper_patterns() {
   static const std::vector<PatternKind> patterns{
@@ -58,6 +162,7 @@ inline void write_csv(const Table& table, const std::string& name) {
   if (table.write_csv(path)) {
     std::printf("  [csv] %s\n", path.c_str());
   }
+  JsonReport::instance().add(name, table);
 }
 
 inline void print_section(const std::string& title) {

@@ -11,7 +11,8 @@
 // crossbars (P = 2nV + 1 = 33).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

@@ -9,7 +9,8 @@
 // patterns where minimal routing concentrates load.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

@@ -12,7 +12,8 @@
 //   bit rev.   adaptive 60 %, deterministic 20 %
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

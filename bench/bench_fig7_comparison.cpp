@@ -13,7 +13,8 @@
 //              deterministic and tree 1 vc at 100-150
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

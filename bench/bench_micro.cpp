@@ -105,4 +105,51 @@ void BM_TreeSimulationCycles(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeSimulationCycles)->Iterations(4000);
 
+// The paper's "normal traffic" region (offered load <= 1/3 of capacity) is
+// where the long sweeps spend most of their points; these two benches guard
+// the active-set scheduler's payoff there (and the idle-fabric cost at 10 %).
+void BM_CubeSimulationCyclesNormalLoad(benchmark::State& state) {
+  Network network(simulation_config(TopologyKind::kCube, 1.0 / 3.0));
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CubeSimulationCyclesNormalLoad)->Iterations(4000);
+
+void BM_CubeSimulationCyclesLowLoad(benchmark::State& state) {
+  Network network(simulation_config(TopologyKind::kCube, 0.1));
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CubeSimulationCyclesLowLoad)->Iterations(4000);
+
+void BM_TreeSimulationCyclesNormalLoad(benchmark::State& state) {
+  Network network(simulation_config(TopologyKind::kTree, 1.0 / 3.0));
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TreeSimulationCyclesNormalLoad)->Iterations(4000);
+
+void BM_TreeSimulationCyclesLowLoad(benchmark::State& state) {
+  Network network(simulation_config(TopologyKind::kTree, 0.1));
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TreeSimulationCyclesLowLoad)->Iterations(4000);
+
 }  // namespace

@@ -103,4 +103,7 @@ int run_bench() {
 }  // namespace
 }  // namespace smart
 
-int main() { return smart::run_bench(); }
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
+  return smart::run_bench();
+}

@@ -10,7 +10,8 @@
 // and bursty on/off arrivals of the same average rate.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

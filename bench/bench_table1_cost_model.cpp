@@ -6,12 +6,14 @@
 //     Duato              7.8        5.85      6.34     7.8
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smart;
+  benchtool::init_cli(argc, argv);
 
   Table table({"algorithm", "T_routing (ns)", "T_crossbar (ns)",
                "T_link (ns)", "T_clock (ns)", "limited by"});
@@ -36,5 +38,6 @@ int main() {
   std::printf("Table 1 — router delays of the 16-ary 2-cube algorithms\n");
   std::printf("(V = 4, P = 17, short wires; paper: 5.9/5.85/6.34/6.34 and "
               "7.8/5.85/6.34/7.8)\n\n%s\n", table.to_text().c_str());
+  benchtool::JsonReport::instance().add("table1_router_delays", table);
   return 0;
 }

@@ -8,12 +8,14 @@
 //     4 vc      10.46       6.4      10.84    10.84
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smart;
+  benchtool::init_cli(argc, argv);
 
   Table table({"variant", "T_routing (ns)", "T_crossbar (ns)", "T_link (ns)",
                "T_clock (ns)", "limited by"});
@@ -32,5 +34,6 @@ int main() {
   std::printf("(F = (2k-1)V, P = 2kV, medium wires; paper: 8.06/5.2/9.64, "
               "9.26/5.8/10.24, 10.46/6.4/10.84)\n\n%s\n",
               table.to_text().c_str());
+  benchtool::JsonReport::instance().add("table2_router_delays", table);
   return 0;
 }

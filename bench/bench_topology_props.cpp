@@ -10,7 +10,8 @@
 #include "topology/kary_ncube.hpp"
 #include "topology/kary_ntree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
   using namespace smart;
   using namespace smart::benchtool;
 

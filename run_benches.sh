@@ -2,6 +2,12 @@
 # Runs every benchmark binary; used to produce bench_output.txt.
 # Fails fast: the first bench that exits non-zero aborts the run and its
 # status is propagated, so CI and scripts can trust the exit code.
+#
+# Besides the console tables and the CSVs each bench writes itself, every
+# bench is passed a JSON sink: the figure/table benches collect all their
+# tables into bench_out/BENCH_<name>.json (--json, see bench_common.hpp),
+# and bench_micro writes google-benchmark's own JSON report there. Scripts
+# can consume the whole run from bench_out/ without scraping stdout.
 set -euo pipefail
 
 BENCH_DIR="${1:-build/bench}"
@@ -11,13 +17,26 @@ if [ ! -d "$BENCH_DIR" ]; then
   exit 1
 fi
 
+mkdir -p bench_out
+
 found=0
 for b in "$BENCH_DIR"/*; do
-  # Skip cmake droppings; bench_micro needs its own argv, so it still runs.
+  # Skip cmake droppings.
   if [ -f "$b" ] && [ -x "$b" ]; then
     found=1
+    name="$(basename "$b")"
+    short="${name#bench_}"
     echo "===== $b ====="
-    "$b"
+    case "$name" in
+      bench_micro)
+        # google-benchmark binary: it owns its argv and JSON format.
+        "$b" --benchmark_out="bench_out/BENCH_${short}.json" \
+             --benchmark_out_format=json
+        ;;
+      *)
+        "$b" --json "bench_out/BENCH_${short}.json"
+        ;;
+    esac
     echo
   fi
 done

@@ -1,8 +1,6 @@
 #include "core/network.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <limits>
 
 #include "routing/cube_dor.hpp"
 #include "routing/cube_duato.hpp"
@@ -14,18 +12,9 @@
 
 namespace smart {
 
-namespace {
-// Terminal (ejection) output lanes never wait for node-side credits: the
-// node consumes at link rate. A large sentinel keeps the generic paths
-// uniform without ever blocking.
-constexpr std::uint32_t kSinkCredits =
-    std::numeric_limits<std::uint32_t>::max() / 2;
-}  // namespace
-
 Network::Network(SimConfig config) : config_(std::move(config)) {
   build_topology();
   build_routing();
-  build_fabric();
 
   // Fault machinery engages only with a non-empty plan; a fault-free run
   // never touches it, keeping results bit-identical to earlier builds.
@@ -68,10 +57,9 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
         config_.traffic.mean_burst_cycles));
   }
 
-  result_.offered_fraction = config_.traffic.offered_fraction;
-  result_.offered_flits_per_node_cycle = offered_flits;
-  result_.injecting_fraction = pattern_->injecting_fraction();
-  result_.capacity_flits_per_node_cycle = capacity_;
+  engine_ = std::make_unique<CycleEngine>(
+      config_, *topo_, *routing_, *pattern_, injection_, faults_.get(),
+      obs_.get(), packet_rate_, capacity_, flits_per_packet_);
 }
 
 void Network::build_topology() {
@@ -114,616 +102,6 @@ void Network::build_routing() {
                                                        net.tree_selection);
       break;
   }
-}
-
-void Network::build_fabric() {
-  const NetworkSpec& net = config_.net;
-  const unsigned vcs = net.vcs;
-  const unsigned depth = net.buffer_depth;
-  // Terminal-link input lanes at the switch: the cube's processor interface
-  // is the injection channel (paper: P = 2nV + 1); the fat-tree's terminal
-  // link is a regular link with V lanes.
-  const unsigned terminal_in_lanes =
-      topo_->is_direct() ? net.injection_channels : vcs;
-
-  switches_.reserve(topo_->switch_count());
-  for (SwitchId s = 0; s < topo_->switch_count(); ++s) {
-    switches_.emplace_back(s, topo_->ports_per_switch());
-    Switch& sw = switches_.back();
-    for (PortId p = 0; p < topo_->ports_per_switch(); ++p) {
-      SwitchPort& port = sw.port(p);
-      port.peer = topo_->port_peer(s, p);
-      switch (port.peer.kind) {
-        case PeerKind::kSwitch: {
-          port.in.resize(vcs);
-          port.out.resize(vcs);
-          for (InputLane& lane : port.in) lane.buf = RingBuffer<Flit>(depth);
-          for (OutputLane& lane : port.out) {
-            lane.buf = RingBuffer<Flit>(depth);
-            lane.credits = depth;  // peer input lane capacity
-          }
-          break;
-        }
-        case PeerKind::kTerminal: {
-          port.in.resize(terminal_in_lanes);
-          port.out.resize(vcs);
-          for (InputLane& lane : port.in) lane.buf = RingBuffer<Flit>(depth);
-          for (OutputLane& lane : port.out) {
-            lane.buf = RingBuffer<Flit>(depth);
-            lane.credits = kSinkCredits;
-          }
-          break;
-        }
-        case PeerKind::kUnconnected:
-          break;  // no lanes: the fat-tree's root-level external links
-      }
-    }
-    sw.build_input_lane_index();
-  }
-
-  Rng seeder(config_.traffic.seed);
-  nics_.reserve(topo_->node_count());
-  for (NodeId node = 0; node < topo_->node_count(); ++node) {
-    nics_.emplace_back(node, depth, terminal_in_lanes, net.injection_channels,
-                       seeder.fork(node).next());
-  }
-}
-
-PacketId Network::enqueue_packet(NodeId src, NodeId dst) {
-  SMART_CHECK(src < nics_.size());
-  SMART_CHECK(dst < topo_->node_count());
-  const PacketId id = pool_.allocate();
-  Packet& pkt = pool_[id];
-  pkt.src = src;
-  pkt.dst = dst;
-  pkt.size_flits = flits_per_packet_;
-  pkt.gen_cycle = cycle_;
-  nics_[src].source_queue().push_back(id);
-  if (measuring_) ++window_generated_packets_;
-  return id;
-}
-
-void Network::nic_phase() {
-  for (Nic& nic : nics_) {
-    if (!draining_ && packet_rate_ > 0.0 &&
-        injection_[nic.node()]->fires(nic.rng())) {
-      const auto dst = pattern_->destination(nic.node(), nic.rng());
-      if (dst) enqueue_packet(nic.node(), *dst);
-    }
-    // Count flits entering the injection channels.
-    std::uint64_t buffered = 0;
-    for (const InjectChannel& c : nic.channels()) buffered += c.buf.size();
-    nic.stream(cycle_, pool_);
-    std::uint64_t buffered_after = 0;
-    for (const InjectChannel& c : nic.channels()) buffered_after += c.buf.size();
-    injected_flits_ += buffered_after - buffered;
-  }
-}
-
-void Network::switch_link_phase(Switch& sw) {
-  if (sw.buffered == 0) return;
-  if (faults_ && !faults_->switch_ok(sw.id())) {
-    // Dead switch: every flit buffered inside is frozen this cycle.
-    if (obs_) obs_->stalls.count_switch_frozen();
-    return;
-  }
-  for (PortId p = 0; p < sw.port_count(); ++p) {
-    SwitchPort& port = sw.port(p);
-    if (port.out_buffered == 0) continue;
-    // A faulted link transmits nothing; its flits and credits freeze in
-    // place until repair (docs/MODEL.md §8).
-    if (faults_ && !faults_->link_ok(sw.id(), p)) {
-      if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kFaultFrozen);
-      continue;
-    }
-    const auto lane_count = static_cast<unsigned>(port.out.size());
-    for (unsigned i = 0; i < lane_count; ++i) {
-      const unsigned lane = (i + port.link_rr) % lane_count;
-      OutputLane& out = port.out[lane];
-      if (out.buf.empty() || out.buf.front().arrival >= cycle_) continue;
-      if (out.credits == 0) {
-        // A flit was ready to cross but the downstream lane has no slot.
-        if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kCreditStarved);
-        continue;
-      }
-      Flit flit = out.buf.pop();
-      flit.arrival = cycle_;
-      sw.buffered -= 1;
-      port.out_buffered -= 1;
-      if (measuring_) ++port.flits_sent;
-      if (obs_) obs_->sampler.on_flit(obs_->sampler.link_index(sw.id(), p));
-      if (port.peer.kind == PeerKind::kTerminal) {
-        if (flit.head) ++pool_[flit.packet].hops;
-        SMART_CHECK_MSG(port.peer.id == pool_[flit.packet].dst,
-                        "flit consumed at the wrong destination");
-        if (obs_ && obs_->trace_hops() && flit.head) {
-          obs_->hop_exit(flit.packet, cycle_);
-        }
-        consume(flit);
-      } else {
-        out.credits -= 1;
-        Switch& peer = switches_[port.peer.id];
-        InputLane& in = peer.port(port.peer.port).in[lane];
-        SMART_DCHECK(!in.buf.full());
-        if (flit.head) ++pool_[flit.packet].hops;
-        if (obs_ && obs_->trace_hops() && flit.head) {
-          obs_->hop_exit(flit.packet, cycle_);
-          obs_->hop_enter(flit.packet, port.peer.id, cycle_);
-        }
-        in.buf.push(flit);
-        peer.buffered += 1;
-      }
-      port.link_rr = lane + 1;
-      last_progress_cycle_ = cycle_;
-      break;  // one flit per link direction per cycle
-    }
-  }
-}
-
-void Network::nic_link_phase(Nic& nic) {
-  const Attachment at = topo_->terminal_attachment(nic.node());
-  // A dead attachment switch (or faulted terminal link) freezes injection;
-  // generated packets pile up in the source queue and injection channels.
-  if (faults_ && !faults_->link_ok(at.sw, at.port)) return;
-  SwitchPort& port = switches_[at.sw].port(at.port);
-  auto& channels = nic.channels();
-  const auto channel_count = static_cast<unsigned>(channels.size());
-  for (unsigned i = 0; i < channel_count; ++i) {
-    const unsigned c = (i + nic.link_rr()) % channel_count;
-    InjectChannel& channel = channels[c];
-    if (channel.buf.empty() || channel.buf.front().arrival >= cycle_) continue;
-
-    Flit& front = channel.buf.front();
-    unsigned lane;
-    if (nic.fixed_lane_mapping()) {
-      lane = c;
-      if (nic.credits()[lane] == 0) continue;
-    } else {
-      if (front.head) {
-        const int chosen = nic.choose_lane();
-        if (chosen < 0) continue;
-        pool_[front.packet].nic_lane = static_cast<std::uint8_t>(chosen);
-      }
-      lane = pool_[front.packet].nic_lane;
-      if (nic.credits()[lane] == 0) continue;
-    }
-
-    Flit flit = channel.buf.pop();
-    flit.lane = static_cast<std::uint8_t>(lane);
-    flit.arrival = cycle_;
-    if (flit.head) ++pool_[flit.packet].hops;
-    InputLane& in = port.in[lane];
-    SMART_DCHECK(!in.buf.full());
-    if (obs_) {
-      obs_->sampler.on_flit(obs_->sampler.injection_index(nic.node()));
-      if (obs_->trace_hops() && flit.head) {
-        obs_->hop_enter(flit.packet, at.sw, cycle_);
-      }
-    }
-    in.buf.push(flit);
-    switches_[at.sw].buffered += 1;
-    if (measuring_) ++nic.flits_sent;
-    nic.credits()[lane] -= 1;
-    nic.link_rr() = c + 1;
-    last_progress_cycle_ = cycle_;
-    break;  // the terminal link carries one flit per cycle per direction
-  }
-}
-
-void Network::link_phase() {
-  for (Switch& sw : switches_) switch_link_phase(sw);
-  for (Nic& nic : nics_) nic_link_phase(nic);
-}
-
-void Network::routing_phase() {
-  for (Switch& sw : switches_) {
-    if (sw.buffered == 0) continue;
-    if (faults_ && !faults_->switch_ok(sw.id())) continue;  // dead switch
-    // Scan the flattened (port, lane) directory from a rotating start; the
-    // first header that obtains an output lane consumes this T_routing.
-    const auto& lanes = sw.input_lane_index();
-    const auto total_lanes = static_cast<unsigned>(lanes.size());
-    if (total_lanes == 0) continue;
-
-    for (unsigned i = 0; i < total_lanes; ++i) {
-      const unsigned index = (i + sw.route_rr) % total_lanes;
-      InputLane& in = sw.port(lanes[index].first).in[lanes[index].second];
-      if (in.bound() || in.dropping || in.buf.empty()) continue;
-      const Flit& front = in.buf.front();
-      if (!front.head || front.arrival >= cycle_) continue;
-
-      Packet& pkt = pool_[front.packet];
-      const auto choice = routing_->route(sw, lanes[index].first,
-                                          lanes[index].second, pkt, cycle_);
-      if (!choice) {
-        // The header was considered but no legal output lane was free.
-        if (obs_ && !pkt.unroutable) {
-          obs_->stalls.count(sw.id(), lanes[index].first,
-                             StallCause::kRoutingBlocked);
-        }
-        if (pkt.unroutable) {
-          // Faults left this packet without a route: drain and discard the
-          // worm (one flit per cycle, crediting upstream) instead of
-          // letting it wedge the lane forever.
-          pkt.unroutable = false;
-          in.dropping = true;
-          sw.dropping_count += 1;
-          ++unroutable_packets_;
-          if (measuring_) ++window_unroutable_packets_;
-          last_progress_cycle_ = cycle_;
-        }
-        continue;  // header stalls; try the next candidate
-      }
-      OutputLane& out = sw.port(choice->port).out[choice->lane];
-      SMART_CHECK_MSG(out.bindable(),
-                      "routing algorithm returned a non-bindable lane");
-      in.bind(static_cast<std::int32_t>(choice->port),
-              static_cast<std::int32_t>(choice->lane), cycle_);
-      out.bound = true;
-      sw.bound_count += 1;
-      sw.route_rr = index + 1;
-      break;  // one successful routing decision per switch per cycle
-    }
-  }
-}
-
-void Network::drain_lane(Switch& sw, SwitchPort& port, InputLane& in) {
-  if (in.buf.empty() || in.buf.front().arrival >= cycle_) return;
-  const Flit flit = in.buf.pop();
-  sw.buffered -= 1;
-  ++dropped_flits_;
-  // The freed slot is acknowledged upstream exactly like a crossbar
-  // advance, so body flits still in flight keep streaming to the drain.
-  const auto lane_index = static_cast<std::size_t>(&in - port.in.data());
-  if (port.peer.kind == PeerKind::kSwitch) {
-    pending_credits_.push_back(
-        &switches_[port.peer.id].port(port.peer.port).out[lane_index].credits);
-  } else if (port.peer.kind == PeerKind::kTerminal) {
-    pending_credits_.push_back(&nics_[port.peer.id].credits()[lane_index]);
-  }
-  last_progress_cycle_ = cycle_;
-  if (flit.tail) {
-    in.dropping = false;
-    sw.dropping_count -= 1;
-    ++dropped_packets_;
-    ++epoch_dropped_packets_;
-    if (obs_ && config_.obs.trace_enabled()) {
-      const Packet& pkt = pool_[flit.packet];
-      if (obs_->trace_hops()) obs_->hop_exit(flit.packet, cycle_);
-      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
-                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
-                         /*dropped=*/true);
-      obs_->forget(flit.packet);
-    }
-    pool_.release(flit.packet);
-  }
-}
-
-void Network::crossbar_phase() {
-  for (Switch& sw : switches_) {
-    if (sw.bound_count == 0 && sw.dropping_count == 0) continue;
-    if (faults_ && !faults_->switch_ok(sw.id())) continue;  // dead switch
-    for (PortId p = 0; p < sw.port_count(); ++p) {
-      SwitchPort& port = sw.port(p);
-      for (InputLane& in : port.in) {
-        if (in.dropping) {
-          drain_lane(sw, port, in);
-          continue;
-        }
-        if (!in.bound() || in.bound_cycle >= cycle_) continue;
-        if (in.buf.empty() || in.buf.front().arrival >= cycle_) continue;
-        SwitchPort& out_port = sw.port(static_cast<PortId>(in.bound_port));
-        OutputLane& out = out_port.out[static_cast<std::size_t>(in.bound_lane)];
-        if (out.buf.full()) {
-          // Bound and ready, but the output lane's buffer has no slot.
-          if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kCrossbarBlocked);
-          continue;
-        }
-
-        Flit flit = in.buf.pop();
-        flit.lane = static_cast<std::uint8_t>(in.bound_lane);
-        flit.arrival = cycle_;
-        const bool is_tail = flit.tail;
-        out.buf.push(flit);
-        out_port.out_buffered += 1;
-        last_progress_cycle_ = cycle_;
-
-        // Acknowledge the freed buffer slot upstream (visible next cycle).
-        if (port.peer.kind == PeerKind::kSwitch) {
-          Switch& peer = switches_[port.peer.id];
-          const auto lane_index = static_cast<std::size_t>(&in - port.in.data());
-          pending_credits_.push_back(
-              &peer.port(port.peer.port).out[lane_index].credits);
-        } else if (port.peer.kind == PeerKind::kTerminal) {
-          const auto lane_index = static_cast<std::size_t>(&in - port.in.data());
-          pending_credits_.push_back(&nics_[port.peer.id].credits()[lane_index]);
-        }
-
-        if (is_tail) {
-          in.unbind();
-          out.bound = false;
-          sw.bound_count -= 1;
-        }
-      }
-    }
-  }
-}
-
-void Network::apply_pending_credits() {
-  for (std::uint32_t* credit : pending_credits_) *credit += 1;
-  pending_credits_.clear();
-}
-
-void Network::consume(Flit flit) {
-  ++consumed_flits_;
-  Packet& pkt = pool_[flit.packet];
-  SMART_CHECK_MSG(flit.seq == pkt.consumed_seq,
-                  "flits of a packet arrived out of order");
-  ++pkt.consumed_seq;
-  if (flit.tail) {
-    SMART_CHECK_MSG(pkt.consumed_seq == pkt.size_flits,
-                    "tail flit arrived before the full worm");
-    // Minimal algorithms must cross exactly the minimal number of channels
-    // (+2 processor-interface crossings on the direct network, where the
-    // terminal links are not network links); non-minimal ones (Valiant) at
-    // least that many.
-    const unsigned floor_hops =
-        topo_->min_hops(pkt.src, pkt.dst) + (topo_->is_direct() ? 2U : 0U);
-    if (routing_->is_minimal()) {
-      SMART_CHECK_MSG(pkt.hops == floor_hops, "non-minimal path detected");
-    } else {
-      SMART_CHECK_MSG(pkt.hops >= floor_hops, "impossibly short path");
-    }
-    if (faults_) {
-      ++epoch_delivered_packets_;
-      epoch_delivered_flits_ += pkt.size_flits;
-      epoch_latency_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
-    }
-    if (draining_) {
-      // Past the horizon: these deliveries belong to the drain report,
-      // never to the measurement window.
-      ++drain_delivered_packets_;
-      drain_delivered_flits_ += pkt.size_flits;
-    }
-    if (obs_ && config_.obs.trace_enabled()) {
-      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
-                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
-                         /*dropped=*/false);
-      obs_->forget(flit.packet);
-    }
-    if (measuring_) {
-      ++window_delivered_packets_;
-      window_delivered_flits_ += pkt.size_flits;
-      stats_window_flits_ += pkt.size_flits;
-      window_latency_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
-      latency_histogram_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
-      window_hops_.add(static_cast<double>(pkt.hops));
-      if (config_.trace.collect_packet_log) {
-        result_.packet_log.push_back(PacketRecord{pkt.src, pkt.dst,
-                                                  pkt.gen_cycle,
-                                                  pkt.inject_cycle, cycle_,
-                                                  pkt.hops});
-      }
-    }
-    pool_.release(flit.packet);
-  }
-}
-
-void Network::advance_faults() {
-  const unsigned prev_active = faults_->active_faults();
-  const auto events = faults_->advance(cycle_);
-  if (events.empty()) return;
-  // Every activation/repair boundary closes the current fault epoch; the
-  // cycle the events fire on starts the next one.
-  if (cycle_ > epoch_start_cycle_) close_fault_epoch(cycle_ - 1, prev_active);
-}
-
-void Network::close_fault_epoch(std::uint64_t end_cycle,
-                                unsigned active_faults) {
-  FaultEpoch epoch;
-  epoch.start_cycle = epoch_start_cycle_;
-  epoch.end_cycle = end_cycle;
-  epoch.active_faults = active_faults;
-  epoch.delivered_packets = epoch_delivered_packets_;
-  epoch.delivered_flits = epoch_delivered_flits_;
-  epoch.dropped_packets = epoch_dropped_packets_;
-  if (epoch.cycles() > 0) {
-    epoch.accepted_flits_per_node_cycle =
-        static_cast<double>(epoch_delivered_flits_) /
-        (static_cast<double>(epoch.cycles()) *
-         static_cast<double>(topo_->node_count()));
-  }
-  if (epoch_latency_.count() > 0) {
-    epoch.mean_latency_cycles = epoch_latency_.mean();
-  }
-  fault_epochs_.push_back(epoch);
-  epoch_start_cycle_ = end_cycle + 1;
-  epoch_delivered_packets_ = 0;
-  epoch_delivered_flits_ = 0;
-  epoch_dropped_packets_ = 0;
-  epoch_latency_ = OnlineStats{};
-}
-
-void Network::record_stall() {
-  // A stall with faults active means packets are wedged on failed
-  // components; only a fault-free stall is the classic cyclic deadlock.
-  if (faults_ && faults_->any_active()) {
-    stall_verdict_ = StallVerdict::kFaultStall;
-  } else {
-    stall_verdict_ = StallVerdict::kDeadlock;
-    deadlocked_ = true;
-  }
-}
-
-void Network::step() {
-  ++cycle_;
-  if (faults_) advance_faults();
-  if (!measuring_ && !draining_ && cycle_ > config_.timing.warmup_cycles) {
-    measuring_ = true;
-    stats_window_start_ = cycle_;
-  }
-  nic_phase();
-  link_phase();
-  routing_phase();
-  crossbar_phase();
-  apply_pending_credits();
-  if (obs_ && config_.obs.sample_interval_cycles > 0 &&
-      cycle_ % config_.obs.sample_interval_cycles == 0) {
-    obs_->sampler.sample(cycle_, switches_, nics_);
-  }
-  if (measuring_ && config_.timing.stats_window_cycles > 0 &&
-      cycle_ - stats_window_start_ + 1 >= config_.timing.stats_window_cycles) {
-    const double per_node_cycle =
-        static_cast<double>(stats_window_flits_) /
-        (static_cast<double>(config_.timing.stats_window_cycles) *
-         static_cast<double>(topo_->node_count()));
-    window_accepted_.push_back(per_node_cycle / capacity_);
-    stats_window_flits_ = 0;
-    stats_window_start_ = cycle_ + 1;
-  }
-}
-
-const SimulationResult& Network::run() {
-  const auto wall_start = std::chrono::steady_clock::now();
-  last_progress_cycle_ = 0;
-  while (cycle_ < config_.timing.horizon_cycles) {
-    step();
-    if (pool_.in_flight() > 0 &&
-        cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
-      record_stall();
-      break;
-    }
-  }
-  // The measurement window closes here, whether or not a drain follows:
-  // drain cycles run with injection off and must not dilute the window
-  // rates (they used to, deflating accepted bandwidth by the drain length).
-  measurement_end_cycle_ = cycle_;
-  if (config_.timing.drain_after_horizon &&
-      stall_verdict_ == StallVerdict::kNone) {
-    // Time-to-drain: stop injecting and keep the fabric running until every
-    // in-flight packet is delivered or dropped (or the watchdog fires).
-    draining_ = true;
-    measuring_ = false;
-    const std::uint64_t drain_start = cycle_;
-    while (pool_.in_flight() > 0 &&
-           cycle_ - drain_start < config_.timing.drain_max_cycles) {
-      step();
-      if (cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
-        record_stall();
-        break;
-      }
-    }
-    result_.drain_cycles = cycle_ - drain_start;
-    result_.drained_clean = pool_.in_flight() == 0;
-  }
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - wall_start;
-  result_.sim_wall_seconds = wall.count();
-  if (wall.count() > 0.0) {
-    result_.sim_cycles_per_second =
-        static_cast<double>(cycle_) / wall.count();
-    result_.sim_mflits_per_second =
-        static_cast<double>(consumed_flits_) / wall.count() / 1e6;
-  }
-  finalize_result();
-  return result_;
-}
-
-void Network::finalize_result() {
-  // The window spans warm-up to the horizon snapshot taken before any
-  // post-horizon drain ran (drain cycles inject nothing and would deflate
-  // every per-cycle rate below).
-  const std::uint64_t window_end =
-      measurement_end_cycle_ > 0 ? measurement_end_cycle_ : cycle_;
-  const std::uint64_t window =
-      window_end > config_.timing.warmup_cycles
-          ? window_end - config_.timing.warmup_cycles
-          : 0;
-  const auto nodes = static_cast<double>(topo_->node_count());
-  result_.measured_cycles = window;
-  result_.generated_packets = window_generated_packets_;
-  result_.delivered_packets = window_delivered_packets_;
-  result_.delivered_flits = window_delivered_flits_;
-  if (window > 0) {
-    const auto cycles = static_cast<double>(window);
-    result_.generated_flits_per_node_cycle =
-        static_cast<double>(window_generated_packets_) * flits_per_packet_ /
-        (cycles * nodes);
-    result_.accepted_flits_per_node_cycle =
-        static_cast<double>(window_delivered_flits_) / (cycles * nodes);
-    result_.accepted_fraction =
-        result_.accepted_flits_per_node_cycle / capacity_;
-  }
-  result_.latency_cycles = window_latency_;
-  result_.hops = window_hops_;
-  result_.latency_histogram = latency_histogram_;
-  result_.window_accepted = window_accepted_;
-  if (window > 0) {
-    const auto cycles = static_cast<double>(window);
-    for (const Switch& sw : switches_) {
-      for (PortId p = 0; p < sw.port_count(); ++p) {
-        const SwitchPort& port = sw.port(p);
-        if (port.peer.kind == PeerKind::kUnconnected || port.out.empty()) {
-          continue;
-        }
-        result_.link_utilization.add(
-            static_cast<double>(port.flits_sent) / cycles);
-      }
-    }
-    for (const Nic& nic : nics_) {
-      result_.link_utilization.add(static_cast<double>(nic.flits_sent) /
-                                   cycles);
-    }
-  }
-  result_.packets_in_flight_end = pool_.in_flight();
-  std::uint64_t backlog = 0;
-  for (const Nic& nic : nics_) {
-    backlog += nic.source_queue().size();
-  }
-  result_.source_queue_backlog_end = backlog;
-  result_.deadlocked = deadlocked_;
-  result_.stall_verdict = stall_verdict_;
-  result_.unroutable_packets = unroutable_packets_;
-  result_.dropped_packets = dropped_packets_;
-  result_.dropped_flits = dropped_flits_;
-  result_.window_unroutable_packets = window_unroutable_packets_;
-  result_.drain_delivered_packets = drain_delivered_packets_;
-  result_.drain_delivered_flits = drain_delivered_flits_;
-  if (faults_) {
-    if (cycle_ >= epoch_start_cycle_) {
-      close_fault_epoch(cycle_, faults_->active_faults());
-    }
-    result_.fault_epochs = fault_epochs_;
-    result_.active_faults_end = faults_->active_faults();
-  }
-  if (obs_) {
-    result_.obs.enabled = true;
-    result_.obs.stalls = obs_->stalls.totals();
-    result_.obs.switch_frozen_cycles = obs_->stalls.switch_frozen_cycles();
-    result_.obs.port_stalls = obs_->stalls.nonzero_ports();
-    result_.obs.series = obs_->sampler.take_series();
-    if (config_.obs.trace_enabled()) {
-      result_.obs.trace_events = obs_->trace.event_count();
-      result_.obs.trace_written = obs_->trace.write(config_.obs.trace_out);
-    }
-  }
-}
-
-std::uint64_t Network::buffered_flits() const {
-  std::uint64_t total = 0;
-  for (const Switch& sw : switches_) {
-    for (PortId p = 0; p < sw.port_count(); ++p) {
-      const SwitchPort& port = sw.port(p);
-      for (const InputLane& lane : port.in) total += lane.buf.size();
-      for (const OutputLane& lane : port.out) total += lane.buf.size();
-    }
-  }
-  for (const Nic& nic : nics_) {
-    for (const InjectChannel& channel : nic.channels()) {
-      total += channel.buf.size();
-    }
-  }
-  return total;
 }
 
 }  // namespace smart

@@ -1,25 +1,15 @@
-// The simulated network: construction and the cycle engine.
+// The simulated network: construction and configuration glue.
 //
-// Network builds the switches, lanes and NICs for a SimConfig, wires them
-// according to the topology, and advances the whole system one router clock
-// at a time. Each cycle runs the phases of the paper's switch model
-// (§4) in order, with arrival stamps guaranteeing that a flit advances at
-// most one pipeline stage per cycle:
+// Network assembles everything a simulation needs from a SimConfig — the
+// topology, the routing algorithm, the traffic pattern and per-node
+// injection processes, the optional fault plan and observability hooks —
+// and hands the assembled collaborators to a CycleEngine (src/engine/),
+// which owns the fabric and the per-cycle phase pipeline. Every query
+// below forwards to the engine; the public API is unchanged from the
+// pre-split monolith.
 //
-//   1. NIC phase      packet generation (Bernoulli per node) and streaming
-//                     into the injection channel(s)
-//   2. link phase     per directed physical channel, a fair arbiter moves
-//                     one flit with credit to the peer input lane; flits
-//                     reaching a terminal are consumed by the node
-//   3. routing phase  per switch, at most one header is assigned an output
-//                     lane by the routing algorithm (T_routing = 1 clock)
-//   4. crossbar phase every bound input lane advances one flit to its
-//                     output lane; freed buffer slots are acknowledged to
-//                     the upstream credit counter with a one-cycle delay
-//
-// Statistics are collected between warm-up and horizon (paper: 2000 and
-// 20000 cycles). A watchdog flags deadlock if nothing moves for a
-// configurable number of cycles while packets are in flight.
+// See src/engine/cycle_engine.hpp for the phase pipeline and
+// docs/ARCHITECTURE.md for the layer graph.
 #pragma once
 
 #include <memory>
@@ -27,6 +17,7 @@
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "engine/cycle_engine.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "router/nic.hpp"
@@ -43,15 +34,17 @@ class Network {
   explicit Network(SimConfig config);
 
   /// Runs warm-up plus measurement and fills result().
-  const SimulationResult& run();
+  const SimulationResult& run() { return engine_->run(); }
 
   /// Advances a single cycle (exposed for tests).
-  void step();
+  void step() { engine_->step(); }
 
   [[nodiscard]] const SimulationResult& result() const noexcept {
-    return result_;
+    return engine_->result();
   }
-  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t cycle() const noexcept {
+    return engine_->cycle();
+  }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
   [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
   [[nodiscard]] const TrafficPattern& pattern() const noexcept {
@@ -61,9 +54,11 @@ class Network {
     return *routing_;
   }
 
-  [[nodiscard]] Switch& switch_at(SwitchId s) { return switches_.at(s); }
-  [[nodiscard]] Nic& nic_at(NodeId node) { return nics_.at(node); }
-  [[nodiscard]] const PacketPool& packets() const noexcept { return pool_; }
+  [[nodiscard]] Switch& switch_at(SwitchId s) { return engine_->switch_at(s); }
+  [[nodiscard]] Nic& nic_at(NodeId node) { return engine_->nic_at(node); }
+  [[nodiscard]] const PacketPool& packets() const noexcept {
+    return engine_->packets();
+  }
 
   /// Per-node nominal injection rate, packets per cycle.
   [[nodiscard]] double packet_rate() const noexcept { return packet_rate_; }
@@ -75,20 +70,24 @@ class Network {
   }
 
   /// Flits currently buffered anywhere in the system (invariant checks).
-  [[nodiscard]] std::uint64_t buffered_flits() const;
+  [[nodiscard]] std::uint64_t buffered_flits() const {
+    return engine_->buffered_flits();
+  }
   /// Injected minus consumed minus dropped flits must equal
   /// buffered_flits() at any time.
   [[nodiscard]] std::uint64_t injected_flits() const noexcept {
-    return injected_flits_;
+    return engine_->injected_flits();
   }
   [[nodiscard]] std::uint64_t consumed_flits() const noexcept {
-    return consumed_flits_;
+    return engine_->consumed_flits();
   }
   /// Flits discarded while draining unroutable worms (fault handling).
   [[nodiscard]] std::uint64_t dropped_flits() const noexcept {
-    return dropped_flits_;
+    return engine_->dropped_flits();
   }
-  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+  [[nodiscard]] bool deadlocked() const noexcept {
+    return engine_->deadlocked();
+  }
 
   /// Null on a fault-free run (empty SimConfig::faults).
   [[nodiscard]] const FaultState* fault_state() const noexcept {
@@ -102,26 +101,13 @@ class Network {
 
   /// Manually enqueue one packet at `src` for `dst` (tests and examples);
   /// returns the packet id.
-  PacketId enqueue_packet(NodeId src, NodeId dst);
+  PacketId enqueue_packet(NodeId src, NodeId dst) {
+    return engine_->enqueue_packet(src, dst);
+  }
 
  private:
   void build_topology();
   void build_routing();
-  void build_fabric();
-
-  void nic_phase();
-  void link_phase();
-  void switch_link_phase(Switch& sw);
-  void nic_link_phase(Nic& nic);
-  void routing_phase();
-  void crossbar_phase();
-  void drain_lane(Switch& sw, SwitchPort& port, InputLane& in);
-  void apply_pending_credits();
-  void consume(Flit flit);
-  void advance_faults();
-  void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
-  void record_stall();
-  void finalize_result();
 
   SimConfig config_;
   std::unique_ptr<Topology> topo_;
@@ -131,60 +117,14 @@ class Network {
   std::unique_ptr<TrafficPattern> pattern_;
   std::unique_ptr<FaultState> faults_;  ///< null when the plan is empty
   std::unique_ptr<ObsState> obs_;       ///< null unless obs is enabled
-
-  std::vector<Switch> switches_;
-  std::vector<Nic> nics_;
   std::vector<std::unique_ptr<InjectionProcess>> injection_;  ///< per node
-  PacketPool pool_;
 
-  std::uint64_t cycle_ = 0;
   double packet_rate_ = 0.0;
   double capacity_ = 0.0;
   unsigned flits_per_packet_ = 0;
 
-  std::vector<std::uint32_t*> pending_credits_;
-
-  // Counters (whole run).
-  std::uint64_t injected_flits_ = 0;
-  std::uint64_t consumed_flits_ = 0;
-  std::uint64_t last_progress_cycle_ = 0;
-  bool deadlocked_ = false;
-  StallVerdict stall_verdict_ = StallVerdict::kNone;
-  bool draining_ = false;  ///< past the horizon with injection stopped
-  /// Cycle the measurement window closed: the horizon (or the stall that
-  /// ended the run early), never extended by the post-horizon drain.
-  std::uint64_t measurement_end_cycle_ = 0;
-  // Deliveries during the post-horizon drain (kept out of the window).
-  std::uint64_t drain_delivered_packets_ = 0;
-  std::uint64_t drain_delivered_flits_ = 0;
-
-  // Resilience counters (whole run; stay zero without a fault plan).
-  std::uint64_t unroutable_packets_ = 0;
-  std::uint64_t dropped_packets_ = 0;
-  std::uint64_t dropped_flits_ = 0;
-  std::uint64_t window_unroutable_packets_ = 0;
-
-  // Current fault epoch (see FaultEpoch; tracked only with faults_).
-  std::uint64_t epoch_start_cycle_ = 1;
-  std::uint64_t epoch_delivered_packets_ = 0;
-  std::uint64_t epoch_delivered_flits_ = 0;
-  std::uint64_t epoch_dropped_packets_ = 0;
-  OnlineStats epoch_latency_;
-  std::vector<FaultEpoch> fault_epochs_;
-
-  // Counters (measurement window).
-  bool measuring_ = false;
-  std::uint64_t window_generated_packets_ = 0;
-  std::uint64_t window_delivered_packets_ = 0;
-  std::uint64_t window_delivered_flits_ = 0;
-  OnlineStats window_latency_;
-  OnlineStats window_hops_;
-  Histogram latency_histogram_{10.0, 400};
-  std::uint64_t stats_window_flits_ = 0;   ///< flits in the current window
-  std::uint64_t stats_window_start_ = 0;   ///< cycle the window opened
-  std::vector<double> window_accepted_;
-
-  SimulationResult result_;
+  /// Declared last: references every collaborator above.
+  std::unique_ptr<CycleEngine> engine_;
 };
 
 }  // namespace smart

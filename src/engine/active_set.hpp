@@ -1,0 +1,69 @@
+// Dirty-set of switch/NIC indices with pending work, as a flat bitset.
+//
+// Every per-cycle phase used to walk all switches (or NICs) and bail out
+// per element when idle; at the paper's normal-traffic loads (<= 1/3 of
+// capacity) most of the fabric is quiescent, so the walk itself dominated.
+// The ActiveSet keeps one bit per element: producers mark() an element
+// when they hand it work (a flit pushed into one of its lanes), and the
+// phase loops visit only set bits in ascending index order — the same
+// order as the legacy full scans, which bit-for-bit preserves every
+// shared-RNG draw and round-robin decision. A visitor returns false to
+// prune the element once its work is gone (lazy removal, so a brief idle
+// gap costs at most one extra visit).
+//
+// Marking during iteration is allowed and targets words_ directly: a bit
+// set in a word the scan has not reached yet is visited this pass, one in
+// the current word's snapshot is deferred to the next pass — both safe
+// here because the engine only marks elements whose visit would be a
+// no-op this phase (see ARCHITECTURE.md "Active-set invariants").
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace smart {
+
+class ActiveSet {
+ public:
+  ActiveSet() = default;
+  explicit ActiveSet(std::size_t size) : words_((size + 63) / 64, 0) {}
+
+  void mark(std::size_t index) noexcept {
+    words_[index >> 6] |= std::uint64_t{1} << (index & 63);
+  }
+
+  [[nodiscard]] bool contains(std::size_t index) const noexcept {
+    return (words_[index >> 6] >> (index & 63)) & 1u;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t word : words_) {
+      total += static_cast<std::size_t>(std::popcount(word));
+    }
+    return total;
+  }
+
+  /// Visits set indices in ascending order. The visitor returns true to
+  /// keep the element in the set, false to prune it.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t index = (w << 6) | bit;
+        if (!visit(index)) {
+          words_[w] &= ~(std::uint64_t{1} << bit);
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace smart

@@ -1,0 +1,377 @@
+#include "engine/cycle_engine.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+namespace {
+// Terminal (ejection) output lanes never wait for node-side credits: the
+// node consumes at link rate. A large sentinel keeps the generic paths
+// uniform without ever blocking.
+constexpr std::uint32_t kSinkCredits =
+    std::numeric_limits<std::uint32_t>::max() / 2;
+}  // namespace
+
+CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
+                         RoutingAlgorithm& routing, TrafficPattern& pattern,
+                         std::vector<std::unique_ptr<InjectionProcess>>& injection,
+                         FaultState* faults, ObsState* obs, double packet_rate,
+                         double capacity, unsigned flits_per_packet)
+    : config_(config),
+      topo_(topo),
+      routing_(routing),
+      pattern_(pattern),
+      injection_(injection),
+      faults_(faults),
+      obs_(obs),
+      lanes_(config.net.buffer_depth),
+      packet_rate_(packet_rate),
+      capacity_(capacity),
+      flits_per_packet_(flits_per_packet) {
+  // Flit arrival stamps are 32-bit (see flit.hpp); keep the run inside it.
+  SMART_CHECK_MSG(
+      config_.timing.horizon_cycles < std::numeric_limits<std::uint32_t>::max(),
+      "horizon too long for 32-bit flit arrival stamps");
+  build_fabric();
+  active_switches_ = ActiveSet(switches_.size());
+  active_nics_ = ActiveSet(nics_.size());
+
+  result_.offered_fraction = config_.traffic.offered_fraction;
+  result_.offered_flits_per_node_cycle =
+      config_.traffic.offered_fraction * capacity_;
+  result_.injecting_fraction = pattern_.injecting_fraction();
+  result_.capacity_flits_per_node_cycle = capacity_;
+}
+
+void CycleEngine::build_fabric() {
+  const NetworkSpec& net = config_.net;
+  const unsigned vcs = net.vcs;
+  const unsigned depth = net.buffer_depth;
+  // Terminal-link input lanes at the switch: the cube's processor interface
+  // is the injection channel (paper: P = 2nV + 1); the fat-tree's terminal
+  // link is a regular link with V lanes.
+  const unsigned terminal_in_lanes =
+      topo_.is_direct() ? net.injection_channels : vcs;
+
+  switches_.reserve(topo_.switch_count());
+  for (SwitchId s = 0; s < topo_.switch_count(); ++s) {
+    switches_.emplace_back(s, topo_.ports_per_switch());
+    Switch& sw = switches_.back();
+    for (PortId p = 0; p < topo_.ports_per_switch(); ++p) {
+      SwitchPort& port = sw.port(p);
+      port.peer = topo_.port_peer(s, p);
+      switch (port.peer.kind) {
+        case PeerKind::kSwitch: {
+          port.in.resize(vcs);
+          port.out.resize(vcs);
+          for (InputLane& lane : port.in) {
+            lane.buf = LaneView(lanes_, lanes_.allocate());
+          }
+          for (OutputLane& lane : port.out) {
+            lane.buf = LaneView(lanes_, lanes_.allocate());
+            lane.credits = depth;  // peer input lane capacity
+          }
+          break;
+        }
+        case PeerKind::kTerminal: {
+          port.in.resize(terminal_in_lanes);
+          port.out.resize(vcs);
+          for (InputLane& lane : port.in) {
+            lane.buf = LaneView(lanes_, lanes_.allocate());
+          }
+          for (OutputLane& lane : port.out) {
+            lane.buf = LaneView(lanes_, lanes_.allocate());
+            lane.credits = kSinkCredits;
+          }
+          break;
+        }
+        case PeerKind::kUnconnected:
+          break;  // no lanes: the fat-tree's root-level external links
+      }
+    }
+    sw.build_input_lane_index();
+    // The routing phase tracks occupied input lanes in a 64-bit mask and
+    // the link phase tracks occupied output ports in a 32-bit mask.
+    SMART_CHECK_MSG(sw.input_lane_index().size() <= 64,
+                    "more than 64 input lanes per switch is unsupported");
+    SMART_CHECK_MSG(sw.port_count() <= 32,
+                    "more than 32 ports per switch is unsupported");
+  }
+
+  Rng seeder(config_.traffic.seed);
+  nics_.reserve(topo_.node_count());
+  attach_.reserve(topo_.node_count());
+  for (NodeId node = 0; node < topo_.node_count(); ++node) {
+    nics_.emplace_back(node, lanes_, terminal_in_lanes,
+                       net.injection_channels, seeder.fork(node).next());
+    attach_.push_back(topo_.terminal_attachment(node));
+  }
+
+  // Static wiring pass: every port learns its peer's receiving lanes and
+  // every input lane learns the upstream credit counter it acknowledges
+  // into, so the per-cycle phases follow one pointer instead of chasing
+  // switch -> port -> lane chains on every flit move. All lane storage is
+  // heap-backed and fixed after this point, so the pointers stay valid.
+  for (Switch& sw : switches_) {
+    for (PortId p = 0; p < sw.port_count(); ++p) {
+      SwitchPort& port = sw.port(p);
+      if (port.peer.kind == PeerKind::kSwitch) {
+        Switch& peer = switches_[port.peer.id];
+        SwitchPort& peer_port = peer.port(port.peer.port);
+        port.peer_sw = &peer;
+        port.peer_in = peer_port.in.data();
+        port.peer_in_base = peer.input_base(port.peer.port);
+        for (std::size_t v = 0; v < peer_port.in.size(); ++v) {
+          peer_port.in[v].upstream_credit = &port.out[v].credits;
+        }
+      } else if (port.peer.kind == PeerKind::kTerminal) {
+        for (std::size_t v = 0; v < port.in.size(); ++v) {
+          port.in[v].upstream_credit = &nics_[port.peer.id].credits()[v];
+        }
+      }
+    }
+  }
+}
+
+PacketId CycleEngine::enqueue_packet(NodeId src, NodeId dst) {
+  SMART_CHECK(src < nics_.size());
+  SMART_CHECK(dst < topo_.node_count());
+  const PacketId id = pool_.allocate();
+  Packet& pkt = pool_[id];
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.size_flits = flits_per_packet_;
+  pkt.gen_cycle = cycle_;
+  nics_[src].source_queue().push_back(id);
+  if (measuring_) ++window_generated_packets_;
+  return id;
+}
+
+void CycleEngine::advance_faults() {
+  const unsigned prev_active = faults_->active_faults();
+  const auto events = faults_->advance(cycle_);
+  if (events.empty()) return;
+  // Every activation/repair boundary closes the current fault epoch; the
+  // cycle the events fire on starts the next one.
+  if (cycle_ > epoch_start_cycle_) close_fault_epoch(cycle_ - 1, prev_active);
+}
+
+void CycleEngine::close_fault_epoch(std::uint64_t end_cycle,
+                                    unsigned active_faults) {
+  FaultEpoch epoch;
+  epoch.start_cycle = epoch_start_cycle_;
+  epoch.end_cycle = end_cycle;
+  epoch.active_faults = active_faults;
+  epoch.delivered_packets = epoch_delivered_packets_;
+  epoch.delivered_flits = epoch_delivered_flits_;
+  epoch.dropped_packets = epoch_dropped_packets_;
+  if (epoch.cycles() > 0) {
+    epoch.accepted_flits_per_node_cycle =
+        static_cast<double>(epoch_delivered_flits_) /
+        (static_cast<double>(epoch.cycles()) *
+         static_cast<double>(topo_.node_count()));
+  }
+  if (epoch_latency_.count() > 0) {
+    epoch.mean_latency_cycles = epoch_latency_.mean();
+  }
+  fault_epochs_.push_back(epoch);
+  epoch_start_cycle_ = end_cycle + 1;
+  epoch_delivered_packets_ = 0;
+  epoch_delivered_flits_ = 0;
+  epoch_dropped_packets_ = 0;
+  epoch_latency_ = OnlineStats{};
+}
+
+void CycleEngine::record_stall() {
+  // A stall with faults active means packets are wedged on failed
+  // components; only a fault-free stall is the classic cyclic deadlock.
+  if (faults_ && faults_->any_active()) {
+    stall_verdict_ = StallVerdict::kFaultStall;
+  } else {
+    stall_verdict_ = StallVerdict::kDeadlock;
+    deadlocked_ = true;
+  }
+}
+
+void CycleEngine::step() {
+  ++cycle_;
+  if (faults_) advance_faults();
+  if (!measuring_ && !draining_ && cycle_ > config_.timing.warmup_cycles) {
+    measuring_ = true;
+    stats_window_start_ = cycle_;
+  }
+  nic_phase();
+  if (faults_ != nullptr) {
+    link_phase();
+    routing_phase();
+    crossbar_phase();
+  } else {
+    fused_phase();
+  }
+  apply_pending_credits();
+  if (obs_ && config_.obs.sample_interval_cycles > 0 &&
+      cycle_ % config_.obs.sample_interval_cycles == 0) {
+    obs_->sampler.sample(cycle_, switches_, nics_);
+  }
+  if (measuring_ && config_.timing.stats_window_cycles > 0 &&
+      cycle_ - stats_window_start_ + 1 >= config_.timing.stats_window_cycles) {
+    const double per_node_cycle =
+        static_cast<double>(stats_window_flits_) /
+        (static_cast<double>(config_.timing.stats_window_cycles) *
+         static_cast<double>(topo_.node_count()));
+    window_accepted_.push_back(per_node_cycle / capacity_);
+    stats_window_flits_ = 0;
+    stats_window_start_ = cycle_ + 1;
+  }
+}
+
+void CycleEngine::fused_phase() {
+  active_switches_.for_each([this](std::size_t s) {
+    Switch& sw = switches_[s];
+    if (sw.buffered == 0) return false;  // quiesced: prune from the set
+    switch_link_phase(sw);
+    // Everything left for departure; later switches may still push fresh
+    // flits in and re-mark (same end state as the pass-per-phase prunes).
+    if (sw.buffered == 0) return false;
+    route_switch(sw);
+    if (!sw.active_inputs().empty()) crossbar_switch(sw);
+    return true;
+  });
+  active_nics_.for_each([this](std::size_t n) {
+    Nic& nic = nics_[n];
+    if (nic.chan_flits == 0) return false;  // channels empty: prune
+    nic_link_phase(nic);
+    return true;
+  });
+}
+
+const SimulationResult& CycleEngine::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  last_progress_cycle_ = 0;
+  while (cycle_ < config_.timing.horizon_cycles) {
+    step();
+    if (pool_.in_flight() > 0 &&
+        cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
+      record_stall();
+      break;
+    }
+  }
+  // The measurement window closes here, whether or not a drain follows:
+  // drain cycles run with injection off and must not dilute the window
+  // rates (they used to, deflating accepted bandwidth by the drain length).
+  measurement_end_cycle_ = cycle_;
+  if (config_.timing.drain_after_horizon &&
+      stall_verdict_ == StallVerdict::kNone) {
+    // Time-to-drain: stop injecting and keep the fabric running until every
+    // in-flight packet is delivered or dropped (or the watchdog fires).
+    draining_ = true;
+    measuring_ = false;
+    const std::uint64_t drain_start = cycle_;
+    while (pool_.in_flight() > 0 &&
+           cycle_ - drain_start < config_.timing.drain_max_cycles) {
+      step();
+      if (cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
+        record_stall();
+        break;
+      }
+    }
+    result_.drain_cycles = cycle_ - drain_start;
+    result_.drained_clean = pool_.in_flight() == 0;
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  result_.sim_wall_seconds = wall.count();
+  if (wall.count() > 0.0) {
+    result_.sim_cycles_per_second =
+        static_cast<double>(cycle_) / wall.count();
+    result_.sim_mflits_per_second =
+        static_cast<double>(consumed_flits_) / wall.count() / 1e6;
+  }
+  finalize_result();
+  return result_;
+}
+
+void CycleEngine::finalize_result() {
+  // The window spans warm-up to the horizon snapshot taken before any
+  // post-horizon drain ran (drain cycles inject nothing and would deflate
+  // every per-cycle rate below).
+  const std::uint64_t window_end =
+      measurement_end_cycle_ > 0 ? measurement_end_cycle_ : cycle_;
+  const std::uint64_t window =
+      window_end > config_.timing.warmup_cycles
+          ? window_end - config_.timing.warmup_cycles
+          : 0;
+  const auto nodes = static_cast<double>(topo_.node_count());
+  result_.measured_cycles = window;
+  result_.generated_packets = window_generated_packets_;
+  result_.delivered_packets = window_delivered_packets_;
+  result_.delivered_flits = window_delivered_flits_;
+  if (window > 0) {
+    const auto cycles = static_cast<double>(window);
+    result_.generated_flits_per_node_cycle =
+        static_cast<double>(window_generated_packets_) * flits_per_packet_ /
+        (cycles * nodes);
+    result_.accepted_flits_per_node_cycle =
+        static_cast<double>(window_delivered_flits_) / (cycles * nodes);
+    result_.accepted_fraction =
+        result_.accepted_flits_per_node_cycle / capacity_;
+  }
+  result_.latency_cycles = window_latency_;
+  result_.hops = window_hops_;
+  result_.latency_histogram = latency_histogram_;
+  result_.window_accepted = window_accepted_;
+  if (window > 0) {
+    const auto cycles = static_cast<double>(window);
+    for (const Switch& sw : switches_) {
+      for (PortId p = 0; p < sw.port_count(); ++p) {
+        const SwitchPort& port = sw.port(p);
+        if (port.peer.kind == PeerKind::kUnconnected || port.out.empty()) {
+          continue;
+        }
+        result_.link_utilization.add(
+            static_cast<double>(port.flits_sent) / cycles);
+      }
+    }
+    for (const Nic& nic : nics_) {
+      result_.link_utilization.add(static_cast<double>(nic.flits_sent) /
+                                   cycles);
+    }
+  }
+  result_.packets_in_flight_end = pool_.in_flight();
+  std::uint64_t backlog = 0;
+  for (const Nic& nic : nics_) {
+    backlog += nic.source_queue().size();
+  }
+  result_.source_queue_backlog_end = backlog;
+  result_.deadlocked = deadlocked_;
+  result_.stall_verdict = stall_verdict_;
+  result_.unroutable_packets = unroutable_packets_;
+  result_.dropped_packets = dropped_packets_;
+  result_.dropped_flits = dropped_flits_;
+  result_.window_unroutable_packets = window_unroutable_packets_;
+  result_.drain_delivered_packets = drain_delivered_packets_;
+  result_.drain_delivered_flits = drain_delivered_flits_;
+  if (faults_) {
+    if (cycle_ >= epoch_start_cycle_) {
+      close_fault_epoch(cycle_, faults_->active_faults());
+    }
+    result_.fault_epochs = fault_epochs_;
+    result_.active_faults_end = faults_->active_faults();
+  }
+  if (obs_) {
+    result_.obs.enabled = true;
+    result_.obs.stalls = obs_->stalls.totals();
+    result_.obs.switch_frozen_cycles = obs_->stalls.switch_frozen_cycles();
+    result_.obs.port_stalls = obs_->stalls.nonzero_ports();
+    result_.obs.series = obs_->sampler.take_series();
+    if (config_.obs.trace_enabled()) {
+      result_.obs.trace_events = obs_->trace.event_count();
+      result_.obs.trace_written = obs_->trace.write(config_.obs.trace_out);
+    }
+  }
+}
+
+}  // namespace smart

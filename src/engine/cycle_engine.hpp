@@ -1,0 +1,207 @@
+// The cycle engine: the per-cycle phase pipeline of the paper's switch
+// model (§4), extracted from the former Network monolith.
+//
+// Network (src/core/) now only assembles the pieces — topology, routing
+// algorithm, traffic pattern, injection processes, fault plan and
+// observability hooks — and hands them here. The engine owns the hot
+// state: the fabric (switches, NICs, the flat LaneStore arena behind
+// every lane buffer), the packet pool, all counters, and the result under
+// construction. Each cycle runs, in order:
+//
+//   1. nic phase      packet generation (Bernoulli/bursty per node) and
+//                     streaming into the injection channel(s)
+//                     [phase_nic.cpp]
+//   2. link phase     per directed physical channel, a fair arbiter moves
+//                     one flit with credit to the peer input lane; flits
+//                     reaching a terminal are consumed [phase_link.cpp]
+//   3. routing phase  per switch, at most one header is assigned an
+//                     output lane (T_routing = 1 clock) [phase_routing.cpp]
+//   4. crossbar phase every bound input lane advances one flit to its
+//                     output lane; unroutable worms drain
+//                     [phase_crossbar.cpp]
+//   5. credits        freed buffer slots are acknowledged upstream with a
+//                     one-cycle delay [phase_credits.cpp]
+//
+// The phases visit only the active sets — switches/NICs with flits
+// buffered (plus, per switch, the sorted list of bound/draining input
+// lanes for the crossbar) — in ascending index order, which preserves
+// every shared-RNG draw and round-robin decision of the legacy full
+// scans: results are bit-identical (tests/test_engine_refactor.cpp pins
+// them). Arrival stamps guarantee a flit advances at most one pipeline
+// stage per cycle. Statistics are collected between warm-up and horizon;
+// a watchdog flags deadlock if nothing moves for a configurable number
+// of cycles while packets are in flight.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "engine/active_set.hpp"
+#include "engine/lane_store.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "router/nic.hpp"
+#include "router/switch.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+
+namespace smart {
+
+class CycleEngine {
+ public:
+  /// All collaborators are owned by the caller (Network) and must outlive
+  /// the engine. `faults`/`obs` may be null (feature disabled).
+  CycleEngine(const SimConfig& config, const Topology& topo,
+              RoutingAlgorithm& routing, TrafficPattern& pattern,
+              std::vector<std::unique_ptr<InjectionProcess>>& injection,
+              FaultState* faults, ObsState* obs, double packet_rate,
+              double capacity, unsigned flits_per_packet);
+
+  /// Runs warm-up plus measurement (and the optional post-horizon drain)
+  /// and fills result().
+  const SimulationResult& run();
+
+  /// Advances a single cycle.
+  void step();
+
+  [[nodiscard]] const SimulationResult& result() const noexcept {
+    return result_;
+  }
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+  [[nodiscard]] Switch& switch_at(SwitchId s) { return switches_.at(s); }
+  [[nodiscard]] Nic& nic_at(NodeId node) { return nics_.at(node); }
+  [[nodiscard]] const PacketPool& packets() const noexcept { return pool_; }
+
+  /// Flits currently buffered anywhere in the system (invariant checks);
+  /// a single pass over the lane arena.
+  [[nodiscard]] std::uint64_t buffered_flits() const noexcept {
+    return lanes_.total_flits();
+  }
+  [[nodiscard]] std::uint64_t injected_flits() const noexcept {
+    return injected_flits_;
+  }
+  [[nodiscard]] std::uint64_t consumed_flits() const noexcept {
+    return consumed_flits_;
+  }
+  [[nodiscard]] std::uint64_t dropped_flits() const noexcept {
+    return dropped_flits_;
+  }
+  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+
+  /// Manually enqueue one packet at `src` for `dst` (tests and examples);
+  /// returns the packet id.
+  PacketId enqueue_packet(NodeId src, NodeId dst);
+
+ private:
+  void build_fabric();
+
+  // Phase pipeline, one translation unit each (see header comment).
+  void nic_phase();                        // phase_nic.cpp
+  void link_phase();                       // phase_link.cpp
+  void switch_link_phase(Switch& sw);      // phase_link.cpp
+  void nic_link_phase(Nic& nic);           // phase_link.cpp
+  void routing_phase();                    // phase_routing.cpp
+  void route_switch(Switch& sw);           // phase_routing.cpp
+  void crossbar_phase();                   // phase_crossbar.cpp
+  void crossbar_switch(Switch& sw);        // phase_crossbar.cpp
+  /// Fault-free fast path: one pass over the active switches running the
+  /// link, routing and crossbar stages back to back per switch (then the
+  /// NIC link pass). Bit-identical to the three separate passes — every
+  /// cross-switch hand-off lands in an input lane stamped with the current
+  /// cycle, which all same-cycle readers ignore, and credits only apply at
+  /// end of cycle — but touches each switch's state once instead of three
+  /// times. Fault drains would reorder PacketPool releases relative to
+  /// deliveries, so faulted runs keep the phase-per-pass pipeline.
+  void fused_phase();
+  /// Returns true when the drained worm's tail left the lane (the lane is
+  /// done dropping and leaves the switch's active-input list). `flat` is
+  /// the lane's position in the switch's input_lane_index().
+  bool drain_lane(Switch& sw, InputLane& in, std::uint32_t flat);
+  void apply_pending_credits();            // phase_credits.cpp
+  void consume(Flit flit);                 // phase_credits.cpp
+
+  void advance_faults();
+  void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
+  void record_stall();
+  void finalize_result();
+
+  // Collaborators (owned by Network).
+  const SimConfig& config_;
+  const Topology& topo_;
+  RoutingAlgorithm& routing_;
+  TrafficPattern& pattern_;
+  std::vector<std::unique_ptr<InjectionProcess>>& injection_;  ///< per node
+  FaultState* faults_;  ///< null on a fault-free run
+  ObsState* obs_;       ///< null unless obs is enabled
+
+  // The fabric. All lane buffers live in the lanes_ arena; switches and
+  // NICs hold LaneView handles into it.
+  LaneStore lanes_;
+  std::vector<Switch> switches_;
+  std::vector<Nic> nics_;
+  /// Terminal attachment of each NIC, cached from the topology (static).
+  std::vector<Attachment> attach_;
+  PacketPool pool_;
+
+  // Active sets: indices with work pending (see active_set.hpp). A switch
+  // is active iff flits are buffered in any of its lanes; a NIC is active
+  // iff flits are buffered in its injection channels.
+  ActiveSet active_switches_;
+  ActiveSet active_nics_;
+
+  std::uint64_t cycle_ = 0;
+  double packet_rate_ = 0.0;
+  double capacity_ = 0.0;
+  unsigned flits_per_packet_ = 0;
+
+  std::vector<std::uint32_t*> pending_credits_;
+
+  // Counters (whole run).
+  std::uint64_t injected_flits_ = 0;
+  std::uint64_t consumed_flits_ = 0;
+  std::uint64_t last_progress_cycle_ = 0;
+  bool deadlocked_ = false;
+  StallVerdict stall_verdict_ = StallVerdict::kNone;
+  bool draining_ = false;  ///< past the horizon with injection stopped
+  /// Cycle the measurement window closed: the horizon (or the stall that
+  /// ended the run early), never extended by the post-horizon drain.
+  std::uint64_t measurement_end_cycle_ = 0;
+  // Deliveries during the post-horizon drain (kept out of the window).
+  std::uint64_t drain_delivered_packets_ = 0;
+  std::uint64_t drain_delivered_flits_ = 0;
+
+  // Resilience counters (whole run; stay zero without a fault plan).
+  std::uint64_t unroutable_packets_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t dropped_flits_ = 0;
+  std::uint64_t window_unroutable_packets_ = 0;
+
+  // Current fault epoch (see FaultEpoch; tracked only with faults_).
+  std::uint64_t epoch_start_cycle_ = 1;
+  std::uint64_t epoch_delivered_packets_ = 0;
+  std::uint64_t epoch_delivered_flits_ = 0;
+  std::uint64_t epoch_dropped_packets_ = 0;
+  OnlineStats epoch_latency_;
+  std::vector<FaultEpoch> fault_epochs_;
+
+  // Counters (measurement window).
+  bool measuring_ = false;
+  std::uint64_t window_generated_packets_ = 0;
+  std::uint64_t window_delivered_packets_ = 0;
+  std::uint64_t window_delivered_flits_ = 0;
+  OnlineStats window_latency_;
+  OnlineStats window_hops_;
+  Histogram latency_histogram_{10.0, 400};
+  std::uint64_t stats_window_flits_ = 0;   ///< flits in the current window
+  std::uint64_t stats_window_start_ = 0;   ///< cycle the window opened
+  std::vector<double> window_accepted_;
+
+  SimulationResult result_;
+};
+
+}  // namespace smart

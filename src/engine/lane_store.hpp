@@ -1,0 +1,151 @@
+// Flat structure-of-arrays storage for every virtual-channel lane buffer.
+//
+// The seed engine gave each input lane, output lane and injection channel
+// its own RingBuffer<Flit>, i.e. its own heap vector: walking the fabric
+// chased one pointer per lane and scattered the hot ring state (head,
+// count) across objects. The LaneStore replaces all of that with one
+// contiguous arena: every lane has the same depth (SimConfig's
+// buffer_depth), so lane `id` owns slots [id * depth, (id + 1) * depth)
+// of a single Flit vector, with the ring head/count packed together in
+// one parallel meta vector (one cache line covers eight lanes' state).
+// Lanes are allocated once at fabric-build time in (switch,
+// port, lane) order — switch input lanes, then output lanes, then the NIC
+// injection channels — which is exactly the order the phase loops visit
+// them, so the per-cycle scans walk the arena forward.
+//
+// A LaneView is the per-lane handle stored inside InputLane/OutputLane/
+// InjectChannel; it mirrors the RingBuffer interface so the routing
+// algorithms and tests read lanes exactly as before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "router/flit.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+using LaneId = std::uint32_t;
+
+class LaneStore {
+ public:
+  LaneStore() = default;
+  explicit LaneStore(unsigned depth) : depth_(depth) {
+    SMART_CHECK(depth > 0);
+  }
+
+  /// Appends one empty lane to the arena and returns its id.
+  [[nodiscard]] LaneId allocate() {
+    SMART_CHECK_MSG(depth_ > 0, "LaneStore used before a depth was set");
+    const auto id = static_cast<LaneId>(meta_.size());
+    meta_.push_back(Meta{});
+    slots_.resize(slots_.size() + depth_);
+    return id;
+  }
+
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return meta_.size();
+  }
+
+  [[nodiscard]] std::uint32_t size(LaneId id) const noexcept {
+    return meta_[id].count;
+  }
+  [[nodiscard]] bool empty(LaneId id) const noexcept {
+    return meta_[id].count == 0;
+  }
+  [[nodiscard]] bool full(LaneId id) const noexcept {
+    return meta_[id].count == depth_;
+  }
+  [[nodiscard]] std::uint32_t free_slots(LaneId id) const noexcept {
+    return depth_ - meta_[id].count;
+  }
+
+  void push(LaneId id, const Flit& flit) {
+    SMART_DCHECK(!full(id));
+    Meta& m = meta_[id];
+    std::uint32_t pos = m.head + m.count;
+    if (pos >= depth_) pos -= depth_;
+    slots_[static_cast<std::size_t>(id) * depth_ + pos] = flit;
+    ++m.count;
+  }
+
+  [[nodiscard]] Flit& front(LaneId id) {
+    SMART_DCHECK(!empty(id));
+    return slots_[static_cast<std::size_t>(id) * depth_ + meta_[id].head];
+  }
+  [[nodiscard]] const Flit& front(LaneId id) const {
+    SMART_DCHECK(!empty(id));
+    return slots_[static_cast<std::size_t>(id) * depth_ + meta_[id].head];
+  }
+
+  /// Element i positions behind the front (i = 0 is the front itself).
+  [[nodiscard]] const Flit& at(LaneId id, std::uint32_t i) const {
+    SMART_DCHECK(i < meta_[id].count);
+    std::uint32_t pos = meta_[id].head + i;
+    if (pos >= depth_) pos -= depth_;
+    return slots_[static_cast<std::size_t>(id) * depth_ + pos];
+  }
+
+  Flit pop(LaneId id) {
+    SMART_DCHECK(!empty(id));
+    Meta& m = meta_[id];
+    const Flit flit = slots_[static_cast<std::size_t>(id) * depth_ + m.head];
+    m.head = m.head + 1 == depth_ ? 0 : m.head + 1;
+    --m.count;
+    return flit;
+  }
+
+  /// Flits buffered across every lane of the arena (conservation checks).
+  [[nodiscard]] std::uint64_t total_flits() const noexcept {
+    std::uint64_t total = 0;
+    for (const Meta& m : meta_) total += m.count;
+    return total;
+  }
+
+ private:
+  /// Hot ring state of one lane, packed so a push/pop touches one line.
+  struct Meta {
+    std::uint32_t head = 0;   ///< ring head
+    std::uint32_t count = 0;  ///< fill
+  };
+
+  unsigned depth_ = 0;
+  std::vector<Flit> slots_;  ///< [lane][slot], one flat arena
+  std::vector<Meta> meta_;   ///< ring head/fill per lane
+};
+
+/// Handle of one lane inside a LaneStore; RingBuffer-compatible interface.
+class LaneView {
+ public:
+  LaneView() = default;
+  LaneView(LaneStore& store, LaneId id) : store_(&store), id_(id) {}
+
+  [[nodiscard]] LaneId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return store_->depth();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return store_->size(id_); }
+  [[nodiscard]] bool empty() const noexcept { return store_->empty(id_); }
+  [[nodiscard]] bool full() const noexcept { return store_->full(id_); }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return store_->free_slots(id_);
+  }
+
+  void push(const Flit& flit) { store_->push(id_, flit); }
+  [[nodiscard]] Flit& front() { return store_->front(id_); }
+  [[nodiscard]] const Flit& front() const {
+    return static_cast<const LaneStore*>(store_)->front(id_);
+  }
+  [[nodiscard]] const Flit& at(std::uint32_t i) const {
+    return store_->at(id_, i);
+  }
+  Flit pop() { return store_->pop(id_); }
+
+ private:
+  LaneStore* store_ = nullptr;
+  LaneId id_ = 0;
+};
+
+}  // namespace smart

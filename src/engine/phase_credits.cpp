@@ -1,0 +1,74 @@
+// Phase 5: delayed credit acknowledgement, plus packet delivery.
+//
+// Buffer slots freed by the crossbar (or the unroutable drain) are
+// acknowledged to the upstream credit counters one cycle later — the
+// paper's credit round-trip. consume() lives here too: it retires a worm
+// when its tail crosses the terminal link (called from the link phase)
+// and feeds every delivery statistic of the measurement window.
+#include "engine/cycle_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+void CycleEngine::apply_pending_credits() {
+  for (std::uint32_t* credit : pending_credits_) *credit += 1;
+  pending_credits_.clear();
+}
+
+void CycleEngine::consume(Flit flit) {
+  ++consumed_flits_;
+  Packet& pkt = pool_[flit.packet];
+  SMART_CHECK_MSG(flit.seq == pkt.consumed_seq,
+                  "flits of a packet arrived out of order");
+  ++pkt.consumed_seq;
+  if (flit.tail) {
+    SMART_CHECK_MSG(pkt.consumed_seq == pkt.size_flits,
+                    "tail flit arrived before the full worm");
+    // Minimal algorithms must cross exactly the minimal number of channels
+    // (+2 processor-interface crossings on the direct network, where the
+    // terminal links are not network links); non-minimal ones (Valiant) at
+    // least that many.
+    const unsigned floor_hops =
+        topo_.min_hops(pkt.src, pkt.dst) + (topo_.is_direct() ? 2U : 0U);
+    if (routing_.is_minimal()) {
+      SMART_CHECK_MSG(pkt.hops == floor_hops, "non-minimal path detected");
+    } else {
+      SMART_CHECK_MSG(pkt.hops >= floor_hops, "impossibly short path");
+    }
+    if (faults_) {
+      ++epoch_delivered_packets_;
+      epoch_delivered_flits_ += pkt.size_flits;
+      epoch_latency_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
+    }
+    if (draining_) {
+      // Past the horizon: these deliveries belong to the drain report,
+      // never to the measurement window.
+      ++drain_delivered_packets_;
+      drain_delivered_flits_ += pkt.size_flits;
+    }
+    if (obs_ && config_.obs.trace_enabled()) {
+      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
+                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
+                         /*dropped=*/false);
+      obs_->forget(flit.packet);
+    }
+    if (measuring_) {
+      ++window_delivered_packets_;
+      window_delivered_flits_ += pkt.size_flits;
+      stats_window_flits_ += pkt.size_flits;
+      window_latency_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
+      latency_histogram_.add(static_cast<double>(cycle_ - pkt.inject_cycle));
+      window_hops_.add(static_cast<double>(pkt.hops));
+      if (config_.trace.collect_packet_log) {
+        result_.packet_log.push_back(PacketRecord{pkt.src, pkt.dst,
+                                                  pkt.gen_cycle,
+                                                  pkt.inject_cycle, cycle_,
+                                                  pkt.hops});
+      }
+    }
+    pool_.release(flit.packet);
+  }
+}
+
+}  // namespace smart

@@ -1,0 +1,119 @@
+// Phase 4: crossbar advance and unroutable-worm drain (paper §4).
+//
+// Every bound input lane moves one flit to its output lane; lanes
+// draining an unroutable worm discard one flit instead (crediting
+// upstream either way, visible next cycle). Instead of re-scanning every
+// input lane of every switch, each switch keeps a sorted list of the
+// flat input-lane indices that are bound or draining — the only lanes
+// this phase can move. The list is appended only by the routing phase
+// and shrunk only here (at the current scan position), so iterating it
+// in order reproduces the legacy port-major lane walk exactly.
+#include "engine/cycle_engine.hpp"
+
+namespace smart {
+
+void CycleEngine::crossbar_phase() {
+  active_switches_.for_each([this](std::size_t s) {
+    Switch& sw = switches_[s];
+    if (sw.buffered == 0) return false;  // quiesced: prune from the set
+    // Bound lanes can outlive the buffered flits (a worm's tail still
+    // upstream), so the binding list alone does not keep a switch active.
+    if (sw.active_inputs().empty()) return true;
+    if (faults_ && !faults_->switch_ok(sw.id())) return true;  // dead switch
+    crossbar_switch(sw);
+    return true;
+  });
+}
+
+void CycleEngine::crossbar_switch(Switch& sw) {
+  auto& active = sw.active_inputs();
+  std::size_t i = 0;
+  while (i < active.size()) {
+    const std::uint32_t flat = active[i];
+    InputLane& in = sw.input_lane(flat);
+    if (in.dropping) {
+      if (drain_lane(sw, in, flat)) {
+        sw.remove_active_input(flat);  // the worm's tail just drained
+        continue;                      // `i` now indexes the next entry
+      }
+      ++i;
+      continue;
+    }
+    // Invariant: a listed, non-dropping lane is bound.
+    if (in.bound_cycle >= cycle_ || in.buf.empty() ||
+        in.buf.front().arrival >= cycle_) {
+      ++i;
+      continue;
+    }
+    SwitchPort& out_port = *in.bound_out_port;
+    OutputLane& out = *in.bound_out;
+    if (out.buf.full()) {
+      // Bound and ready, but the output lane's buffer has no slot.
+      if (obs_) {
+        obs_->stalls.count(sw.id(), sw.input_lane_index()[flat].first,
+                           StallCause::kCrossbarBlocked);
+      }
+      ++i;
+      continue;
+    }
+
+    Flit flit = in.buf.pop();
+    if (in.buf.empty()) sw.in_nonempty &= ~(std::uint64_t{1} << flat);
+    flit.lane = static_cast<std::uint8_t>(in.bound_lane);
+    flit.arrival = static_cast<std::uint32_t>(cycle_);
+    const bool is_tail = flit.tail;
+    out.buf.push(flit);
+    out_port.out_buffered += 1;
+    sw.out_ports_nonempty |= 1U << static_cast<unsigned>(in.bound_port);
+    last_progress_cycle_ = cycle_;
+
+    // Acknowledge the freed buffer slot upstream (visible next cycle).
+    if (in.upstream_credit != nullptr) {
+      pending_credits_.push_back(in.upstream_credit);
+    }
+
+    if (is_tail) {
+      in.unbind();
+      out.bound = false;
+      sw.bound_count -= 1;
+      sw.in_busy &= ~(std::uint64_t{1} << flat);
+      sw.remove_active_input(flat);
+      continue;  // `i` now indexes the next entry
+    }
+    ++i;
+  }
+}
+
+bool CycleEngine::drain_lane(Switch& sw, InputLane& in, std::uint32_t flat) {
+  if (in.buf.empty() || in.buf.front().arrival >= cycle_) return false;
+  const Flit flit = in.buf.pop();
+  if (in.buf.empty()) sw.in_nonempty &= ~(std::uint64_t{1} << flat);
+  sw.buffered -= 1;
+  ++dropped_flits_;
+  // The freed slot is acknowledged upstream exactly like a crossbar
+  // advance, so body flits still in flight keep streaming to the drain.
+  if (in.upstream_credit != nullptr) {
+    pending_credits_.push_back(in.upstream_credit);
+  }
+  last_progress_cycle_ = cycle_;
+  if (flit.tail) {
+    in.dropping = false;
+    sw.dropping_count -= 1;
+    sw.in_busy &= ~(std::uint64_t{1} << flat);
+    ++dropped_packets_;
+    ++epoch_dropped_packets_;
+    if (obs_ && config_.obs.trace_enabled()) {
+      const Packet& pkt = pool_[flit.packet];
+      if (obs_->trace_hops()) obs_->hop_exit(flit.packet, cycle_);
+      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
+                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
+                         /*dropped=*/true);
+      obs_->forget(flit.packet);
+    }
+    pool_.release(flit.packet);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace smart

@@ -1,0 +1,161 @@
+// Phase 2: link transmission (paper §4).
+//
+// Per directed physical channel, a round-robin arbiter moves at most one
+// flit with credit to the peer's input lane; flits crossing a terminal
+// link are consumed by the node. Only active switches (flits buffered)
+// and active NICs (flits in an injection channel) are visited, in
+// ascending index order — the same order as the legacy full scan, so the
+// PacketPool free-list recycling order (and with it every downstream
+// allocation) is preserved bit-for-bit. Pushing into a peer marks it
+// active; a mid-scan mark can only defer a visit that would have been a
+// no-op (the new flit lands in an *input* lane, which this phase never
+// reads — see ARCHITECTURE.md).
+#include "engine/cycle_engine.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+void CycleEngine::link_phase() {
+  active_switches_.for_each([this](std::size_t s) {
+    Switch& sw = switches_[s];
+    if (sw.buffered == 0) return false;  // quiesced: prune from the set
+    switch_link_phase(sw);
+    return true;
+  });
+  active_nics_.for_each([this](std::size_t n) {
+    Nic& nic = nics_[n];
+    if (nic.chan_flits == 0) return false;  // channels empty: prune
+    nic_link_phase(nic);
+    return true;
+  });
+}
+
+void CycleEngine::switch_link_phase(Switch& sw) {
+  if (faults_ && !faults_->switch_ok(sw.id())) {
+    // Dead switch: every flit buffered inside is frozen this cycle.
+    if (obs_) obs_->stalls.count_switch_frozen();
+    return;
+  }
+  // Walk only the ports holding out-flits (ascending id, like the legacy
+  // full port scan minus its empty-port continues). Pops below may clear
+  // bits, but only for the port being visited, never a later one.
+  std::uint32_t pmask = sw.out_ports_nonempty;
+  while (pmask != 0) {
+    const auto p = static_cast<PortId>(std::countr_zero(pmask));
+    pmask &= pmask - 1;
+    SwitchPort& port = sw.port(p);
+    // A faulted link transmits nothing; its flits and credits freeze in
+    // place until repair (docs/MODEL.md §8).
+    if (faults_ && !faults_->link_ok(sw.id(), p)) {
+      if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kFaultFrozen);
+      continue;
+    }
+    const auto lane_count = static_cast<unsigned>(port.out.size());
+    const unsigned rr_start = port.link_rr;  // <= lane_count by construction
+    for (unsigned i = 0; i < lane_count; ++i) {
+      unsigned lane = i + rr_start;
+      if (lane >= lane_count) lane -= lane_count;
+      OutputLane& out = port.out[lane];
+      if (out.buf.empty() || out.buf.front().arrival >= cycle_) continue;
+      if (out.credits == 0) {
+        // A flit was ready to cross but the downstream lane has no slot.
+        if (obs_) obs_->stalls.count(sw.id(), p, StallCause::kCreditStarved);
+        continue;
+      }
+      Flit flit = out.buf.pop();
+      flit.arrival = static_cast<std::uint32_t>(cycle_);
+      sw.buffered -= 1;
+      port.out_buffered -= 1;
+      if (port.out_buffered == 0) sw.out_ports_nonempty &= ~(1U << p);
+      if (measuring_) ++port.flits_sent;
+      if (obs_) obs_->sampler.on_flit(obs_->sampler.link_index(sw.id(), p));
+      if (port.peer.kind == PeerKind::kTerminal) {
+        if (flit.head) ++pool_[flit.packet].hops;
+        SMART_CHECK_MSG(port.peer.id == pool_[flit.packet].dst,
+                        "flit consumed at the wrong destination");
+        if (obs_ && obs_->trace_hops() && flit.head) {
+          obs_->hop_exit(flit.packet, cycle_);
+        }
+        consume(flit);
+      } else {
+        out.credits -= 1;
+        Switch& peer = *port.peer_sw;
+        InputLane& in = port.peer_in[lane];
+        SMART_DCHECK(!in.buf.full());
+        if (flit.head) ++pool_[flit.packet].hops;
+        if (obs_ && obs_->trace_hops() && flit.head) {
+          obs_->hop_exit(flit.packet, cycle_);
+          obs_->hop_enter(flit.packet, port.peer.id, cycle_);
+        }
+        in.buf.push(flit);
+        peer.buffered += 1;
+        peer.in_nonempty |= std::uint64_t{1} << (port.peer_in_base + lane);
+        active_switches_.mark(port.peer.id);
+      }
+      port.link_rr = lane + 1;
+      last_progress_cycle_ = cycle_;
+      break;  // one flit per link direction per cycle
+    }
+  }
+}
+
+void CycleEngine::nic_link_phase(Nic& nic) {
+  const Attachment at = attach_[nic.node()];
+  // A dead attachment switch (or faulted terminal link) freezes injection;
+  // generated packets pile up in the source queue and injection channels.
+  if (faults_ && !faults_->link_ok(at.sw, at.port)) return;
+  SwitchPort& port = switches_[at.sw].port(at.port);
+  auto& channels = nic.channels();
+  const auto channel_count = static_cast<unsigned>(channels.size());
+  const unsigned rr_start = nic.link_rr();  // <= channel_count
+  for (unsigned i = 0; i < channel_count; ++i) {
+    unsigned c = i + rr_start;
+    if (c >= channel_count) c -= channel_count;
+    InjectChannel& channel = channels[c];
+    if (channel.buf.empty() || channel.buf.front().arrival >= cycle_) continue;
+
+    Flit& front = channel.buf.front();
+    unsigned lane;
+    if (nic.fixed_lane_mapping()) {
+      lane = c;
+      if (nic.credits()[lane] == 0) continue;
+    } else {
+      if (front.head) {
+        const int chosen = nic.choose_lane();
+        if (chosen < 0) continue;
+        pool_[front.packet].nic_lane = static_cast<std::uint8_t>(chosen);
+      }
+      lane = pool_[front.packet].nic_lane;
+      if (nic.credits()[lane] == 0) continue;
+    }
+
+    Flit flit = channel.buf.pop();
+    nic.chan_flits -= 1;
+    flit.lane = static_cast<std::uint8_t>(lane);
+    flit.arrival = static_cast<std::uint32_t>(cycle_);
+    if (flit.head) ++pool_[flit.packet].hops;
+    InputLane& in = port.in[lane];
+    SMART_DCHECK(!in.buf.full());
+    if (obs_) {
+      obs_->sampler.on_flit(obs_->sampler.injection_index(nic.node()));
+      if (obs_->trace_hops() && flit.head) {
+        obs_->hop_enter(flit.packet, at.sw, cycle_);
+      }
+    }
+    Switch& sw = switches_[at.sw];
+    in.buf.push(flit);
+    sw.buffered += 1;
+    sw.in_nonempty |= std::uint64_t{1} << (sw.input_base(at.port) + lane);
+    active_switches_.mark(at.sw);
+    if (measuring_) ++nic.flits_sent;
+    nic.credits()[lane] -= 1;
+    nic.link_rr() = c + 1;
+    last_progress_cycle_ = cycle_;
+    break;  // the terminal link carries one flit per cycle per direction
+  }
+}
+
+}  // namespace smart

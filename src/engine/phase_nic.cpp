@@ -1,0 +1,37 @@
+// Phase 1: packet generation and source-queue streaming (paper §3).
+//
+// Every NIC is visited every cycle in node order — not just the active
+// ones — because the injection processes draw from the per-NIC RNGs and
+// those streams must advance identically whether or not the NIC has work
+// (bit-identity with the legacy full scan). The active-NIC set is fed
+// here: a NIC whose stream() pushed flits into its injection channels is
+// marked for the link phase.
+#include "engine/cycle_engine.hpp"
+
+namespace smart {
+
+void CycleEngine::nic_phase() {
+  const bool injecting = !draining_ && packet_rate_ > 0.0;
+  // All Bernoulli processes share the configured rate, so the common case
+  // skips the virtual fires() dispatch; rng.bernoulli(packet_rate_) is the
+  // exact BernoulliInjection::fires body — identical draws either way.
+  const bool bernoulli =
+      config_.traffic.injection == InjectionKind::kBernoulli;
+  for (Nic& nic : nics_) {
+    if (injecting &&
+        (bernoulli ? nic.rng().bernoulli(packet_rate_)
+                   : injection_[nic.node()]->fires(nic.rng()))) {
+      const auto dst = pattern_.destination(nic.node(), nic.rng());
+      if (dst) enqueue_packet(nic.node(), *dst);
+    }
+    if (nic.stream_pending()) {
+      const unsigned pushed = nic.stream(cycle_, pool_);
+      if (pushed > 0) {
+        injected_flits_ += pushed;
+        active_nics_.mark(nic.node());
+      }
+    }
+  }
+}
+
+}  // namespace smart

@@ -1,0 +1,102 @@
+// Phase 3: routing (paper §4, T_routing = one clock).
+//
+// Per active switch, the occupied input lanes are scanned from a rotating
+// start; the first header that obtains an output lane from the routing
+// algorithm consumes this cycle's routing slot. The scan iterates the
+// switch's in_nonempty bitmask in round-robin order (positions >= route_rr
+// ascending, then the wrap-around remainder) instead of walking the full
+// (port, lane) directory — empty lanes were pure no-ops in the legacy
+// scan, so the considered headers, and with them every routing decision
+// and RNG draw, are unchanged. Switches are visited in ascending id order
+// — mandatory for bit-identity, because some algorithms (Valiant's
+// intermediate draw, the tree's random tie-break) draw from RNGs shared
+// across switches, so the sequence of route() calls must match the legacy
+// full scan exactly. A successful binding (or a worm entering unroutable
+// drain) registers the input lane in the switch's sorted active-input
+// list for the crossbar phase.
+#include "engine/cycle_engine.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+void CycleEngine::routing_phase() {
+  active_switches_.for_each([this](std::size_t s) {
+    Switch& sw = switches_[s];
+    if (sw.buffered == 0) return false;  // quiesced: prune from the set
+    if (faults_ && !faults_->switch_ok(sw.id())) return true;  // dead switch
+    route_switch(sw);
+    return true;
+  });
+}
+
+void CycleEngine::route_switch(Switch& sw) {
+  // Busy (bound/draining) lanes always fail the guard below without side
+  // effects, so the scan skips them at the bitmask level.
+  const std::uint64_t mask = sw.in_nonempty & ~sw.in_busy;
+  if (mask == 0) return;  // nothing routable buffered
+  const auto& lanes = sw.input_lane_index();
+  const auto total_lanes = static_cast<unsigned>(lanes.size());
+
+  // One header may win the routing slot; everything else stalls.
+  const auto try_route = [&](unsigned index) {
+    InputLane& in = sw.input_lane(index);
+    if (in.bound() || in.dropping || in.buf.empty()) return false;
+    const Flit& front = in.buf.front();
+    if (!front.head || front.arrival >= cycle_) return false;
+
+    Packet& pkt = pool_[front.packet];
+    const auto choice = routing_.route(sw, lanes[index].first,
+                                       lanes[index].second, pkt, cycle_);
+    if (!choice) {
+      // The header was considered but no legal output lane was free.
+      if (obs_ && !pkt.unroutable) {
+        obs_->stalls.count(sw.id(), lanes[index].first,
+                           StallCause::kRoutingBlocked);
+      }
+      if (pkt.unroutable) {
+        // Faults left this packet without a route: drain and discard the
+        // worm (one flit per cycle, crediting upstream) instead of
+        // letting it wedge the lane forever.
+        pkt.unroutable = false;
+        in.dropping = true;
+        sw.dropping_count += 1;
+        sw.in_busy |= std::uint64_t{1} << index;
+        sw.add_active_input(index);
+        ++unroutable_packets_;
+        if (measuring_) ++window_unroutable_packets_;
+        last_progress_cycle_ = cycle_;
+      }
+      return false;  // header stalls; try the next candidate
+    }
+    SwitchPort& out_port = sw.port(choice->port);
+    OutputLane& out = out_port.out[choice->lane];
+    SMART_CHECK_MSG(out.bindable(),
+                    "routing algorithm returned a non-bindable lane");
+    in.bind(static_cast<std::int32_t>(choice->port),
+            static_cast<std::int32_t>(choice->lane), cycle_);
+    in.bound_out = &out;
+    in.bound_out_port = &out_port;
+    out.bound = true;
+    sw.bound_count += 1;
+    sw.in_busy |= std::uint64_t{1} << index;
+    sw.add_active_input(index);
+    sw.route_rr = index + 1;
+    return true;  // one successful routing decision per switch per cycle
+  };
+
+  // route_rr is at most total_lanes (last winner + 1); == means wrap.
+  const unsigned rr = sw.route_rr >= total_lanes ? 0 : sw.route_rr;
+  const std::uint64_t below_rr = rr != 0 ? (std::uint64_t{1} << rr) - 1 : 0;
+  for (std::uint64_t bits : {mask & ~below_rr, mask & below_rr}) {
+    while (bits != 0) {
+      const auto index = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (try_route(index)) return;
+    }
+  }
+}
+
+}  // namespace smart

@@ -20,12 +20,18 @@ inline constexpr PacketId kInvalidPacket = ~0U;
 
 struct Flit {
   PacketId packet = kInvalidPacket;
-  std::uint32_t seq = 0;      ///< flit index within the packet, 0 = header
-  std::uint64_t arrival = 0;  ///< cycle this flit entered its current buffer
-  std::uint8_t lane = 0;      ///< VC assigned for the link being traversed
+  std::uint32_t seq = 0;  ///< flit index within the packet, 0 = header
+  /// Cycle this flit entered its current buffer, truncated to 32 bits to
+  /// keep the struct at 16 bytes (the lane arena is the simulator's hottest
+  /// memory). Stamps only ever gate "arrived this very cycle", so the
+  /// width is safe while a run stays under 2^32 cycles — the engine
+  /// enforces that bound on its configured horizon.
+  std::uint32_t arrival = 0;
+  std::uint8_t lane = 0;  ///< VC assigned for the link being traversed
   bool head = false;
   bool tail = false;
 };
+static_assert(sizeof(Flit) == 16, "Flit is copied per move; keep it packed");
 
 /// Per-packet record; recycled through PacketPool.
 struct Packet {

@@ -6,24 +6,42 @@
 // output lane keeps a credit counter initialized to the capacity of the
 // matching input lane: it is decremented when a flit is sent and
 // incremented when the downstream acknowledges a freed buffer slot.
+//
+// Lane buffers live in the engine's flat LaneStore arena (all lanes share
+// the configured buffer depth); the structs below hold a LaneView handle
+// plus the crossbar/credit state. lane_store.hpp is header-only, so this
+// header adds no link dependency on the engine library.
 #pragma once
 
 #include <cstdint>
 
+#include "engine/lane_store.hpp"
 #include "router/flit.hpp"
-#include "util/ring_buffer.hpp"
 
 namespace smart {
 
+struct OutputLane;
+struct SwitchPort;
+
 /// Receiving side of a virtual channel inside a switch.
 struct InputLane {
-  RingBuffer<Flit> buf;
+  LaneView buf;
   std::int32_t bound_port = -1;  ///< crossbar binding target, -1 = unbound
   std::int32_t bound_lane = -1;
   std::uint64_t bound_cycle = 0;  ///< cycle the binding was established
+  /// Direct handles to the bound output lane and its port, cached when the
+  /// routing phase establishes the binding so the crossbar advance skips
+  /// the port/lane directory walk. Stale while unbound (bound_port gates).
+  OutputLane* bound_out = nullptr;
+  SwitchPort* bound_out_port = nullptr;
   /// The lane head is an unroutable packet being drained: the engine
   /// discards its flits (crediting upstream) instead of switching them.
   bool dropping = false;
+  /// Credit counter of the upstream sender feeding this lane (the peer
+  /// switch's matching output lane, or the NIC's per-lane credit). Wired
+  /// once by the engine after fabric construction; null when no upstream
+  /// exists (unconnected ports). Freed slots bump it with one cycle delay.
+  std::uint32_t* upstream_credit = nullptr;
 
   [[nodiscard]] bool bound() const noexcept { return bound_port >= 0; }
 
@@ -41,7 +59,7 @@ struct InputLane {
 
 /// Sending side of a virtual channel inside a switch or NIC.
 struct OutputLane {
-  RingBuffer<Flit> buf;
+  LaneView buf;
   std::uint32_t credits = 0;  ///< free slots in the downstream input lane
   bool bound = false;         ///< currently the target of a crossbar binding
 

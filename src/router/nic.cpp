@@ -2,25 +2,27 @@
 
 namespace smart {
 
-Nic::Nic(NodeId node, unsigned buffer_depth, unsigned downstream_lanes,
+Nic::Nic(NodeId node, LaneStore& lanes, unsigned downstream_lanes,
          unsigned channels, std::uint64_t seed)
-    : node_(node), credits_(downstream_lanes, buffer_depth), rng_(seed) {
+    : node_(node), credits_(downstream_lanes, lanes.depth()), rng_(seed) {
   SMART_CHECK_MSG(channels == 1 || channels == downstream_lanes,
                   "injection channels must be 1 or match the terminal lanes");
   channels_.reserve(channels);
   for (unsigned c = 0; c < channels; ++c) {
     channels_.emplace_back();
-    channels_.back().buf = RingBuffer<Flit>(buffer_depth);
+    channels_.back().buf = LaneView(lanes, lanes.allocate());
   }
 }
 
-void Nic::stream(std::uint64_t cycle, PacketPool& pool) {
+unsigned Nic::stream(std::uint64_t cycle, PacketPool& pool) {
+  unsigned pushed = 0;
   for (InjectChannel& channel : channels_) {
     if (channel.current == kInvalidPacket) {
       if (source_queue_.empty()) continue;
       channel.current = source_queue_.front();
       source_queue_.pop_front();
       channel.streamed = 0;
+      ++streaming_;
     }
     if (channel.buf.full()) continue;
 
@@ -32,14 +34,18 @@ void Nic::stream(std::uint64_t cycle, PacketPool& pool) {
     flit.seq = channel.streamed;
     flit.head = channel.streamed == 0;
     flit.tail = channel.streamed + 1 == pkt.size_flits;
-    flit.arrival = cycle;
+    flit.arrival = static_cast<std::uint32_t>(cycle);
     channel.buf.push(flit);
+    ++chan_flits;
+    ++pushed;
 
     ++channel.streamed;
     if (channel.streamed == pkt.size_flits) {
       channel.current = kInvalidPacket;
+      --streaming_;
     }
   }
+  return pushed;
 }
 
 int Nic::choose_lane() const {

@@ -7,6 +7,7 @@
 // processes at most one header per T_routing (one simulator cycle).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -16,6 +17,8 @@
 
 namespace smart {
 
+class Switch;
+
 struct SwitchPort {
   std::vector<InputLane> in;
   std::vector<OutputLane> out;
@@ -23,6 +26,15 @@ struct SwitchPort {
   std::uint32_t link_rr = 0;  ///< round-robin pointer of the link arbiter
   std::uint32_t out_buffered = 0;  ///< flits across all output lanes
   std::uint64_t flits_sent = 0;    ///< flits transmitted while measuring
+
+  // Static link wiring, filled by the engine after fabric construction
+  // (null/zero for terminal and unconnected ports): the peer switch, its
+  // receiving input-lane array for this port, and the flat position of
+  // that port's first input lane in the peer's input_lane_index(). Lane
+  // buffers live on the heap, so these stay valid for the fabric's life.
+  Switch* peer_sw = nullptr;
+  InputLane* peer_in = nullptr;
+  std::uint32_t peer_in_base = 0;
 };
 
 class Switch {
@@ -66,6 +78,29 @@ class Switch {
   /// lets the crossbar phase skip switches with nothing to drop.
   std::uint32_t dropping_count = 0;
 
+  /// Bitmask over input_lane_index() positions of the input lanes that
+  /// currently hold at least one flit. Maintained by the engine on every
+  /// in-lane push/pop; lets the routing phase scan only occupied lanes
+  /// (empty lanes were pure no-ops in the legacy full scan). Valid only
+  /// while input_lane_index().size() <= 64 — the engine checks at build
+  /// time and every shipped configuration fits.
+  std::uint64_t in_nonempty = 0;
+
+  /// Companion bitmask: input lanes currently bound to an output lane or
+  /// draining an unroutable worm. The routing phase scans
+  /// `in_nonempty & ~in_busy` — busy lanes always failed its
+  /// `bound() || dropping` guard without side effects, so masking them out
+  /// up front changes nothing but the work done. Set on bind/drain start,
+  /// cleared when the worm's tail leaves the lane.
+  std::uint64_t in_busy = 0;
+
+  /// Bitmask by port id of the ports with at least one flit buffered in an
+  /// output lane (out_buffered > 0). The link phase walks this mask instead
+  /// of probing every port; ports with nothing to send were skipped by the
+  /// legacy scan's first check with no side effects. Set by the crossbar on
+  /// push, cleared by the link phase when a port's last out-flit leaves.
+  std::uint32_t out_ports_nonempty = 0;
+
   /// Flattened (port, lane) directory of all input lanes, built once after
   /// wiring; the routing engine scans it round-robin.
   [[nodiscard]] const std::vector<std::pair<std::uint16_t, std::uint16_t>>&
@@ -73,20 +108,63 @@ class Switch {
     return in_lane_index_;
   }
 
+  /// Position of (port, 0) inside input_lane_index(); flat index of
+  /// (port, lane) is input_base(port) + lane.
+  [[nodiscard]] std::uint32_t input_base(PortId p) const noexcept {
+    return in_base_[p];
+  }
+
+  /// Direct handle to the input lane at a flat input_lane_index() position.
+  /// The pointers go through the ports' heap storage, so they survive the
+  /// Switch itself being moved (e.g. the owning vector reallocating).
+  [[nodiscard]] InputLane& input_lane(std::uint32_t flat) noexcept {
+    SMART_DCHECK(flat < in_lane_ptrs_.size());
+    return *in_lane_ptrs_[flat];
+  }
+
   void build_input_lane_index() {
     in_lane_index_.clear();
+    in_lane_ptrs_.clear();
+    in_base_.assign(ports_.size(), 0);
     for (PortId p = 0; p < ports_.size(); ++p) {
+      in_base_[p] = static_cast<std::uint32_t>(in_lane_index_.size());
       for (std::size_t v = 0; v < ports_[p].in.size(); ++v) {
         in_lane_index_.emplace_back(static_cast<std::uint16_t>(p),
                                     static_cast<std::uint16_t>(v));
+        in_lane_ptrs_.push_back(&ports_[p].in[v]);
       }
     }
+  }
+
+  /// Input lanes (as flat indices into input_lane_index()) that are bound
+  /// to an output lane or draining an unroutable worm — the only lanes the
+  /// crossbar phase can move. Kept sorted so the crossbar scan preserves
+  /// the legacy (port, lane) visiting order.
+  [[nodiscard]] std::vector<std::uint32_t>& active_inputs() noexcept {
+    return active_inputs_;
+  }
+
+  void add_active_input(std::uint32_t flat) {
+    const auto it =
+        std::lower_bound(active_inputs_.begin(), active_inputs_.end(), flat);
+    SMART_DCHECK(it == active_inputs_.end() || *it != flat);
+    active_inputs_.insert(it, flat);
+  }
+
+  void remove_active_input(std::uint32_t flat) {
+    const auto it =
+        std::lower_bound(active_inputs_.begin(), active_inputs_.end(), flat);
+    SMART_DCHECK(it != active_inputs_.end() && *it == flat);
+    active_inputs_.erase(it);
   }
 
  private:
   SwitchId id_;
   std::vector<SwitchPort> ports_;
   std::vector<std::pair<std::uint16_t, std::uint16_t>> in_lane_index_;
+  std::vector<InputLane*> in_lane_ptrs_;
+  std::vector<std::uint32_t> in_base_;
+  std::vector<std::uint32_t> active_inputs_;
 };
 
 }  // namespace smart

@@ -37,6 +37,15 @@ class RingBuffer {
     ++count_;
   }
 
+  /// Push that doubles capacity instead of asserting when full. For
+  /// unbounded FIFOs (the NIC source queue); fabric lanes stay fixed.
+  void push_grow(const T& value) {
+    if (full()) {
+      grow(slots_.empty() ? kInitialGrowCapacity : slots_.size() * 2);
+    }
+    push(value);
+  }
+
   [[nodiscard]] T& front() {
     SMART_DCHECK(!empty());
     return slots_[head_];
@@ -67,8 +76,21 @@ class RingBuffer {
   }
 
  private:
+  static constexpr std::size_t kInitialGrowCapacity = 8;
+
   [[nodiscard]] std::size_t advance(std::size_t i) const noexcept {
     return (i + 1) % slots_.size();
+  }
+
+  /// Re-linearizes the occupied span into a larger slot vector.
+  void grow(std::size_t new_capacity) {
+    std::vector<T> fresh(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i) {
+      fresh[i] = slots_[(head_ + i) % slots_.size()];
+    }
+    slots_ = std::move(fresh);
+    head_ = 0;
+    tail_ = count_ % new_capacity;
   }
 
   std::vector<T> slots_;

@@ -85,6 +85,11 @@ const std::string& Table::cell(std::size_t row, std::size_t col) const {
   return rows_[row][col];
 }
 
+const std::string& Table::header(std::size_t col) const {
+  SMART_CHECK(col < headers_.size());
+  return headers_[col];
+}
+
 std::string Table::to_text() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {

@@ -27,6 +27,7 @@ class Table {
     return headers_.size();
   }
   [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+  [[nodiscard]] const std::string& header(std::size_t col) const;
 
   /// Renders an aligned monospace table.
   [[nodiscard]] std::string to_text() const;

@@ -1,0 +1,188 @@
+// Engine-refactor equivalence: the CycleEngine (src/engine/) must
+// reproduce the former Network-monolith pipeline bit-for-bit.
+//
+// Every value below was pinned by running the pre-refactor engine; the
+// refactored phase pipeline (active sets, the LaneStore arena, static
+// fabric wiring, the fused fault-free pass) must not change a single
+// RNG draw, round-robin decision or PacketPool recycling step. Three
+// configs repeat the goldens of test_obs.cpp; the faulted run covers the
+// drain/drop paths and the phase-per-pass pipeline that faulted runs keep;
+// the bursty and multi-channel runs cover the injection-side state
+// machines (burst modulation, fixed-lane NIC mapping, the shared
+// Valiant RNG call order).
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace smart {
+namespace {
+
+TEST(EngineRefactor, GoldenCubeDuatoUniform) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.46166666666666667);
+  EXPECT_EQ(r.generated_packets, 1650U);
+  EXPECT_EQ(r.delivered_packets, 1662U);
+  EXPECT_EQ(r.delivered_flits, 26592U);
+  EXPECT_EQ(r.measured_cycles, 3600U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 42.521660649819474);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.0992779783393649);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.31429976851851849);
+}
+
+TEST(EngineRefactor, GoldenTreeTranspose) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kTree;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.vcs = 2;
+  config.net.routing = RoutingKind::kTreeAdaptive;
+  config.traffic.pattern = PatternKind::kTranspose;
+  config.traffic.offered_fraction = 0.6;
+  config.traffic.seed = 21;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.47666666666666668);
+  EXPECT_EQ(r.delivered_packets, 858U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 66.015151515151402);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.0);
+}
+
+TEST(EngineRefactor, GoldenMeshDorTornado) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.wraparound = false;
+  config.net.routing = RoutingKind::kCubeDeterministic;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.35;
+  config.traffic.seed = 3;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.32555555555555554);
+  EXPECT_EQ(r.delivered_packets, 1172U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 28.680034129692832);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.9795221843003477);
+}
+
+// Transient link + switch fault on the congested cube, draining after the
+// horizon. Faulted runs take the phase-per-pass pipeline (not the fused
+// fast path) and exercise unroutable detection, worm drains, and the
+// fault-epoch accounting.
+TEST(EngineRefactor, GoldenFaultedCubeWithDrain) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.5;
+  config.traffic.seed = 11;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  config.timing.drain_after_horizon = true;
+  config.faults.add_link(0, 0, 500, 2500);
+  config.faults.add_switch(5, 800, 2000);
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.47444444444444445);
+  EXPECT_EQ(r.generated_packets, 1770U);
+  EXPECT_EQ(r.delivered_packets, 1708U);
+  EXPECT_EQ(r.delivered_flits, 27328U);
+  EXPECT_EQ(r.measured_cycles, 3600U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 50.723067915690834);
+  EXPECT_EQ(r.latency_cycles.count(), 1708U);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.0872365339578467);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.32956597222222211);
+  EXPECT_EQ(r.unroutable_packets, 50U);
+  EXPECT_EQ(r.dropped_packets, 50U);
+  EXPECT_EQ(r.dropped_flits, 800U);
+  EXPECT_EQ(r.packets_in_flight_end, 0U);
+  EXPECT_EQ(r.source_queue_backlog_end, 0U);
+  EXPECT_EQ(r.drain_cycles, 100U);
+  EXPECT_EQ(r.drain_delivered_packets, 38U);
+  EXPECT_EQ(r.fault_epochs.size(), 5U);
+  EXPECT_DOUBLE_EQ(r.latency_percentile(0.99), 98.266666666666737);
+}
+
+// Bursty arrivals modulate the per-NIC injection RNG differently from the
+// Bernoulli fast path; the worm backlog at the end of the run pins the
+// source-queue state machine too.
+TEST(EngineRefactor, GoldenBurstyInjection) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.injection = InjectionKind::kBursty;
+  config.traffic.burst_factor = 6.0;
+  config.traffic.mean_burst_cycles = 120.0;
+  config.traffic.offered_fraction = 0.4;
+  config.traffic.seed = 17;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.36527777777777776);
+  EXPECT_EQ(r.generated_packets, 1319U);
+  EXPECT_EQ(r.delivered_packets, 1315U);
+  EXPECT_EQ(r.delivered_flits, 21040U);
+  EXPECT_EQ(r.measured_cycles, 3600U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 39.816730038022889);
+  EXPECT_EQ(r.latency_cycles.count(), 1315U);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.1346007604562782);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.25051215277777789);
+  EXPECT_EQ(r.packets_in_flight_end, 106U);
+  EXPECT_EQ(r.source_queue_backlog_end, 99U);
+  EXPECT_DOUBLE_EQ(r.latency_percentile(0.99), 83.166666666666558);
+}
+
+// Valiant routing draws from a shared RNG in ascending-switch route()
+// order, and four injection channels use the NIC's fixed-lane mapping;
+// both are order-sensitive to any change in the phase pipeline.
+TEST(EngineRefactor, GoldenValiantMultiChannel) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeValiant;
+  config.net.injection_channels = 4;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.3;
+  config.traffic.seed = 5;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.30222222222222223);
+  EXPECT_EQ(r.generated_packets, 1091U);
+  EXPECT_EQ(r.delivered_packets, 1088U);
+  EXPECT_EQ(r.delivered_flits, 17408U);
+  EXPECT_EQ(r.measured_cycles, 3600U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 72.89797794117645);
+  EXPECT_EQ(r.latency_cycles.count(), 1088U);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 6.0404411764705941);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.30457754629629646);
+  EXPECT_EQ(r.packets_in_flight_end, 22U);
+  EXPECT_EQ(r.source_queue_backlog_end, 1U);
+  EXPECT_DOUBLE_EQ(r.latency_percentile(0.99), 255.59999999999945);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,7 +1,10 @@
 // Unit tests of the router building blocks: lanes, credits, the switch
-// state helpers, the packet pool and the NIC injection interface.
+// state helpers, the packet pool and the NIC injection interface. Lane
+// buffers live in a LaneStore arena (src/engine/lane_store.hpp); each
+// test allocates its lanes from a local store.
 #include <gtest/gtest.h>
 
+#include "engine/lane_store.hpp"
 #include "router/flit.hpp"
 #include "router/lanes.hpp"
 #include "router/nic.hpp"
@@ -9,6 +12,8 @@
 
 namespace smart {
 namespace {
+
+LaneView make_lane(LaneStore& store) { return LaneView(store, store.allocate()); }
 
 TEST(PacketPool, AllocateAndRecycle) {
   PacketPool pool;
@@ -35,9 +40,33 @@ TEST(PacketPool, AllocationResetsRecord) {
   EXPECT_EQ(pool[again].wrap_mask, 0U);
 }
 
+TEST(LaneStoreArena, RingSemanticsPerLane) {
+  LaneStore store(2);
+  LaneView a = make_lane(store);
+  LaneView b = make_lane(store);
+  EXPECT_EQ(store.lane_count(), 2U);
+  EXPECT_TRUE(a.empty());
+  Flit flit;
+  flit.seq = 1;
+  a.push(flit);
+  flit.seq = 2;
+  a.push(flit);
+  EXPECT_TRUE(a.full());
+  EXPECT_TRUE(b.empty());  // lanes are independent slices of the arena
+  EXPECT_EQ(a.front().seq, 1U);
+  EXPECT_EQ(a.at(1).seq, 2U);
+  EXPECT_EQ(a.pop().seq, 1U);
+  flit.seq = 3;
+  a.push(flit);  // wraps around the 2-slot ring
+  EXPECT_EQ(a.at(0).seq, 2U);
+  EXPECT_EQ(a.at(1).seq, 3U);
+  EXPECT_EQ(store.total_flits(), 2U);
+}
+
 TEST(OutputLaneState, BindableRules) {
+  LaneStore store(2);
   OutputLane lane;
-  lane.buf = RingBuffer<Flit>(2);
+  lane.buf = make_lane(store);
   lane.credits = 2;
   EXPECT_TRUE(lane.bindable());
   lane.bound = true;
@@ -51,8 +80,9 @@ TEST(OutputLaneState, BindableRules) {
 }
 
 TEST(InputLaneState, BindLifecycle) {
+  LaneStore store(4);
   InputLane lane;
-  lane.buf = RingBuffer<Flit>(4);
+  lane.buf = make_lane(store);
   EXPECT_FALSE(lane.bound());
   lane.bind(3, 1, 100);
   EXPECT_TRUE(lane.bound());
@@ -64,10 +94,11 @@ TEST(InputLaneState, BindLifecycle) {
 }
 
 TEST(SwitchState, FreeOutputLaneCount) {
+  LaneStore store(2);
   Switch sw(0, 2);
   sw.port(0).out.resize(3);
   for (OutputLane& lane : sw.port(0).out) {
-    lane.buf = RingBuffer<Flit>(2);
+    lane.buf = make_lane(store);
     lane.credits = 2;
   }
   EXPECT_EQ(sw.free_output_lanes(0), 3U);
@@ -92,14 +123,31 @@ TEST(SwitchState, InputLaneIndexFlattens) {
   EXPECT_EQ(index[4], (std::pair<std::uint16_t, std::uint16_t>{2, 2}));
 }
 
+TEST(SwitchState, ActiveInputListStaysSorted) {
+  Switch sw(0, 1);
+  sw.add_active_input(4);
+  sw.add_active_input(1);
+  sw.add_active_input(7);
+  ASSERT_EQ(sw.active_inputs().size(), 3U);
+  EXPECT_EQ(sw.active_inputs()[0], 1U);
+  EXPECT_EQ(sw.active_inputs()[1], 4U);
+  EXPECT_EQ(sw.active_inputs()[2], 7U);
+  sw.remove_active_input(4);
+  ASSERT_EQ(sw.active_inputs().size(), 2U);
+  EXPECT_EQ(sw.active_inputs()[0], 1U);
+  EXPECT_EQ(sw.active_inputs()[1], 7U);
+}
+
 TEST(NicInjection, StreamsOnePacketFlitByFlit) {
   PacketPool pool;
-  Nic nic(0, 4, 1, 1, 1);
+  LaneStore store(4);
+  Nic nic(0, store, 1, 1, 1);
   const PacketId id = pool.allocate();
   pool[id].size_flits = 3;
   nic.source_queue().push_back(id);
+  EXPECT_TRUE(nic.stream_pending());
 
-  nic.stream(10, pool);
+  EXPECT_EQ(nic.stream(10, pool), 1U);
   ASSERT_EQ(nic.channels()[0].buf.size(), 1U);
   EXPECT_TRUE(nic.channels()[0].buf.front().head);
   EXPECT_EQ(pool[id].inject_cycle, 10U);  // latency clock starts here
@@ -107,23 +155,28 @@ TEST(NicInjection, StreamsOnePacketFlitByFlit) {
   nic.stream(11, pool);
   nic.stream(12, pool);
   EXPECT_EQ(nic.channels()[0].buf.size(), 3U);
+  EXPECT_EQ(nic.chan_flits, 3U);
   EXPECT_TRUE(nic.channels()[0].buf.at(2).tail);
   EXPECT_TRUE(nic.source_queue().empty());
+  EXPECT_FALSE(nic.stream_pending());  // the whole worm is buffered
 }
 
 TEST(NicInjection, RespectsBufferCapacity) {
   PacketPool pool;
-  Nic nic(0, 2, 1, 1, 1);
+  LaneStore store(2);
+  Nic nic(0, store, 1, 1, 1);
   const PacketId id = pool.allocate();
   pool[id].size_flits = 5;
   nic.source_queue().push_back(id);
   for (std::uint64_t cycle = 0; cycle < 10; ++cycle) nic.stream(cycle, pool);
   EXPECT_EQ(nic.channels()[0].buf.size(), 2U);  // capacity-bound
+  EXPECT_TRUE(nic.stream_pending());  // worm still mid-stream
 }
 
 TEST(NicInjection, SourceThrottlingSerializesPackets) {
   PacketPool pool;
-  Nic nic(0, 8, 1, 1, 1);
+  LaneStore store(8);
+  Nic nic(0, store, 1, 1, 1);
   const PacketId a = pool.allocate();
   const PacketId b = pool.allocate();
   pool[a].size_flits = 2;
@@ -141,7 +194,8 @@ TEST(NicInjection, SourceThrottlingSerializesPackets) {
 
 TEST(NicInjection, MultiChannelStreamsConcurrently) {
   PacketPool pool;
-  Nic nic(0, 4, 2, 2, 1);
+  LaneStore store(4);
+  Nic nic(0, store, 2, 2, 1);
   EXPECT_TRUE(nic.fixed_lane_mapping());
   const PacketId a = pool.allocate();
   const PacketId b = pool.allocate();
@@ -149,7 +203,7 @@ TEST(NicInjection, MultiChannelStreamsConcurrently) {
   pool[b].size_flits = 4;
   nic.source_queue().push_back(a);
   nic.source_queue().push_back(b);
-  nic.stream(0, pool);
+  EXPECT_EQ(nic.stream(0, pool), 2U);
   // Both channels picked up a packet in the same cycle.
   EXPECT_EQ(nic.channels()[0].buf.size(), 1U);
   EXPECT_EQ(nic.channels()[1].buf.size(), 1U);
@@ -158,7 +212,8 @@ TEST(NicInjection, MultiChannelStreamsConcurrently) {
 }
 
 TEST(NicInjection, ChoosesLaneWithMostCredits) {
-  Nic nic(0, 4, 4, 1, 1);
+  LaneStore store(4);
+  Nic nic(0, store, 4, 1, 1);
   EXPECT_FALSE(nic.fixed_lane_mapping());
   nic.credits() = {1, 3, 2, 3};
   EXPECT_EQ(nic.choose_lane(), 1);  // first of the maxima

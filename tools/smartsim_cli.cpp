@@ -49,6 +49,10 @@ void usage() {
       "  --warmup <cycles>           (default 2000)\n"
       "  --horizon <cycles>          (default 20000)\n"
       "  --replications <N>         average N seeds, report 95%% CIs\n"
+      "  --threads <N>               worker threads for sweeps and\n"
+      "                              replications (default 1; 0 = one per\n"
+      "                              hardware thread); results are\n"
+      "                              identical for any thread count\n"
       "  --csv <path>                also write results as CSV\n"
       "  --absolute                  report bits/ns and ns via the cost model\n"
       "  --faults <spec>             deterministic fault schedule, comma-\n"
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   bool absolute = false;
   unsigned replications = 1;
+  unsigned threads = 1;
   std::string csv_path;
   std::string faults_spec;
   double fault_rate = 0.0;
@@ -194,6 +199,8 @@ int main(int argc, char** argv) {
       config.timing.horizon_cycles = std::strtoull(next_value(i), nullptr, 10);
     } else if (arg == "--replications") {
       replications = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::atoi(next_value(i)));
     } else if (arg == "--csv") {
       csv_path = next_value(i);
     } else if (arg == "--absolute") {
@@ -281,7 +288,7 @@ int main(int argc, char** argv) {
               config.net.packet_bytes);
 
   if (replications > 1) {
-    const auto points = run_replicated(config, loads, replications);
+    const auto points = run_replicated(config, loads, replications, threads);
     Table table = replicated_table(points);
     std::printf("%s", table.to_text().c_str());
     if (!csv_path.empty() && !table.write_csv(csv_path)) {
@@ -291,7 +298,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto results = run_sweep(config, loads);
+  const auto results = run_sweep(config, loads, threads);
 
   Table table(absolute
                   ? std::vector<std::string>{"offered (frac)",
