@@ -10,7 +10,9 @@
 // Set SMARTSIM_QUICK=1 to run a coarser load grid.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -18,8 +20,21 @@
 
 #include "core/experiment.hpp"
 #include "core/network.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 
 namespace smart::benchtool {
+
+/// Output directory for CSVs, JSON reports and manifests. Overridable via
+/// SMARTSIM_BENCH_OUT so CI can produce two runs side by side for
+/// tools/smartsim_report.
+inline const std::string& bench_out_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("SMARTSIM_BENCH_OUT");
+    return std::string(env != nullptr && *env != '\0' ? env : "bench_out");
+  }();
+  return dir;
+}
 
 /// Accumulates every table of the running bench and rewrites the JSON
 /// document after each addition, so a bench aborting midway still leaves
@@ -32,10 +47,16 @@ class JsonReport {
   }
 
   /// Enables the report: `bench` names the producing binary, `path` the
-  /// output file.
+  /// output file. A run manifest (MANIFEST_<bench>.json next to `path`)
+  /// is maintained alongside the report.
   void enable(std::string bench, std::string path) {
     bench_ = std::move(bench);
     path_ = std::move(path);
+    start_ = std::chrono::steady_clock::now();
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    manifest_path_ =
+        (parent / ("MANIFEST_" + bench_ + ".json")).string();
     flush();
   }
 
@@ -43,6 +64,7 @@ class JsonReport {
 
   void add(const std::string& name, const Table& table) {
     if (!enabled()) return;
+    note_table(name, table);
     std::string json = "    {\"name\": " + quote(name) + ", \"columns\": [";
     for (std::size_t c = 0; c < table.column_count(); ++c) {
       if (c > 0) json += ", ";
@@ -64,6 +86,24 @@ class JsonReport {
   }
 
  private:
+  /// Snapshots the table's last row (its highest-load / final point) into
+  /// the manifest's metric registry as `bench/<table>/<column>` gauges.
+  /// Every tabulated bench value is a deterministic simulation output, so
+  /// the regression tool can hold them to the strict threshold.
+  void note_table(const std::string& name, const Table& table) {
+    if (table.row_count() == 0) return;
+    const std::size_t row = table.row_count() - 1;
+    for (std::size_t c = 0; c < table.column_count(); ++c) {
+      const std::string& cell = table.cell(row, c);
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') continue;  // non-numeric
+      std::string column;
+      for (char ch : table.header(c)) column += (ch == ' ') ? '_' : ch;
+      registry_.gauge("bench/" + name + "/" + column, value);
+    }
+  }
+
   static std::string quote(const std::string& value) {
     std::string out = "\"";
     for (char c : value) {
@@ -95,10 +135,32 @@ class JsonReport {
       out << tables_[i] << (i + 1 < tables_.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
+    write_run_manifest();
+  }
+
+  void write_run_manifest() const {
+    json::Value config = json::Value::object();
+    config.set("bench", json::Value(bench_));
+    config.set("quick_mode", json::Value(quick_mode()));
+    ManifestInfo info;
+    info.producer = bench_;
+    info.command_line = bench_ + " --json " + path_;
+    info.config = std::move(config);
+    info.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    info.registry = &registry_;
+    std::string error;
+    if (!write_manifest(manifest_path_, info, &error)) {
+      std::fprintf(stderr, "warning: %s\n", error.c_str());
+    }
   }
 
   std::string bench_;
   std::string path_;
+  std::string manifest_path_;
+  std::chrono::steady_clock::time_point start_{};
+  MetricsRegistry registry_;
   std::vector<std::string> tables_;
 };
 
@@ -157,8 +219,8 @@ inline std::string slug(const std::string& name) {
 
 inline void write_csv(const Table& table, const std::string& name) {
   std::error_code ec;
-  std::filesystem::create_directories("bench_out", ec);
-  const std::string path = "bench_out/" + name + ".csv";
+  std::filesystem::create_directories(bench_out_dir(), ec);
+  const std::string path = bench_out_dir() + "/" + name + ".csv";
   if (table.write_csv(path)) {
     std::printf("  [csv] %s\n", path.c_str());
   }

@@ -4,7 +4,12 @@
 // regressions in the hot per-cycle loops.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <filesystem>
+#include <string>
+
 #include "core/network.hpp"
+#include "obs/manifest.hpp"
 #include "topology/kary_ncube.hpp"
 #include "topology/kary_ntree.hpp"
 #include "traffic/pattern.hpp"
@@ -153,3 +158,44 @@ void BM_TreeSimulationCyclesLowLoad(benchmark::State& state) {
 BENCHMARK(BM_TreeSimulationCyclesLowLoad)->Iterations(4000);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the run leaves a manifest
+// next to google-benchmark's own JSON report: the timings themselves are
+// benchmark's, but the provenance (git describe, build type, flags) must
+// be recorded like every other bench in run_benches.sh.
+int main(int argc, char** argv) {
+  std::string out_dir = "bench_out";
+  std::string bench_out_arg;
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--benchmark_out=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      bench_out_arg = argv[i] + std::strlen(prefix);
+      const std::filesystem::path parent =
+          std::filesystem::path(bench_out_arg).parent_path();
+      if (!parent.empty()) out_dir = parent.string();
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  smart::ManifestInfo info;
+  info.producer = "bench_micro";
+  info.command_line =
+      bench_out_arg.empty() ? std::string{"bench_micro"}
+                            : "bench_micro --benchmark_out=" + bench_out_arg;
+  smart::json::Value config = smart::json::Value::object();
+  config.set("bench", smart::json::Value(std::string("bench_micro")));
+  info.config = std::move(config);
+  std::string error;
+  if (!smart::write_manifest(out_dir + "/MANIFEST_bench_micro.json", info,
+                             &error)) {
+    std::fprintf(stderr, "warning: %s\n", error.c_str());
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

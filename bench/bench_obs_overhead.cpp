@@ -71,7 +71,8 @@ int run_bench() {
   const TimedRun with_counters = timed_run(counters);
 
   SimConfig tracing = counters;
-  tracing.obs.trace_out = "bench_out/obs_overhead_trace.json";
+  tracing.obs.trace_out =
+      benchtool::bench_out_dir() + "/obs_overhead_trace.json";
   tracing.obs.trace_hops = true;
   const TimedRun with_trace = timed_run(tracing);
 

@@ -4,20 +4,34 @@
 # status is propagated, so CI and scripts can trust the exit code.
 #
 # Besides the console tables and the CSVs each bench writes itself, every
-# bench is passed a JSON sink: the figure/table benches collect all their
-# tables into bench_out/BENCH_<name>.json (--json, see bench_common.hpp),
-# and bench_micro writes google-benchmark's own JSON report there. Scripts
-# can consume the whole run from bench_out/ without scraping stdout.
+# bench is passed a JSON sink named after the full binary: the figure/table
+# benches collect all their tables into $OUT_DIR/BENCH_<binary>.json
+# (--json, see bench_common.hpp), and bench_micro writes google-benchmark's
+# own JSON report there. Each bench also leaves a run manifest
+# ($OUT_DIR/MANIFEST_<binary>.json: config echo, build provenance, metric
+# registry snapshot) which tools/smartsim_report diffs between two output
+# directories. Scripts can consume the whole run from $OUT_DIR without
+# scraping stdout.
+#
+# Environment:
+#   SMARTSIM_BENCH_OUT  output directory (default bench_out); also read by
+#                       the benches themselves for their CSVs.
+#   SMARTSIM_QUICK=1    coarser load grids / shorter horizons.
 set -euo pipefail
 
 BENCH_DIR="${1:-build/bench}"
+OUT_DIR="${SMARTSIM_BENCH_OUT:-bench_out}"
 
 if [ ! -d "$BENCH_DIR" ]; then
   echo "error: bench directory '$BENCH_DIR' not found (build first)" >&2
   exit 1
 fi
 
-mkdir -p bench_out
+mkdir -p "$OUT_DIR"
+# Drop reports from previous runs (including the pre-rename BENCH_<short>
+# names) so the directory never mixes naming generations and stale files
+# cannot shadow a bench that failed to run.
+rm -f "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/MANIFEST_*.json
 
 found=0
 for b in "$BENCH_DIR"/*; do
@@ -25,16 +39,16 @@ for b in "$BENCH_DIR"/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     found=1
     name="$(basename "$b")"
-    short="${name#bench_}"
     echo "===== $b ====="
     case "$name" in
       bench_micro)
-        # google-benchmark binary: it owns its argv and JSON format.
-        "$b" --benchmark_out="bench_out/BENCH_${short}.json" \
+        # google-benchmark binary: it owns its argv and JSON format (its
+        # custom main still writes MANIFEST_bench_micro.json itself).
+        "$b" --benchmark_out="$OUT_DIR/BENCH_${name}.json" \
              --benchmark_out_format=json
         ;;
       *)
-        "$b" --json "bench_out/BENCH_${short}.json"
+        "$b" --json "$OUT_DIR/BENCH_${name}.json"
         ;;
     esac
     echo

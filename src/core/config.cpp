@@ -1,38 +1,8 @@
 #include "core/config.hpp"
 
-#include "cost/normalization.hpp"
 #include "util/check.hpp"
 
 namespace smart {
-
-std::string to_string(TopologyKind kind) {
-  switch (kind) {
-    case TopologyKind::kCube: return "cube";
-    case TopologyKind::kTree: return "fat tree";
-  }
-  return "unknown";
-}
-
-std::string to_string(RoutingKind kind) {
-  switch (kind) {
-    case RoutingKind::kCubeDeterministic: return "deterministic";
-    case RoutingKind::kCubeDuato: return "Duato";
-    case RoutingKind::kCubeValiant: return "Valiant";
-    case RoutingKind::kTreeAdaptive: return "tree adaptive";
-  }
-  return "unknown";
-}
-
-unsigned NetworkSpec::resolved_flit_bytes() const {
-  if (flit_bytes != 0) return flit_bytes;
-  if (topology == TopologyKind::kTree) return kTreeFlitBytes;
-  // Normalized against the paper's quaternary fat-tree switch arity.
-  return normalized_cube_flit_bytes(/*tree_k=*/4, /*cube_n=*/n);
-}
-
-unsigned NetworkSpec::flits_per_packet() const {
-  return packet_flits(packet_bytes, resolved_flit_bytes());
-}
 
 std::string NetworkSpec::description() const {
   std::string base =

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "cost/normalization.hpp"
 #include "fault/fault.hpp"
 #include "routing/tree_adaptive.hpp"
 #include "traffic/injection.hpp"
@@ -28,8 +29,25 @@ enum class RoutingKind : std::uint8_t {
   kTreeAdaptive,       ///< ascending adaptive / descending deterministic
 };
 
-[[nodiscard]] std::string to_string(TopologyKind kind);
-[[nodiscard]] std::string to_string(RoutingKind kind);
+// Inline so layers below smart_core (the obs manifest writer) can name a
+// configuration without linking the core library.
+[[nodiscard]] inline std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kCube: return "cube";
+    case TopologyKind::kTree: return "fat tree";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline std::string to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kCubeDeterministic: return "deterministic";
+    case RoutingKind::kCubeDuato: return "Duato";
+    case RoutingKind::kCubeValiant: return "Valiant";
+    case RoutingKind::kTreeAdaptive: return "tree adaptive";
+  }
+  return "unknown";
+}
 
 struct NetworkSpec {
   TopologyKind topology = TopologyKind::kCube;
@@ -54,8 +72,15 @@ struct NetworkSpec {
   /// Tree only: fair tie-break of the ascending link choice (ablation).
   TreeSelection tree_selection = TreeSelection::kSaltedAffine;
 
-  [[nodiscard]] unsigned resolved_flit_bytes() const;
-  [[nodiscard]] unsigned flits_per_packet() const;
+  [[nodiscard]] unsigned resolved_flit_bytes() const {
+    if (flit_bytes != 0) return flit_bytes;
+    if (topology == TopologyKind::kTree) return kTreeFlitBytes;
+    // Normalized against the paper's quaternary fat-tree switch arity.
+    return normalized_cube_flit_bytes(/*tree_k=*/4, /*cube_n=*/n);
+  }
+  [[nodiscard]] unsigned flits_per_packet() const {
+    return packet_flits(packet_bytes, resolved_flit_bytes());
+  }
   [[nodiscard]] std::string description() const;
 };
 
@@ -96,6 +121,15 @@ struct ObsSpec {
   }
 };
 
+/// Opt-in engine self-profiler (src/obs/profiler.hpp): per-phase wall-time
+/// shares, fused-path hit rate, dirty-list occupancy, and lane-store
+/// high-water marks. Off by default; the profiler only reads engine state
+/// (clocks, set occupancy, arena fill), so results are bit-identical with
+/// it on or off — the flag gates the bookkeeping cost, not the physics.
+struct ProfSpec {
+  bool enabled = false;
+};
+
 struct SimTiming {
   std::uint64_t warmup_cycles = 2000;
   std::uint64_t horizon_cycles = 20000;
@@ -117,6 +151,7 @@ struct SimConfig {
   SimTiming timing;
   TraceSpec trace;
   ObsSpec obs;
+  ProfSpec prof;
 
   /// Deterministic fault schedule (empty = fault-free: the fault machinery
   /// is bypassed entirely and results are bit-identical to a build without

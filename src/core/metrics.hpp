@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "util/stats.hpp"
 
@@ -182,6 +183,11 @@ struct SimulationResult {
 
   // Observability (empty unless ObsSpec::enabled; see src/obs/).
   ObsReport obs;
+
+  // Engine self-profile (empty unless ProfSpec::enabled; see
+  // src/obs/profiler.hpp). Wall times inside are nondeterministic; the
+  // scheduler/work counters are bit-deterministic.
+  ProfileReport profile;
 
   // Simulator self-metrics: wall-clock measurements of the simulator
   // itself, filled by Network::run(). Inherently nondeterministic — they

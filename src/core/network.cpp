@@ -34,6 +34,10 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
                                       lane_stride, config_.obs.trace_hops);
   }
 
+  // The self-profiler follows the same discipline: disabled means a null
+  // pointer and one branch per hook site, never a behavioural change.
+  if (config_.prof.enabled) profiler_ = std::make_unique<Profiler>();
+
   const NetworkSpec& net = config_.net;
   flits_per_packet_ = net.flits_per_packet();
   capacity_ = topo_->uniform_capacity_flits_per_node_cycle();
@@ -59,7 +63,8 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
 
   engine_ = std::make_unique<CycleEngine>(
       config_, *topo_, *routing_, *pattern_, injection_, faults_.get(),
-      obs_.get(), packet_rate_, capacity_, flits_per_packet_);
+      obs_.get(), profiler_.get(), packet_rate_, capacity_,
+      flits_per_packet_);
 }
 
 void Network::build_topology() {

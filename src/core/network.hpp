@@ -99,6 +99,11 @@ class Network {
     return obs_.get();
   }
 
+  /// Null unless ProfSpec::enabled (see src/obs/profiler.hpp).
+  [[nodiscard]] const Profiler* profiler() const noexcept {
+    return profiler_.get();
+  }
+
   /// Manually enqueue one packet at `src` for `dst` (tests and examples);
   /// returns the packet id.
   PacketId enqueue_packet(NodeId src, NodeId dst) {
@@ -117,6 +122,7 @@ class Network {
   std::unique_ptr<TrafficPattern> pattern_;
   std::unique_ptr<FaultState> faults_;  ///< null when the plan is empty
   std::unique_ptr<ObsState> obs_;       ///< null unless obs is enabled
+  std::unique_ptr<Profiler> profiler_;  ///< null unless prof is enabled
   std::vector<std::unique_ptr<InjectionProcess>> injection_;  ///< per node
 
   double packet_rate_ = 0.0;

@@ -18,8 +18,9 @@ constexpr std::uint32_t kSinkCredits =
 CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
                          RoutingAlgorithm& routing, TrafficPattern& pattern,
                          std::vector<std::unique_ptr<InjectionProcess>>& injection,
-                         FaultState* faults, ObsState* obs, double packet_rate,
-                         double capacity, unsigned flits_per_packet)
+                         FaultState* faults, ObsState* obs, Profiler* prof,
+                         double packet_rate, double capacity,
+                         unsigned flits_per_packet)
     : config_(config),
       topo_(topo),
       routing_(routing),
@@ -27,6 +28,7 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
       injection_(injection),
       faults_(faults),
       obs_(obs),
+      prof_(prof),
       lanes_(config.net.buffer_depth),
       packet_rate_(packet_rate),
       capacity_(capacity),
@@ -38,6 +40,10 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
   build_fabric();
   active_switches_ = ActiveSet(switches_.size());
   active_nics_ = ActiveSet(nics_.size());
+  if (prof_) {
+    prof_->set_lane_capacity(lanes_.lane_count() *
+                             static_cast<std::uint64_t>(lanes_.depth()));
+  }
 
   result_.offered_fraction = config_.traffic.offered_fraction;
   result_.offered_flits_per_node_cycle =
@@ -203,18 +209,36 @@ void CycleEngine::step() {
     measuring_ = true;
     stats_window_start_ = cycle_;
   }
+  // Self-profiling wraps each phase in a steady-clock lap; the disabled
+  // path costs one null check per phase (the --obs/--faults discipline),
+  // and the enabled path only reads clocks, so results are bit-identical
+  // either way.
+  Profiler::Clock::time_point lap{};
+  if (prof_) lap = Profiler::now();
   nic_phase();
+  if (prof_) lap = prof_->lap(lap, ProfPhase::kNic);
   if (faults_ != nullptr) {
     link_phase();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kLink);
     routing_phase();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kRouting);
     crossbar_phase();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kCrossbar);
   } else {
     fused_phase();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kFused);
   }
   apply_pending_credits();
+  if (prof_) lap = prof_->lap(lap, ProfPhase::kCredits);
   if (obs_ && config_.obs.sample_interval_cycles > 0 &&
       cycle_ % config_.obs.sample_interval_cycles == 0) {
     obs_->sampler.sample(cycle_, switches_, nics_);
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kSampling);
+  }
+  if (prof_) {
+    prof_->on_cycle(active_switches_.count(), switches_.size(),
+                    active_nics_.count(), nics_.size(), lanes_.total_flits(),
+                    /*fused=*/faults_ == nullptr);
   }
   if (measuring_ && config_.timing.stats_window_cycles > 0 &&
       cycle_ - stats_window_start_ + 1 >= config_.timing.stats_window_cycles) {
@@ -361,6 +385,7 @@ void CycleEngine::finalize_result() {
     result_.fault_epochs = fault_epochs_;
     result_.active_faults_end = faults_->active_faults();
   }
+  if (prof_) result_.profile = prof_->report();
   if (obs_) {
     result_.obs.enabled = true;
     result_.obs.stalls = obs_->stalls.totals();

@@ -42,6 +42,7 @@
 #include "engine/lane_store.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "router/nic.hpp"
 #include "router/switch.hpp"
 #include "routing/routing.hpp"
@@ -54,12 +55,12 @@ namespace smart {
 class CycleEngine {
  public:
   /// All collaborators are owned by the caller (Network) and must outlive
-  /// the engine. `faults`/`obs` may be null (feature disabled).
+  /// the engine. `faults`/`obs`/`prof` may be null (feature disabled).
   CycleEngine(const SimConfig& config, const Topology& topo,
               RoutingAlgorithm& routing, TrafficPattern& pattern,
               std::vector<std::unique_ptr<InjectionProcess>>& injection,
-              FaultState* faults, ObsState* obs, double packet_rate,
-              double capacity, unsigned flits_per_packet);
+              FaultState* faults, ObsState* obs, Profiler* prof,
+              double packet_rate, double capacity, unsigned flits_per_packet);
 
   /// Runs warm-up plus measurement (and the optional post-horizon drain)
   /// and fills result().
@@ -138,6 +139,7 @@ class CycleEngine {
   std::vector<std::unique_ptr<InjectionProcess>>& injection_;  ///< per node
   FaultState* faults_;  ///< null on a fault-free run
   ObsState* obs_;       ///< null unless obs is enabled
+  Profiler* prof_;      ///< null unless --profile is enabled
 
   // The fabric. All lane buffers live in the lanes_ arena; switches and
   // NICs hold LaneView handles into it.

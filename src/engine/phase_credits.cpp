@@ -12,6 +12,7 @@
 namespace smart {
 
 void CycleEngine::apply_pending_credits() {
+  if (prof_) prof_->credit_acks += pending_credits_.size();
   for (std::uint32_t* credit : pending_credits_) *credit += 1;
   pending_credits_.clear();
 }

@@ -63,6 +63,7 @@ void CycleEngine::crossbar_switch(Switch& sw) {
     flit.arrival = static_cast<std::uint32_t>(cycle_);
     const bool is_tail = flit.tail;
     out.buf.push(flit);
+    if (prof_) ++prof_->crossbar_flits;
     out_port.out_buffered += 1;
     sw.out_ports_nonempty |= 1U << static_cast<unsigned>(in.bound_port);
     last_progress_cycle_ = cycle_;

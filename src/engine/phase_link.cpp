@@ -67,6 +67,7 @@ void CycleEngine::switch_link_phase(Switch& sw) {
       }
       Flit flit = out.buf.pop();
       flit.arrival = static_cast<std::uint32_t>(cycle_);
+      if (prof_) ++prof_->link_flits;
       sw.buffered -= 1;
       port.out_buffered -= 1;
       if (port.out_buffered == 0) sw.out_ports_nonempty &= ~(1U << p);
@@ -133,6 +134,7 @@ void CycleEngine::nic_link_phase(Nic& nic) {
     }
 
     Flit flit = channel.buf.pop();
+    if (prof_) ++prof_->link_flits;
     nic.chan_flits -= 1;
     flit.lane = static_cast<std::uint8_t>(lane);
     flit.arrival = static_cast<std::uint32_t>(cycle_);

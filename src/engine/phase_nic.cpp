@@ -22,7 +22,10 @@ void CycleEngine::nic_phase() {
         (bernoulli ? nic.rng().bernoulli(packet_rate_)
                    : injection_[nic.node()]->fires(nic.rng()))) {
       const auto dst = pattern_.destination(nic.node(), nic.rng());
-      if (dst) enqueue_packet(nic.node(), *dst);
+      if (dst) {
+        enqueue_packet(nic.node(), *dst);
+        if (prof_) ++prof_->generated_packets;
+      }
     }
     if (nic.stream_pending()) {
       const unsigned pushed = nic.stream(cycle_, pool_);

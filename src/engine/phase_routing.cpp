@@ -84,6 +84,7 @@ void CycleEngine::route_switch(Switch& sw) {
     sw.in_busy |= std::uint64_t{1} << index;
     sw.add_active_input(index);
     sw.route_rr = index + 1;
+    if (prof_) ++prof_->routed_headers;
     return true;  // one successful routing decision per switch per cycle
   };
 

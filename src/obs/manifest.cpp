@@ -1,0 +1,129 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+
+#include "core/config.hpp"
+#include "obs/registry.hpp"
+
+#ifndef SMARTSIM_GIT_DESCRIBE
+#define SMARTSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SMARTSIM_BUILD_TYPE
+#define SMARTSIM_BUILD_TYPE "unknown"
+#endif
+#ifndef SMARTSIM_COMPILER
+#define SMARTSIM_COMPILER "unknown"
+#endif
+#ifndef SMARTSIM_CXX_FLAGS
+#define SMARTSIM_CXX_FLAGS ""
+#endif
+
+namespace smart {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{SMARTSIM_GIT_DESCRIBE, SMARTSIM_BUILD_TYPE,
+                              SMARTSIM_COMPILER, SMARTSIM_CXX_FLAGS};
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& b = build_info();
+  return "smartsim " + b.git_describe + " (" + b.build_type + ", " +
+         b.compiler + ")";
+}
+
+json::Value echo_config(const SimConfig& config, double clock_ns) {
+  const NetworkSpec& net = config.net;
+
+  json::Value network = json::Value::object();
+  network.set("topology", json::Value(to_string(net.topology)));
+  network.set("k", json::Value(static_cast<double>(net.k)));
+  network.set("n", json::Value(static_cast<double>(net.n)));
+  network.set("routing", json::Value(to_string(net.routing)));
+  network.set("wraparound", json::Value(net.wraparound));
+  network.set("vcs", json::Value(static_cast<double>(net.vcs)));
+  network.set("buffer_depth",
+              json::Value(static_cast<double>(net.buffer_depth)));
+  network.set("packet_bytes",
+              json::Value(static_cast<double>(net.packet_bytes)));
+  network.set("flit_bytes",
+              json::Value(static_cast<double>(net.resolved_flit_bytes())));
+  network.set("flits_per_packet",
+              json::Value(static_cast<double>(net.flits_per_packet())));
+  network.set("injection_channels",
+              json::Value(static_cast<double>(net.injection_channels)));
+  network.set("clock_ns", json::Value(clock_ns));
+
+  json::Value traffic = json::Value::object();
+  traffic.set("pattern", json::Value(to_string(config.traffic.pattern)));
+  traffic.set("offered_fraction",
+              json::Value(config.traffic.offered_fraction));
+  traffic.set("seed",
+              json::Value(static_cast<double>(config.traffic.seed)));
+  traffic.set("injection", json::Value(to_string(config.traffic.injection)));
+  if (config.traffic.injection == InjectionKind::kBursty) {
+    traffic.set("burst_factor", json::Value(config.traffic.burst_factor));
+    traffic.set("mean_burst_cycles",
+                json::Value(config.traffic.mean_burst_cycles));
+  }
+
+  json::Value timing = json::Value::object();
+  timing.set("warmup_cycles",
+             json::Value(static_cast<double>(config.timing.warmup_cycles)));
+  timing.set("horizon_cycles",
+             json::Value(static_cast<double>(config.timing.horizon_cycles)));
+  timing.set("drain_after_horizon",
+             json::Value(config.timing.drain_after_horizon));
+
+  json::Value echo = json::Value::object();
+  echo.set("network", std::move(network));
+  echo.set("traffic", std::move(traffic));
+  echo.set("timing", std::move(timing));
+  echo.set("faults", json::Value(config.faults.to_string()));
+  echo.set("obs_enabled", json::Value(config.obs.enabled));
+  echo.set("profile_enabled", json::Value(config.prof.enabled));
+  return echo;
+}
+
+json::Value manifest_json(const ManifestInfo& info) {
+  const BuildInfo& b = build_info();
+  json::Value build = json::Value::object();
+  build.set("git_describe", json::Value(b.git_describe));
+  build.set("build_type", json::Value(b.build_type));
+  build.set("compiler", json::Value(b.compiler));
+  build.set("cxx_flags", json::Value(b.cxx_flags));
+
+  json::Value doc = json::Value::object();
+  doc.set("schema", json::Value(std::string("smartsim-manifest-v1")));
+  doc.set("producer", json::Value(info.producer));
+  doc.set("command_line", json::Value(info.command_line));
+  doc.set("build", std::move(build));
+  doc.set("wall_seconds", json::Value(info.wall_seconds));
+  doc.set("config", info.config.is_null() ? json::Value::object()
+                                          : info.config);
+  doc.set("metrics", info.registry != nullptr ? info.registry->to_json()
+                                              : json::Value::object());
+  return doc;
+}
+
+bool write_manifest(const std::string& path, const ManifestInfo& info,
+                    std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << manifest_json(info).dump(2) << '\n';
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::string manifest_path_for(const std::string& artifact_path) {
+  return artifact_path + ".manifest.json";
+}
+
+}  // namespace smart

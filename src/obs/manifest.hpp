@@ -1,0 +1,64 @@
+// Run manifests (observability layer).
+//
+// Every artifact the simulator emits (a CSV table, a bench JSON) gets a
+// manifest next to it: a JSON record of *how* the numbers were produced —
+// the full configuration echo, build provenance (git describe, compiler,
+// flags), wall time, and a snapshot of the run's metrics registry. Two
+// manifests are enough to re-run, attribute, or diff a result months
+// later; tools/smartsim_report consumes pairs of manifest directories and
+// renders a per-metric regression verdict table.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace smart {
+
+struct SimConfig;
+class MetricsRegistry;
+
+/// Build provenance captured at configure time (top-level CMakeLists.txt
+/// bakes the values into src/obs/manifest.cpp as compile definitions).
+struct BuildInfo {
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// One-line provenance header, e.g. for `smartsim_cli --version`:
+///   smartsim <describe> (<build type>, <compiler>)
+[[nodiscard]] std::string build_info_line();
+
+/// Serializes a SimConfig into the manifest's `config` object. `clock_ns`
+/// is the cost-model clock the caller derived for this configuration (the
+/// obs layer takes it as a value so it never depends on src/cost).
+[[nodiscard]] json::Value echo_config(const SimConfig& config,
+                                      double clock_ns);
+
+/// Everything a manifest records besides the build provenance (which is
+/// filled in automatically).
+struct ManifestInfo {
+  std::string producer;      ///< e.g. "smartsim_cli", "bench_engine"
+  std::string command_line;  ///< argv joined, or the bench invocation
+  json::Value config;        ///< echo_config() or a producer-specific echo
+  double wall_seconds = 0.0;
+  const MetricsRegistry* registry = nullptr;  ///< optional metric snapshot
+};
+
+/// Assembles the manifest document: schema tag, producer, command line,
+/// build block, config echo, wall time, and the registry snapshot.
+[[nodiscard]] json::Value manifest_json(const ManifestInfo& info);
+
+/// Writes manifest_json() to `path` (pretty-printed, trailing newline).
+/// Returns false and fills `error` (if non-null) on I/O failure.
+bool write_manifest(const std::string& path, const ManifestInfo& info,
+                    std::string* error = nullptr);
+
+/// Conventional manifest path for an artifact: `<artifact>.manifest.json`.
+[[nodiscard]] std::string manifest_path_for(const std::string& artifact_path);
+
+}  // namespace smart

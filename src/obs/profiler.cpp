@@ -1,0 +1,46 @@
+#include "obs/profiler.hpp"
+
+namespace smart {
+
+ProfileReport Profiler::report() const {
+  ProfileReport out;
+  out.enabled = true;
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < kProfPhaseCount; ++p) {
+    out.phases[p].ns = phase_ns_[p];
+    total += phase_ns_[p];
+  }
+  out.phase_ns_total = total;
+  if (total > 0) {
+    for (std::size_t p = 0; p < kProfPhaseCount; ++p) {
+      out.phases[p].share =
+          static_cast<double>(phase_ns_[p]) / static_cast<double>(total);
+    }
+  }
+  out.cycles = cycles_;
+  out.fused_cycles = fused_cycles_;
+  if (cycles_ > 0) {
+    out.active_switch_fraction_mean =
+        switch_count_ > 0
+            ? active_switch_sum_ /
+                  (static_cast<double>(cycles_) *
+                   static_cast<double>(switch_count_))
+            : 0.0;
+    out.active_nic_fraction_mean =
+        nic_count_ > 0 ? active_nic_sum_ / (static_cast<double>(cycles_) *
+                                            static_cast<double>(nic_count_))
+                       : 0.0;
+  }
+  out.active_switches_max = active_switches_max_;
+  out.active_nics_max = active_nics_max_;
+  out.lane_flits_high_water = lane_high_water_;
+  out.lane_capacity_flits = lane_capacity_;
+  out.generated_packets = generated_packets;
+  out.link_flits = link_flits;
+  out.routed_headers = routed_headers;
+  out.crossbar_flits = crossbar_flits;
+  out.credit_acks = credit_acks;
+  return out;
+}
+
+}  // namespace smart

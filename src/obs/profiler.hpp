@@ -1,0 +1,163 @@
+// Engine self-profiler (observability layer, second generation).
+//
+// Answers "where does the simulator's wall-time go and is the active-set
+// scheduler still earning its keep" — the questions PR 3's 2–3.5× engine
+// speedup raised: without a trajectory, the next change can quietly give
+// the speedup back. Gated behind SimConfig::prof.enabled (--profile) with
+// the same null-check discipline as --obs and --faults: a disabled run
+// never touches the profiler and results stay bit-identical; an enabled
+// run only *reads* engine state (clocks, set occupancy, arena fill), so
+// its results are bit-identical too — tests/test_profiler.cpp pins both.
+//
+// What it measures, per run:
+//   - per-phase wall time (nic / link / routing / crossbar / credits, or
+//     the fused fault-free pass) and each phase's share of the total;
+//   - the fused-path hit rate: fraction of cycles that took the fused
+//     link+routing+crossbar pass (1.0 fault-free, 0.0 once a fault plan
+//     forces the phase-per-pass pipeline);
+//   - dirty-list occupancy: mean/max fill of the active-switch and
+//     active-NIC sets — the scheduler's effectiveness (1.0 means the
+//     active sets degenerated into full scans);
+//   - lane-store high-water mark: peak flits buffered in the arena
+//     against its capacity;
+//   - work counters bumped by the phase translation units (packets
+//     generated, link/crossbar flit moves, headers routed, credits
+//     acknowledged).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace smart {
+
+enum class ProfPhase : std::uint8_t {
+  kNic,       ///< packet generation + source-queue streaming
+  kLink,      ///< link transmission pass (phase-per-pass pipeline)
+  kRouting,   ///< routing pass (phase-per-pass pipeline)
+  kCrossbar,  ///< crossbar pass (phase-per-pass pipeline)
+  kFused,     ///< fused fault-free link+routing+crossbar pass
+  kCredits,   ///< delayed credit acknowledgement
+  kSampling,  ///< observability sampler (only with --obs)
+};
+inline constexpr std::size_t kProfPhaseCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(ProfPhase phase) noexcept {
+  switch (phase) {
+    case ProfPhase::kNic: return "nic";
+    case ProfPhase::kLink: return "link";
+    case ProfPhase::kRouting: return "routing";
+    case ProfPhase::kCrossbar: return "crossbar";
+    case ProfPhase::kFused: return "fused";
+    case ProfPhase::kCredits: return "credits";
+    case ProfPhase::kSampling: return "sampling";
+  }
+  return "unknown";
+}
+
+struct PhaseProfile {
+  std::uint64_t ns = 0;   ///< accumulated wall time
+  double share = 0.0;     ///< ns / sum of all phase ns (0 when idle)
+};
+
+/// The profiler's end-of-run report (SimulationResult::profile). Wall
+/// times are nondeterministic; every other field is bit-deterministic.
+struct ProfileReport {
+  bool enabled = false;
+
+  std::array<PhaseProfile, kProfPhaseCount> phases{};
+  std::uint64_t phase_ns_total = 0;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t fused_cycles = 0;
+  [[nodiscard]] double fused_hit_rate() const noexcept {
+    return cycles > 0
+               ? static_cast<double>(fused_cycles) / static_cast<double>(cycles)
+               : 0.0;
+  }
+
+  // Dirty-list occupancy (active-set scheduler effectiveness).
+  double active_switch_fraction_mean = 0.0;
+  std::uint64_t active_switches_max = 0;
+  double active_nic_fraction_mean = 0.0;
+  std::uint64_t active_nics_max = 0;
+
+  // Lane-store arena fill.
+  std::uint64_t lane_flits_high_water = 0;
+  std::uint64_t lane_capacity_flits = 0;
+
+  // Work counters (bumped in the five phase_*.cpp translation units).
+  std::uint64_t generated_packets = 0;
+  std::uint64_t link_flits = 0;       ///< flit moves across links
+  std::uint64_t routed_headers = 0;   ///< successful output-lane bindings
+  std::uint64_t crossbar_flits = 0;   ///< input→output lane advances
+  std::uint64_t credit_acks = 0;      ///< upstream credit acknowledgements
+
+  [[nodiscard]] const PhaseProfile& phase(ProfPhase p) const noexcept {
+    return phases[static_cast<std::size_t>(p)];
+  }
+};
+
+/// Owned by Network (null unless --profile), written by the engine.
+class Profiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] static Clock::time_point now() noexcept {
+    return Clock::now();
+  }
+
+  /// Charges `t0 → now` to `phase` and returns the new lap start.
+  Clock::time_point lap(Clock::time_point t0, ProfPhase phase) noexcept {
+    const Clock::time_point t1 = Clock::now();
+    phase_ns_[static_cast<std::size_t>(phase)] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    return t1;
+  }
+
+  /// End-of-cycle snapshot of the scheduler state and arena fill.
+  void on_cycle(std::size_t active_switches, std::size_t switch_count,
+                std::size_t active_nics, std::size_t nic_count,
+                std::uint64_t buffered_flits, bool fused) noexcept {
+    ++cycles_;
+    if (fused) ++fused_cycles_;
+    active_switch_sum_ += static_cast<double>(active_switches);
+    active_nic_sum_ += static_cast<double>(active_nics);
+    if (active_switches > active_switches_max_) {
+      active_switches_max_ = active_switches;
+    }
+    if (active_nics > active_nics_max_) active_nics_max_ = active_nics;
+    if (buffered_flits > lane_high_water_) lane_high_water_ = buffered_flits;
+    switch_count_ = switch_count;
+    nic_count_ = nic_count;
+  }
+
+  void set_lane_capacity(std::uint64_t flits) noexcept {
+    lane_capacity_ = flits;
+  }
+
+  [[nodiscard]] ProfileReport report() const;
+
+  // Hot work counters, incremented directly from the phase translation
+  // units behind the engine's `if (prof_)` null checks.
+  std::uint64_t generated_packets = 0;
+  std::uint64_t link_flits = 0;
+  std::uint64_t routed_headers = 0;
+  std::uint64_t crossbar_flits = 0;
+  std::uint64_t credit_acks = 0;
+
+ private:
+  std::array<std::uint64_t, kProfPhaseCount> phase_ns_{};
+  std::uint64_t cycles_ = 0;
+  std::uint64_t fused_cycles_ = 0;
+  double active_switch_sum_ = 0.0;
+  double active_nic_sum_ = 0.0;
+  std::uint64_t active_switches_max_ = 0;
+  std::uint64_t active_nics_max_ = 0;
+  std::uint64_t lane_high_water_ = 0;
+  std::uint64_t lane_capacity_ = 0;
+  std::size_t switch_count_ = 0;
+  std::size_t nic_count_ = 0;
+};
+
+}  // namespace smart

@@ -1,0 +1,204 @@
+#include "obs/registry.hpp"
+
+#include "core/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace smart {
+
+Metric& MetricsRegistry::upsert(std::string name) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) return m;
+  }
+  metrics_.push_back(Metric{});
+  metrics_.back().name = std::move(name);
+  return metrics_.back();
+}
+
+void MetricsRegistry::counter(std::string name, std::uint64_t value,
+                              std::string unit) {
+  Metric& m = upsert(std::move(name));
+  m.kind = MetricKind::kCounter;
+  m.unit = std::move(unit);
+  m.value = static_cast<double>(value);
+}
+
+void MetricsRegistry::gauge(std::string name, double value, std::string unit) {
+  Metric& m = upsert(std::move(name));
+  m.kind = MetricKind::kGauge;
+  m.unit = std::move(unit);
+  m.value = value;
+}
+
+void MetricsRegistry::histogram(std::string name, const Histogram& h,
+                                std::string unit) {
+  HistogramSummary summary;
+  summary.count = h.total();
+  summary.p50 = h.quantile(0.50);
+  summary.p95 = h.quantile(0.95);
+  summary.p99 = h.quantile(0.99);
+  histogram(std::move(name), summary, std::move(unit));
+}
+
+void MetricsRegistry::histogram(std::string name, HistogramSummary summary,
+                                std::string unit) {
+  Metric& m = upsert(std::move(name));
+  m.kind = MetricKind::kHistogram;
+  m.unit = std::move(unit);
+  m.hist = summary;
+}
+
+const Metric* MetricsRegistry::find(std::string_view name) const noexcept {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  json::Value out = json::Value::object();
+  for (const Metric& m : metrics_) {
+    json::Value entry = json::Value::object();
+    entry.set("kind", json::Value(std::string(to_string(m.kind))));
+    if (!m.unit.empty()) entry.set("unit", json::Value(m.unit));
+    if (m.kind == MetricKind::kHistogram) {
+      entry.set("count", json::Value(static_cast<double>(m.hist.count)));
+      entry.set("p50", json::Value(m.hist.p50));
+      entry.set("p95", json::Value(m.hist.p95));
+      entry.set("p99", json::Value(m.hist.p99));
+    } else {
+      entry.set("value", json::Value(m.value));
+    }
+    out.set(m.name, std::move(entry));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json_text(int indent) const {
+  return to_json().dump(indent);
+}
+
+std::optional<MetricsRegistry> MetricsRegistry::from_json(
+    const json::Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  MetricsRegistry reg;
+  for (const auto& [name, entry] : value.members()) {
+    if (!entry.is_object()) return std::nullopt;
+    const auto kind = entry.string_at("kind");
+    if (!kind) return std::nullopt;
+    const std::string unit = entry.string_at("unit").value_or("");
+    if (*kind == "histogram") {
+      HistogramSummary summary;
+      const auto count = entry.number_at("count");
+      const auto p50 = entry.number_at("p50");
+      const auto p95 = entry.number_at("p95");
+      const auto p99 = entry.number_at("p99");
+      if (!count || !p50 || !p95 || !p99) return std::nullopt;
+      summary.count = static_cast<std::uint64_t>(*count);
+      summary.p50 = *p50;
+      summary.p95 = *p95;
+      summary.p99 = *p99;
+      reg.histogram(name, summary, unit);
+    } else if (*kind == "counter" || *kind == "gauge") {
+      const auto v = entry.number_at("value");
+      if (!v) return std::nullopt;
+      if (*kind == "counter") {
+        reg.counter(name, static_cast<std::uint64_t>(*v), unit);
+      } else {
+        reg.gauge(name, *v, unit);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return reg;
+}
+
+// ---- Subsystem registration --------------------------------------------
+
+void register_engine_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  reg.gauge("engine/offered_fraction", r.offered_fraction);
+  reg.gauge("engine/accepted_fraction", r.accepted_fraction);
+  reg.gauge("engine/accepted_flits_per_node_cycle",
+            r.accepted_flits_per_node_cycle, "flits/node/cycle");
+  reg.counter("engine/generated_packets", r.generated_packets);
+  reg.counter("engine/delivered_packets", r.delivered_packets);
+  reg.counter("engine/delivered_flits", r.delivered_flits);
+  reg.counter("engine/measured_cycles", r.measured_cycles);
+  reg.gauge("engine/latency_mean", r.latency_cycles.mean(), "cycles");
+  reg.gauge("engine/hops_mean", r.hops.mean());
+  reg.gauge("engine/link_utilization_mean", r.link_utilization.mean());
+  reg.gauge("engine/throughput_swing", r.throughput_swing());
+  reg.counter("engine/deadlocked", r.deadlocked ? 1 : 0);
+  // The saturation tail the paper's averages hide: p50/p95/p99 from the
+  // streaming latency histogram, registered as one histogram metric.
+  reg.histogram("latency/cycles", r.latency_histogram, "cycles");
+}
+
+void register_fault_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  reg.counter("fault/unroutable_packets", r.unroutable_packets);
+  reg.counter("fault/dropped_packets", r.dropped_packets);
+  reg.counter("fault/dropped_flits", r.dropped_flits);
+  reg.counter("fault/epochs", r.fault_epochs.size());
+  reg.counter("fault/active_at_end", r.active_faults_end);
+  reg.gauge("fault/stall_verdict",
+            static_cast<double>(static_cast<unsigned>(r.stall_verdict)));
+  reg.counter("fault/drain_cycles", r.drain_cycles);
+  reg.counter("fault/drain_delivered_packets", r.drain_delivered_packets);
+}
+
+void register_obs_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  reg.counter("obs/stall_events", r.obs.stalls.total());
+  for (std::size_t c = 0; c < kStallCauseCount; ++c) {
+    reg.counter(std::string("obs/stall_") +
+                    to_string(static_cast<StallCause>(c)),
+                r.obs.stalls.by_cause[c]);
+  }
+  reg.counter("obs/switch_frozen_cycles", r.obs.switch_frozen_cycles);
+}
+
+void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p) {
+  // Deterministic scheduler-effectiveness gauges.
+  reg.gauge("profile/fused_hit_rate", p.fused_hit_rate());
+  reg.counter("profile/cycles", p.cycles);
+  reg.counter("profile/fused_cycles", p.fused_cycles);
+  reg.gauge("profile/active_switch_fraction_mean",
+            p.active_switch_fraction_mean);
+  reg.counter("profile/active_switches_max", p.active_switches_max);
+  reg.gauge("profile/active_nic_fraction_mean", p.active_nic_fraction_mean);
+  reg.counter("profile/active_nics_max", p.active_nics_max);
+  reg.counter("profile/lane_flits_high_water", p.lane_flits_high_water);
+  reg.counter("profile/lane_capacity_flits", p.lane_capacity_flits);
+  reg.counter("profile/generated_packets", p.generated_packets);
+  reg.counter("profile/link_flits", p.link_flits);
+  reg.counter("profile/routed_headers", p.routed_headers);
+  reg.counter("profile/crossbar_flits", p.crossbar_flits);
+  reg.counter("profile/credit_acks", p.credit_acks);
+  // Wall-time shares are noisy: the whole slice lives in the advisory
+  // time/ namespace so an A/B report never fails on scheduler jitter.
+  for (std::size_t i = 0; i < kProfPhaseCount; ++i) {
+    const auto phase = static_cast<ProfPhase>(i);
+    reg.gauge(std::string("time/profile_share_") + to_string(phase),
+              p.phase(phase).share);
+  }
+  reg.gauge("time/profile_phase_ns_total",
+            static_cast<double>(p.phase_ns_total), "ns");
+}
+
+void register_time_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  reg.gauge("time/sim_wall_seconds", r.sim_wall_seconds, "s");
+  reg.gauge("time/sim_cycles_per_second", r.sim_cycles_per_second, "1/s");
+  reg.gauge("time/sim_mflits_per_second", r.sim_mflits_per_second, "M/s");
+}
+
+void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  register_engine_metrics(reg, r);
+  if (!r.fault_epochs.empty() || r.unroutable_packets > 0 ||
+      r.active_faults_end > 0) {
+    register_fault_metrics(reg, r);
+  }
+  if (r.obs.enabled) register_obs_metrics(reg, r);
+  if (r.profile.enabled) register_profile_metrics(reg, r.profile);
+  register_time_metrics(reg, r);
+}
+
+}  // namespace smart

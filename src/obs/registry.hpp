@@ -1,0 +1,112 @@
+// Metrics registry (observability layer, second generation).
+//
+// Every number the simulator wants to expose outside a single run — engine
+// throughput/latency, fault resilience counters, stall attribution, the
+// self-profiler's scheduler statistics, wall-clock self-metrics — is
+// registered here under a stable slash-namespaced name and serialized
+// uniformly into the run manifest JSON. The same discipline large
+// simulators like gem5 apply: one per-component stats registry, dumped in
+// one format, so tooling (tools/smartsim_report) can diff any two runs
+// per metric without knowing which subsystem produced it.
+//
+// Naming convention (load-bearing for the regression tool):
+//   engine/...   deterministic per-run results (bit-stable per config+seed)
+//   latency/...  latency distribution summaries (deterministic)
+//   fault/...    resilience counters (deterministic)
+//   obs/...      stall attribution totals (deterministic)
+//   profile/...  scheduler-effectiveness gauges (deterministic)
+//   time/...     wall-clock self-metrics — inherently noisy; the report
+//                tool treats the whole namespace as advisory (warn-only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace smart {
+
+struct SimulationResult;
+struct ProfileReport;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// Streaming-histogram summary registered for distribution metrics: the
+/// sample count plus the saturation-tail percentiles the paper's averages
+/// hide (satellite of this PR — the mean alone shows saturation last).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kGauge;
+  std::string unit;           ///< optional human hint ("cycles", "s", ...)
+  double value = 0.0;         ///< counter/gauge payload
+  HistogramSummary hist;      ///< histogram payload
+};
+
+/// Named typed metrics, insertion-ordered, upserted by name.
+class MetricsRegistry {
+ public:
+  void counter(std::string name, std::uint64_t value, std::string unit = {});
+  void gauge(std::string name, double value, std::string unit = {});
+  void histogram(std::string name, const Histogram& h, std::string unit = {});
+  void histogram(std::string name, HistogramSummary summary,
+                 std::string unit = {});
+
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return metrics_.empty(); }
+  [[nodiscard]] const Metric* find(std::string_view name) const noexcept;
+
+  /// One JSON object keyed by metric name (insertion order preserved).
+  [[nodiscard]] json::Value to_json() const;
+  /// Serialized to_json(); `indent` as in json::Value::dump.
+  [[nodiscard]] std::string to_json_text(int indent = 2) const;
+
+  /// Rebuilds a registry from a to_json() object; nullopt on shape errors.
+  [[nodiscard]] static std::optional<MetricsRegistry> from_json(
+      const json::Value& value);
+
+ private:
+  Metric& upsert(std::string name);
+
+  std::vector<Metric> metrics_;
+};
+
+// ---- Subsystem registration --------------------------------------------
+//
+// Each subsystem contributes its slice of a run's registry; register_run
+// is the umbrella the CLI and manifest writers call.
+
+void register_engine_metrics(MetricsRegistry& reg, const SimulationResult& r);
+void register_fault_metrics(MetricsRegistry& reg, const SimulationResult& r);
+void register_obs_metrics(MetricsRegistry& reg, const SimulationResult& r);
+void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p);
+/// Wall-clock self-metrics; everything lands in the advisory time/ space.
+void register_time_metrics(MetricsRegistry& reg, const SimulationResult& r);
+
+/// Registers every slice that applies to `r` (fault/obs/profile slices
+/// only when the corresponding subsystem ran).
+void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r);
+
+}  // namespace smart

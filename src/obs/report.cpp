@@ -1,0 +1,231 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace smart {
+namespace {
+
+// Sweeps prefix each point's slice (e.g. "load=0.300/time/..."), so the
+// advisory namespace matches as a leading prefix or as a path segment.
+bool is_time_metric(std::string_view name) {
+  return name.rfind("time/", 0) == 0 ||
+         name.find("/time/") != std::string_view::npos;
+}
+
+/// Relative drift of b against a, tolerant of a zero baseline.
+double relative_delta(double a, double b) {
+  if (a == b) return 0.0;
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 0.0;
+  return std::abs(b - a) / denom;
+}
+
+void add_scalar_row(ReportResult& result, const std::string& producer,
+                    const std::string& name, double a, double b,
+                    const ReportOptions& options) {
+  MetricVerdict row;
+  row.producer = producer;
+  row.metric = name;
+  row.a = a;
+  row.b = b;
+  if (a != 0.0) {
+    row.ratio = b / a;
+    row.has_ratio = true;
+  }
+  const double delta = relative_delta(a, b);
+  if (is_time_metric(name)) {
+    row.verdict =
+        delta > options.time_threshold ? Verdict::kWarn : Verdict::kPass;
+    if (row.verdict == Verdict::kWarn) ++result.warnings;
+  } else {
+    row.verdict = delta > options.threshold ? Verdict::kFail : Verdict::kPass;
+    if (row.verdict == Verdict::kFail) ++result.failures;
+  }
+  result.rows.push_back(std::move(row));
+}
+
+bool manifest_filename(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  if (name.size() > 14 &&
+      name.compare(name.size() - 14, 14, ".manifest.json") == 0) {
+    return true;
+  }
+  return name.rfind("MANIFEST_", 0) == 0 && p.extension() == ".json";
+}
+
+}  // namespace
+
+bool load_manifest_dir(const std::string& dir, std::vector<ManifestDoc>* out,
+                       std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (error != nullptr) *error = dir + " is not a directory";
+    return false;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && manifest_filename(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    if (error != nullptr) *error = "cannot read " + dir + ": " + ec.message();
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::string parse_error;
+    const auto doc = json::parse_file(path.string(), &parse_error);
+    if (!doc) {
+      if (error != nullptr) *error = path.string() + ": " + parse_error;
+      return false;
+    }
+    ManifestDoc manifest;
+    manifest.path = path.string();
+    manifest.producer = doc->string_at("producer").value_or(
+        path.filename().string());
+    if (const json::Value* metrics = doc->find("metrics")) {
+      auto registry = MetricsRegistry::from_json(*metrics);
+      if (!registry) {
+        if (error != nullptr) {
+          *error = path.string() + ": malformed metrics block";
+        }
+        return false;
+      }
+      manifest.metrics = std::move(*registry);
+    }
+    out->push_back(std::move(manifest));
+  }
+  return true;
+}
+
+ReportResult compare_registries(const std::string& producer,
+                                const MetricsRegistry& a,
+                                const MetricsRegistry& b,
+                                const ReportOptions& options) {
+  ReportResult result;
+  for (const Metric& ma : a.metrics()) {
+    const Metric* mb = b.find(ma.name);
+    if (mb == nullptr) {
+      MetricVerdict row;
+      row.producer = producer;
+      row.metric = ma.name;
+      row.a = ma.kind == MetricKind::kHistogram
+                  ? static_cast<double>(ma.hist.count)
+                  : ma.value;
+      row.verdict = Verdict::kMissing;
+      ++result.failures;
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+    if (ma.kind == MetricKind::kHistogram &&
+        mb->kind == MetricKind::kHistogram) {
+      add_scalar_row(result, producer, ma.name + "/count",
+                     static_cast<double>(ma.hist.count),
+                     static_cast<double>(mb->hist.count), options);
+      add_scalar_row(result, producer, ma.name + "/p50", ma.hist.p50,
+                     mb->hist.p50, options);
+      add_scalar_row(result, producer, ma.name + "/p95", ma.hist.p95,
+                     mb->hist.p95, options);
+      add_scalar_row(result, producer, ma.name + "/p99", ma.hist.p99,
+                     mb->hist.p99, options);
+    } else {
+      add_scalar_row(result, producer, ma.name, ma.value, mb->value, options);
+    }
+  }
+  for (const Metric& mb : b.metrics()) {
+    if (a.find(mb.name) != nullptr) continue;
+    MetricVerdict row;
+    row.producer = producer;
+    row.metric = mb.name;
+    row.b = mb.kind == MetricKind::kHistogram
+                ? static_cast<double>(mb.hist.count)
+                : mb.value;
+    row.verdict = Verdict::kNew;
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+ReportResult compare_manifest_dirs(const std::string& dir_a,
+                                   const std::string& dir_b,
+                                   const ReportOptions& options,
+                                   std::string* error) {
+  ReportResult result;
+  std::vector<ManifestDoc> docs_a;
+  std::vector<ManifestDoc> docs_b;
+  if (!load_manifest_dir(dir_a, &docs_a, error) ||
+      !load_manifest_dir(dir_b, &docs_b, error)) {
+    result.failures = 1;
+    return result;
+  }
+  if (docs_a.empty()) {
+    if (error != nullptr) *error = "no manifests found in " + dir_a;
+    result.failures = 1;
+    return result;
+  }
+  // Pair by producer; duplicate producers within one directory pair up in
+  // filename order.
+  std::map<std::string, std::vector<const ManifestDoc*>> by_producer_b;
+  for (const ManifestDoc& doc : docs_b) {
+    by_producer_b[doc.producer].push_back(&doc);
+  }
+  std::map<std::string, std::size_t> next_b;
+  for (const ManifestDoc& doc : docs_a) {
+    auto it = by_producer_b.find(doc.producer);
+    const std::size_t index = next_b[doc.producer]++;
+    if (it == by_producer_b.end() || index >= it->second.size()) {
+      result.notes.push_back("producer '" + doc.producer + "' (" + doc.path +
+                             ") has no counterpart in " + dir_b);
+      ++result.failures;
+      continue;
+    }
+    ReportResult pair = compare_registries(doc.producer, doc.metrics,
+                                           it->second[index]->metrics,
+                                           options);
+    result.failures += pair.failures;
+    result.warnings += pair.warnings;
+    result.rows.insert(result.rows.end(),
+                       std::make_move_iterator(pair.rows.begin()),
+                       std::make_move_iterator(pair.rows.end()));
+  }
+  for (const auto& [producer, docs] : by_producer_b) {
+    const std::size_t used = next_b[producer];
+    for (std::size_t i = used; i < docs.size(); ++i) {
+      result.notes.push_back("producer '" + producer + "' (" +
+                             docs[i]->path + ") is new in " + dir_b);
+    }
+  }
+  return result;
+}
+
+std::string render_report(const ReportResult& result) {
+  Table table({"producer", "metric", "baseline", "candidate", "ratio",
+               "verdict"});
+  for (const MetricVerdict& row : result.rows) {
+    table.begin_row()
+        .add_cell(row.producer)
+        .add_cell(row.metric)
+        .add_cell(row.a, 6)
+        .add_cell(row.b, 6)
+        .add_cell(row.has_ratio ? format_double(row.ratio, 4) : "-")
+        .add_cell(to_string(row.verdict));
+  }
+  std::string out = table.to_text();
+  for (const std::string& note : result.notes) {
+    out += "note: " + note + "\n";
+  }
+  out += "summary: " + std::to_string(result.rows.size()) + " metrics, " +
+         std::to_string(result.failures) + " failures, " +
+         std::to_string(result.warnings) + " warnings\n";
+  return out;
+}
+
+}  // namespace smart

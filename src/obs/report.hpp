@@ -1,0 +1,99 @@
+// Perf-regression comparison between two manifest directories.
+//
+// tools/smartsim_report is a thin CLI over this library: load every
+// manifest in directories A (baseline) and B (candidate), pair them by
+// producer, diff the metric registries metric by metric, and render a
+// verdict table. The metric namespace encodes the comparison policy (see
+// registry.hpp): deterministic namespaces (engine/, latency/, fault/,
+// obs/, profile/) fail the report when they drift beyond the threshold —
+// for a fixed config and seed they are bit-stable, so any drift is a
+// behavioural change; the time/ namespace is wall-clock noise and is only
+// ever advisory (warn).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace smart {
+
+struct ReportOptions {
+  /// Relative drift tolerated on deterministic metrics before a fail.
+  double threshold = 0.05;
+  /// Relative drift tolerated on time/ metrics before a warn (wall clock
+  /// jitters far more than simulation results; never a hard failure).
+  double time_threshold = 0.25;
+};
+
+enum class Verdict : std::uint8_t {
+  kPass,     ///< within threshold
+  kWarn,     ///< advisory drift (time/ namespace only)
+  kFail,     ///< deterministic metric drifted beyond threshold
+  kMissing,  ///< metric present in A but absent in B: shape break, fails
+  kNew,      ///< metric only in B: informational, passes
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kWarn: return "WARN";
+    case Verdict::kFail: return "FAIL";
+    case Verdict::kMissing: return "MISSING";
+    case Verdict::kNew: return "new";
+  }
+  return "?";
+}
+
+/// One row of the verdict table. Histogram metrics expand into one row per
+/// percentile (`name/p50` ...) plus the sample count.
+struct MetricVerdict {
+  std::string producer;
+  std::string metric;
+  double a = 0.0;
+  double b = 0.0;
+  double ratio = 0.0;   ///< b / a; meaningful only when has_ratio
+  bool has_ratio = false;
+  Verdict verdict = Verdict::kPass;
+};
+
+struct ReportResult {
+  std::vector<MetricVerdict> rows;
+  std::vector<std::string> notes;  ///< unpaired manifests etc.
+  int failures = 0;                ///< kFail + kMissing rows
+  int warnings = 0;                ///< kWarn rows
+
+  [[nodiscard]] bool ok() const noexcept { return failures == 0; }
+};
+
+/// One parsed manifest: where it came from and its metric snapshot.
+struct ManifestDoc {
+  std::string path;
+  std::string producer;
+  MetricsRegistry metrics;
+};
+
+/// Loads every `*.manifest.json` / `MANIFEST_*.json` in `dir` (sorted by
+/// filename). Returns false and fills `error` when the directory cannot be
+/// read or a manifest fails to parse.
+bool load_manifest_dir(const std::string& dir, std::vector<ManifestDoc>* out,
+                       std::string* error);
+
+/// Diffs two registries metric by metric under the namespace policy.
+[[nodiscard]] ReportResult compare_registries(const std::string& producer,
+                                              const MetricsRegistry& a,
+                                              const MetricsRegistry& b,
+                                              const ReportOptions& options);
+
+/// Loads both directories, pairs manifests by producer, and concatenates
+/// the per-pair comparisons. Manifests without a partner are reported in
+/// `notes` (a producer missing from B counts as a failure).
+[[nodiscard]] ReportResult compare_manifest_dirs(const std::string& dir_a,
+                                                 const std::string& dir_b,
+                                                 const ReportOptions& options,
+                                                 std::string* error);
+
+/// Renders the verdict table plus a one-line summary.
+[[nodiscard]] std::string render_report(const ReportResult& result);
+
+}  // namespace smart

@@ -1,0 +1,113 @@
+// Minimal JSON document model, writer and parser.
+//
+// The repo emits several JSON artifacts (bench reports, run manifests,
+// metric registries) and the perf-regression tool must read them back.
+// This is deliberately a small, self-contained subset: objects preserve
+// insertion order, numbers are doubles, strings are escaped per RFC 8259
+// (the escapes we emit; the parser additionally accepts \uXXXX for ASCII).
+// It is not a general-purpose library — it exists so every producer and
+// consumer in the repo shares one serialization dialect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smart::json {
+
+/// Escapes and quotes `value` for embedding in a JSON document.
+[[nodiscard]] std::string quote(std::string_view value);
+
+/// Formats a double the way our writers do: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+[[nodiscard]] std::string number(double value);
+
+/// One JSON value. Objects keep their members in insertion order so the
+/// documents we write diff cleanly between runs.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  [[nodiscard]] static Value array();
+  [[nodiscard]] static Value object();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+
+  [[nodiscard]] const std::vector<Value>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Object member by key; null when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Member lookups with a type check; nullopt when absent or mistyped.
+  [[nodiscard]] std::optional<double> number_at(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> string_at(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<bool> bool_at(std::string_view key) const;
+
+  void push_back(Value v);                      ///< array append
+  void set(std::string key, Value v);           ///< object upsert
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one JSON document. Returns nullopt on malformed input and, when
+/// `error` is non-null, a one-line description with the byte offset.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
+
+/// Reads and parses a JSON file; nullopt on I/O or parse failure.
+[[nodiscard]] std::optional<Value> parse_file(const std::string& path,
+                                              std::string* error = nullptr);
+
+}  // namespace smart::json

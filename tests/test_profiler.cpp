@@ -1,0 +1,433 @@
+// Self-profiler, metrics registry, run manifest and regression report.
+//
+// The profiler obeys the repo's instrumentation contract: disabled it is
+// one null check per hook site, enabled it only *reads* engine state — so
+// simulation results must be bit-identical either way. The golden values
+// here repeat tests/test_engine_refactor.cpp (pinned on the pre-profiler
+// engine); any drift with --profile on is a profiler bug. The registry,
+// manifest and report tests cover the rest of the observability tentpole:
+// JSON round-trips, manifest shape, and the report tool's verdict policy
+// (deterministic namespaces fail on drift, time/ only warns).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "core/network.hpp"
+#include "obs/manifest.hpp"
+#include "obs/report.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig golden_cube_config() {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  return config;
+}
+
+SimConfig golden_faulted_config() {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.5;
+  config.traffic.seed = 11;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  config.timing.drain_after_horizon = true;
+  config.faults.add_link(0, 0, 500, 2500);
+  config.faults.add_switch(5, 800, 2000);
+  return config;
+}
+
+double share_sum(const ProfileReport& prof) {
+  double sum = 0.0;
+  for (const PhaseProfile& phase : prof.phases) sum += phase.share;
+  return sum;
+}
+
+TEST(Profiler, DisabledByDefault) {
+  Network network(golden_cube_config());
+  const SimulationResult& r = network.run();
+  EXPECT_EQ(network.profiler(), nullptr);
+  EXPECT_FALSE(r.profile.enabled);
+  EXPECT_EQ(r.profile.cycles, 0U);
+}
+
+// The full golden pin from test_engine_refactor.cpp with the profiler on:
+// enabling instrumentation must not change a single RNG draw.
+TEST(Profiler, BitIdenticalWithProfilerEnabled) {
+  SimConfig config = golden_cube_config();
+  config.prof.enabled = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.46166666666666667);
+  EXPECT_EQ(r.generated_packets, 1650U);
+  EXPECT_EQ(r.delivered_packets, 1662U);
+  EXPECT_EQ(r.delivered_flits, 26592U);
+  EXPECT_EQ(r.measured_cycles, 3600U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 42.521660649819474);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 4.0992779783393649);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.31429976851851849);
+}
+
+TEST(Profiler, FaultFreeRunReportsFusedPath) {
+  SimConfig config = golden_cube_config();
+  config.prof.enabled = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+  const ProfileReport& prof = r.profile;
+
+  ASSERT_TRUE(prof.enabled);
+  EXPECT_EQ(prof.cycles, 4000U);
+  // Fault-free: every cycle takes the fused link+routing+crossbar pass.
+  EXPECT_EQ(prof.fused_cycles, prof.cycles);
+  EXPECT_DOUBLE_EQ(prof.fused_hit_rate(), 1.0);
+  EXPECT_EQ(prof.phase(ProfPhase::kLink).ns, 0U);
+  EXPECT_EQ(prof.phase(ProfPhase::kRouting).ns, 0U);
+  EXPECT_EQ(prof.phase(ProfPhase::kCrossbar).ns, 0U);
+  EXPECT_GT(prof.phase(ProfPhase::kFused).ns, 0U);
+  EXPECT_GT(prof.phase_ns_total, 0U);
+  EXPECT_NEAR(share_sum(prof), 1.0, 1e-9);
+
+  // Scheduler occupancy: fractions in [0, 1], maxima within the fabric.
+  EXPECT_GT(prof.active_switch_fraction_mean, 0.0);
+  EXPECT_LE(prof.active_switch_fraction_mean, 1.0);
+  EXPECT_LE(prof.active_switches_max, 16U);  // 4-ary 2-cube: 16 switches
+  EXPECT_GT(prof.active_nic_fraction_mean, 0.0);
+  EXPECT_LE(prof.active_nic_fraction_mean, 1.0);
+  EXPECT_LE(prof.active_nics_max, 16U);
+
+  // Arena fill: high water within capacity.
+  EXPECT_GT(prof.lane_capacity_flits, 0U);
+  EXPECT_GT(prof.lane_flits_high_water, 0U);
+  EXPECT_LE(prof.lane_flits_high_water, prof.lane_capacity_flits);
+
+  // Work counters: whole-run totals, so generation exceeds the window's.
+  EXPECT_GE(prof.generated_packets, r.generated_packets);
+  EXPECT_GT(prof.link_flits, 0U);
+  EXPECT_GT(prof.routed_headers, 0U);
+  EXPECT_GT(prof.crossbar_flits, 0U);
+  EXPECT_EQ(prof.credit_acks, prof.crossbar_flits);  // fault-free: no drains
+}
+
+TEST(Profiler, FaultedRunTakesPhasePerPassPipeline) {
+  SimConfig config = golden_faulted_config();
+  config.prof.enabled = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+
+  // Golden pins from test_engine_refactor.cpp — unchanged under --profile.
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.47444444444444445);
+  EXPECT_EQ(r.unroutable_packets, 50U);
+  EXPECT_EQ(r.dropped_flits, 800U);
+  EXPECT_EQ(r.drain_cycles, 100U);
+
+  const ProfileReport& prof = r.profile;
+  ASSERT_TRUE(prof.enabled);
+  // A fault plan forces phase-per-pass every cycle: no fused hits at all.
+  EXPECT_LT(prof.fused_hit_rate(), 1.0);
+  EXPECT_EQ(prof.fused_cycles, 0U);
+  EXPECT_EQ(prof.phase(ProfPhase::kFused).ns, 0U);
+  EXPECT_GT(prof.phase(ProfPhase::kLink).ns, 0U);
+  EXPECT_GT(prof.phase(ProfPhase::kRouting).ns, 0U);
+  EXPECT_GT(prof.phase(ProfPhase::kCrossbar).ns, 0U);
+  EXPECT_NEAR(share_sum(prof), 1.0, 1e-9);
+}
+
+TEST(Registry, RoundTripsThroughJson) {
+  SimConfig config = golden_cube_config();
+  config.prof.enabled = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+
+  MetricsRegistry reg;
+  register_run_metrics(reg, r);
+  ASSERT_FALSE(reg.empty());
+  ASSERT_NE(reg.find("engine/accepted_fraction"), nullptr);
+  ASSERT_NE(reg.find("latency/cycles"), nullptr);
+  ASSERT_NE(reg.find("profile/fused_hit_rate"), nullptr);
+  ASSERT_NE(reg.find("time/sim_wall_seconds"), nullptr);
+
+  std::string error;
+  const auto parsed = json::parse(reg.to_json_text(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto back = MetricsRegistry::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const Metric& a = reg.metrics()[i];
+    const Metric& b = back->metrics()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.unit, b.unit);
+    if (a.kind == MetricKind::kHistogram) {
+      EXPECT_EQ(a.hist.count, b.hist.count);
+      EXPECT_DOUBLE_EQ(a.hist.p50, b.hist.p50);
+      EXPECT_DOUBLE_EQ(a.hist.p95, b.hist.p95);
+      EXPECT_DOUBLE_EQ(a.hist.p99, b.hist.p99);
+    } else {
+      EXPECT_DOUBLE_EQ(a.value, b.value);
+    }
+  }
+}
+
+TEST(Registry, UpsertsByName) {
+  MetricsRegistry reg;
+  reg.counter("a/one", 1);
+  reg.counter("a/one", 2);
+  reg.gauge("a/two", 0.5);
+  EXPECT_EQ(reg.size(), 2U);
+  EXPECT_DOUBLE_EQ(reg.find("a/one")->value, 2.0);
+}
+
+TEST(Manifest, WritesAndParsesBack) {
+  SimConfig config = golden_cube_config();
+  config.prof.enabled = true;
+  Network network(config);
+  const SimulationResult& r = network.run();
+
+  MetricsRegistry reg;
+  register_run_metrics(reg, r);
+
+  ManifestInfo info;
+  info.producer = "test_profiler";
+  info.command_line = "test_profiler --golden";
+  info.config = echo_config(config, /*clock_ns=*/5.0);
+  info.wall_seconds = r.sim_wall_seconds;
+  info.registry = &reg;
+
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "run.manifest.json")
+          .string();
+  std::string error;
+  ASSERT_TRUE(write_manifest(path, info, &error)) << error;
+
+  const auto doc = json::parse_file(path, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->string_at("schema").value_or(""), "smartsim-manifest-v1");
+  EXPECT_EQ(doc->string_at("producer").value_or(""), "test_profiler");
+  const json::Value* build = doc->find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->string_at("git_describe").value_or("").empty());
+  EXPECT_FALSE(build->string_at("compiler").value_or("").empty());
+  const json::Value* echo = doc->find("config");
+  ASSERT_NE(echo, nullptr);
+  const json::Value* net = echo->find("network");
+  ASSERT_NE(net, nullptr);
+  EXPECT_EQ(net->string_at("topology").value_or(""), "cube");
+  EXPECT_DOUBLE_EQ(net->number_at("clock_ns").value_or(0.0), 5.0);
+  EXPECT_TRUE(echo->bool_at("profile_enabled").value_or(false));
+
+  const json::Value* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const auto back = MetricsRegistry::from_json(*metrics);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), reg.size());
+}
+
+TEST(Report, IdenticalRegistriesPass) {
+  MetricsRegistry reg;
+  reg.gauge("engine/accepted_fraction", 0.45);
+  reg.counter("engine/delivered_packets", 1000);
+  const ReportResult result =
+      compare_registries("cli", reg, reg, ReportOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.warnings, 0);
+  for (const MetricVerdict& row : result.rows) {
+    EXPECT_EQ(row.verdict, Verdict::kPass) << row.metric;
+  }
+}
+
+TEST(Report, DeterministicDriftFails) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("engine/accepted_fraction", 0.45);
+  b.gauge("engine/accepted_fraction", 0.40);  // 11 % drop: regression
+  const ReportResult result = compare_registries("cli", a, b, ReportOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failures, 1);
+  EXPECT_EQ(result.rows[0].verdict, Verdict::kFail);
+}
+
+TEST(Report, TimeNamespaceOnlyWarns) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("time/sim_wall_seconds", 1.0);
+  b.gauge("time/sim_wall_seconds", 2.0);  // 2x slower: advisory only
+  a.gauge("load=0.300/time/sim_wall_seconds", 1.0);
+  b.gauge("load=0.300/time/sim_wall_seconds", 2.0);  // sweep-prefixed too
+  const ReportResult result = compare_registries("cli", a, b, ReportOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.warnings, 2);
+  EXPECT_EQ(result.rows[0].verdict, Verdict::kWarn);
+  EXPECT_EQ(result.rows[1].verdict, Verdict::kWarn);
+}
+
+TEST(Report, MissingMetricFailsNewMetricPasses) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("engine/accepted_fraction", 0.45);
+  a.gauge("engine/latency_mean", 40.0);
+  b.gauge("engine/accepted_fraction", 0.45);
+  b.gauge("engine/hops_mean", 4.0);  // new in B
+  const ReportResult result = compare_registries("cli", a, b, ReportOptions{});
+  EXPECT_FALSE(result.ok());  // latency_mean vanished: shape break
+  EXPECT_EQ(result.failures, 1);
+  bool saw_missing = false;
+  bool saw_new = false;
+  for (const MetricVerdict& row : result.rows) {
+    if (row.metric == "engine/latency_mean") {
+      EXPECT_EQ(row.verdict, Verdict::kMissing);
+      saw_missing = true;
+    }
+    if (row.metric == "engine/hops_mean") {
+      EXPECT_EQ(row.verdict, Verdict::kNew);
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(Report, HistogramsCompareByPercentile) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.histogram("latency/cycles", HistogramSummary{100, 40.0, 70.0, 90.0});
+  b.histogram("latency/cycles", HistogramSummary{100, 40.0, 70.0, 140.0});
+  const ReportResult result = compare_registries("cli", a, b, ReportOptions{});
+  EXPECT_FALSE(result.ok());  // p99 blew up by > 5 %
+  bool p99_failed = false;
+  for (const MetricVerdict& row : result.rows) {
+    if (row.metric == "latency/cycles/p99") {
+      EXPECT_EQ(row.verdict, Verdict::kFail);
+      p99_failed = true;
+    } else {
+      EXPECT_EQ(row.verdict, Verdict::kPass) << row.metric;
+    }
+  }
+  EXPECT_TRUE(p99_failed);
+}
+
+TEST(Report, ComparesManifestDirectories) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "report_dirs";
+  fs::remove_all(root);
+  fs::create_directories(root / "a");
+  fs::create_directories(root / "b");
+
+  MetricsRegistry base;
+  base.gauge("engine/accepted_fraction", 0.45);
+  base.gauge("time/sim_wall_seconds", 1.0);
+  MetricsRegistry drifted;
+  drifted.gauge("engine/accepted_fraction", 0.30);  // regression
+  drifted.gauge("time/sim_wall_seconds", 1.1);
+
+  ManifestInfo info;
+  info.producer = "smartsim_cli";
+  info.command_line = "test";
+  info.registry = &base;
+  std::string error;
+  ASSERT_TRUE(
+      write_manifest((root / "a" / "run.manifest.json").string(), info,
+                     &error))
+      << error;
+  ASSERT_TRUE(
+      write_manifest((root / "b" / "run.manifest.json").string(), info,
+                     &error))
+      << error;
+
+  ReportResult same = compare_manifest_dirs((root / "a").string(),
+                                            (root / "b").string(),
+                                            ReportOptions{}, &error);
+  EXPECT_TRUE(same.ok()) << error << "\n" << render_report(same);
+
+  info.registry = &drifted;
+  ASSERT_TRUE(
+      write_manifest((root / "b" / "run.manifest.json").string(), info,
+                     &error))
+      << error;
+  ReportResult diff = compare_manifest_dirs((root / "a").string(),
+                                            (root / "b").string(),
+                                            ReportOptions{}, &error);
+  EXPECT_FALSE(diff.ok());
+  const std::string rendered = render_report(diff);
+  EXPECT_NE(rendered.find("FAIL"), std::string::npos);
+  EXPECT_NE(rendered.find("summary:"), std::string::npos);
+}
+
+TEST(Report, UnpairedProducerFails) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "report_unpaired";
+  fs::remove_all(root);
+  fs::create_directories(root / "a");
+  fs::create_directories(root / "b");
+
+  MetricsRegistry reg;
+  reg.gauge("engine/accepted_fraction", 0.45);
+  ManifestInfo info;
+  info.producer = "smartsim_cli";
+  info.registry = &reg;
+  std::string error;
+  ASSERT_TRUE(write_manifest((root / "a" / "run.manifest.json").string(),
+                             info, &error))
+      << error;
+  // b stays empty of this producer.
+  info.producer = "something_else";
+  ASSERT_TRUE(write_manifest((root / "b" / "other.manifest.json").string(),
+                             info, &error))
+      << error;
+
+  const ReportResult result = compare_manifest_dirs(
+      (root / "a").string(), (root / "b").string(), ReportOptions{}, &error);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.notes.empty());
+}
+
+TEST(Json, ParsesAndDumpsRoundTrip) {
+  const std::string text =
+      R"({"s": "a\"b\\c\nd", "n": -12.5, "i": 42, "b": true, "z": null,)"
+      R"( "arr": [1, 2, {"k": "v"}], "obj": {"nested": false}})";
+  std::string error;
+  const auto value = json::parse(text, &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  EXPECT_EQ(value->string_at("s").value_or(""), "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(value->number_at("n").value_or(0.0), -12.5);
+  EXPECT_DOUBLE_EQ(value->number_at("i").value_or(0.0), 42.0);
+  EXPECT_TRUE(value->bool_at("b").value_or(false));
+  ASSERT_NE(value->find("z"), nullptr);
+  EXPECT_TRUE(value->find("z")->is_null());
+  ASSERT_NE(value->find("arr"), nullptr);
+  EXPECT_EQ(value->find("arr")->items().size(), 3U);
+
+  // Dump and re-parse: structurally identical.
+  const auto again = json::parse(value->dump(2), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->dump(), value->dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(json::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(json::parse("nope").has_value());
+  EXPECT_FALSE(json::parse("{\"a\": 1} trailing").has_value());
+  std::string error;
+  EXPECT_FALSE(json::parse("{\"a\": tru}", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace smart

@@ -22,6 +22,8 @@
 
 #include "core/experiment.hpp"
 #include "core/network.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 
 namespace {
 
@@ -72,6 +74,13 @@ void usage() {
       "                              every packet (implies --obs; single\n"
       "                              run only, not --sweep)\n"
       "  --trace-hops                add per-switch hop slices to the trace\n"
+      "  --profile                   engine self-profiler: per-phase time\n"
+      "                              shares, fused-path hit rate, dirty-list\n"
+      "                              occupancy (opt-in, results unchanged)\n"
+      "  --manifest <path>           write a run manifest (config echo,\n"
+      "                              build provenance, metrics registry);\n"
+      "                              default <csv>.manifest.json with --csv\n"
+      "  --version                   print build provenance and exit\n"
       "exit status: 0 ok, 1 usage, 2 deadlock, 3 unroutable traffic\n");
 }
 
@@ -111,6 +120,7 @@ int main(int argc, char** argv) {
   unsigned replications = 1;
   unsigned threads = 1;
   std::string csv_path;
+  std::string manifest_path;
   std::string faults_spec;
   double fault_rate = 0.0;
   std::uint64_t fault_cycle = 0;
@@ -127,6 +137,14 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       usage();
+      return 0;
+    } else if (arg == "--version") {
+      const BuildInfo& build = build_info();
+      std::printf("%s\n", build_info_line().c_str());
+      std::printf("  git:      %s\n", build.git_describe.c_str());
+      std::printf("  build:    %s\n", build.build_type.c_str());
+      std::printf("  compiler: %s\n", build.compiler.c_str());
+      std::printf("  flags:    %s\n", build.cxx_flags.c_str());
       return 0;
     } else if (arg == "--topology") {
       const std::string value = next_value(i);
@@ -227,6 +245,10 @@ int main(int argc, char** argv) {
       config.obs.enabled = true;
     } else if (arg == "--trace-hops") {
       config.obs.trace_hops = true;
+    } else if (arg == "--profile") {
+      config.prof.enabled = true;
+    } else if (arg == "--manifest") {
+      manifest_path = next_value(i);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
@@ -287,6 +309,15 @@ int main(int argc, char** argv) {
               to_string(config.traffic.injection).c_str(),
               config.net.packet_bytes);
 
+  std::string command_line;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command_line += ' ';
+    command_line += argv[i];
+  }
+  if (manifest_path.empty() && !csv_path.empty()) {
+    manifest_path = manifest_path_for(csv_path);
+  }
+
   if (replications > 1) {
     const auto points = run_replicated(config, loads, replications, threads);
     Table table = replicated_table(points);
@@ -294,6 +325,20 @@ int main(int argc, char** argv) {
     if (!csv_path.empty() && !table.write_csv(csv_path)) {
       std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
       return 1;
+    }
+    if (!manifest_path.empty()) {
+      // Replicated runs aggregate across seeds; the manifest records the
+      // provenance and configuration without a per-run registry snapshot.
+      ManifestInfo info;
+      info.producer = "smartsim_cli";
+      info.command_line = command_line;
+      info.config = echo_config(config, scale_for(config.net).clock_ns);
+      std::string error;
+      if (!write_manifest(manifest_path, info, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", manifest_path.c_str());
     }
     return 0;
   }
@@ -426,6 +471,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Latency percentiles: the paper reports averages, but saturation shows
+  // in the tail first (the sweep table already carries p99 per load).
+  if (results.size() == 1 && results.front().latency_cycles.count() > 0) {
+    const SimulationResult& point = results.front();
+    std::printf(
+        "\nlatency percentiles: p50 %.1f, p95 %.1f, p99 %.1f cycles "
+        "(%llu packets)\n",
+        point.latency_percentile(0.50), point.latency_percentile(0.95),
+        point.latency_percentile(0.99),
+        static_cast<unsigned long long>(point.latency_cycles.count()));
+  }
+
+  if (config.prof.enabled) {
+    for (const SimulationResult& point : results) {
+      const ProfileReport& prof = point.profile;
+      std::printf(
+          "\nprofile (load %.3f): fused-path hit rate %.3f over %llu "
+          "cycle(s)\n",
+          point.offered_fraction, prof.fused_hit_rate(),
+          static_cast<unsigned long long>(prof.cycles));
+      for (std::size_t p = 0; p < kProfPhaseCount; ++p) {
+        const PhaseProfile& phase = prof.phases[p];
+        if (phase.ns == 0) continue;
+        std::printf("  %-9s %5.1f%%  %llu ns\n",
+                    to_string(static_cast<ProfPhase>(p)), phase.share * 100.0,
+                    static_cast<unsigned long long>(phase.ns));
+      }
+      std::printf(
+          "  active sets: switches mean %.3f max %llu, nics mean %.3f max "
+          "%llu\n",
+          prof.active_switch_fraction_mean,
+          static_cast<unsigned long long>(prof.active_switches_max),
+          prof.active_nic_fraction_mean,
+          static_cast<unsigned long long>(prof.active_nics_max));
+      std::printf(
+          "  lane store: high water %llu of %llu flit slot(s)\n",
+          static_cast<unsigned long long>(prof.lane_flits_high_water),
+          static_cast<unsigned long long>(prof.lane_capacity_flits));
+      std::printf(
+          "  work: %llu packet(s) generated, %llu link flit(s), %llu "
+          "header(s) routed, %llu crossbar flit(s), %llu credit ack(s)\n",
+          static_cast<unsigned long long>(prof.generated_packets),
+          static_cast<unsigned long long>(prof.link_flits),
+          static_cast<unsigned long long>(prof.routed_headers),
+          static_cast<unsigned long long>(prof.crossbar_flits),
+          static_cast<unsigned long long>(prof.credit_acks));
+    }
+  }
+
   // Simulator self-metrics: the perf trajectory of the simulator itself.
   {
     double wall = 0.0;
@@ -451,6 +545,54 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  if (!manifest_path.empty()) {
+    MetricsRegistry registry;
+    if (results.size() == 1) {
+      register_run_metrics(registry, results.front());
+    } else {
+      // Sweeps snapshot every point, namespaced by offered load so the
+      // regression tool diffs each point against its counterpart.
+      for (const SimulationResult& point : results) {
+        MetricsRegistry slice;
+        register_run_metrics(slice, point);
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "load=%.3f/",
+                      point.offered_fraction);
+        for (const Metric& m : slice.metrics()) {
+          switch (m.kind) {
+            case MetricKind::kCounter:
+              registry.counter(prefix + m.name,
+                               static_cast<std::uint64_t>(m.value), m.unit);
+              break;
+            case MetricKind::kGauge:
+              registry.gauge(prefix + m.name, m.value, m.unit);
+              break;
+            case MetricKind::kHistogram:
+              registry.histogram(prefix + m.name, m.hist, m.unit);
+              break;
+          }
+        }
+      }
+    }
+    double wall = 0.0;
+    for (const SimulationResult& point : results) {
+      wall += point.sim_wall_seconds;
+    }
+    ManifestInfo info;
+    info.producer = "smartsim_cli";
+    info.command_line = command_line;
+    info.config = echo_config(config, scale.clock_ns);
+    info.wall_seconds = wall;
+    info.registry = &registry;
+    std::string error;
+    if (!write_manifest(manifest_path, info, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", manifest_path.c_str());
+  }
+
   if (any_deadlock) return 2;
   if (any_unroutable) return 3;
   return 0;

@@ -1,0 +1,110 @@
+// smartsim_report: perf-regression verdict between two manifest directories.
+//
+// Usage:
+//   smartsim_report [--check] [--threshold F] [--time-threshold F] DIR_A DIR_B
+//
+// DIR_A holds the baseline manifests, DIR_B the candidate run (both as
+// written by smartsim_cli --manifest or the benches via run_benches.sh).
+// Manifests are paired by producer and their metric registries diffed; the
+// namespace policy in src/obs/registry.hpp decides which drifts fail the
+// report and which are advisory. With --check the exit code is 2 when any
+// deterministic metric regressed (for CI gates); without it the tool only
+// prints the table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: smartsim_report [--check] [--threshold F] [--time-threshold F] "
+      "DIR_A DIR_B\n"
+      "  DIR_A  baseline manifest directory\n"
+      "  DIR_B  candidate manifest directory\n"
+      "  --check            exit 2 when a deterministic metric regressed\n"
+      "  --threshold F      relative drift tolerated on deterministic "
+      "metrics (default 0.05)\n"
+      "  --time-threshold F relative drift tolerated on time/ metrics "
+      "before a warning (default 0.25)\n"
+      "  --version          print build provenance and exit\n",
+      out);
+}
+
+bool parse_double(const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  return end != text && *end == '\0' && *out >= 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smart::ReportOptions options;
+  bool check = false;
+  std::string dir_a;
+  std::string dir_b;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("%s\n", smart::build_info_line().c_str());
+      return 0;
+    }
+    if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--threshold") == 0 && i + 1 < argc) {
+      if (!parse_double(argv[++i], &options.threshold)) {
+        std::fprintf(stderr, "smartsim_report: bad --threshold value\n");
+        return 1;
+      }
+      continue;
+    }
+    if (std::strcmp(arg, "--time-threshold") == 0 && i + 1 < argc) {
+      if (!parse_double(argv[++i], &options.time_threshold)) {
+        std::fprintf(stderr, "smartsim_report: bad --time-threshold value\n");
+        return 1;
+      }
+      continue;
+    }
+    if (arg[0] == '-') {
+      std::fprintf(stderr, "smartsim_report: unknown flag %s\n", arg);
+      usage(stderr);
+      return 1;
+    }
+    if (dir_a.empty()) {
+      dir_a = arg;
+    } else if (dir_b.empty()) {
+      dir_b = arg;
+    } else {
+      std::fprintf(stderr, "smartsim_report: too many arguments\n");
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (dir_a.empty() || dir_b.empty()) {
+    usage(stderr);
+    return 1;
+  }
+
+  std::string error;
+  const smart::ReportResult result =
+      smart::compare_manifest_dirs(dir_a, dir_b, options, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "smartsim_report: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(smart::render_report(result).c_str(), stdout);
+  if (check && !result.ok()) return 2;
+  return 0;
+}
