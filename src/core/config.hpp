@@ -153,6 +153,16 @@ struct SimConfig {
   ObsSpec obs;
   ProfSpec prof;
 
+  /// Worker threads for THIS run (the engine's sharded parallel pipeline;
+  /// docs/ARCHITECTURE.md §"Threading"). 1 = serial. Results are
+  /// bit-identical for every value: the fabric is statically sharded and
+  /// all cross-shard effects are staged and merged in fixed shard order,
+  /// so no outcome depends on thread interleaving. The engine falls back
+  /// to the serial pipeline when a feature it cannot shard is active
+  /// (fault plans, trace capture, routing algorithms that draw from an
+  /// RNG shared across switches) — the value is a budget, not a demand.
+  unsigned engine_threads = 1;
+
   /// Deterministic fault schedule (empty = fault-free: the fault machinery
   /// is bypassed entirely and results are bit-identical to a build without
   /// it). See src/fault/fault.hpp and docs/MODEL.md §8.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
 
 #include "core/network.hpp"
 #include "topology/kary_ncube.hpp"
@@ -12,20 +13,47 @@
 
 namespace smart {
 
+namespace {
+
+// Split the --threads budget between sweep-level parallelism (independent
+// points on the ThreadPool) and run-level parallelism (the engine's
+// sharded pipeline, config.engine_threads). Independent points scale
+// embarrassingly, so they claim the budget first; whatever is left over
+// goes inside each run. Either way results are bit-identical — the
+// sharded engine is determinism-preserving and sweep points don't share
+// state — so this is purely a scheduling decision.
+struct ThreadSplit {
+  unsigned outer;  // concurrent sweep points
+  unsigned inner;  // engine threads per point
+};
+
+ThreadSplit split_threads(unsigned threads, std::size_t tasks) {
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  const auto outer = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(tasks, 1)));
+  return {outer, std::max(1U, threads / outer)};
+}
+
+}  // namespace
+
 std::vector<SimulationResult> run_sweep(const SimConfig& base,
                                         const std::vector<double>& loads,
                                         unsigned threads) {
+  const ThreadSplit split = split_threads(threads, loads.size());
   std::vector<SimulationResult> results(loads.size());
   auto run_point = [&](std::size_t i) {
     SimConfig config = base;
     config.traffic.offered_fraction = loads[i];
+    config.engine_threads = split.inner;
     Network network(config);
     results[i] = network.run();
   };
-  if (threads == 1 || loads.size() <= 1) {
+  if (split.outer == 1 || loads.size() <= 1) {
     for (std::size_t i = 0; i < loads.size(); ++i) run_point(i);
   } else {
-    ThreadPool pool(threads);
+    ThreadPool pool(split.outer);
     pool.parallel_for(loads.size(), run_point);
   }
   return results;
@@ -154,19 +182,21 @@ std::vector<ReplicatedPoint> run_replicated(const SimConfig& base,
   std::vector<ReplicatedPoint> points(loads.size());
   // One flat task list so the pool stays busy across loads and seeds.
   std::vector<SimulationResult> results(loads.size() * replications);
+  const ThreadSplit split = split_threads(threads, results.size());
   auto run_one = [&](std::size_t task) {
     const std::size_t load_index = task / replications;
     const std::size_t rep = task % replications;
     SimConfig config = base;
     config.traffic.offered_fraction = loads[load_index];
     config.traffic.seed = replication_seed(base.traffic.seed, rep);
+    config.engine_threads = split.inner;
     Network network(config);
     results[task] = network.run();
   };
-  if (threads == 1 || results.size() <= 1) {
+  if (split.outer == 1 || results.size() <= 1) {
     for (std::size_t task = 0; task < results.size(); ++task) run_one(task);
   } else {
-    ThreadPool pool(threads);
+    ThreadPool pool(split.outer);
     pool.parallel_for(results.size(), run_one);
   }
   for (std::size_t i = 0; i < loads.size(); ++i) {

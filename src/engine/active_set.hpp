@@ -49,7 +49,18 @@ class ActiveSet {
   /// keep the element in the set, false to prune it.
   template <typename Visitor>
   void for_each(Visitor&& visit) {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
+    for_each_words(0, words_.size(), std::forward<Visitor>(visit));
+  }
+
+  /// Range variant for the sharded engine: visits only the indices whose
+  /// words lie in [word_begin, word_end). Shard boundaries are whole words
+  /// (multiples of 64 indices), so concurrent shards mark() and prune
+  /// disjoint words_ entries — no two threads ever touch the same word.
+  template <typename Visitor>
+  void for_each_words(std::size_t word_begin, std::size_t word_end,
+                      Visitor&& visit) {
+    if (word_end > words_.size()) word_end = words_.size();
+    for (std::size_t w = word_begin; w < word_end; ++w) {
       std::uint64_t bits = words_[w];
       while (bits != 0) {
         const auto bit = static_cast<unsigned>(std::countr_zero(bits));
@@ -60,6 +71,11 @@ class ActiveSet {
         }
       }
     }
+  }
+
+  /// Number of 64-bit words backing the set (the sharding granularity).
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
   }
 
  private:

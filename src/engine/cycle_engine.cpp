@@ -40,9 +40,11 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
   build_fabric();
   active_switches_ = ActiveSet(switches_.size());
   active_nics_ = ActiveSet(nics_.size());
+  setup_parallel();
   if (prof_) {
     prof_->set_lane_capacity(lanes_.lane_count() *
                              static_cast<std::uint64_t>(lanes_.depth()));
+    prof_->set_shards(shards_.size());
   }
 
   result_.offered_fraction = config_.traffic.offered_fraction;
@@ -215,21 +217,36 @@ void CycleEngine::step() {
   // either way.
   Profiler::Clock::time_point lap{};
   if (prof_) lap = Profiler::now();
-  nic_phase();
-  if (prof_) lap = prof_->lap(lap, ProfPhase::kNic);
-  if (faults_ != nullptr) {
-    link_phase();
-    if (prof_) lap = prof_->lap(lap, ProfPhase::kLink);
-    routing_phase();
-    if (prof_) lap = prof_->lap(lap, ProfPhase::kRouting);
-    crossbar_phase();
-    if (prof_) lap = prof_->lap(lap, ProfPhase::kCrossbar);
-  } else {
-    fused_phase();
+  if (parallel_) {
+    // Sharded pipeline (phase_parallel.cpp): generation draws + enqueue
+    // merge charge to the nic lap, the barrier pass to the fused lap, and
+    // the staged-effect merge (consumes + credits) to the credits lap.
+    parallel_gen();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kNic);
+    parallel_pass();
     if (prof_) lap = prof_->lap(lap, ProfPhase::kFused);
+    merge_shards();
+    if (prof_) {
+      lap = prof_->lap(lap, ProfPhase::kCredits);
+      ++prof_->parallel_cycles;
+    }
+  } else {
+    nic_phase();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kNic);
+    if (faults_ != nullptr) {
+      link_phase();
+      if (prof_) lap = prof_->lap(lap, ProfPhase::kLink);
+      routing_phase();
+      if (prof_) lap = prof_->lap(lap, ProfPhase::kRouting);
+      crossbar_phase();
+      if (prof_) lap = prof_->lap(lap, ProfPhase::kCrossbar);
+    } else {
+      fused_phase();
+      if (prof_) lap = prof_->lap(lap, ProfPhase::kFused);
+    }
+    apply_pending_credits();
+    if (prof_) lap = prof_->lap(lap, ProfPhase::kCredits);
   }
-  apply_pending_credits();
-  if (prof_) lap = prof_->lap(lap, ProfPhase::kCredits);
   if (obs_ && config_.obs.sample_interval_cycles > 0 &&
       cycle_ % config_.obs.sample_interval_cycles == 0) {
     obs_->sampler.sample(cycle_, switches_, nics_);

@@ -31,6 +31,17 @@
 // stage per cycle. Statistics are collected between warm-up and horizon;
 // a watchdog flags deadlock if nothing moves for a configurable number
 // of cycles while packets are in flight.
+//
+// With SimConfig::engine_threads > 1 the engine runs the same pipeline
+// sharded across a WorkerTeam (phase_parallel.cpp): switches and NICs are
+// statically partitioned into word-aligned shards, each barrier-
+// synchronized pass touches only its shard's state, and every cross-shard
+// write (peer-lane pushes, terminal consumes, credit returns) is staged
+// per shard and merged serially in fixed shard order. Results are
+// bit-identical for every thread count — the determinism argument lives
+// in docs/ARCHITECTURE.md §"Threading". Runs the serial pipeline instead
+// whenever a feature it cannot shard is active (faults, trace capture, a
+// routing algorithm whose route() is not concurrent-safe).
 #pragma once
 
 #include <memory>
@@ -49,6 +60,7 @@
 #include "topology/topology.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/pattern.hpp"
+#include "util/thread_pool.hpp"
 
 namespace smart {
 
@@ -99,17 +111,68 @@ class CycleEngine {
   PacketId enqueue_packet(NodeId src, NodeId dst);
 
  private:
+  /// Per-shard working state of the sharded parallel pipeline
+  /// (phase_parallel.cpp). A shard owns a word-aligned range of the
+  /// switch and NIC index spaces (multiples of 64, so concurrent
+  /// ActiveSet word updates never straddle shards); everything a pass
+  /// would write outside that range is staged here and merged serially
+  /// in ascending shard order after the barrier — which equals ascending
+  /// element order, the serial pipeline's visit order. Cache-line aligned
+  /// so two workers' staging writes never false-share a line.
+  struct alignas(64) EngineShard {
+    std::size_t index = 0;
+    std::size_t sw_word_begin = 0, sw_word_end = 0;    ///< ActiveSet words
+    std::size_t nic_word_begin = 0, nic_word_end = 0;  ///< ActiveSet words
+
+    /// A deferred flit hand-off into another shard's input lane; the
+    /// merge applies the push plus the receiver-side occupancy
+    /// bookkeeping the serial path does inline.
+    struct StagedPush {
+      Flit flit;
+      InputLane* in;
+      Switch* peer;
+      std::uint64_t nonempty_bit;  ///< peer->in_nonempty bit of the lane
+    };
+    /// A generation draw ((src, dst), in node order); the pool
+    /// allocation happens at merge time so packet ids are handed out in
+    /// the serial pipeline's order.
+    struct GenDraw {
+      NodeId src;
+      NodeId dst;
+    };
+
+    std::vector<GenDraw> generated;       ///< nic gen pass
+    std::vector<StagedPush> pushes;       ///< switch→switch, cross-shard
+    std::vector<StagedPush> nic_pushes;   ///< NIC→switch (always staged)
+    std::vector<Flit> consumed;           ///< terminal consumes, visit order
+    std::vector<std::uint32_t*> credits;  ///< staged upstream credit acks
+    std::uint64_t injected_flits = 0;
+    bool progressed = false;  ///< any flit moved (watchdog feed)
+    // Per-shard profiler counters, merged under the engine's prof_ check.
+    std::uint64_t prof_generated = 0;
+    std::uint64_t prof_link_flits = 0;
+    std::uint64_t prof_routed = 0;
+    std::uint64_t prof_crossbar = 0;
+    std::uint64_t prof_visits = 0;  ///< switch visits (load balance)
+  };
+
   void build_fabric();
+  /// Decides serial vs sharded execution and, for the latter, builds the
+  /// shard partition and the worker team (called once, from the ctor).
+  void setup_parallel();
 
   // Phase pipeline, one translation unit each (see header comment).
+  // The per-switch/per-NIC helpers take the executing shard (null on the
+  // serial path): with a shard, cross-shard writes are staged into it
+  // instead of applied inline.
   void nic_phase();                        // phase_nic.cpp
   void link_phase();                       // phase_link.cpp
-  void switch_link_phase(Switch& sw);      // phase_link.cpp
-  void nic_link_phase(Nic& nic);           // phase_link.cpp
+  void switch_link_phase(Switch& sw, EngineShard* shard = nullptr);
+  void nic_link_phase(Nic& nic, EngineShard* shard = nullptr);
   void routing_phase();                    // phase_routing.cpp
-  void route_switch(Switch& sw);           // phase_routing.cpp
+  void route_switch(Switch& sw, EngineShard* shard = nullptr);
   void crossbar_phase();                   // phase_crossbar.cpp
-  void crossbar_switch(Switch& sw);        // phase_crossbar.cpp
+  void crossbar_switch(Switch& sw, EngineShard* shard = nullptr);
   /// Fault-free fast path: one pass over the active switches running the
   /// link, routing and crossbar stages back to back per switch (then the
   /// NIC link pass). Bit-identical to the three separate passes — every
@@ -125,6 +188,17 @@ class CycleEngine {
   bool drain_lane(Switch& sw, InputLane& in, std::uint32_t flat);
   void apply_pending_credits();            // phase_credits.cpp
   void consume(Flit flit);                 // phase_credits.cpp
+
+  // Sharded parallel pipeline (phase_parallel.cpp). One cycle runs: a
+  // parallel generation-draw pass, a serial enqueue merge (pool
+  // allocations in node order), a parallel stream + fused-switch +
+  // NIC-link pass, and a serial merge of all staged cross-shard effects.
+  void parallel_gen();                      ///< region A + its merge
+  void nic_gen_shard(EngineShard& shard);
+  void parallel_pass();                     ///< region B (barrier)
+  void shard_pass(EngineShard& shard);
+  void merge_shards();                      ///< staged effects, shard order
+  void apply_staged_push(const EngineShard::StagedPush& push);
 
   void advance_faults();
   void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
@@ -155,6 +229,13 @@ class CycleEngine {
   // iff flits are buffered in its injection channels.
   ActiveSet active_switches_;
   ActiveSet active_nics_;
+
+  // Sharded parallel pipeline (empty/null when running serially).
+  bool parallel_ = false;
+  std::vector<EngineShard> shards_;
+  /// Owning shard of each switch (cross-shard test in the link phase).
+  std::vector<std::uint32_t> shard_of_switch_;
+  std::unique_ptr<WorkerTeam> team_;
 
   std::uint64_t cycle_ = 0;
   double packet_rate_ = 0.0;

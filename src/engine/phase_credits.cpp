@@ -5,6 +5,13 @@
 // paper's credit round-trip. consume() lives here too: it retires a worm
 // when its tail crosses the terminal link (called from the link phase)
 // and feeds every delivery statistic of the measurement window.
+//
+// Both functions are serial-only by construction: the sharded pipeline
+// stages credit pointers and consumed flits per shard and replays them
+// through these exact code paths in the merge (merge_shards() in
+// phase_parallel.cpp), in ascending shard order — so PacketPool releases
+// and OnlineStats accumulation happen in the serial pipeline's sequence
+// and the results stay bit-identical for every thread count.
 #include "engine/cycle_engine.hpp"
 
 #include "util/check.hpp"

@@ -10,6 +10,8 @@
 // in order reproduces the legacy port-major lane walk exactly.
 #include "engine/cycle_engine.hpp"
 
+#include "util/check.hpp"
+
 namespace smart {
 
 void CycleEngine::crossbar_phase() {
@@ -25,13 +27,16 @@ void CycleEngine::crossbar_phase() {
   });
 }
 
-void CycleEngine::crossbar_switch(Switch& sw) {
+void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
   auto& active = sw.active_inputs();
   std::size_t i = 0;
   while (i < active.size()) {
     const std::uint32_t flat = active[i];
     InputLane& in = sw.input_lane(flat);
     if (in.dropping) {
+      // Dropping lanes exist only under fault plans, which force the
+      // serial pipeline — drain_lane may touch global drop counters.
+      SMART_DCHECK(shard == nullptr);
       if (drain_lane(sw, in, flat)) {
         sw.remove_active_input(flat);  // the worm's tail just drained
         continue;                      // `i` now indexes the next entry
@@ -63,14 +68,19 @@ void CycleEngine::crossbar_switch(Switch& sw) {
     flit.arrival = static_cast<std::uint32_t>(cycle_);
     const bool is_tail = flit.tail;
     out.buf.push(flit);
-    if (prof_) ++prof_->crossbar_flits;
+    if (shard) ++shard->prof_crossbar;
+    else if (prof_) ++prof_->crossbar_flits;
     out_port.out_buffered += 1;
     sw.out_ports_nonempty |= 1U << static_cast<unsigned>(in.bound_port);
-    last_progress_cycle_ = cycle_;
+    if (shard) shard->progressed = true;
+    else last_progress_cycle_ = cycle_;
 
     // Acknowledge the freed buffer slot upstream (visible next cycle).
+    // Sharded, the upstream lane may belong to another worker, so the ack
+    // is staged; += 1 commutes, so only end-of-cycle visibility matters.
     if (in.upstream_credit != nullptr) {
-      pending_credits_.push_back(in.upstream_credit);
+      if (shard) shard->credits.push_back(in.upstream_credit);
+      else pending_credits_.push_back(in.upstream_credit);
     }
 
     if (is_tail) {

@@ -33,7 +33,7 @@ void CycleEngine::link_phase() {
   });
 }
 
-void CycleEngine::switch_link_phase(Switch& sw) {
+void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
   if (faults_ && !faults_->switch_ok(sw.id())) {
     // Dead switch: every flit buffered inside is frozen this cycle.
     if (obs_) obs_->stalls.count_switch_frozen();
@@ -67,7 +67,8 @@ void CycleEngine::switch_link_phase(Switch& sw) {
       }
       Flit flit = out.buf.pop();
       flit.arrival = static_cast<std::uint32_t>(cycle_);
-      if (prof_) ++prof_->link_flits;
+      if (shard) ++shard->prof_link_flits;
+      else if (prof_) ++prof_->link_flits;
       sw.buffered -= 1;
       port.out_buffered -= 1;
       if (port.out_buffered == 0) sw.out_ports_nonempty &= ~(1U << p);
@@ -80,30 +81,45 @@ void CycleEngine::switch_link_phase(Switch& sw) {
         if (obs_ && obs_->trace_hops() && flit.head) {
           obs_->hop_exit(flit.packet, cycle_);
         }
-        consume(flit);
+        // Sharded: consumption releases pool entries and feeds the global
+        // delivery statistics, both order-sensitive — stage it for the
+        // serial merge (shard order = this serial visit order).
+        if (shard) shard->consumed.push_back(flit);
+        else consume(flit);
       } else {
         out.credits -= 1;
-        Switch& peer = *port.peer_sw;
-        InputLane& in = port.peer_in[lane];
-        SMART_DCHECK(!in.buf.full());
         if (flit.head) ++pool_[flit.packet].hops;
         if (obs_ && obs_->trace_hops() && flit.head) {
           obs_->hop_exit(flit.packet, cycle_);
           obs_->hop_enter(flit.packet, port.peer.id, cycle_);
         }
-        in.buf.push(flit);
-        peer.buffered += 1;
-        peer.in_nonempty |= std::uint64_t{1} << (port.peer_in_base + lane);
-        active_switches_.mark(port.peer.id);
+        if (shard && shard_of_switch_[port.peer.id] != shard->index) {
+          // Cross-shard hand-off: the peer's lane belongs to another
+          // worker. Deferring the push to the merge is invisible to the
+          // physics — the flit is stamped arrival == cycle_, which every
+          // same-cycle reader ignores.
+          shard->pushes.push_back(
+              {flit, &port.peer_in[lane], port.peer_sw,
+               std::uint64_t{1} << (port.peer_in_base + lane)});
+        } else {
+          Switch& peer = *port.peer_sw;
+          InputLane& in = port.peer_in[lane];
+          SMART_DCHECK(!in.buf.full());
+          in.buf.push(flit);
+          peer.buffered += 1;
+          peer.in_nonempty |= std::uint64_t{1} << (port.peer_in_base + lane);
+          active_switches_.mark(port.peer.id);
+        }
       }
       port.link_rr = lane + 1;
-      last_progress_cycle_ = cycle_;
+      if (shard) shard->progressed = true;
+      else last_progress_cycle_ = cycle_;
       break;  // one flit per link direction per cycle
     }
   }
 }
 
-void CycleEngine::nic_link_phase(Nic& nic) {
+void CycleEngine::nic_link_phase(Nic& nic, EngineShard* shard) {
   const Attachment at = attach_[nic.node()];
   // A dead attachment switch (or faulted terminal link) freezes injection;
   // generated packets pile up in the source queue and injection channels.
@@ -134,13 +150,12 @@ void CycleEngine::nic_link_phase(Nic& nic) {
     }
 
     Flit flit = channel.buf.pop();
-    if (prof_) ++prof_->link_flits;
+    if (shard) ++shard->prof_link_flits;
+    else if (prof_) ++prof_->link_flits;
     nic.chan_flits -= 1;
     flit.lane = static_cast<std::uint8_t>(lane);
     flit.arrival = static_cast<std::uint32_t>(cycle_);
     if (flit.head) ++pool_[flit.packet].hops;
-    InputLane& in = port.in[lane];
-    SMART_DCHECK(!in.buf.full());
     if (obs_) {
       obs_->sampler.on_flit(obs_->sampler.injection_index(nic.node()));
       if (obs_->trace_hops() && flit.head) {
@@ -148,14 +163,28 @@ void CycleEngine::nic_link_phase(Nic& nic) {
       }
     }
     Switch& sw = switches_[at.sw];
-    in.buf.push(flit);
-    sw.buffered += 1;
-    sw.in_nonempty |= std::uint64_t{1} << (sw.input_base(at.port) + lane);
-    active_switches_.mark(at.sw);
+    if (shard) {
+      // Sharded: the attachment switch can live in any shard, so the
+      // switch-side push is always staged (and its buffer must not even
+      // be read here — the owning shard may be popping it right now).
+      // The lane cannot overflow: the NIC-side credit just checked above
+      // counts exactly the free slots the merge will fill.
+      shard->nic_pushes.push_back(
+          {flit, &port.in[lane], &sw,
+           std::uint64_t{1} << (sw.input_base(at.port) + lane)});
+    } else {
+      InputLane& in = port.in[lane];
+      SMART_DCHECK(!in.buf.full());
+      in.buf.push(flit);
+      sw.buffered += 1;
+      sw.in_nonempty |= std::uint64_t{1} << (sw.input_base(at.port) + lane);
+      active_switches_.mark(at.sw);
+    }
     if (measuring_) ++nic.flits_sent;
     nic.credits()[lane] -= 1;
     nic.link_rr() = c + 1;
-    last_progress_cycle_ = cycle_;
+    if (shard) shard->progressed = true;
+    else last_progress_cycle_ = cycle_;
     break;  // the terminal link carries one flit per cycle per direction
   }
 }

@@ -6,6 +6,12 @@
 // (bit-identity with the legacy full scan). The active-NIC set is fed
 // here: a NIC whose stream() pushed flits into its injection channels is
 // marked for the link phase.
+//
+// The sharded pipeline (phase_parallel.cpp) splits this phase in two:
+// nic_gen_shard() runs the draw loop below in parallel (staging the
+// outcomes), the serial merge replays enqueue_packet in node order, and
+// the streaming tail moves into shard_pass(). This serial function stays
+// the reference implementation both paths must match bit-for-bit.
 #include "engine/cycle_engine.hpp"
 
 namespace smart {

@@ -1,0 +1,244 @@
+// Sharded parallel execution of the per-cycle pipeline (PR 5).
+//
+// The engine's serial pipeline visits switches and NICs in ascending index
+// order; that order is load-bearing (shared-RNG draw sequences, PacketPool
+// free-list recycling, OnlineStats accumulation order). This file runs the
+// same pipeline on N worker threads while preserving every one of those
+// orders exactly, so results are bit-identical for every thread count:
+//
+//   region A   parallel: per shard, the NIC generation *draws* only (each
+//              NIC owns its RNG; the (src, dst) outcomes are staged in
+//              node order).
+//   merge      serial: the staged draws allocate packets in ascending
+//              shard = ascending node order — the serial pipeline's pool
+//              allocation order.
+//   region B   parallel: per shard, source-queue streaming, then the fused
+//              link/routing/crossbar pass over the shard's active
+//              switches, then the NIC link pass. Writes that land inside
+//              the shard are applied inline; every write that would cross
+//              a shard boundary — peer-lane pushes, terminal consumes,
+//              upstream credit acks — is staged.
+//   merge      serial: staged pushes, consumes and credits applied in
+//              ascending shard order.
+//
+// Why deferring the cross-shard writes cannot change any decision: every
+// flit pushed across a switch boundary is stamped arrival == current
+// cycle, and every same-cycle reader (link pop, routing header guard,
+// crossbar advance) ignores flits with arrival >= cycle. Credits apply at
+// end of cycle in both pipelines. Consumes only touch the pool and the
+// delivery statistics, both serialized by the merge. The full argument,
+// including the active-set prune/re-mark equivalence, is written out in
+// docs/ARCHITECTURE.md §"Threading".
+//
+// Shard boundaries are whole ActiveSet words (multiples of 64 indices),
+// so two shards never store to the same words_ entry; all remaining
+// shared engine state is either read-only during a region or staged.
+#include "engine/cycle_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+void CycleEngine::setup_parallel() {
+  const unsigned budget = config_.engine_threads;
+  if (budget <= 1) return;
+  // Features the sharded pipeline cannot preserve bit-identically run the
+  // serial pipeline instead: fault plans (drain/release ordering is
+  // interleaved with the phases), trace capture (one global event stream;
+  // trace_hops alone still grows the shared hop-tracking vectors from the
+  // link pass), and routing algorithms whose route() draws from
+  // cross-switch state. Plain --obs stays parallel: stall and sampler
+  // counters are per-(switch, port) slots owned by the visiting shard.
+  if (faults_ != nullptr) return;
+  if (config_.obs.trace_enabled() || config_.obs.trace_hops) return;
+  if (!routing_.concurrent_safe()) return;
+
+  const std::size_t words = std::max(active_switches_.word_count(),
+                                     active_nics_.word_count());
+  const std::size_t shard_count =
+      std::min<std::size_t>(budget, words);
+  if (shard_count <= 1) return;  // fabric too small to shard (< 65 switches)
+
+  shards_.resize(shard_count);
+  const std::size_t sw_words = active_switches_.word_count();
+  const std::size_t nic_words = active_nics_.word_count();
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    EngineShard& shard = shards_[i];
+    shard.index = i;
+    shard.sw_word_begin = i * sw_words / shard_count;
+    shard.sw_word_end = (i + 1) * sw_words / shard_count;
+    shard.nic_word_begin = i * nic_words / shard_count;
+    shard.nic_word_end = (i + 1) * nic_words / shard_count;
+  }
+  shard_of_switch_.resize(switches_.size());
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const std::size_t begin = shards_[i].sw_word_begin * 64;
+    const std::size_t end =
+        std::min(shards_[i].sw_word_end * 64, switches_.size());
+    for (std::size_t s = begin; s < end; ++s) {
+      shard_of_switch_[s] = static_cast<std::uint32_t>(i);
+    }
+  }
+  team_ = std::make_unique<WorkerTeam>(shard_count);
+  parallel_ = true;
+}
+
+void CycleEngine::parallel_gen() {
+  team_->run([this](std::size_t t) { nic_gen_shard(shards_[t]); });
+  for (EngineShard& shard : shards_) {
+    for (const EngineShard::GenDraw& draw : shard.generated) {
+      enqueue_packet(draw.src, draw.dst);
+    }
+    shard.generated.clear();
+    if (prof_) prof_->generated_packets += shard.prof_generated;
+    shard.prof_generated = 0;
+  }
+}
+
+void CycleEngine::nic_gen_shard(EngineShard& shard) {
+  // The draw loop of the serial nic phase (phase_nic.cpp), minus the
+  // enqueue: every NIC's RNG advances exactly as it would serially (the
+  // draws depend only on per-NIC state), and the outcomes are staged in
+  // node order for the serial allocation merge.
+  const bool injecting = !draining_ && packet_rate_ > 0.0;
+  if (!injecting) return;
+  const bool bernoulli =
+      config_.traffic.injection == InjectionKind::kBernoulli;
+  const auto begin = static_cast<NodeId>(shard.nic_word_begin * 64);
+  const auto end = static_cast<NodeId>(
+      std::min(shard.nic_word_end * 64, nics_.size()));
+  for (NodeId node = begin; node < end; ++node) {
+    Nic& nic = nics_[node];
+    if (bernoulli ? nic.rng().bernoulli(packet_rate_)
+                  : injection_[node]->fires(nic.rng())) {
+      const auto dst = pattern_.destination(node, nic.rng());
+      if (dst) {
+        shard.generated.push_back({node, *dst});
+        ++shard.prof_generated;
+      }
+    }
+  }
+}
+
+void CycleEngine::parallel_pass() {
+  team_->run([this](std::size_t t) { shard_pass(shards_[t]); });
+}
+
+void CycleEngine::shard_pass(EngineShard& shard) {
+  // Source-queue streaming — the tail of the serial nic phase. Streaming
+  // touches only the NIC's own channels and its own packets in the pool
+  // (the arena is not re-allocated during a region: allocation happens
+  // only in the serial gen merge).
+  const auto nic_begin = static_cast<NodeId>(shard.nic_word_begin * 64);
+  const auto nic_end = static_cast<NodeId>(
+      std::min(shard.nic_word_end * 64, nics_.size()));
+  for (NodeId node = nic_begin; node < nic_end; ++node) {
+    Nic& nic = nics_[node];
+    if (!nic.stream_pending()) continue;
+    const unsigned pushed = nic.stream(cycle_, pool_);
+    if (pushed > 0) {
+      shard.injected_flits += pushed;
+      active_nics_.mark(node);
+    }
+  }
+
+  // The fused link/routing/crossbar pass over the shard's switches — the
+  // same per-switch sequence as the serial fused_phase(), with pushes into
+  // other shards staged.
+  active_switches_.for_each_words(
+      shard.sw_word_begin, shard.sw_word_end, [this, &shard](std::size_t s) {
+        Switch& sw = switches_[s];
+        ++shard.prof_visits;
+        if (sw.buffered == 0) return false;  // quiesced: prune from the set
+        switch_link_phase(sw, &shard);
+        if (sw.buffered == 0) return false;
+        route_switch(sw, &shard);
+        if (!sw.active_inputs().empty()) crossbar_switch(sw, &shard);
+        return true;
+      });
+
+  // NIC link pass: the switch-side push is always staged (the attachment
+  // switch can live in any shard); the NIC-side bookkeeping (credits,
+  // channel pop, round-robin) is applied inline.
+  active_nics_.for_each_words(
+      shard.nic_word_begin, shard.nic_word_end, [this, &shard](std::size_t n) {
+        Nic& nic = nics_[n];
+        if (nic.chan_flits == 0) return false;  // channels empty: prune
+        nic_link_phase(nic, &shard);
+        return true;
+      });
+}
+
+void CycleEngine::apply_staged_push(const EngineShard::StagedPush& push) {
+  SMART_DCHECK(!push.in->buf.full());
+  push.in->buf.push(push.flit);
+  push.peer->buffered += 1;
+  push.peer->in_nonempty |= push.nonempty_bit;
+  active_switches_.mark(push.peer->id());
+}
+
+void CycleEngine::merge_shards() {
+  // Ascending shard order = ascending sender order, the serial pipeline's
+  // push order. (Each input lane receives at most one flit per cycle — a
+  // lane has exactly one upstream link — so only the consume/credit
+  // sequencing below actually depends on this order; keeping it anyway
+  // makes the equivalence argument uniform.)
+  std::uint64_t staged_flits = 0;
+  for (EngineShard& shard : shards_) {
+    staged_flits += shard.pushes.size();
+    for (const EngineShard::StagedPush& push : shard.pushes) {
+      apply_staged_push(push);
+    }
+    shard.pushes.clear();
+  }
+  for (EngineShard& shard : shards_) {
+    staged_flits += shard.nic_pushes.size();
+    for (const EngineShard::StagedPush& push : shard.nic_pushes) {
+      apply_staged_push(push);
+    }
+    shard.nic_pushes.clear();
+  }
+  // Terminal consumes in shard (= ascending switch) order: PacketPool
+  // releases and the delivery statistics (OnlineStats sums, histogram)
+  // happen in exactly the serial sequence.
+  for (EngineShard& shard : shards_) {
+    for (const Flit& flit : shard.consumed) consume(flit);
+    shard.consumed.clear();
+  }
+  // Credit acks; *credit += 1 commutes, so only the count matters.
+  std::uint64_t staged_credits = 0;
+  for (EngineShard& shard : shards_) {
+    staged_credits += shard.credits.size();
+    for (std::uint32_t* credit : shard.credits) *credit += 1;
+    shard.credits.clear();
+  }
+  for (EngineShard& shard : shards_) {
+    injected_flits_ += shard.injected_flits;
+    shard.injected_flits = 0;
+    if (shard.progressed) {
+      last_progress_cycle_ = cycle_;
+      shard.progressed = false;
+    }
+  }
+  if (prof_) {
+    prof_->merge_staged_flits += staged_flits;
+    prof_->merge_staged_credits += staged_credits;
+    prof_->credit_acks += staged_credits;
+    for (EngineShard& shard : shards_) {
+      prof_->link_flits += shard.prof_link_flits;
+      prof_->routed_headers += shard.prof_routed;
+      prof_->crossbar_flits += shard.prof_crossbar;
+      prof_->add_shard_visits(shard.index, shard.prof_visits);
+    }
+  }
+  for (EngineShard& shard : shards_) {
+    shard.prof_link_flits = 0;
+    shard.prof_routed = 0;
+    shard.prof_crossbar = 0;
+    shard.prof_visits = 0;
+  }
+}
+
+}  // namespace smart

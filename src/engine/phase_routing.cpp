@@ -32,7 +32,7 @@ void CycleEngine::routing_phase() {
   });
 }
 
-void CycleEngine::route_switch(Switch& sw) {
+void CycleEngine::route_switch(Switch& sw, EngineShard* shard) {
   // Busy (bound/draining) lanes always fail the guard below without side
   // effects, so the scan skips them at the bitmask level.
   const std::uint64_t mask = sw.in_nonempty & ~sw.in_busy;
@@ -59,7 +59,10 @@ void CycleEngine::route_switch(Switch& sw) {
       if (pkt.unroutable) {
         // Faults left this packet without a route: drain and discard the
         // worm (one flit per cycle, crediting upstream) instead of
-        // letting it wedge the lane forever.
+        // letting it wedge the lane forever. Unreachable on the sharded
+        // pipeline (it requires faults, which force the serial path), so
+        // the global counters below are never written concurrently.
+        SMART_DCHECK(shard == nullptr);
         pkt.unroutable = false;
         in.dropping = true;
         sw.dropping_count += 1;
@@ -84,7 +87,8 @@ void CycleEngine::route_switch(Switch& sw) {
     sw.in_busy |= std::uint64_t{1} << index;
     sw.add_active_input(index);
     sw.route_rr = index + 1;
-    if (prof_) ++prof_->routed_headers;
+    if (shard) ++shard->prof_routed;
+    else if (prof_) ++prof_->routed_headers;
     return true;  // one successful routing decision per switch per cycle
   };
 

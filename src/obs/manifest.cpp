@@ -82,6 +82,10 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
   echo.set("faults", json::Value(config.faults.to_string()));
   echo.set("obs_enabled", json::Value(config.obs.enabled));
   echo.set("profile_enabled", json::Value(config.prof.enabled));
+  // Provenance only: the sharded engine is bit-identical for every thread
+  // count, so this never explains a metrics diff.
+  echo.set("engine_threads",
+           json::Value(static_cast<double>(config.engine_threads)));
   return echo;
 }
 

@@ -40,6 +40,21 @@ ProfileReport Profiler::report() const {
   out.routed_headers = routed_headers;
   out.crossbar_flits = crossbar_flits;
   out.credit_acks = credit_acks;
+  out.shards = shard_visits_.size();
+  out.parallel_cycles = parallel_cycles;
+  out.merge_staged_flits = merge_staged_flits;
+  out.merge_staged_credits = merge_staged_credits;
+  for (const std::uint64_t visits : shard_visits_) {
+    if (visits > out.shard_switch_visits_max) {
+      out.shard_switch_visits_max = visits;
+    }
+  }
+  out.shard_switch_visits_min = out.shard_switch_visits_max;
+  for (const std::uint64_t visits : shard_visits_) {
+    if (visits < out.shard_switch_visits_min) {
+      out.shard_switch_visits_min = visits;
+    }
+  }
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 namespace smart {
 
@@ -93,6 +94,20 @@ struct ProfileReport {
   std::uint64_t crossbar_flits = 0;   ///< input→output lane advances
   std::uint64_t credit_acks = 0;      ///< upstream credit acknowledgements
 
+  // Sharded (multi-threaded) engine. All deterministic counts — but they
+  // legitimately differ between a serial and a sharded run of the same
+  // configuration (like fused_hit_rate differs between fault-free and
+  // faulted runs), so thread-count bit-identity is pinned on the engine/
+  // and latency/ namespaces, not on these.
+  std::uint64_t shards = 0;           ///< worker shards (0 = serial engine)
+  std::uint64_t parallel_cycles = 0;  ///< cycles run on the sharded path
+  std::uint64_t merge_staged_flits = 0;    ///< cross-shard flit pushes merged
+  std::uint64_t merge_staged_credits = 0;  ///< staged credit acks merged
+  /// Spread of per-shard switch visits over the run (static-partition load
+  /// balance; equal shards ⇒ max ≈ min).
+  std::uint64_t shard_switch_visits_max = 0;
+  std::uint64_t shard_switch_visits_min = 0;
+
   [[nodiscard]] const PhaseProfile& phase(ProfPhase p) const noexcept {
     return phases[static_cast<std::size_t>(p)];
   }
@@ -136,6 +151,16 @@ class Profiler {
     lane_capacity_ = flits;
   }
 
+  /// Declares the sharded engine's shard count (once, at engine
+  /// construction); sizes the per-shard visit counters.
+  void set_shards(std::size_t shards) { shard_visits_.assign(shards, 0); }
+
+  /// Credits `visits` switch visits to `shard` (merged serially by the
+  /// engine after each parallel pass).
+  void add_shard_visits(std::size_t shard, std::uint64_t visits) noexcept {
+    shard_visits_[shard] += visits;
+  }
+
   [[nodiscard]] ProfileReport report() const;
 
   // Hot work counters, incremented directly from the phase translation
@@ -145,6 +170,10 @@ class Profiler {
   std::uint64_t routed_headers = 0;
   std::uint64_t crossbar_flits = 0;
   std::uint64_t credit_acks = 0;
+  // Sharded-engine counters (see ProfileReport for semantics).
+  std::uint64_t parallel_cycles = 0;
+  std::uint64_t merge_staged_flits = 0;
+  std::uint64_t merge_staged_credits = 0;
 
  private:
   std::array<std::uint64_t, kProfPhaseCount> phase_ns_{};
@@ -158,6 +187,7 @@ class Profiler {
   std::uint64_t lane_capacity_ = 0;
   std::size_t switch_count_ = 0;
   std::size_t nic_count_ = 0;
+  std::vector<std::uint64_t> shard_visits_;  ///< per-shard switch visits
 };
 
 }  // namespace smart

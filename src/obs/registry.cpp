@@ -173,6 +173,16 @@ void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p) {
   reg.counter("profile/routed_headers", p.routed_headers);
   reg.counter("profile/crossbar_flits", p.crossbar_flits);
   reg.counter("profile/credit_acks", p.credit_acks);
+  // Sharded-engine counters: deterministic for a fixed thread count, but
+  // they differ between serial and sharded runs of the same configuration
+  // (a merge only exists when shards do) — thread-count bit-identity is
+  // asserted on engine/ and latency/, never on these.
+  reg.counter("profile/shards", p.shards);
+  reg.counter("profile/parallel_cycles", p.parallel_cycles);
+  reg.counter("profile/merge_staged_flits", p.merge_staged_flits);
+  reg.counter("profile/merge_staged_credits", p.merge_staged_credits);
+  reg.counter("profile/shard_switch_visits_max", p.shard_switch_visits_max);
+  reg.counter("profile/shard_switch_visits_min", p.shard_switch_visits_min);
   // Wall-time shares are noisy: the whole slice lives in the advisory
   // time/ namespace so an A/B report never fails on scheduler jitter.
   for (std::size_t i = 0; i < kProfPhaseCount; ++i) {

@@ -25,6 +25,8 @@ class CubeDorRouting final : public RoutingAlgorithm {
                                                   unsigned in_lane, Packet& pkt,
                                                   std::uint64_t cycle) override;
   [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  /// Pure function of (switch, packet): no RNG, no mutable members.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
 
   /// The unique productive (dimension, +direction) for a packet at switch s,
   /// or nullopt when s is the destination. Exposed for tests and for the

@@ -30,6 +30,8 @@ class CubeDuatoRouting final : public RoutingAlgorithm {
                                                   unsigned in_lane, Packet& pkt,
                                                   std::uint64_t cycle) override;
   [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  /// Pure function of (switch, packet); the escape path (DOR) is too.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
 
  private:
   const KaryNCube& cube_;

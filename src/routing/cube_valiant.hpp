@@ -35,6 +35,11 @@ class CubeValiantRouting final : public RoutingAlgorithm {
                                                   std::uint64_t cycle) override;
   [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
   [[nodiscard]] bool is_minimal() const override { return false; }
+  /// The intermediate-node draw comes from rng_, shared across switches:
+  /// the global order of route() calls is load-bearing, so the sharded
+  /// engine must not run this algorithm concurrently (stays at default
+  /// false; spelled out for documentation).
+  [[nodiscard]] bool concurrent_safe() const override { return false; }
 
  private:
   const KaryNCube& cube_;

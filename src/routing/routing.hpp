@@ -59,6 +59,17 @@ class RoutingAlgorithm {
   /// such as Valiant routing return false.
   [[nodiscard]] virtual bool is_minimal() const { return true; }
 
+  /// True when route() may be called concurrently for switches in
+  /// different engine shards: the decision must depend only on the switch
+  /// and packet passed in (plus immutable members). Algorithms that draw
+  /// from an RNG shared across switches — Valiant's intermediate draw, the
+  /// tree's kRandom tie-break — must return false: the multi-threaded
+  /// engine then keeps its serial pipeline, because the global order of
+  /// route() calls (and with it the shared draw sequence) is what the
+  /// bit-identity guarantee pins. Defaults to false so extensions are
+  /// serial until they opt in.
+  [[nodiscard]] virtual bool concurrent_safe() const { return false; }
+
  protected:
   /// True when the physical channel behind output port `port` of `sw`
   /// currently accepts traffic (always true without an attached FaultState).

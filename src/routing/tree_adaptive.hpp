@@ -50,6 +50,11 @@ class TreeAdaptiveRouting final : public RoutingAlgorithm {
                                                   std::uint64_t cycle) override;
   [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
   [[nodiscard]] TreeSelection selection() const noexcept { return selection_; }
+  /// kRandom tie-breaks draw from rng_, shared across switches — the order
+  /// of route() calls then matters, so only the other selections are safe.
+  [[nodiscard]] bool concurrent_safe() const override {
+    return selection_ != TreeSelection::kRandom;
+  }
 
  private:
   [[nodiscard]] unsigned scan_start(const Switch& sw, PortId in_port);

@@ -65,4 +65,86 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+// Spins this many iterations waiting for the next epoch before parking on
+// the condition variable. run() is called a few times per simulated cycle,
+// so the wait is almost always nanoseconds; parking matters only when the
+// engine stops stepping (between runs, or a serial stretch of the driver).
+constexpr int kSpinsBeforePark = 1 << 14;
+}  // namespace
+
+WorkerTeam::WorkerTeam(std::size_t size) {
+  if (size == 0) {
+    size = std::max(1U, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(size - 1);
+  for (std::size_t w = 1; w < size; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  stop_.store(true);
+  {
+    // The lock pairs with the parked workers' predicate re-check so the
+    // stop flag cannot slip between their predicate test and wait.
+    std::lock_guard lock(mutex_);
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void WorkerTeam::run(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  fn_ = &fn;
+  done_.store(0, std::memory_order_relaxed);
+  // Publishes fn_: workers acquire epoch_ before reading it. seq_cst (the
+  // default) also orders the increment against the parked_ load below, so
+  // a worker deciding to park either sees the new epoch or is seen here.
+  epoch_.fetch_add(1);
+  if (parked_.load() > 0) {
+    std::lock_guard lock(mutex_);
+    cv_.notify_all();
+  }
+  fn(0);
+  // Spin for the stragglers; the passes are balanced by construction, so
+  // this wait is short. yield() keeps oversubscribed runs (CI) live.
+  while (done_.load(std::memory_order_acquire) < workers_.size()) {
+    std::this_thread::yield();
+  }
+  fn_ = nullptr;
+}
+
+void WorkerTeam::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (++spins < kSpinsBeforePark) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock lock(mutex_);
+      parked_.fetch_add(1);
+      cv_.wait(lock, [this, seen] {
+        return epoch_.load(std::memory_order_acquire) != seen ||
+               stop_.load(std::memory_order_acquire);
+      });
+      parked_.fetch_sub(1);
+      break;  // re-test the outer condition
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (epoch_.load(std::memory_order_acquire) == seen) continue;
+    // run() never advances the epoch while an epoch is in flight, so the
+    // increment is exactly one ahead of `seen`.
+    ++seen;
+    (*fn_)(worker);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
 }  // namespace smart

@@ -1,10 +1,14 @@
 // Minimal thread pool for running independent simulation points of a load
-// sweep in parallel. Each sweep point owns its RNG stream, so results are
-// identical whether the sweep runs on one thread or many.
+// sweep in parallel (each sweep point owns its RNG stream, so results are
+// identical whether the sweep runs on one thread or many), plus the
+// WorkerTeam the cycle engine uses for barrier-synchronized phase passes
+// inside a single run.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -46,6 +50,52 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+};
+
+/// A persistent team of workers for fine-grained fork/join: run(fn) executes
+/// fn(worker) on every worker index in [0, size()) and returns only when all
+/// of them have finished (a full barrier). The calling thread participates
+/// as worker 0, so a team of size 1 spawns no threads at all.
+///
+/// Unlike ThreadPool (a mutex/condvar task queue, fine for whole simulation
+/// points), the team is built for the cycle engine's per-cycle phase passes:
+/// a run() round trip costs a couple of atomic operations per worker, not a
+/// queue lock. Workers spin briefly between epochs and park on a condition
+/// variable when idle for longer, so an engine that stops stepping does not
+/// burn CPU.
+class WorkerTeam {
+ public:
+  /// `size` workers total, including the caller; 0 means
+  /// hardware_concurrency (min 1).
+  explicit WorkerTeam(std::size_t size);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs fn(worker) for every worker in [0, size()) — worker 0 on the
+  /// calling thread — and returns when all have finished. fn must not
+  /// throw. Not reentrant and not thread-safe: one run() at a time.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  /// Incremented by run() to publish fn_ (release); workers acquire it.
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Workers that have finished the current epoch's fn.
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> stop_{false};
+  /// Workers currently parked on cv_ (after spinning too long idle).
+  std::atomic<std::size_t> parked_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
 };
 
 }  // namespace smart

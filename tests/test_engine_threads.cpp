@@ -1,0 +1,281 @@
+// Thread-count determinism matrix (PR 5).
+//
+// The sharded parallel pipeline (src/engine/phase_parallel.cpp) promises
+// bit-identical results for every value of SimConfig::engine_threads.
+// This file pins that promise: every engine-equivalence scenario from
+// test_engine_refactor.cpp plus two 256-node configs (large enough to
+// actually shard — the parallel path needs > 64 switches) run at
+// threads ∈ {1, 2, 4, 7} and must produce registries that match the
+// serial run bit for bit. 7 is deliberately odd: 4-word index spaces
+// split 7 ways produce uneven shards, catching any partition-dependent
+// ordering. The time/ namespace (wall clock) is the only excluded slice;
+// profile/ is excluded implicitly by not enabling the profiler here,
+// because its shard/merge counters legitimately depend on the pipeline
+// that ran (see register_profile_metrics).
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "core/network.hpp"
+#include "obs/registry.hpp"
+
+namespace smart {
+namespace {
+
+constexpr unsigned kThreadMatrix[] = {2, 4, 7};
+
+SimulationResult run_with_threads(SimConfig config, unsigned threads) {
+  config.engine_threads = threads;
+  Network network(config);
+  return network.run();
+}
+
+MetricsRegistry registry_of(const SimulationResult& result) {
+  MetricsRegistry registry;
+  register_run_metrics(registry, result);
+  return registry;
+}
+
+// Bit-identity, not tolerance: EXPECT_EQ on the double payloads demands
+// the exact same bits the serial pipeline produced.
+void expect_identical_registries(const MetricsRegistry& serial,
+                                 const MetricsRegistry& threaded,
+                                 unsigned threads) {
+  ASSERT_EQ(serial.size(), threaded.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const Metric& a = serial.metrics()[i];
+    const Metric& b = threaded.metrics()[i];
+    ASSERT_EQ(a.name, b.name) << "threads=" << threads;
+    if (std::string_view(a.name).starts_with("time/")) continue;
+    EXPECT_EQ(a.kind, b.kind) << a.name << " threads=" << threads;
+    EXPECT_EQ(a.value, b.value) << a.name << " threads=" << threads;
+    EXPECT_EQ(a.hist.count, b.hist.count) << a.name << " threads=" << threads;
+    EXPECT_EQ(a.hist.p50, b.hist.p50) << a.name << " threads=" << threads;
+    EXPECT_EQ(a.hist.p95, b.hist.p95) << a.name << " threads=" << threads;
+    EXPECT_EQ(a.hist.p99, b.hist.p99) << a.name << " threads=" << threads;
+  }
+}
+
+void expect_thread_invariant(const SimConfig& config) {
+  const SimulationResult serial = run_with_threads(config, 1);
+  const MetricsRegistry serial_registry = registry_of(serial);
+  for (const unsigned threads : kThreadMatrix) {
+    const SimulationResult threaded = run_with_threads(config, threads);
+    // Spot-check the raw result first so a mismatch reads directly...
+    EXPECT_EQ(serial.generated_packets, threaded.generated_packets)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.delivered_packets, threaded.delivered_packets)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.delivered_flits, threaded.delivered_flits)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.accepted_fraction, threaded.accepted_fraction)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.latency_cycles.mean(), threaded.latency_cycles.mean())
+        << "threads=" << threads;
+    EXPECT_EQ(serial.hops.mean(), threaded.hops.mean())
+        << "threads=" << threads;
+    EXPECT_EQ(serial.deadlocked, threaded.deadlocked)
+        << "threads=" << threads;
+    // ...then the registry sweep covers every exported number at once.
+    expect_identical_registries(serial_registry, registry_of(threaded),
+                                threads);
+  }
+}
+
+// ---- 256-node configs: large enough for the sharded pipeline ----------
+//
+// 16-ary 2-cube: 256 switches = 4 ActiveSet words, so --threads 4 shards
+// one word each and --threads 7 clamps to 4 shards; the 4-ary 4-tree has
+// 256 NICs and 256 switches with a different attachment pattern (every
+// NIC on a leaf switch), exercising the staged NIC→switch hand-off.
+
+SimConfig cube256_config() {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 16;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  return config;
+}
+
+SimConfig tree256_config() {
+  SimConfig config;
+  config.net.topology = TopologyKind::kTree;
+  config.net.k = 4;
+  config.net.n = 4;
+  config.net.vcs = 2;
+  config.net.routing = RoutingKind::kTreeAdaptive;
+  config.traffic.pattern = PatternKind::kTranspose;
+  config.traffic.offered_fraction = 0.4;
+  config.traffic.seed = 21;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  return config;
+}
+
+TEST(EngineThreads, Cube256DuatoShardedMatrix) {
+  expect_thread_invariant(cube256_config());
+}
+
+TEST(EngineThreads, Tree256AdaptiveShardedMatrix) {
+  expect_thread_invariant(tree256_config());
+}
+
+// The profiler proves the parallel pipeline actually ran (the matrix
+// above would pass vacuously if setup_parallel always fell back to
+// serial). profile/ metrics are pipeline-dependent by design, so this
+// lives outside the bit-identity sweep.
+TEST(EngineThreads, Cube256ActuallyShards) {
+  SimConfig config = cube256_config();
+  config.prof.enabled = true;
+  config.engine_threads = 4;
+  Network network(config);
+  const SimulationResult result = network.run();
+  MetricsRegistry registry;
+  register_run_metrics(registry, result);
+  const Metric* shards = registry.find("profile/shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->value, 4.0);  // 256 switches = 4 words, one per shard
+  const Metric* cycles = registry.find("profile/parallel_cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_GT(cycles->value, 0.0);
+  const Metric* staged = registry.find("profile/merge_staged_flits");
+  ASSERT_NE(staged, nullptr);
+  EXPECT_GT(staged->value, 0.0);  // uniform traffic must cross shards
+}
+
+TEST(EngineThreads, SmallFabricFallsBackToSerial) {
+  SimConfig config = cube256_config();
+  config.net.k = 4;  // 16 switches: one ActiveSet word, nothing to shard
+  config.prof.enabled = true;
+  config.engine_threads = 4;
+  Network network(config);
+  const SimulationResult result = network.run();
+  MetricsRegistry registry;
+  register_run_metrics(registry, result);
+  const Metric* shards = registry.find("profile/shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->value, 0.0);
+  const Metric* cycles = registry.find("profile/parallel_cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_EQ(cycles->value, 0.0);
+}
+
+// ---- engine-equivalence scenarios from test_engine_refactor.cpp -------
+//
+// These fabrics are below the sharding threshold (16 switches) or force
+// the serial fallback (faults, Valiant's shared RNG); the matrix pins
+// that a thread *budget* never changes their results either — the
+// fallback decision is part of the determinism contract.
+
+TEST(EngineThreads, GoldenCubeDuatoUniformMatrix) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  expect_thread_invariant(config);
+}
+
+TEST(EngineThreads, GoldenTreeTransposeMatrix) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kTree;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.vcs = 2;
+  config.net.routing = RoutingKind::kTreeAdaptive;
+  config.traffic.pattern = PatternKind::kTranspose;
+  config.traffic.offered_fraction = 0.6;
+  config.traffic.seed = 21;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  expect_thread_invariant(config);
+}
+
+TEST(EngineThreads, GoldenMeshDorTornadoMatrix) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.wraparound = false;
+  config.net.routing = RoutingKind::kCubeDeterministic;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.35;
+  config.traffic.seed = 3;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  expect_thread_invariant(config);
+}
+
+TEST(EngineThreads, GoldenFaultedCubeWithDrainMatrix) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.5;
+  config.traffic.seed = 11;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  config.timing.drain_after_horizon = true;
+  config.faults.add_link(0, 0, 500, 2500);
+  config.faults.add_switch(5, 800, 2000);
+  expect_thread_invariant(config);
+}
+
+TEST(EngineThreads, GoldenBurstyInjectionMatrix) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.injection = InjectionKind::kBursty;
+  config.traffic.burst_factor = 6.0;
+  config.traffic.mean_burst_cycles = 120.0;
+  config.traffic.offered_fraction = 0.4;
+  config.traffic.seed = 17;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  expect_thread_invariant(config);
+}
+
+TEST(EngineThreads, GoldenValiantMultiChannelMatrix) {
+  SimConfig config;
+  config.net.topology = TopologyKind::kCube;
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeValiant;
+  config.net.injection_channels = 4;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.3;
+  config.traffic.seed = 5;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  expect_thread_invariant(config);
+}
+
+// Bursty arrivals on the sharded 256-node cube: the burst state machine
+// advances inside the parallel gen region, so this catches any draw-order
+// slip the Bernoulli fast path would hide.
+TEST(EngineThreads, Cube256BurstyShardedMatrix) {
+  SimConfig config = cube256_config();
+  config.traffic.injection = InjectionKind::kBursty;
+  config.traffic.burst_factor = 6.0;
+  config.traffic.offered_fraction = 0.3;
+  expect_thread_invariant(config);
+}
+
+}  // namespace
+}  // namespace smart

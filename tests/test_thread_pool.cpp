@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace smart {
@@ -54,6 +57,68 @@ TEST(ThreadPool, ReusableAfterWait) {
 TEST(ThreadPool, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1U);
+}
+
+// ---- WorkerTeam: the engine's barrier-synchronized fork/join team ------
+
+TEST(WorkerTeam, RunCoversEveryWorkerIndexExactlyOnce) {
+  WorkerTeam team(4);
+  ASSERT_EQ(team.size(), 4U);
+  std::vector<std::atomic<int>> hits(team.size());
+  team.run([&hits](std::size_t worker) { hits[worker].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(WorkerTeam, CallerParticipatesAsWorkerZero) {
+  WorkerTeam team(3);
+  std::thread::id id_of_zero;
+  team.run([&id_of_zero](std::size_t worker) {
+    if (worker == 0) id_of_zero = std::this_thread::get_id();
+  });
+  EXPECT_EQ(id_of_zero, std::this_thread::get_id());
+}
+
+TEST(WorkerTeam, RunIsABarrier) {
+  // Every run() must complete all workers before returning: accumulate a
+  // per-round sum with plain (non-atomic) slots — only the barrier makes
+  // the cross-round reads safe, so TSan guards this test too.
+  WorkerTeam team(4);
+  std::vector<std::uint64_t> slot(team.size(), 0);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 1000; ++round) {
+    team.run([&slot](std::size_t worker) { slot[worker] += worker + 1; });
+    total = slot[0] + slot[1] + slot[2] + slot[3];
+  }
+  EXPECT_EQ(total, 1000U * (1 + 2 + 3 + 4));
+}
+
+TEST(WorkerTeam, SizeOneRunsInline) {
+  WorkerTeam team(1);
+  EXPECT_EQ(team.size(), 1U);
+  std::size_t seen = 99;
+  std::thread::id id;
+  team.run([&](std::size_t worker) {
+    seen = worker;
+    id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, 0U);
+  EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(WorkerTeam, DefaultSizeMatchesHardware) {
+  WorkerTeam team(0);
+  EXPECT_GE(team.size(), 1U);
+}
+
+TEST(WorkerTeam, ReusableAfterIdlePark) {
+  // Let the workers fall into the parked state (they spin ~16k iterations
+  // first), then make sure a fresh run() wakes every one of them.
+  WorkerTeam team(3);
+  std::atomic<int> counter{0};
+  team.run([&counter](std::size_t) { counter.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  team.run([&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 6);
 }
 
 }  // namespace

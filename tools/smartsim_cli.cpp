@@ -51,10 +51,14 @@ void usage() {
       "  --warmup <cycles>           (default 2000)\n"
       "  --horizon <cycles>          (default 20000)\n"
       "  --replications <N>         average N seeds, report 95%% CIs\n"
-      "  --threads <N>               worker threads for sweeps and\n"
-      "                              replications (default 1; 0 = one per\n"
-      "                              hardware thread); results are\n"
-      "                              identical for any thread count\n"
+      "  --threads <N>               worker-thread budget (default 1; 0 =\n"
+      "                              one per hardware thread). Sweep points\n"
+      "                              and replications run concurrently\n"
+      "                              first; leftover threads run inside\n"
+      "                              each simulation (the engine's sharded\n"
+      "                              pipeline), so a single run uses all N.\n"
+      "                              Results are bit-identical for every\n"
+      "                              thread count\n"
       "  --csv <path>                also write results as CSV\n"
       "  --absolute                  report bits/ns and ns via the cost model\n"
       "  --faults <spec>             deterministic fault schedule, comma-\n"
