@@ -85,6 +85,17 @@ class JsonReport {
     flush();
   }
 
+  /// Registers a wall-clock gauge under the advisory time/ namespace of
+  /// the bench manifest: the regression tool warns on drift instead of
+  /// failing, which is the right contract for machine-dependent rates
+  /// such as simulated cycles per second.
+  void advisory_gauge(const std::string& name, double value,
+                      std::string unit = {}) {
+    if (!enabled()) return;
+    registry_.gauge("time/" + name, value, std::move(unit));
+    write_run_manifest();
+  }
+
  private:
   /// Snapshots the table's last row (its highest-load / final point) into
   /// the manifest's metric registry as `bench/<table>/<column>` gauges.

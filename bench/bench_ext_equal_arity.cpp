@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
               "4-tree (256 nodes, 2-byte flits, uniform traffic)\n");
 
   NetworkSpec cube4;
-  cube4.topology = TopologyKind::kCube;
+  cube4.topology = std::string("cube");
   cube4.k = 4;
   cube4.n = 4;
   cube4.vcs = 4;
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     // Delays for the equal-arity router: the Chien model with this row's
     // wire class (the stock helpers assume short cube wires).
     RouterDelays delays;
-    if (row.spec.topology == TopologyKind::kTree) {
+    if (row.spec.topology == std::string("tree")) {
       delays = tree_adaptive_delays(row.spec.k, row.spec.vcs);
     } else {
       const unsigned nn = row.spec.n;

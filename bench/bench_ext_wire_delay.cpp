@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
           saturation[i].accepted_fraction *
               scales[i].capacity_flits_per_node_cycle,
           scales[i].nodes, scales[i].flit_bytes, clocks[i]);
-      if (configs[i].spec.topology == TopologyKind::kCube) {
+      if (configs[i].spec.topology == std::string("cube")) {
         best_cube = std::max(best_cube, throughput[i]);
       } else {
         best_tree = std::max(best_tree, throughput[i]);

@@ -76,9 +76,9 @@ void BM_UniformPatternDraw(benchmark::State& state) {
 }
 BENCHMARK(BM_UniformPatternDraw);
 
-SimConfig simulation_config(TopologyKind topology, double load) {
+SimConfig simulation_config(const std::string& topology, double load) {
   SimConfig config;
-  if (topology == TopologyKind::kCube) {
+  if (topology == std::string("cube")) {
     config.net = paper_cube_spec(RoutingKind::kCubeDuato);
   } else {
     config.net = paper_tree_spec(4);
@@ -89,7 +89,7 @@ SimConfig simulation_config(TopologyKind topology, double load) {
 }
 
 void BM_CubeSimulationCycles(benchmark::State& state) {
-  Network network(simulation_config(TopologyKind::kCube, 0.5));
+  Network network(simulation_config(std::string("cube"), 0.5));
   for (auto _ : state) {
     network.step();
   }
@@ -100,7 +100,7 @@ void BM_CubeSimulationCycles(benchmark::State& state) {
 BENCHMARK(BM_CubeSimulationCycles)->Iterations(4000);
 
 void BM_TreeSimulationCycles(benchmark::State& state) {
-  Network network(simulation_config(TopologyKind::kTree, 0.5));
+  Network network(simulation_config(std::string("tree"), 0.5));
   for (auto _ : state) {
     network.step();
   }
@@ -114,7 +114,7 @@ BENCHMARK(BM_TreeSimulationCycles)->Iterations(4000);
 // where the long sweeps spend most of their points; these two benches guard
 // the active-set scheduler's payoff there (and the idle-fabric cost at 10 %).
 void BM_CubeSimulationCyclesNormalLoad(benchmark::State& state) {
-  Network network(simulation_config(TopologyKind::kCube, 1.0 / 3.0));
+  Network network(simulation_config(std::string("cube"), 1.0 / 3.0));
   for (auto _ : state) {
     network.step();
   }
@@ -125,7 +125,7 @@ void BM_CubeSimulationCyclesNormalLoad(benchmark::State& state) {
 BENCHMARK(BM_CubeSimulationCyclesNormalLoad)->Iterations(4000);
 
 void BM_CubeSimulationCyclesLowLoad(benchmark::State& state) {
-  Network network(simulation_config(TopologyKind::kCube, 0.1));
+  Network network(simulation_config(std::string("cube"), 0.1));
   for (auto _ : state) {
     network.step();
   }
@@ -136,7 +136,7 @@ void BM_CubeSimulationCyclesLowLoad(benchmark::State& state) {
 BENCHMARK(BM_CubeSimulationCyclesLowLoad)->Iterations(4000);
 
 void BM_TreeSimulationCyclesNormalLoad(benchmark::State& state) {
-  Network network(simulation_config(TopologyKind::kTree, 1.0 / 3.0));
+  Network network(simulation_config(std::string("tree"), 1.0 / 3.0));
   for (auto _ : state) {
     network.step();
   }
@@ -147,7 +147,7 @@ void BM_TreeSimulationCyclesNormalLoad(benchmark::State& state) {
 BENCHMARK(BM_TreeSimulationCyclesNormalLoad)->Iterations(4000);
 
 void BM_TreeSimulationCyclesLowLoad(benchmark::State& state) {
-  Network network(simulation_config(TopologyKind::kTree, 0.1));
+  Network network(simulation_config(std::string("tree"), 0.1));
   for (auto _ : state) {
     network.step();
   }
@@ -166,7 +166,7 @@ BENCHMARK(BM_TreeSimulationCyclesLowLoad)->Iterations(4000);
 // cores; on fewer cores the rows degrade gracefully but measure
 // oversubscription, not the pipeline.
 void BM_CubeSimulationCyclesThreaded(benchmark::State& state) {
-  SimConfig config = simulation_config(TopologyKind::kCube, 0.5);
+  SimConfig config = simulation_config(std::string("cube"), 0.5);
   config.engine_threads = static_cast<unsigned>(state.range(0));
   Network network(config);
   for (auto _ : state) {
@@ -184,7 +184,7 @@ BENCHMARK(BM_CubeSimulationCyclesThreaded)
     ->UseRealTime();
 
 void BM_TreeSimulationCyclesThreaded(benchmark::State& state) {
-  SimConfig config = simulation_config(TopologyKind::kTree, 0.5);
+  SimConfig config = simulation_config(std::string("tree"), 0.5);
   config.engine_threads = static_cast<unsigned>(state.range(0));
   Network network(config);
   for (auto _ : state) {

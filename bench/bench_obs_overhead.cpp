@@ -48,7 +48,7 @@ bool identical(const SimulationResult& a, const SimulationResult& b) {
 
 int run_bench() {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 3;
   config.net.routing = RoutingKind::kCubeDuato;

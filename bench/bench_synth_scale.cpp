@@ -1,0 +1,87 @@
+// Large-fabric scaling bench for the topology-synthesis subsystem.
+//
+// One quick load point per generated family at >= 4096 nodes, run on the
+// sharded engine with four worker threads. The tables capture the
+// deterministic scale facts (fabric size, shard count, derived clock,
+// accepted traffic, mean hops) per family — one single-row table each, so
+// every value lands in the manifest as a strict bench/ gauge. The
+// simulation rate (cycles/s, Mflits/s) is machine-dependent and goes into
+// the advisory time/ namespace instead: `smartsim_report --check` between
+// two bench runs then gates the deterministic outputs hard and warns when
+// throughput at scale drifts beyond the time threshold.
+#include "bench_common.hpp"
+
+#include "obs/registry.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
+
+int main(int argc, char** argv) {
+  smart::benchtool::init_cli(argc, argv);
+  using namespace smart;
+  using namespace smart::benchtool;
+
+  ensure_builtin_families();
+  std::printf("Topology synthesis — generated fabrics at 4K nodes, "
+              "sharded engine, 4 threads\n");
+
+  struct Case {
+    const char* spec;
+    RoutingKind routing;
+  };
+  const Case cases[] = {
+      {"fattree2:nodes=4096,radix=36", RoutingKind::kUpDown},
+      {"clos:m=16,n=16,r=256", RoutingKind::kUpDown},
+      {"torus:nodes=4096,dims=3", RoutingKind::kTorusDor},
+      {"tehcube:k=4,dims=8", RoutingKind::kTorusDor},
+  };
+  const std::uint64_t horizon = quick_mode() ? 600 : 1500;
+
+  for (const Case& c : cases) {
+    TopoSpec spec;
+    std::string error;
+    if (!parse_topology_spec(c.spec, &spec, &error)) {
+      std::fprintf(stderr, "bad spec %s: %s\n", c.spec, error.c_str());
+      return 1;
+    }
+    SimConfig config;
+    config.net.topology = spec.family;
+    config.net.topo_params = spec.params;
+    config.net.routing = c.routing;
+    config.traffic.pattern = PatternKind::kUniform;
+    config.traffic.offered_fraction = 0.25;
+    config.traffic.seed = 12345;
+    config.timing.warmup_cycles = 200;
+    config.timing.horizon_cycles = horizon;
+    config.engine_threads = 4;
+
+    const NormalizedScale scale = scale_for(config.net);
+    Network network(config);
+    const SimulationResult& r = network.run();
+    if (r.deadlocked) {
+      std::fprintf(stderr, "%s deadlocked\n", c.spec);
+      return 1;
+    }
+
+    Table table({"spec", "nodes", "switches", "shards", "clock (ns)",
+                 "accepted fraction", "delivered flits", "hops mean"});
+    table.begin_row()
+        .add_cell(std::string{c.spec})
+        .add_cell(static_cast<double>(scale.nodes), 0)
+        .add_cell(static_cast<double>(network.topology().switch_count()), 0)
+        .add_cell(static_cast<double>(r.engine_shards), 0)
+        .add_cell(scale.clock_ns, 2)
+        .add_cell(r.accepted_fraction, 4)
+        .add_cell(static_cast<double>(r.delivered_flits), 0)
+        .add_cell(r.hops.mean(), 2);
+    std::printf("\n%s", table.to_text().c_str());
+    const std::string name = std::string("synth_scale_") + spec.family;
+    write_csv(table, name);
+    JsonReport::instance().advisory_gauge(name + "/cycles_per_second",
+                                          r.sim_cycles_per_second, "1/s");
+    JsonReport::instance().advisory_gauge(name + "/mflits_per_second",
+                                          r.sim_mflits_per_second, "M/s");
+  }
+  std::printf("\nEvery family above runs the parallel word-aligned shard\n"
+              "pipeline; rates are advisory (time/), scale facts strict.\n");
+  return 0;
+}

@@ -5,10 +5,15 @@
 namespace smart {
 
 std::string NetworkSpec::description() const {
-  std::string base =
-      std::to_string(k) + "-ary " + std::to_string(n) +
-      (topology == TopologyKind::kCube ? (wraparound ? "-cube" : "-mesh")
-                                       : "-tree");
+  std::string base;
+  if (topology == "cube" || topology == "mesh") {
+    base = std::to_string(k) + "-ary " + std::to_string(n) +
+           (topology == "cube" && wraparound ? "-cube" : "-mesh");
+  } else if (topology == "tree") {
+    base = std::to_string(k) + "-ary " + std::to_string(n) + "-tree";
+  } else {
+    base = spec_string();
+  }
   return base + ", " + to_string(routing) + ", " + std::to_string(vcs) + " vc";
 }
 
@@ -16,7 +21,7 @@ NetworkSpec paper_cube_spec(RoutingKind routing) {
   SMART_CHECK(routing == RoutingKind::kCubeDeterministic ||
               routing == RoutingKind::kCubeDuato);
   NetworkSpec spec;
-  spec.topology = TopologyKind::kCube;
+  spec.topology = "cube";
   spec.k = 16;
   spec.n = 2;
   spec.routing = routing;
@@ -27,7 +32,7 @@ NetworkSpec paper_cube_spec(RoutingKind routing) {
 NetworkSpec paper_tree_spec(unsigned vcs) {
   SMART_CHECK(vcs == 1 || vcs == 2 || vcs == 4);
   NetworkSpec spec;
-  spec.topology = TopologyKind::kTree;
+  spec.topology = "tree";
   spec.k = 4;
   spec.n = 4;
   spec.routing = RoutingKind::kTreeAdaptive;

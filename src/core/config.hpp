@@ -11,46 +11,48 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cost/normalization.hpp"
 #include "fault/fault.hpp"
 #include "routing/tree_adaptive.hpp"
+#include "topology/registry.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/pattern.hpp"
 
 namespace smart {
-
-enum class TopologyKind : std::uint8_t { kCube, kTree };
 
 enum class RoutingKind : std::uint8_t {
   kCubeDeterministic,  ///< dimension order, two virtual networks
   kCubeDuato,          ///< minimal adaptive with escape channels
   kCubeValiant,        ///< randomized two-phase oblivious (extension)
   kTreeAdaptive,       ///< ascending adaptive / descending deterministic
+  kTorusDor,           ///< dimension order on a mixed-radix torus
+  kUpDown,             ///< up*/down* on a two-level fat-tree / Clos
 };
 
 // Inline so layers below smart_core (the obs manifest writer) can name a
 // configuration without linking the core library.
-[[nodiscard]] inline std::string to_string(TopologyKind kind) {
-  switch (kind) {
-    case TopologyKind::kCube: return "cube";
-    case TopologyKind::kTree: return "fat tree";
-  }
-  return "unknown";
-}
-
 [[nodiscard]] inline std::string to_string(RoutingKind kind) {
   switch (kind) {
     case RoutingKind::kCubeDeterministic: return "deterministic";
     case RoutingKind::kCubeDuato: return "Duato";
     case RoutingKind::kCubeValiant: return "Valiant";
     case RoutingKind::kTreeAdaptive: return "tree adaptive";
+    case RoutingKind::kTorusDor: return "torus DOR";
+    case RoutingKind::kUpDown: return "up*/down*";
   }
   return "unknown";
 }
 
 struct NetworkSpec {
-  TopologyKind topology = TopologyKind::kCube;
+  /// Topology family name in the TopologyRegistry ("cube", "mesh",
+  /// "tree", or a generated family: "fattree2", "clos", "torus",
+  /// "tehcube"); see docs/TOPOLOGIES.md for the catalog.
+  std::string topology = "cube";
+  /// Family parameters as parsed from a spec like "clos:m=8,n=8,r=16".
+  std::vector<std::pair<std::string, std::string>> topo_params;
   unsigned k = 16;  ///< radix (cube) / switch arity half (tree)
   unsigned n = 2;   ///< dimensions (cube) / levels (tree)
   RoutingKind routing = RoutingKind::kCubeDeterministic;
@@ -72,11 +74,39 @@ struct NetworkSpec {
   /// Tree only: fair tie-break of the ascending link choice (ablation).
   TreeSelection tree_selection = TreeSelection::kSaltedAffine;
 
+  /// The registry lookup key for this spec (family + params + the
+  /// legacy k/n/wraparound knobs the paper families honor).
+  [[nodiscard]] TopoSpec topo_spec() const {
+    TopoSpec spec;
+    spec.family = topology;
+    spec.params = topo_params;
+    spec.k = k;
+    spec.n = n;
+    spec.wraparound = wraparound;
+    return spec;
+  }
+
+  /// The canonical "family:key=val,..." form for manifests and logs.
+  [[nodiscard]] std::string spec_string() const {
+    std::string text = topology;
+    for (std::size_t i = 0; i < topo_params.size(); ++i) {
+      text += i == 0 ? ':' : ',';
+      text += topo_params[i].first;
+      text += '=';
+      text += topo_params[i].second;
+    }
+    return text;
+  }
+
   [[nodiscard]] unsigned resolved_flit_bytes() const {
     if (flit_bytes != 0) return flit_bytes;
-    if (topology == TopologyKind::kTree) return kTreeFlitBytes;
-    // Normalized against the paper's quaternary fat-tree switch arity.
-    return normalized_cube_flit_bytes(/*tree_k=*/4, /*cube_n=*/n);
+    if (topology == "cube" || topology == "mesh") {
+      // Normalized against the paper's quaternary fat-tree switch arity.
+      return normalized_cube_flit_bytes(/*tree_k=*/4, /*cube_n=*/n);
+    }
+    // Tree and the generated families default to the paper's 2-byte
+    // fat-tree phit; --flit-bytes overrides.
+    return kTreeFlitBytes;
   }
   [[nodiscard]] unsigned flits_per_packet() const {
     return packet_flits(packet_bytes, resolved_flit_bytes());
@@ -145,6 +175,9 @@ struct SimTiming {
   std::uint64_t drain_max_cycles = 20000;
 };
 
+/// Default SimConfig::serial_fabric_threshold (see that field).
+inline constexpr unsigned kDefaultSerialFabricThreshold = 64;
+
 struct SimConfig {
   NetworkSpec net;
   TrafficSpec traffic;
@@ -162,6 +195,13 @@ struct SimConfig {
   /// (fault plans, trace capture, routing algorithms that draw from an
   /// RNG shared across switches) — the value is a budget, not a demand.
   unsigned engine_threads = 1;
+
+  /// Below (or at) this many switches/NICs the engine stays serial even
+  /// when engine_threads > 1: the sharded pipeline's staging overhead
+  /// beats the parallel win on small fabrics. The chosen path and reason
+  /// are echoed in SimulationResult::engine_path_reason and the run
+  /// manifest. 64 keeps one word-aligned shard per mask word.
+  unsigned serial_fabric_threshold = kDefaultSerialFabricThreshold;
 
   /// Deterministic fault schedule (empty = fault-free: the fault machinery
   /// is bypassed entirely and results are bit-identical to a build without

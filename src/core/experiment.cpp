@@ -6,8 +6,8 @@
 #include <thread>
 
 #include "core/network.hpp"
-#include "topology/kary_ncube.hpp"
-#include "topology/kary_ntree.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -135,6 +135,24 @@ std::size_t normal_traffic_index(const std::vector<SimulationResult>& sweep) {
 }
 
 RouterDelays delays_for(const NetworkSpec& spec) {
+  // A family with a derived-clock callback (the generated fabrics) sizes
+  // its own cycle from channel width and modeled wire length; the paper
+  // families fall back to the fixed normalization below.
+  ensure_builtin_families();
+  const TopologyFamily* family =
+      TopologyRegistry::instance().find(spec.topology);
+  SMART_CHECK_MSG(family != nullptr, "unknown topology family");
+  if (family->clock) {
+    DerivedClock derived;
+    std::string error;
+    SMART_CHECK_MSG(family->clock(spec.topo_spec(), spec.vcs, &derived, &error),
+                    error.c_str());
+    RouterDelays delays;
+    delays.routing_ns = derived.routing_ns;
+    delays.crossbar_ns = derived.crossbar_ns;
+    delays.link_ns = derived.link_ns;
+    return delays;
+  }
   switch (spec.routing) {
     case RoutingKind::kCubeDeterministic:
       return cube_deterministic_delays(spec.n, spec.vcs);
@@ -145,8 +163,13 @@ RouterDelays delays_for(const NetworkSpec& spec) {
       return cube_deterministic_delays(spec.n, spec.vcs);
     case RoutingKind::kTreeAdaptive:
       return tree_adaptive_delays(spec.k, spec.vcs);
+    case RoutingKind::kTorusDor:
+    case RoutingKind::kUpDown:
+      // Only reachable with a paper family + generated-family routing,
+      // which the builders reject before getting here.
+      break;
   }
-  SMART_CHECK_MSG(false, "unknown routing kind");
+  SMART_CHECK_MSG(false, "no delay model for this topology/routing pair");
   return {};
 }
 
@@ -154,17 +177,14 @@ NormalizedScale scale_for(const NetworkSpec& spec) {
   NormalizedScale scale;
   scale.flit_bytes = spec.resolved_flit_bytes();
   scale.clock_ns = delays_for(spec).clock_ns();
-  if (spec.topology == TopologyKind::kCube) {
-    const KaryNCube cube(spec.k, spec.n, spec.wraparound);
-    scale.nodes = cube.node_count();
-    scale.capacity_flits_per_node_cycle =
-        cube.uniform_capacity_flits_per_node_cycle();
-  } else {
-    const KaryNTree tree(spec.k, spec.n);
-    scale.nodes = tree.node_count();
-    scale.capacity_flits_per_node_cycle =
-        tree.uniform_capacity_flits_per_node_cycle();
-  }
+  ensure_builtin_families();
+  std::string error;
+  const auto topo =
+      TopologyRegistry::instance().build(spec.topo_spec(), &error);
+  SMART_CHECK_MSG(topo != nullptr, error.c_str());
+  scale.nodes = topo->node_count();
+  scale.capacity_flits_per_node_cycle =
+      topo->uniform_capacity_flits_per_node_cycle();
   return scale;
 }
 

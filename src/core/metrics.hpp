@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/counters.hpp"
@@ -154,6 +155,14 @@ struct SimulationResult {
   std::uint64_t packets_in_flight_end = 0;
   std::uint64_t source_queue_backlog_end = 0;
   bool deadlocked = false;
+
+  // Execution-path provenance: whether the engine ran the sharded
+  // parallel pipeline or the serial one, and why (echoed into the run
+  // manifest so large-fabric runs are auditable). Never affects the
+  // simulated physics — results are bit-identical either way.
+  bool engine_parallel = false;
+  unsigned engine_shards = 1;
+  std::string engine_path_reason;
 
   // Resilience (all zero / empty on a fault-free run).
   /// Verdict of the progress watchdog; kDeadlock mirrors `deadlocked`.

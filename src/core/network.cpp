@@ -5,9 +5,15 @@
 #include "routing/cube_dor.hpp"
 #include "routing/cube_duato.hpp"
 #include "routing/cube_valiant.hpp"
+#include "routing/torus_dor.hpp"
 #include "routing/tree_adaptive.hpp"
+#include "routing/updown.hpp"
+#include "synth/families.hpp"
 #include "topology/kary_ncube.hpp"
 #include "topology/kary_ntree.hpp"
+#include "topology/mixed_radix_torus.hpp"
+#include "topology/registry.hpp"
+#include "topology/two_level_fattree.hpp"
 #include "util/check.hpp"
 
 namespace smart {
@@ -68,16 +74,15 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
 }
 
 void Network::build_topology() {
-  const NetworkSpec& net = config_.net;
-  if (net.topology == TopologyKind::kCube) {
-    auto cube = std::make_unique<KaryNCube>(net.k, net.n, net.wraparound);
-    cube_ = cube.get();
-    topo_ = std::move(cube);
-  } else {
-    auto tree = std::make_unique<KaryNTree>(net.k, net.n);
-    tree_ = tree.get();
-    topo_ = std::move(tree);
-  }
+  ensure_builtin_families();
+  std::string error;
+  topo_ = TopologyRegistry::instance().build(config_.net.topo_spec(), &error);
+  SMART_CHECK_MSG(topo_ != nullptr, error.c_str());
+  // The routing constructors need the concrete fabric type.
+  cube_ = dynamic_cast<const KaryNCube*>(topo_.get());
+  tree_ = dynamic_cast<const KaryNTree*>(topo_.get());
+  torus_ = dynamic_cast<const MixedRadixTorus*>(topo_.get());
+  fattree_ = dynamic_cast<const TwoLevelFatTree*>(topo_.get());
 }
 
 void Network::build_routing() {
@@ -105,6 +110,16 @@ void Network::build_routing() {
       SMART_CHECK_MSG(tree_ != nullptr, "tree routing requires a fat-tree");
       routing_ = std::make_unique<TreeAdaptiveRouting>(*tree_, net.vcs,
                                                        net.tree_selection);
+      break;
+    case RoutingKind::kTorusDor:
+      SMART_CHECK_MSG(torus_ != nullptr,
+                      "torus DOR requires a mixed-radix torus");
+      routing_ = std::make_unique<TorusDorRouting>(*torus_, net.vcs);
+      break;
+    case RoutingKind::kUpDown:
+      SMART_CHECK_MSG(fattree_ != nullptr,
+                      "up*/down* requires a two-level fat-tree");
+      routing_ = std::make_unique<UpDownRouting>(*fattree_, net.vcs);
       break;
   }
 }

@@ -116,8 +116,12 @@ class Network {
 
   SimConfig config_;
   std::unique_ptr<Topology> topo_;
-  const class KaryNCube* cube_ = nullptr;  // concrete views, owned by topo_
+  // Concrete views (owned by topo_), set when the registry-built fabric
+  // has the matching dynamic type; routing constructors need them.
+  const class KaryNCube* cube_ = nullptr;
   const class KaryNTree* tree_ = nullptr;
+  const class MixedRadixTorus* torus_ = nullptr;
+  const class TwoLevelFatTree* fattree_ = nullptr;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<TrafficPattern> pattern_;
   std::unique_ptr<FaultState> faults_;  ///< null when the plan is empty

@@ -30,6 +30,12 @@ double t_link_medium_ns(unsigned virtual_channels) {
   return 9.64 + 0.6 * log2d(virtual_channels);
 }
 
+double t_link_wire_ns(unsigned virtual_channels, double wire_m) {
+  SMART_CHECK_MSG(wire_m >= 0.0, "wire length must be non-negative");
+  const double flight = wire_m > 0.1 ? (wire_m - 0.1) * 5.0 : 0.0;
+  return t_link_short_ns(virtual_channels) + flight;
+}
+
 double RouterDelays::clock_ns() const noexcept {
   return std::max({routing_ns, crossbar_ns, link_ns});
 }

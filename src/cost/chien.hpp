@@ -25,6 +25,14 @@ namespace smart {
 [[nodiscard]] double t_link_short_ns(unsigned virtual_channels);
 [[nodiscard]] double t_link_medium_ns(unsigned virtual_channels);
 
+/// Extension of eqs. 3/4 to an explicit wire length: the short wire
+/// (eq. 3) models runs up to ~0.1 m inside a board stack; each meter
+/// beyond that adds 5 ns of flight time (~0.2 m/ns signal velocity), so
+/// eq. 4's "medium" wire is the 1.0 m point (9.64 = 5.14 + 0.9 * 5).
+/// The topology-synthesis families use this with their modeled cabinet
+/// layout to derive a per-fabric clock (docs/TOPOLOGIES.md).
+[[nodiscard]] double t_link_wire_ns(unsigned virtual_channels, double wire_m);
+
 enum class WireLength : unsigned char { kShort, kMedium };
 
 /// Which of the three phases sets the clock.

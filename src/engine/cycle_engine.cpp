@@ -101,12 +101,14 @@ void CycleEngine::build_fabric() {
       }
     }
     sw.build_input_lane_index();
-    // The routing phase tracks occupied input lanes in a 64-bit mask and
-    // the link phase tracks occupied output ports in a 32-bit mask.
-    SMART_CHECK_MSG(sw.input_lane_index().size() <= 64,
-                    "more than 64 input lanes per switch is unsupported");
-    SMART_CHECK_MSG(sw.port_count() <= 32,
-                    "more than 32 ports per switch is unsupported");
+    // The flat input-lane directory stores (port, lane) as 16-bit pairs;
+    // the occupancy bitsets themselves size to the fabric. Director-class
+    // spines of generated fabrics reach a few thousand lanes — far below
+    // this bound.
+    SMART_CHECK_MSG(sw.input_lane_index().size() <= 65535,
+                    "more than 65535 input lanes per switch is unsupported");
+    SMART_CHECK_MSG(sw.port_count() <= 65535,
+                    "more than 65535 ports per switch is unsupported");
   }
 
   Rng seeder(config_.traffic.seed);
@@ -381,6 +383,9 @@ void CycleEngine::finalize_result() {
                                    cycles);
     }
   }
+  result_.engine_parallel = parallel_;
+  result_.engine_shards = parallel_ ? static_cast<unsigned>(shards_.size()) : 1;
+  result_.engine_path_reason = engine_path_reason_;
   result_.packets_in_flight_end = pool_.in_flight();
   std::uint64_t backlog = 0;
   for (const Nic& nic : nics_) {

@@ -131,7 +131,7 @@ class CycleEngine {
       Flit flit;
       InputLane* in;
       Switch* peer;
-      std::uint64_t nonempty_bit;  ///< peer->in_nonempty bit of the lane
+      std::uint32_t in_index;  ///< the lane's peer->in_nonempty position
     };
     /// A generation draw ((src, dst), in node order); the pool
     /// allocation happens at merge time so packet ids are handed out in
@@ -232,6 +232,10 @@ class CycleEngine {
 
   // Sharded parallel pipeline (empty/null when running serially).
   bool parallel_ = false;
+  /// Why setup_parallel() chose this execution path; echoed into the
+  /// result (and from there the run manifest) so large-fabric runs are
+  /// auditable.
+  std::string engine_path_reason_;
   std::vector<EngineShard> shards_;
   /// Owning shard of each switch (cross-shard test in the link phase).
   std::vector<std::uint32_t> shard_of_switch_;

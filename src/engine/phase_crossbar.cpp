@@ -63,7 +63,7 @@ void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
     }
 
     Flit flit = in.buf.pop();
-    if (in.buf.empty()) sw.in_nonempty &= ~(std::uint64_t{1} << flat);
+    if (in.buf.empty()) sw.in_nonempty.clear(flat);
     flit.lane = static_cast<std::uint8_t>(in.bound_lane);
     flit.arrival = static_cast<std::uint32_t>(cycle_);
     const bool is_tail = flit.tail;
@@ -71,7 +71,7 @@ void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
     if (shard) ++shard->prof_crossbar;
     else if (prof_) ++prof_->crossbar_flits;
     out_port.out_buffered += 1;
-    sw.out_ports_nonempty |= 1U << static_cast<unsigned>(in.bound_port);
+    sw.out_ports_nonempty.set(static_cast<unsigned>(in.bound_port));
     if (shard) shard->progressed = true;
     else last_progress_cycle_ = cycle_;
 
@@ -87,7 +87,7 @@ void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
       in.unbind();
       out.bound = false;
       sw.bound_count -= 1;
-      sw.in_busy &= ~(std::uint64_t{1} << flat);
+      sw.in_busy.clear(flat);
       sw.remove_active_input(flat);
       continue;  // `i` now indexes the next entry
     }
@@ -98,7 +98,7 @@ void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
 bool CycleEngine::drain_lane(Switch& sw, InputLane& in, std::uint32_t flat) {
   if (in.buf.empty() || in.buf.front().arrival >= cycle_) return false;
   const Flit flit = in.buf.pop();
-  if (in.buf.empty()) sw.in_nonempty &= ~(std::uint64_t{1} << flat);
+  if (in.buf.empty()) sw.in_nonempty.clear(flat);
   sw.buffered -= 1;
   ++dropped_flits_;
   // The freed slot is acknowledged upstream exactly like a crossbar
@@ -110,7 +110,7 @@ bool CycleEngine::drain_lane(Switch& sw, InputLane& in, std::uint32_t flat) {
   if (flit.tail) {
     in.dropping = false;
     sw.dropping_count -= 1;
-    sw.in_busy &= ~(std::uint64_t{1} << flat);
+    sw.in_busy.clear(flat);
     ++dropped_packets_;
     ++epoch_dropped_packets_;
     if (obs_ && config_.obs.trace_enabled()) {

@@ -40,11 +40,20 @@ void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
     return;
   }
   // Walk only the ports holding out-flits (ascending id, like the legacy
-  // full port scan minus its empty-port continues). Pops below may clear
-  // bits, but only for the port being visited, never a later one.
-  std::uint32_t pmask = sw.out_ports_nonempty;
-  while (pmask != 0) {
-    const auto p = static_cast<PortId>(std::countr_zero(pmask));
+  // full port scan minus its empty-port continues), one 64-port word at a
+  // time. Pops below may clear bits, but only for the port being visited,
+  // never a later one — so the per-word snapshot sees every port the full
+  // snapshot would have.
+  const std::size_t port_words = sw.out_ports_nonempty.word_count();
+  std::size_t w = 0;
+  std::uint64_t pmask = sw.out_ports_nonempty.word(0);
+  while (true) {
+    if (pmask == 0) {
+      if (++w >= port_words) break;
+      pmask = sw.out_ports_nonempty.word(w);
+      continue;
+    }
+    const auto p = static_cast<PortId>(w * 64 + std::countr_zero(pmask));
     pmask &= pmask - 1;
     SwitchPort& port = sw.port(p);
     // A faulted link transmits nothing; its flits and credits freeze in
@@ -71,7 +80,7 @@ void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
       else if (prof_) ++prof_->link_flits;
       sw.buffered -= 1;
       port.out_buffered -= 1;
-      if (port.out_buffered == 0) sw.out_ports_nonempty &= ~(1U << p);
+      if (port.out_buffered == 0) sw.out_ports_nonempty.clear(p);
       if (measuring_) ++port.flits_sent;
       if (obs_) obs_->sampler.on_flit(obs_->sampler.link_index(sw.id(), p));
       if (port.peer.kind == PeerKind::kTerminal) {
@@ -98,16 +107,15 @@ void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
           // worker. Deferring the push to the merge is invisible to the
           // physics — the flit is stamped arrival == cycle_, which every
           // same-cycle reader ignores.
-          shard->pushes.push_back(
-              {flit, &port.peer_in[lane], port.peer_sw,
-               std::uint64_t{1} << (port.peer_in_base + lane)});
+          shard->pushes.push_back({flit, &port.peer_in[lane], port.peer_sw,
+                                   port.peer_in_base + lane});
         } else {
           Switch& peer = *port.peer_sw;
           InputLane& in = port.peer_in[lane];
           SMART_DCHECK(!in.buf.full());
           in.buf.push(flit);
           peer.buffered += 1;
-          peer.in_nonempty |= std::uint64_t{1} << (port.peer_in_base + lane);
+          peer.in_nonempty.set(port.peer_in_base + lane);
           active_switches_.mark(port.peer.id);
         }
       }
@@ -170,14 +178,13 @@ void CycleEngine::nic_link_phase(Nic& nic, EngineShard* shard) {
       // The lane cannot overflow: the NIC-side credit just checked above
       // counts exactly the free slots the merge will fill.
       shard->nic_pushes.push_back(
-          {flit, &port.in[lane], &sw,
-           std::uint64_t{1} << (sw.input_base(at.port) + lane)});
+          {flit, &port.in[lane], &sw, sw.input_base(at.port) + lane});
     } else {
       InputLane& in = port.in[lane];
       SMART_DCHECK(!in.buf.full());
       in.buf.push(flit);
       sw.buffered += 1;
-      sw.in_nonempty |= std::uint64_t{1} << (sw.input_base(at.port) + lane);
+      sw.in_nonempty.set(sw.input_base(at.port) + lane);
       active_switches_.mark(at.sw);
     }
     if (measuring_) ++nic.flits_sent;

@@ -43,7 +43,10 @@ namespace smart {
 
 void CycleEngine::setup_parallel() {
   const unsigned budget = config_.engine_threads;
-  if (budget <= 1) return;
+  if (budget <= 1) {
+    engine_path_reason_ = "engine_threads <= 1";
+    return;
+  }
   // Features the sharded pipeline cannot preserve bit-identically run the
   // serial pipeline instead: fault plans (drain/release ordering is
   // interleaved with the phases), trace capture (one global event stream;
@@ -51,15 +54,38 @@ void CycleEngine::setup_parallel() {
   // link pass), and routing algorithms whose route() draws from
   // cross-switch state. Plain --obs stays parallel: stall and sampler
   // counters are per-(switch, port) slots owned by the visiting shard.
-  if (faults_ != nullptr) return;
-  if (config_.obs.trace_enabled() || config_.obs.trace_hops) return;
-  if (!routing_.concurrent_safe()) return;
+  if (faults_ != nullptr) {
+    engine_path_reason_ = "fault plan active";
+    return;
+  }
+  if (config_.obs.trace_enabled() || config_.obs.trace_hops) {
+    engine_path_reason_ = "trace capture active";
+    return;
+  }
+  if (!routing_.concurrent_safe()) {
+    engine_path_reason_ =
+        routing_.name() + " routing is not concurrent-safe";
+    return;
+  }
+  // Small fabrics run serially: with everything in one or two ActiveSet
+  // words the merge overhead dwarfs the pass itself.
+  const std::size_t largest = std::max(switches_.size(), nics_.size());
+  if (largest <= config_.serial_fabric_threshold) {
+    engine_path_reason_ =
+        "fabric at or below the serial-fallback threshold (" +
+        std::to_string(largest) + " <= " +
+        std::to_string(config_.serial_fabric_threshold) + ")";
+    return;
+  }
 
   const std::size_t words = std::max(active_switches_.word_count(),
                                      active_nics_.word_count());
   const std::size_t shard_count =
       std::min<std::size_t>(budget, words);
-  if (shard_count <= 1) return;  // fabric too small to shard (< 65 switches)
+  if (shard_count <= 1) {
+    engine_path_reason_ = "fabric fits a single word-aligned shard";
+    return;
+  }
 
   shards_.resize(shard_count);
   const std::size_t sw_words = active_switches_.word_count();
@@ -83,6 +109,9 @@ void CycleEngine::setup_parallel() {
   }
   team_ = std::make_unique<WorkerTeam>(shard_count);
   parallel_ = true;
+  engine_path_reason_ =
+      std::to_string(shard_count) + " word-aligned shards on " +
+      std::to_string(budget) + " threads";
 }
 
 void CycleEngine::parallel_gen() {
@@ -175,7 +204,7 @@ void CycleEngine::apply_staged_push(const EngineShard::StagedPush& push) {
   SMART_DCHECK(!push.in->buf.full());
   push.in->buf.push(push.flit);
   push.peer->buffered += 1;
-  push.peer->in_nonempty |= push.nonempty_bit;
+  push.peer->in_nonempty.set(push.in_index);
   active_switches_.mark(push.peer->id());
 }
 

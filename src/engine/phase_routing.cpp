@@ -33,10 +33,6 @@ void CycleEngine::routing_phase() {
 }
 
 void CycleEngine::route_switch(Switch& sw, EngineShard* shard) {
-  // Busy (bound/draining) lanes always fail the guard below without side
-  // effects, so the scan skips them at the bitmask level.
-  const std::uint64_t mask = sw.in_nonempty & ~sw.in_busy;
-  if (mask == 0) return;  // nothing routable buffered
   const auto& lanes = sw.input_lane_index();
   const auto total_lanes = static_cast<unsigned>(lanes.size());
 
@@ -66,7 +62,7 @@ void CycleEngine::route_switch(Switch& sw, EngineShard* shard) {
         pkt.unroutable = false;
         in.dropping = true;
         sw.dropping_count += 1;
-        sw.in_busy |= std::uint64_t{1} << index;
+        sw.in_busy.set(index);
         sw.add_active_input(index);
         ++unroutable_packets_;
         if (measuring_) ++window_unroutable_packets_;
@@ -84,7 +80,7 @@ void CycleEngine::route_switch(Switch& sw, EngineShard* shard) {
     in.bound_out_port = &out_port;
     out.bound = true;
     sw.bound_count += 1;
-    sw.in_busy |= std::uint64_t{1} << index;
+    sw.in_busy.set(index);
     sw.add_active_input(index);
     sw.route_rr = index + 1;
     if (shard) ++shard->prof_routed;
@@ -92,16 +88,30 @@ void CycleEngine::route_switch(Switch& sw, EngineShard* shard) {
     return true;  // one successful routing decision per switch per cycle
   };
 
+  // Busy (bound/draining) lanes always fail try_route's guard without side
+  // effects, so the scan drops them at the bitset level, one 64-lane word
+  // at a time. Candidates are visited in round-robin order (positions
+  // >= route_rr ascending, then the wrap-around remainder) — the same
+  // order as the legacy single-word two-pass scan.
+  const auto scan = [&](unsigned begin, unsigned end) {
+    for (std::size_t w = begin / 64; w * 64 < end; ++w) {
+      std::uint64_t bits = sw.in_nonempty.word(w) & ~sw.in_busy.word(w);
+      if (bits == 0) continue;
+      const auto base = static_cast<unsigned>(w * 64);
+      if (begin > base) bits &= ~((std::uint64_t{1} << (begin - base)) - 1);
+      if (end - base < 64) bits &= (std::uint64_t{1} << (end - base)) - 1;
+      while (bits != 0) {
+        const auto index = base + static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (try_route(index)) return true;
+      }
+    }
+    return false;
+  };
   // route_rr is at most total_lanes (last winner + 1); == means wrap.
   const unsigned rr = sw.route_rr >= total_lanes ? 0 : sw.route_rr;
-  const std::uint64_t below_rr = rr != 0 ? (std::uint64_t{1} << rr) - 1 : 0;
-  for (std::uint64_t bits : {mask & ~below_rr, mask & below_rr}) {
-    while (bits != 0) {
-      const auto index = static_cast<unsigned>(std::countr_zero(bits));
-      bits &= bits - 1;
-      if (try_route(index)) return;
-    }
-  }
+  if (scan(rr, total_lanes)) return;
+  if (rr != 0) scan(0, rr);
 }
 
 }  // namespace smart

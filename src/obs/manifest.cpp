@@ -36,7 +36,9 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
   const NetworkSpec& net = config.net;
 
   json::Value network = json::Value::object();
-  network.set("topology", json::Value(to_string(net.topology)));
+  // The full "family:key=val,..." spec: generated fabrics are identified
+  // by their spec, not a k/n pair.
+  network.set("topology", json::Value(net.spec_string()));
   network.set("k", json::Value(static_cast<double>(net.k)));
   network.set("n", json::Value(static_cast<double>(net.n)));
   network.set("routing", json::Value(to_string(net.routing)));

@@ -1,7 +1,10 @@
 #include "obs/registry.hpp"
 
+#include <algorithm>
+
 #include "core/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "topology/topology.hpp"
 
 namespace smart {
 
@@ -209,6 +212,45 @@ void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r) {
   if (r.obs.enabled) register_obs_metrics(reg, r);
   if (r.profile.enabled) register_profile_metrics(reg, r.profile);
   register_time_metrics(reg, r);
+}
+
+void register_topology_metrics(MetricsRegistry& reg, const Topology& topo,
+                               double clock_ns, double wire_m) {
+  const std::size_t switches = topo.switch_count();
+  const std::size_t ports = topo.ports_per_switch();
+  std::uint64_t switch_links = 0;  // directed switch-to-switch channels
+  std::uint64_t terminal_links = 0;
+  std::vector<unsigned> radixes(switches, 0);
+  for (SwitchId s = 0; s < switches; ++s) {
+    for (PortId p = 0; p < ports; ++p) {
+      const PortPeer peer = topo.port_peer(s, p);
+      if (peer.kind == PeerKind::kUnconnected) continue;
+      ++radixes[s];
+      if (peer.kind == PeerKind::kSwitch) ++switch_links;
+      else ++terminal_links;
+    }
+  }
+  reg.counter("topo/nodes", topo.node_count());
+  reg.counter("topo/switches", switches);
+  reg.counter("topo/switch_links", switch_links);
+  reg.counter("topo/terminal_links", terminal_links);
+  reg.counter("topo/diameter", topo.diameter(), "hops");
+  reg.gauge("topo/avg_distance", topo.average_distance(), "hops");
+  reg.counter("topo/bisection_channels", topo.bisection_channels());
+  std::sort(radixes.begin(), radixes.end());
+  const auto pct = [&](double q) {
+    return static_cast<double>(
+        radixes[static_cast<std::size_t>(q * static_cast<double>(
+                                                 radixes.size() - 1))]);
+  };
+  HistogramSummary radix_summary;
+  radix_summary.count = radixes.size();
+  radix_summary.p50 = pct(0.50);
+  radix_summary.p95 = pct(0.95);
+  radix_summary.p99 = pct(0.99);
+  reg.histogram("topo/radix", radix_summary, "ports");
+  reg.gauge("topo/clock_ns", clock_ns, "ns");
+  if (wire_m > 0.0) reg.gauge("topo/wire_m", wire_m, "m");
 }
 
 }  // namespace smart

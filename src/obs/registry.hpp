@@ -32,6 +32,7 @@ namespace smart {
 
 struct SimulationResult;
 struct ProfileReport;
+class Topology;
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
@@ -108,5 +109,14 @@ void register_time_metrics(MetricsRegistry& reg, const SimulationResult& r);
 /// Registers every slice that applies to `r` (fault/obs/profile slices
 /// only when the corresponding subsystem ran).
 void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r);
+
+/// Fabric provenance for generated topologies (topo/ namespace): node,
+/// switch and link counts, the connected-radix distribution, and the
+/// derived clock. Everything here is a pure function of the topology, so
+/// the whole namespace is deterministic and strict-diffed by the report
+/// tool. `wire_m` <= 0 (the paper families' fixed normalization) skips
+/// the wire-length gauge.
+void register_topology_metrics(MetricsRegistry& reg, const Topology& topo,
+                               double clock_ns, double wire_m);
 
 }  // namespace smart

@@ -14,6 +14,7 @@
 
 #include "router/lanes.hpp"
 #include "topology/topology.hpp"
+#include "util/bitwords.hpp"
 
 namespace smart {
 
@@ -78,28 +79,28 @@ class Switch {
   /// lets the crossbar phase skip switches with nothing to drop.
   std::uint32_t dropping_count = 0;
 
-  /// Bitmask over input_lane_index() positions of the input lanes that
+  /// Bitset over input_lane_index() positions of the input lanes that
   /// currently hold at least one flit. Maintained by the engine on every
   /// in-lane push/pop; lets the routing phase scan only occupied lanes
-  /// (empty lanes were pure no-ops in the legacy full scan). Valid only
-  /// while input_lane_index().size() <= 64 — the engine checks at build
-  /// time and every shipped configuration fits.
-  std::uint64_t in_nonempty = 0;
+  /// (empty lanes were pure no-ops in the legacy full scan). Sized by
+  /// build_input_lane_index(); generated fabrics reach thousands of input
+  /// lanes per switch (a 4K-node Clos spine has 256 ports x 4 lanes).
+  BitWords in_nonempty;
 
-  /// Companion bitmask: input lanes currently bound to an output lane or
+  /// Companion bitset: input lanes currently bound to an output lane or
   /// draining an unroutable worm. The routing phase scans
-  /// `in_nonempty & ~in_busy` — busy lanes always failed its
+  /// `in_nonempty & ~in_busy` word by word — busy lanes always failed its
   /// `bound() || dropping` guard without side effects, so masking them out
   /// up front changes nothing but the work done. Set on bind/drain start,
   /// cleared when the worm's tail leaves the lane.
-  std::uint64_t in_busy = 0;
+  BitWords in_busy;
 
-  /// Bitmask by port id of the ports with at least one flit buffered in an
-  /// output lane (out_buffered > 0). The link phase walks this mask instead
+  /// Bitset by port id of the ports with at least one flit buffered in an
+  /// output lane (out_buffered > 0). The link phase walks this set instead
   /// of probing every port; ports with nothing to send were skipped by the
   /// legacy scan's first check with no side effects. Set by the crossbar on
   /// push, cleared by the link phase when a port's last out-flit leaves.
-  std::uint32_t out_ports_nonempty = 0;
+  BitWords out_ports_nonempty;
 
   /// Flattened (port, lane) directory of all input lanes, built once after
   /// wiring; the routing engine scans it round-robin.
@@ -134,6 +135,9 @@ class Switch {
         in_lane_ptrs_.push_back(&ports_[p].in[v]);
       }
     }
+    in_nonempty.resize(in_lane_index_.size());
+    in_busy.resize(in_lane_index_.size());
+    out_ports_nonempty.resize(ports_.size());
   }
 
   /// Input lanes (as flat indices into input_lane_index()) that are bound

@@ -1,0 +1,57 @@
+#include "routing/torus_dor.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+TorusDorRouting::TorusDorRouting(const MixedRadixTorus& torus, unsigned vcs)
+    : torus_(torus), vcs_(vcs), per_vn_(vcs / 2) {
+  SMART_CHECK_MSG(vcs >= 2 && vcs % 2 == 0,
+                  "dimension-order routing needs two virtual networks");
+  SMART_CHECK_MSG(torus.dims() <= 32,
+                  "dateline mask supports up to 32 dimensions");
+}
+
+std::optional<OutputChoice> TorusDorRouting::route(Switch& sw,
+                                                   PortId /*in_port*/,
+                                                   unsigned /*in_lane*/,
+                                                   Packet& pkt,
+                                                   std::uint64_t /*cycle*/) {
+  // Lowest unfinished dimension first, exactly like the cube.
+  unsigned dim = torus_.dims();
+  for (unsigned d = 0; d < torus_.dims(); ++d) {
+    if (torus_.coord(sw.id(), d) != torus_.coord(pkt.dst, d)) {
+      dim = d;
+      break;
+    }
+  }
+  if (dim == torus_.dims()) {
+    // Arrived: eject through the local processor interface.
+    const PortId local = torus_.local_port();
+    const auto lane =
+        best_bindable_lane(sw.port(local), 0,
+                           static_cast<unsigned>(sw.port(local).out.size()));
+    if (!lane) return std::nullopt;
+    return OutputChoice{local, *lane};
+  }
+
+  const bool plus = torus_.dor_direction(sw.id(), pkt.dst, dim);
+  const PortId port = MixedRadixTorus::port_of(dim, plus);
+  if (!link_ok(sw, port)) {
+    // Dimension order is fully deterministic: a faulted hop leaves no legal
+    // alternative, so report the packet unroutable instead of wedging.
+    pkt.unroutable = true;
+    return std::nullopt;
+  }
+  const bool crossing = torus_.crosses_wraparound(sw.id(), dim, plus);
+  const bool after_dateline =
+      crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;
+  const unsigned vn = after_dateline ? 1 : 0;
+
+  const auto lane = best_bindable_lane(sw.port(port), vn * per_vn_, per_vn_);
+  if (!lane) return std::nullopt;
+  if (crossing) pkt.wrap_mask |= 1U << dim;
+  return OutputChoice{port, *lane};
+}
+
+}  // namespace smart

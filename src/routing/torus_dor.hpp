@@ -1,0 +1,38 @@
+// Deterministic dimension-order routing on the mixed-radix torus — the
+// generalization of CubeDorRouting the synthesis families default to.
+//
+// Packets correct dimensions in fixed order (0 first) along the unique
+// minimal path (ties at distance k_d/2 go in the + direction). The
+// wrap-around deadlock cycles are broken with the same two dateline
+// virtual networks as on the uniform cube: a packet starts each
+// dimension in virtual network 0 and switches to network 1 after
+// crossing that dimension's wrap-around link. With V virtual channels
+// per link each network owns V/2 of them, so the routing freedom is
+// F = V/2 — which is what the derived-clock model charges
+// (synth/design.hpp torus_derived_clock).
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/mixed_radix_torus.hpp"
+
+namespace smart {
+
+class TorusDorRouting final : public RoutingAlgorithm {
+ public:
+  TorusDorRouting(const MixedRadixTorus& torus, unsigned vcs);
+
+  [[nodiscard]] std::string name() const override { return "torus DOR"; }
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  /// Pure function of (switch, packet): no RNG, no mutable members.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
+
+ private:
+  const MixedRadixTorus& torus_;
+  unsigned vcs_;
+  unsigned per_vn_;  ///< channels per virtual network (V/2)
+};
+
+}  // namespace smart

@@ -1,0 +1,109 @@
+#include "routing/updown.hpp"
+
+#include "fault/fault.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace smart {
+
+UpDownRouting::UpDownRouting(const TwoLevelFatTree& fabric, unsigned vcs)
+    : fabric_(fabric), vcs_(vcs) {
+  SMART_CHECK(vcs >= 1);
+}
+
+unsigned UpDownRouting::scan_start(const Switch& sw, PortId in_port,
+                                   unsigned count) {
+  std::uint64_t salt_state = sw.id() * 0x9e3779b97f4a7c15ULL + 1;
+  const unsigned salt = static_cast<unsigned>(splitmix64(salt_state) % count);
+  return (in_port + salt) % count;
+}
+
+std::optional<PortId> UpDownRouting::pick_port(const Switch& sw,
+                                               PortId in_port, PortId base,
+                                               unsigned count, NodeId dst,
+                                               bool lookahead,
+                                               bool* any_healthy) const {
+  const unsigned start = scan_start(sw, in_port, count);
+  std::optional<PortId> best_port;
+  unsigned best_free = 0;
+  *any_healthy = false;
+  for (unsigned i = 0; i < count; ++i) {
+    const PortId port = base + (i + start) % count;
+    if (faults_ != nullptr) {
+      if (!faults_->link_ok(sw.id(), port)) continue;
+      if (lookahead) {
+        // One-step lookahead on the ascent: the spine behind this up
+        // rail must still have a healthy rail down to the destination
+        // leaf, or the deterministic descent would dead-end there.
+        const PortPeer spine = fabric_.port_peer(sw.id(), port);
+        SMART_DCHECK(spine.kind == PeerKind::kSwitch);
+        const SwitchId dst_leaf = fabric_.leaf_of(dst);
+        bool down_ok = false;
+        for (unsigned rail = 0; rail < fabric_.rails() && !down_ok; ++rail) {
+          down_ok = faults_->link_ok(spine.id,
+                                     fabric_.down_port(dst_leaf, rail));
+        }
+        if (!down_ok) continue;
+      }
+    }
+    *any_healthy = true;
+    const unsigned free_lanes = sw.free_output_lanes(port);
+    if (free_lanes == 0) continue;
+    if (!best_port || free_lanes > best_free) {
+      best_free = free_lanes;
+      best_port = port;
+    }
+  }
+  return best_port;
+}
+
+std::optional<OutputChoice> UpDownRouting::route(Switch& sw, PortId in_port,
+                                                 unsigned /*in_lane*/,
+                                                 Packet& pkt,
+                                                 std::uint64_t /*cycle*/) {
+  const SwitchId dst_leaf = fabric_.leaf_of(pkt.dst);
+
+  if (!fabric_.is_spine(sw.id())) {
+    if (dst_leaf == sw.id()) {
+      // Arrived at the destination leaf: the terminal port is unique.
+      const PortId port = fabric_.terminal_port(pkt.dst);
+      if (!link_ok(sw, port)) {
+        pkt.unroutable = true;  // the only link to the terminal is severed
+        return std::nullopt;
+      }
+      const auto lane = best_bindable_lane(sw.port(port), 0, vcs_);
+      if (!lane) return std::nullopt;
+      return OutputChoice{port, *lane};
+    }
+    // Ascent: any spine is minimal; pick the up rail with the most free
+    // virtual channels from a salted-affine start.
+    bool any_healthy = false;
+    const auto port =
+        pick_port(sw, in_port, fabric_.up_port_base(),
+                  fabric_.up_port_count(), pkt.dst,
+                  /*lookahead=*/true, &any_healthy);
+    if (!port) {
+      // No healthy ascent at all is a fault partition, not congestion.
+      if (faults_ != nullptr && !any_healthy) pkt.unroutable = true;
+      return std::nullopt;
+    }
+    const auto lane = best_bindable_lane(sw.port(*port), 0, vcs_);
+    SMART_DCHECK(lane.has_value());
+    return OutputChoice{*port, *lane};
+  }
+
+  // Spine: descend on any rail to the unique destination leaf.
+  bool any_healthy = false;
+  const auto port = pick_port(sw, in_port, fabric_.down_port(dst_leaf, 0),
+                              fabric_.rails(), pkt.dst,
+                              /*lookahead=*/false, &any_healthy);
+  if (!port) {
+    if (faults_ != nullptr && !any_healthy) pkt.unroutable = true;
+    return std::nullopt;
+  }
+  const auto lane = best_bindable_lane(sw.port(*port), 0, vcs_);
+  SMART_DCHECK(lane.has_value());
+  return OutputChoice{*port, *lane};
+}
+
+}  // namespace smart

@@ -1,0 +1,51 @@
+// Up*/down* routing on the two-level fat-tree / Clos fabric.
+//
+// Every route ascends from the source leaf to some spine (unless source
+// and destination share a leaf) and then descends: up links and down
+// links form an acyclic channel dependency graph, so the scheme is
+// deadlock-free with any number of virtual channels — the generated
+// fat-tree and Clos families' deadlock-free default. The ascent is
+// adaptive: any spine is minimal, and the router picks the up rail with
+// the most free virtual channels, tie-broken from a salted-affine start
+// (the same stream-stable arbiter as the k-ary n-tree's default
+// selection, keeping the choice a pure function of switch and input so
+// the algorithm stays concurrent-safe). The descent is deterministic up
+// to the rail choice to the unique target leaf.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/two_level_fattree.hpp"
+
+namespace smart {
+
+class UpDownRouting final : public RoutingAlgorithm {
+ public:
+  UpDownRouting(const TwoLevelFatTree& fabric, unsigned vcs);
+
+  [[nodiscard]] std::string name() const override { return "up*/down*"; }
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  /// Pure function of (switch, packet, input port): no RNG, no mutable
+  /// members — safe to call concurrently across engine shards.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
+
+ private:
+  /// Salted-affine arbiter start in [0, count) for this (switch, input).
+  [[nodiscard]] static unsigned scan_start(const Switch& sw, PortId in_port,
+                                           unsigned count);
+  /// Best candidate among `count` ports starting at `base`, scanning from
+  /// the salted-affine offset: healthy, then most free output lanes.
+  /// Sets *any_healthy for the fault-partition verdict.
+  [[nodiscard]] std::optional<PortId> pick_port(const Switch& sw,
+                                                PortId in_port, PortId base,
+                                                unsigned count, NodeId dst,
+                                                bool lookahead,
+                                                bool* any_healthy) const;
+
+  const TwoLevelFatTree& fabric_;
+  unsigned vcs_;
+};
+
+}  // namespace smart

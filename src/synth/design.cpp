@@ -1,0 +1,145 @@
+#include "synth/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/chien.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+std::uint64_t largest_divisor_at_most(std::uint64_t n, std::uint64_t cap) {
+  SMART_CHECK(n >= 1);
+  cap = std::min(cap, n);
+  for (std::uint64_t d = cap; d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+namespace {
+
+/// Divisor of `rem` in [2, limit] closest to `ideal` (ties take the
+/// larger divisor, keeping early dimensions at least as big as late
+/// ones). Returns 0 when no divisor qualifies.
+std::uint64_t closest_divisor(std::uint64_t rem, double ideal,
+                              std::uint64_t limit) {
+  std::uint64_t best = 0;
+  double best_gap = 0.0;
+  const auto consider = [&](std::uint64_t d) {
+    if (d < 2 || d > limit) return;
+    const double gap = std::abs(static_cast<double>(d) - ideal);
+    if (best == 0 || gap < best_gap || (gap == best_gap && d > best)) {
+      best = d;
+      best_gap = gap;
+    }
+  };
+  for (std::uint64_t d = 1; d * d <= rem; ++d) {
+    if (rem % d != 0) continue;
+    consider(d);
+    consider(rem / d);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool balanced_radices(std::uint64_t nodes, unsigned dims,
+                      std::vector<unsigned>* out, std::string* error) {
+  SMART_CHECK(out != nullptr);
+  out->clear();
+  if (dims < 1 || dims > 32) {
+    if (error) *error = "torus dimension count must be between 1 and 32";
+    return false;
+  }
+  if (nodes < 2) {
+    if (error) *error = "a torus needs at least 2 nodes";
+    return false;
+  }
+  std::uint64_t rem = nodes;
+  for (unsigned left = dims; left >= 1; --left) {
+    const double ideal =
+        std::pow(static_cast<double>(rem), 1.0 / static_cast<double>(left));
+    // While more dimensions remain, the remainder after this pick must
+    // itself still be splittable, so the pick is capped at rem / 2.
+    const std::uint64_t limit = left > 1 ? rem / 2 : rem;
+    const std::uint64_t pick = closest_divisor(rem, ideal, limit);
+    if (pick == 0) {
+      if (error) {
+        *error = "cannot factor " + std::to_string(nodes) + " nodes into " +
+                 std::to_string(dims) +
+                 " radices >= 2; pick a node count with enough small factors "
+                 "or fewer dims";
+      }
+      out->clear();
+      return false;
+    }
+    out->push_back(static_cast<unsigned>(pick));
+    rem /= pick;
+  }
+  SMART_CHECK(rem == 1);
+  // Largest radix first: the wire model then folds the biggest ring
+  // across the densest axis assignment.
+  std::sort(out->begin(), out->end(), std::greater<>());
+  return true;
+}
+
+double torus_longest_wire_m(const std::vector<unsigned>& radices) {
+  SMART_CHECK(!radices.empty());
+  // Dimensions go round-robin onto the three physical axes; on each
+  // axis a dimension's folded wire spans twice the node stride of the
+  // dimensions placed on that axis before it.
+  double stride[3] = {1.0, 1.0, 1.0};
+  double longest = kShortWireM;
+  for (std::size_t d = 0; d < radices.size(); ++d) {
+    const std::size_t axis = d % 3;
+    const double wire = std::max(kShortWireM, 2.0 * stride[axis] * kNodePitchM);
+    longest = std::max(longest, wire);
+    stride[axis] *= static_cast<double>(radices[d]);
+  }
+  return longest;
+}
+
+double fattree_longest_wire_m(std::size_t nodes) {
+  SMART_CHECK(nodes >= 1);
+  const double cabinets = std::ceil(static_cast<double>(nodes) /
+                                    static_cast<double>(kNodesPerCabinet));
+  const double grid = std::ceil(std::sqrt(cabinets));
+  // Half the floor diagonal of the cabinet grid to the central spine
+  // rack, plus ~2 m of vertical rise and drop.
+  return 0.707 * grid * kCabinetPitchM + 2.0;
+}
+
+DerivedClock torus_derived_clock(const std::vector<unsigned>& radices,
+                                 unsigned vcs) {
+  SMART_CHECK_MSG(vcs >= 2 && vcs % 2 == 0,
+                  "torus DOR needs two virtual networks");
+  DerivedClock clock;
+  clock.freedom = vcs / 2;  // channels of the one legal direction's VN
+  clock.ports = 2 * static_cast<unsigned>(radices.size()) * vcs + 1;
+  clock.wire_m = torus_longest_wire_m(radices);
+  clock.routing_ns = t_routing_ns(clock.freedom);
+  clock.crossbar_ns = t_crossbar_ns(clock.ports);
+  clock.link_ns = t_link_wire_ns(vcs, clock.wire_m);
+  return clock;
+}
+
+DerivedClock fattree_derived_clock(std::size_t leaves, std::size_t spines,
+                                   unsigned terminals, unsigned rails,
+                                   unsigned vcs) {
+  SMART_CHECK(vcs >= 1 && leaves >= 1 && spines >= 1 && terminals >= 1 &&
+              rails >= 1);
+  const std::size_t leaf_ports = terminals + spines * rails;
+  const std::size_t spine_ports = leaves * rails;
+  DerivedClock clock;
+  clock.freedom = static_cast<unsigned>(spines * rails) * vcs;  // any up rail
+  clock.ports =
+      static_cast<unsigned>(std::max(leaf_ports, spine_ports)) * vcs;
+  clock.wire_m = fattree_longest_wire_m(leaves * terminals);
+  clock.routing_ns = t_routing_ns(clock.freedom);
+  clock.crossbar_ns = t_crossbar_ns(clock.ports);
+  clock.link_ns = t_link_wire_ns(vcs, clock.wire_m);
+  return clock;
+}
+
+}  // namespace smart

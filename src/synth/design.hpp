@@ -1,0 +1,70 @@
+// Automated fabric design: sizing solvers and the physical layout model
+// behind the generated topology families (src/synth/family_*.cpp).
+//
+// The solvers turn a target node count (and a radix/dimension budget)
+// into concrete fabric parameters — near-equal torus radices per the
+// automated torus design of arXiv:1301.6180, divisor-aligned leaf sizing
+// for two-level fat-trees per arXiv:1301.6179. The layout model places
+// 64 nodes per cabinet (a 4x4x4 sub-block, ~0.3 m between adjacent node
+// positions per axis, 1.2 m cabinet pitch) and derives each family's
+// longest wire, which the extended Chien model (cost/chien.hpp
+// t_link_wire_ns) converts into the link delay of the derived clock:
+//
+//   - folded torus: dimensions map round-robin onto the three physical
+//     axes; a dimension's wire spans twice its logical stride (folding),
+//     so the first dimension on an axis gets short neighbor wires and
+//     each further dimension stretches by the radix product before it;
+//   - two-level fat-tree / Clos: leaves sit in the node cabinets, spines
+//     in a central rack; the longest run crosses half the floor diagonal
+//     of a near-square cabinet grid plus the vertical rise and drop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/registry.hpp"
+
+namespace smart {
+
+/// Cabinet layout constants of the physical budget model.
+inline constexpr double kCabinetPitchM = 1.2;   ///< center-to-center
+inline constexpr unsigned kNodesPerCabinet = 64;  ///< 4x4x4 sub-block
+inline constexpr double kNodePitchM = 0.3;  ///< adjacent node positions
+/// Wires at or below this length are the paper's "short" wires (eq. 3).
+inline constexpr double kShortWireM = 0.1;
+
+/// Largest divisor of n that is <= cap (>= 1; cap clamped to n).
+[[nodiscard]] std::uint64_t largest_divisor_at_most(std::uint64_t n,
+                                                    std::uint64_t cap);
+
+/// Factors `nodes` into `dims` near-equal radices, every one >= 2
+/// (greedy: each step takes the divisor closest to the ideal equal
+/// root that leaves the remainder splittable). Returns false with a
+/// message in *error when no such factorization exists (e.g. a prime
+/// node count, or fewer than 2^dims nodes).
+bool balanced_radices(std::uint64_t nodes, unsigned dims,
+                      std::vector<unsigned>* out, std::string* error);
+
+/// Longest wire of the folded-torus layout for the given radices.
+[[nodiscard]] double torus_longest_wire_m(const std::vector<unsigned>& radices);
+
+/// Longest leaf-spine cable of the centralized two-level layout.
+[[nodiscard]] double fattree_longest_wire_m(std::size_t nodes);
+
+/// Derived clock of a mixed-radix torus under dimension-order routing:
+/// F = V/2 (the channels of the single legal direction's virtual
+/// network), P = 2*dims*V + 1, link delay from the folded-torus wire.
+[[nodiscard]] DerivedClock torus_derived_clock(
+    const std::vector<unsigned>& radices, unsigned vcs);
+
+/// Derived clock of a two-level fat-tree under up*/down* routing:
+/// F = spines*rails*V (any up rail during the ascent), P = V times the
+/// larger switch radix, link delay from the leaf-spine cable.
+[[nodiscard]] DerivedClock fattree_derived_clock(std::size_t leaves,
+                                                 std::size_t spines,
+                                                 unsigned terminals,
+                                                 unsigned rails,
+                                                 unsigned vcs);
+
+}  // namespace smart

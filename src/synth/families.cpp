@@ -1,0 +1,107 @@
+#include "synth/families.hpp"
+
+#include <memory>
+#include <string>
+
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+#include "topology/registry.hpp"
+
+namespace smart {
+
+namespace {
+
+/// k^n with the engine's 2^32 node cap; false + message on overflow.
+bool checked_pow(unsigned k, unsigned n, std::uint64_t* out,
+                 std::string* error) {
+  std::uint64_t nodes = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    nodes *= k;
+    if (nodes > (std::uint64_t{1} << 32)) {
+      if (error) {
+        *error = std::to_string(k) + "^" + std::to_string(n) +
+                 " nodes exceeds the 2^32 node cap";
+      }
+      return false;
+    }
+  }
+  *out = nodes;
+  return true;
+}
+
+/// Resolves the paper families' k/n: NetworkSpec defaults, overridable
+/// by explicit k=/n= params.
+bool resolve_kn(const TopoSpec& spec, unsigned* k, unsigned* n,
+                std::string* error) {
+  *k = spec.k;
+  *n = spec.n;
+  if (!spec.check_keys({"k", "n"}, error)) return false;
+  if (!spec.get_unsigned("k", k, error)) return false;
+  if (!spec.get_unsigned("n", n, error)) return false;
+  if (*k < 2) {
+    if (error) *error = "radix k must be >= 2";
+    return false;
+  }
+  if (*n < 1 || *n > 32) {
+    if (error) *error = "dimension/level count n must be in [1, 32]";
+    return false;
+  }
+  std::uint64_t nodes = 0;
+  return checked_pow(*k, *n, &nodes, error);
+}
+
+void register_cube_family(bool wraparound) {
+  TopologyFamily fam;
+  fam.name = wraparound ? "cube" : "mesh";
+  fam.grammar = fam.name + "[:k=K,n=N]";
+  fam.summary = wraparound
+                    ? "k-ary n-cube (torus), the paper's direct network"
+                    : "k-ary n-mesh, the cube without wraparound links";
+  fam.default_routing = "duato";
+  fam.build = [wraparound](const TopoSpec& spec,
+                           std::string* error) -> std::unique_ptr<Topology> {
+    unsigned k = 0;
+    unsigned n = 0;
+    if (!resolve_kn(spec, &k, &n, error)) return nullptr;
+    // "cube" still honors NetworkSpec::wraparound = false (the tests'
+    // historical way to ask for a mesh); "mesh" always opens the rings.
+    const bool wrap = wraparound && spec.wraparound;
+    return std::make_unique<KaryNCube>(k, n, wrap);
+  };
+  TopologyRegistry::instance().add(std::move(fam));
+}
+
+void register_tree_family() {
+  TopologyFamily fam;
+  fam.name = "tree";
+  fam.grammar = "tree[:k=K,n=N]";
+  fam.summary = "k-ary n-tree fat-tree, the paper's indirect network";
+  fam.default_routing = "tree";
+  fam.build = [](const TopoSpec& spec,
+                 std::string* error) -> std::unique_ptr<Topology> {
+    unsigned k = 0;
+    unsigned n = 0;
+    if (!resolve_kn(spec, &k, &n, error)) return nullptr;
+    return std::make_unique<KaryNTree>(k, n);
+  };
+  TopologyRegistry::instance().add(std::move(fam));
+}
+
+}  // namespace
+
+void ensure_builtin_families() {
+  // Thread-safe and idempotent: the static's initializer runs once.
+  static const bool registered = [] {
+    register_cube_family(/*wraparound=*/true);
+    register_cube_family(/*wraparound=*/false);
+    register_tree_family();
+    register_fattree2_family();
+    register_clos_family();
+    register_torus_family();
+    register_tehcube_family();
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace smart

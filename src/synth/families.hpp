@@ -1,0 +1,25 @@
+// Registration of the built-in topology families.
+//
+// Call ensure_builtin_families() before looking anything up in
+// TopologyRegistry — Network::build_topology, the experiment drivers,
+// the CLI and the tests all do. The call is idempotent and thread-safe.
+//
+// Adding a family: write one src/synth/family_<name>.cpp defining a
+// register_<name>_family() that fills a TopologyFamily and adds it to
+// the registry, declare it below, and call it from
+// ensure_builtin_families() in families.cpp.
+#pragma once
+
+namespace smart {
+
+/// Registers every built-in family exactly once (thread-safe).
+void ensure_builtin_families();
+
+// One registration entry point per generated family, each defined in
+// its own src/synth/family_*.cpp.
+void register_fattree2_family();  // two-level fat-tree sized by radix
+void register_clos_family();      // m x n x r Clos / multistage
+void register_torus_family();     // auto-designed mixed-radix torus
+void register_tehcube_family();   // torus-embedded hypercube
+
+}  // namespace smart

@@ -1,0 +1,77 @@
+// Family "clos": a symmetric three-stage Clos / multistage network in
+// the classic m x n x r form — r ingress/egress switches with n
+// terminals each and m middle-stage switches of radix r (cf. the
+// Graphite interconnect models). Folded along its middle stage it is
+// exactly a two-level fat-tree with r leaves, m spines and n terminals
+// per leaf, which is how it is built here; m >= n makes it
+// rearrangeably non-blocking.
+//
+//   clos:m=M,n=N,r=R               (defaults m=8, n=8, r=16)
+#include <memory>
+#include <string>
+
+#include "synth/design.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
+#include "topology/two_level_fattree.hpp"
+
+namespace smart {
+
+namespace {
+
+struct ClosDesign {
+  unsigned m = 8;   ///< middle-stage (spine) switches
+  unsigned n = 8;   ///< terminals per edge switch
+  unsigned r = 16;  ///< edge (leaf) switches
+};
+
+bool design_clos(const TopoSpec& spec, ClosDesign* out, std::string* error) {
+  if (!spec.check_keys({"m", "n", "r"}, error)) return false;
+  if (!spec.get_unsigned("m", &out->m, error)) return false;
+  if (!spec.get_unsigned("n", &out->n, error)) return false;
+  if (!spec.get_unsigned("r", &out->r, error)) return false;
+  if (out->r > 65535) {
+    if (error) *error = "clos r must be <= 65535 (the spine radix cap)";
+    return false;
+  }
+  const std::uint64_t edge_ports =
+      std::uint64_t{out->n} + std::uint64_t{out->m};
+  if (edge_ports > 65535) {
+    if (error) *error = "clos n + m must be <= 65535 (the edge radix cap)";
+    return false;
+  }
+  if (std::uint64_t{out->n} * out->r > (std::uint64_t{1} << 32)) {
+    if (error) *error = "clos n*r nodes exceeds the 2^32 node cap";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void register_clos_family() {
+  TopologyFamily fam;
+  fam.name = "clos";
+  fam.grammar = "clos:m=M,n=N,r=R";
+  fam.summary = "m x n x r Clos multistage network (folded fat-tree form)";
+  fam.default_routing = "updown";
+  fam.build = [](const TopoSpec& spec,
+                 std::string* error) -> std::unique_ptr<Topology> {
+    ClosDesign d;
+    if (!design_clos(spec, &d, error)) return nullptr;
+    return std::make_unique<TwoLevelFatTree>(
+        d.r, d.m, d.n, /*rails=*/1,
+        "clos(m=" + std::to_string(d.m) + ",n=" + std::to_string(d.n) +
+            ",r=" + std::to_string(d.r) + ")");
+  };
+  fam.clock = [](const TopoSpec& spec, unsigned vcs, DerivedClock* out,
+                 std::string* error) {
+    ClosDesign d;
+    if (!design_clos(spec, &d, error)) return false;
+    *out = fattree_derived_clock(d.r, d.m, d.n, /*rails=*/1, vcs);
+    return true;
+  };
+  TopologyRegistry::instance().add(std::move(fam));
+}
+
+}  // namespace smart

@@ -1,0 +1,96 @@
+// Family "fattree2": a two-level fat-tree sized from a node count and a
+// leaf-switch radix budget, after Solnushkin's automated two-level
+// fat-tree design (arXiv:1301.6179).
+//
+//   fattree2:nodes=N[,radix=R]     (R defaults to 64)
+//
+// The solver splits the radix between downlinks and uplinks: the
+// terminals-per-leaf n is the largest divisor of N not exceeding R/2
+// (so at least half the radix goes up, keeping contention <= 1 at the
+// leaf), giving L = N/n leaves and S = R - n director-class spines of
+// radix L. Oversubscription is therefore n/S <= 1 and the fabric is
+// rearrangeably non-blocking for the paper's uniform loads.
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "synth/design.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
+#include "topology/two_level_fattree.hpp"
+
+namespace smart {
+
+namespace {
+
+struct FatTreeDesign {
+  std::size_t leaves = 0;
+  std::size_t spines = 0;
+  unsigned terminals = 0;
+};
+
+bool design_fattree2(const TopoSpec& spec, FatTreeDesign* out,
+                     std::string* error) {
+  if (!spec.check_keys({"nodes", "radix"}, error)) return false;
+  unsigned nodes = 0;
+  unsigned radix = 64;
+  if (!spec.get_unsigned("nodes", &nodes, error)) return false;
+  if (!spec.get_unsigned("radix", &radix, error)) return false;
+  if (nodes == 0) {
+    if (error) *error = "fattree2 needs nodes=N (e.g. fattree2:nodes=4096)";
+    return false;
+  }
+  if (nodes < 2) {
+    if (error) *error = "fattree2 needs at least 2 nodes";
+    return false;
+  }
+  if (radix < 2 || radix > 65535) {
+    if (error) *error = "fattree2 radix must be in [2, 65535]";
+    return false;
+  }
+  const auto terminals = static_cast<unsigned>(
+      largest_divisor_at_most(nodes, std::max(1u, radix / 2)));
+  const std::size_t leaves = nodes / terminals;
+  const std::size_t spines = radix - terminals;
+  if (leaves > 65535) {
+    if (error) {
+      *error = "fattree2 with nodes=" + std::to_string(nodes) + ",radix=" +
+               std::to_string(radix) + " needs " + std::to_string(leaves) +
+               " leaves, above the 65535 spine-radix cap; raise radix";
+    }
+    return false;
+  }
+  out->leaves = leaves;
+  out->spines = spines;
+  out->terminals = terminals;
+  return true;
+}
+
+}  // namespace
+
+void register_fattree2_family() {
+  TopologyFamily fam;
+  fam.name = "fattree2";
+  fam.grammar = "fattree2:nodes=N[,radix=R]";
+  fam.summary =
+      "two-level fat-tree sized by leaf radix (director-class spines)";
+  fam.default_routing = "updown";
+  fam.build = [](const TopoSpec& spec,
+                 std::string* error) -> std::unique_ptr<Topology> {
+    FatTreeDesign d;
+    if (!design_fattree2(spec, &d, error)) return nullptr;
+    return std::make_unique<TwoLevelFatTree>(d.leaves, d.spines, d.terminals,
+                                             /*rails=*/1);
+  };
+  fam.clock = [](const TopoSpec& spec, unsigned vcs, DerivedClock* out,
+                 std::string* error) {
+    FatTreeDesign d;
+    if (!design_fattree2(spec, &d, error)) return false;
+    *out = fattree_derived_clock(d.leaves, d.spines, d.terminals,
+                                 /*rails=*/1, vcs);
+    return true;
+  };
+  TopologyRegistry::instance().add(std::move(fam));
+}
+
+}  // namespace smart

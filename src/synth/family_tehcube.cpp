@@ -1,0 +1,82 @@
+// Family "tehcube": a torus-embedded hypercube — a binary hypercube
+// whose first two dimensions are widened into k-ary rings, i.e. the
+// mixed-radix torus [k, k, 2, 2, ...]. The k x k torus plane embeds
+// naturally in the cabinet floor plan while the remaining binary
+// dimensions stay short, trading hypercube diameter against the
+// paper's wire-length constraints.
+//
+//   tehcube:k=K,dims=D             (defaults k=4, dims=8 -> 4096 nodes)
+//
+// K is the ring radix of the two torus dimensions, D the count of
+// binary hypercube dimensions; the node count is K^2 * 2^D.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/design.hpp"
+#include "synth/families.hpp"
+#include "topology/mixed_radix_torus.hpp"
+#include "topology/registry.hpp"
+
+namespace smart {
+
+namespace {
+
+bool design_tehcube(const TopoSpec& spec, std::vector<unsigned>* radices,
+                    std::string* error) {
+  if (!spec.check_keys({"k", "dims"}, error)) return false;
+  unsigned k = 4;
+  unsigned dims = 8;
+  if (!spec.get_unsigned("k", &k, error)) return false;
+  if (!spec.get_unsigned("dims", &dims, error)) return false;
+  if (k < 2) {
+    if (error) *error = "tehcube ring radix k must be >= 2";
+    return false;
+  }
+  if (dims < 1 || dims > 30) {
+    if (error) *error = "tehcube binary dims must be in [1, 30]";
+    return false;
+  }
+  if (k > 65536 ||
+      (std::uint64_t{k} * k) << dims > (std::uint64_t{1} << 32)) {
+    if (error) *error = "tehcube k^2 * 2^dims exceeds the 2^32 node cap";
+    return false;
+  }
+  radices->assign({k, k});
+  radices->insert(radices->end(), dims, 2u);
+  return true;
+}
+
+}  // namespace
+
+void register_tehcube_family() {
+  TopologyFamily fam;
+  fam.name = "tehcube";
+  fam.grammar = "tehcube:k=K,dims=D";
+  fam.summary = "torus-embedded hypercube (k x k rings + binary dims)";
+  fam.default_routing = "dor";
+  fam.build = [](const TopoSpec& spec,
+                 std::string* error) -> std::unique_ptr<Topology> {
+    std::vector<unsigned> radices;
+    if (!design_tehcube(spec, &radices, error)) return nullptr;
+    const std::string label =
+        "tehcube(k=" + std::to_string(radices[0]) +
+        ",dims=" + std::to_string(radices.size() - 2) + ")";
+    return std::make_unique<MixedRadixTorus>(std::move(radices), label);
+  };
+  fam.clock = [](const TopoSpec& spec, unsigned vcs, DerivedClock* out,
+                 std::string* error) {
+    std::vector<unsigned> radices;
+    if (!design_tehcube(spec, &radices, error)) return false;
+    if (vcs < 2 || vcs % 2 != 0) {
+      if (error) *error = "torus DOR needs an even vcs count >= 2";
+      return false;
+    }
+    *out = torus_derived_clock(radices, vcs);
+    return true;
+  };
+  TopologyRegistry::instance().add(std::move(fam));
+}
+
+}  // namespace smart

@@ -1,0 +1,116 @@
+// Family "torus": an auto-designed k-ary n-torus with mixed radices,
+// after the automated torus design of arXiv:1301.6180. Either the
+// solver factors a node count into near-equal radices over a dimension
+// budget, or the radices are given explicitly:
+//
+//   torus:nodes=N[,dims=D]         (D defaults to 3)
+//   torus:radices=AxBxC            (explicit per-dimension radices)
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/design.hpp"
+#include "synth/families.hpp"
+#include "topology/mixed_radix_torus.hpp"
+#include "topology/registry.hpp"
+
+namespace smart {
+
+namespace {
+
+/// Parses "AxBxC" into per-dimension radices (each >= 2, at most 32
+/// dimensions, product <= 2^32).
+bool parse_radices(const std::string& text, std::vector<unsigned>* out,
+                   std::string* error) {
+  out->clear();
+  std::uint64_t nodes = 1;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = std::min(text.find('x', pos), text.size());
+    std::uint64_t value = 0;
+    bool any = false;
+    for (std::size_t i = pos; i < next; ++i) {
+      if (text[i] < '0' || text[i] > '9') {
+        if (error) *error = "radices must be digits separated by 'x'";
+        return false;
+      }
+      value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      if (value > 0xffffffffu) {
+        if (error) *error = "radix out of range in '" + text + "'";
+        return false;
+      }
+      any = true;
+    }
+    if (!any || value < 2) {
+      if (error) *error = "every torus radix must be an integer >= 2";
+      return false;
+    }
+    nodes *= value;
+    if (nodes > (std::uint64_t{1} << 32)) {
+      if (error) *error = "torus radices '" + text + "' exceed 2^32 nodes";
+      return false;
+    }
+    out->push_back(static_cast<unsigned>(value));
+    if (next == text.size()) break;
+    pos = next + 1;
+  }
+  if (out->size() > 32) {
+    if (error) *error = "a torus supports at most 32 dimensions";
+    return false;
+  }
+  return true;
+}
+
+bool design_torus(const TopoSpec& spec, std::vector<unsigned>* radices,
+                  std::string* error) {
+  if (!spec.check_keys({"nodes", "dims", "radices"}, error)) return false;
+  if (const std::string* text = spec.find("radices")) {
+    if (spec.find("nodes") != nullptr || spec.find("dims") != nullptr) {
+      if (error) *error = "give either radices=... or nodes=/dims=, not both";
+      return false;
+    }
+    return parse_radices(*text, radices, error);
+  }
+  unsigned nodes = 0;
+  unsigned dims = 3;
+  if (!spec.get_unsigned("nodes", &nodes, error)) return false;
+  if (!spec.get_unsigned("dims", &dims, error)) return false;
+  if (nodes == 0) {
+    if (error) {
+      *error = "torus needs nodes=N (e.g. torus:nodes=4096) or radices=AxBxC";
+    }
+    return false;
+  }
+  return balanced_radices(nodes, dims, radices, error);
+}
+
+}  // namespace
+
+void register_torus_family() {
+  TopologyFamily fam;
+  fam.name = "torus";
+  fam.grammar = "torus:nodes=N[,dims=D] | torus:radices=AxBxC";
+  fam.summary = "auto-designed mixed-radix torus (near-equal factorization)";
+  fam.default_routing = "dor";
+  fam.build = [](const TopoSpec& spec,
+                 std::string* error) -> std::unique_ptr<Topology> {
+    std::vector<unsigned> radices;
+    if (!design_torus(spec, &radices, error)) return nullptr;
+    return std::make_unique<MixedRadixTorus>(std::move(radices));
+  };
+  fam.clock = [](const TopoSpec& spec, unsigned vcs, DerivedClock* out,
+                 std::string* error) {
+    std::vector<unsigned> radices;
+    if (!design_torus(spec, &radices, error)) return false;
+    if (vcs < 2 || vcs % 2 != 0) {
+      if (error) *error = "torus DOR needs an even vcs count >= 2";
+      return false;
+    }
+    *out = torus_derived_clock(radices, vcs);
+    return true;
+  };
+  TopologyRegistry::instance().add(std::move(fam));
+}
+
+}  // namespace smart

@@ -1,0 +1,154 @@
+#include "topology/mixed_radix_torus.hpp"
+
+#include <algorithm>
+
+#include "topology/kary_ncube.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+MixedRadixTorus::MixedRadixTorus(std::vector<unsigned> radices,
+                                 std::string label)
+    : radices_(std::move(radices)), label_(std::move(label)) {
+  SMART_CHECK_MSG(!radices_.empty(), "mixed-radix torus requires >= 1 dimension");
+  // The dateline state is one bit per dimension in Packet::wrap_mask.
+  SMART_CHECK_MSG(radices_.size() <= 32,
+                  "mixed-radix torus supports at most 32 dimensions");
+  std::uint64_t count = 1;
+  stride_.reserve(radices_.size());
+  for (const unsigned k : radices_) {
+    SMART_CHECK_MSG(k >= 2, "mixed-radix torus requires every radix >= 2");
+    stride_.push_back(count);
+    SMART_CHECK_MSG(count <= (1ULL << 32) / k,
+                    "mixed-radix torus exceeds 2^32 nodes");
+    count *= k;
+  }
+  nodes_ = static_cast<std::size_t>(count);
+}
+
+std::string MixedRadixTorus::name() const {
+  if (!label_.empty()) return label_;
+  std::string out = "torus(";
+  for (unsigned d = 0; d < dims(); ++d) {
+    if (d != 0) out += "x";
+    out += std::to_string(radices_[d]);
+  }
+  return out + ")";
+}
+
+unsigned MixedRadixTorus::coord(SwitchId s, unsigned d) const {
+  SMART_DCHECK(d < dims());
+  return static_cast<unsigned>((s / stride_[d]) % radices_[d]);
+}
+
+SwitchId MixedRadixTorus::switch_at(
+    const std::vector<unsigned>& coords) const {
+  SMART_CHECK(coords.size() == radices_.size());
+  std::uint64_t s = 0;
+  for (unsigned d = 0; d < dims(); ++d) {
+    SMART_CHECK(coords[d] < radices_[d]);
+    s += coords[d] * stride_[d];
+  }
+  return static_cast<SwitchId>(s);
+}
+
+SwitchId MixedRadixTorus::neighbor(SwitchId s, unsigned d, bool plus) const {
+  SMART_DCHECK(d < dims());
+  const unsigned k = radices_[d];
+  const unsigned c = coord(s, d);
+  const unsigned nc = plus ? (c + 1) % k : (c + k - 1) % k;
+  const std::uint64_t base = s - c * stride_[d];
+  return static_cast<SwitchId>(base + nc * stride_[d]);
+}
+
+PortPeer MixedRadixTorus::port_peer(SwitchId s, PortId p) const {
+  SMART_DCHECK(s < nodes_);
+  if (p == local_port()) {
+    return PortPeer{PeerKind::kTerminal, s, 0};
+  }
+  SMART_CHECK(p < 2 * dims());
+  const unsigned d = dim_of_port(p);
+  const bool plus = is_plus_port(p);
+  const SwitchId peer = neighbor(s, d, plus);
+  // The peer receives us on its opposite-direction port of the same
+  // dimension. For radix-2 dimensions + and - reach the same switch; the
+  // pairing (our + to its -, our - to its +) keeps the wiring symmetric
+  // and yields two parallel channels per hypercube edge.
+  return PortPeer{PeerKind::kSwitch, peer, port_of(d, !plus)};
+}
+
+Attachment MixedRadixTorus::terminal_attachment(NodeId node) const {
+  SMART_DCHECK(node < nodes_);
+  return Attachment{node, local_port()};
+}
+
+unsigned MixedRadixTorus::ring_distance(SwitchId src, SwitchId dst,
+                                        unsigned d) const {
+  const unsigned k = radices_[d];
+  const unsigned cs = coord(src, d);
+  const unsigned cd = coord(dst, d);
+  const unsigned forward = (cd + k - cs) % k;
+  return std::min(forward, k - forward);
+}
+
+unsigned MixedRadixTorus::min_hops(NodeId src, NodeId dst) const {
+  unsigned hops = 0;
+  for (unsigned d = 0; d < dims(); ++d) hops += ring_distance(src, dst, d);
+  return hops;
+}
+
+unsigned MixedRadixTorus::diameter() const {
+  unsigned hops = 0;
+  for (const unsigned k : radices_) hops += k / 2;
+  return hops;
+}
+
+double MixedRadixTorus::average_distance() const {
+  // Dimensions are independent, so the mean over all ordered pairs
+  // (including src == dst, which contributes 0) is the sum of the
+  // per-dimension mean ring distances; rescale to exclude the N equal
+  // pairs.
+  double mean_all = 0.0;
+  for (const unsigned k : radices_) {
+    mean_all += KaryNCube::mean_ring_distance(k);
+  }
+  const auto n = static_cast<double>(nodes_);
+  return mean_all * n / (n - 1.0);
+}
+
+std::size_t MixedRadixTorus::bisection_channels() const {
+  // Cutting dimension d in half severs every one of the N/k_d rings at
+  // two points; the worst (smallest) cut is across the largest radix.
+  // Radix-2 dimensions have two parallel channels per edge, so the
+  // 2N/k_d count holds there too.
+  std::size_t best = 0;
+  for (const unsigned k : radices_) {
+    const std::size_t channels = 2 * nodes_ / k;
+    if (best == 0 || channels < best) best = channels;
+  }
+  return best;
+}
+
+double MixedRadixTorus::uniform_capacity_flits_per_node_cycle() const {
+  const double bisection_bound =
+      4.0 * static_cast<double>(bisection_channels()) /
+      static_cast<double>(nodes_);
+  return bisection_bound < 1.0 ? bisection_bound : 1.0;
+}
+
+bool MixedRadixTorus::crosses_wraparound(SwitchId s, unsigned d,
+                                         bool plus) const {
+  const unsigned c = coord(s, d);
+  return plus ? (c == radices_[d] - 1) : (c == 0);
+}
+
+bool MixedRadixTorus::dor_direction(SwitchId s, NodeId dst, unsigned d) const {
+  const unsigned k = radices_[d];
+  const unsigned cs = coord(s, d);
+  const unsigned cd = coord(dst, d);
+  SMART_DCHECK(cs != cd);
+  const unsigned forward = (cd + k - cs) % k;
+  return forward <= k - forward;  // ties resolve to +
+}
+
+}  // namespace smart

@@ -1,0 +1,114 @@
+// Mixed-radix torus: an n-dimensional torus with a per-dimension radix.
+//
+// The generalization of the k-ary n-cube the automated torus designer
+// (arXiv:1301.6180) produces: node counts that are not perfect powers
+// factor into near-equal radices instead, e.g. 2048 = 16 x 16 x 8. The
+// binary hypercube is the all-radix-2 special case, and the
+// torus-embedded hypercube (SNIPPETS.md Snippet 1) mixes two torus
+// dimensions of radix k with hypercube dimensions of radix 2. Like the
+// uniform cube this is a *direct* network: every switch is co-located
+// with a processing node and has 2 ports per dimension plus a local
+// processor interface.
+//
+// Coordinates and port numbering follow KaryNCube: coordinate c_d of
+// switch s is (s / stride_d) mod k_d with stride_d the product of the
+// lower radices; port 2d goes in the +1 direction of dimension d, port
+// 2d + 1 in the -1 direction; the last port is the local interface. For
+// radix-2 dimensions the + and - neighbors coincide; the two ports are
+// wired as a symmetric pair (s's + port to t's - port and vice versa),
+// giving the hypercube two parallel channels per edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+class MixedRadixTorus final : public Topology {
+ public:
+  /// Builds a torus with the given per-dimension radices (dimension 0
+  /// first). Requires 1..32 dimensions, every radix >= 2, and at most
+  /// 2^32 nodes. `label` overrides the generated name() (the synthesis
+  /// families stamp their spec string here).
+  explicit MixedRadixTorus(std::vector<unsigned> radices,
+                           std::string label = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t node_count() const override { return nodes_; }
+  [[nodiscard]] std::size_t switch_count() const override { return nodes_; }
+  [[nodiscard]] std::size_t ports_per_switch() const override {
+    return 2 * dims() + 1;  // 2 network ports per dimension + local
+  }
+  [[nodiscard]] PortPeer port_peer(SwitchId s, PortId p) const override;
+  [[nodiscard]] Attachment terminal_attachment(NodeId node) const override;
+  [[nodiscard]] unsigned min_hops(NodeId src, NodeId dst) const override;
+  [[nodiscard]] unsigned diameter() const override;
+  /// Exact analytic mean (the O(N^2) default is unusable at 64K nodes).
+  [[nodiscard]] double average_distance() const override;
+  [[nodiscard]] std::size_t bisection_channels() const override;
+  [[nodiscard]] bool is_direct() const override { return true; }
+  /// min(1, 4·bisection/N): high-dimensional tori are injection-limited
+  /// (the processor interface carries one flit per cycle), not
+  /// bisection-limited, so the paper's 4·B/N formula is capped.
+  [[nodiscard]] double uniform_capacity_flits_per_node_cycle() const override;
+
+  [[nodiscard]] const std::vector<unsigned>& radices() const noexcept {
+    return radices_;
+  }
+  [[nodiscard]] unsigned dims() const noexcept {
+    return static_cast<unsigned>(radices_.size());
+  }
+  [[nodiscard]] unsigned radix(unsigned d) const {
+    SMART_DCHECK(d < radices_.size());
+    return radices_[d];
+  }
+
+  /// Index of the local processor-interface port.
+  [[nodiscard]] PortId local_port() const noexcept { return 2 * dims(); }
+
+  /// Coordinate of switch s in dimension d.
+  [[nodiscard]] unsigned coord(SwitchId s, unsigned d) const;
+
+  /// Switch at the given coordinates (dimension 0 first).
+  [[nodiscard]] SwitchId switch_at(const std::vector<unsigned>& coords) const;
+
+  /// Neighbor of s one step along dimension d (+1 or -1, with wrap).
+  [[nodiscard]] SwitchId neighbor(SwitchId s, unsigned d, bool plus) const;
+
+  /// Network port for direction (d, +/-) — same convention as KaryNCube.
+  [[nodiscard]] static constexpr PortId port_of(unsigned d,
+                                                bool plus) noexcept {
+    return 2 * d + (plus ? 0U : 1U);
+  }
+  [[nodiscard]] static constexpr unsigned dim_of_port(PortId p) noexcept {
+    return p / 2;
+  }
+  [[nodiscard]] static constexpr bool is_plus_port(PortId p) noexcept {
+    return (p % 2) == 0;
+  }
+
+  /// Minimal ring distance along dimension d.
+  [[nodiscard]] unsigned ring_distance(SwitchId src, SwitchId dst,
+                                       unsigned d) const;
+
+  /// True iff stepping from s along (d, +/-) crosses the wrap-around link
+  /// (the dateline of the DOR virtual networks).
+  [[nodiscard]] bool crosses_wraparound(SwitchId s, unsigned d,
+                                        bool plus) const;
+
+  /// The unique dimension-order direction along d (ties resolve to +);
+  /// requires the coordinates to differ in dimension d.
+  [[nodiscard]] bool dor_direction(SwitchId s, NodeId dst, unsigned d) const;
+
+ private:
+  std::vector<unsigned> radices_;
+  std::string label_;
+  std::size_t nodes_ = 0;
+  std::vector<std::uint64_t> stride_;  ///< product of lower radices
+};
+
+}  // namespace smart

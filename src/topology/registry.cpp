@@ -1,0 +1,155 @@
+#include "topology/registry.hpp"
+
+#include <cstdint>
+
+namespace smart {
+
+const std::string* TopoSpec::find(const std::string& key) const {
+  for (const auto& [name, value] : params) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool TopoSpec::get_unsigned(const std::string& key, unsigned* out,
+                            std::string* error) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return true;
+  std::uint64_t value = 0;
+  bool ok = !text->empty();
+  for (const char c : *text) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xffffffffULL) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok || value == 0) {
+    if (error != nullptr) {
+      *error = "topology param " + key + "=" + *text +
+               ": expected an integer in [1, 4294967295]";
+    }
+    return false;
+  }
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+
+bool TopoSpec::check_keys(std::initializer_list<const char*> allowed,
+                          std::string* error) const {
+  for (const auto& [name, value] : params) {
+    bool known = false;
+    for (const char* key : allowed) {
+      if (name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (error != nullptr) {
+        *error = "unknown param '" + name + "' for topology family '" +
+                 family + "' (accepted:";
+        for (const char* key : allowed) *error += std::string(" ") + key;
+        *error += ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_topology_spec(const std::string& text, TopoSpec* spec,
+                         std::string* error) {
+  spec->params.clear();
+  const std::size_t colon = text.find(':');
+  spec->family = text.substr(0, colon);
+  if (spec->family.empty()) {
+    if (error != nullptr) {
+      *error = "topology spec '" + text + "': empty family name";
+    }
+    return false;
+  }
+  if (colon == std::string::npos) return true;
+
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      if (error != nullptr) {
+        *error = "topology spec '" + text + "': malformed param '" + item +
+                 "' (expected key=value)";
+      }
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    if (spec->find(key) != nullptr) {
+      if (error != nullptr) {
+        *error = "topology spec '" + text + "': duplicate param '" + key + "'";
+      }
+      return false;
+    }
+    spec->params.emplace_back(key, item.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry registry;
+  return registry;
+}
+
+void TopologyRegistry::add(TopologyFamily family) {
+  for (TopologyFamily& existing : families_) {
+    if (existing.name == family.name) {
+      existing = std::move(family);
+      return;
+    }
+  }
+  families_.push_back(std::move(family));
+}
+
+const TopologyFamily* TopologyRegistry::find(const std::string& name) const {
+  for (const TopologyFamily& family : families_) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TopologyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const TopologyFamily& family : families_) out.push_back(family.name);
+  return out;
+}
+
+std::string TopologyRegistry::usage() const {
+  std::string out = "registered topology families:\n";
+  for (const TopologyFamily& family : families_) {
+    out += "  " + family.grammar + "\n      " + family.summary +
+           " (default routing: " + family.default_routing + ")\n";
+  }
+  return out;
+}
+
+std::unique_ptr<Topology> TopologyRegistry::build(const TopoSpec& spec,
+                                                  std::string* error) const {
+  const TopologyFamily* family = find(spec.family);
+  if (family == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown topology family '" + spec.family + "'\n" + usage();
+    }
+    return nullptr;
+  }
+  return family->build(spec, error);
+}
+
+}  // namespace smart

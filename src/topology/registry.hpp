@@ -1,0 +1,129 @@
+// String-keyed topology-family registry.
+//
+// A fabric family is a named plugin: a spec grammar ("clos:m=8,n=8,r=16"),
+// a builder that turns a parsed spec into a Topology, a default routing
+// key, and (for generated families) a derived-clock callback that sizes
+// the router cycle from the family's channel width and physical wire
+// lengths per the extended Chien model (src/cost/chien.hpp). The paper's
+// hand-built families (cube, mesh, tree) register here too, so every
+// consumer — Network assembly, the CLI, the experiment drivers — goes
+// through one lookup path, and adding a family is one source file plus a
+// registration call (src/synth/families.cpp).
+//
+// This layer stays cost-free (smart_cost links smart_topology, not the
+// reverse): DerivedClock is a plain value type; the callbacks that fill
+// it live in src/synth/, which links both.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace smart {
+
+/// A parsed --topology spec: family name plus key=value parameters, e.g.
+/// "clos:m=8,n=8,r=16". The legacy knobs (k, n, wraparound) are threaded
+/// from NetworkSpec for the paper families, which predate the param
+/// syntax; explicit params override them.
+struct TopoSpec {
+  std::string family;
+  std::vector<std::pair<std::string, std::string>> params;
+  unsigned k = 16;
+  unsigned n = 2;
+  bool wraparound = true;
+
+  /// The value of `key`, or null when absent.
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+
+  /// Overwrites *out with params[key] parsed as an integer in
+  /// [1, 2^32-1]; leaves *out untouched when the key is absent. Returns
+  /// false (message in *error) on a malformed or out-of-range value.
+  bool get_unsigned(const std::string& key, unsigned* out,
+                    std::string* error) const;
+
+  /// Rejects parameters outside `allowed` — typos must error, not
+  /// silently fall back to defaults. Returns false with *error listing
+  /// the offending key and the allowed set.
+  bool check_keys(std::initializer_list<const char*> allowed,
+                  std::string* error) const;
+};
+
+/// Parses "family" or "family:key=val,key=val" into *spec. Returns false
+/// (message in *error) on an empty family name or a malformed/duplicate
+/// key=value pair. Does not check that the family exists — callers look
+/// it up in the registry to get a usage listing on miss.
+bool parse_topology_spec(const std::string& text, TopoSpec* spec,
+                         std::string* error);
+
+/// Router clock of a generated fabric, derived from the family's routing
+/// freedom, port count, channel width and modeled wire length by the
+/// extended Chien model. Plain values only — this header must not depend
+/// on src/cost/.
+struct DerivedClock {
+  double routing_ns = 0.0;
+  double crossbar_ns = 0.0;
+  double link_ns = 0.0;
+  double wire_m = 0.0;    ///< modeled longest wire driving link_ns
+  unsigned freedom = 0;   ///< routing freedom F behind routing_ns
+  unsigned ports = 0;     ///< crossbar size P behind crossbar_ns
+
+  /// The paper's rule: the slowest pipeline stage sets the cycle.
+  [[nodiscard]] double clock_ns() const noexcept {
+    double clock = routing_ns;
+    if (crossbar_ns > clock) clock = crossbar_ns;
+    if (link_ns > clock) clock = link_ns;
+    return clock;
+  }
+};
+
+struct TopologyFamily {
+  std::string name;
+  /// Spec grammar shown in usage listings, e.g. "clos:m=M,n=N,r=R".
+  std::string grammar;
+  /// One-line description for usage listings.
+  std::string summary;
+  /// Routing key the CLI defaults to for this family ("det", "duato",
+  /// "tree", "dor", "updown").
+  std::string default_routing;
+  /// Builds the fabric, or returns null with a message in *error on an
+  /// invalid spec (unknown param, infeasible size, ...).
+  std::function<std::unique_ptr<Topology>(const TopoSpec&,
+                                          std::string* error)> build;
+  /// Fills the family's derived clock for a spec (null for the paper
+  /// families, whose clocks come from the fixed normalization in
+  /// src/cost/chien.hpp). `vcs` is the configured virtual-channel count.
+  std::function<bool(const TopoSpec&, unsigned vcs, DerivedClock* out,
+                     std::string* error)> clock;
+};
+
+class TopologyRegistry {
+ public:
+  static TopologyRegistry& instance();
+
+  /// Registers (or replaces, by name) a family.
+  void add(TopologyFamily family);
+
+  /// The family registered under `name`, or null.
+  [[nodiscard]] const TopologyFamily* find(const std::string& name) const;
+
+  /// Registered family names, registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Multi-line usage listing (one "name  grammar — summary" per family)
+  /// for unknown-family error messages.
+  [[nodiscard]] std::string usage() const;
+
+  /// Looks up spec.family and builds it; null with a message in *error
+  /// (including the usage listing for unknown families).
+  [[nodiscard]] std::unique_ptr<Topology> build(const TopoSpec& spec,
+                                                std::string* error) const;
+
+ private:
+  std::vector<TopologyFamily> families_;
+};
+
+}  // namespace smart

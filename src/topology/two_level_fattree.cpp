@@ -1,0 +1,93 @@
+#include "topology/two_level_fattree.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+TwoLevelFatTree::TwoLevelFatTree(std::size_t leaves, std::size_t spines,
+                                 unsigned terminals_per_leaf, unsigned rails,
+                                 std::string label)
+    : leaves_(leaves),
+      spines_(spines),
+      terminals_(terminals_per_leaf),
+      rails_(rails),
+      label_(std::move(label)) {
+  SMART_CHECK_MSG(leaves_ >= 1 && spines_ >= 1,
+                  "two-level fat-tree requires >= 1 leaf and >= 1 spine");
+  SMART_CHECK_MSG(terminals_ >= 1 && rails_ >= 1,
+                  "two-level fat-tree requires >= 1 terminal port and rail");
+  const std::size_t leaf_ports = terminals_ + spines_ * rails_;
+  const std::size_t spine_ports = leaves_ * rails_;
+  SMART_CHECK_MSG(leaf_ports <= 65535 && spine_ports <= 65535,
+                  "two-level fat-tree switch radix exceeds 65535 ports");
+  SMART_CHECK_MSG(leaves_ <= (1ULL << 32) / terminals_,
+                  "two-level fat-tree exceeds 2^32 nodes");
+  max_ports_ = leaf_ports > spine_ports ? leaf_ports : spine_ports;
+}
+
+std::string TwoLevelFatTree::name() const {
+  if (!label_.empty()) return label_;
+  return "fattree2(L=" + std::to_string(leaves_) +
+         ",S=" + std::to_string(spines_) + ",n=" + std::to_string(terminals_) +
+         ",c=" + std::to_string(rails_) + ")";
+}
+
+PortPeer TwoLevelFatTree::port_peer(SwitchId s, PortId p) const {
+  SMART_DCHECK(s < switch_count());
+  if (is_spine(s)) {
+    const std::size_t spine = s - leaves_;
+    if (p >= leaves_ * rails_) return PortPeer{PeerKind::kUnconnected, 0, 0};
+    const auto leaf = static_cast<SwitchId>(p / rails_);
+    const unsigned rail = static_cast<unsigned>(p % rails_);
+    return PortPeer{PeerKind::kSwitch, leaf,
+                    static_cast<PortId>(terminals_ + spine * rails_ + rail)};
+  }
+  if (p < terminals_) {
+    return PortPeer{PeerKind::kTerminal,
+                    static_cast<NodeId>(s * terminals_ + p), 0};
+  }
+  const std::size_t up = p - terminals_;
+  if (up >= spines_ * rails_) return PortPeer{PeerKind::kUnconnected, 0, 0};
+  const auto spine = static_cast<SwitchId>(leaves_ + up / rails_);
+  const unsigned rail = static_cast<unsigned>(up % rails_);
+  return PortPeer{PeerKind::kSwitch, spine, down_port(s, rail)};
+}
+
+Attachment TwoLevelFatTree::terminal_attachment(NodeId node) const {
+  SMART_DCHECK(node < node_count());
+  return Attachment{leaf_of(node), terminal_port(node)};
+}
+
+unsigned TwoLevelFatTree::min_hops(NodeId src, NodeId dst) const {
+  if (src == dst) return 0;
+  // Terminal links are network links on the indirect fabric: 2 hops
+  // within a leaf (up to the leaf, down to the peer terminal), 4 hops
+  // across (leaf, spine, leaf, terminal).
+  return leaf_of(src) == leaf_of(dst) ? 2 : 4;
+}
+
+unsigned TwoLevelFatTree::diameter() const { return leaves_ > 1 ? 4 : 2; }
+
+double TwoLevelFatTree::average_distance() const {
+  // Per source: n-1 same-leaf destinations at 2 hops, n*(L-1) cross-leaf
+  // destinations at 4.
+  const auto nodes = static_cast<double>(node_count());
+  const auto n = static_cast<double>(terminals_);
+  const auto l = static_cast<double>(leaves_);
+  return (2.0 * (n - 1.0) + 4.0 * n * (l - 1.0)) / (nodes - 1.0);
+}
+
+std::size_t TwoLevelFatTree::bisection_channels() const {
+  // Splitting the leaves in half cuts half of every spine's down links;
+  // exact for even L, the floor approximates odd L.
+  return spines_ * rails_ * (leaves_ / 2);
+}
+
+double TwoLevelFatTree::uniform_capacity_flits_per_node_cycle() const {
+  if (leaves_ <= 1) return 1.0;
+  const double up = static_cast<double>(spines_ * rails_) /
+                    static_cast<double>(terminals_);
+  return up < 1.0 ? up : 1.0;
+}
+
+}  // namespace smart

@@ -1,0 +1,103 @@
+// Two-level fat-tree / folded-Clos fabric with director-class spines.
+//
+// L leaf switches, each with n terminal ports and c parallel links (rails)
+// to every one of S spine switches; a spine is an L*c-port crossbar. This
+// one class covers two generated families:
+//
+//   - the radix-driven two-level fat-tree of Solnushkin's automated design
+//     (arXiv:1301.6179): leaves are fixed-radix edge switches, spines are
+//     modular director switches sized to L*c ports;
+//   - the Clos/multistage network in Dally's m x n x r notation
+//     (SNIPPETS.md Snippet 2): m spines, r leaves, n terminals per leaf
+//     maps to S = m, L = r, c = 1.
+//
+// This is an *indirect* network (like the k-ary n-tree): terminal links
+// are network links and count toward the hop distance — 2 hops within a
+// leaf, 4 via a spine. Up*/down* routing is deadlock-free with any number
+// of virtual channels: every path ascends once and descends once.
+//
+// Port numbering: leaf l (switch id l < L) uses ports [0, n) for its
+// terminals (node l*n + t on port t) and port n + s*c + j for rail j to
+// spine s; spine s (switch id L + s) uses port l*c + j for rail j to leaf
+// l. ports_per_switch() is the maximum of the two shapes; out-of-range
+// ports report kUnconnected and carry no lanes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+
+class TwoLevelFatTree final : public Topology {
+ public:
+  /// Builds the fabric; requires leaves, spines, terminals_per_leaf and
+  /// rails >= 1 and switch radices within the engine's 65535-port bound.
+  /// `label` overrides the generated name() (the synthesis families stamp
+  /// their spec string here).
+  TwoLevelFatTree(std::size_t leaves, std::size_t spines,
+                  unsigned terminals_per_leaf, unsigned rails,
+                  std::string label = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return leaves_ * terminals_;
+  }
+  [[nodiscard]] std::size_t switch_count() const override {
+    return leaves_ + spines_;
+  }
+  [[nodiscard]] std::size_t ports_per_switch() const override {
+    return max_ports_;
+  }
+  [[nodiscard]] PortPeer port_peer(SwitchId s, PortId p) const override;
+  [[nodiscard]] Attachment terminal_attachment(NodeId node) const override;
+  [[nodiscard]] unsigned min_hops(NodeId src, NodeId dst) const override;
+  [[nodiscard]] unsigned diameter() const override;
+  /// Exact analytic mean (the O(N^2) default is unusable at 4K+ nodes).
+  [[nodiscard]] double average_distance() const override;
+  [[nodiscard]] std::size_t bisection_channels() const override;
+  [[nodiscard]] bool is_direct() const override { return false; }
+  /// min(1, S*c/n): with fewer up-rails than terminals per leaf the
+  /// fabric is oversubscribed and uniform traffic saturates at the
+  /// leaf-to-spine stage, not the terminal link.
+  [[nodiscard]] double uniform_capacity_flits_per_node_cycle() const override;
+
+  [[nodiscard]] std::size_t leaves() const noexcept { return leaves_; }
+  [[nodiscard]] std::size_t spines() const noexcept { return spines_; }
+  [[nodiscard]] unsigned terminals_per_leaf() const noexcept {
+    return terminals_;
+  }
+  [[nodiscard]] unsigned rails() const noexcept { return rails_; }
+
+  [[nodiscard]] bool is_spine(SwitchId s) const noexcept {
+    return s >= leaves_;
+  }
+  [[nodiscard]] SwitchId leaf_of(NodeId node) const noexcept {
+    return static_cast<SwitchId>(node / terminals_);
+  }
+  /// Leaf port of the given terminal.
+  [[nodiscard]] PortId terminal_port(NodeId node) const noexcept {
+    return static_cast<PortId>(node % terminals_);
+  }
+  /// First up port of a leaf; up port n + s*c + j is rail j to spine s.
+  [[nodiscard]] PortId up_port_base() const noexcept { return terminals_; }
+  [[nodiscard]] unsigned up_port_count() const noexcept {
+    return static_cast<unsigned>(spines_) * rails_;
+  }
+  /// Spine port for rail j down to leaf l.
+  [[nodiscard]] PortId down_port(SwitchId leaf, unsigned rail) const noexcept {
+    return static_cast<PortId>(leaf * rails_ + rail);
+  }
+
+ private:
+  std::size_t leaves_;
+  std::size_t spines_;
+  unsigned terminals_;
+  unsigned rails_;
+  std::size_t max_ports_;
+  std::string label_;
+};
+
+}  // namespace smart

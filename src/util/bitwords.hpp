@@ -1,0 +1,67 @@
+// Dynamically-sized bitset over 64-bit words.
+//
+// The engine keeps per-switch occupancy masks (non-empty input lanes,
+// busy lanes, ports with buffered output flits). Paper-scale fabrics fit
+// in one 64-bit word, but generated fabrics do not: a 4K-node Clos spine
+// has 256 ports and over a thousand input lanes. BitWords is the smallest
+// structure that keeps the word-at-a-time scan idiom (snapshot a word,
+// countr_zero-walk its set bits) while letting the width follow the
+// fabric: a vector of words sized once at build time, never resized on
+// the hot path. std::vector<bool> hides the words; std::bitset fixes the
+// width at compile time — neither fits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+class BitWords {
+ public:
+  BitWords() = default;
+
+  /// Sizes the set to hold `bits` positions, all cleared. Called once per
+  /// switch at fabric-build time; the hot path only sets/clears/tests.
+  void resize(std::size_t bits) {
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  void set(std::size_t i) noexcept {
+    SMART_DCHECK(i / 64 < words_.size());
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  void clear(std::size_t i) noexcept {
+    SMART_DCHECK(i / 64 < words_.size());
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    SMART_DCHECK(i / 64 < words_.size());
+    return (words_[i / 64] >> (i % 64)) & 1U;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Raw word for the scan loops (positions [64w, 64w+63]).
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
+    SMART_DCHECK(w < words_.size());
+    return words_[w];
+  }
+
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace smart

@@ -50,7 +50,7 @@ class FaultyRingRouting final : public RoutingAlgorithm {
 
 SimConfig faulty_ring_config(unsigned vcs) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 8;
   config.net.n = 1;  // a plain ring
   config.net.vcs = vcs;

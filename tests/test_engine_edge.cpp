@@ -10,7 +10,7 @@ namespace {
 
 SimConfig tiny_cube(double load = 0.3) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;

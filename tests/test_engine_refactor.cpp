@@ -19,7 +19,7 @@ namespace {
 
 TEST(EngineRefactor, GoldenCubeDuatoUniform) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -42,7 +42,7 @@ TEST(EngineRefactor, GoldenCubeDuatoUniform) {
 
 TEST(EngineRefactor, GoldenTreeTranspose) {
   SimConfig config;
-  config.net.topology = TopologyKind::kTree;
+  config.net.topology = std::string("tree");
   config.net.k = 4;
   config.net.n = 2;
   config.net.vcs = 2;
@@ -62,7 +62,7 @@ TEST(EngineRefactor, GoldenTreeTranspose) {
 
 TEST(EngineRefactor, GoldenMeshDorTornado) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.wraparound = false;
@@ -86,7 +86,7 @@ TEST(EngineRefactor, GoldenMeshDorTornado) {
 // fault-epoch accounting.
 TEST(EngineRefactor, GoldenFaultedCubeWithDrain) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -125,7 +125,7 @@ TEST(EngineRefactor, GoldenFaultedCubeWithDrain) {
 // source-queue state machine too.
 TEST(EngineRefactor, GoldenBurstyInjection) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -158,7 +158,7 @@ TEST(EngineRefactor, GoldenBurstyInjection) {
 // both are order-sensitive to any change in the phase pipeline.
 TEST(EngineRefactor, GoldenValiantMultiChannel) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeValiant;

@@ -91,7 +91,7 @@ void expect_thread_invariant(const SimConfig& config) {
 
 SimConfig cube256_config() {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 16;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -105,7 +105,7 @@ SimConfig cube256_config() {
 
 SimConfig tree256_config() {
   SimConfig config;
-  config.net.topology = TopologyKind::kTree;
+  config.net.topology = std::string("tree");
   config.net.k = 4;
   config.net.n = 4;
   config.net.vcs = 2;
@@ -175,7 +175,7 @@ TEST(EngineThreads, SmallFabricFallsBackToSerial) {
 
 TEST(EngineThreads, GoldenCubeDuatoUniformMatrix) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -189,7 +189,7 @@ TEST(EngineThreads, GoldenCubeDuatoUniformMatrix) {
 
 TEST(EngineThreads, GoldenTreeTransposeMatrix) {
   SimConfig config;
-  config.net.topology = TopologyKind::kTree;
+  config.net.topology = std::string("tree");
   config.net.k = 4;
   config.net.n = 2;
   config.net.vcs = 2;
@@ -204,7 +204,7 @@ TEST(EngineThreads, GoldenTreeTransposeMatrix) {
 
 TEST(EngineThreads, GoldenMeshDorTornadoMatrix) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.wraparound = false;
@@ -219,7 +219,7 @@ TEST(EngineThreads, GoldenMeshDorTornadoMatrix) {
 
 TEST(EngineThreads, GoldenFaultedCubeWithDrainMatrix) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -236,7 +236,7 @@ TEST(EngineThreads, GoldenFaultedCubeWithDrainMatrix) {
 
 TEST(EngineThreads, GoldenBurstyInjectionMatrix) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -253,7 +253,7 @@ TEST(EngineThreads, GoldenBurstyInjectionMatrix) {
 
 TEST(EngineThreads, GoldenValiantMultiChannelMatrix) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeValiant;

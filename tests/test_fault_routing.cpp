@@ -11,7 +11,7 @@ namespace {
 
 SimConfig tree_config(unsigned k, unsigned n, double load) {
   SimConfig config;
-  config.net.topology = TopologyKind::kTree;
+  config.net.topology = std::string("tree");
   config.net.k = k;
   config.net.n = n;
   config.net.routing = RoutingKind::kTreeAdaptive;
@@ -25,7 +25,7 @@ SimConfig tree_config(unsigned k, unsigned n, double load) {
 SimConfig cube_config(unsigned k, unsigned n, RoutingKind routing,
                       double load, bool wraparound = true) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = k;
   config.net.n = n;
   config.net.wraparound = wraparound;

@@ -90,7 +90,7 @@ TEST(InjectionFactory, CreatesBothKinds) {
 
 TEST(InjectionInNetwork, BurstyRunMatchesAverageRate) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;

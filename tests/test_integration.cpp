@@ -23,7 +23,7 @@ SimConfig make_config(NetworkSpec net, PatternKind pattern, double load,
 
 NetworkSpec small_cube(RoutingKind routing) {
   NetworkSpec spec;
-  spec.topology = TopologyKind::kCube;
+  spec.topology = std::string("cube");
   spec.k = 8;
   spec.n = 2;
   spec.routing = routing;
@@ -33,7 +33,7 @@ NetworkSpec small_cube(RoutingKind routing) {
 
 NetworkSpec small_tree(unsigned vcs) {
   NetworkSpec spec;
-  spec.topology = TopologyKind::kTree;
+  spec.topology = std::string("tree");
   spec.k = 4;
   spec.n = 3;
   spec.routing = RoutingKind::kTreeAdaptive;

@@ -82,7 +82,7 @@ TEST(Mesh, DirectionHelpers) {
 
 SimConfig mesh_config(RoutingKind routing, double load) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 8;
   config.net.n = 2;
   config.net.wraparound = false;

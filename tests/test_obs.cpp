@@ -15,7 +15,7 @@ namespace {
 
 SimConfig congested_config() {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -57,7 +57,7 @@ TEST(Obs, DisabledPathBitIdenticalToEnabled) {
 // (obs disabled) engine must reproduce these values bit-for-bit.
 TEST(Obs, GoldenCubeDuatoUniform) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -80,7 +80,7 @@ TEST(Obs, GoldenCubeDuatoUniform) {
 
 TEST(Obs, GoldenTreeTranspose) {
   SimConfig config;
-  config.net.topology = TopologyKind::kTree;
+  config.net.topology = std::string("tree");
   config.net.k = 4;
   config.net.n = 2;
   config.net.vcs = 2;
@@ -100,7 +100,7 @@ TEST(Obs, GoldenTreeTranspose) {
 
 TEST(Obs, GoldenMeshDorTornado) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.wraparound = false;

@@ -23,7 +23,7 @@ namespace {
 
 SimConfig golden_cube_config() {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;
@@ -37,7 +37,7 @@ SimConfig golden_cube_config() {
 
 SimConfig golden_faulted_config() {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;

@@ -20,7 +20,7 @@ std::vector<NetCase> network_cases() {
   std::vector<NetCase> cases;
   {
     NetworkSpec spec;
-    spec.topology = TopologyKind::kCube;
+    spec.topology = std::string("cube");
     spec.k = 8;
     spec.n = 2;
     spec.routing = RoutingKind::kCubeDeterministic;
@@ -36,7 +36,7 @@ std::vector<NetCase> network_cases() {
   }
   {
     NetworkSpec spec;
-    spec.topology = TopologyKind::kTree;
+    spec.topology = std::string("tree");
     spec.k = 4;
     spec.n = 3;
     spec.routing = RoutingKind::kTreeAdaptive;

@@ -9,7 +9,7 @@ namespace {
 
 SimConfig base_config() {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = 4;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeDuato;

@@ -90,7 +90,7 @@ TEST(CubeDuato, DeliversSinglePacketMinimally) {
 
 TEST(CubeDuato, AllPairsDeliverOnSmallCube) {
   NetworkSpec spec;
-  spec.topology = TopologyKind::kCube;
+  spec.topology = std::string("cube");
   spec.k = 4;
   spec.n = 2;
   spec.routing = RoutingKind::kCubeDuato;
@@ -111,7 +111,7 @@ TEST(CubeDuato, AllPairsDeliverOnSmallCube) {
 
 TEST(CubeDor, AllPairsDeliverOnSmallCube) {
   NetworkSpec spec;
-  spec.topology = TopologyKind::kCube;
+  spec.topology = std::string("cube");
   spec.k = 4;
   spec.n = 2;
   spec.routing = RoutingKind::kCubeDeterministic;
@@ -157,7 +157,7 @@ TEST(TreeAdaptive, SameLeafPairStaysLocal) {
 
 TEST(TreeAdaptive, AllPairsDeliverOnSmallTree) {
   NetworkSpec spec;
-  spec.topology = TopologyKind::kTree;
+  spec.topology = std::string("tree");
   spec.k = 4;
   spec.n = 2;
   spec.routing = RoutingKind::kTreeAdaptive;

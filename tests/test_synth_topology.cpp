@@ -1,0 +1,362 @@
+// Property tests for the topology-synthesis subsystem (src/synth/):
+// spec parsing and registry errors, design solvers, derived clocks, and —
+// for every generated family at three sizes including >= 4K nodes —
+// node-count exactness, radix bounds, single-component connectivity,
+// port-wiring bijectivity, and a deadlock-freedom smoke run with a tight
+// watchdog.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "synth/design.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
+#include "topology/two_level_fattree.hpp"
+
+namespace smart {
+namespace {
+
+std::unique_ptr<Topology> build_spec(const std::string& text) {
+  ensure_builtin_families();
+  TopoSpec spec;
+  std::string error;
+  EXPECT_TRUE(parse_topology_spec(text, &spec, &error)) << error;
+  auto topo = TopologyRegistry::instance().build(spec, &error);
+  EXPECT_NE(topo, nullptr) << text << ": " << error;
+  return topo;
+}
+
+// Every connected switch-to-switch port pairs with exactly one reverse
+// port (peer of peer is self), and every terminal attachment round-trips.
+void expect_wiring_bijective(const Topology& topo) {
+  for (SwitchId s = 0; s < topo.switch_count(); ++s) {
+    std::set<std::pair<SwitchId, PortId>> seen;
+    for (PortId p = 0; p < topo.ports_per_switch(); ++p) {
+      const PortPeer peer = topo.port_peer(s, p);
+      if (peer.kind == PeerKind::kUnconnected) continue;
+      if (peer.kind == PeerKind::kTerminal) {
+        const Attachment at = topo.terminal_attachment(peer.id);
+        ASSERT_EQ(at.sw, s);
+        ASSERT_EQ(at.port, p);
+        continue;
+      }
+      // No two ports of s may land on the same remote (switch, port).
+      ASSERT_TRUE(seen.emplace(peer.id, peer.port).second)
+          << "switch " << s << " wires two ports to the same lane";
+      const PortPeer back = topo.port_peer(peer.id, peer.port);
+      ASSERT_EQ(back.kind, PeerKind::kSwitch);
+      ASSERT_EQ(back.id, s) << "peer-of-peer switch mismatch at " << s;
+      ASSERT_EQ(back.port, p) << "peer-of-peer port mismatch at " << s;
+    }
+  }
+  for (NodeId node = 0; node < topo.node_count(); ++node) {
+    const Attachment at = topo.terminal_attachment(node);
+    const PortPeer peer = topo.port_peer(at.sw, at.port);
+    ASSERT_EQ(peer.kind, PeerKind::kTerminal);
+    ASSERT_EQ(peer.id, node);
+  }
+}
+
+// BFS over switch-to-switch links reaches every switch.
+void expect_single_component(const Topology& topo) {
+  std::vector<char> visited(topo.switch_count(), 0);
+  std::queue<SwitchId> frontier;
+  frontier.push(0);
+  visited[0] = 1;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const SwitchId s = frontier.front();
+    frontier.pop();
+    for (PortId p = 0; p < topo.ports_per_switch(); ++p) {
+      const PortPeer peer = topo.port_peer(s, p);
+      if (peer.kind != PeerKind::kSwitch || visited[peer.id]) continue;
+      visited[peer.id] = 1;
+      ++count;
+      frontier.push(peer.id);
+    }
+  }
+  EXPECT_EQ(count, topo.switch_count()) << "fabric is disconnected";
+}
+
+unsigned connected_ports(const Topology& topo, SwitchId s) {
+  unsigned ports = 0;
+  for (PortId p = 0; p < topo.ports_per_switch(); ++p) {
+    if (topo.port_peer(s, p).kind != PeerKind::kUnconnected) ++ports;
+  }
+  return ports;
+}
+
+struct FamilyCase {
+  const char* spec;
+  std::size_t nodes;
+  unsigned max_radix;  ///< 0 = don't check
+};
+
+// Three sizes per generated family, the largest >= 4K nodes.
+const FamilyCase kCases[] = {
+    {"fattree2:nodes=64,radix=16", 64, 16},
+    {"fattree2:nodes=1024,radix=36", 1024, 0 /* spines exceed the leaves */},
+    {"fattree2:nodes=4096,radix=36", 4096, 0 /* spines exceed the leaves */},
+    {"clos:m=4,n=4,r=8", 32, 8},
+    {"clos:m=8,n=8,r=64", 512, 64},
+    {"clos:m=16,n=16,r=256", 4096, 256},
+    {"torus:nodes=64,dims=3", 64, 7},
+    {"torus:nodes=1000,dims=3", 1000, 7},
+    {"torus:nodes=4096,dims=3", 4096, 7},
+    {"tehcube:k=2,dims=4", 64, 13},
+    {"tehcube:k=4,dims=6", 1024, 17},
+    {"tehcube:k=4,dims=8", 4096, 21},
+};
+
+TEST(SynthTopology, NodeCountExactness) {
+  for (const FamilyCase& c : kCases) {
+    const auto topo = build_spec(c.spec);
+    EXPECT_EQ(topo->node_count(), c.nodes) << c.spec;
+  }
+}
+
+TEST(SynthTopology, RadixBounds) {
+  for (const FamilyCase& c : kCases) {
+    if (c.max_radix == 0) continue;
+    const auto topo = build_spec(c.spec);
+    for (SwitchId s = 0; s < topo->switch_count(); ++s) {
+      ASSERT_LE(connected_ports(*topo, s), c.max_radix) << c.spec;
+    }
+  }
+}
+
+TEST(SynthTopology, FatTreeDirectorSpinesBounded) {
+  // nodes=4096,radix=36 designs n=16, L=256, S=20: the leaves keep the
+  // radix budget, the spines are director-class 256-port crossbars.
+  const auto topo = build_spec("fattree2:nodes=4096,radix=36");
+  const auto* ft = dynamic_cast<const TwoLevelFatTree*>(topo.get());
+  ASSERT_NE(ft, nullptr);
+  EXPECT_EQ(ft->leaves(), 256u);
+  EXPECT_EQ(ft->spines(), 20u);
+  EXPECT_EQ(ft->terminals_per_leaf(), 16u);
+  for (SwitchId s = 0; s < ft->leaves(); ++s) {
+    ASSERT_LE(connected_ports(*topo, s), 36u);
+  }
+  for (SwitchId s = ft->leaves(); s < topo->switch_count(); ++s) {
+    ASSERT_EQ(connected_ports(*topo, s), 256u);
+  }
+}
+
+TEST(SynthTopology, Connectivity) {
+  for (const FamilyCase& c : kCases) {
+    const auto topo = build_spec(c.spec);
+    expect_single_component(*topo);
+  }
+}
+
+TEST(SynthTopology, PortWiringBijective) {
+  for (const FamilyCase& c : kCases) {
+    const auto topo = build_spec(c.spec);
+    expect_wiring_bijective(*topo);
+  }
+}
+
+// One loaded run per family and size with a watchdog tight enough to fire
+// within the horizon: a routing deadlock (or a hop-count/credit
+// accounting bug, which the engine asserts on) cannot hide.
+TEST(SynthTopology, DeadlockFreedomSmoke) {
+  struct SmokeCase {
+    const char* spec;
+    RoutingKind routing;
+    double load;
+    std::uint64_t horizon;
+  };
+  const SmokeCase smokes[] = {
+      {"fattree2:nodes=64,radix=16", RoutingKind::kUpDown, 0.6, 3000},
+      {"fattree2:nodes=1024,radix=36", RoutingKind::kUpDown, 0.5, 1500},
+      {"fattree2:nodes=4096,radix=36", RoutingKind::kUpDown, 0.25, 800},
+      {"clos:m=4,n=4,r=8", RoutingKind::kUpDown, 0.6, 3000},
+      {"clos:m=8,n=8,r=64", RoutingKind::kUpDown, 0.5, 1500},
+      {"clos:m=16,n=16,r=256", RoutingKind::kUpDown, 0.25, 800},
+      {"torus:nodes=64,dims=3", RoutingKind::kTorusDor, 0.6, 3000},
+      {"torus:nodes=1000,dims=3", RoutingKind::kTorusDor, 0.5, 1500},
+      {"torus:nodes=4096,dims=3", RoutingKind::kTorusDor, 0.25, 800},
+      {"tehcube:k=2,dims=4", RoutingKind::kTorusDor, 0.6, 3000},
+      {"tehcube:k=4,dims=6", RoutingKind::kTorusDor, 0.5, 1500},
+      {"tehcube:k=4,dims=8", RoutingKind::kTorusDor, 0.25, 800},
+  };
+  for (const SmokeCase& smoke : smokes) {
+    TopoSpec spec;
+    std::string error;
+    ASSERT_TRUE(parse_topology_spec(smoke.spec, &spec, &error)) << error;
+    SimConfig config;
+    config.net.topology = spec.family;
+    config.net.topo_params = spec.params;
+    config.net.routing = smoke.routing;
+    config.traffic.offered_fraction = smoke.load;
+    config.timing.warmup_cycles = 100;
+    config.timing.horizon_cycles = smoke.horizon;
+    config.timing.deadlock_threshold = 400;
+    Network network(config);
+    const SimulationResult& result = network.run();
+    EXPECT_FALSE(result.deadlocked) << smoke.spec;
+    EXPECT_GT(result.delivered_packets, 0u) << smoke.spec;
+  }
+}
+
+// ---- Spec parsing and registry errors ----------------------------------
+
+TEST(SynthSpec, ParseFamilyAndParams) {
+  TopoSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_topology_spec("clos:m=8,n=8,r=16", &spec, &error));
+  EXPECT_EQ(spec.family, "clos");
+  ASSERT_EQ(spec.params.size(), 3u);
+  EXPECT_EQ(spec.params[0].first, "m");
+  EXPECT_EQ(spec.params[0].second, "8");
+  unsigned value = 0;
+  EXPECT_TRUE(spec.get_unsigned("r", &value, &error));
+  EXPECT_EQ(value, 16u);
+}
+
+TEST(SynthSpec, ParseRejectsMalformed) {
+  TopoSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_topology_spec("", &spec, &error));
+  EXPECT_FALSE(parse_topology_spec(":k=4", &spec, &error));
+  EXPECT_FALSE(parse_topology_spec("torus:nodes", &spec, &error));
+  EXPECT_FALSE(parse_topology_spec("torus:=4", &spec, &error));
+  EXPECT_FALSE(parse_topology_spec("torus:nodes=4,nodes=8", &spec, &error));
+  EXPECT_FALSE(parse_topology_spec("torus:nodes=4,", &spec, &error));
+}
+
+TEST(SynthSpec, UnknownFamilyListsUsage) {
+  ensure_builtin_families();
+  TopoSpec spec;
+  spec.family = "dragonfly";
+  std::string error;
+  EXPECT_EQ(TopologyRegistry::instance().build(spec, &error), nullptr);
+  EXPECT_NE(error.find("dragonfly"), std::string::npos);
+  EXPECT_NE(error.find("fattree2"), std::string::npos) << error;
+  EXPECT_NE(error.find("clos"), std::string::npos) << error;
+}
+
+TEST(SynthSpec, UnknownParamErrors) {
+  ensure_builtin_families();
+  TopoSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_topology_spec("clos:m=8,q=7", &spec, &error));
+  EXPECT_EQ(TopologyRegistry::instance().build(spec, &error), nullptr);
+  EXPECT_NE(error.find("'q'"), std::string::npos) << error;
+}
+
+TEST(SynthSpec, MalformedValueErrors) {
+  ensure_builtin_families();
+  TopoSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_topology_spec("torus:nodes=abc", &spec, &error));
+  EXPECT_EQ(TopologyRegistry::instance().build(spec, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SynthSpec, FifthFamilyIsOneRegistration) {
+  // The acceptance bar for the plugin design: registering a family makes
+  // it buildable through every registry path with no other changes.
+  ensure_builtin_families();
+  TopologyFamily fam;
+  fam.name = "testring";
+  fam.grammar = "testring:k=K";
+  fam.summary = "unit-test ring";
+  fam.default_routing = "dor";
+  fam.build = [](const TopoSpec& spec,
+                 std::string* error) -> std::unique_ptr<Topology> {
+    unsigned k = 8;
+    if (!spec.get_unsigned("k", &k, error)) return nullptr;
+    return TopologyRegistry::instance().build(
+        [&] {
+          TopoSpec ring;
+          ring.family = "torus";
+          ring.params = {{"radices", std::to_string(k)}};
+          return ring;
+        }(),
+        error);
+  };
+  TopologyRegistry::instance().add(fam);
+  const auto topo = build_spec("testring:k=12");
+  EXPECT_EQ(topo->node_count(), 12u);
+  EXPECT_NE(TopologyRegistry::instance().usage().find("testring"),
+            std::string::npos);
+}
+
+// ---- Design solvers and derived clocks ---------------------------------
+
+TEST(SynthDesign, BalancedRadices) {
+  std::vector<unsigned> radices;
+  std::string error;
+  ASSERT_TRUE(balanced_radices(4096, 3, &radices, &error));
+  EXPECT_EQ(radices, (std::vector<unsigned>{16, 16, 16}));
+  ASSERT_TRUE(balanced_radices(1000, 3, &radices, &error));
+  EXPECT_EQ(radices, (std::vector<unsigned>{10, 10, 10}));
+  ASSERT_TRUE(balanced_radices(2048, 3, &radices, &error));
+  std::uint64_t product = 1;
+  for (unsigned r : radices) {
+    EXPECT_GE(r, 2u);
+    product *= r;
+  }
+  EXPECT_EQ(product, 2048u);
+  EXPECT_FALSE(balanced_radices(4097, 3, &radices, &error));  // 17*241
+  EXPECT_FALSE(balanced_radices(8, 4, &radices, &error));     // < 2^dims
+}
+
+TEST(SynthDesign, LargestDivisor) {
+  EXPECT_EQ(largest_divisor_at_most(4096, 18), 16u);
+  EXPECT_EQ(largest_divisor_at_most(1000, 18), 10u);
+  EXPECT_EQ(largest_divisor_at_most(17, 8), 1u);
+}
+
+TEST(SynthDesign, TorusClockIsWireLimited) {
+  // 16x16x16: every dimension gets its own physical axis, so wires stay
+  // at the first-fold length 2 * 0.3 m; the clock still exceeds the
+  // paper's short-wire 2-cube clock because of the flight time.
+  const DerivedClock clock = torus_derived_clock({16, 16, 16}, 4);
+  EXPECT_NEAR(clock.wire_m, 0.6, 1e-9);
+  EXPECT_GT(clock.link_ns, clock.routing_ns);
+  EXPECT_GT(clock.link_ns, clock.crossbar_ns);
+  EXPECT_NEAR(clock.clock_ns(), 6.34 + 0.5 * 5.0, 1e-6);
+  // A fourth dimension folds over the first axis and stretches by the
+  // first radix: 2 * 16 * 0.3 m.
+  const DerivedClock clock4 = torus_derived_clock({16, 16, 16, 16}, 4);
+  EXPECT_NEAR(clock4.wire_m, 9.6, 1e-9);
+  EXPECT_GT(clock4.clock_ns(), clock.clock_ns());
+}
+
+TEST(SynthDesign, FatTreeClockScalesWithFloorPlan) {
+  // 4096 nodes: 64 cabinets in an 8x8 grid; the central-spine cable run
+  // dominates all three phase delays.
+  const DerivedClock clock = fattree_derived_clock(256, 20, 16, 1, 4);
+  EXPECT_NEAR(clock.wire_m, 0.707 * 8 * 1.2 + 2.0, 1e-9);
+  EXPECT_GT(clock.link_ns, clock.routing_ns);
+  EXPECT_GT(clock.clock_ns(), 40.0);
+  // A 64-node machine fits one cabinet: near-short wires.
+  const DerivedClock small = fattree_derived_clock(8, 8, 8, 1, 4);
+  EXPECT_LT(small.wire_m, 3.0);
+  EXPECT_LT(small.clock_ns(), clock.clock_ns());
+}
+
+TEST(SynthDesign, DerivedClockFlowsIntoScale) {
+  NetworkSpec spec;
+  spec.topology = "torus";
+  spec.topo_params = {{"nodes", "4096"}, {"dims", "3"}};
+  spec.routing = RoutingKind::kTorusDor;
+  const NormalizedScale scale = scale_for(spec);
+  EXPECT_EQ(scale.nodes, 4096u);
+  EXPECT_NEAR(scale.clock_ns, 6.34 + 0.5 * 5.0, 1e-6);
+  const RouterDelays delays = delays_for(spec);
+  EXPECT_NEAR(delays.clock_ns(), scale.clock_ns, 1e-9);
+}
+
+}  // namespace
+}  // namespace smart

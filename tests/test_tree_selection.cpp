@@ -11,7 +11,7 @@ namespace {
 SimConfig tree_config(TreeSelection selection, PatternKind pattern,
                       double load, unsigned vcs = 4) {
   SimConfig config;
-  config.net.topology = TopologyKind::kTree;
+  config.net.topology = std::string("tree");
   config.net.k = 4;
   config.net.n = 3;
   config.net.routing = RoutingKind::kTreeAdaptive;

@@ -9,7 +9,7 @@ namespace {
 
 SimConfig valiant_config(PatternKind pattern, double load, unsigned k = 8) {
   SimConfig config;
-  config.net.topology = TopologyKind::kCube;
+  config.net.topology = std::string("cube");
   config.net.k = k;
   config.net.n = 2;
   config.net.routing = RoutingKind::kCubeValiant;

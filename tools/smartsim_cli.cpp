@@ -24,6 +24,8 @@
 #include "core/network.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
 
 namespace {
 
@@ -32,10 +34,15 @@ using namespace smart;
 void usage() {
   std::printf(
       "usage: smartsim_cli [options]\n"
-      "  --topology cube|mesh|tree   (default cube)\n"
+      "  --topology <family[:k=v,...]>  (default cube); families:\n"
+      "%s"
       "  --k <radix>                 (default 16 cube / 4 tree)\n"
       "  --n <dims|levels>           (default 2 cube / 4 tree)\n"
-      "  --routing det|duato|valiant|tree   (default duato / tree)\n"
+      "  --routing det|duato|valiant|tree|dor|updown\n"
+      "                              (default: the family's deadlock-free\n"
+      "                              algorithm)\n",
+      TopologyRegistry::instance().usage().c_str());
+  std::printf(
       "  --vcs <1|2|4|...>           virtual channels (default 4)\n"
       "  --selection affine|rotating|random|credits   tree tie-break\n"
       "  --pattern uniform|complement|bitrev|transpose|shuffle|tornado|\n"
@@ -59,6 +66,10 @@ void usage() {
       "                              pipeline), so a single run uses all N.\n"
       "                              Results are bit-identical for every\n"
       "                              thread count\n"
+      "  --serial-threshold <N>      stay on the serial engine at or below\n"
+      "                              N switches/NICs even with --threads\n"
+      "                              (default 64); the chosen path and\n"
+      "                              reason land in the run manifest\n"
       "  --csv <path>                also write results as CSV\n"
       "  --absolute                  report bits/ns and ns via the cost model\n"
       "  --faults <spec>             deterministic fault schedule, comma-\n"
@@ -102,6 +113,35 @@ bool parse_pattern(const std::string& value, PatternKind& out) {
   return true;
 }
 
+bool parse_routing_key(const std::string& value, RoutingKind& out) {
+  if (value == "det") out = RoutingKind::kCubeDeterministic;
+  else if (value == "duato") out = RoutingKind::kCubeDuato;
+  else if (value == "valiant") out = RoutingKind::kCubeValiant;
+  else if (value == "tree") out = RoutingKind::kTreeAdaptive;
+  else if (value == "dor") out = RoutingKind::kTorusDor;
+  else if (value == "updown") out = RoutingKind::kUpDown;
+  else return false;
+  return true;
+}
+
+/// Deadlock-freedom is per fabric: each family accepts only the routing
+/// algorithms whose proof applies to it.
+bool routing_compatible(const std::string& family, RoutingKind routing) {
+  if (family == "cube" || family == "mesh") {
+    return routing == RoutingKind::kCubeDeterministic ||
+           routing == RoutingKind::kCubeDuato ||
+           routing == RoutingKind::kCubeValiant;
+  }
+  if (family == "tree") return routing == RoutingKind::kTreeAdaptive;
+  if (family == "torus" || family == "tehcube") {
+    return routing == RoutingKind::kTorusDor;
+  }
+  if (family == "fattree2" || family == "clos") {
+    return routing == RoutingKind::kUpDown;
+  }
+  return true;  // unknown plugin family: trust its builder
+}
+
 bool parse_selection(const std::string& value, TreeSelection& out) {
   if (value == "affine") out = TreeSelection::kSaltedAffine;
   else if (value == "rotating") out = TreeSelection::kRotating;
@@ -114,8 +154,9 @@ bool parse_selection(const std::string& value, TreeSelection& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ensure_builtin_families();
   SimConfig config;
-  bool topology_set = false;
+  std::string topology_arg = "cube";
   bool routing_set = false;
   bool k_set = false;
   bool n_set = false;
@@ -151,19 +192,7 @@ int main(int argc, char** argv) {
       std::printf("  flags:    %s\n", build.cxx_flags.c_str());
       return 0;
     } else if (arg == "--topology") {
-      const std::string value = next_value(i);
-      topology_set = true;
-      if (value == "cube") {
-        config.net.topology = TopologyKind::kCube;
-      } else if (value == "mesh") {
-        config.net.topology = TopologyKind::kCube;
-        config.net.wraparound = false;
-      } else if (value == "tree") {
-        config.net.topology = TopologyKind::kTree;
-      } else {
-        std::fprintf(stderr, "unknown topology '%s'\n", value.c_str());
-        return 1;
-      }
+      topology_arg = next_value(i);
     } else if (arg == "--k") {
       config.net.k = static_cast<unsigned>(std::atoi(next_value(i)));
       k_set = true;
@@ -173,11 +202,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--routing") {
       const std::string value = next_value(i);
       routing_set = true;
-      if (value == "det") config.net.routing = RoutingKind::kCubeDeterministic;
-      else if (value == "duato") config.net.routing = RoutingKind::kCubeDuato;
-      else if (value == "valiant") config.net.routing = RoutingKind::kCubeValiant;
-      else if (value == "tree") config.net.routing = RoutingKind::kTreeAdaptive;
-      else {
+      if (!parse_routing_key(value, config.net.routing)) {
         std::fprintf(stderr, "unknown routing '%s'\n", value.c_str());
         return 1;
       }
@@ -223,6 +248,9 @@ int main(int argc, char** argv) {
       replications = static_cast<unsigned>(std::atoi(next_value(i)));
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::atoi(next_value(i)));
+    } else if (arg == "--serial-threshold") {
+      config.serial_fabric_threshold =
+          static_cast<unsigned>(std::atoi(next_value(i)));
     } else if (arg == "--csv") {
       csv_path = next_value(i);
     } else if (arg == "--absolute") {
@@ -260,25 +288,75 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Resolve the topology spec against the registry. Unknown families and
+  // malformed/unknown parameters are hard errors with a usage listing —
+  // never a silent fallback to a default fabric.
+  {
+    TopoSpec spec;
+    std::string error;
+    if (!parse_topology_spec(topology_arg, &spec, &error)) {
+      std::fprintf(stderr, "bad --topology '%s': %s\n", topology_arg.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (TopologyRegistry::instance().find(spec.family) == nullptr) {
+      std::fprintf(stderr,
+                   "unknown topology family '%s'; known families:\n%s",
+                   spec.family.c_str(),
+                   TopologyRegistry::instance().usage().c_str());
+      return 1;
+    }
+    config.net.topology = spec.family;
+    config.net.topo_params = spec.params;
+  }
+  const TopologyFamily* family =
+      TopologyRegistry::instance().find(config.net.topology);
+
   // Sensible defaults by topology family.
-  if (config.net.topology == TopologyKind::kTree) {
+  if (config.net.topology == "tree") {
     if (!k_set) config.net.k = 4;
     if (!n_set) config.net.n = 4;
-    if (!routing_set) config.net.routing = RoutingKind::kTreeAdaptive;
-  } else {
-    if (!routing_set) config.net.routing = RoutingKind::kCubeDuato;
   }
-  if (config.net.topology == TopologyKind::kTree &&
-      config.net.routing != RoutingKind::kTreeAdaptive) {
-    std::fprintf(stderr, "tree topology requires --routing tree\n");
+  if (!routing_set &&
+      !parse_routing_key(family->default_routing, config.net.routing)) {
+    std::fprintf(stderr, "family '%s' has no usable default routing\n",
+                 config.net.topology.c_str());
     return 1;
   }
-  if (config.net.topology == TopologyKind::kCube &&
-      config.net.routing == RoutingKind::kTreeAdaptive) {
-    std::fprintf(stderr, "cube/mesh topology requires det or duato routing\n");
+  if (!routing_compatible(config.net.topology, config.net.routing)) {
+    std::fprintf(stderr,
+                 "--routing %s is not deadlock-free on family '%s' "
+                 "(its default is '%s')\n",
+                 to_string(config.net.routing).c_str(),
+                 config.net.topology.c_str(),
+                 family->default_routing.c_str());
     return 1;
   }
-  (void)topology_set;
+
+  // Probe-build the fabric now: parameter errors (bad sizes, infeasible
+  // designs) surface as friendly messages instead of aborting mid-run,
+  // and the instance feeds the topo/ provenance metrics below.
+  std::unique_ptr<Topology> probe;
+  double derived_wire_m = 0.0;
+  {
+    std::string error;
+    probe = TopologyRegistry::instance().build(config.net.topo_spec(), &error);
+    if (probe == nullptr) {
+      std::fprintf(stderr, "invalid --topology '%s': %s\n",
+                   topology_arg.c_str(), error.c_str());
+      return 1;
+    }
+    if (family->clock) {
+      DerivedClock derived;
+      if (!family->clock(config.net.topo_spec(), config.net.vcs, &derived,
+                         &error)) {
+        std::fprintf(stderr, "invalid --topology '%s': %s\n",
+                     topology_arg.c_str(), error.c_str());
+        return 1;
+      }
+      derived_wire_m = derived.wire_m;
+    }
+  }
 
   if (!faults_spec.empty()) {
     auto plan = FaultPlan::parse(faults_spec);
@@ -524,6 +602,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Engine-path echo (also recorded in the manifest): which pipeline ran
+  // and why — threads are a budget, not a demand.
+  if (!results.empty()) {
+    std::printf("\nengine: %s — %s\n",
+                results.front().engine_parallel ? "parallel" : "serial",
+                results.front().engine_path_reason.c_str());
+  }
+
   // Simulator self-metrics: the perf trajectory of the simulator itself.
   {
     double wall = 0.0;
@@ -579,6 +665,10 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // Fabric provenance (topo/ namespace): deterministic, so the report
+    // tool strict-diffs it — a changed generator shows up as a regression.
+    register_topology_metrics(registry, *probe, scale.clock_ns,
+                              derived_wire_m);
     double wall = 0.0;
     for (const SimulationResult& point : results) {
       wall += point.sim_wall_seconds;
@@ -587,6 +677,20 @@ int main(int argc, char** argv) {
     info.producer = "smartsim_cli";
     info.command_line = command_line;
     info.config = echo_config(config, scale.clock_ns);
+    // The engine path (parallel/serial + reason) lives in the config echo,
+    // which the report tool never diffs: it legitimately differs between
+    // --threads values while the metrics stay bit-identical.
+    {
+      json::Value engine_path = json::Value::object();
+      engine_path.set("parallel",
+                      json::Value(results.front().engine_parallel));
+      engine_path.set(
+          "shards",
+          json::Value(static_cast<double>(results.front().engine_shards)));
+      engine_path.set("reason",
+                      json::Value(results.front().engine_path_reason));
+      info.config.set("engine_path", std::move(engine_path));
+    }
     info.wall_seconds = wall;
     info.registry = &registry;
     std::string error;
