@@ -201,6 +201,76 @@ BENCHMARK(BM_TreeSimulationCyclesThreaded)
     ->Iterations(4000)
     ->UseRealTime();
 
+// The three scenarios that used to force the serial fallback and now run
+// on the sharded pipeline: randomized routing (per-switch RNG streams),
+// a fault plan (staged drops), and trace capture (staged hop events).
+// The Arg(1) rows double as the staging-overhead baseline: the serial
+// pipeline takes none of the staging paths, so Arg(4)/Arg(1) is the
+// end-to-end win including the merge cost.
+void BM_ValiantSimulationCyclesThreaded(benchmark::State& state) {
+  SimConfig config = simulation_config(std::string("cube"), 0.3);
+  config.net.routing = RoutingKind::kCubeValiant;
+  config.engine_threads = static_cast<unsigned>(state.range(0));
+  Network network(config);
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ValiantSimulationCyclesThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(4000)
+    ->UseRealTime();
+
+void BM_FaultedSimulationCyclesThreaded(benchmark::State& state) {
+  SimConfig config = simulation_config(std::string("cube"), 0.5);
+  // Faults bracketing the measured window so the drop/drain paths stay
+  // active for most iterations.
+  config.faults.add_link(0, 0, 200, 3000);
+  config.faults.add_switch(200, 400, 3500);
+  config.engine_threads = static_cast<unsigned>(state.range(0));
+  Network network(config);
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultedSimulationCyclesThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(4000)
+    ->UseRealTime();
+
+void BM_TracedSimulationCyclesThreaded(benchmark::State& state) {
+  SimConfig config = simulation_config(std::string("cube"), 0.5);
+  config.obs.enabled = true;
+  config.obs.trace_hops = true;
+  // step() only collects events in memory; the file is written by run(),
+  // which this bench never calls — the path just arms trace_enabled().
+  config.obs.trace_out = "/dev/null";
+  config.engine_threads = static_cast<unsigned>(state.range(0));
+  Network network(config);
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TracedSimulationCyclesThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(4000)
+    ->UseRealTime();
+
 }  // namespace
 
 // Custom main (instead of benchmark_main) so the run leaves a manifest

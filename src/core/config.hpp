@@ -189,11 +189,13 @@ struct SimConfig {
   /// Worker threads for THIS run (the engine's sharded parallel pipeline;
   /// docs/ARCHITECTURE.md §"Threading"). 1 = serial. Results are
   /// bit-identical for every value: the fabric is statically sharded and
-  /// all cross-shard effects are staged and merged in fixed shard order,
-  /// so no outcome depends on thread interleaving. The engine falls back
-  /// to the serial pipeline when a feature it cannot shard is active
-  /// (fault plans, trace capture, routing algorithms that draw from an
-  /// RNG shared across switches) — the value is a budget, not a demand.
+  /// all cross-shard effects — flit pushes, consumes, credits, hop-trace
+  /// events, fault drops — are staged and merged in fixed shard order, so
+  /// no outcome depends on thread interleaving. Fault plans, trace capture
+  /// and the built-in randomized routing algorithms all shard; the engine
+  /// falls back to the serial pipeline only for fabrics at or below
+  /// serial_fabric_threshold and for custom routing algorithms that are
+  /// not concurrent-safe — the value is a budget, not a demand.
   unsigned engine_threads = 1;
 
   /// Below (or at) this many switches/NICs the engine stays serial even

@@ -108,8 +108,12 @@ void Network::build_routing() {
       break;
     case RoutingKind::kTreeAdaptive:
       SMART_CHECK_MSG(tree_ != nullptr, "tree routing requires a fat-tree");
-      routing_ = std::make_unique<TreeAdaptiveRouting>(*tree_, net.vcs,
-                                                       net.tree_selection);
+      // The kRandom tie-break streams derive from the run seed (salted away
+      // from the NIC and Valiant streams) so --seed and replications vary
+      // them; they used to be hardcoded, replaying one stream everywhere.
+      routing_ = std::make_unique<TreeAdaptiveRouting>(
+          *tree_, net.vcs, net.tree_selection,
+          config_.traffic.seed ^ 0x7ee5e1ec7ULL);
       break;
     case RoutingKind::kTorusDor:
       SMART_CHECK_MSG(torus_ != nullptr,

@@ -255,9 +255,11 @@ void CycleEngine::step() {
     if (prof_) lap = prof_->lap(lap, ProfPhase::kSampling);
   }
   if (prof_) {
+    // The sharded pipeline always runs the fused per-switch walk (staged
+    // drops keep it safe under faults); serially only fault-free runs do.
     prof_->on_cycle(active_switches_.count(), switches_.size(),
                     active_nics_.count(), nics_.size(), lanes_.total_flits(),
-                    /*fused=*/faults_ == nullptr);
+                    /*fused=*/parallel_ || faults_ == nullptr);
   }
   if (measuring_ && config_.timing.stats_window_cycles > 0 &&
       cycle_ - stats_window_start_ + 1 >= config_.timing.stats_window_cycles) {

@@ -37,11 +37,12 @@
 // statically partitioned into word-aligned shards, each barrier-
 // synchronized pass touches only its shard's state, and every cross-shard
 // write (peer-lane pushes, terminal consumes, credit returns) is staged
-// per shard and merged serially in fixed shard order. Results are
-// bit-identical for every thread count — the determinism argument lives
-// in docs/ARCHITECTURE.md §"Threading". Runs the serial pipeline instead
-// whenever a feature it cannot shard is active (faults, trace capture, a
-// routing algorithm whose route() is not concurrent-safe).
+// per shard and merged serially in fixed shard order. Fault plans, trace
+// capture and randomized routing all shard too (staged drops/trace ops,
+// per-switch RNG streams); results are bit-identical for every thread
+// count — the determinism argument lives in docs/ARCHITECTURE.md
+// §"Threading". Runs the serial pipeline only when the fabric is too
+// small to shard or a custom routing algorithm is not concurrent-safe.
 #pragma once
 
 #include <memory>
@@ -140,12 +141,31 @@ class CycleEngine {
       NodeId src;
       NodeId dst;
     };
+    /// A deferred hop-trace event (--trace-hops): hop_enter/hop_exit grow
+    /// the obs layer's shared per-packet vectors and assign trace uids in
+    /// first-touch order, so the events are staged in visit order and
+    /// replayed at the merge — in ascending shard order, which is the
+    /// serial pipeline's emission order.
+    struct StagedTraceOp {
+      enum class Kind : std::uint8_t { kHopEnter, kHopExit };
+      Kind kind;
+      PacketId packet;
+      SwitchId sw;  ///< entered switch (kHopEnter only)
+    };
 
     std::vector<GenDraw> generated;       ///< nic gen pass
     std::vector<StagedPush> pushes;       ///< switch→switch, cross-shard
     std::vector<StagedPush> nic_pushes;   ///< NIC→switch (always staged)
     std::vector<Flit> consumed;           ///< terminal consumes, visit order
+    std::vector<StagedTraceOp> trace_ops; ///< hop events, visit order
     std::vector<std::uint32_t*> credits;  ///< staged upstream credit acks
+    /// Tails of worms whose drain completed this cycle (fault plans): the
+    /// drop statistics, trace records and pool releases replay at the
+    /// merge in shard order.
+    std::vector<PacketId> dropped_tails;
+    std::uint64_t dropped_flits = 0;      ///< drained flits this cycle
+    std::uint64_t unroutable_headers = 0; ///< worms entering drain
+    std::uint64_t obs_switch_frozen = 0;  ///< dead-switch freeze cycles
     std::uint64_t injected_flits = 0;
     bool progressed = false;  ///< any flit moved (watchdog feed)
     // Per-shard profiler counters, merged under the engine's prof_ check.
@@ -179,13 +199,22 @@ class CycleEngine {
   /// cross-switch hand-off lands in an input lane stamped with the current
   /// cycle, which all same-cycle readers ignore, and credits only apply at
   /// end of cycle — but touches each switch's state once instead of three
-  /// times. Fault drains would reorder PacketPool releases relative to
-  /// deliveries, so faulted runs keep the phase-per-pass pipeline.
+  /// times. Serial fault drains would reorder PacketPool releases relative
+  /// to deliveries, so serial faulted runs keep the phase-per-pass
+  /// pipeline; the sharded pipeline stages both consumes and drops and
+  /// replays them in the phase-per-pass order at the merge, so it runs
+  /// fused even under faults.
   void fused_phase();
   /// Returns true when the drained worm's tail left the lane (the lane is
   /// done dropping and leaves the switch's active-input list). `flat` is
-  /// the lane's position in the switch's input_lane_index().
-  bool drain_lane(Switch& sw, InputLane& in, std::uint32_t flat);
+  /// the lane's position in the switch's input_lane_index(). With a shard,
+  /// the drop bookkeeping (counters, trace, pool release) is staged.
+  bool drain_lane(Switch& sw, InputLane& in, std::uint32_t flat,
+                  EngineShard* shard = nullptr);
+  /// Tail-of-worm drop bookkeeping: drop counters, the trace record and
+  /// the pool release. Called inline by the serial drain, and from the
+  /// merge for staged dropped_tails (in shard = serial drain order).
+  void finish_drop(PacketId id);
   void apply_pending_credits();            // phase_credits.cpp
   void consume(Flit flit);                 // phase_credits.cpp
 

@@ -34,10 +34,7 @@ void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
     const std::uint32_t flat = active[i];
     InputLane& in = sw.input_lane(flat);
     if (in.dropping) {
-      // Dropping lanes exist only under fault plans, which force the
-      // serial pipeline — drain_lane may touch global drop counters.
-      SMART_DCHECK(shard == nullptr);
-      if (drain_lane(sw, in, flat)) {
+      if (drain_lane(sw, in, flat, shard)) {
         sw.remove_active_input(flat);  // the worm's tail just drained
         continue;                      // `i` now indexes the next entry
       }
@@ -95,36 +92,49 @@ void CycleEngine::crossbar_switch(Switch& sw, EngineShard* shard) {
   }
 }
 
-bool CycleEngine::drain_lane(Switch& sw, InputLane& in, std::uint32_t flat) {
+bool CycleEngine::drain_lane(Switch& sw, InputLane& in, std::uint32_t flat,
+                             EngineShard* shard) {
   if (in.buf.empty() || in.buf.front().arrival >= cycle_) return false;
   const Flit flit = in.buf.pop();
   if (in.buf.empty()) sw.in_nonempty.clear(flat);
   sw.buffered -= 1;
-  ++dropped_flits_;
+  if (shard) ++shard->dropped_flits;
+  else ++dropped_flits_;
   // The freed slot is acknowledged upstream exactly like a crossbar
   // advance, so body flits still in flight keep streaming to the drain.
   if (in.upstream_credit != nullptr) {
-    pending_credits_.push_back(in.upstream_credit);
+    if (shard) shard->credits.push_back(in.upstream_credit);
+    else pending_credits_.push_back(in.upstream_credit);
   }
-  last_progress_cycle_ = cycle_;
+  if (shard) shard->progressed = true;
+  else last_progress_cycle_ = cycle_;
   if (flit.tail) {
     in.dropping = false;
     sw.dropping_count -= 1;
     sw.in_busy.clear(flat);
-    ++dropped_packets_;
-    ++epoch_dropped_packets_;
-    if (obs_ && config_.obs.trace_enabled()) {
-      const Packet& pkt = pool_[flit.packet];
-      if (obs_->trace_hops()) obs_->hop_exit(flit.packet, cycle_);
-      obs_->trace.packet(obs_->uid_of(flit.packet), pkt.src, pkt.dst,
-                         pkt.gen_cycle, pkt.inject_cycle, cycle_, pkt.hops,
-                         /*dropped=*/true);
-      obs_->forget(flit.packet);
-    }
-    pool_.release(flit.packet);
+    // The drop statistics, trace record and pool release are all
+    // order-sensitive (like consumes) — sharded, they replay at the merge
+    // after every consume, which is exactly the serial phase-per-pass
+    // order (link-phase deliveries precede crossbar-phase drains).
+    if (shard) shard->dropped_tails.push_back(flit.packet);
+    else finish_drop(flit.packet);
     return true;
   }
   return false;
+}
+
+void CycleEngine::finish_drop(PacketId id) {
+  ++dropped_packets_;
+  ++epoch_dropped_packets_;
+  if (obs_ && config_.obs.trace_enabled()) {
+    const Packet& pkt = pool_[id];
+    if (obs_->trace_hops()) obs_->hop_exit(id, cycle_);
+    obs_->trace.packet(obs_->uid_of(id), pkt.src, pkt.dst, pkt.gen_cycle,
+                       pkt.inject_cycle, cycle_, pkt.hops,
+                       /*dropped=*/true);
+    obs_->forget(id);
+  }
+  pool_.release(id);
 }
 
 }  // namespace smart

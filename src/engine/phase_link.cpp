@@ -35,8 +35,13 @@ void CycleEngine::link_phase() {
 
 void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
   if (faults_ && !faults_->switch_ok(sw.id())) {
-    // Dead switch: every flit buffered inside is frozen this cycle.
-    if (obs_) obs_->stalls.count_switch_frozen();
+    // Dead switch: every flit buffered inside is frozen this cycle. The
+    // fabric-wide freeze counter is shared, so sharded passes stage the
+    // count (additions commute; the merge adds it once).
+    if (obs_) {
+      if (shard) ++shard->obs_switch_frozen;
+      else obs_->stalls.count_switch_frozen();
+    }
     return;
   }
   // Walk only the ports holding out-flits (ascending id, like the legacy
@@ -87,8 +92,17 @@ void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
         if (flit.head) ++pool_[flit.packet].hops;
         SMART_CHECK_MSG(port.peer.id == pool_[flit.packet].dst,
                         "flit consumed at the wrong destination");
+        // Hop events grow shared obs vectors and assign trace uids in
+        // first-touch order — staged like the consume below, and replayed
+        // before all consumes (see merge_shards for why that preserves
+        // the serial uid order).
         if (obs_ && obs_->trace_hops() && flit.head) {
-          obs_->hop_exit(flit.packet, cycle_);
+          if (shard) {
+            shard->trace_ops.push_back(
+                {EngineShard::StagedTraceOp::Kind::kHopExit, flit.packet, 0});
+          } else {
+            obs_->hop_exit(flit.packet, cycle_);
+          }
         }
         // Sharded: consumption releases pool entries and feeds the global
         // delivery statistics, both order-sensitive — stage it for the
@@ -99,8 +113,16 @@ void CycleEngine::switch_link_phase(Switch& sw, EngineShard* shard) {
         out.credits -= 1;
         if (flit.head) ++pool_[flit.packet].hops;
         if (obs_ && obs_->trace_hops() && flit.head) {
-          obs_->hop_exit(flit.packet, cycle_);
-          obs_->hop_enter(flit.packet, port.peer.id, cycle_);
+          if (shard) {
+            shard->trace_ops.push_back(
+                {EngineShard::StagedTraceOp::Kind::kHopExit, flit.packet, 0});
+            shard->trace_ops.push_back(
+                {EngineShard::StagedTraceOp::Kind::kHopEnter, flit.packet,
+                 port.peer.id});
+          } else {
+            obs_->hop_exit(flit.packet, cycle_);
+            obs_->hop_enter(flit.packet, port.peer.id, cycle_);
+          }
         }
         if (shard && shard_of_switch_[port.peer.id] != shard->index) {
           // Cross-shard hand-off: the peer's lane belongs to another
@@ -167,7 +189,13 @@ void CycleEngine::nic_link_phase(Nic& nic, EngineShard* shard) {
     if (obs_) {
       obs_->sampler.on_flit(obs_->sampler.injection_index(nic.node()));
       if (obs_->trace_hops() && flit.head) {
-        obs_->hop_enter(flit.packet, at.sw, cycle_);
+        if (shard) {
+          shard->trace_ops.push_back(
+              {EngineShard::StagedTraceOp::Kind::kHopEnter, flit.packet,
+               at.sw});
+        } else {
+          obs_->hop_enter(flit.packet, at.sw, cycle_);
+        }
       }
     }
     Switch& sw = switches_[at.sw];

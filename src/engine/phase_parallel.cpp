@@ -16,17 +16,22 @@
 //              link/routing/crossbar pass over the shard's active
 //              switches, then the NIC link pass. Writes that land inside
 //              the shard are applied inline; every write that would cross
-//              a shard boundary — peer-lane pushes, terminal consumes,
-//              upstream credit acks — is staged.
-//   merge      serial: staged pushes, consumes and credits applied in
-//              ascending shard order.
+//              a shard boundary or touch shared order-sensitive state —
+//              peer-lane pushes, terminal consumes, upstream credit acks,
+//              hop-trace events, fault-drain drops — is staged.
+//   merge      serial: staged pushes, trace events, consumes, drops and
+//              credits applied in ascending shard order.
 //
 // Why deferring the cross-shard writes cannot change any decision: every
 // flit pushed across a switch boundary is stamped arrival == current
 // cycle, and every same-cycle reader (link pop, routing header guard,
 // crossbar advance) ignores flits with arrival >= cycle. Credits apply at
-// end of cycle in both pipelines. Consumes only touch the pool and the
-// delivery statistics, both serialized by the merge. The full argument,
+// end of cycle in both pipelines. Consumes, drops and trace events only
+// touch the pool, the delivery/drop statistics and the obs event streams,
+// all serialized by the merge in the serial pipeline's emission order.
+// Fault masks are immutable during the regions (FaultState::advance runs
+// serially at the top of the cycle), and randomized routing draws from
+// per-switch RNG streams owned by the visiting shard. The full argument,
 // including the active-set prune/re-mark equivalence, is written out in
 // docs/ARCHITECTURE.md §"Threading".
 //
@@ -47,35 +52,24 @@ void CycleEngine::setup_parallel() {
     engine_path_reason_ = "engine_threads <= 1";
     return;
   }
-  // Features the sharded pipeline cannot preserve bit-identically run the
-  // serial pipeline instead: fault plans (drain/release ordering is
-  // interleaved with the phases), trace capture (one global event stream;
-  // trace_hops alone still grows the shared hop-tracking vectors from the
-  // link pass), and routing algorithms whose route() draws from
-  // cross-switch state. Plain --obs stays parallel: stall and sampler
-  // counters are per-(switch, port) slots owned by the visiting shard.
-  if (faults_ != nullptr) {
-    engine_path_reason_ = "fault plan active";
-    return;
-  }
-  if (config_.obs.trace_enabled() || config_.obs.trace_hops) {
-    engine_path_reason_ = "trace capture active";
-    return;
-  }
+  // Fault plans, trace capture and the built-in randomized routing
+  // algorithms all shard now (staged drops/trace events, per-switch RNG
+  // streams); what remains serial is a custom routing algorithm that has
+  // not declared route() concurrent-safe, and fabrics too small for the
+  // merge overhead to pay off. Every applicable reason is collected — a
+  // manifest that named only the first would hide the second from
+  // threads-1-vs-N determinism-gate diffs.
+  std::vector<std::string> reasons;
   if (!routing_.concurrent_safe()) {
-    engine_path_reason_ =
-        routing_.name() + " routing is not concurrent-safe";
-    return;
+    reasons.push_back(routing_.name() + " routing is not concurrent-safe");
   }
   // Small fabrics run serially: with everything in one or two ActiveSet
   // words the merge overhead dwarfs the pass itself.
   const std::size_t largest = std::max(switches_.size(), nics_.size());
   if (largest <= config_.serial_fabric_threshold) {
-    engine_path_reason_ =
-        "fabric at or below the serial-fallback threshold (" +
-        std::to_string(largest) + " <= " +
-        std::to_string(config_.serial_fabric_threshold) + ")";
-    return;
+    reasons.push_back("fabric at or below the serial-fallback threshold (" +
+                      std::to_string(largest) + " <= " +
+                      std::to_string(config_.serial_fabric_threshold) + ")");
   }
 
   const std::size_t words = std::max(active_switches_.word_count(),
@@ -83,7 +77,13 @@ void CycleEngine::setup_parallel() {
   const std::size_t shard_count =
       std::min<std::size_t>(budget, words);
   if (shard_count <= 1) {
-    engine_path_reason_ = "fabric fits a single word-aligned shard";
+    reasons.push_back("fabric fits a single word-aligned shard");
+  }
+  if (!reasons.empty()) {
+    engine_path_reason_ = reasons.front();
+    for (std::size_t i = 1; i < reasons.size(); ++i) {
+      engine_path_reason_ += "; " + reasons[i];
+    }
     return;
   }
 
@@ -97,6 +97,20 @@ void CycleEngine::setup_parallel() {
     shard.sw_word_end = (i + 1) * sw_words / shard_count;
     shard.nic_word_begin = i * nic_words / shard_count;
     shard.nic_word_end = (i + 1) * nic_words / shard_count;
+  }
+  // shard_count is clamped to max(sw_words, nic_words), so the i*W/N
+  // partition hands every shard at least one word of the LARGER index
+  // space; in the smaller space some shards may own an empty range
+  // (indirect fabrics have more NICs than switches and vice versa). An
+  // empty range is benign — the shard's loop over it is a no-op and its
+  // staging vectors stay empty, so the ascending-shard merge order over
+  // the non-empty shards still equals ascending element order. The check
+  // below pins the "at least one word somewhere" invariant the clamp is
+  // supposed to guarantee.
+  for (const EngineShard& shard : shards_) {
+    SMART_CHECK_MSG(shard.sw_word_end > shard.sw_word_begin ||
+                        shard.nic_word_end > shard.nic_word_begin,
+                    "engine shard owns no words in either index space");
   }
   shard_of_switch_.resize(switches_.size());
   for (std::size_t i = 0; i < shard_count; ++i) {
@@ -175,7 +189,12 @@ void CycleEngine::shard_pass(EngineShard& shard) {
 
   // The fused link/routing/crossbar pass over the shard's switches — the
   // same per-switch sequence as the serial fused_phase(), with pushes into
-  // other shards staged.
+  // other shards staged. Under a fault plan the serial engine runs
+  // phase-per-pass (inline drains would reorder pool releases against
+  // deliveries); here both consumes and drops are staged and the merge
+  // replays them in the phase-per-pass order, so the fused walk is safe.
+  // The dead-switch guard mirrors the serial routing/crossbar passes
+  // (switch_link_phase carries its own).
   active_switches_.for_each_words(
       shard.sw_word_begin, shard.sw_word_end, [this, &shard](std::size_t s) {
         Switch& sw = switches_[s];
@@ -183,6 +202,7 @@ void CycleEngine::shard_pass(EngineShard& shard) {
         if (sw.buffered == 0) return false;  // quiesced: prune from the set
         switch_link_phase(sw, &shard);
         if (sw.buffered == 0) return false;
+        if (faults_ && !faults_->switch_ok(sw.id())) return true;  // dead
         route_switch(sw, &shard);
         if (!sw.active_inputs().empty()) crossbar_switch(sw, &shard);
         return true;
@@ -229,12 +249,55 @@ void CycleEngine::merge_shards() {
     }
     shard.nic_pushes.clear();
   }
+  // Hop-trace events (--trace-hops) in shard order. Shard order replays
+  // every hop_exit in ascending switch order — the serial link pass's
+  // emission order — so trace uids (assigned on first touch, and with
+  // trace_hops on, always first touched by a hop_exit) are handed out in
+  // the serial sequence, and the trace's hop stream is byte-identical.
+  // The NIC hop_enters interleave differently than serially (per shard
+  // instead of after all switches), which is invisible: hop_enter assigns
+  // no uid, appends to no stream, and a packet's head moves one pipeline
+  // stage per cycle, so its enter and exit never race within a cycle.
+  std::uint64_t staged_trace = 0;
+  for (EngineShard& shard : shards_) {
+    staged_trace += shard.trace_ops.size();
+    for (const EngineShard::StagedTraceOp& op : shard.trace_ops) {
+      if (op.kind == EngineShard::StagedTraceOp::Kind::kHopEnter) {
+        obs_->hop_enter(op.packet, op.sw, cycle_);
+      } else {
+        obs_->hop_exit(op.packet, cycle_);
+      }
+    }
+    shard.trace_ops.clear();
+  }
   // Terminal consumes in shard (= ascending switch) order: PacketPool
   // releases and the delivery statistics (OnlineStats sums, histogram)
   // happen in exactly the serial sequence.
   for (EngineShard& shard : shards_) {
     for (const Flit& flit : shard.consumed) consume(flit);
     shard.consumed.clear();
+  }
+  // Fault-drain bookkeeping: dropped worm tails replay after every
+  // consume, in shard order — the serial phase-per-pass order (all
+  // link-phase deliveries, then all crossbar-phase drains, ascending
+  // switch), so pool releases, drop statistics and trace records land in
+  // the serial sequence. The scalar counts commute and are added once.
+  std::uint64_t staged_drops = 0;
+  for (EngineShard& shard : shards_) {
+    if (shard.unroutable_headers > 0) {
+      unroutable_packets_ += shard.unroutable_headers;
+      if (measuring_) window_unroutable_packets_ += shard.unroutable_headers;
+      shard.unroutable_headers = 0;
+    }
+    dropped_flits_ += shard.dropped_flits;
+    shard.dropped_flits = 0;
+    staged_drops += shard.dropped_tails.size();
+    for (PacketId id : shard.dropped_tails) finish_drop(id);
+    shard.dropped_tails.clear();
+    if (shard.obs_switch_frozen > 0) {
+      obs_->stalls.add_switch_frozen(shard.obs_switch_frozen);
+      shard.obs_switch_frozen = 0;
+    }
   }
   // Credit acks; *credit += 1 commutes, so only the count matters.
   std::uint64_t staged_credits = 0;
@@ -254,6 +317,8 @@ void CycleEngine::merge_shards() {
   if (prof_) {
     prof_->merge_staged_flits += staged_flits;
     prof_->merge_staged_credits += staged_credits;
+    prof_->merge_staged_trace_events += staged_trace;
+    prof_->merge_staged_drops += staged_drops;
     prof_->credit_acks += staged_credits;
     for (EngineShard& shard : shards_) {
       prof_->link_flits += shard.prof_link_flits;

@@ -8,12 +8,14 @@
 // (port, lane) directory — empty lanes were pure no-ops in the legacy
 // scan, so the considered headers, and with them every routing decision
 // and RNG draw, are unchanged. Switches are visited in ascending id order
-// — mandatory for bit-identity, because some algorithms (Valiant's
-// intermediate draw, the tree's random tie-break) draw from RNGs shared
-// across switches, so the sequence of route() calls must match the legacy
-// full scan exactly. A successful binding (or a worm entering unroutable
-// drain) registers the input lane in the switch's sorted active-input
-// list for the crossbar phase.
+// on the serial path; randomized algorithms (Valiant's intermediate draw,
+// the tree's random tie-break) draw from per-switch RNG streams, so the
+// draws depend on the visiting switch, not on the order route() is called
+// across switches — which is what lets the sharded engine run them
+// concurrently and still match the serial pipeline bit for bit. A
+// successful binding (or a worm entering unroutable drain) registers the
+// input lane in the switch's sorted active-input list for the crossbar
+// phase.
 #include "engine/cycle_engine.hpp"
 
 #include <bit>
@@ -55,18 +57,22 @@ void CycleEngine::route_switch(Switch& sw, EngineShard* shard) {
       if (pkt.unroutable) {
         // Faults left this packet without a route: drain and discard the
         // worm (one flit per cycle, crediting upstream) instead of
-        // letting it wedge the lane forever. Unreachable on the sharded
-        // pipeline (it requires faults, which force the serial path), so
-        // the global counters below are never written concurrently.
-        SMART_DCHECK(shard == nullptr);
+        // letting it wedge the lane forever. The lane/switch state is
+        // shard-owned; the fabric-wide counters are staged on the sharded
+        // pipeline (counts commute — the merge adds them once).
         pkt.unroutable = false;
         in.dropping = true;
         sw.dropping_count += 1;
         sw.in_busy.set(index);
         sw.add_active_input(index);
-        ++unroutable_packets_;
-        if (measuring_) ++window_unroutable_packets_;
-        last_progress_cycle_ = cycle_;
+        if (shard) {
+          ++shard->unroutable_headers;
+          shard->progressed = true;
+        } else {
+          ++unroutable_packets_;
+          if (measuring_) ++window_unroutable_packets_;
+          last_progress_cycle_ = cycle_;
+        }
       }
       return false;  // header stalls; try the next candidate
     }

@@ -78,6 +78,13 @@ class StallCounters {
   /// cycle against the switch (not attributable to a single port).
   void count_switch_frozen() noexcept { ++switch_frozen_cycles_; }
 
+  /// Bulk form for the sharded engine: each shard stages its freeze count
+  /// during the parallel pass and the serial merge adds it here (additions
+  /// commute, so only the sum matters).
+  void add_switch_frozen(std::uint64_t n) noexcept {
+    switch_frozen_cycles_ += n;
+  }
+
   [[nodiscard]] const StallBreakdown& at(SwitchId sw, PortId port) const {
     return counters_[sw * ports_per_switch_ + port];
   }

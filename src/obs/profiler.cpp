@@ -44,6 +44,8 @@ ProfileReport Profiler::report() const {
   out.parallel_cycles = parallel_cycles;
   out.merge_staged_flits = merge_staged_flits;
   out.merge_staged_credits = merge_staged_credits;
+  out.merge_staged_trace_events = merge_staged_trace_events;
+  out.merge_staged_drops = merge_staged_drops;
   for (const std::uint64_t visits : shard_visits_) {
     if (visits > out.shard_switch_visits_max) {
       out.shard_switch_visits_max = visits;

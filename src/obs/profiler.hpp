@@ -13,8 +13,9 @@
 //   - per-phase wall time (nic / link / routing / crossbar / credits, or
 //     the fused fault-free pass) and each phase's share of the total;
 //   - the fused-path hit rate: fraction of cycles that took the fused
-//     link+routing+crossbar pass (1.0 fault-free, 0.0 once a fault plan
-//     forces the phase-per-pass pipeline);
+//     link+routing+crossbar pass (1.0 fault-free or sharded — the sharded
+//     pipeline stays fused even under faults by staging the drops — and
+//     0.0 once a fault plan forces the serial phase-per-pass pipeline);
 //   - dirty-list occupancy: mean/max fill of the active-switch and
 //     active-NIC sets — the scheduler's effectiveness (1.0 means the
 //     active sets degenerated into full scans);
@@ -103,6 +104,8 @@ struct ProfileReport {
   std::uint64_t parallel_cycles = 0;  ///< cycles run on the sharded path
   std::uint64_t merge_staged_flits = 0;    ///< cross-shard flit pushes merged
   std::uint64_t merge_staged_credits = 0;  ///< staged credit acks merged
+  std::uint64_t merge_staged_trace_events = 0;  ///< staged hop events merged
+  std::uint64_t merge_staged_drops = 0;    ///< staged fault drops merged
   /// Spread of per-shard switch visits over the run (static-partition load
   /// balance; equal shards ⇒ max ≈ min).
   std::uint64_t shard_switch_visits_max = 0;
@@ -174,6 +177,8 @@ class Profiler {
   std::uint64_t parallel_cycles = 0;
   std::uint64_t merge_staged_flits = 0;
   std::uint64_t merge_staged_credits = 0;
+  std::uint64_t merge_staged_trace_events = 0;
+  std::uint64_t merge_staged_drops = 0;
 
  private:
   std::array<std::uint64_t, kProfPhaseCount> phase_ns_{};

@@ -184,6 +184,8 @@ void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p) {
   reg.counter("profile/parallel_cycles", p.parallel_cycles);
   reg.counter("profile/merge_staged_flits", p.merge_staged_flits);
   reg.counter("profile/merge_staged_credits", p.merge_staged_credits);
+  reg.counter("profile/merge_staged_trace_events", p.merge_staged_trace_events);
+  reg.counter("profile/merge_staged_drops", p.merge_staged_drops);
   reg.counter("profile/shard_switch_visits_max", p.shard_switch_visits_max);
   reg.counter("profile/shard_switch_visits_min", p.shard_switch_visits_min);
   // Wall-time shares are noisy: the whole slice lives in the advisory

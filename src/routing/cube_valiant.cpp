@@ -6,11 +6,15 @@ namespace smart {
 
 CubeValiantRouting::CubeValiantRouting(const KaryNCube& cube, unsigned vcs,
                                        std::uint64_t seed)
-    : cube_(cube), vcs_(vcs), rng_(seed) {
+    : cube_(cube), vcs_(vcs) {
   SMART_CHECK_MSG(vcs >= 4 && vcs % 4 == 0,
                   "Valiant routing needs two phases of two virtual networks");
   per_phase_ = vcs / 2;
   per_vn_ = per_phase_ / 2;
+  rngs_.reserve(cube_.switch_count());
+  for (SwitchId s = 0; s < cube_.switch_count(); ++s) {
+    rngs_.emplace_back(mix_seed(seed, s));
+  }
 }
 
 std::optional<OutputChoice> CubeValiantRouting::route(Switch& sw,
@@ -20,7 +24,7 @@ std::optional<OutputChoice> CubeValiantRouting::route(Switch& sw,
                                                       std::uint64_t /*cycle*/) {
   const SwitchId s = sw.id();
   if (!pkt.val_assigned) {
-    pkt.intermediate = static_cast<NodeId>(rng_.below(cube_.node_count()));
+    pkt.intermediate = static_cast<NodeId>(rngs_[s].below(cube_.node_count()));
     pkt.val_assigned = true;
     pkt.val_phase = 0;
   }

@@ -18,6 +18,8 @@
 // one lane per (phase, virtual network).
 #pragma once
 
+#include <vector>
+
 #include "routing/routing.hpp"
 #include "topology/kary_ncube.hpp"
 #include "util/rng.hpp"
@@ -35,18 +37,23 @@ class CubeValiantRouting final : public RoutingAlgorithm {
                                                   std::uint64_t cycle) override;
   [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
   [[nodiscard]] bool is_minimal() const override { return false; }
-  /// The intermediate-node draw comes from rng_, shared across switches:
-  /// the global order of route() calls is load-bearing, so the sharded
-  /// engine must not run this algorithm concurrently (stays at default
-  /// false; spelled out for documentation).
-  [[nodiscard]] bool concurrent_safe() const override { return false; }
+  /// The intermediate-node draw comes from the RNG stream of the switch
+  /// doing the drawing (counter-mode streams: mix_seed(seed, switch id)),
+  /// so route() depends only on the switch and packet passed in — safe for
+  /// the sharded engine, which partitions switches across workers.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
 
  private:
   const KaryNCube& cube_;
   unsigned vcs_;
   unsigned per_phase_;  ///< lanes per phase (V/2)
   unsigned per_vn_;     ///< lanes per virtual network within a phase (V/4, min 1)
-  Rng rng_;
+  /// Per-switch intermediate-draw streams, indexed by SwitchId. Decorrelated
+  /// by SplitMix64 seed mixing; each stream is touched only by the engine
+  /// shard that owns its switch, and the draw sequence a packet sees is the
+  /// same for every thread count (it depends on the visiting switch, not on
+  /// the global route() call order a shared RNG would impose).
+  std::vector<Rng> rngs_;
 };
 
 }  // namespace smart

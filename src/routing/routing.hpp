@@ -61,13 +61,16 @@ class RoutingAlgorithm {
 
   /// True when route() may be called concurrently for switches in
   /// different engine shards: the decision must depend only on the switch
-  /// and packet passed in (plus immutable members). Algorithms that draw
-  /// from an RNG shared across switches — Valiant's intermediate draw, the
-  /// tree's kRandom tie-break — must return false: the multi-threaded
-  /// engine then keeps its serial pipeline, because the global order of
-  /// route() calls (and with it the shared draw sequence) is what the
-  /// bit-identity guarantee pins. Defaults to false so extensions are
-  /// serial until they opt in.
+  /// and packet passed in, plus members that are immutable or owned by the
+  /// visiting switch. Randomized algorithms satisfy this with per-switch
+  /// RNG streams (one Rng per SwitchId, seeds derived by mix_seed) — the
+  /// draws a switch makes are then independent of the global route() call
+  /// order, which is what the engine's thread-count bit-identity guarantee
+  /// needs; Valiant's intermediate draw and the tree's kRandom tie-break
+  /// both work this way. An algorithm drawing from one RNG shared across
+  /// switches must return false: the multi-threaded engine then keeps its
+  /// serial pipeline. Defaults to false so extensions are serial until
+  /// they opt in.
   [[nodiscard]] virtual bool concurrent_safe() const { return false; }
 
  protected:

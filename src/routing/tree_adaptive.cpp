@@ -16,9 +16,16 @@ std::string to_string(TreeSelection selection) {
 }
 
 TreeAdaptiveRouting::TreeAdaptiveRouting(const KaryNTree& tree, unsigned vcs,
-                                         TreeSelection selection)
+                                         TreeSelection selection,
+                                         std::uint64_t seed)
     : tree_(tree), vcs_(vcs), selection_(selection) {
   SMART_CHECK(vcs >= 1);
+  if (selection_ == TreeSelection::kRandom) {
+    rngs_.reserve(tree_.switch_count());
+    for (SwitchId s = 0; s < tree_.switch_count(); ++s) {
+      rngs_.emplace_back(mix_seed(seed, s));
+    }
+  }
 }
 
 std::string TreeAdaptiveRouting::name() const {
@@ -37,7 +44,7 @@ unsigned TreeAdaptiveRouting::scan_start(const Switch& sw, PortId in_port) {
     case TreeSelection::kMostCredits:
       return sw.route_rr % k;
     case TreeSelection::kRandom:
-      return static_cast<unsigned>(rng_.below(k));
+      return static_cast<unsigned>(rngs_[sw.id()].below(k));
   }
   return 0;
 }

@@ -24,6 +24,8 @@
 //    free-lane count, scanning round-robin.
 #pragma once
 
+#include <vector>
+
 #include "routing/routing.hpp"
 #include "topology/kary_ntree.hpp"
 #include "util/rng.hpp"
@@ -41,8 +43,13 @@ enum class TreeSelection : std::uint8_t {
 
 class TreeAdaptiveRouting final : public RoutingAlgorithm {
  public:
+  /// `seed` feeds the kRandom tie-break streams (one per switch, derived by
+  /// SplitMix64 seed mixing); pass the run's traffic seed so replications
+  /// and --seed sweeps actually vary the tie-breaks. Ignored by the other
+  /// selection policies, which draw nothing.
   TreeAdaptiveRouting(const KaryNTree& tree, unsigned vcs,
-                      TreeSelection selection = TreeSelection::kSaltedAffine);
+                      TreeSelection selection = TreeSelection::kSaltedAffine,
+                      std::uint64_t seed = 0x7ee5e1ec7ULL);
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
@@ -50,11 +57,10 @@ class TreeAdaptiveRouting final : public RoutingAlgorithm {
                                                   std::uint64_t cycle) override;
   [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
   [[nodiscard]] TreeSelection selection() const noexcept { return selection_; }
-  /// kRandom tie-breaks draw from rng_, shared across switches — the order
-  /// of route() calls then matters, so only the other selections are safe.
-  [[nodiscard]] bool concurrent_safe() const override {
-    return selection_ != TreeSelection::kRandom;
-  }
+  /// Every selection policy decides from the switch and packet alone —
+  /// kRandom draws from the visiting switch's own stream — so route() is
+  /// safe for the sharded engine under all policies.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
 
  private:
   [[nodiscard]] unsigned scan_start(const Switch& sw, PortId in_port);
@@ -68,7 +74,11 @@ class TreeAdaptiveRouting final : public RoutingAlgorithm {
   const KaryNTree& tree_;
   unsigned vcs_;
   TreeSelection selection_;
-  Rng rng_{0x7ee5e1ec7ULL};  ///< kRandom tie-breaks (deterministic stream)
+  /// kRandom tie-break streams, one per switch (empty for the other
+  /// policies). Each stream is touched only by the shard owning its switch,
+  /// and the draws a switch makes are independent of the global route()
+  /// call order — the sharded engine's bit-identity requirement.
+  std::vector<Rng> rngs_;
 };
 
 }  // namespace smart

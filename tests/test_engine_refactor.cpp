@@ -8,8 +8,8 @@
 // configs repeat the goldens of test_obs.cpp; the faulted run covers the
 // drain/drop paths and the phase-per-pass pipeline that faulted runs keep;
 // the bursty and multi-channel runs cover the injection-side state
-// machines (burst modulation, fixed-lane NIC mapping, the shared
-// Valiant RNG call order).
+// machines (burst modulation, fixed-lane NIC mapping, Valiant's
+// per-switch RNG streams).
 #include <gtest/gtest.h>
 
 #include "core/network.hpp"
@@ -153,9 +153,11 @@ TEST(EngineRefactor, GoldenBurstyInjection) {
   EXPECT_DOUBLE_EQ(r.latency_percentile(0.99), 83.166666666666558);
 }
 
-// Valiant routing draws from a shared RNG in ascending-switch route()
-// order, and four injection channels use the NIC's fixed-lane mapping;
-// both are order-sensitive to any change in the phase pipeline.
+// Valiant routing draws its intermediate nodes from per-switch RNG
+// streams (re-pinned once when the shared RNG became per-switch streams
+// for the sharded engine), and four injection channels use the NIC's
+// fixed-lane mapping; both are order-sensitive to any change in the
+// phase pipeline.
 TEST(EngineRefactor, GoldenValiantMultiChannel) {
   SimConfig config;
   config.net.topology = std::string("cube");
@@ -170,18 +172,18 @@ TEST(EngineRefactor, GoldenValiantMultiChannel) {
   config.timing.horizon_cycles = 4000;
   Network network(config);
   const SimulationResult& r = network.run();
-  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.30222222222222223);
+  EXPECT_DOUBLE_EQ(r.accepted_fraction, 0.30138888888888887);
   EXPECT_EQ(r.generated_packets, 1091U);
-  EXPECT_EQ(r.delivered_packets, 1088U);
-  EXPECT_EQ(r.delivered_flits, 17408U);
+  EXPECT_EQ(r.delivered_packets, 1085U);
+  EXPECT_EQ(r.delivered_flits, 17360U);
   EXPECT_EQ(r.measured_cycles, 3600U);
-  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 72.89797794117645);
-  EXPECT_EQ(r.latency_cycles.count(), 1088U);
-  EXPECT_DOUBLE_EQ(r.hops.mean(), 6.0404411764705941);
-  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.30457754629629646);
-  EXPECT_EQ(r.packets_in_flight_end, 22U);
+  EXPECT_DOUBLE_EQ(r.latency_cycles.mean(), 81.863594470046024);
+  EXPECT_EQ(r.latency_cycles.count(), 1085U);
+  EXPECT_DOUBLE_EQ(r.hops.mean(), 5.9797235023041404);
+  EXPECT_DOUBLE_EQ(r.link_utilization.mean(), 0.30020833333333313);
+  EXPECT_EQ(r.packets_in_flight_end, 21U);
   EXPECT_EQ(r.source_queue_backlog_end, 1U);
-  EXPECT_DOUBLE_EQ(r.latency_percentile(0.99), 255.59999999999945);
+  EXPECT_DOUBLE_EQ(r.latency_percentile(0.99), 437.16666666666697);
 }
 
 }  // namespace

@@ -1,23 +1,34 @@
-// Thread-count determinism matrix (PR 5).
+// Thread-count determinism matrix (PR 5; widened when the fallback list
+// shrank to "small fabric or custom non-concurrent-safe routing").
 //
 // The sharded parallel pipeline (src/engine/phase_parallel.cpp) promises
 // bit-identical results for every value of SimConfig::engine_threads.
 // This file pins that promise: every engine-equivalence scenario from
-// test_engine_refactor.cpp plus two 256-node configs (large enough to
+// test_engine_refactor.cpp plus 256-node configs (large enough to
 // actually shard — the parallel path needs > 64 switches) run at
 // threads ∈ {1, 2, 4, 7} and must produce registries that match the
-// serial run bit for bit. 7 is deliberately odd: 4-word index spaces
-// split 7 ways produce uneven shards, catching any partition-dependent
-// ordering. The time/ namespace (wall clock) is the only excluded slice;
-// profile/ is excluded implicitly by not enabling the profiler here,
-// because its shard/merge counters legitimately depend on the pipeline
-// that ran (see register_profile_metrics).
+// serial run bit for bit. The 256-node matrices cover the scenarios
+// that used to force the serial fallback — Valiant's randomized draws
+// (now per-switch streams), fault plans with drain (staged drops) and
+// trace capture (staged hop events, byte-identical JSON). 7 is
+// deliberately odd: 4-word index spaces split 7 ways produce uneven
+// shards, catching any partition-dependent ordering. The time/ namespace
+// (wall clock) is the only excluded slice; profile/ is excluded
+// implicitly by not enabling the profiler here, because its shard/merge
+// counters legitimately depend on the pipeline that ran (see
+// register_profile_metrics).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <string_view>
 
 #include "core/network.hpp"
 #include "obs/registry.hpp"
+#include "routing/cube_dor.hpp"
 
 namespace smart {
 namespace {
@@ -56,11 +67,22 @@ void expect_identical_registries(const MetricsRegistry& serial,
   }
 }
 
-void expect_thread_invariant(const SimConfig& config) {
+/// Runs `config` at 1/2/4/7 threads and demands bit-identical results.
+/// `expect_sharded` additionally pins the non-vacuity of the matrix: the
+/// threaded runs must actually take the sharded pipeline (a silent
+/// fallback to serial would pass every bit-identity check by definition).
+void expect_thread_invariant(const SimConfig& config,
+                             bool expect_sharded = false) {
   const SimulationResult serial = run_with_threads(config, 1);
+  EXPECT_FALSE(serial.engine_parallel);
   const MetricsRegistry serial_registry = registry_of(serial);
   for (const unsigned threads : kThreadMatrix) {
     const SimulationResult threaded = run_with_threads(config, threads);
+    if (expect_sharded) {
+      EXPECT_TRUE(threaded.engine_parallel)
+          << "threads=" << threads
+          << " fell back: " << threaded.engine_path_reason;
+    }
     // Spot-check the raw result first so a mismatch reads directly...
     EXPECT_EQ(serial.generated_packets, threaded.generated_packets)
         << "threads=" << threads;
@@ -119,11 +141,11 @@ SimConfig tree256_config() {
 }
 
 TEST(EngineThreads, Cube256DuatoShardedMatrix) {
-  expect_thread_invariant(cube256_config());
+  expect_thread_invariant(cube256_config(), /*expect_sharded=*/true);
 }
 
 TEST(EngineThreads, Tree256AdaptiveShardedMatrix) {
-  expect_thread_invariant(tree256_config());
+  expect_thread_invariant(tree256_config(), /*expect_sharded=*/true);
 }
 
 // The profiler proves the parallel pipeline actually ran (the matrix
@@ -168,10 +190,12 @@ TEST(EngineThreads, SmallFabricFallsBackToSerial) {
 
 // ---- engine-equivalence scenarios from test_engine_refactor.cpp -------
 //
-// These fabrics are below the sharding threshold (16 switches) or force
-// the serial fallback (faults, Valiant's shared RNG); the matrix pins
-// that a thread *budget* never changes their results either — the
-// fallback decision is part of the determinism contract.
+// These fabrics are all below the sharding threshold (16 switches), so
+// every run here takes the serial pipeline regardless of the thread
+// budget; the matrix pins that the budget never changes their results —
+// the fallback decision is part of the determinism contract. (Faults,
+// trace capture and Valiant no longer force a fallback on their own;
+// the 256-node matrices below cover their sharded runs.)
 
 TEST(EngineThreads, GoldenCubeDuatoUniformMatrix) {
   SimConfig config;
@@ -274,7 +298,135 @@ TEST(EngineThreads, Cube256BurstyShardedMatrix) {
   config.traffic.injection = InjectionKind::kBursty;
   config.traffic.burst_factor = 6.0;
   config.traffic.offered_fraction = 0.3;
-  expect_thread_invariant(config);
+  expect_thread_invariant(config, /*expect_sharded=*/true);
+}
+
+// ---- formerly-serial scenarios, now sharded -----------------------------
+//
+// Fault plans, trace capture and randomized routing used to force the
+// serial fallback; these matrices pin that their sharded runs are
+// bit-identical to serial.
+
+// Valiant's intermediate-node draws come from per-switch RNG streams, so
+// the draw a switch makes no longer depends on the global route() call
+// order — the property that lets it shard at all.
+TEST(EngineThreads, Cube256ValiantShardedMatrix) {
+  SimConfig config = cube256_config();
+  config.net.routing = RoutingKind::kCubeValiant;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.3;
+  expect_thread_invariant(config, /*expect_sharded=*/true);
+}
+
+// Transient link + switch faults across three shards, with unroutable
+// drops and a post-horizon drain: the staged drop bookkeeping (pool
+// releases, drop counters, fault-epoch accounting) must merge back into
+// the serial pipeline's exact order.
+TEST(EngineThreads, Cube256FaultedDrainShardedMatrix) {
+  SimConfig config = cube256_config();
+  config.traffic.offered_fraction = 0.5;
+  config.timing.drain_after_horizon = true;
+  config.faults.add_link(0, 0, 500, 2500);      // shard 0
+  config.faults.add_switch(5, 800, 2000);       // shard 0
+  config.faults.add_switch(200, 600, 3000);     // shard 3
+  config.faults.add_link(137, 2, 1000, 3500);   // shard 2
+  // Non-vacuity: the schedule must actually exercise the drop path, or
+  // the matrix would pass without ever staging a drop.
+  const SimulationResult serial = run_with_threads(config, 1);
+  ASSERT_GT(serial.dropped_packets, 0U);
+  ASSERT_GT(serial.unroutable_packets, 0U);
+  expect_thread_invariant(config, /*expect_sharded=*/true);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// Trace capture on the sharded pipeline: hop events are staged per shard
+// in region B and replayed in ascending shard order at the merge, so the
+// uid assignment sequence and both trace streams must match the serial
+// run byte for byte — EXPECT_EQ on the whole JSON file. A fault plan
+// rides along so the dropped-packet trace records (emitted at the merge
+// via finish_drop) are covered too.
+TEST(EngineThreads, Cube256TraceByteIdenticalMatrix) {
+  SimConfig config = cube256_config();
+  config.timing.drain_after_horizon = true;
+  config.faults.add_link(0, 0, 500, 2500);
+  config.faults.add_switch(200, 600, 3000);
+  config.obs.enabled = true;
+  config.obs.trace_hops = true;
+
+  const std::string serial_path =
+      ::testing::TempDir() + "threads_trace_serial.json";
+  config.obs.trace_out = serial_path;
+  const SimulationResult serial = run_with_threads(config, 1);
+  ASSERT_TRUE(serial.obs.trace_written);
+  ASSERT_GT(serial.dropped_packets, 0U);  // drop trace records covered
+  const std::string serial_bytes = slurp(serial_path);
+  ASSERT_FALSE(serial_bytes.empty());
+  const MetricsRegistry serial_registry = registry_of(serial);
+
+  for (const unsigned threads : kThreadMatrix) {
+    const std::string path = ::testing::TempDir() + "threads_trace_" +
+                             std::to_string(threads) + ".json";
+    config.obs.trace_out = path;
+    const SimulationResult threaded = run_with_threads(config, threads);
+    EXPECT_TRUE(threaded.engine_parallel)
+        << "threads=" << threads
+        << " fell back: " << threaded.engine_path_reason;
+    ASSERT_TRUE(threaded.obs.trace_written) << "threads=" << threads;
+    EXPECT_EQ(serial_bytes, slurp(path)) << "threads=" << threads;
+    expect_identical_registries(serial_registry, registry_of(threaded),
+                                threads);
+    std::remove(path.c_str());
+  }
+  std::remove(serial_path.c_str());
+}
+
+// A custom algorithm that keeps the default concurrent_safe() == false:
+// delegates to DOR but, as far as the engine knows, may share state
+// across switches. Forces the serial pipeline even on a shardable fabric.
+class SerialOnlyRouting final : public RoutingAlgorithm {
+ public:
+  SerialOnlyRouting(const KaryNCube& cube, unsigned vcs) : dor_(cube, vcs) {}
+  [[nodiscard]] std::string name() const override { return "serial-only"; }
+  [[nodiscard]] std::optional<OutputChoice> route(
+      Switch& sw, PortId in_port, unsigned in_lane, Packet& pkt,
+      std::uint64_t cycle) override {
+    return dor_.route(sw, in_port, in_lane, pkt, cycle);
+  }
+  [[nodiscard]] unsigned virtual_channels() const override {
+    return dor_.virtual_channels();
+  }
+
+ private:
+  CubeDorRouting dor_;
+};
+
+// Satellite: setup_parallel reports EVERY applicable fallback cause, not
+// just the first — a small fabric with non-concurrent-safe custom
+// routing must name both in engine_path_reason.
+TEST(EngineThreads, MultipleFallbackReasonsReported) {
+  SimConfig config = cube256_config();
+  config.net.k = 4;  // 16 switches: below the serial-fabric threshold
+  config.engine_threads = 4;
+  config.custom_routing =
+      [](const Topology& topo) -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<SerialOnlyRouting>(
+        dynamic_cast<const KaryNCube&>(topo), /*vcs=*/4);
+  };
+  Network network(config);
+  const SimulationResult result = network.run();
+  EXPECT_FALSE(result.engine_parallel);
+  EXPECT_NE(result.engine_path_reason.find("not concurrent-safe"),
+            std::string::npos)
+      << result.engine_path_reason;
+  EXPECT_NE(result.engine_path_reason.find("serial-fallback threshold"),
+            std::string::npos)
+      << result.engine_path_reason;
 }
 
 }  // namespace
