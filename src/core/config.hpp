@@ -30,6 +30,9 @@ enum class RoutingKind : std::uint8_t {
   kTreeAdaptive,       ///< ascending adaptive / descending deterministic
   kTorusDor,           ///< dimension order on a mixed-radix torus
   kUpDown,             ///< up*/down* on a two-level fat-tree / Clos
+  /// The composable escape-channel adaptive core on any family that
+  /// registers an escape provider (docs/ROUTING.md).
+  kEscapeAdaptive,
 };
 
 // Inline so layers below smart_core (the obs manifest writer) can name a
@@ -42,6 +45,7 @@ enum class RoutingKind : std::uint8_t {
     case RoutingKind::kTreeAdaptive: return "tree adaptive";
     case RoutingKind::kTorusDor: return "torus DOR";
     case RoutingKind::kUpDown: return "up*/down*";
+    case RoutingKind::kEscapeAdaptive: return "escape-adaptive";
   }
   return "unknown";
 }
@@ -71,8 +75,14 @@ struct NetworkSpec {
   /// paper's source-throttled interface. Values > 1 (ablation) must not
   /// exceed the terminal link's input lanes.
   unsigned injection_channels = 1;
-  /// Tree only: fair tie-break of the ascending link choice (ablation).
-  TreeSelection tree_selection = TreeSelection::kSaltedAffine;
+  /// Candidate-selection policy of the adaptive algorithms: the tree's
+  /// ascending tie-break and the escape-adaptive core's output ranking
+  /// share one policy set (src/routing/selection.hpp). kStallEwma is
+  /// escape-adaptive only (the tree rejects it at construction).
+  SelectionKind selection = SelectionKind::kSaltedAffine;
+  /// Escape-adaptive only: allow one non-minimal adaptive hop per packet
+  /// when every minimal adaptive lane is taken.
+  bool misroute = false;
 
   /// The registry lookup key for this spec (family + params + the
   /// legacy k/n/wraparound knobs the paper families honor).
@@ -123,6 +133,12 @@ struct TrafficSpec {
   InjectionKind injection = InjectionKind::kBernoulli;
   double burst_factor = 8.0;      ///< peak/average rate during a burst
   double mean_burst_cycles = 200; ///< mean ON-phase duration
+  /// End-to-end injection throttling (escape-adaptive only): when > 0, a
+  /// NIC holds new worms while the fraction of zero-credit escape lanes
+  /// at its switch is at or above this threshold (computed serially from
+  /// end-of-previous-cycle state, so results stay bit-identical across
+  /// thread counts). 0 disables throttling.
+  double throttle = 0.0;
 };
 
 /// Optional per-packet delivery log (off by default: it grows with the

@@ -163,6 +163,11 @@ RouterDelays delays_for(const NetworkSpec& spec) {
       return cube_deterministic_delays(spec.n, spec.vcs);
     case RoutingKind::kTreeAdaptive:
       return tree_adaptive_delays(spec.k, spec.vcs);
+    case RoutingKind::kEscapeAdaptive:
+      // Same routing freedom as the per-family adaptive algorithms: the
+      // tree prices its ascending-adaptive stage, the cube the Duato one.
+      if (spec.topology == "tree") return tree_adaptive_delays(spec.k, spec.vcs);
+      return cube_duato_delays(spec.n, spec.vcs);
     case RoutingKind::kTorusDor:
     case RoutingKind::kUpDown:
       // Only reachable with a paper family + generated-family routing,

@@ -164,6 +164,17 @@ struct SimulationResult {
   unsigned engine_shards = 1;
   std::string engine_path_reason;
 
+  // Routing-layer provenance (all zero unless the algorithm reports
+  // stats — the escape-adaptive core and its Duato instantiation): how
+  // headers split between the adaptive and escape lane classes, and how
+  // often the misroute freedom was used. Deterministic and thread-count
+  // invariant, like every engine counter.
+  std::uint64_t routing_adaptive_headers = 0;
+  std::uint64_t routing_escape_headers = 0;
+  std::uint64_t routing_misroute_headers = 0;
+  /// NIC-cycles spent holding injection under --throttle (whole run).
+  std::uint64_t nic_throttled_cycles = 0;
+
   // Resilience (all zero / empty on a fault-free run).
   /// Verdict of the progress watchdog; kDeadlock mirrors `deadlocked`.
   StallVerdict stall_verdict = StallVerdict::kNone;

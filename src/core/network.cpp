@@ -5,6 +5,7 @@
 #include "routing/cube_dor.hpp"
 #include "routing/cube_duato.hpp"
 #include "routing/cube_valiant.hpp"
+#include "routing/escape_adaptive.hpp"
 #include "routing/torus_dor.hpp"
 #include "routing/tree_adaptive.hpp"
 #include "routing/updown.hpp"
@@ -19,6 +20,23 @@
 namespace smart {
 
 Network::Network(SimConfig config) : config_(std::move(config)) {
+  // The stall-history selection policy scores downstream switches from the
+  // obs layer's per-port stall counters; auto-enable the counters (series
+  // off) when the user did not ask for observability explicitly.
+  if (config_.net.routing == RoutingKind::kEscapeAdaptive &&
+      config_.net.selection == SelectionKind::kStallEwma &&
+      !config_.obs.enabled) {
+    config_.obs.enabled = true;
+    config_.obs.sample_interval_cycles = 0;
+  }
+  SMART_CHECK_MSG(config_.traffic.throttle >= 0.0 &&
+                      config_.traffic.throttle <= 1.0,
+                  "injection throttle must lie in [0, 1]");
+  SMART_CHECK_MSG(config_.traffic.throttle == 0.0 ||
+                      config_.net.routing == RoutingKind::kEscapeAdaptive ||
+                      config_.custom_routing,
+                  "injection throttling needs an escape-adaptive routing "
+                  "algorithm to supply the backpressure signal");
   build_topology();
   build_routing();
 
@@ -112,7 +130,7 @@ void Network::build_routing() {
       // from the NIC and Valiant streams) so --seed and replications vary
       // them; they used to be hardcoded, replaying one stream everywhere.
       routing_ = std::make_unique<TreeAdaptiveRouting>(
-          *tree_, net.vcs, net.tree_selection,
+          *tree_, net.vcs, net.selection,
           config_.traffic.seed ^ 0x7ee5e1ec7ULL);
       break;
     case RoutingKind::kTorusDor:
@@ -125,6 +143,26 @@ void Network::build_routing() {
                       "up*/down* requires a two-level fat-tree");
       routing_ = std::make_unique<UpDownRouting>(*fattree_, net.vcs);
       break;
+    case RoutingKind::kEscapeAdaptive: {
+      // The family names its escape provider; the routing layer resolves
+      // the key against the built fabric (topology stays routing-free).
+      const TopologyFamily* family =
+          TopologyRegistry::instance().find(net.topology);
+      SMART_CHECK_MSG(family != nullptr && !family->escape_routing.empty(),
+                      "this topology family registers no escape routing");
+      std::string error;
+      auto escape = make_escape_routing(family->escape_routing, *topo_, &error);
+      SMART_CHECK_MSG(escape != nullptr, error.c_str());
+      EscapeAdaptiveRouting::Options options;
+      options.selection = net.selection;
+      options.misroute = net.misroute;
+      // Salted away from the NIC, Valiant and tree streams so --seed and
+      // replications vary the kRandom selection draws independently.
+      options.seed = config_.traffic.seed ^ 0xe5ca9ead5eed1234ULL;
+      routing_ = std::make_unique<EscapeAdaptiveRouting>(
+          *topo_, std::move(escape), net.vcs, options);
+      break;
+    }
   }
 }
 

@@ -195,6 +195,21 @@ void CycleEngine::close_fault_epoch(std::uint64_t end_cycle,
   epoch_latency_ = OnlineStats{};
 }
 
+void CycleEngine::update_inject_holds() {
+  const double threshold = config_.traffic.throttle;
+  for (NodeId node = 0; node < nics_.size(); ++node) {
+    bool hold = false;
+    // Never hold while draining: a wedged escape network past the horizon
+    // must still empty its source queues.
+    if (!draining_) {
+      const Switch& sw = switches_[attach_[node].sw];
+      hold = routing_.escape_pressure(sw) >= threshold;
+    }
+    if (hold) ++throttled_nic_cycles_;
+    nics_[node].inject_hold = hold;
+  }
+}
+
 void CycleEngine::record_stall() {
   // A stall with faults active means packets are wedged on failed
   // components; only a fault-free stall is the classic cyclic deadlock.
@@ -209,6 +224,10 @@ void CycleEngine::record_stall() {
 void CycleEngine::step() {
   ++cycle_;
   if (faults_) advance_faults();
+  // Both hooks run serially before any phase and read only end-of-previous-
+  // cycle state, so they are identical in the serial and sharded pipelines.
+  routing_.begin_cycle(cycle_, obs_ ? &obs_->stalls : nullptr);
+  if (config_.traffic.throttle > 0.0) update_inject_holds();
   if (!measuring_ && !draining_ && cycle_ > config_.timing.warmup_cycles) {
     measuring_ = true;
     stats_window_start_ = cycle_;
@@ -396,6 +415,13 @@ void CycleEngine::finalize_result() {
   result_.source_queue_backlog_end = backlog;
   result_.deadlocked = deadlocked_;
   result_.stall_verdict = stall_verdict_;
+  {
+    const RoutingStats rstats = routing_.stats();
+    result_.routing_adaptive_headers = rstats.adaptive_headers;
+    result_.routing_escape_headers = rstats.escape_headers;
+    result_.routing_misroute_headers = rstats.misroute_headers;
+  }
+  result_.nic_throttled_cycles = throttled_nic_cycles_;
   result_.unroutable_packets = unroutable_packets_;
   result_.dropped_packets = dropped_packets_;
   result_.dropped_flits = dropped_flits_;

@@ -233,6 +233,11 @@ class CycleEngine {
   void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
   void record_stall();
   void finalize_result();
+  /// Serial sweep at the top of a cycle: sets each NIC's inject hold from
+  /// the routing algorithm's escape pressure at its switch, using
+  /// end-of-previous-cycle credit state — identical in both pipelines, so
+  /// throttling never perturbs thread-count bit-identity.
+  void update_inject_holds();
 
   // Collaborators (owned by Network).
   const SimConfig& config_;
@@ -290,6 +295,9 @@ class CycleEngine {
   // Deliveries during the post-horizon drain (kept out of the window).
   std::uint64_t drain_delivered_packets_ = 0;
   std::uint64_t drain_delivered_flits_ = 0;
+
+  /// NIC-cycles spent holding injection under traffic.throttle (whole run).
+  std::uint64_t throttled_nic_cycles_ = 0;
 
   // Resilience counters (whole run; stay zero without a fault plan).
   std::uint64_t unroutable_packets_ = 0;

@@ -42,6 +42,8 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
   network.set("k", json::Value(static_cast<double>(net.k)));
   network.set("n", json::Value(static_cast<double>(net.n)));
   network.set("routing", json::Value(to_string(net.routing)));
+  network.set("selection", json::Value(to_string(net.selection)));
+  network.set("misroute", json::Value(net.misroute));
   network.set("wraparound", json::Value(net.wraparound));
   network.set("vcs", json::Value(static_cast<double>(net.vcs)));
   network.set("buffer_depth",
@@ -63,6 +65,7 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
   traffic.set("seed",
               json::Value(static_cast<double>(config.traffic.seed)));
   traffic.set("injection", json::Value(to_string(config.traffic.injection)));
+  traffic.set("throttle", json::Value(config.traffic.throttle));
   if (config.traffic.injection == InjectionKind::kBursty) {
     traffic.set("burst_factor", json::Value(config.traffic.burst_factor));
     traffic.set("mean_burst_cycles",

@@ -137,6 +137,14 @@ void register_engine_metrics(MetricsRegistry& reg, const SimulationResult& r) {
   reg.histogram("latency/cycles", r.latency_histogram, "cycles");
 }
 
+void register_routing_metrics(MetricsRegistry& reg,
+                              const SimulationResult& r) {
+  reg.counter("routing/adaptive_headers", r.routing_adaptive_headers);
+  reg.counter("routing/escape_headers", r.routing_escape_headers);
+  reg.counter("routing/misroute_headers", r.routing_misroute_headers);
+  reg.counter("routing/nic_throttled_cycles", r.nic_throttled_cycles);
+}
+
 void register_fault_metrics(MetricsRegistry& reg, const SimulationResult& r) {
   reg.counter("fault/unroutable_packets", r.unroutable_packets);
   reg.counter("fault/dropped_packets", r.dropped_packets);
@@ -207,6 +215,13 @@ void register_time_metrics(MetricsRegistry& reg, const SimulationResult& r) {
 
 void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r) {
   register_engine_metrics(reg, r);
+  // Routing stats only appear when the algorithm reports them (the
+  // escape-adaptive core); other algorithms keep the registry unchanged
+  // so historical manifests diff clean.
+  if (r.routing_adaptive_headers > 0 || r.routing_escape_headers > 0 ||
+      r.routing_misroute_headers > 0 || r.nic_throttled_cycles > 0) {
+    register_routing_metrics(reg, r);
+  }
   if (!r.fault_epochs.empty() || r.unroutable_packets > 0 ||
       r.active_faults_end > 0) {
     register_fault_metrics(reg, r);

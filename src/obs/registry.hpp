@@ -100,6 +100,9 @@ class MetricsRegistry {
 // is the umbrella the CLI and manifest writers call.
 
 void register_engine_metrics(MetricsRegistry& reg, const SimulationResult& r);
+/// Routing-layer counters (routing/ namespace): adaptive/escape/misroute
+/// header splits and throttled NIC-cycles. Deterministic.
+void register_routing_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_fault_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_obs_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p);

@@ -50,6 +50,7 @@ struct Packet {
   bool unroutable = false;
   std::uint32_t wrap_mask = 0;  ///< per-dimension dateline-crossed bits (cube)
   std::uint8_t nic_lane = 0;    ///< VC chosen by the NIC on the terminal link
+  std::uint8_t misroutes = 0;   ///< non-minimal hops taken (escape-adaptive)
   NodeId intermediate = 0;      ///< Valiant phase-1 target
   std::uint8_t val_phase = 0;   ///< Valiant: 0 = to intermediate, 1 = to dst
   bool val_assigned = false;    ///< Valiant intermediate drawn yet?

@@ -18,7 +18,7 @@ unsigned Nic::stream(std::uint64_t cycle, PacketPool& pool) {
   unsigned pushed = 0;
   for (InjectChannel& channel : channels_) {
     if (channel.current == kInvalidPacket) {
-      if (source_queue_.empty()) continue;
+      if (inject_hold || source_queue_.empty()) continue;
       channel.current = source_queue_.front();
       source_queue_.pop_front();
       channel.streamed = 0;

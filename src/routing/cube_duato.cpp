@@ -1,84 +1,18 @@
 #include "routing/cube_duato.hpp"
 
+#include <memory>
+
+#include "routing/escape.hpp"
 #include "util/check.hpp"
 
 namespace smart {
 
 CubeDuatoRouting::CubeDuatoRouting(const KaryNCube& cube, unsigned vcs)
-    : cube_(cube), escape_(cube, vcs), vcs_(vcs), adaptive_(vcs / 2) {
+    : EscapeAdaptiveRouting(
+          cube, std::make_unique<CubeEscape>(cube), vcs,
+          Options{SelectionKind::kMostCredits, /*misroute=*/false, /*seed=*/0}) {
   SMART_CHECK_MSG(vcs >= 4 && vcs % 2 == 0,
                   "Duato routing needs adaptive + two escape channels");
-}
-
-std::optional<OutputChoice> CubeDuatoRouting::route(Switch& sw, PortId /*in_port*/,
-                                                    unsigned /*in_lane*/,
-                                                    Packet& pkt,
-                                                    std::uint64_t cycle) {
-  const SwitchId s = sw.id();
-  if (s == pkt.dst) {
-    const PortId local = cube_.local_port();
-    const auto lane =
-        best_bindable_lane(sw.port(local), 0,
-                           static_cast<unsigned>(sw.port(local).out.size()));
-    if (!lane) return std::nullopt;
-    return OutputChoice{local, *lane};
-  }
-
-  // Adaptive channels first: any minimal direction over a healthy link,
-  // most-credits lane, rotating tie-break across the candidate ports.
-  std::optional<OutputChoice> best;
-  std::uint32_t best_credits = 0;
-  bool best_crossing = false;
-  bool healthy_adaptive = false;  ///< some minimal direction survives faults
-  const unsigned n = cube_.dimensions();
-  const std::uint32_t rotate = sw.route_rr;
-  for (unsigned i = 0; i < 2 * n; ++i) {
-    const unsigned candidate = (i + rotate) % (2 * n);
-    const unsigned dim = candidate / 2;
-    const bool plus = (candidate % 2) == 0;
-    if (!cube_.direction_minimal(s, pkt.dst, dim, plus)) continue;
-    const PortId port = KaryNCube::port_of(dim, plus);
-    if (!link_ok(sw, port)) continue;
-    healthy_adaptive = true;
-    const auto lane = best_bindable_lane(sw.port(port), 0, adaptive_);
-    if (!lane) continue;
-    const std::uint32_t credits = sw.port(port).out[*lane].credits;
-    if (!best || credits > best_credits) {
-      best = OutputChoice{port, *lane};
-      best_credits = credits;
-      best_crossing = cube_.crosses_wraparound(s, dim, plus);
-    }
-  }
-  if (best) {
-    if (best_crossing) {
-      pkt.wrap_mask |= 1U << KaryNCube::dim_of_port(best->port);
-    }
-    return best;
-  }
-
-  // Escape path: the deterministic hop, restricted to the escape channels
-  // of the dateline-selected virtual network. The escape network is never
-  // rerouted around faults — that is what keeps it deadlock-free — so a
-  // faulted escape hop either stalls the packet (healthy adaptive links
-  // remain: wait for one of their lanes) or, when the faults severed every
-  // minimal direction, makes it unroutable.
-  const auto hop = escape_.dor_hop(s, pkt.dst);
-  SMART_CHECK(hop.has_value());
-  const auto [dim, plus] = *hop;
-  const PortId port = KaryNCube::port_of(dim, plus);
-  if (!link_ok(sw, port)) {
-    if (!healthy_adaptive) pkt.unroutable = true;
-    return std::nullopt;
-  }
-  const bool crossing = cube_.crosses_wraparound(s, dim, plus);
-  const bool after_dateline = crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;
-  const unsigned escape_per_vn = (vcs_ - adaptive_) / 2;
-  const unsigned first = adaptive_ + (after_dateline ? escape_per_vn : 0);
-  const auto lane = best_bindable_lane(sw.port(port), first, escape_per_vn);
-  if (!lane) return std::nullopt;
-  if (crossing) pkt.wrap_mask |= 1U << dim;
-  (void)cycle;
-  return OutputChoice{port, *lane};
 }
 
 }  // namespace smart

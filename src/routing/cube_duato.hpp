@@ -13,31 +13,24 @@
 //
 // With the paper's V = 4 on a 2-cube: 2 adaptive channels usable in both
 // dimensions plus 2 escape channels, routing freedom F = 6.
+//
+// Since the escape-adaptive refactor this class is a thin instantiation of
+// the generic EscapeAdaptiveRouting core with the cube's DOR escape
+// provider and the most-credits selection policy — decision for decision
+// identical to the original hand-written implementation (the
+// engine-refactor goldens pin the equivalence bit for bit).
 #pragma once
 
-#include "routing/cube_dor.hpp"
-#include "routing/routing.hpp"
+#include "routing/escape_adaptive.hpp"
 #include "topology/kary_ncube.hpp"
 
 namespace smart {
 
-class CubeDuatoRouting final : public RoutingAlgorithm {
+class CubeDuatoRouting final : public EscapeAdaptiveRouting {
  public:
   CubeDuatoRouting(const KaryNCube& cube, unsigned vcs);
 
   [[nodiscard]] std::string name() const override { return "Duato"; }
-  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
-                                                  unsigned in_lane, Packet& pkt,
-                                                  std::uint64_t cycle) override;
-  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
-  /// Pure function of (switch, packet); the escape path (DOR) is too.
-  [[nodiscard]] bool concurrent_safe() const override { return true; }
-
- private:
-  const KaryNCube& cube_;
-  CubeDorRouting escape_;  ///< supplies the deterministic escape hop
-  unsigned vcs_;
-  unsigned adaptive_;  ///< adaptive channels per link (= V/2, lanes [0, adaptive))
 };
 
 }  // namespace smart

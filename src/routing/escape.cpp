@@ -1,0 +1,264 @@
+#include "routing/escape.hpp"
+
+#include "util/rng.hpp"
+
+namespace smart {
+
+// ---- cube ---------------------------------------------------------------
+
+std::optional<PortId> CubeEscape::eject_port(const Switch& sw,
+                                             const Packet& pkt) const {
+  if (sw.id() != pkt.dst) return std::nullopt;
+  return cube_.local_port();
+}
+
+unsigned CubeEscape::minimal_candidates(const Switch& sw, const Packet& pkt,
+                                        AdaptiveCandidate* out,
+                                        unsigned cap) const {
+  const SwitchId s = sw.id();
+  const unsigned n = cube_.dimensions();
+  unsigned count = 0;
+  for (unsigned slot = 0; slot < 2 * n && count < cap; ++slot) {
+    const unsigned dim = slot / 2;
+    const bool plus = (slot % 2) == 0;
+    if (!cube_.direction_minimal(s, pkt.dst, dim, plus)) continue;
+    out[count++] = AdaptiveCandidate{
+        KaryNCube::port_of(dim, plus), slot,
+        cube_.crosses_wraparound(s, dim, plus) ? (1U << dim) : 0U};
+  }
+  return count;
+}
+
+unsigned CubeEscape::misroute_candidates(const Switch& sw, PortId in_port,
+                                         const Packet& pkt,
+                                         AdaptiveCandidate* out,
+                                         unsigned cap) const {
+  const SwitchId s = sw.id();
+  const unsigned n = cube_.dimensions();
+  unsigned count = 0;
+  for (unsigned slot = 0; slot < 2 * n && count < cap; ++slot) {
+    const unsigned dim = slot / 2;
+    const bool plus = (slot % 2) == 0;
+    if (cube_.direction_minimal(s, pkt.dst, dim, plus)) continue;
+    const PortId port = KaryNCube::port_of(dim, plus);
+    if (port == in_port) continue;  // no immediate U-turn
+    // Mesh edges: the port exists but leads nowhere.
+    if (sw.port(port).peer.kind != PeerKind::kSwitch) continue;
+    out[count++] = AdaptiveCandidate{
+        port, slot,
+        cube_.crosses_wraparound(s, dim, plus) ? (1U << dim) : 0U};
+  }
+  return count;
+}
+
+EscapeHop CubeEscape::escape_hop(const Switch& sw, const Packet& pkt) const {
+  const SwitchId s = sw.id();
+  // Lowest unfinished dimension first (only called when s != dst).
+  unsigned dim = 0;
+  while (dim + 1 < cube_.dimensions() &&
+         cube_.coord(s, dim) == cube_.coord(pkt.dst, dim)) {
+    ++dim;
+  }
+  const bool plus = cube_.dor_direction(s, pkt.dst, dim);
+  const bool crossing = cube_.crosses_wraparound(s, dim, plus);
+  const bool after_dateline =
+      crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;
+  return EscapeHop{KaryNCube::port_of(dim, plus), after_dateline ? 1U : 0U,
+                   crossing ? (1U << dim) : 0U};
+}
+
+// ---- mixed-radix torus --------------------------------------------------
+
+std::optional<PortId> TorusEscape::eject_port(const Switch& sw,
+                                              const Packet& pkt) const {
+  if (sw.id() != pkt.dst) return std::nullopt;
+  return torus_.local_port();
+}
+
+unsigned TorusEscape::minimal_candidates(const Switch& sw, const Packet& pkt,
+                                         AdaptiveCandidate* out,
+                                         unsigned cap) const {
+  const SwitchId s = sw.id();
+  const unsigned n = torus_.dims();
+  unsigned count = 0;
+  for (unsigned slot = 0; slot < 2 * n && count < cap; ++slot) {
+    const unsigned dim = slot / 2;
+    const bool plus = (slot % 2) == 0;
+    if (!torus_.direction_minimal(s, pkt.dst, dim, plus)) continue;
+    out[count++] = AdaptiveCandidate{
+        MixedRadixTorus::port_of(dim, plus), slot,
+        torus_.crosses_wraparound(s, dim, plus) ? (1U << dim) : 0U};
+  }
+  return count;
+}
+
+unsigned TorusEscape::misroute_candidates(const Switch& sw, PortId in_port,
+                                          const Packet& pkt,
+                                          AdaptiveCandidate* out,
+                                          unsigned cap) const {
+  const SwitchId s = sw.id();
+  const unsigned n = torus_.dims();
+  unsigned count = 0;
+  for (unsigned slot = 0; slot < 2 * n && count < cap; ++slot) {
+    const unsigned dim = slot / 2;
+    const bool plus = (slot % 2) == 0;
+    if (torus_.direction_minimal(s, pkt.dst, dim, plus)) continue;
+    const PortId port = MixedRadixTorus::port_of(dim, plus);
+    if (port == in_port) continue;  // no immediate U-turn
+    out[count++] = AdaptiveCandidate{
+        port, slot,
+        torus_.crosses_wraparound(s, dim, plus) ? (1U << dim) : 0U};
+  }
+  return count;
+}
+
+EscapeHop TorusEscape::escape_hop(const Switch& sw, const Packet& pkt) const {
+  const SwitchId s = sw.id();
+  // Lowest unfinished dimension first (only called when s != dst).
+  unsigned dim = 0;
+  while (dim + 1 < torus_.dims() &&
+         torus_.coord(s, dim) == torus_.coord(pkt.dst, dim)) {
+    ++dim;
+  }
+  const bool plus = torus_.dor_direction(s, pkt.dst, dim);
+  const bool crossing = torus_.crosses_wraparound(s, dim, plus);
+  const bool after_dateline =
+      crossing || ((pkt.wrap_mask >> dim) & 1U) != 0;
+  return EscapeHop{MixedRadixTorus::port_of(dim, plus),
+                   after_dateline ? 1U : 0U, crossing ? (1U << dim) : 0U};
+}
+
+// ---- two-level fat-tree / Clos ------------------------------------------
+
+unsigned UpDownEscape::candidate_slots(const Switch& sw,
+                                       const Packet& pkt) const {
+  if (fabric_.is_spine(sw.id())) return fabric_.rails();
+  if (fabric_.leaf_of(pkt.dst) == sw.id()) return 1;  // delivery, no scan
+  return fabric_.up_port_count();
+}
+
+std::optional<PortId> UpDownEscape::eject_port(const Switch& sw,
+                                               const Packet& pkt) const {
+  if (fabric_.is_spine(sw.id())) return std::nullopt;
+  if (fabric_.leaf_of(pkt.dst) != sw.id()) return std::nullopt;
+  return fabric_.terminal_port(pkt.dst);
+}
+
+unsigned UpDownEscape::minimal_candidates(const Switch& sw, const Packet& pkt,
+                                          AdaptiveCandidate* out,
+                                          unsigned cap) const {
+  unsigned count = 0;
+  if (fabric_.is_spine(sw.id())) {
+    // Descend on any rail to the unique destination leaf.
+    const SwitchId dst_leaf = fabric_.leaf_of(pkt.dst);
+    for (unsigned rail = 0; rail < fabric_.rails() && count < cap; ++rail) {
+      out[count++] =
+          AdaptiveCandidate{fabric_.down_port(dst_leaf, rail), rail, 0};
+    }
+    return count;
+  }
+  // Ascend: any spine rail is minimal.
+  for (unsigned i = 0; i < fabric_.up_port_count() && count < cap; ++i) {
+    out[count++] = AdaptiveCandidate{
+        static_cast<PortId>(fabric_.up_port_base() + i), i, 0};
+  }
+  return count;
+}
+
+EscapeHop UpDownEscape::escape_hop(const Switch& sw, const Packet& pkt) const {
+  if (fabric_.is_spine(sw.id())) {
+    const SwitchId dst_leaf = fabric_.leaf_of(pkt.dst);
+    return EscapeHop{fabric_.down_port(dst_leaf, pkt.dst % fabric_.rails()),
+                     0, 0};
+  }
+  // Destination-hashed up rail: deterministic per packet, load spread
+  // across the spines without any shared state.
+  std::uint64_t state = std::uint64_t{pkt.dst} * 0x9e3779b97f4a7c15ULL + 1;
+  const unsigned rail =
+      static_cast<unsigned>(splitmix64(state) % fabric_.up_port_count());
+  return EscapeHop{static_cast<PortId>(fabric_.up_port_base() + rail), 0, 0};
+}
+
+// ---- k-ary n-tree -------------------------------------------------------
+
+unsigned TreeEscape::candidate_slots(const Switch& sw,
+                                     const Packet& pkt) const {
+  if (tree_.is_ancestor(sw.id(), pkt.dst)) return 1;  // unique descent
+  return tree_.radix();
+}
+
+std::optional<PortId> TreeEscape::eject_port(const Switch& sw,
+                                             const Packet& pkt) const {
+  if (!tree_.is_ancestor(sw.id(), pkt.dst)) return std::nullopt;
+  const PortId port = tree_.down_port_towards(sw.id(), pkt.dst);
+  if (sw.port(port).peer.kind != PeerKind::kTerminal) return std::nullopt;
+  return port;
+}
+
+unsigned TreeEscape::minimal_candidates(const Switch& sw, const Packet& pkt,
+                                        AdaptiveCandidate* out,
+                                        unsigned cap) const {
+  if (tree_.is_ancestor(sw.id(), pkt.dst)) {
+    // Descending phase: the down port is unique; only the lane is free.
+    if (cap == 0) return 0;
+    out[0] = AdaptiveCandidate{tree_.down_port_towards(sw.id(), pkt.dst), 0,
+                               0};
+    return 1;
+  }
+  const unsigned k = tree_.radix();
+  unsigned count = 0;
+  for (unsigned i = 0; i < k && count < cap; ++i) {
+    out[count++] = AdaptiveCandidate{static_cast<PortId>(k + i), i, 0};
+  }
+  return count;
+}
+
+EscapeHop TreeEscape::escape_hop(const Switch& sw, const Packet& pkt) const {
+  if (tree_.is_ancestor(sw.id(), pkt.dst)) {
+    return EscapeHop{tree_.down_port_towards(sw.id(), pkt.dst), 0, 0};
+  }
+  // Destination-hashed ascent: deterministic, so the escape CDG is a fixed
+  // acyclic up-then-down order.
+  std::uint64_t state = std::uint64_t{pkt.dst} * 0x9e3779b97f4a7c15ULL + 1;
+  const unsigned up =
+      static_cast<unsigned>(splitmix64(state) % tree_.radix());
+  return EscapeHop{static_cast<PortId>(tree_.radix() + up), 0, 0};
+}
+
+// ---- provider registry --------------------------------------------------
+
+std::unique_ptr<EscapeRouting> make_escape_routing(const std::string& key,
+                                                   const Topology& topo,
+                                                   std::string* error) {
+  if (key == "cube-dor") {
+    if (const auto* cube = dynamic_cast<const KaryNCube*>(&topo)) {
+      return std::make_unique<CubeEscape>(*cube);
+    }
+  } else if (key == "torus-dor") {
+    if (const auto* torus = dynamic_cast<const MixedRadixTorus*>(&topo)) {
+      return std::make_unique<TorusEscape>(*torus);
+    }
+  } else if (key == "updown") {
+    if (const auto* fabric = dynamic_cast<const TwoLevelFatTree*>(&topo)) {
+      return std::make_unique<UpDownEscape>(*fabric);
+    }
+  } else if (key == "tree-updown") {
+    if (const auto* tree = dynamic_cast<const KaryNTree*>(&topo)) {
+      return std::make_unique<TreeEscape>(*tree);
+    }
+  } else {
+    if (error != nullptr) {
+      *error = "unknown escape-routing key '" + key +
+               "' (known: cube-dor, torus-dor, updown, tree-updown)";
+    }
+    return nullptr;
+  }
+  if (error != nullptr) {
+    *error = "escape-routing key '" + key +
+             "' does not match the concrete type of topology '" +
+             topo.name() + "'";
+  }
+  return nullptr;
+}
+
+}  // namespace smart

@@ -1,0 +1,229 @@
+// Escape-routing providers: the deterministic, deadlock-free subnetwork a
+// topology contributes to the composable adaptive core (Duato's
+// methodology, generalized beyond the hypercube).
+//
+// An EscapeRouting answers four questions about a (switch, packet) pair:
+// has the packet arrived (eject port), which outputs are minimal adaptive
+// candidates, which outputs would be legal one-time misroutes, and what is
+// THE deterministic escape hop plus its virtual network. The provider is
+// fault-blind: the adaptive core filters candidates by link health and
+// owns the unroutable decision, so each provider is pure topology
+// geometry. Four providers ship here:
+//
+//   cube-dor    dimension-order on the k-ary n-cube/mesh, 2 dateline VNs
+//   torus-dor   dimension-order on the mixed-radix torus, 2 dateline VNs
+//   updown      up*/down* on the two-level fat-tree / Clos, 1 VN
+//   tree-updown deterministic ascent + unique descent on the k-ary
+//               n-tree, 1 VN
+//
+// Each escape subnetwork's channel dependency graph is acyclic (DOR with
+// dateline virtual networks; up-then-down orderings), which is the whole
+// deadlock-freedom argument of the composed algorithm — see
+// docs/ROUTING.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "router/flit.hpp"
+#include "router/switch.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/kary_ntree.hpp"
+#include "topology/mixed_radix_torus.hpp"
+#include "topology/topology.hpp"
+#include "topology/two_level_fattree.hpp"
+
+namespace smart {
+
+/// One adaptive candidate: the output port, the provider's direction-slot
+/// index (a stable position in a per-provider slot space; the selection
+/// policies rotate their scan start over it), and the dateline bits to OR
+/// into Packet::wrap_mask when the candidate wins.
+struct AdaptiveCandidate {
+  PortId port = 0;
+  unsigned slot = 0;
+  std::uint32_t wrap_bits = 0;
+};
+
+/// The deterministic escape hop: output port, the escape virtual network
+/// selected by the provider's dateline rule, and the wrap bits to set once
+/// a lane on the hop is actually taken.
+struct EscapeHop {
+  PortId port = 0;
+  unsigned vn = 0;
+  std::uint32_t wrap_bits = 0;
+};
+
+class EscapeRouting {
+ public:
+  virtual ~EscapeRouting() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Escape virtual networks required (cube/torus datelines need 2,
+  /// up-then-down orderings need 1).
+  [[nodiscard]] virtual unsigned virtual_networks() const = 0;
+
+  /// Upper bound of candidate_slots() over all switches (buffer sizing).
+  [[nodiscard]] virtual unsigned max_candidate_slots() const = 0;
+
+  /// Size of the direction-slot space at `sw` for `pkt`; scan starts are
+  /// taken modulo it.
+  [[nodiscard]] virtual unsigned candidate_slots(const Switch& sw,
+                                                 const Packet& pkt) const = 0;
+
+  /// The delivery port when the packet has arrived; nullopt otherwise.
+  [[nodiscard]] virtual std::optional<PortId> eject_port(
+      const Switch& sw, const Packet& pkt) const = 0;
+
+  /// Writes the minimal adaptive candidates into out[0..cap) in ascending
+  /// slot order and returns the count. Fault-blind by contract.
+  virtual unsigned minimal_candidates(const Switch& sw, const Packet& pkt,
+                                      AdaptiveCandidate* out,
+                                      unsigned cap) const = 0;
+
+  /// Non-minimal candidates for a one-time misroute (never back out the
+  /// input port). Default: none — indirect networks keep their up*/down*
+  /// order on the adaptive lanes too.
+  virtual unsigned misroute_candidates(const Switch& sw, PortId in_port,
+                                       const Packet& pkt,
+                                       AdaptiveCandidate* out,
+                                       unsigned cap) const {
+    (void)sw;
+    (void)in_port;
+    (void)pkt;
+    (void)out;
+    (void)cap;
+    return 0;
+  }
+
+  /// The deterministic escape hop. Only called when eject_port() is empty.
+  [[nodiscard]] virtual EscapeHop escape_hop(const Switch& sw,
+                                             const Packet& pkt) const = 0;
+};
+
+/// Dimension-order escape on the k-ary n-cube/mesh (2 dateline VNs).
+/// Slot 2d is dimension d in the + direction, slot 2d+1 the - direction —
+/// the exact candidate order of the original CubeDuatoRouting.
+class CubeEscape final : public EscapeRouting {
+ public:
+  explicit CubeEscape(const KaryNCube& cube) : cube_(cube) {}
+
+  [[nodiscard]] std::string name() const override { return "cube DOR"; }
+  [[nodiscard]] unsigned virtual_networks() const override { return 2; }
+  [[nodiscard]] unsigned max_candidate_slots() const override {
+    return 2 * cube_.dimensions();
+  }
+  [[nodiscard]] unsigned candidate_slots(const Switch&,
+                                         const Packet&) const override {
+    return 2 * cube_.dimensions();
+  }
+  [[nodiscard]] std::optional<PortId> eject_port(
+      const Switch& sw, const Packet& pkt) const override;
+  unsigned minimal_candidates(const Switch& sw, const Packet& pkt,
+                              AdaptiveCandidate* out,
+                              unsigned cap) const override;
+  unsigned misroute_candidates(const Switch& sw, PortId in_port,
+                               const Packet& pkt, AdaptiveCandidate* out,
+                               unsigned cap) const override;
+  [[nodiscard]] EscapeHop escape_hop(const Switch& sw,
+                                     const Packet& pkt) const override;
+
+ private:
+  const KaryNCube& cube_;
+};
+
+/// Dimension-order escape on the mixed-radix torus (2 dateline VNs); the
+/// same slot convention as CubeEscape with per-dimension radices.
+class TorusEscape final : public EscapeRouting {
+ public:
+  explicit TorusEscape(const MixedRadixTorus& torus) : torus_(torus) {}
+
+  [[nodiscard]] std::string name() const override { return "torus DOR"; }
+  [[nodiscard]] unsigned virtual_networks() const override { return 2; }
+  [[nodiscard]] unsigned max_candidate_slots() const override {
+    return 2 * torus_.dims();
+  }
+  [[nodiscard]] unsigned candidate_slots(const Switch&,
+                                         const Packet&) const override {
+    return 2 * torus_.dims();
+  }
+  [[nodiscard]] std::optional<PortId> eject_port(
+      const Switch& sw, const Packet& pkt) const override;
+  unsigned minimal_candidates(const Switch& sw, const Packet& pkt,
+                              AdaptiveCandidate* out,
+                              unsigned cap) const override;
+  unsigned misroute_candidates(const Switch& sw, PortId in_port,
+                               const Packet& pkt, AdaptiveCandidate* out,
+                               unsigned cap) const override;
+  [[nodiscard]] EscapeHop escape_hop(const Switch& sw,
+                                     const Packet& pkt) const override;
+
+ private:
+  const MixedRadixTorus& torus_;
+};
+
+/// Up*/down* escape on the two-level fat-tree / Clos (1 VN): the escape up
+/// rail and down rail are hashed from the destination, adaptive candidates
+/// are every up rail (leaf) or every rail to the destination leaf (spine).
+class UpDownEscape final : public EscapeRouting {
+ public:
+  explicit UpDownEscape(const TwoLevelFatTree& fabric) : fabric_(fabric) {}
+
+  [[nodiscard]] std::string name() const override { return "up*/down*"; }
+  [[nodiscard]] unsigned virtual_networks() const override { return 1; }
+  [[nodiscard]] unsigned max_candidate_slots() const override {
+    return std::max(fabric_.up_port_count(), fabric_.rails());
+  }
+  [[nodiscard]] unsigned candidate_slots(const Switch& sw,
+                                         const Packet& pkt) const override;
+  [[nodiscard]] std::optional<PortId> eject_port(
+      const Switch& sw, const Packet& pkt) const override;
+  unsigned minimal_candidates(const Switch& sw, const Packet& pkt,
+                              AdaptiveCandidate* out,
+                              unsigned cap) const override;
+  [[nodiscard]] EscapeHop escape_hop(const Switch& sw,
+                                     const Packet& pkt) const override;
+
+ private:
+  const TwoLevelFatTree& fabric_;
+};
+
+/// Up*/down* escape on the k-ary n-tree (1 VN): deterministic ascent port
+/// hashed from the destination, unique descent; adaptive candidates are
+/// all k up ports while ascending.
+class TreeEscape final : public EscapeRouting {
+ public:
+  explicit TreeEscape(const KaryNTree& tree) : tree_(tree) {}
+
+  [[nodiscard]] std::string name() const override { return "tree up*/down*"; }
+  [[nodiscard]] unsigned virtual_networks() const override { return 1; }
+  [[nodiscard]] unsigned max_candidate_slots() const override {
+    return tree_.radix();
+  }
+  [[nodiscard]] unsigned candidate_slots(const Switch& sw,
+                                         const Packet& pkt) const override;
+  [[nodiscard]] std::optional<PortId> eject_port(
+      const Switch& sw, const Packet& pkt) const override;
+  unsigned minimal_candidates(const Switch& sw, const Packet& pkt,
+                              AdaptiveCandidate* out,
+                              unsigned cap) const override;
+  [[nodiscard]] EscapeHop escape_hop(const Switch& sw,
+                                     const Packet& pkt) const override;
+
+ private:
+  const KaryNTree& tree_;
+};
+
+/// Builds the provider registered under `key` ("cube-dor", "torus-dor",
+/// "updown", "tree-updown") for `topo`, or null with a message in *error
+/// when the key is unknown or the topology's concrete type does not match.
+/// The registry stores the string key (TopologyFamily::escape_routing) so
+/// the topology/synth layers stay free of routing types.
+[[nodiscard]] std::unique_ptr<EscapeRouting> make_escape_routing(
+    const std::string& key, const Topology& topo, std::string* error);
+
+}  // namespace smart

@@ -1,0 +1,191 @@
+#include "routing/escape_adaptive.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+namespace {
+
+/// Stack bound on one switch's candidate list; far above any registered
+/// family (a 32-dim torus has 64 direction slots, a 4K fat-tree leaf a few
+/// hundred up rails).
+constexpr unsigned kMaxAdaptiveCandidates = 512;
+
+}  // namespace
+
+EscapeAdaptiveRouting::EscapeAdaptiveRouting(
+    const Topology& topo, std::unique_ptr<EscapeRouting> escape, unsigned vcs,
+    Options options)
+    : escape_(std::move(escape)),
+      vcs_(vcs),
+      adaptive_(vcs / 2),
+      options_(options),
+      select_(options.selection, topo.switch_count(), topo.ports_per_switch(),
+              options.seed),
+      counters_(topo.switch_count()) {
+  SMART_CHECK(escape_ != nullptr);
+  const unsigned vns = escape_->virtual_networks();
+  SMART_CHECK_MSG(
+      adaptive_ >= 1 && vcs_ > adaptive_ && (vcs_ - adaptive_) >= vns &&
+          (vcs_ - adaptive_) % vns == 0,
+      "escape-adaptive routing needs >= 1 adaptive lane and an equal "
+      "number of escape lanes per escape virtual network");
+  escape_per_vn_ = (vcs_ - adaptive_) / vns;
+  SMART_CHECK_MSG(escape_->max_candidate_slots() <= kMaxAdaptiveCandidates,
+                  "escape provider exceeds the adaptive candidate bound");
+}
+
+std::string EscapeAdaptiveRouting::name() const {
+  return "escape-adaptive(" + escape_->name() + ", " +
+         to_string(select_.kind()) + (options_.misroute ? ", misroute" : "") +
+         ") " + std::to_string(vcs_) + "vc";
+}
+
+std::optional<OutputChoice> EscapeAdaptiveRouting::pick(
+    Switch& sw, PortId in_port, const AdaptiveCandidate* candidates,
+    unsigned count, unsigned slots, std::uint32_t* wrap_bits) {
+  if (count == 0) return std::nullopt;
+  const unsigned start = select_.scan_start(sw, in_port, slots);
+  // Candidates arrive in ascending slot order; starting at the first slot
+  // >= start and wrapping visits them in exactly the rotated order a
+  // modular scan over the full slot space would.
+  unsigned first = 0;
+  while (first < count && candidates[first].slot < start) ++first;
+  if (first == count) first = 0;
+
+  const bool credit_scored = select_.credit_scored();
+  const bool stall_scored = select_.kind() == SelectionKind::kStallEwma;
+  std::optional<OutputChoice> best;
+  std::int64_t best_score = 0;
+  for (unsigned j = 0; j < count; ++j) {
+    const AdaptiveCandidate& cand = candidates[(first + j) % count];
+    const SwitchPort& port = sw.port(cand.port);
+    const auto lane = best_bindable_lane(port, 0, adaptive_);
+    if (!lane) continue;
+    std::int64_t score;
+    if (credit_scored) {
+      // Credit depth of the best lane; one credit always outweighs the
+      // (sub-2^20) stall-history penalty of the downstream switch.
+      score = static_cast<std::int64_t>(port.out[*lane].credits) << 20;
+      if (stall_scored && port.peer.kind == PeerKind::kSwitch) {
+        score -= select_.penalty(port.peer.id);
+      }
+    } else {
+      // Positional policies rank by free adaptive lanes; the scan order
+      // (affine/rotating/random start) is the fair choice among ties.
+      unsigned free_lanes = 0;
+      for (unsigned l = 0; l < adaptive_; ++l) {
+        if (port.out[l].bindable()) ++free_lanes;
+      }
+      score = free_lanes;
+    }
+    if (!best || score > best_score) {
+      best = OutputChoice{cand.port, *lane};
+      best_score = score;
+      *wrap_bits = cand.wrap_bits;
+    }
+  }
+  return best;
+}
+
+std::optional<OutputChoice> EscapeAdaptiveRouting::route(
+    Switch& sw, PortId in_port, unsigned /*in_lane*/, Packet& pkt,
+    std::uint64_t /*cycle*/) {
+  if (const auto eject = escape_->eject_port(sw, pkt)) {
+    const auto lane =
+        best_bindable_lane(sw.port(*eject), 0,
+                           static_cast<unsigned>(sw.port(*eject).out.size()));
+    if (!lane) return std::nullopt;
+    return OutputChoice{*eject, *lane};
+  }
+
+  // Adaptive lanes first: any link-healthy minimal candidate, ranked by
+  // the selection policy.
+  AdaptiveCandidate buf[kMaxAdaptiveCandidates];
+  const unsigned slots = escape_->candidate_slots(sw, pkt);
+  unsigned count =
+      escape_->minimal_candidates(sw, pkt, buf, kMaxAdaptiveCandidates);
+  bool healthy_adaptive = false;  ///< some minimal direction survives faults
+  if (faults_ != nullptr) {
+    unsigned healthy = 0;
+    for (unsigned i = 0; i < count; ++i) {
+      if (!link_ok(sw, buf[i].port)) continue;
+      buf[healthy++] = buf[i];  // keeps ascending slot order
+    }
+    count = healthy;
+  }
+  healthy_adaptive = count > 0;
+  std::uint32_t wrap_bits = 0;
+  if (auto choice = pick(sw, in_port, buf, count, slots, &wrap_bits)) {
+    pkt.wrap_mask |= wrap_bits;
+    ++counters_[sw.id()].adaptive;
+    return choice;
+  }
+
+  // One optional misroute before falling back: a non-minimal hop on the
+  // adaptive lanes, at most once per packet so progress stays bounded.
+  if (options_.misroute && pkt.misroutes == 0) {
+    unsigned mcount = escape_->misroute_candidates(sw, in_port, pkt, buf,
+                                                   kMaxAdaptiveCandidates);
+    if (faults_ != nullptr) {
+      unsigned healthy = 0;
+      for (unsigned i = 0; i < mcount; ++i) {
+        if (!link_ok(sw, buf[i].port)) continue;
+        buf[healthy++] = buf[i];
+      }
+      mcount = healthy;
+    }
+    if (auto choice = pick(sw, in_port, buf, mcount, slots, &wrap_bits)) {
+      pkt.wrap_mask |= wrap_bits;
+      ++pkt.misroutes;
+      ++counters_[sw.id()].misroute;
+      return choice;
+    }
+  }
+
+  // Escape path: the deterministic hop, restricted to the escape lanes of
+  // the provider-selected virtual network. The escape subnetwork is never
+  // rerouted around faults — that is what keeps it deadlock-free — so a
+  // faulted escape hop either stalls the packet (healthy adaptive links
+  // remain: wait for one of their lanes) or, when the faults severed every
+  // minimal direction, makes it unroutable.
+  const EscapeHop hop = escape_->escape_hop(sw, pkt);
+  if (!link_ok(sw, hop.port)) {
+    if (!healthy_adaptive) pkt.unroutable = true;
+    return std::nullopt;
+  }
+  const unsigned lane_base = adaptive_ + hop.vn * escape_per_vn_;
+  const auto lane = best_bindable_lane(sw.port(hop.port), lane_base,
+                                       escape_per_vn_);
+  if (!lane) return std::nullopt;
+  pkt.wrap_mask |= hop.wrap_bits;
+  ++counters_[sw.id()].escape;
+  return OutputChoice{hop.port, *lane};
+}
+
+double EscapeAdaptiveRouting::escape_pressure(const Switch& sw) const {
+  unsigned lanes = 0;
+  unsigned starved = 0;
+  for (PortId p = 0; p < sw.port_count(); ++p) {
+    const SwitchPort& port = sw.port(p);
+    if (port.peer.kind != PeerKind::kSwitch) continue;
+    if (port.out.size() < vcs_) continue;
+    for (unsigned l = adaptive_; l < vcs_; ++l) {
+      ++lanes;
+      if (port.out[l].credits == 0) ++starved;
+    }
+  }
+  if (lanes == 0) return 0.0;
+  return static_cast<double>(starved) / static_cast<double>(lanes);
+}
+
+RoutingStats EscapeAdaptiveRouting::stats() const {
+  RoutingStats total;
+  for (const SwitchCounters& c : counters_) {
+    total.adaptive_headers += c.adaptive;
+    total.escape_headers += c.escape;
+    total.misroute_headers += c.misroute;
+  }
+  return total;
+}
+
+}  // namespace smart

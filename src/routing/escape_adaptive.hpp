@@ -1,0 +1,106 @@
+// Composable escape-channel adaptive routing (Duato's methodology for any
+// topology with a deterministic deadlock-free subnetwork).
+//
+// Each link's V virtual channels split into V/2 adaptive lanes and the
+// rest escape lanes, one block per escape virtual network. A header may
+// take ANY adaptive lane of a minimal candidate the provider emits (plus,
+// with Options::misroute, one non-minimal hop per packet); when no
+// adaptive lane is bindable it falls back to THE escape hop, restricted to
+// the escape lanes of the provider-selected virtual network. Channel
+// allocation is non-monotonic: a packet on the escape lanes re-enters the
+// adaptive ones at the next hop whenever one is free. Deadlock freedom is
+// the extended-CDG argument (docs/ROUTING.md): every blocked header can
+// always wait on its escape lane, and the escape subnetwork's own CDG is
+// acyclic by construction.
+//
+// Candidate ranking is the pluggable SelectionPolicy (selection.hpp):
+// credit depth (Duato's original), credit depth tie-broken by downstream
+// stall history, or the positional tie-breaks (salted affine / rotating /
+// random) over the free-lane count. With CubeEscape + kMostCredits this
+// class reproduces the original CubeDuatoRouting decision for decision —
+// CubeDuatoRouting is now a thin instantiation (cube_duato.hpp) and the
+// engine-refactor goldens pin the equivalence bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "routing/escape.hpp"
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+
+namespace smart {
+
+/// Tuning knobs of the escape-adaptive core (namespace scope so the
+/// constructor's default argument works — a nested class's member
+/// initializers would not be usable there yet).
+struct EscapeAdaptiveOptions {
+  SelectionKind selection = SelectionKind::kMostCredits;
+  /// Allow one non-minimal hop per packet when every minimal adaptive
+  /// lane is taken (direct topologies only; indirect providers emit no
+  /// misroute candidates).
+  bool misroute = false;
+  /// Feeds the kRandom selection streams; ignored otherwise.
+  std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+};
+
+class EscapeAdaptiveRouting : public RoutingAlgorithm {
+ public:
+  using Options = EscapeAdaptiveOptions;
+
+  EscapeAdaptiveRouting(const Topology& topo,
+                        std::unique_ptr<EscapeRouting> escape, unsigned vcs,
+                        Options options = Options());
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId in_port,
+                                                  unsigned in_lane, Packet& pkt,
+                                                  std::uint64_t cycle) override;
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+  [[nodiscard]] bool is_minimal() const override { return !options_.misroute; }
+  /// Decisions depend only on the visited switch + packet: the selection
+  /// state is per-switch (RNG streams) or refreshed serially between
+  /// cycles (stall EWMA), and the per-switch decision counters are owned
+  /// by the visiting switch's shard.
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
+  void begin_cycle(std::uint64_t cycle,
+                   const StallCounters* stalls) override {
+    select_.begin_cycle(cycle, stalls);
+  }
+  [[nodiscard]] double escape_pressure(const Switch& sw) const override;
+  [[nodiscard]] RoutingStats stats() const override;
+
+  [[nodiscard]] SelectionKind selection() const noexcept {
+    return select_.kind();
+  }
+  [[nodiscard]] const EscapeRouting& escape() const noexcept {
+    return *escape_;
+  }
+
+ private:
+  /// Scans `count` link-healthy candidates in selection order and returns
+  /// the best (port, lane) with its wrap bits, or nullopt when no adaptive
+  /// lane is bindable anywhere.
+  [[nodiscard]] std::optional<OutputChoice> pick(
+      Switch& sw, PortId in_port, const AdaptiveCandidate* candidates,
+      unsigned count, unsigned slots, std::uint32_t* wrap_bits);
+
+  std::unique_ptr<EscapeRouting> escape_;
+  unsigned vcs_;
+  unsigned adaptive_;       ///< adaptive lanes per link (= V/2, lanes [0, adaptive))
+  unsigned escape_per_vn_;  ///< escape lanes per virtual network
+  Options options_;
+  SelectionState select_;
+
+  /// Per-switch decision counters, written only by the shard owning the
+  /// switch; stats() sums them in ascending id order (deterministic).
+  struct SwitchCounters {
+    std::uint64_t adaptive = 0;
+    std::uint64_t escape = 0;
+    std::uint64_t misroute = 0;
+  };
+  std::vector<SwitchCounters> counters_;
+};
+
+}  // namespace smart

@@ -19,10 +19,19 @@
 namespace smart {
 
 class FaultState;
+class StallCounters;
 
 struct OutputChoice {
   PortId port = 0;
   unsigned lane = 0;
+};
+
+/// Whole-run decision counters an algorithm may export (all zero for
+/// algorithms that do not distinguish decision classes).
+struct RoutingStats {
+  std::uint64_t adaptive_headers = 0;  ///< headers routed on adaptive lanes
+  std::uint64_t escape_headers = 0;    ///< headers that fell back to escape
+  std::uint64_t misroute_headers = 0;  ///< headers routed non-minimally
 };
 
 class RoutingAlgorithm {
@@ -72,6 +81,28 @@ class RoutingAlgorithm {
   /// serial pipeline. Defaults to false so extensions are serial until
   /// they opt in.
   [[nodiscard]] virtual bool concurrent_safe() const { return false; }
+
+  /// Serial per-cycle hook, called by the engine at the top of every cycle
+  /// before any routing (in both the serial and the sharded pipeline, so
+  /// thread-count bit-identity is preserved by construction). `stalls` is
+  /// the obs layer's per-port stall counters, or null when obs is off.
+  /// Algorithms with congestion state (the stall-history selection policy)
+  /// refresh it here; the default does nothing.
+  virtual void begin_cycle(std::uint64_t cycle, const StallCounters* stalls) {
+    (void)cycle;
+    (void)stalls;
+  }
+
+  /// Fraction of `sw`'s escape output lanes (network ports only) with zero
+  /// credits — the backpressure signal behind NIC injection throttling.
+  /// Algorithms without an escape layer report no pressure.
+  [[nodiscard]] virtual double escape_pressure(const Switch& sw) const {
+    (void)sw;
+    return 0.0;
+  }
+
+  /// Whole-run decision counters (see RoutingStats); default all-zero.
+  [[nodiscard]] virtual RoutingStats stats() const { return {}; }
 
  protected:
   /// True when the physical channel behind output port `port` of `sw`

@@ -1,0 +1,98 @@
+#include "routing/selection.hpp"
+
+#include <algorithm>
+
+#include "obs/counters.hpp"
+#include "util/check.hpp"
+
+namespace smart {
+namespace {
+
+/// EWMA refresh period in cycles. Coarse on purpose: real congestion
+/// persists across hundreds of cycles, and a long period keeps the serial
+/// per-cycle cost negligible.
+constexpr std::uint64_t kRefreshPeriod = 64;
+
+/// Penalty stays strictly below one credit step of the combined score
+/// (credits << 20), so stall history only orders candidates whose best
+/// lanes hold equal credits.
+constexpr std::int64_t kPenaltyCap = (std::int64_t{1} << 20) - 1;
+
+/// Gain on the per-period stall delta before it enters the EWMA.
+constexpr unsigned kGainShift = 8;
+
+}  // namespace
+
+bool parse_selection_key(const std::string& key, SelectionKind* out) {
+  if (key == "affine") *out = SelectionKind::kSaltedAffine;
+  else if (key == "rotating") *out = SelectionKind::kRotating;
+  else if (key == "random") *out = SelectionKind::kRandom;
+  else if (key == "credits") *out = SelectionKind::kMostCredits;
+  else if (key == "stall") *out = SelectionKind::kStallEwma;
+  else return false;
+  return true;
+}
+
+std::string selection_usage() {
+  return "valid --selection policies: affine | rotating | random | "
+         "credits | stall";
+}
+
+SelectionState::SelectionState(SelectionKind kind, std::size_t switch_count,
+                               std::size_t ports_per_switch,
+                               std::uint64_t seed)
+    : kind_(kind),
+      switch_count_(switch_count),
+      ports_per_switch_(ports_per_switch) {
+  if (kind_ == SelectionKind::kRandom) {
+    rngs_.reserve(switch_count_);
+    for (SwitchId s = 0; s < switch_count_; ++s) {
+      rngs_.emplace_back(mix_seed(seed, s));
+    }
+  }
+}
+
+unsigned SelectionState::scan_start(const Switch& sw, PortId in_port,
+                                    unsigned slots) {
+  SMART_DCHECK(slots > 0);
+  switch (kind_) {
+    case SelectionKind::kSaltedAffine: {
+      std::uint64_t salt_state = sw.id() * 0x9e3779b97f4a7c15ULL + 1;
+      const unsigned salt =
+          static_cast<unsigned>(splitmix64(salt_state) % slots);
+      return (in_port + salt) % slots;
+    }
+    case SelectionKind::kRotating:
+    // The credit-scored policies scan every candidate anyway; the rotating
+    // start only orders equal scores (Duato's rotating tie-break).
+    case SelectionKind::kMostCredits:
+    case SelectionKind::kStallEwma:
+      return sw.route_rr % slots;
+    case SelectionKind::kRandom:
+      return static_cast<unsigned>(rngs_[sw.id()].below(slots));
+  }
+  return 0;
+}
+
+void SelectionState::begin_cycle(std::uint64_t cycle,
+                                 const StallCounters* stalls) {
+  if (kind_ != SelectionKind::kStallEwma || stalls == nullptr) return;
+  if (ewma_.empty()) {
+    ewma_.assign(switch_count_, 0);
+    last_total_.assign(switch_count_, 0);
+  }
+  if (last_refresh_ != 0 && cycle - last_refresh_ < kRefreshPeriod) return;
+  last_refresh_ = cycle;
+  for (SwitchId s = 0; s < switch_count_; ++s) {
+    std::uint64_t total = 0;
+    for (PortId p = 0; p < ports_per_switch_; ++p) {
+      total += stalls->at(s, p).total();
+    }
+    const auto delta = static_cast<std::int64_t>(total - last_total_[s]);
+    last_total_[s] = total;
+    ewma_[s] = std::min((3 * ewma_[s] + (delta << kGainShift)) / 4,
+                        kPenaltyCap);
+  }
+}
+
+}  // namespace smart

@@ -1,0 +1,121 @@
+// Output-selection policies for adaptive routing (shared by the tree's
+// ascent tie-break and the generic escape-adaptive core).
+//
+// The paper specifies "the less loaded link ... (a fair choice is made when
+// more links are in a similar state)" but leaves both the load signal and
+// the fair choice open. This header unifies every policy the simulator
+// implements behind one enum + one state object:
+//
+//  * kSaltedAffine — scan starts at the output affine to the input port,
+//    offset by a per-switch hash. Stream-stable: back-to-back worms queue
+//    behind their predecessors, which keeps congestion-free permutations
+//    conflict-free (see DESIGN.md §6).
+//  * kRotating — per-switch round-robin start: maximal spreading, no
+//    stream stability.
+//  * kRandom — uniform start from the visiting switch's own RNG stream.
+//  * kMostCredits — rank candidates by the credit depth of their best
+//    lane (the classic local congestion signal; Duato's protocol uses it).
+//  * kStallEwma — credit depth, tie-broken by a decayed history of the
+//    downstream switch's stall counters from the obs layer: candidates
+//    whose far end has recently starved score lower. Needs --obs (the
+//    engine enables the counters automatically for this policy).
+//
+// All mutable state is per-switch (RNG streams) or refreshed serially
+// between cycles (the EWMA table, read-only during routing), so algorithms
+// built on SelectionState keep RoutingAlgorithm::concurrent_safe() true
+// and the engine's thread-count bit-identity holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "router/switch.hpp"
+#include "util/rng.hpp"
+
+namespace smart {
+
+class StallCounters;
+
+enum class SelectionKind : std::uint8_t {
+  kSaltedAffine,
+  kRotating,
+  kRandom,
+  kMostCredits,
+  kStallEwma,
+};
+
+/// Historical name: the tree's tie-break enum grew into the shared
+/// selection-policy set; existing TreeSelection::k... spellings compile on.
+using TreeSelection = SelectionKind;
+
+/// Inline so the obs layer (which does not link smart_routing) can echo
+/// the policy into run manifests.
+[[nodiscard]] inline std::string to_string(SelectionKind selection) {
+  switch (selection) {
+    case SelectionKind::kSaltedAffine: return "salted affine";
+    case SelectionKind::kRotating: return "rotating";
+    case SelectionKind::kRandom: return "random";
+    case SelectionKind::kMostCredits: return "most credits";
+    case SelectionKind::kStallEwma: return "stall EWMA";
+  }
+  return "unknown";
+}
+
+/// Parses a CLI key (affine|rotating|random|credits|stall) into *out.
+[[nodiscard]] bool parse_selection_key(const std::string& key,
+                                       SelectionKind* out);
+
+/// One-line listing of the valid CLI keys for error messages.
+[[nodiscard]] std::string selection_usage();
+
+/// Per-run selection state: scan starts for the tie-break policies and the
+/// stall-history EWMA behind kStallEwma.
+class SelectionState {
+ public:
+  /// `seed` feeds the kRandom streams (one per switch, derived by SplitMix64
+  /// seed mixing); ignored by the other policies, which draw nothing.
+  /// `ports_per_switch` sizes the stall-counter sweep for kStallEwma.
+  SelectionState(SelectionKind kind, std::size_t switch_count,
+                 std::size_t ports_per_switch, std::uint64_t seed);
+
+  [[nodiscard]] SelectionKind kind() const noexcept { return kind_; }
+
+  /// True when candidates are ranked by credit depth (kMostCredits,
+  /// kStallEwma) rather than by free-lane count with a positional start.
+  [[nodiscard]] bool credit_scored() const noexcept {
+    return kind_ == SelectionKind::kMostCredits ||
+           kind_ == SelectionKind::kStallEwma;
+  }
+
+  /// Where the candidate scan begins among `slots` direction slots at `sw`.
+  /// First-seen wins ties, so the start IS the fair choice.
+  [[nodiscard]] unsigned scan_start(const Switch& sw, PortId in_port,
+                                    unsigned slots);
+
+  /// Serial per-cycle hook (called by the engine before any routing):
+  /// refreshes the per-switch stall EWMA from the obs layer's counters.
+  /// Null `stalls` (obs disabled) leaves every penalty at zero.
+  void begin_cycle(std::uint64_t cycle, const StallCounters* stalls);
+
+  /// Congestion penalty of routing toward switch `peer` — the decayed
+  /// stall history of the candidate's far end. Bounded below 2^20 so one
+  /// credit of depth always outweighs any history (kStallEwma only;
+  /// zero for every other policy).
+  [[nodiscard]] std::int64_t penalty(SwitchId peer) const noexcept {
+    return ewma_.empty() ? 0 : ewma_[peer];
+  }
+
+ private:
+  SelectionKind kind_;
+  std::size_t switch_count_;
+  std::size_t ports_per_switch_;
+  /// kRandom streams, one per switch: touched only by the shard owning the
+  /// switch, and independent of the global route() call order.
+  std::vector<Rng> rngs_;
+  std::vector<std::int64_t> ewma_;          ///< kStallEwma history per switch
+  std::vector<std::uint64_t> last_total_;   ///< previous counter snapshot
+  std::uint64_t last_refresh_ = 0;
+};
+
+}  // namespace smart

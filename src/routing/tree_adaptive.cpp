@@ -5,21 +5,16 @@
 
 namespace smart {
 
-std::string to_string(TreeSelection selection) {
-  switch (selection) {
-    case TreeSelection::kSaltedAffine: return "salted affine";
-    case TreeSelection::kRotating: return "rotating";
-    case TreeSelection::kRandom: return "random";
-    case TreeSelection::kMostCredits: return "most credits";
-  }
-  return "unknown";
-}
-
 TreeAdaptiveRouting::TreeAdaptiveRouting(const KaryNTree& tree, unsigned vcs,
                                          TreeSelection selection,
                                          std::uint64_t seed)
     : tree_(tree), vcs_(vcs), selection_(selection) {
   SMART_CHECK(vcs >= 1);
+  // The stall-history policy needs the escape-adaptive core's serial
+  // refresh hook; the plain tree algorithm has no per-cycle state.
+  SMART_CHECK_MSG(selection_ != TreeSelection::kStallEwma,
+                  "tree adaptive routing does not support the stall-history "
+                  "selection policy");
   if (selection_ == TreeSelection::kRandom) {
     rngs_.reserve(tree_.switch_count());
     for (SwitchId s = 0; s < tree_.switch_count(); ++s) {
@@ -42,6 +37,7 @@ unsigned TreeAdaptiveRouting::scan_start(const Switch& sw, PortId in_port) {
     }
     case TreeSelection::kRotating:
     case TreeSelection::kMostCredits:
+    case TreeSelection::kStallEwma:  // rejected in the ctor; keep -Wswitch happy
       return sw.route_rr % k;
     case TreeSelection::kRandom:
       return static_cast<unsigned>(rngs_[sw.id()].below(k));

@@ -27,19 +27,11 @@
 #include <vector>
 
 #include "routing/routing.hpp"
+#include "routing/selection.hpp"
 #include "topology/kary_ntree.hpp"
 #include "util/rng.hpp"
 
 namespace smart {
-
-enum class TreeSelection : std::uint8_t {
-  kSaltedAffine,
-  kRotating,
-  kRandom,
-  kMostCredits,
-};
-
-[[nodiscard]] std::string to_string(TreeSelection selection);
 
 class TreeAdaptiveRouting final : public RoutingAlgorithm {
  public:

@@ -58,6 +58,8 @@ void register_cube_family(bool wraparound) {
                     ? "k-ary n-cube (torus), the paper's direct network"
                     : "k-ary n-mesh, the cube without wraparound links";
   fam.default_routing = "duato";
+  fam.routing_keys = {"det", "duato", "valiant", "escape"};
+  fam.escape_routing = "cube-dor";
   fam.build = [wraparound](const TopoSpec& spec,
                            std::string* error) -> std::unique_ptr<Topology> {
     unsigned k = 0;
@@ -77,6 +79,8 @@ void register_tree_family() {
   fam.grammar = "tree[:k=K,n=N]";
   fam.summary = "k-ary n-tree fat-tree, the paper's indirect network";
   fam.default_routing = "tree";
+  fam.routing_keys = {"tree", "escape"};
+  fam.escape_routing = "tree-updown";
   fam.build = [](const TopoSpec& spec,
                  std::string* error) -> std::unique_ptr<Topology> {
     unsigned k = 0;

@@ -55,6 +55,8 @@ void register_clos_family() {
   fam.grammar = "clos:m=M,n=N,r=R";
   fam.summary = "m x n x r Clos multistage network (folded fat-tree form)";
   fam.default_routing = "updown";
+  fam.routing_keys = {"updown", "escape"};
+  fam.escape_routing = "updown";
   fam.build = [](const TopoSpec& spec,
                  std::string* error) -> std::unique_ptr<Topology> {
     ClosDesign d;

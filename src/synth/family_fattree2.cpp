@@ -75,6 +75,8 @@ void register_fattree2_family() {
   fam.summary =
       "two-level fat-tree sized by leaf radix (director-class spines)";
   fam.default_routing = "updown";
+  fam.routing_keys = {"updown", "escape"};
+  fam.escape_routing = "updown";
   fam.build = [](const TopoSpec& spec,
                  std::string* error) -> std::unique_ptr<Topology> {
     FatTreeDesign d;

@@ -56,6 +56,8 @@ void register_tehcube_family() {
   fam.grammar = "tehcube:k=K,dims=D";
   fam.summary = "torus-embedded hypercube (k x k rings + binary dims)";
   fam.default_routing = "dor";
+  fam.routing_keys = {"dor", "escape"};
+  fam.escape_routing = "torus-dor";
   fam.build = [](const TopoSpec& spec,
                  std::string* error) -> std::unique_ptr<Topology> {
     std::vector<unsigned> radices;

@@ -93,6 +93,8 @@ void register_torus_family() {
   fam.grammar = "torus:nodes=N[,dims=D] | torus:radices=AxBxC";
   fam.summary = "auto-designed mixed-radix torus (near-equal factorization)";
   fam.default_routing = "dor";
+  fam.routing_keys = {"dor", "escape"};
+  fam.escape_routing = "torus-dor";
   fam.build = [](const TopoSpec& spec,
                  std::string* error) -> std::unique_ptr<Topology> {
     std::vector<unsigned> radices;

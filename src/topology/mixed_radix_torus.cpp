@@ -142,6 +142,17 @@ bool MixedRadixTorus::crosses_wraparound(SwitchId s, unsigned d,
   return plus ? (c == radices_[d] - 1) : (c == 0);
 }
 
+bool MixedRadixTorus::direction_minimal(SwitchId s, NodeId dst, unsigned d,
+                                        bool plus) const {
+  const unsigned k = radices_[d];
+  const unsigned cs = coord(s, d);
+  const unsigned cd = coord(dst, d);
+  if (cs == cd) return false;
+  const unsigned forward = (cd + k - cs) % k;
+  const unsigned dist = plus ? forward : k - forward;
+  return dist <= k - dist;
+}
+
 bool MixedRadixTorus::dor_direction(SwitchId s, NodeId dst, unsigned d) const {
   const unsigned k = radices_[d];
   const unsigned cs = coord(s, d);

@@ -100,6 +100,12 @@ class MixedRadixTorus final : public Topology {
   [[nodiscard]] bool crosses_wraparound(SwitchId s, unsigned d,
                                         bool plus) const;
 
+  /// True when stepping along (d, +/-) lies on a minimal path — the ring
+  /// distance in d shrinks (both directions qualify on a distance tie,
+  /// e.g. every radix-2 dimension). Same convention as KaryNCube.
+  [[nodiscard]] bool direction_minimal(SwitchId s, NodeId dst, unsigned d,
+                                       bool plus) const;
+
   /// The unique dimension-order direction along d (ties resolve to +);
   /// requires the coordinates to differ in dimension d.
   [[nodiscard]] bool dor_direction(SwitchId s, NodeId dst, unsigned d) const;

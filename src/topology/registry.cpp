@@ -140,6 +140,19 @@ std::string TopologyRegistry::usage() const {
   return out;
 }
 
+std::string TopologyRegistry::routing_usage() const {
+  std::string out = "valid --routing keys per family:\n";
+  for (const TopologyFamily& family : families_) {
+    out += "  " + family.name + ": ";
+    for (std::size_t i = 0; i < family.routing_keys.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += family.routing_keys[i];
+    }
+    out += " (default " + family.default_routing + ")\n";
+  }
+  return out;
+}
+
 std::unique_ptr<Topology> TopologyRegistry::build(const TopoSpec& spec,
                                                   std::string* error) const {
   const TopologyFamily* family = find(spec.family);

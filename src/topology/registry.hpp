@@ -87,8 +87,16 @@ struct TopologyFamily {
   /// One-line description for usage listings.
   std::string summary;
   /// Routing key the CLI defaults to for this family ("det", "duato",
-  /// "tree", "dor", "updown").
+  /// "tree", "dor", "updown", "escape").
   std::string default_routing;
+  /// Every routing key whose deadlock-freedom proof applies to this
+  /// family; the CLI rejects --routing values outside this set.
+  std::vector<std::string> routing_keys;
+  /// Escape-provider key for the composable escape-adaptive core
+  /// (resolved by make_escape_routing in src/routing/escape.hpp); empty
+  /// when the family supplies no deterministic escape subnetwork. A
+  /// string, not a factory, so this layer stays routing-free.
+  std::string escape_routing;
   /// Builds the fabric, or returns null with a message in *error on an
   /// invalid spec (unknown param, infeasible size, ...).
   std::function<std::unique_ptr<Topology>(const TopoSpec&,
@@ -116,6 +124,11 @@ class TopologyRegistry {
   /// Multi-line usage listing (one "name  grammar — summary" per family)
   /// for unknown-family error messages.
   [[nodiscard]] std::string usage() const;
+
+  /// Multi-line per-family listing of the valid --routing keys (one
+  /// "name: key, key, ... (default key)" per family) for unknown or
+  /// incompatible --routing error messages.
+  [[nodiscard]] std::string routing_usage() const;
 
   /// Looks up spec.family and builds it; null with a message in *error
   /// (including the usage listing for unknown families).

@@ -386,6 +386,45 @@ TEST(EngineThreads, Cube256TraceByteIdenticalMatrix) {
   std::remove(serial_path.c_str());
 }
 
+// The escape-adaptive core with the stall-history selection policy on a
+// 256-switch torus: the EWMA refresh runs serially between cycles from
+// shard-owned stall counters, so the sharded runs must stay bit-identical
+// (the stall feed itself is covered by the obs counters in the registry —
+// kStallEwma auto-enables them).
+TEST(EngineThreads, Torus256EscapeStallShardedMatrix) {
+  SimConfig config;
+  config.net.topology = std::string("torus");
+  config.net.topo_params = {{"nodes", "256"}};
+  config.net.routing = RoutingKind::kEscapeAdaptive;
+  config.net.selection = SelectionKind::kStallEwma;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  expect_thread_invariant(config, /*expect_sharded=*/true);
+}
+
+// Throttling feeds back into generation, so its hold sweep must also be
+// pipeline-invariant: it runs serially at the top of the cycle in both.
+TEST(EngineThreads, Torus256EscapeThrottledShardedMatrix) {
+  SimConfig config;
+  config.net.topology = std::string("torus");
+  config.net.topo_params = {{"nodes", "256"}};
+  config.net.routing = RoutingKind::kEscapeAdaptive;
+  config.net.misroute = true;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.85;
+  config.traffic.throttle = 0.25;
+  config.traffic.seed = 13;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 3000;
+  // Non-vacuity: the hold sweep must actually throttle at this load.
+  const SimulationResult serial = run_with_threads(config, 1);
+  ASSERT_GT(serial.nic_throttled_cycles, 0U);
+  expect_thread_invariant(config, /*expect_sharded=*/true);
+}
+
 // A custom algorithm that keeps the default concurrent_safe() == false:
 // delegates to DOR but, as far as the engine knows, may share state
 // across switches. Forces the serial pipeline even on a shardable fabric.
@@ -427,6 +466,41 @@ TEST(EngineThreads, MultipleFallbackReasonsReported) {
   EXPECT_NE(result.engine_path_reason.find("serial-fallback threshold"),
             std::string::npos)
       << result.engine_path_reason;
+}
+
+// Satellite fix check: the built-in adaptive algorithms are concurrent-
+// safe, so on a sub-threshold fabric with faults riding along the joined
+// reason must name every applicable size cause (threshold AND single
+// shard) and must NOT claim the routing is unsafe. Asserting substrings,
+// not one pinned string, keeps the test robust as causes evolve.
+void expect_sub_threshold_reasons(SimConfig config) {
+  config.engine_threads = 4;
+  config.faults.add_link(0, 0, 500, 2500);
+  Network network(config);
+  const SimulationResult result = network.run();
+  EXPECT_FALSE(result.engine_parallel);
+  EXPECT_NE(result.engine_path_reason.find("serial-fallback threshold"),
+            std::string::npos)
+      << result.engine_path_reason;
+  EXPECT_NE(result.engine_path_reason.find("single word-aligned shard"),
+            std::string::npos)
+      << result.engine_path_reason;
+  EXPECT_EQ(result.engine_path_reason.find("not concurrent-safe"),
+            std::string::npos)
+      << result.engine_path_reason;
+}
+
+TEST(EngineThreads, TreeAdaptiveFaultedSubThresholdJoinedReasons) {
+  SimConfig config = tree256_config();
+  config.net.n = 2;  // 4-ary 2-tree: 8 switches, far below the threshold
+  expect_sub_threshold_reasons(config);
+}
+
+TEST(EngineThreads, EscapeAdaptiveFaultedSubThresholdJoinedReasons) {
+  SimConfig config = cube256_config();
+  config.net.k = 4;  // 16 switches
+  config.net.routing = RoutingKind::kEscapeAdaptive;
+  expect_sub_threshold_reasons(config);
 }
 
 }  // namespace

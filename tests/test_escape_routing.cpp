@@ -1,0 +1,242 @@
+// Escape-adaptive routing across the topology registry (PR 8).
+//
+// The composable core (src/routing/escape_adaptive.hpp) promises deadlock
+// freedom on every family that registers an escape provider: the escape
+// subnetwork's channel dependency graph is acyclic and a blocked header
+// can always fall back to its escape lane. These smokes drive all four
+// synthesized families at 256 and 4K nodes to the horizon and then drain
+// the fabric completely — the deadlock watchdog (SimTiming::
+// deadlock_threshold) gates every run, so a cyclic wait shows up as a
+// verdict, not a hang. Selection-policy coverage, the misroute freedom,
+// the routing/ stats and the NIC injection throttle ride along.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/network.hpp"
+#include "routing/escape.hpp"
+#include "routing/escape_adaptive.hpp"
+#include "synth/families.hpp"
+#include "topology/registry.hpp"
+
+namespace smart {
+namespace {
+
+/// Base config for an escape-adaptive run of `spec` ("family:key=val,...").
+SimConfig escape_config(const std::string& spec) {
+  TopoSpec parsed;
+  std::string error;
+  EXPECT_TRUE(parse_topology_spec(spec, &parsed, &error)) << error;
+  SimConfig config;
+  config.net.topology = parsed.family;
+  config.net.topo_params = parsed.params;
+  config.net.routing = RoutingKind::kEscapeAdaptive;
+  config.traffic.offered_fraction = 0.6;
+  config.traffic.seed = 9;
+  config.timing.warmup_cycles = 200;
+  config.timing.horizon_cycles = 1500;
+  config.timing.drain_after_horizon = true;
+  return config;
+}
+
+/// Runs to the horizon and drains; any deadlock (or wedged drain) fails.
+SimulationResult expect_drains_clean(SimConfig config) {
+  Network network(config);
+  const SimulationResult result = network.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.stall_verdict, StallVerdict::kNone);
+  EXPECT_TRUE(result.drained_clean) << result.packets_in_flight_end
+                                    << " packet(s) left in flight";
+  EXPECT_EQ(result.packets_in_flight_end, 0U);
+  EXPECT_GT(result.delivered_packets, 0U);
+  EXPECT_EQ(result.unroutable_packets, 0U);
+  return result;
+}
+
+// ---- deadlock-freedom smokes: every registry family, 256 nodes ---------
+
+TEST(EscapeRouting, Torus256DrainsClean) {
+  const SimulationResult r = expect_drains_clean(escape_config("torus:nodes=256"));
+  EXPECT_GT(r.routing_adaptive_headers + r.routing_escape_headers, 0U);
+}
+
+TEST(EscapeRouting, Tehcube256DrainsClean) {
+  expect_drains_clean(escape_config("tehcube:k=4,dims=4"));
+}
+
+TEST(EscapeRouting, Fattree256DrainsClean) {
+  expect_drains_clean(escape_config("fattree2:nodes=256"));
+}
+
+TEST(EscapeRouting, Clos256DrainsClean) {
+  expect_drains_clean(escape_config("clos:m=4,n=8,r=32"));
+}
+
+// The paper families route escape-adaptive through the same registry hook.
+TEST(EscapeRouting, Cube256DrainsClean) {
+  SimConfig config = escape_config("cube");
+  config.net.k = 16;
+  config.net.n = 2;
+  expect_drains_clean(config);
+}
+
+TEST(EscapeRouting, Tree256DrainsClean) {
+  SimConfig config = escape_config("tree");
+  config.net.k = 4;
+  config.net.n = 4;
+  expect_drains_clean(config);
+}
+
+// ---- 4K-node smokes (sharded pipeline; acceptance floor of the PR) -----
+
+SimConfig escape_4k_config(const std::string& spec) {
+  SimConfig config = escape_config(spec);
+  config.timing.warmup_cycles = 100;
+  config.timing.horizon_cycles = 600;
+  config.engine_threads = 4;
+  return config;
+}
+
+TEST(EscapeRouting, Torus4kDrainsClean) {
+  const SimulationResult r =
+      expect_drains_clean(escape_4k_config("torus:nodes=4096"));
+  EXPECT_TRUE(r.engine_parallel) << r.engine_path_reason;
+}
+
+TEST(EscapeRouting, Tehcube4kDrainsClean) {
+  expect_drains_clean(escape_4k_config("tehcube:k=4,dims=8"));
+}
+
+TEST(EscapeRouting, Fattree4kDrainsClean) {
+  expect_drains_clean(escape_4k_config("fattree2:nodes=4096,radix=36"));
+}
+
+TEST(EscapeRouting, Clos4kDrainsClean) {
+  expect_drains_clean(escape_4k_config("clos:m=16,n=16,r=256"));
+}
+
+// ---- selection policies -------------------------------------------------
+
+TEST(EscapeRouting, EverySelectionPolicyDeliversOnTorus) {
+  for (const SelectionKind kind :
+       {SelectionKind::kSaltedAffine, SelectionKind::kRotating,
+        SelectionKind::kRandom, SelectionKind::kMostCredits,
+        SelectionKind::kStallEwma}) {
+    SimConfig config = escape_config("torus:nodes=64");
+    config.net.selection = kind;
+    const SimulationResult r = expect_drains_clean(config);
+    EXPECT_GT(r.routing_adaptive_headers, 0U) << to_string(kind);
+  }
+}
+
+// kStallEwma needs the obs stall counters; Network auto-enables them
+// (series off) when the user did not ask for observability.
+TEST(EscapeRouting, StallSelectionAutoEnablesObsCounters) {
+  SimConfig config = escape_config("torus:nodes=64");
+  config.net.selection = SelectionKind::kStallEwma;
+  ASSERT_FALSE(config.obs.enabled);
+  const SimulationResult r = expect_drains_clean(config);
+  EXPECT_TRUE(r.obs.enabled);
+}
+
+// ---- misroute freedom ---------------------------------------------------
+
+// Under heavy congestion the one-misroute option must actually fire (and
+// stay deadlock-free: the misroute burns before the escape fallback, never
+// instead of it).
+TEST(EscapeRouting, MisrouteFiresUnderCongestionAndDrains) {
+  SimConfig config = escape_config("torus:nodes=256");
+  config.net.misroute = true;
+  config.traffic.offered_fraction = 0.9;
+  const SimulationResult r = expect_drains_clean(config);
+  EXPECT_GT(r.routing_misroute_headers, 0U);
+  // Hop counts may exceed minimal, but each packet misroutes at most once.
+  EXPECT_LE(r.routing_misroute_headers, r.delivered_packets + r.generated_packets);
+}
+
+TEST(EscapeRouting, MisrouteOffKeepsMinimal) {
+  SimConfig config = escape_config("torus:nodes=64");
+  const SimulationResult r = expect_drains_clean(config);
+  EXPECT_EQ(r.routing_misroute_headers, 0U);
+}
+
+// ---- injection throttling ----------------------------------------------
+
+TEST(EscapeRouting, ThrottleEngagesUnderLoadAndDrains) {
+  SimConfig config = escape_config("torus:nodes=256");
+  config.traffic.offered_fraction = 0.9;
+  config.traffic.throttle = 0.25;
+  const SimulationResult r = expect_drains_clean(config);
+  EXPECT_GT(r.nic_throttled_cycles, 0U);
+}
+
+TEST(EscapeRouting, ThrottleIdleAtLowLoad) {
+  SimConfig config = escape_config("torus:nodes=64");
+  config.traffic.offered_fraction = 0.1;
+  config.traffic.throttle = 1.0;  // engages only on total escape exhaustion
+  const SimulationResult r = expect_drains_clean(config);
+  EXPECT_EQ(r.nic_throttled_cycles, 0U);
+}
+
+TEST(EscapeRouting, ThrottleRequiresEscapeRouting) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.throttle = 0.5;
+  EXPECT_DEATH(Network network(config), "escape-adaptive");
+}
+
+TEST(EscapeRouting, ThrottleRangeChecked) {
+  SimConfig config = escape_config("torus:nodes=64");
+  config.traffic.throttle = 1.5;
+  EXPECT_DEATH(Network network(config), "throttle");
+}
+
+// ---- provider resolution ------------------------------------------------
+
+TEST(EscapeRouting, UnknownEscapeKeyReturnsError) {
+  ensure_builtin_families();
+  std::string error;
+  auto topo = TopologyRegistry::instance().build(
+      SimConfig{}.net.topo_spec(), &error);
+  ASSERT_NE(topo, nullptr) << error;
+  auto escape = make_escape_routing("no-such-provider", *topo, &error);
+  EXPECT_EQ(escape, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(EscapeRouting, ProviderTopologyMismatchReturnsError) {
+  ensure_builtin_families();
+  std::string error;
+  auto topo = TopologyRegistry::instance().build(
+      SimConfig{}.net.topo_spec(), &error);  // a cube
+  ASSERT_NE(topo, nullptr) << error;
+  auto escape = make_escape_routing("updown", *topo, &error);
+  EXPECT_EQ(escape, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(EscapeRouting, NameReflectsComposition) {
+  ensure_builtin_families();
+  std::string error;
+  TopoSpec spec;
+  EXPECT_TRUE(parse_topology_spec("torus:nodes=64", &spec, &error));
+  auto topo = TopologyRegistry::instance().build(spec, &error);
+  ASSERT_NE(topo, nullptr) << error;
+  auto escape = make_escape_routing("torus-dor", *topo, &error);
+  ASSERT_NE(escape, nullptr) << error;
+  EscapeAdaptiveRouting::Options options;
+  options.misroute = true;
+  EscapeAdaptiveRouting routing(*topo, std::move(escape), /*vcs=*/4, options);
+  EXPECT_NE(routing.name().find("torus DOR"), std::string::npos)
+      << routing.name();
+  EXPECT_NE(routing.name().find("misroute"), std::string::npos)
+      << routing.name();
+  EXPECT_TRUE(routing.concurrent_safe());
+  EXPECT_FALSE(routing.is_minimal());
+}
+
+}  // namespace
+}  // namespace smart

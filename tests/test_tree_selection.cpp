@@ -16,7 +16,7 @@ SimConfig tree_config(TreeSelection selection, PatternKind pattern,
   config.net.n = 3;
   config.net.routing = RoutingKind::kTreeAdaptive;
   config.net.vcs = vcs;
-  config.net.tree_selection = selection;
+  config.net.selection = selection;
   config.traffic.pattern = pattern;
   config.traffic.offered_fraction = load;
   config.timing.warmup_cycles = 1000;
@@ -60,6 +60,7 @@ INSTANTIATE_TEST_SUITE_P(
         case TreeSelection::kRotating: return "Rotating";
         case TreeSelection::kRandom: return "Random";
         case TreeSelection::kMostCredits: return "MostCredits";
+        case TreeSelection::kStallEwma: break;  // escape-adaptive only
       }
       return "Unknown";
     });
@@ -83,6 +84,16 @@ TEST(TreeSelectionPolicy, Names) {
   EXPECT_EQ(to_string(TreeSelection::kRotating), "rotating");
   EXPECT_EQ(to_string(TreeSelection::kRandom), "random");
   EXPECT_EQ(to_string(TreeSelection::kMostCredits), "most credits");
+  EXPECT_EQ(to_string(SelectionKind::kStallEwma), "stall EWMA");
+}
+
+TEST(TreeSelectionPolicy, RejectsStallHistory) {
+  // The stall-history policy needs the escape-adaptive core's serial
+  // refresh hook; the plain tree algorithm rejects it at construction.
+  EXPECT_DEATH(
+      Network(tree_config(SelectionKind::kStallEwma, PatternKind::kUniform,
+                          0.3)),
+      "stall-history");
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "core/network.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
+#include "routing/selection.hpp"
 #include "synth/families.hpp"
 #include "topology/registry.hpp"
 
@@ -38,13 +39,22 @@ void usage() {
       "%s"
       "  --k <radix>                 (default 16 cube / 4 tree)\n"
       "  --n <dims|levels>           (default 2 cube / 4 tree)\n"
-      "  --routing det|duato|valiant|tree|dor|updown\n"
+      "  --routing det|duato|valiant|tree|dor|updown|escape\n"
       "                              (default: the family's deadlock-free\n"
-      "                              algorithm)\n",
-      TopologyRegistry::instance().usage().c_str());
+      "                              algorithm); %s"
+      "  --misroute                  escape routing only: allow one\n"
+      "                              non-minimal adaptive hop per packet\n"
+      "  --throttle <0..1>           escape routing only: NICs hold new\n"
+      "                              packets while the fraction of\n"
+      "                              zero-credit escape lanes at their\n"
+      "                              switch reaches the threshold\n",
+      TopologyRegistry::instance().usage().c_str(),
+      TopologyRegistry::instance().routing_usage().c_str());
   std::printf(
       "  --vcs <1|2|4|...>           virtual channels (default 4)\n"
-      "  --selection affine|rotating|random|credits   tree tie-break\n"
+      "  --selection affine|rotating|random|credits|stall\n"
+      "                              adaptive candidate ranking (stall is\n"
+      "                              escape routing only)\n"
       "  --pattern uniform|complement|bitrev|transpose|shuffle|tornado|\n"
       "            neighbor|randperm|hotspot            (default uniform)\n"
       "  --load <0..1>               offered fraction of capacity (default 0.5)\n"
@@ -120,35 +130,21 @@ bool parse_routing_key(const std::string& value, RoutingKind& out) {
   else if (value == "tree") out = RoutingKind::kTreeAdaptive;
   else if (value == "dor") out = RoutingKind::kTorusDor;
   else if (value == "updown") out = RoutingKind::kUpDown;
+  else if (value == "escape") out = RoutingKind::kEscapeAdaptive;
   else return false;
   return true;
 }
 
-/// Deadlock-freedom is per fabric: each family accepts only the routing
-/// algorithms whose proof applies to it.
-bool routing_compatible(const std::string& family, RoutingKind routing) {
-  if (family == "cube" || family == "mesh") {
-    return routing == RoutingKind::kCubeDeterministic ||
-           routing == RoutingKind::kCubeDuato ||
-           routing == RoutingKind::kCubeValiant;
+/// Deadlock-freedom is per fabric: each family lists the routing keys
+/// whose proof applies to it. An empty list (an externally registered
+/// plugin family) trusts the builder.
+bool routing_compatible(const TopologyFamily& family,
+                        const std::string& key) {
+  if (family.routing_keys.empty()) return true;
+  for (const std::string& valid : family.routing_keys) {
+    if (valid == key) return true;
   }
-  if (family == "tree") return routing == RoutingKind::kTreeAdaptive;
-  if (family == "torus" || family == "tehcube") {
-    return routing == RoutingKind::kTorusDor;
-  }
-  if (family == "fattree2" || family == "clos") {
-    return routing == RoutingKind::kUpDown;
-  }
-  return true;  // unknown plugin family: trust its builder
-}
-
-bool parse_selection(const std::string& value, TreeSelection& out) {
-  if (value == "affine") out = TreeSelection::kSaltedAffine;
-  else if (value == "rotating") out = TreeSelection::kRotating;
-  else if (value == "random") out = TreeSelection::kRandom;
-  else if (value == "credits") out = TreeSelection::kMostCredits;
-  else return false;
-  return true;
+  return false;
 }
 
 }  // namespace
@@ -157,6 +153,7 @@ int main(int argc, char** argv) {
   ensure_builtin_families();
   SimConfig config;
   std::string topology_arg = "cube";
+  std::string routing_key;
   bool routing_set = false;
   bool k_set = false;
   bool n_set = false;
@@ -200,17 +197,28 @@ int main(int argc, char** argv) {
       config.net.n = static_cast<unsigned>(std::atoi(next_value(i)));
       n_set = true;
     } else if (arg == "--routing") {
-      const std::string value = next_value(i);
+      routing_key = next_value(i);
       routing_set = true;
-      if (!parse_routing_key(value, config.net.routing)) {
-        std::fprintf(stderr, "unknown routing '%s'\n", value.c_str());
+      if (!parse_routing_key(routing_key, config.net.routing)) {
+        std::fprintf(stderr, "unknown routing '%s'\n%s", routing_key.c_str(),
+                     TopologyRegistry::instance().routing_usage().c_str());
         return 1;
       }
     } else if (arg == "--vcs") {
       config.net.vcs = static_cast<unsigned>(std::atoi(next_value(i)));
     } else if (arg == "--selection") {
-      if (!parse_selection(next_value(i), config.net.tree_selection)) {
-        std::fprintf(stderr, "unknown selection policy\n");
+      const std::string value = next_value(i);
+      if (!parse_selection_key(value, &config.net.selection)) {
+        std::fprintf(stderr, "unknown selection policy '%s'\n%s",
+                     value.c_str(), selection_usage().c_str());
+        return 1;
+      }
+    } else if (arg == "--misroute") {
+      config.net.misroute = true;
+    } else if (arg == "--throttle") {
+      config.traffic.throttle = std::atof(next_value(i));
+      if (config.traffic.throttle <= 0.0 || config.traffic.throttle > 1.0) {
+        std::fprintf(stderr, "--throttle must lie in (0, 1]\n");
         return 1;
       }
     } else if (arg == "--pattern") {
@@ -317,19 +325,38 @@ int main(int argc, char** argv) {
     if (!k_set) config.net.k = 4;
     if (!n_set) config.net.n = 4;
   }
-  if (!routing_set &&
-      !parse_routing_key(family->default_routing, config.net.routing)) {
-    std::fprintf(stderr, "family '%s' has no usable default routing\n",
-                 config.net.topology.c_str());
+  if (!routing_set) {
+    routing_key = family->default_routing;
+    if (!parse_routing_key(routing_key, config.net.routing)) {
+      std::fprintf(stderr, "family '%s' has no usable default routing\n",
+                   config.net.topology.c_str());
+      return 1;
+    }
+  }
+  if (!routing_compatible(*family, routing_key)) {
+    std::fprintf(stderr,
+                 "--routing %s is not deadlock-free on family '%s'\n%s",
+                 routing_key.c_str(), config.net.topology.c_str(),
+                 TopologyRegistry::instance().routing_usage().c_str());
     return 1;
   }
-  if (!routing_compatible(config.net.topology, config.net.routing)) {
+  if (config.net.selection == SelectionKind::kStallEwma &&
+      config.net.routing != RoutingKind::kEscapeAdaptive) {
     std::fprintf(stderr,
-                 "--routing %s is not deadlock-free on family '%s' "
-                 "(its default is '%s')\n",
-                 to_string(config.net.routing).c_str(),
-                 config.net.topology.c_str(),
-                 family->default_routing.c_str());
+                 "--selection stall scores candidates from escape-channel\n"
+                 "stall history and needs --routing escape\n");
+    return 1;
+  }
+  if (config.net.misroute &&
+      config.net.routing != RoutingKind::kEscapeAdaptive) {
+    std::fprintf(stderr, "--misroute needs --routing escape\n");
+    return 1;
+  }
+  if (config.traffic.throttle > 0.0 &&
+      config.net.routing != RoutingKind::kEscapeAdaptive) {
+    std::fprintf(stderr,
+                 "--throttle needs --routing escape to supply the\n"
+                 "escape-channel backpressure signal\n");
     return 1;
   }
 
