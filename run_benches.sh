@@ -51,6 +51,12 @@ for b in "$BENCH_DIR"/*; do
         "$b" --json "$OUT_DIR/BENCH_${name}.json"
         ;;
     esac
+    # A bench that exits 0 without leaving its run manifest silently
+    # drops out of the smartsim_report A/B diff; fail fast instead.
+    if [ ! -s "$OUT_DIR/MANIFEST_${name}.json" ]; then
+      echo "error: $name exited 0 but wrote no $OUT_DIR/MANIFEST_${name}.json" >&2
+      exit 1
+    fi
     echo
   fi
 done

@@ -176,6 +176,51 @@ struct ProfSpec {
   bool enabled = false;
 };
 
+/// Always-on flight recorder (src/obs/flight.hpp, obs generation 3): a
+/// fixed-capacity ring of per-interval network snapshots — injected /
+/// accepted flits, stall-cause totals, active-set occupancy, escape
+/// pressure, throttled-NIC count, lane-store high water. The recorder only
+/// *reads* end-of-cycle engine state, so results are bit-identical with it
+/// on or off (tests/test_flight_recorder.cpp pins the goldens at threads
+/// 1/2/4/7); it is cheap enough to stay enabled by default and is dumped
+/// to `out` on demand (--flight) or automatically when an anomaly
+/// watchdog fires.
+struct FlightSpec {
+  bool enabled = true;
+  /// Cycles between ring snapshots (also the resolution of the dump).
+  std::uint64_t interval_cycles = 256;
+  /// Snapshots retained; older entries are overwritten (black-box style).
+  std::uint64_t capacity = 512;
+  /// Dump path for `<out>.flight.json`-style artifacts; empty = dump only
+  /// on anomaly (next to the run manifest, when one is written).
+  std::string out;
+};
+
+/// Anomaly watchdog framework (src/obs/anomaly.hpp, obs generation 3):
+/// subsumes the progress watchdog's deadlock / fault-stall verdicts and
+/// adds throughput-collapse, livelock (packet-age high-water) and
+/// source-queue starvation detectors. Every detector reads only
+/// deterministic engine state at a deterministic cadence, so verdicts are
+/// bit-identical across thread counts; they are recorded under
+/// `obs/anomaly/*` in the run manifest and never change exit codes.
+struct AnomalySpec {
+  bool enabled = true;
+  /// Throughput collapse: fires after `collapse_windows` consecutive stats
+  /// windows below `collapse_fraction` of the peak window, once the peak
+  /// reached `collapse_min_peak` (so idle runs never trip it).
+  double collapse_fraction = 0.35;
+  unsigned collapse_windows = 2;
+  double collapse_min_peak = 0.08;
+  /// Livelock: an injected packet older than this many cycles while the
+  /// fabric still reports progress. 0 derives 4 * deadlock_threshold.
+  std::uint64_t livelock_age_cycles = 0;
+  /// Starvation: one source queue at least `starvation_queue` deep while
+  /// also `starvation_skew` times the median queue — a few nodes starving
+  /// behind a hotspot the rest of the fabric does not feel.
+  std::uint64_t starvation_queue = 64;
+  double starvation_skew = 8.0;
+};
+
 struct SimTiming {
   std::uint64_t warmup_cycles = 2000;
   std::uint64_t horizon_cycles = 20000;
@@ -189,6 +234,11 @@ struct SimTiming {
   /// the watchdog fire) — measures time-to-drain after a fault schedule.
   bool drain_after_horizon = false;
   std::uint64_t drain_max_cycles = 20000;
+  /// Opt-in progress heartbeat: every this many cycles the engine prints
+  /// one stderr line (cycle, cycles/s, accepted fraction, ETA) so long
+  /// 64K-fabric runs are not a black box. 0 disables; the interval is
+  /// echoed in the run manifest. Wall-clock only — never affects results.
+  std::uint64_t heartbeat_cycles = 0;
 };
 
 /// Default SimConfig::serial_fabric_threshold (see that field).
@@ -201,6 +251,8 @@ struct SimConfig {
   TraceSpec trace;
   ObsSpec obs;
   ProfSpec prof;
+  FlightSpec flight;
+  AnomalySpec anomaly;
 
   /// Worker threads for THIS run (the engine's sharded parallel pipeline;
   /// docs/ARCHITECTURE.md §"Threading"). 1 = serial. Results are

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/anomaly.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "util/stats.hpp"
@@ -203,6 +205,25 @@ struct SimulationResult {
 
   // Observability (empty unless ObsSpec::enabled; see src/obs/).
   ObsReport obs;
+
+  // Flight-recorder series (FlightSpec; enabled by default — the recorder
+  // only reads engine state, so it never changes the fields above). Lives
+  // here so sweeps and replications keep their series after the Network
+  // is destroyed; dumped to .flight.json by the CLI.
+  FlightSeries flight;
+
+  // Anomaly watchdog verdicts (AnomalySpec; see src/obs/anomaly.hpp).
+  // All five detectors report (triggered or not) when monitoring was on,
+  // registered under obs/anomaly/* in the manifest. Deterministic.
+  bool anomaly_enabled = false;
+  std::vector<AnomalyVerdict> anomaly_verdicts;
+  /// True when any detector fired (mirrors the obs/anomaly/any metric).
+  [[nodiscard]] bool anomaly_triggered() const {
+    for (const AnomalyVerdict& v : anomaly_verdicts) {
+      if (v.triggered) return true;
+    }
+    return false;
+  }
 
   // Engine self-profile (empty unless ProfSpec::enabled; see
   // src/obs/profiler.hpp). Wall times inside are nondeterministic; the

@@ -62,6 +62,13 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
   // pointer and one branch per hook site, never a behavioural change.
   if (config_.prof.enabled) profiler_ = std::make_unique<Profiler>();
 
+  // The flight recorder is on by default (it only reads end-of-cycle
+  // state, so it cannot perturb results); --no-flight / bench A/B rows
+  // disable it to measure the ring's own cost.
+  if (config_.flight.enabled) {
+    flight_ = std::make_unique<FlightRecorder>(config_.flight);
+  }
+
   const NetworkSpec& net = config_.net;
   flits_per_packet_ = net.flits_per_packet();
   capacity_ = topo_->uniform_capacity_flits_per_node_cycle();
@@ -87,7 +94,7 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
 
   engine_ = std::make_unique<CycleEngine>(
       config_, *topo_, *routing_, *pattern_, injection_, faults_.get(),
-      obs_.get(), profiler_.get(), packet_rate_, capacity_,
+      obs_.get(), profiler_.get(), flight_.get(), packet_rate_, capacity_,
       flits_per_packet_);
 }
 

@@ -104,6 +104,11 @@ class Network {
     return profiler_.get();
   }
 
+  /// Null when FlightSpec::enabled is false (see src/obs/flight.hpp).
+  [[nodiscard]] const FlightRecorder* flight_recorder() const noexcept {
+    return flight_.get();
+  }
+
   /// Manually enqueue one packet at `src` for `dst` (tests and examples);
   /// returns the packet id.
   PacketId enqueue_packet(NodeId src, NodeId dst) {
@@ -127,6 +132,7 @@ class Network {
   std::unique_ptr<FaultState> faults_;  ///< null when the plan is empty
   std::unique_ptr<ObsState> obs_;       ///< null unless obs is enabled
   std::unique_ptr<Profiler> profiler_;  ///< null unless prof is enabled
+  std::unique_ptr<FlightRecorder> flight_;  ///< null when flight disabled
   std::vector<std::unique_ptr<InjectionProcess>> injection_;  ///< per node
 
   double packet_rate_ = 0.0;

@@ -1,6 +1,8 @@
 #include "engine/cycle_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 
 #include "util/check.hpp"
@@ -19,8 +21,8 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
                          RoutingAlgorithm& routing, TrafficPattern& pattern,
                          std::vector<std::unique_ptr<InjectionProcess>>& injection,
                          FaultState* faults, ObsState* obs, Profiler* prof,
-                         double packet_rate, double capacity,
-                         unsigned flits_per_packet)
+                         FlightRecorder* flight, double packet_rate,
+                         double capacity, unsigned flits_per_packet)
     : config_(config),
       topo_(topo),
       routing_(routing),
@@ -29,6 +31,7 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
       faults_(faults),
       obs_(obs),
       prof_(prof),
+      flight_(flight),
       lanes_(config.net.buffer_depth),
       packet_rate_(packet_rate),
       capacity_(capacity),
@@ -37,6 +40,10 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
   SMART_CHECK_MSG(
       config_.timing.horizon_cycles < std::numeric_limits<std::uint32_t>::max(),
       "horizon too long for 32-bit flit arrival stamps");
+  if (config_.anomaly.enabled) {
+    anomaly_ = std::make_unique<AnomalyMonitor>(
+        config_.anomaly, config_.timing.deadlock_threshold);
+  }
   build_fabric();
   active_switches_ = ActiveSet(switches_.size());
   active_nics_ = ActiveSet(nics_.size());
@@ -45,6 +52,7 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
     prof_->set_lane_capacity(lanes_.lane_count() *
                              static_cast<std::uint64_t>(lanes_.depth()));
     prof_->set_shards(shards_.size());
+    if (team_) team_->enable_wait_timing();
   }
 
   result_.offered_fraction = config_.traffic.offered_fraction;
@@ -219,6 +227,22 @@ void CycleEngine::record_stall() {
     stall_verdict_ = StallVerdict::kDeadlock;
     deadlocked_ = true;
   }
+  // The progress watchdog's verdict also lands in the anomaly framework so
+  // every watchdog reports under the one obs/anomaly/* namespace. Exit
+  // codes stay keyed off stall_verdict_ / deadlocked_ exactly as before.
+  if (anomaly_) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "no flit movement since cycle %llu",
+                  static_cast<unsigned long long>(last_progress_cycle_));
+    anomaly_->trigger(stall_verdict_ == StallVerdict::kFaultStall
+                          ? AnomalyKind::kFaultStall
+                          : AnomalyKind::kDeadlock,
+                      cycle_,
+                      static_cast<double>(cycle_ - last_progress_cycle_),
+                      static_cast<double>(config_.timing.deadlock_threshold),
+                      detail);
+  }
 }
 
 void CycleEngine::step() {
@@ -248,7 +272,14 @@ void CycleEngine::step() {
     if (prof_) lap = prof_->lap(lap, ProfPhase::kFused);
     merge_shards();
     if (prof_) {
+      const Profiler::Clock::time_point merge_start = lap;
       lap = prof_->lap(lap, ProfPhase::kCredits);
+      // The kCredits lap on the sharded path IS the serial merge; mirror
+      // it into the shard-contention report (profile/shard/time/merge_ns).
+      prof_->shard_merge_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(lap -
+                                                               merge_start)
+              .count());
       ++prof_->parallel_cycles;
     }
   } else {
@@ -286,10 +317,22 @@ void CycleEngine::step() {
         static_cast<double>(stats_window_flits_) /
         (static_cast<double>(config_.timing.stats_window_cycles) *
          static_cast<double>(topo_.node_count()));
-    window_accepted_.push_back(per_node_cycle / capacity_);
+    const double accepted = per_node_cycle / capacity_;
+    window_accepted_.push_back(accepted);
+    if (anomaly_) anomaly_->check_window(accepted, cycle_);
     stats_window_flits_ = 0;
     stats_window_start_ = cycle_ + 1;
   }
+  // Observability generation 3 taps: ring snapshot plus the periodic
+  // livelock/starvation scans. Both run at fixed cycle counts (never at
+  // wall-clock or thread-dependent points) and only read state, so they
+  // are bit-identity-neutral and thread-invariant.
+  if (flight_ && cycle_ % flight_->interval() == 0) record_flight_snapshot();
+  if (anomaly_ && config_.timing.stats_window_cycles > 0 &&
+      cycle_ % config_.timing.stats_window_cycles == 0) {
+    run_anomaly_scans();
+  }
+  note_anomalies();
 }
 
 void CycleEngine::fused_phase() {
@@ -314,12 +357,15 @@ void CycleEngine::fused_phase() {
 
 const SimulationResult& CycleEngine::run() {
   const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t heartbeat = config_.timing.heartbeat_cycles;
   last_progress_cycle_ = 0;
   while (cycle_ < config_.timing.horizon_cycles) {
     step();
+    if (heartbeat > 0 && cycle_ % heartbeat == 0) print_heartbeat(wall_start);
     if (pool_.in_flight() > 0 &&
         cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
       record_stall();
+      note_anomalies();
       break;
     }
   }
@@ -337,8 +383,12 @@ const SimulationResult& CycleEngine::run() {
     while (pool_.in_flight() > 0 &&
            cycle_ - drain_start < config_.timing.drain_max_cycles) {
       step();
+      if (heartbeat > 0 && cycle_ % heartbeat == 0) {
+        print_heartbeat(wall_start);
+      }
       if (cycle_ - last_progress_cycle_ > config_.timing.deadlock_threshold) {
         record_stall();
+        note_anomalies();
         break;
       }
     }
@@ -435,7 +485,16 @@ void CycleEngine::finalize_result() {
     result_.fault_epochs = fault_epochs_;
     result_.active_faults_end = faults_->active_faults();
   }
-  if (prof_) result_.profile = prof_->report();
+  if (prof_) {
+    if (team_) prof_->shard_barrier_wait_ns = team_->wait_ns();
+    result_.profile = prof_->report();
+  }
+  if (flight_) result_.flight = flight_->series();
+  if (anomaly_) {
+    result_.anomaly_enabled = true;
+    result_.anomaly_verdicts.assign(anomaly_->verdicts().begin(),
+                                    anomaly_->verdicts().end());
+  }
   if (obs_) {
     result_.obs.enabled = true;
     result_.obs.stalls = obs_->stalls.totals();
@@ -447,6 +506,122 @@ void CycleEngine::finalize_result() {
       result_.obs.trace_written = obs_->trace.write(config_.obs.trace_out);
     }
   }
+}
+
+std::uint64_t CycleEngine::max_injected_age() const {
+  std::uint64_t max_age = 0;
+  pool_.for_each_live([&](const Packet& pkt) {
+    // Packets still in the source queue have inject_cycle == 0; their age
+    // is queueing delay, the starvation detector's domain, not livelock's.
+    if (pkt.inject_cycle > 0 && pkt.inject_cycle <= cycle_) {
+      const std::uint64_t age = cycle_ - pkt.inject_cycle;
+      if (age > max_age) max_age = age;
+    }
+  });
+  return max_age;
+}
+
+void CycleEngine::record_flight_snapshot() {
+  FlightSnapshot snap;
+  snap.cycle = cycle_;
+  snap.injected_flits = injected_flits_;
+  snap.consumed_flits = consumed_flits_;
+  if (obs_) {
+    snap.stalls = obs_->stalls.totals().by_cause;
+    snap.switch_frozen_cycles = obs_->stalls.switch_frozen_cycles();
+  }
+  snap.active_switches = active_switches_.count();
+  snap.active_nics = active_nics_.count();
+  snap.buffered_flits = lanes_.total_flits();
+  snap.in_flight_packets = pool_.in_flight();
+  snap.max_packet_age = max_injected_age();
+  snap.throttled_nic_cycles = throttled_nic_cycles_;
+  if (!switches_.empty()) {
+    double pressure = 0.0;
+    for (const Switch& sw : switches_) {
+      pressure += routing_.escape_pressure(sw);
+    }
+    snap.escape_pressure_mean =
+        pressure / static_cast<double>(switches_.size());
+  }
+  flight_->record(snap);
+}
+
+void CycleEngine::run_anomaly_scans() {
+  anomaly_->check_ages(max_injected_age(), cycle_);
+  queue_scratch_.clear();
+  std::uint64_t max_queue = 0;
+  for (const Nic& nic : nics_) {
+    const auto depth = static_cast<std::uint64_t>(nic.source_queue().size());
+    queue_scratch_.push_back(depth);
+    if (depth > max_queue) max_queue = depth;
+  }
+  if (queue_scratch_.empty()) return;
+  const std::size_t mid = queue_scratch_.size() / 2;
+  std::nth_element(queue_scratch_.begin(),
+                   queue_scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   queue_scratch_.end());
+  anomaly_->check_queues(max_queue, queue_scratch_[mid], cycle_);
+}
+
+void CycleEngine::note_anomalies() {
+  if (!anomaly_ || !anomaly_->take_newly_triggered()) return;
+  if (flight_ == nullptr) return;
+  flight_->note_anomaly(to_string(anomaly_->first_kind()),
+                        anomaly_->first_cycle());
+  // A final dense sample at the trigger plus the hottest-switch scene;
+  // set_hot_switches keeps the first trigger's capture.
+  record_flight_snapshot();
+  std::vector<HotSwitchSnapshot> hot;
+  hot.reserve(switches_.size());
+  for (const Switch& sw : switches_) {
+    if (sw.buffered == 0) continue;
+    HotSwitchSnapshot h;
+    h.sw = sw.id();
+    h.buffered = sw.buffered;
+    h.bound_inputs = sw.bound_count;
+    h.escape_pressure = routing_.escape_pressure(sw);
+    hot.push_back(h);
+  }
+  constexpr std::size_t kHotSwitchCount = 8;
+  std::sort(hot.begin(), hot.end(),
+            [](const HotSwitchSnapshot& a, const HotSwitchSnapshot& b) {
+              if (a.buffered != b.buffered) return a.buffered > b.buffered;
+              return a.sw < b.sw;
+            });
+  if (hot.size() > kHotSwitchCount) hot.resize(kHotSwitchCount);
+  flight_->set_hot_switches(std::move(hot));
+}
+
+void CycleEngine::print_heartbeat(
+    std::chrono::steady_clock::time_point wall_start) const {
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const double cps = secs > 0.0 ? static_cast<double>(cycle_) / secs : 0.0;
+  // Accepted fraction so far: consumed flits per node-cycle against the
+  // run's capacity — a progress estimate, not the windowed result.
+  const double accepted =
+      cycle_ > 0 && capacity_ > 0.0
+          ? static_cast<double>(consumed_flits_) /
+                (static_cast<double>(cycle_) *
+                 static_cast<double>(topo_.node_count())) /
+                capacity_
+          : 0.0;
+  const std::uint64_t target = draining_
+                                   ? cycle_  // drain length is unknowable
+                                   : config_.timing.horizon_cycles;
+  const double eta =
+      cps > 0.0 && target > cycle_
+          ? static_cast<double>(target - cycle_) / cps
+          : 0.0;
+  std::fprintf(stderr,
+               "[smartsim] heartbeat cycle %llu/%llu  %.0f cycles/s  "
+               "accepted %.3f  eta %.1fs%s\n",
+               static_cast<unsigned long long>(cycle_),
+               static_cast<unsigned long long>(config_.timing.horizon_cycles),
+               cps, accepted, eta, draining_ ? "  (draining)" : "");
 }
 
 }  // namespace smart

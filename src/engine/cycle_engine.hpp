@@ -45,6 +45,7 @@
 // small to shard or a custom routing algorithm is not concurrent-safe.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -53,6 +54,8 @@
 #include "engine/active_set.hpp"
 #include "engine/lane_store.hpp"
 #include "fault/fault.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "router/nic.hpp"
@@ -68,12 +71,14 @@ namespace smart {
 class CycleEngine {
  public:
   /// All collaborators are owned by the caller (Network) and must outlive
-  /// the engine. `faults`/`obs`/`prof` may be null (feature disabled).
+  /// the engine. `faults`/`obs`/`prof`/`flight` may be null (feature
+  /// disabled).
   CycleEngine(const SimConfig& config, const Topology& topo,
               RoutingAlgorithm& routing, TrafficPattern& pattern,
               std::vector<std::unique_ptr<InjectionProcess>>& injection,
               FaultState* faults, ObsState* obs, Profiler* prof,
-              double packet_rate, double capacity, unsigned flits_per_packet);
+              FlightRecorder* flight, double packet_rate, double capacity,
+              unsigned flits_per_packet);
 
   /// Runs warm-up plus measurement (and the optional post-horizon drain)
   /// and fills result().
@@ -174,6 +179,12 @@ class CycleEngine {
     std::uint64_t prof_routed = 0;
     std::uint64_t prof_crossbar = 0;
     std::uint64_t prof_visits = 0;  ///< switch visits (load balance)
+    // Per-shard contention wall clocks (obs generation 3): time this
+    // shard's worker spent inside region A (generation draws) and region
+    // B (stream + fused pass). Written by the owning worker, merged by
+    // the leader after the barrier (the done_ handshake orders them).
+    std::uint64_t prof_region_a_ns = 0;
+    std::uint64_t prof_region_b_ns = 0;
   };
 
   void build_fabric();
@@ -233,6 +244,27 @@ class CycleEngine {
   void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
   void record_stall();
   void finalize_result();
+
+  // Observability generation 3 (flight recorder + anomaly watchdogs). All
+  // of these only *read* end-of-cycle engine state — never any feedback
+  // into routing, injection or arbitration — so results stay bit-identical
+  // with them on or off, across thread counts.
+  /// Assemble and store one ring snapshot (cumulative counters; the
+  /// recorder derives interval deltas).
+  void record_flight_snapshot();
+  /// Periodic livelock/starvation scans (stats-window cadence, so the
+  /// trigger cycles are deterministic and thread-invariant).
+  void run_anomaly_scans();
+  /// After any detector fires: note the anomaly in the flight recorder,
+  /// take a final dense sample and capture the hottest switches. One-shot
+  /// (keeps the first trigger's scene).
+  void note_anomalies();
+  /// Age (cycles since injection) high-water over in-flight packets that
+  /// actually entered the fabric (inject_cycle > 0).
+  [[nodiscard]] std::uint64_t max_injected_age() const;
+  /// One opt-in stderr progress line (--heartbeat): cycle, cycles/s,
+  /// accepted fraction so far, ETA to the horizon.
+  void print_heartbeat(std::chrono::steady_clock::time_point wall_start) const;
   /// Serial sweep at the top of a cycle: sets each NIC's inject hold from
   /// the routing algorithm's escape pressure at its switch, using
   /// end-of-previous-cycle credit state — identical in both pipelines, so
@@ -248,6 +280,13 @@ class CycleEngine {
   FaultState* faults_;  ///< null on a fault-free run
   ObsState* obs_;       ///< null unless obs is enabled
   Profiler* prof_;      ///< null unless --profile is enabled
+  FlightRecorder* flight_;  ///< null when the flight recorder is disabled
+  /// Anomaly watchdogs (null when AnomalySpec::enabled is false). Owned
+  /// here rather than by Network: the monitor is a pure function of the
+  /// config and only the engine feeds it.
+  std::unique_ptr<AnomalyMonitor> anomaly_;
+  /// Scratch for the starvation scan's median (reused between scans).
+  std::vector<std::uint64_t> queue_scratch_;
 
   // The fabric. All lane buffers live in the lanes_ arena; switches and
   // NICs hold LaneView handles into it.

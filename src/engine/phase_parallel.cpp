@@ -41,6 +41,8 @@
 #include "engine/cycle_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -129,7 +131,20 @@ void CycleEngine::setup_parallel() {
 }
 
 void CycleEngine::parallel_gen() {
-  team_->run([this](std::size_t t) { nic_gen_shard(shards_[t]); });
+  if (prof_) {
+    // Region-A contention telemetry: each worker clocks its own shard.
+    // Reads only a steady clock, so results stay bit-identical.
+    team_->run([this](std::size_t t) {
+      const auto t0 = Profiler::now();
+      nic_gen_shard(shards_[t]);
+      shards_[t].prof_region_a_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Profiler::now() - t0)
+              .count());
+    });
+  } else {
+    team_->run([this](std::size_t t) { nic_gen_shard(shards_[t]); });
+  }
   for (EngineShard& shard : shards_) {
     for (const EngineShard::GenDraw& draw : shard.generated) {
       enqueue_packet(draw.src, draw.dst);
@@ -166,7 +181,18 @@ void CycleEngine::nic_gen_shard(EngineShard& shard) {
 }
 
 void CycleEngine::parallel_pass() {
-  team_->run([this](std::size_t t) { shard_pass(shards_[t]); });
+  if (prof_) {
+    team_->run([this](std::size_t t) {
+      const auto t0 = Profiler::now();
+      shard_pass(shards_[t]);
+      shards_[t].prof_region_b_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Profiler::now() - t0)
+              .count());
+    });
+  } else {
+    team_->run([this](std::size_t t) { shard_pass(shards_[t]); });
+  }
 }
 
 void CycleEngine::shard_pass(EngineShard& shard) {
@@ -320,12 +346,23 @@ void CycleEngine::merge_shards() {
     prof_->merge_staged_trace_events += staged_trace;
     prof_->merge_staged_drops += staged_drops;
     prof_->credit_acks += staged_credits;
+    std::uint64_t visits_max = 0;
+    std::uint64_t visits_min = std::numeric_limits<std::uint64_t>::max();
     for (EngineShard& shard : shards_) {
       prof_->link_flits += shard.prof_link_flits;
       prof_->routed_headers += shard.prof_routed;
       prof_->crossbar_flits += shard.prof_crossbar;
       prof_->add_shard_visits(shard.index, shard.prof_visits);
+      if (shard.prof_visits > visits_max) visits_max = shard.prof_visits;
+      if (shard.prof_visits < visits_min) visits_min = shard.prof_visits;
+      prof_->shard_region_a_ns += shard.prof_region_a_ns;
+      prof_->shard_region_b_ns += shard.prof_region_b_ns;
+      shard.prof_region_a_ns = 0;
+      shard.prof_region_b_ns = 0;
     }
+    // This cycle's spread of switch visits across shards — the static
+    // partition's per-cycle load imbalance (deterministic).
+    prof_->add_shard_imbalance(visits_max - visits_min);
   }
   for (EngineShard& shard : shards_) {
     shard.prof_link_flits = 0;

@@ -1,0 +1,92 @@
+#include "obs/anomaly.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace smart {
+namespace {
+
+std::string format_detail(const char* fmt, double value, double threshold,
+                          std::uint64_t cycle) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, value, threshold, cycle);
+  return std::string(buf);
+}
+
+}  // namespace
+
+AnomalyMonitor::AnomalyMonitor(const AnomalySpec& spec,
+                               std::uint64_t deadlock_threshold)
+    : spec_(spec),
+      livelock_age_bound_(spec.livelock_age_cycles != 0
+                              ? spec.livelock_age_cycles
+                              : 4 * deadlock_threshold) {
+  for (std::size_t i = 0; i < kAnomalyKindCount; ++i) {
+    verdicts_[i].kind = static_cast<AnomalyKind>(i);
+  }
+}
+
+void AnomalyMonitor::trigger(AnomalyKind kind, std::uint64_t cycle,
+                             double value, double threshold,
+                             std::string detail) {
+  AnomalyVerdict& v = verdict(kind);
+  if (v.triggered) return;  // first trigger per kind wins
+  v.triggered = true;
+  v.cycle = cycle;
+  v.value = value;
+  v.threshold = threshold;
+  v.detail = std::move(detail);
+  if (!any_) {
+    first_kind_ = kind;
+    first_cycle_ = cycle;
+  }
+  any_ = true;
+  newly_triggered_ = true;
+}
+
+void AnomalyMonitor::check_window(double accepted_fraction,
+                                  std::uint64_t cycle) {
+  if (accepted_fraction > peak_window_) peak_window_ = accepted_fraction;
+  const bool armed = peak_window_ >= spec_.collapse_min_peak;
+  if (armed && accepted_fraction < spec_.collapse_fraction * peak_window_) {
+    ++collapse_streak_;
+    if (collapse_streak_ >= spec_.collapse_windows) {
+      trigger(AnomalyKind::kThroughputCollapse, cycle, accepted_fraction,
+              spec_.collapse_fraction * peak_window_,
+              format_detail("window accepted %.4f below %.4f (cycle %" PRIu64
+                            ")",
+                            accepted_fraction,
+                            spec_.collapse_fraction * peak_window_, cycle));
+    }
+  } else {
+    collapse_streak_ = 0;
+  }
+}
+
+void AnomalyMonitor::check_ages(std::uint64_t max_age, std::uint64_t cycle) {
+  if (max_age > livelock_age_bound_) {
+    trigger(AnomalyKind::kLivelock, cycle, static_cast<double>(max_age),
+            static_cast<double>(livelock_age_bound_),
+            format_detail("packet age %.0f exceeds bound %.0f (cycle %" PRIu64
+                          ")",
+                          static_cast<double>(max_age),
+                          static_cast<double>(livelock_age_bound_), cycle));
+  }
+}
+
+void AnomalyMonitor::check_queues(std::uint64_t max_queue,
+                                  std::uint64_t median_queue,
+                                  std::uint64_t cycle) {
+  const double skew_bound =
+      spec_.starvation_skew * static_cast<double>(median_queue + 1);
+  if (max_queue >= spec_.starvation_queue &&
+      static_cast<double>(max_queue) >= skew_bound) {
+    trigger(AnomalyKind::kStarvation, cycle, static_cast<double>(max_queue),
+            skew_bound,
+            format_detail("source queue %.0f vs skew bound %.0f (cycle %"
+                          PRIu64 ")",
+                          static_cast<double>(max_queue), skew_bound, cycle));
+  }
+}
+
+}  // namespace smart

@@ -1,0 +1,124 @@
+// Anomaly watchdog framework (observability generation 3).
+//
+// One monitor owns every runtime pathology detector:
+//
+//   deadlock / fault-stall — the engine's existing progress watchdog
+//     verdicts, routed through here so they land in the same
+//     `obs/anomaly/*` manifest namespace (exit codes are unchanged);
+//   throughput-collapse — consecutive stats windows far below the peak
+//     window once the run demonstrably carried traffic;
+//   livelock — an injected packet's age high-water exceeds a bound while
+//     the fabric still reports progress (wedged worms behind a dead
+//     switch look exactly like this);
+//   starvation — one source queue grows deep while the median stays
+//     small, i.e. a few nodes starve behind a hotspot.
+//
+// Every detector reads only deterministic end-of-cycle engine state at a
+// deterministic cadence (the stats-window boundary), so verdicts are
+// bit-identical across thread counts and can sit in the strict metric
+// namespace. Triggering records a verdict and (in the engine) snapshots
+// the hottest switches into the flight recorder; it never alters
+// simulation behavior or process exit codes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace smart {
+
+enum class AnomalyKind : std::uint8_t {
+  kDeadlock,            ///< progress watchdog, no active faults
+  kFaultStall,          ///< progress watchdog while faults were active
+  kThroughputCollapse,  ///< accepted fraction fell off a demonstrated peak
+  kLivelock,            ///< packet-age high-water exceeded the bound
+  kStarvation,          ///< one source queue deep, median shallow
+};
+inline constexpr std::size_t kAnomalyKindCount = 5;
+
+/// Metric-name slug (also the flight dump's anomaly kind string).
+[[nodiscard]] constexpr const char* to_string(AnomalyKind kind) noexcept {
+  switch (kind) {
+    case AnomalyKind::kDeadlock: return "deadlock";
+    case AnomalyKind::kFaultStall: return "fault_stall";
+    case AnomalyKind::kThroughputCollapse: return "throughput_collapse";
+    case AnomalyKind::kLivelock: return "livelock";
+    case AnomalyKind::kStarvation: return "starvation";
+  }
+  return "unknown";
+}
+
+/// One detector's verdict; all five are always reported (triggered or
+/// not) so manifests keep a stable metric shape.
+struct AnomalyVerdict {
+  AnomalyKind kind = AnomalyKind::kDeadlock;
+  bool triggered = false;
+  std::uint64_t cycle = 0;   ///< first trigger cycle
+  double value = 0.0;        ///< observed value at the trigger
+  double threshold = 0.0;    ///< bound it crossed
+  std::string detail;        ///< one-line human description
+};
+
+class AnomalyMonitor {
+ public:
+  AnomalyMonitor(const AnomalySpec& spec, std::uint64_t deadlock_threshold);
+
+  /// Progress-watchdog verdicts (engine record_stall unification).
+  void trigger(AnomalyKind kind, std::uint64_t cycle, double value,
+               double threshold, std::string detail);
+
+  /// Feed one closed stats window's accepted fraction (collapse detector).
+  void check_window(double accepted_fraction, std::uint64_t cycle);
+
+  /// Feed the injected-packet age high-water (livelock detector).
+  void check_ages(std::uint64_t max_age, std::uint64_t cycle);
+
+  /// Feed source-queue occupancy extremes (starvation detector).
+  void check_queues(std::uint64_t max_queue, std::uint64_t median_queue,
+                    std::uint64_t cycle);
+
+  [[nodiscard]] bool any() const noexcept { return any_; }
+
+  /// Kind/cycle of the first detector to fire (the flight dump's anomaly
+  /// context); meaningful only when any() is true.
+  [[nodiscard]] AnomalyKind first_kind() const noexcept { return first_kind_; }
+  [[nodiscard]] std::uint64_t first_cycle() const noexcept {
+    return first_cycle_;
+  }
+
+  /// True exactly once after each new trigger; the engine uses it to gate
+  /// the one-shot dense hottest-switch capture.
+  [[nodiscard]] bool take_newly_triggered() noexcept {
+    const bool fresh = newly_triggered_;
+    newly_triggered_ = false;
+    return fresh;
+  }
+
+  [[nodiscard]] const std::array<AnomalyVerdict, kAnomalyKindCount>&
+  verdicts() const noexcept {
+    return verdicts_;
+  }
+
+  [[nodiscard]] std::uint64_t livelock_age_bound() const noexcept {
+    return livelock_age_bound_;
+  }
+
+ private:
+  AnomalyVerdict& verdict(AnomalyKind kind) noexcept {
+    return verdicts_[static_cast<std::size_t>(kind)];
+  }
+
+  AnomalySpec spec_;
+  std::uint64_t livelock_age_bound_;
+  std::array<AnomalyVerdict, kAnomalyKindCount> verdicts_;
+  double peak_window_ = 0.0;
+  unsigned collapse_streak_ = 0;
+  bool any_ = false;
+  bool newly_triggered_ = false;
+  AnomalyKind first_kind_ = AnomalyKind::kDeadlock;
+  std::uint64_t first_cycle_ = 0;
+};
+
+}  // namespace smart

@@ -1,0 +1,337 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "core/config.hpp"
+
+namespace smart {
+namespace {
+
+constexpr const char* kFlightSchema = "smartsim-flight-v1";
+
+json::Value snapshot_json(const FlightSnapshot& s) {
+  json::Value v = json::Value::object();
+  v.set("cycle", json::Value(static_cast<double>(s.cycle)));
+  v.set("injected", json::Value(static_cast<double>(s.injected_flits)));
+  v.set("consumed", json::Value(static_cast<double>(s.consumed_flits)));
+  v.set("d_injected", json::Value(static_cast<double>(s.delta_injected)));
+  v.set("d_consumed", json::Value(static_cast<double>(s.delta_consumed)));
+  json::Value stalls = json::Value::object();
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    stalls.set(to_string(static_cast<StallCause>(i)),
+               json::Value(static_cast<double>(s.stalls[i])));
+  }
+  v.set("stalls", std::move(stalls));
+  v.set("switch_frozen_cycles",
+        json::Value(static_cast<double>(s.switch_frozen_cycles)));
+  v.set("active_switches",
+        json::Value(static_cast<double>(s.active_switches)));
+  v.set("active_nics", json::Value(static_cast<double>(s.active_nics)));
+  v.set("buffered_flits", json::Value(static_cast<double>(s.buffered_flits)));
+  v.set("lane_high_water",
+        json::Value(static_cast<double>(s.lane_high_water)));
+  v.set("in_flight_packets",
+        json::Value(static_cast<double>(s.in_flight_packets)));
+  v.set("max_packet_age", json::Value(static_cast<double>(s.max_packet_age)));
+  v.set("throttled_nic_cycles",
+        json::Value(static_cast<double>(s.throttled_nic_cycles)));
+  v.set("escape_pressure_mean", json::Value(s.escape_pressure_mean));
+  return v;
+}
+
+std::uint64_t u64_at(const json::Value& v, std::string_view key) {
+  return static_cast<std::uint64_t>(v.number_at(key).value_or(0.0));
+}
+
+FlightSnapshot snapshot_from_json(const json::Value& v) {
+  FlightSnapshot s;
+  s.cycle = u64_at(v, "cycle");
+  s.injected_flits = u64_at(v, "injected");
+  s.consumed_flits = u64_at(v, "consumed");
+  s.delta_injected = u64_at(v, "d_injected");
+  s.delta_consumed = u64_at(v, "d_consumed");
+  if (const json::Value* stalls = v.find("stalls");
+      stalls != nullptr && stalls->is_object()) {
+    for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+      s.stalls[i] = u64_at(*stalls, to_string(static_cast<StallCause>(i)));
+    }
+  }
+  s.switch_frozen_cycles = u64_at(v, "switch_frozen_cycles");
+  s.active_switches = u64_at(v, "active_switches");
+  s.active_nics = u64_at(v, "active_nics");
+  s.buffered_flits = u64_at(v, "buffered_flits");
+  s.lane_high_water = u64_at(v, "lane_high_water");
+  s.in_flight_packets = u64_at(v, "in_flight_packets");
+  s.max_packet_age = u64_at(v, "max_packet_age");
+  s.throttled_nic_cycles = u64_at(v, "throttled_nic_cycles");
+  s.escape_pressure_mean = v.number_at("escape_pressure_mean").value_or(0.0);
+  return s;
+}
+
+void append_row(std::string& out, const FlightSnapshot& s) {
+  char buf[256];
+  std::uint64_t stall_total = s.switch_frozen_cycles;
+  for (std::uint64_t c : s.stalls) stall_total += c;
+  std::snprintf(buf, sizeof(buf),
+                "  %10" PRIu64 " %10" PRIu64 " %10" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " %8" PRIu64 " %8" PRIu64 " %12" PRIu64
+                " %9" PRIu64 "   %.3f\n",
+                s.cycle, s.delta_injected, s.delta_consumed,
+                s.buffered_flits, s.in_flight_packets, s.active_switches,
+                s.active_nics, stall_total, s.max_packet_age,
+                s.escape_pressure_mean);
+  out += buf;
+}
+
+constexpr const char* kTimelineHeader =
+    "       cycle  d_injected  d_consumed  buffered  in_flight  act_sws"
+    "  act_nics  stall_total   max_age  pressure\n";
+
+}  // namespace
+
+std::vector<FlightSnapshot> FlightRing::ordered() const {
+  std::vector<FlightSnapshot> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = total_ % capacity_;  // oldest entry
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(const FlightSpec& spec)
+    : ring_(static_cast<std::size_t>(spec.capacity == 0 ? 1 : spec.capacity)),
+      interval_(spec.interval_cycles == 0 ? 1 : spec.interval_cycles) {}
+
+void FlightRecorder::record(FlightSnapshot snap) {
+  snap.delta_injected = snap.injected_flits - prev_injected_;
+  snap.delta_consumed = snap.consumed_flits - prev_consumed_;
+  prev_injected_ = snap.injected_flits;
+  prev_consumed_ = snap.consumed_flits;
+  high_water_ = std::max(high_water_, snap.buffered_flits);
+  snap.lane_high_water = high_water_;
+  ring_.record(snap);
+}
+
+void FlightRecorder::note_anomaly(const std::string& kind,
+                                  std::uint64_t cycle) {
+  if (!anomaly_kind_.empty()) return;  // keep the first trigger's scene
+  anomaly_kind_ = kind;
+  anomaly_cycle_ = cycle;
+}
+
+void FlightRecorder::set_hot_switches(std::vector<HotSwitchSnapshot> hot) {
+  if (!hot_switches_.empty()) return;
+  hot_switches_ = std::move(hot);
+}
+
+FlightSeries FlightRecorder::series() const {
+  FlightSeries out;
+  out.enabled = true;
+  out.interval_cycles = interval_;
+  out.capacity = ring_.capacity();
+  out.total_recorded = ring_.total_recorded();
+  out.snapshots = ring_.ordered();
+  out.anomaly_kind = anomaly_kind_;
+  out.anomaly_cycle = anomaly_cycle_;
+  out.hot_switches = hot_switches_;
+  return out;
+}
+
+json::Value flight_json(const FlightSeries& series) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", json::Value(std::string(kFlightSchema)));
+  doc.set("interval_cycles",
+          json::Value(static_cast<double>(series.interval_cycles)));
+  doc.set("capacity", json::Value(static_cast<double>(series.capacity)));
+  doc.set("total_recorded",
+          json::Value(static_cast<double>(series.total_recorded)));
+  if (!series.anomaly_kind.empty()) {
+    json::Value anomaly = json::Value::object();
+    anomaly.set("kind", json::Value(series.anomaly_kind));
+    anomaly.set("cycle",
+                json::Value(static_cast<double>(series.anomaly_cycle)));
+    doc.set("anomaly", std::move(anomaly));
+  }
+  if (!series.hot_switches.empty()) {
+    json::Value hot = json::Value::array();
+    for (const HotSwitchSnapshot& h : series.hot_switches) {
+      json::Value row = json::Value::object();
+      row.set("switch", json::Value(static_cast<double>(h.sw)));
+      row.set("buffered", json::Value(static_cast<double>(h.buffered)));
+      row.set("bound_inputs",
+              json::Value(static_cast<double>(h.bound_inputs)));
+      row.set("escape_pressure", json::Value(h.escape_pressure));
+      hot.push_back(std::move(row));
+    }
+    doc.set("hot_switches", std::move(hot));
+  }
+  json::Value snaps = json::Value::array();
+  for (const FlightSnapshot& s : series.snapshots) {
+    snaps.push_back(snapshot_json(s));
+  }
+  doc.set("snapshots", std::move(snaps));
+  return doc;
+}
+
+bool parse_flight(const std::string& path, FlightSeries* out,
+                  std::string* error) {
+  std::optional<json::Value> doc = json::parse_file(path, error);
+  if (!doc) return false;
+  const std::optional<std::string> schema = doc->string_at("schema");
+  if (!schema || *schema != kFlightSchema) {
+    if (error != nullptr) {
+      *error = path + ": not a " + kFlightSchema + " document";
+    }
+    return false;
+  }
+  FlightSeries series;
+  series.enabled = true;
+  series.interval_cycles =
+      static_cast<std::uint64_t>(doc->number_at("interval_cycles").value_or(0));
+  series.capacity =
+      static_cast<std::uint64_t>(doc->number_at("capacity").value_or(0));
+  series.total_recorded =
+      static_cast<std::uint64_t>(doc->number_at("total_recorded").value_or(0));
+  if (const json::Value* anomaly = doc->find("anomaly");
+      anomaly != nullptr && anomaly->is_object()) {
+    series.anomaly_kind = anomaly->string_at("kind").value_or("");
+    series.anomaly_cycle =
+        static_cast<std::uint64_t>(anomaly->number_at("cycle").value_or(0));
+  }
+  if (const json::Value* hot = doc->find("hot_switches");
+      hot != nullptr && hot->is_array()) {
+    for (const json::Value& row : hot->items()) {
+      HotSwitchSnapshot h;
+      h.sw = static_cast<SwitchId>(row.number_at("switch").value_or(0));
+      h.buffered =
+          static_cast<std::uint64_t>(row.number_at("buffered").value_or(0));
+      h.bound_inputs = static_cast<std::uint32_t>(
+          row.number_at("bound_inputs").value_or(0));
+      h.escape_pressure = row.number_at("escape_pressure").value_or(0.0);
+      series.hot_switches.push_back(h);
+    }
+  }
+  if (const json::Value* snaps = doc->find("snapshots");
+      snaps != nullptr && snaps->is_array()) {
+    series.snapshots.reserve(snaps->items().size());
+    for (const json::Value& row : snaps->items()) {
+      series.snapshots.push_back(snapshot_from_json(row));
+    }
+  }
+  *out = std::move(series);
+  return true;
+}
+
+bool write_flight(const std::string& path, const FlightSeries& series,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << flight_json(series).dump(2) << '\n';
+  if (!out) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+std::string render_timeline(const FlightSeries& series) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "flight timeline: %zu snapshot(s), interval %" PRIu64
+                " cycles, %" PRIu64 " recorded (capacity %" PRIu64 ")\n",
+                series.snapshots.size(), series.interval_cycles,
+                series.total_recorded, series.capacity);
+  out += buf;
+  if (!series.anomaly_kind.empty()) {
+    std::snprintf(buf, sizeof(buf), "anomaly: %s at cycle %" PRIu64 "\n",
+                  series.anomaly_kind.c_str(), series.anomaly_cycle);
+    out += buf;
+  }
+  out += kTimelineHeader;
+  for (const FlightSnapshot& s : series.snapshots) append_row(out, s);
+  if (!series.hot_switches.empty()) {
+    out += "hot switches at trigger:\n";
+    for (const HotSwitchSnapshot& h : series.hot_switches) {
+      std::snprintf(buf, sizeof(buf),
+                    "  switch %5u  buffered %6" PRIu64
+                    "  bound_inputs %3u  pressure %.3f\n",
+                    h.sw, h.buffered, h.bound_inputs, h.escape_pressure);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string render_timeline_diff(const FlightSeries& a,
+                                 const FlightSeries& b) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "flight diff: %zu vs %zu snapshot(s), interval %" PRIu64
+                " vs %" PRIu64 " cycles\n",
+                a.snapshots.size(), b.snapshots.size(), a.interval_cycles,
+                b.interval_cycles);
+  out += buf;
+  out +=
+      "       cycle    d_injected(A->B)    d_consumed(A->B)"
+      "      buffered(A->B)     in_flight(A->B)\n";
+  // Align by snapshot cycle; series are cycle-sorted by construction.
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.snapshots.size() || ib < b.snapshots.size()) {
+    const FlightSnapshot* sa =
+        ia < a.snapshots.size() ? &a.snapshots[ia] : nullptr;
+    const FlightSnapshot* sb =
+        ib < b.snapshots.size() ? &b.snapshots[ib] : nullptr;
+    if (sa != nullptr && sb != nullptr && sa->cycle == sb->cycle) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %10" PRIu64 "  %8" PRIu64 " -> %-8" PRIu64
+                    "  %8" PRIu64 " -> %-8" PRIu64 "  %8" PRIu64
+                    " -> %-8" PRIu64 "  %8" PRIu64 " -> %-8" PRIu64 "\n",
+                    sa->cycle, sa->delta_injected, sb->delta_injected,
+                    sa->delta_consumed, sb->delta_consumed,
+                    sa->buffered_flits, sb->buffered_flits,
+                    sa->in_flight_packets, sb->in_flight_packets);
+      out += buf;
+      ++ia;
+      ++ib;
+    } else if (sb == nullptr || (sa != nullptr && sa->cycle < sb->cycle)) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %10" PRIu64 "  only in A (d_injected %" PRIu64
+                    ", d_consumed %" PRIu64 ")\n",
+                    sa->cycle, sa->delta_injected, sa->delta_consumed);
+      out += buf;
+      ++ia;
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %10" PRIu64 "  only in B (d_injected %" PRIu64
+                    ", d_consumed %" PRIu64 ")\n",
+                    sb->cycle, sb->delta_injected, sb->delta_consumed);
+      out += buf;
+      ++ib;
+    }
+  }
+  const std::string aa =
+      a.anomaly_kind.empty() ? std::string("none") : a.anomaly_kind;
+  const std::string ab =
+      b.anomaly_kind.empty() ? std::string("none") : b.anomaly_kind;
+  if (aa != ab) {
+    out += "anomaly: " + aa + " -> " + ab + "\n";
+  }
+  return out;
+}
+
+}  // namespace smart

@@ -1,0 +1,171 @@
+// Flight recorder (observability generation 3).
+//
+// A black-box-style, fixed-capacity ring of per-interval network
+// snapshots: every `interval_cycles` the engine appends one FlightSnapshot
+// capturing injected/accepted flit totals, stall-cause totals, active-set
+// occupancy, buffered-flit load, escape pressure, throttled-NIC time and
+// packet-age high water. The ring overwrites its oldest entry once full,
+// so a run of any length retains the last `capacity` intervals — exactly
+// the window that matters when a run collapses, livelocks or deadlocks.
+//
+// The recorder only *reads* end-of-cycle engine state; it never feeds
+// back into routing, injection or arbitration, so simulation results are
+// bit-identical with it on or off (pinned at threads 1/2/4/7 by
+// tests/test_flight_recorder.cpp). That makes it cheap enough to leave
+// enabled by default: the per-cycle cost is one predicted-taken branch,
+// and the per-interval cost is a scan amortized over `interval_cycles`.
+//
+// Dumps: `smartsim_cli --flight <path>` writes the series after the run;
+// when an anomaly watchdog fires (src/obs/anomaly.hpp) the CLI writes
+// `<manifest>.flight.json` automatically, together with a dense snapshot
+// of the hottest switches taken at the moment of the trigger.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "topology/topology.hpp"
+#include "util/json.hpp"
+
+namespace smart {
+
+struct FlightSpec;
+
+/// One per-interval sample of fabric-wide state. Cumulative fields are
+/// since-cycle-0 totals; delta fields cover the interval since the
+/// previous snapshot (computed by the recorder, so ring overwrites never
+/// lose the baseline).
+struct FlightSnapshot {
+  std::uint64_t cycle = 0;
+  std::uint64_t injected_flits = 0;  ///< cumulative flits injected
+  std::uint64_t consumed_flits = 0;  ///< cumulative flits accepted
+  std::uint64_t delta_injected = 0;
+  std::uint64_t delta_consumed = 0;
+  /// Cumulative fabric-wide stall totals by cause (zeros when the stall
+  /// counters are not enabled for the run).
+  std::array<std::uint64_t, kStallCauseCount> stalls{};
+  std::uint64_t switch_frozen_cycles = 0;
+  std::uint64_t active_switches = 0;  ///< active-set occupancy this cycle
+  std::uint64_t active_nics = 0;
+  std::uint64_t buffered_flits = 0;     ///< flits resident in switch lanes
+  std::uint64_t lane_high_water = 0;    ///< running max of buffered_flits
+  std::uint64_t in_flight_packets = 0;  ///< live pool slots
+  std::uint64_t max_packet_age = 0;     ///< cycles since injection, max
+  std::uint64_t throttled_nic_cycles = 0;  ///< cumulative
+  double escape_pressure_mean = 0.0;  ///< mean over switches, this cycle
+};
+
+/// Dense state of one hot switch, captured when an anomaly fires.
+struct HotSwitchSnapshot {
+  SwitchId sw = 0;
+  std::uint64_t buffered = 0;
+  std::uint32_t bound_inputs = 0;
+  double escape_pressure = 0.0;
+};
+
+/// The exported recorder state: ring contents oldest-first plus anomaly
+/// context. Lives in SimulationResult so sweeps/replications keep their
+/// series after the Network is destroyed.
+struct FlightSeries {
+  bool enabled = false;
+  std::uint64_t interval_cycles = 0;
+  std::uint64_t capacity = 0;
+  /// Snapshots ever recorded; `total_recorded - snapshots.size()` were
+  /// overwritten by the ring.
+  std::uint64_t total_recorded = 0;
+  std::vector<FlightSnapshot> snapshots;
+  /// First anomaly that fired, if any ("" = clean run).
+  std::string anomaly_kind;
+  std::uint64_t anomaly_cycle = 0;
+  /// Hottest switches (by buffered flits) at the anomaly trigger.
+  std::vector<HotSwitchSnapshot> hot_switches;
+};
+
+/// Fixed-capacity overwrite ring. Separated from the recorder so the
+/// wraparound arithmetic is unit-testable without an engine.
+class FlightRing {
+ public:
+  explicit FlightRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(const FlightSnapshot& snap) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(snap);
+    } else {
+      ring_[total_ % capacity_] = snap;
+    }
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+
+  /// Ring contents oldest-first.
+  [[nodiscard]] std::vector<FlightSnapshot> ordered() const;
+
+ private:
+  std::vector<FlightSnapshot> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+/// Owns the ring plus delta bookkeeping and anomaly context. The engine
+/// assembles each cumulative snapshot; the recorder derives interval
+/// deltas and the running high water before storing it.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightSpec& spec);
+
+  [[nodiscard]] std::uint64_t interval() const noexcept { return interval_; }
+
+  /// Store one snapshot; fills delta_* and lane_high_water in place.
+  void record(FlightSnapshot snap);
+
+  /// Note the first anomaly only; later triggers keep the original scene.
+  void note_anomaly(const std::string& kind, std::uint64_t cycle);
+  void set_hot_switches(std::vector<HotSwitchSnapshot> hot);
+  [[nodiscard]] bool anomaly_noted() const noexcept {
+    return !anomaly_kind_.empty();
+  }
+
+  [[nodiscard]] FlightSeries series() const;
+
+ private:
+  FlightRing ring_;
+  std::uint64_t interval_;
+  std::uint64_t prev_injected_ = 0;
+  std::uint64_t prev_consumed_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::string anomaly_kind_;
+  std::uint64_t anomaly_cycle_ = 0;
+  std::vector<HotSwitchSnapshot> hot_switches_;
+};
+
+/// Schema `smartsim-flight-v1` document for `<out>.flight.json` dumps.
+[[nodiscard]] json::Value flight_json(const FlightSeries& series);
+
+/// Parse a dump written by write_flight; returns false on schema mismatch.
+[[nodiscard]] bool parse_flight(const std::string& path, FlightSeries* out,
+                                std::string* error);
+
+/// Write the series to `path`; false (with *error set) on I/O failure.
+[[nodiscard]] bool write_flight(const std::string& path,
+                                const FlightSeries& series,
+                                std::string* error);
+
+/// Render the series as a fixed-width timeline table (smartsim_report
+/// --timeline). One row per snapshot.
+[[nodiscard]] std::string render_timeline(const FlightSeries& series);
+
+/// Side-by-side diff of two series aligned by snapshot cycle
+/// (smartsim_report --timeline-diff).
+[[nodiscard]] std::string render_timeline_diff(const FlightSeries& a,
+                                               const FlightSeries& b);
+
+}  // namespace smart

@@ -79,6 +79,16 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
              json::Value(static_cast<double>(config.timing.horizon_cycles)));
   timing.set("drain_after_horizon",
              json::Value(config.timing.drain_after_horizon));
+  // Provenance only (stderr cadence); zero means no heartbeat lines.
+  timing.set("heartbeat_cycles",
+             json::Value(static_cast<double>(config.timing.heartbeat_cycles)));
+
+  json::Value flight = json::Value::object();
+  flight.set("enabled", json::Value(config.flight.enabled));
+  flight.set("interval_cycles",
+             json::Value(static_cast<double>(config.flight.interval_cycles)));
+  flight.set("capacity",
+             json::Value(static_cast<double>(config.flight.capacity)));
 
   json::Value echo = json::Value::object();
   echo.set("network", std::move(network));
@@ -87,6 +97,8 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
   echo.set("faults", json::Value(config.faults.to_string()));
   echo.set("obs_enabled", json::Value(config.obs.enabled));
   echo.set("profile_enabled", json::Value(config.prof.enabled));
+  echo.set("anomaly_enabled", json::Value(config.anomaly.enabled));
+  echo.set("flight", std::move(flight));
   // Provenance only: the sharded engine is bit-identical for every thread
   // count, so this never explains a metrics diff.
   echo.set("engine_threads",

@@ -57,6 +57,16 @@ ProfileReport Profiler::report() const {
       out.shard_switch_visits_min = visits;
     }
   }
+  out.shard_region_a_ns = shard_region_a_ns;
+  out.shard_region_b_ns = shard_region_b_ns;
+  out.shard_barrier_wait_ns = shard_barrier_wait_ns;
+  out.shard_merge_ns = shard_merge_ns;
+  if (shard_imbalance_samples_ > 0) {
+    out.shard_imbalance_mean =
+        static_cast<double>(shard_imbalance_sum_) /
+        static_cast<double>(shard_imbalance_samples_);
+  }
+  out.shard_imbalance_max = shard_imbalance_max_;
   return out;
 }
 

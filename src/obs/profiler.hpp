@@ -111,6 +111,19 @@ struct ProfileReport {
   std::uint64_t shard_switch_visits_max = 0;
   std::uint64_t shard_switch_visits_min = 0;
 
+  // Per-shard contention telemetry (obs generation 3): where the sharded
+  // pipeline's wall time actually goes. The ns fields are worker/leader
+  // wall clocks (nondeterministic, registered under profile/shard/time/*
+  // so the report gate treats them as advisory); the imbalance pair is
+  // the per-cycle spread (max - min) of staged shard switch visits and is
+  // bit-deterministic for a fixed shard count.
+  std::uint64_t shard_region_a_ns = 0;      ///< workers inside region A (gen)
+  std::uint64_t shard_region_b_ns = 0;      ///< workers inside region B (pass)
+  std::uint64_t shard_barrier_wait_ns = 0;  ///< leader waiting on stragglers
+  std::uint64_t shard_merge_ns = 0;         ///< serial cross-shard merge
+  double shard_imbalance_mean = 0.0;
+  std::uint64_t shard_imbalance_max = 0;
+
   [[nodiscard]] const PhaseProfile& phase(ProfPhase p) const noexcept {
     return phases[static_cast<std::size_t>(p)];
   }
@@ -164,6 +177,14 @@ class Profiler {
     shard_visits_[shard] += visits;
   }
 
+  /// One cycle's spread (max - min) of staged shard switch visits, fed by
+  /// the serial merge. Deterministic for a fixed shard count.
+  void add_shard_imbalance(std::uint64_t spread) noexcept {
+    shard_imbalance_sum_ += spread;
+    ++shard_imbalance_samples_;
+    if (spread > shard_imbalance_max_) shard_imbalance_max_ = spread;
+  }
+
   [[nodiscard]] ProfileReport report() const;
 
   // Hot work counters, incremented directly from the phase translation
@@ -179,6 +200,12 @@ class Profiler {
   std::uint64_t merge_staged_credits = 0;
   std::uint64_t merge_staged_trace_events = 0;
   std::uint64_t merge_staged_drops = 0;
+  // Per-shard contention wall clocks (obs generation 3; accumulated from
+  // phase_parallel.cpp / the worker team behind `if (prof_)` checks).
+  std::uint64_t shard_region_a_ns = 0;
+  std::uint64_t shard_region_b_ns = 0;
+  std::uint64_t shard_barrier_wait_ns = 0;
+  std::uint64_t shard_merge_ns = 0;
 
  private:
   std::array<std::uint64_t, kProfPhaseCount> phase_ns_{};
@@ -193,6 +220,9 @@ class Profiler {
   std::size_t switch_count_ = 0;
   std::size_t nic_count_ = 0;
   std::vector<std::uint64_t> shard_visits_;  ///< per-shard switch visits
+  std::uint64_t shard_imbalance_sum_ = 0;
+  std::uint64_t shard_imbalance_samples_ = 0;
+  std::uint64_t shard_imbalance_max_ = 0;
 };
 
 }  // namespace smart

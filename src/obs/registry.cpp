@@ -167,6 +167,23 @@ void register_obs_metrics(MetricsRegistry& reg, const SimulationResult& r) {
   reg.counter("obs/switch_frozen_cycles", r.obs.switch_frozen_cycles);
 }
 
+void register_anomaly_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  std::uint64_t any = 0;
+  for (const AnomalyVerdict& v : r.anomaly_verdicts) {
+    const std::string base = std::string("obs/anomaly/") + to_string(v.kind);
+    reg.counter(base, v.triggered ? 1 : 0);
+    reg.counter(base + "_cycle", v.triggered ? v.cycle : 0, "cycle");
+    if (v.triggered) any = 1;
+  }
+  reg.counter("obs/anomaly/any", any);
+}
+
+void register_flight_metrics(MetricsRegistry& reg, const SimulationResult& r) {
+  reg.counter("obs/flight/snapshots", r.flight.total_recorded);
+  reg.counter("obs/flight/interval_cycles", r.flight.interval_cycles, "cycles");
+  reg.counter("obs/flight/capacity", r.flight.capacity);
+}
+
 void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p) {
   // Deterministic scheduler-effectiveness gauges.
   reg.gauge("profile/fused_hit_rate", p.fused_hit_rate());
@@ -196,6 +213,21 @@ void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p) {
   reg.counter("profile/merge_staged_drops", p.merge_staged_drops);
   reg.counter("profile/shard_switch_visits_max", p.shard_switch_visits_max);
   reg.counter("profile/shard_switch_visits_min", p.shard_switch_visits_min);
+  // Per-shard contention telemetry (sharded runs only). The imbalance
+  // gauges count switch visits, so they are deterministic for a fixed
+  // thread count; the wall times live under profile/shard/time/ — the
+  // report tool treats any /time/ segment as advisory (warn-only).
+  if (p.shards > 0) {
+    reg.gauge("profile/shard/imbalance_mean", p.shard_imbalance_mean,
+              "visits");
+    reg.counter("profile/shard/imbalance_max", p.shard_imbalance_max,
+                "visits");
+    reg.counter("profile/shard/time/region_a_ns", p.shard_region_a_ns, "ns");
+    reg.counter("profile/shard/time/region_b_ns", p.shard_region_b_ns, "ns");
+    reg.counter("profile/shard/time/barrier_wait_ns", p.shard_barrier_wait_ns,
+                "ns");
+    reg.counter("profile/shard/time/merge_ns", p.shard_merge_ns, "ns");
+  }
   // Wall-time shares are noisy: the whole slice lives in the advisory
   // time/ namespace so an A/B report never fails on scheduler jitter.
   for (std::size_t i = 0; i < kProfPhaseCount; ++i) {
@@ -227,6 +259,8 @@ void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r) {
     register_fault_metrics(reg, r);
   }
   if (r.obs.enabled) register_obs_metrics(reg, r);
+  if (r.anomaly_enabled) register_anomaly_metrics(reg, r);
+  if (r.flight.enabled) register_flight_metrics(reg, r);
   if (r.profile.enabled) register_profile_metrics(reg, r.profile);
   register_time_metrics(reg, r);
 }

@@ -105,6 +105,14 @@ void register_engine_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_routing_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_fault_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_obs_metrics(MetricsRegistry& reg, const SimulationResult& r);
+/// Anomaly-watchdog verdicts (obs/anomaly/ namespace). All five detector
+/// kinds are always registered (0/1 trigger flag plus trigger cycle) so
+/// the manifest shape is stable whenever the monitor ran; the verdicts
+/// are pure functions of simulated state, hence deterministic.
+void register_anomaly_metrics(MetricsRegistry& reg, const SimulationResult& r);
+/// Flight-recorder ring provenance (obs/flight/ namespace): snapshot
+/// cadence, ring capacity, and total snapshots taken. Deterministic.
+void register_flight_metrics(MetricsRegistry& reg, const SimulationResult& r);
 void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p);
 /// Wall-clock self-metrics; everything lands in the advisory time/ space.
 void register_time_metrics(MetricsRegistry& reg, const SimulationResult& r);

@@ -18,6 +18,19 @@ bool is_time_metric(std::string_view name) {
          name.find("/time/") != std::string_view::npos;
 }
 
+// Anomaly-watchdog trigger flags (obs/anomaly/<kind>, possibly behind a
+// sweep prefix). A triggered flag in the candidate with a clean baseline
+// is always a failure — even when the metric is new in B, which would
+// otherwise pass as informational.
+bool is_anomaly_flag(std::string_view name) {
+  const auto pos = name.find("obs/anomaly/");
+  if (pos != 0 && (pos == std::string_view::npos || name[pos - 1] != '/')) {
+    return false;
+  }
+  return name.size() < 6 ||
+         name.compare(name.size() - 6, 6, "_cycle") != 0;
+}
+
 /// Relative drift of b against a, tolerant of a zero baseline.
 double relative_delta(double a, double b) {
   if (a == b) return 0.0;
@@ -149,6 +162,12 @@ ReportResult compare_registries(const std::string& producer,
                 ? static_cast<double>(mb.hist.count)
                 : mb.value;
     row.verdict = Verdict::kNew;
+    if (mb.value > 0.0 && is_anomaly_flag(mb.name)) {
+      row.verdict = Verdict::kFail;
+      ++result.failures;
+      result.notes.push_back("anomaly '" + mb.name + "' triggered in " +
+                             producer + " with no baseline counterpart");
+    }
     result.rows.push_back(std::move(row));
   }
   return result;

@@ -61,6 +61,9 @@ struct Packet {
 
 /// Fixed-id pool of in-flight packets with free-list recycling. Ids stay
 /// valid from allocation until release (tail consumed at the destination).
+/// Live slots are tracked in a parallel byte vector so observability scans
+/// (the livelock watchdog's packet-age high-water) can walk in-flight
+/// packets without touching recycled records.
 class PacketPool {
  public:
   PacketId allocate() {
@@ -68,15 +71,26 @@ class PacketPool {
       const PacketId id = free_.back();
       free_.pop_back();
       packets_[id] = Packet{};
+      live_[id] = 1;
       return id;
     }
     packets_.emplace_back();
+    live_.push_back(1);
     return static_cast<PacketId>(packets_.size() - 1);
   }
 
   void release(PacketId id) {
     SMART_DCHECK(id < packets_.size());
     free_.push_back(id);
+    live_[id] = 0;
+  }
+
+  /// Visit every in-flight packet (read-only observability walk).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (std::size_t id = 0; id < packets_.size(); ++id) {
+      if (live_[id] != 0) fn(packets_[id]);
+    }
   }
 
   [[nodiscard]] Packet& operator[](PacketId id) {
@@ -98,6 +112,7 @@ class PacketPool {
  private:
   std::vector<Packet> packets_;
   std::vector<PacketId> free_;
+  std::vector<std::uint8_t> live_;  ///< 1 = slot in flight, index-parallel
 };
 
 }  // namespace smart

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace smart {
 
@@ -112,8 +113,19 @@ void WorkerTeam::run(const std::function<void(std::size_t)>& fn) {
   fn(0);
   // Spin for the stragglers; the passes are balanced by construction, so
   // this wait is short. yield() keeps oversubscribed runs (CI) live.
-  while (done_.load(std::memory_order_acquire) < workers_.size()) {
-    std::this_thread::yield();
+  if (time_waits_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (done_.load(std::memory_order_acquire) < workers_.size()) {
+      std::this_thread::yield();
+    }
+    wait_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  } else {
+    while (done_.load(std::memory_order_acquire) < workers_.size()) {
+      std::this_thread::yield();
+    }
   }
   fn_ = nullptr;
 }

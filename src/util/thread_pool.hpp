@@ -82,6 +82,14 @@ class WorkerTeam {
   /// throw. Not reentrant and not thread-safe: one run() at a time.
   void run(const std::function<void(std::size_t)>& fn);
 
+  /// Opt-in contention telemetry: when enabled, run() accumulates the
+  /// leader's straggler-wait (the spin after its own fn(0) finished until
+  /// the last worker checks in) into wait_ns(). Off by default — two
+  /// clock reads per run() round trip are pure overhead for callers that
+  /// never read them (the engine enables this only under --profile).
+  void enable_wait_timing() noexcept { time_waits_ = true; }
+  [[nodiscard]] std::uint64_t wait_ns() const noexcept { return wait_ns_; }
+
  private:
   void worker_loop(std::size_t worker);
 
@@ -96,6 +104,9 @@ class WorkerTeam {
   std::atomic<std::size_t> parked_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
+  /// Straggler-wait telemetry (leader thread only; see enable_wait_timing).
+  bool time_waits_ = false;
+  std::uint64_t wait_ns_ = 0;
 };
 
 }  // namespace smart

@@ -1,0 +1,516 @@
+// Flight recorder + anomaly watchdogs (observability generation 3).
+//
+// Three layers of coverage: (1) unit tests of the FlightRing wraparound
+// arithmetic, the recorder's delta bookkeeping, and each AnomalyMonitor
+// detector's threshold logic; (2) the bit-identity contract — flight and
+// anomaly instrumentation on or off, serial or sharded at threads
+// {1, 2, 4, 7}, the simulation results never move; (3) failure-injection
+// integration — a dead switch under load must produce livelock/starvation
+// verdicts, an anomaly-annotated flight series with a dense hottest-switch
+// capture, and a wedged ring must route the engine's deadlock watchdog
+// verdict through the same obs/anomaly/* namespace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "core/network.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
+#include "topology/kary_ncube.hpp"
+
+namespace smart {
+namespace {
+
+FlightSnapshot snap_at(std::uint64_t cycle) {
+  FlightSnapshot snap;
+  snap.cycle = cycle;
+  snap.injected_flits = cycle * 10;
+  snap.consumed_flits = cycle * 9;
+  snap.buffered_flits = cycle;
+  return snap;
+}
+
+TEST(FlightRing, KeepsEverythingBelowCapacity) {
+  FlightRing ring(8);
+  for (std::uint64_t c = 1; c <= 5; ++c) ring.record(snap_at(c));
+  EXPECT_EQ(ring.size(), 5U);
+  EXPECT_EQ(ring.total_recorded(), 5U);
+  const auto ordered = ring.ordered();
+  ASSERT_EQ(ordered.size(), 5U);
+  for (std::uint64_t c = 1; c <= 5; ++c) {
+    EXPECT_EQ(ordered[c - 1].cycle, c);
+  }
+}
+
+TEST(FlightRing, WrapsAroundKeepingTheNewest) {
+  FlightRing ring(4);
+  for (std::uint64_t c = 1; c <= 10; ++c) ring.record(snap_at(c));
+  EXPECT_EQ(ring.size(), 4U);
+  EXPECT_EQ(ring.capacity(), 4U);
+  EXPECT_EQ(ring.total_recorded(), 10U);
+  const auto ordered = ring.ordered();
+  ASSERT_EQ(ordered.size(), 4U);
+  // Oldest-first: cycles 7, 8, 9, 10 survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ordered[i].cycle, 7 + i);
+  }
+}
+
+TEST(FlightRing, ZeroCapacityClampsToOne) {
+  FlightRing ring(0);
+  for (std::uint64_t c = 1; c <= 3; ++c) ring.record(snap_at(c));
+  EXPECT_EQ(ring.capacity(), 1U);
+  EXPECT_EQ(ring.size(), 1U);
+  EXPECT_EQ(ring.total_recorded(), 3U);
+  EXPECT_EQ(ring.ordered().front().cycle, 3U);
+}
+
+TEST(FlightRecorder, ComputesIntervalDeltasAndHighWater) {
+  FlightSpec spec;
+  spec.interval_cycles = 100;
+  spec.capacity = 16;
+  FlightRecorder recorder(spec);
+  FlightSnapshot first = snap_at(100);
+  first.injected_flits = 500;
+  first.consumed_flits = 400;
+  first.buffered_flits = 60;
+  recorder.record(first);
+  FlightSnapshot second = snap_at(200);
+  second.injected_flits = 900;
+  second.consumed_flits = 850;
+  second.buffered_flits = 40;
+  recorder.record(second);
+
+  const FlightSeries series = recorder.series();
+  ASSERT_EQ(series.snapshots.size(), 2U);
+  EXPECT_EQ(series.snapshots[0].delta_injected, 500U);
+  EXPECT_EQ(series.snapshots[0].delta_consumed, 400U);
+  EXPECT_EQ(series.snapshots[1].delta_injected, 400U);
+  EXPECT_EQ(series.snapshots[1].delta_consumed, 450U);
+  // The high water is a running max over buffered_flits.
+  EXPECT_EQ(series.snapshots[0].lane_high_water, 60U);
+  EXPECT_EQ(series.snapshots[1].lane_high_water, 60U);
+  EXPECT_TRUE(series.enabled);
+  EXPECT_EQ(series.interval_cycles, 100U);
+}
+
+TEST(FlightRecorder, FirstAnomalyWins) {
+  FlightSpec spec;
+  FlightRecorder recorder(spec);
+  EXPECT_FALSE(recorder.anomaly_noted());
+  recorder.note_anomaly("livelock", 4000);
+  recorder.note_anomaly("starvation", 5000);
+  EXPECT_TRUE(recorder.anomaly_noted());
+  const FlightSeries series = recorder.series();
+  EXPECT_EQ(series.anomaly_kind, "livelock");
+  EXPECT_EQ(series.anomaly_cycle, 4000U);
+}
+
+TEST(FlightJson, RoundTripsThroughDumpAndParse) {
+  FlightSpec spec;
+  spec.interval_cycles = 64;
+  spec.capacity = 8;
+  FlightRecorder recorder(spec);
+  for (std::uint64_t c = 64; c <= 640; c += 64) recorder.record(snap_at(c));
+  recorder.note_anomaly("throughput_collapse", 512);
+  recorder.set_hot_switches({HotSwitchSnapshot{3, 42, 2, 0.5}});
+
+  const FlightSeries series = recorder.series();
+  const std::string path = "flight_roundtrip_test.json";
+  std::string error;
+  ASSERT_TRUE(write_flight(path, series, &error)) << error;
+
+  FlightSeries parsed;
+  ASSERT_TRUE(parse_flight(path, &parsed, &error)) << error;
+  std::remove(path.c_str());
+
+  EXPECT_EQ(parsed.interval_cycles, series.interval_cycles);
+  EXPECT_EQ(parsed.capacity, series.capacity);
+  EXPECT_EQ(parsed.total_recorded, series.total_recorded);
+  EXPECT_EQ(parsed.anomaly_kind, "throughput_collapse");
+  EXPECT_EQ(parsed.anomaly_cycle, 512U);
+  ASSERT_EQ(parsed.hot_switches.size(), 1U);
+  EXPECT_EQ(parsed.hot_switches[0].sw, 3U);
+  EXPECT_EQ(parsed.hot_switches[0].buffered, 42U);
+  ASSERT_EQ(parsed.snapshots.size(), series.snapshots.size());
+  for (std::size_t i = 0; i < parsed.snapshots.size(); ++i) {
+    EXPECT_EQ(parsed.snapshots[i].cycle, series.snapshots[i].cycle);
+    EXPECT_EQ(parsed.snapshots[i].injected_flits,
+              series.snapshots[i].injected_flits);
+    EXPECT_EQ(parsed.snapshots[i].delta_injected,
+              series.snapshots[i].delta_injected);
+  }
+  // The renderers accept a parsed series (output content is free-form).
+  EXPECT_FALSE(render_timeline(parsed).empty());
+  EXPECT_FALSE(render_timeline_diff(series, parsed).empty());
+}
+
+// ---- AnomalyMonitor detector logic -------------------------------------
+
+AnomalySpec default_spec() { return AnomalySpec{}; }
+
+TEST(AnomalyMonitor, CollapseNeedsConsecutiveWindowsBelowPeak) {
+  AnomalyMonitor monitor(default_spec(), 3000);
+  monitor.check_window(0.50, 1000);  // arms the peak
+  EXPECT_FALSE(monitor.any());
+  monitor.check_window(0.10, 2000);  // below 0.35 * 0.50 = 0.175, streak 1
+  EXPECT_FALSE(monitor.any());
+  monitor.check_window(0.10, 3000);  // streak 2 -> trigger
+  ASSERT_TRUE(monitor.any());
+  const AnomalyVerdict& v = monitor.verdicts()[static_cast<std::size_t>(
+      AnomalyKind::kThroughputCollapse)];
+  EXPECT_TRUE(v.triggered);
+  EXPECT_EQ(v.cycle, 3000U);
+  EXPECT_DOUBLE_EQ(v.value, 0.10);
+}
+
+TEST(AnomalyMonitor, CollapseRecoveryResetsTheStreak) {
+  AnomalyMonitor monitor(default_spec(), 3000);
+  monitor.check_window(0.50, 1000);
+  monitor.check_window(0.10, 2000);
+  monitor.check_window(0.40, 3000);  // recovered: streak resets
+  monitor.check_window(0.10, 4000);  // streak 1 again, not 2
+  EXPECT_FALSE(monitor.any());
+}
+
+TEST(AnomalyMonitor, CollapseNeverArmsOnAnIdleRun) {
+  AnomalySpec spec = default_spec();
+  AnomalyMonitor monitor(spec, 3000);
+  for (int i = 0; i < 10; ++i) {
+    monitor.check_window(0.0, 1000 * (i + 1));  // peak stays below min_peak
+  }
+  EXPECT_FALSE(monitor.any());
+}
+
+TEST(AnomalyMonitor, LivelockBoundDerivesFromDeadlockThreshold) {
+  AnomalyMonitor monitor(default_spec(), 500);  // bound = 4 * 500
+  EXPECT_EQ(monitor.livelock_age_bound(), 2000U);
+  monitor.check_ages(2000, 5000);  // at the bound: not over it
+  EXPECT_FALSE(monitor.any());
+  monitor.check_ages(2001, 6000);
+  ASSERT_TRUE(monitor.any());
+  EXPECT_EQ(monitor.first_kind(), AnomalyKind::kLivelock);
+  EXPECT_EQ(monitor.first_cycle(), 6000U);
+}
+
+TEST(AnomalyMonitor, ExplicitLivelockBoundOverridesTheDerivation) {
+  AnomalySpec spec = default_spec();
+  spec.livelock_age_cycles = 123;
+  AnomalyMonitor monitor(spec, 3000);
+  EXPECT_EQ(monitor.livelock_age_bound(), 123U);
+}
+
+TEST(AnomalyMonitor, StarvationNeedsDepthAndSkew) {
+  AnomalyMonitor monitor(default_spec(), 3000);
+  monitor.check_queues(50, 2, 1000);  // deep-ish but below starvation_queue
+  EXPECT_FALSE(monitor.any());
+  monitor.check_queues(100, 20, 2000);  // deep but skew bound 168 > 100
+  EXPECT_FALSE(monitor.any());
+  monitor.check_queues(100, 2, 3000);  // 100 >= 64 and >= 8 * 3 = 24
+  ASSERT_TRUE(monitor.any());
+  const AnomalyVerdict& v = monitor.verdicts()[static_cast<std::size_t>(
+      AnomalyKind::kStarvation)];
+  EXPECT_TRUE(v.triggered);
+  EXPECT_EQ(v.cycle, 3000U);
+}
+
+TEST(AnomalyMonitor, FirstTriggerLatchesAndNewFlagIsOneShot) {
+  AnomalyMonitor monitor(default_spec(), 3000);
+  monitor.check_ages(1000000, 4000);
+  EXPECT_TRUE(monitor.take_newly_triggered());
+  EXPECT_FALSE(monitor.take_newly_triggered());  // one-shot
+  monitor.check_queues(100, 0, 5000);
+  EXPECT_TRUE(monitor.take_newly_triggered());  // a new kind re-arms it
+  monitor.check_queues(200, 0, 6000);           // same kind: first wins
+  EXPECT_FALSE(monitor.take_newly_triggered());
+  EXPECT_EQ(monitor.first_kind(), AnomalyKind::kLivelock);
+  EXPECT_EQ(monitor.first_cycle(), 4000U);
+  const AnomalyVerdict& starve = monitor.verdicts()[static_cast<std::size_t>(
+      AnomalyKind::kStarvation)];
+  EXPECT_EQ(starve.cycle, 5000U);
+}
+
+// ---- Engine integration ------------------------------------------------
+
+SimConfig cube64_config() {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 4;
+  config.net.n = 3;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  return config;
+}
+
+TEST(FlightEngine, RecorderAndWatchdogsNeverPerturbResults) {
+  SimConfig on = cube64_config();
+  on.flight.enabled = true;
+  on.anomaly.enabled = true;
+  SimConfig off = cube64_config();
+  off.flight.enabled = false;
+  off.anomaly.enabled = false;
+
+  Network net_on(on);
+  const SimulationResult a = net_on.run();
+  Network net_off(off);
+  const SimulationResult b = net_off.run();
+
+  EXPECT_EQ(a.generated_packets, b.generated_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.delivered_flits, b.delivered_flits);
+  EXPECT_EQ(a.accepted_fraction, b.accepted_fraction);
+  EXPECT_EQ(a.latency_cycles.mean(), b.latency_cycles.mean());
+  EXPECT_EQ(a.hops.mean(), b.hops.mean());
+
+  EXPECT_TRUE(a.flight.enabled);
+  EXPECT_GT(a.flight.total_recorded, 0U);
+  EXPECT_TRUE(a.anomaly_enabled);
+  EXPECT_FALSE(a.anomaly_triggered());  // healthy run stays quiet
+  EXPECT_FALSE(b.flight.enabled);
+  EXPECT_FALSE(b.anomaly_enabled);
+}
+
+TEST(FlightEngine, RingWrapsInsideTheEngine) {
+  SimConfig config = cube64_config();
+  config.flight.interval_cycles = 64;
+  config.flight.capacity = 4;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  const FlightSeries& series = result.flight;
+  EXPECT_GT(series.total_recorded, 4U);
+  ASSERT_EQ(series.snapshots.size(), 4U);
+  // Oldest-first, contiguous at the configured cadence.
+  for (std::size_t i = 1; i < series.snapshots.size(); ++i) {
+    EXPECT_EQ(series.snapshots[i].cycle,
+              series.snapshots[i - 1].cycle + 64);
+  }
+  // The ring holds the run's last snapshots, not its first.
+  EXPECT_GT(series.snapshots.front().cycle,
+            series.total_recorded * 64 / 2);
+}
+
+// The sharded pipeline must not move a single bit with flight + anomaly
+// active: the full registry (engine/, latency/, obs/flight/, obs/anomaly/
+// — everything except wall-clock time/) is compared bit for bit between
+// the serial run and threads {2, 4, 7}. The profiler stays off here: its
+// shard counters legitimately differ between pipelines.
+TEST(FlightEngine, ShardedRunsAreBitIdenticalWithFlightOn) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 16;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.45;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 300;
+  config.timing.horizon_cycles = 2500;
+  config.flight.interval_cycles = 128;
+
+  config.engine_threads = 1;
+  Network serial_net(config);
+  const SimulationResult serial = serial_net.run();
+  EXPECT_FALSE(serial.engine_parallel);
+  MetricsRegistry serial_reg;
+  register_run_metrics(serial_reg, serial);
+
+  for (const unsigned threads : {2U, 4U, 7U}) {
+    config.engine_threads = threads;
+    Network net(config);
+    const SimulationResult threaded = net.run();
+    EXPECT_TRUE(threaded.engine_parallel) << "threads=" << threads;
+    MetricsRegistry reg;
+    register_run_metrics(reg, threaded);
+    ASSERT_EQ(serial_reg.size(), reg.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial_reg.size(); ++i) {
+      const Metric& a = serial_reg.metrics()[i];
+      const Metric& b = reg.metrics()[i];
+      ASSERT_EQ(a.name, b.name) << "threads=" << threads;
+      if (std::string_view(a.name).starts_with("time/")) continue;
+      EXPECT_EQ(a.value, b.value) << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.count, b.hist.count)
+          << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.p50, b.hist.p50) << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.p99, b.hist.p99) << a.name << " threads=" << threads;
+    }
+    // The flight series itself is thread-invariant too.
+    ASSERT_EQ(serial.flight.snapshots.size(),
+              threaded.flight.snapshots.size());
+    for (std::size_t i = 0; i < serial.flight.snapshots.size(); ++i) {
+      EXPECT_EQ(serial.flight.snapshots[i].injected_flits,
+                threaded.flight.snapshots[i].injected_flits);
+      EXPECT_EQ(serial.flight.snapshots[i].consumed_flits,
+                threaded.flight.snapshots[i].consumed_flits);
+      EXPECT_EQ(serial.flight.snapshots[i].buffered_flits,
+                threaded.flight.snapshots[i].buffered_flits);
+      EXPECT_EQ(serial.flight.snapshots[i].max_packet_age,
+                threaded.flight.snapshots[i].max_packet_age);
+    }
+  }
+}
+
+TEST(AnomalyEngine, DeadSwitchUnderLoadTripsTheWatchdogs) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.pattern = PatternKind::kUniform;
+  config.traffic.offered_fraction = 0.6;
+  config.traffic.seed = 11;
+  config.timing.warmup_cycles = 0;
+  config.timing.horizon_cycles = 8000;
+  config.anomaly.livelock_age_cycles = 2000;
+  auto plan = FaultPlan::parse("switch:0@500");
+  ASSERT_TRUE(plan.has_value());
+  config.faults = *plan;
+
+  Network network(config);
+  const SimulationResult& result = network.run();
+
+  ASSERT_TRUE(result.anomaly_enabled);
+  EXPECT_TRUE(result.anomaly_triggered());
+  const AnomalyVerdict& livelock = result.anomaly_verdicts[
+      static_cast<std::size_t>(AnomalyKind::kLivelock)];
+  const AnomalyVerdict& starvation = result.anomaly_verdicts[
+      static_cast<std::size_t>(AnomalyKind::kStarvation)];
+  EXPECT_TRUE(livelock.triggered || starvation.triggered)
+      << "dead switch produced neither livelock nor starvation";
+
+  // The flight series carries the anomaly context plus the dense
+  // hottest-switch capture taken at the trigger.
+  EXPECT_TRUE(result.flight.enabled);
+  EXPECT_FALSE(result.flight.anomaly_kind.empty());
+  EXPECT_GT(result.flight.anomaly_cycle, 0U);
+  EXPECT_FALSE(result.flight.hot_switches.empty());
+}
+
+/// Dimension-order ring routing WITHOUT the dateline: deadlock-prone by
+/// construction (same device as test_deadlock_watchdog.cpp). Used here to
+/// drive the unified watchdog path: the engine's progress verdict must
+/// land in obs/anomaly/deadlock, and the throughput collapse of the
+/// wedging ring must trip the collapse detector.
+class FaultyRingRouting final : public RoutingAlgorithm {
+ public:
+  FaultyRingRouting(const KaryNCube& cube, unsigned vcs)
+      : cube_(cube), vcs_(vcs) {}
+
+  [[nodiscard]] std::string name() const override { return "faulty"; }
+  [[nodiscard]] unsigned virtual_channels() const override { return vcs_; }
+
+  [[nodiscard]] std::optional<OutputChoice> route(Switch& sw, PortId, unsigned,
+                                                  Packet& pkt,
+                                                  std::uint64_t) override {
+    const SwitchId s = sw.id();
+    for (unsigned d = 0; d < cube_.dimensions(); ++d) {
+      if (cube_.coord(s, d) == cube_.coord(pkt.dst, d)) continue;
+      const bool plus = cube_.dor_direction(s, pkt.dst, d);
+      const PortId port = KaryNCube::port_of(d, plus);
+      const auto lane = best_bindable_lane(sw.port(port), 0, vcs_);
+      if (!lane) return std::nullopt;
+      return OutputChoice{port, *lane};  // no dateline: cyclic dependency
+    }
+    const PortId local = cube_.local_port();
+    const auto lane = best_bindable_lane(
+        sw.port(local), 0, static_cast<unsigned>(sw.port(local).out.size()));
+    if (!lane) return std::nullopt;
+    return OutputChoice{local, *lane};
+  }
+
+ private:
+  const KaryNCube& cube_;
+  unsigned vcs_;
+};
+
+TEST(AnomalyEngine, WedgedRingRoutesDeadlockThroughTheUnifiedWatchdog) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 8;
+  config.net.n = 1;  // a plain ring
+  config.net.vcs = 1;
+  config.net.buffer_depth = 2;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 1.0;
+  config.timing.warmup_cycles = 500;
+  config.timing.horizon_cycles = 20000;
+  config.timing.deadlock_threshold = 2000;
+  config.timing.stats_window_cycles = 250;  // fine-grained collapse windows
+  config.custom_routing = [](const Topology& topo)
+      -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<FaultyRingRouting>(
+        dynamic_cast<const KaryNCube&>(topo), 1);
+  };
+
+  Network network(config);
+  const SimulationResult& result = network.run();
+  ASSERT_TRUE(result.deadlocked);
+  ASSERT_TRUE(result.anomaly_enabled);
+  const AnomalyVerdict& deadlock = result.anomaly_verdicts[
+      static_cast<std::size_t>(AnomalyKind::kDeadlock)];
+  EXPECT_TRUE(deadlock.triggered);
+  EXPECT_GT(deadlock.cycle, 0U);
+  // The flight dump records the first anomaly's scene.
+  EXPECT_FALSE(result.flight.anomaly_kind.empty());
+}
+
+TEST(AnomalyEngine, MidRunDeadSwitchesCollapseThroughput) {
+  // A healthy tornado ring demonstrates its peak for 3000 cycles, then
+  // two opposed switches die. Tornado traffic all flows one direction
+  // over a 3-hop span, so with switches 2 and 6 dead every source's span
+  // crosses a dead switch: accepted throughput falls off a cliff and the
+  // collapse detector must notice the consecutive far-below-peak windows.
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 8;
+  config.net.n = 1;  // a ring
+  config.net.routing = RoutingKind::kCubeDeterministic;
+  config.traffic.pattern = PatternKind::kTornado;
+  config.traffic.offered_fraction = 0.5;
+  config.traffic.seed = 5;
+  config.timing.warmup_cycles = 500;
+  config.timing.horizon_cycles = 10000;
+  auto plan = FaultPlan::parse("switch:2@3000,switch:6@3000");
+  ASSERT_TRUE(plan.has_value());
+  config.faults = *plan;
+
+  Network network(config);
+  const SimulationResult& result = network.run();
+  ASSERT_TRUE(result.anomaly_enabled);
+  const AnomalyVerdict& collapse = result.anomaly_verdicts[
+      static_cast<std::size_t>(AnomalyKind::kThroughputCollapse)];
+  EXPECT_TRUE(collapse.triggered) << "accepted " << result.accepted_fraction;
+  EXPECT_GT(collapse.cycle, 3000U);
+}
+
+TEST(AnomalyEngine, VerdictsLandInTheMetricNamespace) {
+  SimConfig config = cube64_config();
+  Network network(config);
+  const SimulationResult& result = network.run();
+  MetricsRegistry reg;
+  register_run_metrics(reg, result);
+  // Shape: all five kinds plus the rollup, plus the flight slice.
+  for (const char* slug :
+       {"deadlock", "fault_stall", "throughput_collapse", "livelock",
+        "starvation"}) {
+    const Metric* flag = reg.find(std::string("obs/anomaly/") + slug);
+    ASSERT_NE(flag, nullptr) << slug;
+    EXPECT_EQ(flag->value, 0.0) << slug;  // healthy run
+    EXPECT_NE(reg.find(std::string("obs/anomaly/") + slug + "_cycle"),
+              nullptr);
+  }
+  ASSERT_NE(reg.find("obs/anomaly/any"), nullptr);
+  EXPECT_EQ(reg.find("obs/anomaly/any")->value, 0.0);
+  ASSERT_NE(reg.find("obs/flight/snapshots"), nullptr);
+  EXPECT_GT(reg.find("obs/flight/snapshots")->value, 0.0);
+  EXPECT_EQ(reg.find("obs/flight/interval_cycles")->value, 256.0);
+}
+
+}  // namespace
+}  // namespace smart

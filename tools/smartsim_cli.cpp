@@ -102,6 +102,18 @@ void usage() {
       "  --profile                   engine self-profiler: per-phase time\n"
       "                              shares, fused-path hit rate, dirty-list\n"
       "                              occupancy (opt-in, results unchanged)\n"
+      "  --flight <path>             dump the always-on flight-recorder ring\n"
+      "                              (per-interval network snapshots) to\n"
+      "                              <path> as JSON (single run only); on an\n"
+      "                              anomaly the ring is dumped next to the\n"
+      "                              manifest automatically\n"
+      "  --flight-interval <cycles>  snapshot cadence (default 256)\n"
+      "  --flight-capacity <N>       ring size in snapshots (default 512)\n"
+      "  --no-flight                 disable the flight recorder and the\n"
+      "                              anomaly watchdogs (A/B overhead runs)\n"
+      "  --heartbeat <cycles>        print a stderr progress line every N\n"
+      "                              cycles (cycle, cycles/s, accepted\n"
+      "                              fraction, ETA); 0 = off (default)\n"
       "  --manifest <path>           write a run manifest (config echo,\n"
       "                              build provenance, metrics registry);\n"
       "                              default <csv>.manifest.json with --csv\n"
@@ -287,6 +299,18 @@ int main(int argc, char** argv) {
       config.obs.trace_hops = true;
     } else if (arg == "--profile") {
       config.prof.enabled = true;
+    } else if (arg == "--flight") {
+      config.flight.out = next_value(i);
+      config.flight.enabled = true;
+    } else if (arg == "--flight-interval") {
+      config.flight.interval_cycles = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--flight-capacity") {
+      config.flight.capacity = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--no-flight") {
+      config.flight.enabled = false;
+      config.anomaly.enabled = false;
+    } else if (arg == "--heartbeat") {
+      config.timing.heartbeat_cycles = std::strtoull(next_value(i), nullptr, 10);
     } else if (arg == "--manifest") {
       manifest_path = next_value(i);
     } else {
@@ -405,6 +429,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--trace-out writes one trace file and cannot be combined "
                  "with --sweep\n");
+    return 1;
+  }
+  if (!config.flight.out.empty() && (sweep || replications > 1)) {
+    std::fprintf(stderr,
+                 "--flight writes one ring dump and cannot be combined with "
+                 "--sweep or --replications\n");
     return 1;
   }
 
@@ -580,6 +610,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Anomaly watchdog verdicts: quiet runs stay quiet; a trip prints the
+  // detector, the trigger cycle, and the measured-vs-threshold pair.
+  for (const SimulationResult& point : results) {
+    if (!point.anomaly_enabled || !point.anomaly_triggered()) continue;
+    std::printf("\nANOMALY (load %.3f):\n", point.offered_fraction);
+    for (const AnomalyVerdict& v : point.anomaly_verdicts) {
+      if (!v.triggered) continue;
+      std::printf("  %-20s cycle %-10llu value %.3f threshold %.3f  %s\n",
+                  to_string(v.kind),
+                  static_cast<unsigned long long>(v.cycle), v.value,
+                  v.threshold, v.detail.c_str());
+    }
+  }
+
   // Latency percentiles: the paper reports averages, but saturation shows
   // in the tail first (the sweep table already carries p99 per load).
   if (results.size() == 1 && results.front().latency_cycles.count() > 0) {
@@ -726,6 +770,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", manifest_path.c_str());
+  }
+
+  // Flight-recorder dump: an explicit --flight path always writes; with
+  // no explicit path the ring is dumped next to the manifest when an
+  // anomaly fired, so the post-mortem window survives the process.
+  if (results.size() == 1 && results.front().flight.enabled) {
+    const SimulationResult& point = results.front();
+    std::string flight_path = config.flight.out;
+    if (flight_path.empty() && point.anomaly_triggered() &&
+        !manifest_path.empty()) {
+      flight_path = manifest_path + ".flight.json";
+    }
+    if (!flight_path.empty()) {
+      std::string error;
+      if (!write_flight(flight_path, point.flight, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%llu snapshot(s) kept of %llu recorded)\n",
+                  flight_path.c_str(),
+                  static_cast<unsigned long long>(point.flight.snapshots.size()),
+                  static_cast<unsigned long long>(point.flight.total_recorded));
+    }
   }
 
   if (any_deadlock) return 2;

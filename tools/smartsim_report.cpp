@@ -1,20 +1,29 @@
-// smartsim_report: perf-regression verdict between two manifest directories.
+// smartsim_report: perf-regression verdict between two manifest directories,
+// plus a timeline view over flight-recorder dumps.
 //
 // Usage:
 //   smartsim_report [--check] [--threshold F] [--time-threshold F] DIR_A DIR_B
+//   smartsim_report --timeline FLIGHT.json
+//   smartsim_report --timeline-diff FLIGHT_A.json FLIGHT_B.json
 //
 // DIR_A holds the baseline manifests, DIR_B the candidate run (both as
 // written by smartsim_cli --manifest or the benches via run_benches.sh).
 // Manifests are paired by producer and their metric registries diffed; the
 // namespace policy in src/obs/registry.hpp decides which drifts fail the
 // report and which are advisory. With --check the exit code is 2 when any
-// deterministic metric regressed (for CI gates); without it the tool only
-// prints the table.
+// deterministic metric regressed — anomaly-watchdog verdicts
+// (obs/anomaly/*) count: a candidate that trips a detector the baseline
+// did not is a regression. Without --check the tool only prints the table.
+//
+// --timeline renders one flight dump (smartsim_cli --flight, or the
+// automatic <manifest>.flight.json written on an anomaly) as a
+// cycle-by-cycle table; --timeline-diff aligns two dumps by cycle.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/manifest.hpp"
 #include "obs/report.hpp"
 
@@ -24,13 +33,19 @@ void usage(std::FILE* out) {
   std::fputs(
       "usage: smartsim_report [--check] [--threshold F] [--time-threshold F] "
       "DIR_A DIR_B\n"
+      "       smartsim_report --timeline FLIGHT.json\n"
+      "       smartsim_report --timeline-diff FLIGHT_A.json FLIGHT_B.json\n"
       "  DIR_A  baseline manifest directory\n"
       "  DIR_B  candidate manifest directory\n"
       "  --check            exit 2 when a deterministic metric regressed\n"
+      "                     (a triggered obs/anomaly/* verdict absent from\n"
+      "                     the baseline always fails)\n"
       "  --threshold F      relative drift tolerated on deterministic "
       "metrics (default 0.05)\n"
       "  --time-threshold F relative drift tolerated on time/ metrics "
       "before a warning (default 0.25)\n"
+      "  --timeline F       render a flight-recorder dump as a timeline\n"
+      "  --timeline-diff A B  align two flight dumps by cycle and diff\n"
       "  --version          print build provenance and exit\n",
       out);
 }
@@ -46,6 +61,8 @@ bool parse_double(const char* text, double* out) {
 int main(int argc, char** argv) {
   smart::ReportOptions options;
   bool check = false;
+  bool timeline = false;
+  bool timeline_diff = false;
   std::string dir_a;
   std::string dir_b;
 
@@ -61,6 +78,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--check") == 0) {
       check = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--timeline") == 0) {
+      timeline = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--timeline-diff") == 0) {
+      timeline_diff = true;
       continue;
     }
     if (std::strcmp(arg, "--threshold") == 0 && i + 1 < argc) {
@@ -91,6 +116,37 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 1;
     }
+  }
+  if (timeline && timeline_diff) {
+    std::fprintf(stderr,
+                 "smartsim_report: --timeline and --timeline-diff are "
+                 "mutually exclusive\n");
+    return 1;
+  }
+  if (timeline || timeline_diff) {
+    if (dir_a.empty() || (timeline_diff && dir_b.empty()) ||
+        (timeline && !dir_b.empty())) {
+      usage(stderr);
+      return 1;
+    }
+    std::string error;
+    smart::FlightSeries series_a;
+    if (!smart::parse_flight(dir_a, &series_a, &error)) {
+      std::fprintf(stderr, "smartsim_report: %s\n", error.c_str());
+      return 1;
+    }
+    if (timeline) {
+      std::fputs(smart::render_timeline(series_a).c_str(), stdout);
+      return 0;
+    }
+    smart::FlightSeries series_b;
+    if (!smart::parse_flight(dir_b, &series_b, &error)) {
+      std::fprintf(stderr, "smartsim_report: %s\n", error.c_str());
+      return 1;
+    }
+    std::fputs(smart::render_timeline_diff(series_a, series_b).c_str(),
+               stdout);
+    return 0;
   }
   if (dir_a.empty() || dir_b.empty()) {
     usage(stderr);
