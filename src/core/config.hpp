@@ -20,6 +20,7 @@
 #include "topology/registry.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/pattern.hpp"
+#include "workload/spec.hpp"
 
 namespace smart {
 
@@ -272,6 +273,13 @@ struct SimConfig {
   /// are echoed in SimulationResult::engine_path_reason and the run
   /// manifest. 64 keeps one word-aligned shard per mask word.
   unsigned serial_fabric_threshold = kDefaultSerialFabricThreshold;
+
+  /// Closed-loop workload above the fabric (empty family = the classic
+  /// open-loop synthetic traffic). When enabled, Network mutes the
+  /// open-loop generators (packet rate 0) and the workload becomes the
+  /// only packet source; traffic.seed still seeds its RNG streams. See
+  /// src/workload/ and docs/WORKLOADS.md.
+  WorkloadSpec workload;
 
   /// Deterministic fault schedule (empty = fault-free: the fault machinery
   /// is bypassed entirely and results are bit-identical to a build without

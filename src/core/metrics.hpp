@@ -17,6 +17,7 @@
 #include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "util/stats.hpp"
+#include "workload/workload.hpp"
 
 namespace smart {
 
@@ -202,6 +203,11 @@ struct SimulationResult {
   bool drained_clean = false;  ///< true when every in-flight packet left
   std::uint64_t drain_delivered_packets = 0;
   std::uint64_t drain_delivered_flits = 0;
+
+  // Closed-loop workload service metrics (enabled == false unless the run
+  // had a --workload; see src/workload/workload.hpp for the conservation
+  // identity and metric definitions).
+  WorkloadReport workload;
 
   // Observability (empty unless ObsSpec::enabled; see src/obs/).
   ObsReport obs;

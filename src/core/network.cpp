@@ -78,6 +78,19 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
   SMART_CHECK_MSG(packet_rate_ <= 1.0,
                   "offered load exceeds one packet per node per cycle");
 
+  // A closed-loop workload replaces the open-loop generators: build it
+  // from the registry and zero the packet rate so the NIC phases draw no
+  // generation RNG at all — the workload's begin_cycle is then the only
+  // packet source (traffic.seed still decorrelates its streams).
+  if (config_.workload.enabled()) {
+    ensure_builtin_workloads();
+    std::string error;
+    workload_ = WorkloadRegistry::instance().build(
+        config_.workload, topo_->node_count(), config_.traffic.seed, &error);
+    SMART_CHECK_MSG(workload_ != nullptr, error.c_str());
+    packet_rate_ = 0.0;
+  }
+
   if (config_.custom_pattern) {
     pattern_ = config_.custom_pattern(topo_->node_count());
     SMART_CHECK_MSG(pattern_ != nullptr, "custom pattern factory returned null");
@@ -95,7 +108,7 @@ Network::Network(SimConfig config) : config_(std::move(config)) {
   engine_ = std::make_unique<CycleEngine>(
       config_, *topo_, *routing_, *pattern_, injection_, faults_.get(),
       obs_.get(), profiler_.get(), flight_.get(), packet_rate_, capacity_,
-      flits_per_packet_);
+      flits_per_packet_, workload_.get());
 }
 
 void Network::build_topology() {

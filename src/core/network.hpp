@@ -26,6 +26,7 @@
 #include "topology/topology.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/pattern.hpp"
+#include "workload/workload.hpp"
 
 namespace smart {
 
@@ -109,6 +110,11 @@ class Network {
     return flight_.get();
   }
 
+  /// Null unless SimConfig::workload is enabled (see src/workload/).
+  [[nodiscard]] const Workload* workload() const noexcept {
+    return workload_.get();
+  }
+
   /// Manually enqueue one packet at `src` for `dst` (tests and examples);
   /// returns the packet id.
   PacketId enqueue_packet(NodeId src, NodeId dst) {
@@ -133,6 +139,7 @@ class Network {
   std::unique_ptr<ObsState> obs_;       ///< null unless obs is enabled
   std::unique_ptr<Profiler> profiler_;  ///< null unless prof is enabled
   std::unique_ptr<FlightRecorder> flight_;  ///< null when flight disabled
+  std::unique_ptr<Workload> workload_;  ///< null without --workload
   std::vector<std::unique_ptr<InjectionProcess>> injection_;  ///< per node
 
   double packet_rate_ = 0.0;

@@ -22,7 +22,8 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
                          std::vector<std::unique_ptr<InjectionProcess>>& injection,
                          FaultState* faults, ObsState* obs, Profiler* prof,
                          FlightRecorder* flight, double packet_rate,
-                         double capacity, unsigned flits_per_packet)
+                         double capacity, unsigned flits_per_packet,
+                         Workload* workload)
     : config_(config),
       topo_(topo),
       routing_(routing),
@@ -32,6 +33,7 @@ CycleEngine::CycleEngine(const SimConfig& config, const Topology& topo,
       obs_(obs),
       prof_(prof),
       flight_(flight),
+      workload_(workload),
       lanes_(config.net.buffer_depth),
       packet_rate_(packet_rate),
       capacity_(capacity),
@@ -256,6 +258,8 @@ void CycleEngine::step() {
     measuring_ = true;
     stats_window_start_ = cycle_;
   }
+  // Serial like the hooks above; the only place a workload injects packets.
+  if (workload_) workload_phase();
   // Self-profiling wraps each phase in a steady-clock lap; the disabled
   // path costs one null check per phase (the --obs/--faults discipline),
   // and the enabled path only reads clocks, so results are bit-identical
@@ -335,6 +339,13 @@ void CycleEngine::step() {
   note_anomalies();
 }
 
+void CycleEngine::workload_phase() {
+  workload_->begin_cycle(cycle_, measuring_, draining_,
+                         [this](NodeId src, NodeId dst) {
+                           return enqueue_packet(src, dst);
+                         });
+}
+
 void CycleEngine::fused_phase() {
   active_switches_.for_each([this](std::size_t s) {
     Switch& sw = switches_[s];
@@ -380,7 +391,11 @@ const SimulationResult& CycleEngine::run() {
     draining_ = true;
     measuring_ = false;
     const std::uint64_t drain_start = cycle_;
-    while (pool_.in_flight() > 0 &&
+    // With a workload, an empty fabric is not enough: staged replies still
+    // in service at a server will inject more packets — keep cycling until
+    // the workload is quiescent too.
+    while ((pool_.in_flight() > 0 ||
+            (workload_ != nullptr && !workload_->quiescent())) &&
            cycle_ - drain_start < config_.timing.drain_max_cycles) {
       step();
       if (heartbeat > 0 && cycle_ % heartbeat == 0) {
@@ -489,6 +504,7 @@ void CycleEngine::finalize_result() {
     if (team_) prof_->shard_barrier_wait_ns = team_->wait_ns();
     result_.profile = prof_->report();
   }
+  if (workload_) result_.workload = workload_->report();
   if (flight_) result_.flight = flight_->series();
   if (anomaly_) {
     result_.anomaly_enabled = true;
@@ -552,7 +568,11 @@ void CycleEngine::run_anomaly_scans() {
   queue_scratch_.clear();
   std::uint64_t max_queue = 0;
   for (const Nic& nic : nics_) {
-    const auto depth = static_cast<std::uint64_t>(nic.source_queue().size());
+    auto depth = static_cast<std::uint64_t>(nic.source_queue().size());
+    // A partly-open workload queues arrivals above the NIC while the
+    // window is full; a client starved by a dead server looks the same to
+    // the scan wherever its requests wait.
+    if (workload_) depth += workload_->queued_requests(nic.node());
     queue_scratch_.push_back(depth);
     if (depth > max_queue) max_queue = depth;
   }

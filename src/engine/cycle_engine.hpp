@@ -65,20 +65,23 @@
 #include "traffic/injection.hpp"
 #include "traffic/pattern.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/workload.hpp"
 
 namespace smart {
 
 class CycleEngine {
  public:
   /// All collaborators are owned by the caller (Network) and must outlive
-  /// the engine. `faults`/`obs`/`prof`/`flight` may be null (feature
-  /// disabled).
+  /// the engine. `faults`/`obs`/`prof`/`flight`/`workload` may be null
+  /// (feature disabled). With a workload, Network passes packet_rate == 0
+  /// so the open-loop generators stay silent and the workload is the only
+  /// packet source.
   CycleEngine(const SimConfig& config, const Topology& topo,
               RoutingAlgorithm& routing, TrafficPattern& pattern,
               std::vector<std::unique_ptr<InjectionProcess>>& injection,
               FaultState* faults, ObsState* obs, Profiler* prof,
               FlightRecorder* flight, double packet_rate, double capacity,
-              unsigned flits_per_packet);
+              unsigned flits_per_packet, Workload* workload = nullptr);
 
   /// Runs warm-up plus measurement (and the optional post-horizon drain)
   /// and fills result().
@@ -240,6 +243,12 @@ class CycleEngine {
   void merge_shards();                      ///< staged effects, shard order
   void apply_staged_push(const EngineShard::StagedPush& push);
 
+  /// Serial top-of-cycle workload hook: lets the closed-loop layer pop its
+  /// due staged events and inject request/reply packets (via
+  /// enqueue_packet). Runs before any phase in both pipelines, like
+  /// RoutingAlgorithm::begin_cycle — see workload/workload.hpp for the
+  /// determinism contract.
+  void workload_phase();
   void advance_faults();
   void close_fault_epoch(std::uint64_t end_cycle, unsigned active_faults);
   void record_stall();
@@ -281,6 +290,7 @@ class CycleEngine {
   ObsState* obs_;       ///< null unless obs is enabled
   Profiler* prof_;      ///< null unless --profile is enabled
   FlightRecorder* flight_;  ///< null when the flight recorder is disabled
+  Workload* workload_;      ///< null unless --workload is configured
   /// Anomaly watchdogs (null when AnomalySpec::enabled is false). Owned
   /// here rather than by Network: the monitor is a pure function of the
   /// config and only the engine feeds it.

@@ -75,6 +75,12 @@ void CycleEngine::consume(Flit flit) {
                                                   pkt.hops});
       }
     }
+    // Serial and deterministic here (see the header comment), so the
+    // workload's delivery accounting inherits the merge-order discipline.
+    // Before release: the id is recycled the moment the pool frees it.
+    if (workload_) {
+      workload_->on_delivered(flit.packet, pkt.src, pkt.dst, cycle_);
+    }
     pool_.release(flit.packet);
   }
 }

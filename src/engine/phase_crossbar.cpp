@@ -134,6 +134,9 @@ void CycleEngine::finish_drop(PacketId id) {
                        /*dropped=*/true);
     obs_->forget(id);
   }
+  // Serial in both pipelines (inline here, staged dropped_tails replayed
+  // in shard order); must precede release, which recycles the id.
+  if (workload_) workload_->on_dropped(id, cycle_);
   pool_.release(id);
 }
 

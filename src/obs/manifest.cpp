@@ -94,6 +94,9 @@ json::Value echo_config(const SimConfig& config, double clock_ns) {
   echo.set("network", std::move(network));
   echo.set("traffic", std::move(traffic));
   echo.set("timing", std::move(timing));
+  // The full "family:key=val,..." workload spec, like topology above;
+  // empty string = open-loop synthetic traffic, no workload layer.
+  echo.set("workload", json::Value(config.workload.spec_string()));
   echo.set("faults", json::Value(config.faults.to_string()));
   echo.set("obs_enabled", json::Value(config.obs.enabled));
   echo.set("profile_enabled", json::Value(config.prof.enabled));

@@ -184,6 +184,27 @@ void register_flight_metrics(MetricsRegistry& reg, const SimulationResult& r) {
   reg.counter("obs/flight/capacity", r.flight.capacity);
 }
 
+void register_workload_metrics(MetricsRegistry& reg,
+                               const SimulationResult& r) {
+  const WorkloadReport& w = r.workload;
+  // Deterministic request-level service metrics (see workload/workload.hpp
+  // for the conservation identity the whole-run counters satisfy).
+  reg.counter("workload/clients", w.clients);
+  reg.counter("workload/servers", w.servers);
+  reg.counter("workload/requests_issued", w.requests_issued);
+  reg.counter("workload/requests_completed", w.requests_completed);
+  reg.counter("workload/requests_dropped", w.requests_dropped);
+  reg.counter("workload/outstanding_end", w.outstanding_end);
+  reg.counter("workload/backlog_end", w.backlog_end);
+  reg.counter("workload/drain_completed", w.drain_completed);
+  reg.counter("workload/window_issued", w.window_issued);
+  reg.counter("workload/window_completed", w.window_completed);
+  reg.gauge("workload/goodput", w.goodput, "req/kcycle/client");
+  reg.gauge("workload/fairness_jain", w.fairness_jain);
+  reg.gauge("workload/outstanding_mean", w.outstanding_mean, "req/client");
+  reg.histogram("workload/completion_latency", w.completion_latency, "cycles");
+}
+
 void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p) {
   // Deterministic scheduler-effectiveness gauges.
   reg.gauge("profile/fused_hit_rate", p.fused_hit_rate());
@@ -258,6 +279,7 @@ void register_run_metrics(MetricsRegistry& reg, const SimulationResult& r) {
       r.active_faults_end > 0) {
     register_fault_metrics(reg, r);
   }
+  if (r.workload.enabled) register_workload_metrics(reg, r);
   if (r.obs.enabled) register_obs_metrics(reg, r);
   if (r.anomaly_enabled) register_anomaly_metrics(reg, r);
   if (r.flight.enabled) register_flight_metrics(reg, r);

@@ -113,6 +113,12 @@ void register_anomaly_metrics(MetricsRegistry& reg, const SimulationResult& r);
 /// Flight-recorder ring provenance (obs/flight/ namespace): snapshot
 /// cadence, ring capacity, and total snapshots taken. Deterministic.
 void register_flight_metrics(MetricsRegistry& reg, const SimulationResult& r);
+/// Closed-loop workload service metrics (workload/ namespace): request
+/// conservation counters, completion-latency histogram, goodput and Jain
+/// fairness. Deterministic and thread-count invariant (the workload runs
+/// entirely at the engine's serial call sites).
+void register_workload_metrics(MetricsRegistry& reg,
+                               const SimulationResult& r);
 void register_profile_metrics(MetricsRegistry& reg, const ProfileReport& p);
 /// Wall-clock self-metrics; everything lands in the advisory time/ space.
 void register_time_metrics(MetricsRegistry& reg, const SimulationResult& r);

@@ -1,0 +1,197 @@
+#include "workload/collective.hpp"
+
+#include "util/check.hpp"
+
+namespace smart {
+
+CollectiveWorkload::CollectiveWorkload(std::string name,
+                                       const CollectiveOptions& options,
+                                       std::size_t nodes)
+    : name_(std::move(name)), options_(options), nodes_(nodes) {
+  SMART_CHECK_MSG(nodes_ >= 2, "a collective needs at least two nodes");
+  steps_ = options_.steps != 0
+               ? options_.steps
+               : static_cast<std::uint32_t>(2 * (nodes_ - 1));
+  states_.resize(nodes_);
+  window_completions_.assign(nodes_, 0);
+}
+
+std::vector<std::pair<std::string, std::string>>
+CollectiveWorkload::echo_params() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("think", std::to_string(options_.think));
+  if (options_.kind == CollectiveOptions::Kind::kAllToAll) {
+    out.emplace_back("burst", std::to_string(options_.burst));
+  } else {
+    out.emplace_back("steps", std::to_string(steps_));
+  }
+  return out;
+}
+
+void CollectiveWorkload::set_meta(PacketId id, std::uint32_t iteration,
+                                  NodeId dst) {
+  if (id >= meta_.size()) meta_.resize(id + 1);
+  meta_[id].iteration = iteration;
+  meta_[id].dst = dst;
+  meta_[id].live = true;
+}
+
+void CollectiveWorkload::start_iteration(NodeState& state,
+                                         std::uint64_t cycle) {
+  state.start_cycle = cycle;
+  ++issued_;
+  if (measuring_) ++window_issued_;
+  ++active_iterations_;
+}
+
+void CollectiveWorkload::maybe_complete(NodeId node, std::uint64_t cycle) {
+  NodeState& state = states_[node];
+  if (state.wedged || state.start_cycle == 0) return;
+  const std::uint32_t quota = per_iteration_sends();
+  const std::uint32_t received =
+      options_.kind == CollectiveOptions::Kind::kAllToAll ? state.recv
+                                                          : state.recv_ops[0];
+  if (state.sent < quota || received < quota) return;
+  --active_iterations_;
+  ++completed_;
+  if (draining_) {
+    ++drain_completed_;
+  } else if (measuring_) {
+    ++window_completed_;
+    completion_latency_.add(static_cast<double>(cycle - state.start_cycle));
+    ++window_completions_[node];
+  }
+  ++state.iteration;
+  state.sent = 0;
+  state.start_cycle = 0;
+  state.resume_cycle = cycle + 1 + options_.think;
+  if (options_.kind == CollectiveOptions::Kind::kAllToAll) {
+    state.recv = state.recv_ahead;
+    state.recv_ahead = 0;
+  } else {
+    for (std::size_t i = 0; i + 1 < state.recv_ops.size(); ++i) {
+      state.recv_ops[i] = state.recv_ops[i + 1];
+    }
+    state.recv_ops.back() = 0;
+  }
+}
+
+void CollectiveWorkload::begin_cycle(std::uint64_t cycle, bool measuring,
+                                     bool draining, const SendFn& send) {
+  measuring_ = measuring;
+  draining_ = draining;
+  if (!draining) {
+    for (NodeId node = 0; node < nodes_; ++node) {
+      NodeState& state = states_[node];
+      if (state.wedged || cycle < state.resume_cycle) continue;
+      if (options_.kind == CollectiveOptions::Kind::kAllToAll) {
+        const auto quota = static_cast<std::uint32_t>(nodes_ - 1);
+        unsigned budget = options_.burst;
+        while (state.sent < quota && budget > 0) {
+          if (state.start_cycle == 0) start_iteration(state, cycle);
+          // Node-relative ring order: peer k of node i is i + 1 + k, so
+          // no two nodes target the same peer in the same position.
+          const auto peer = static_cast<NodeId>(
+              (node + 1 + state.sent) % nodes_);
+          set_meta(send(node, peer), state.iteration, peer);
+          ++state.sent;
+          --budget;
+        }
+      } else {
+        // Ring allreduce: step s may go once s packets of this operation
+        // came in from the left — one send per receive, self-pacing.
+        while (state.sent < steps_ && state.recv_ops[0] >= state.sent) {
+          if (state.start_cycle == 0) start_iteration(state, cycle);
+          const auto right = static_cast<NodeId>((node + 1) % nodes_);
+          set_meta(send(node, right), state.iteration, right);
+          ++state.sent;
+        }
+      }
+      maybe_complete(node, cycle);
+    }
+  }
+  if (measuring) {
+    occupancy_accum_ += active_iterations_;
+    ++measured_cycles_;
+  }
+}
+
+void CollectiveWorkload::on_delivered(PacketId id, NodeId src, NodeId dst,
+                                      std::uint64_t cycle) {
+  (void)src;
+  if (id >= meta_.size() || !meta_[id].live) return;
+  const PacketMeta meta = meta_[id];
+  meta_[id] = PacketMeta{};
+  NodeState& state = states_[dst];
+  if (options_.kind == CollectiveOptions::Kind::kAllToAll) {
+    if (meta.iteration == state.iteration) {
+      ++state.recv;
+    } else {
+      // A peer one round ahead (it cannot be further: advancing needs
+      // every packet of the previous round, including ours).
+      SMART_DCHECK(meta.iteration == state.iteration + 1);
+      ++state.recv_ahead;
+    }
+  } else {
+    const std::uint32_t ahead = meta.iteration - state.iteration;
+    SMART_DCHECK(ahead < state.recv_ops.size());
+    ++state.recv_ops[ahead];
+  }
+  maybe_complete(dst, cycle);
+}
+
+void CollectiveWorkload::on_dropped(PacketId id, std::uint64_t cycle) {
+  (void)cycle;
+  if (id >= meta_.size() || !meta_[id].live) return;
+  const PacketMeta meta = meta_[id];
+  meta_[id] = PacketMeta{};
+  // The receiver will never see this packet, so its stream of iterations
+  // is wedged for good: account the iteration as lost and stop the node
+  // (its peers already hold every packet it sent for the current round).
+  NodeState& state = states_[meta.dst];
+  if (state.wedged) return;
+  state.wedged = true;
+  // Between iterations (start_cycle == 0) nothing is in flight to lose:
+  // the node simply never starts again, keeping the conservation identity
+  // issued == completed + dropped + outstanding intact.
+  if (state.start_cycle != 0) {
+    --active_iterations_;
+    ++dropped_;
+  }
+}
+
+WorkloadReport CollectiveWorkload::report() const {
+  WorkloadReport r;
+  r.enabled = true;
+  r.family = name_;
+  r.clients = nodes_;
+  r.servers = 0;
+  r.requests_issued = issued_;
+  r.requests_completed = completed_;
+  r.requests_dropped = dropped_;
+  r.outstanding_end = active_iterations_;
+  r.drain_completed = drain_completed_;
+  r.window_issued = window_issued_;
+  r.window_completed = window_completed_;
+  if (measured_cycles_ > 0) {
+    const double node_cycles = static_cast<double>(measured_cycles_) *
+                               static_cast<double>(nodes_);
+    r.goodput = static_cast<double>(window_completed_) * 1000.0 / node_cycles;
+    r.outstanding_mean =
+        static_cast<double>(occupancy_accum_) / node_cycles;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const std::uint64_t x : window_completions_) {
+    sum += static_cast<double>(x);
+    sum_sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  if (sum > 0.0) {
+    r.fairness_jain =
+        sum * sum / (static_cast<double>(nodes_) * sum_sq);
+  }
+  r.completion_latency = completion_latency_;
+  return r;
+}
+
+}  // namespace smart

@@ -1,0 +1,119 @@
+// Collective workloads: dependent packet waves (alltoall, allreduce).
+//
+// Unlike request/reply, a collective's "request" is one iteration at one
+// node — a round of personalized all-to-all exchange, or one full ring
+// allreduce — and the dependence structure is the collective itself:
+//
+//   * alltoall   per round every node sends one packet to each of the
+//                other N-1 peers, paced at `burst` sends per cycle in a
+//                node-relative ring order; a node advances to the next
+//                round only after sending all N-1 and receiving all N-1.
+//                Neighbouring rounds overlap by at most one (a node needs
+//                every round-r packet to advance), so two round buckets
+//                per receiver suffice.
+//   * allreduce  the classic ring schedule: `steps` waves (default
+//                2*(N-1), reduce-scatter plus allgather) where node i may
+//                send step s to (i+1) mod N only after receiving s packets
+//                from (i-1) mod N. Packets carry their operation index, so
+//                a fast left neighbour running one operation ahead cannot
+//                corrupt the gate.
+//
+// All sends happen in begin_cycle's ascending-node sweep and all receive
+// accounting in the engine's serial on_delivered, so collectives inherit
+// the thread-count bit-identity of the workload layer for free — no RNG is
+// involved at all; the families are fully deterministic schedules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace smart {
+
+struct CollectiveOptions {
+  enum class Kind : std::uint8_t { kAllToAll, kAllReduce };
+  Kind kind = Kind::kAllToAll;
+  unsigned burst = 1;  ///< alltoall: sends per node per cycle
+  unsigned think = 0;  ///< idle cycles between iterations
+  unsigned steps = 0;  ///< allreduce waves; 0 derives 2*(N-1)
+};
+
+class CollectiveWorkload final : public Workload {
+ public:
+  CollectiveWorkload(std::string name, const CollectiveOptions& options,
+                     std::size_t nodes);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> echo_params()
+      const override;
+  void begin_cycle(std::uint64_t cycle, bool measuring, bool draining,
+                   const SendFn& send) override;
+  void on_delivered(PacketId id, NodeId src, NodeId dst,
+                    std::uint64_t cycle) override;
+  void on_dropped(PacketId id, std::uint64_t cycle) override;
+  [[nodiscard]] std::uint64_t queued_requests(NodeId) const override {
+    return 0;
+  }
+  /// Collectives stage nothing outside the fabric: once the lanes are
+  /// empty there is nothing left to wait for.
+  [[nodiscard]] bool quiescent() const override { return true; }
+  [[nodiscard]] WorkloadReport report() const override;
+
+ private:
+  struct PacketMeta {
+    std::uint32_t iteration = 0;  ///< sender's round/operation index
+    NodeId dst = 0;
+    bool live = false;
+  };
+
+  struct NodeState {
+    std::uint32_t iteration = 0;  ///< current round (alltoall) / op index
+    std::uint32_t sent = 0;       ///< packets sent this iteration
+    std::uint32_t recv = 0;       ///< packets received for this iteration
+    std::uint32_t recv_ahead = 0; ///< alltoall: packets for iteration + 1
+    /// Allreduce receive counts for operations iteration .. iteration+3
+    /// (ring skew around small rings can run a couple of ops deep).
+    std::array<std::uint32_t, 4> recv_ops{};
+    std::uint64_t start_cycle = 0;   ///< 0 = iteration not yet started
+    std::uint64_t resume_cycle = 0;  ///< think gate for the next iteration
+    bool wedged = false;  ///< a packet of this node's stream was dropped
+  };
+
+  [[nodiscard]] std::uint32_t per_iteration_sends() const noexcept {
+    return options_.kind == CollectiveOptions::Kind::kAllToAll
+               ? static_cast<std::uint32_t>(nodes_ - 1)
+               : steps_;
+  }
+  void start_iteration(NodeState& state, std::uint64_t cycle);
+  void maybe_complete(NodeId node, std::uint64_t cycle);
+  void set_meta(PacketId id, std::uint32_t iteration, NodeId dst);
+
+  std::string name_;
+  CollectiveOptions options_;
+  std::size_t nodes_ = 0;
+  std::uint32_t steps_ = 0;  ///< resolved allreduce wave count
+
+  std::vector<NodeState> states_;
+  std::vector<PacketMeta> meta_;
+  std::vector<std::uint64_t> window_completions_;  ///< per node
+
+  bool measuring_ = false;
+  bool draining_ = false;
+
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t drain_completed_ = 0;
+  std::uint64_t active_iterations_ = 0;
+
+  std::uint64_t window_issued_ = 0;
+  std::uint64_t window_completed_ = 0;
+  std::uint64_t occupancy_accum_ = 0;
+  std::uint64_t measured_cycles_ = 0;
+  Histogram completion_latency_{20.0, 500};
+};
+
+}  // namespace smart

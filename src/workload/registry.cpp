@@ -1,0 +1,279 @@
+// Workload-family registry and the built-in family builders.
+//
+// Mirrors the topology registry (src/topology/registry.cpp): one lookup
+// path from a "--workload family:key=val" spec to a built Workload, with
+// typo-rejecting parameter validation and a usage listing on unknown
+// families. Adding a family is a builder function plus one add() call.
+#include <cstdint>
+
+#include "workload/collective.hpp"
+#include "workload/request_reply.hpp"
+#include "workload/workload.hpp"
+
+namespace smart {
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(WorkloadFamily family) {
+  for (WorkloadFamily& existing : families_) {
+    if (existing.name == family.name) {
+      existing = std::move(family);
+      return;
+    }
+  }
+  families_.push_back(std::move(family));
+}
+
+const WorkloadFamily* WorkloadRegistry::find(const std::string& name) const {
+  for (const WorkloadFamily& family : families_) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const WorkloadFamily& family : families_) out.push_back(family.name);
+  return out;
+}
+
+std::string WorkloadRegistry::usage() const {
+  std::string out = "registered workload families:\n";
+  for (const WorkloadFamily& family : families_) {
+    out += "  " + family.grammar + "\n      " + family.summary + "\n";
+  }
+  return out;
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::build(const WorkloadSpec& spec,
+                                                  std::size_t nodes,
+                                                  std::uint64_t seed,
+                                                  std::string* error) const {
+  const WorkloadFamily* family = find(spec.family);
+  if (family == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown workload family '" + spec.family + "'\n" + usage();
+    }
+    return nullptr;
+  }
+  return family->build(spec, nodes, seed, error);
+}
+
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// Parses the keys shared by every request/reply family (mode, window,
+/// think, rate, service, dist) into *options.
+bool parse_request_reply_common(const WorkloadSpec& spec,
+                                RequestReplyOptions* options,
+                                std::string* error) {
+  if (!spec.get_unsigned("window", &options->window, error) ||
+      !spec.get_unsigned_or_zero("think", &options->think, error) ||
+      !spec.get_fraction("rate", &options->rate, error) ||
+      !spec.get_unsigned_or_zero("service", &options->service, error)) {
+    return false;
+  }
+  if (const std::string* mode = spec.find("mode")) {
+    if (*mode == "closed") {
+      options->mode = RequestReplyOptions::Mode::kClosed;
+    } else if (*mode == "partly") {
+      options->mode = RequestReplyOptions::Mode::kPartly;
+    } else if (*mode == "open") {
+      options->mode = RequestReplyOptions::Mode::kOpen;
+    } else {
+      return fail(error, "workload param mode=" + *mode +
+                             ": expected closed, partly or open");
+    }
+  }
+  if (const std::string* dist = spec.find("dist")) {
+    if (*dist == "fixed") {
+      options->dist = RequestReplyOptions::ServiceDist::kFixed;
+    } else if (*dist == "uniform") {
+      options->dist = RequestReplyOptions::ServiceDist::kUniform;
+    } else if (*dist == "exp") {
+      options->dist = RequestReplyOptions::ServiceDist::kExp;
+    } else {
+      return fail(error, "workload param dist=" + *dist +
+                             ": expected fixed, uniform or exp");
+    }
+  }
+  if (options->mode != RequestReplyOptions::Mode::kClosed &&
+      options->rate <= 0.0) {
+    const char* mode_name =
+        options->mode == RequestReplyOptions::Mode::kPartly ? "partly"
+                                                            : "open";
+    return fail(error, "workload mode=" + std::string(mode_name) +
+                           " needs rate > 0");
+  }
+  return true;
+}
+
+std::unique_ptr<Workload> build_echo(const WorkloadSpec& spec,
+                                     std::size_t nodes, std::uint64_t seed,
+                                     std::string* error) {
+  if (!spec.check_keys({"mode", "window", "think", "rate", "service", "dist"},
+                       error)) {
+    return nullptr;
+  }
+  RequestReplyOptions options;
+  options.family = RequestReplyOptions::Family::kEcho;
+  if (!parse_request_reply_common(spec, &options, error)) return nullptr;
+  if (nodes < 2) {
+    fail(error, "workload echo needs at least two nodes");
+    return nullptr;
+  }
+  return std::make_unique<RequestReplyWorkload>("echo", options, nodes, seed);
+}
+
+std::unique_ptr<Workload> build_incast(const WorkloadSpec& spec,
+                                       std::size_t nodes, std::uint64_t seed,
+                                       std::string* error) {
+  if (!spec.check_keys({"servers", "assign", "mute", "mode", "window",
+                        "think", "rate", "service", "dist"},
+                       error)) {
+    return nullptr;
+  }
+  RequestReplyOptions options;
+  options.family = RequestReplyOptions::Family::kIncast;
+  options.servers = 4;
+  if (!parse_request_reply_common(spec, &options, error) ||
+      !spec.get_unsigned("servers", &options.servers, error) ||
+      !spec.get_unsigned_or_zero("mute", &options.mute, error)) {
+    return nullptr;
+  }
+  if (const std::string* assign = spec.find("assign")) {
+    if (*assign == "random") {
+      options.assign = RequestReplyOptions::Assign::kRandom;
+    } else if (*assign == "pin") {
+      options.assign = RequestReplyOptions::Assign::kPin;
+    } else {
+      fail(error, "workload param assign=" + *assign +
+                      ": expected random or pin");
+      return nullptr;
+    }
+  }
+  if (options.servers >= nodes) {
+    fail(error, "workload incast: servers=" +
+                    std::to_string(options.servers) +
+                    " leaves no client on " + std::to_string(nodes) +
+                    " nodes");
+    return nullptr;
+  }
+  if (options.mute > options.servers) {
+    fail(error, "workload incast: mute=" + std::to_string(options.mute) +
+                    " exceeds servers=" + std::to_string(options.servers));
+    return nullptr;
+  }
+  return std::make_unique<RequestReplyWorkload>("incast", options, nodes,
+                                                seed);
+}
+
+std::unique_ptr<Workload> build_rpc(const WorkloadSpec& spec,
+                                    std::size_t nodes, std::uint64_t seed,
+                                    std::string* error) {
+  if (!spec.check_keys({"servers", "fanout", "mode", "window", "think",
+                        "rate", "service", "dist"},
+                       error)) {
+    return nullptr;
+  }
+  RequestReplyOptions options;
+  options.family = RequestReplyOptions::Family::kRpc;
+  options.servers = 8;
+  if (!parse_request_reply_common(spec, &options, error) ||
+      !spec.get_unsigned("servers", &options.servers, error) ||
+      !spec.get_unsigned("fanout", &options.fanout, error)) {
+    return nullptr;
+  }
+  if (options.servers >= nodes) {
+    fail(error, "workload rpc: servers=" + std::to_string(options.servers) +
+                    " leaves no client on " + std::to_string(nodes) +
+                    " nodes");
+    return nullptr;
+  }
+  if (options.fanout + 1 > options.servers) {
+    fail(error, "workload rpc: fanout=" + std::to_string(options.fanout) +
+                    " needs at least fanout+1 servers (got " +
+                    std::to_string(options.servers) + ")");
+    return nullptr;
+  }
+  return std::make_unique<RequestReplyWorkload>("rpc", options, nodes, seed);
+}
+
+std::unique_ptr<Workload> build_alltoall(const WorkloadSpec& spec,
+                                         std::size_t nodes,
+                                         std::uint64_t /*seed*/,
+                                         std::string* error) {
+  if (!spec.check_keys({"burst", "think"}, error)) return nullptr;
+  CollectiveOptions options;
+  options.kind = CollectiveOptions::Kind::kAllToAll;
+  if (!spec.get_unsigned("burst", &options.burst, error) ||
+      !spec.get_unsigned_or_zero("think", &options.think, error)) {
+    return nullptr;
+  }
+  if (nodes < 2) {
+    fail(error, "workload alltoall needs at least two nodes");
+    return nullptr;
+  }
+  return std::make_unique<CollectiveWorkload>("alltoall", options, nodes);
+}
+
+std::unique_ptr<Workload> build_allreduce(const WorkloadSpec& spec,
+                                          std::size_t nodes,
+                                          std::uint64_t /*seed*/,
+                                          std::string* error) {
+  if (!spec.check_keys({"steps", "think"}, error)) return nullptr;
+  CollectiveOptions options;
+  options.kind = CollectiveOptions::Kind::kAllReduce;
+  if (!spec.get_unsigned("steps", &options.steps, error) ||
+      !spec.get_unsigned_or_zero("think", &options.think, error)) {
+    return nullptr;
+  }
+  if (nodes < 2) {
+    fail(error, "workload allreduce needs at least two nodes");
+    return nullptr;
+  }
+  return std::make_unique<CollectiveWorkload>("allreduce", options, nodes);
+}
+
+}  // namespace
+
+void ensure_builtin_workloads() {
+  static const bool once = [] {
+    WorkloadRegistry& reg = WorkloadRegistry::instance();
+    reg.add({"echo",
+             "echo[:mode=closed|partly|open,window=W,think=T,rate=R,"
+             "service=S,dist=fixed|uniform|exp]",
+             "every node echoes requests off a uniform random peer",
+             build_echo});
+    reg.add({"incast",
+             "incast[:servers=S,assign=random|pin,mute=M,mode=...,window=W,"
+             "think=T,rate=R,service=S,dist=...]",
+             "clients converge on a storage set; mute models dead servers",
+             build_incast});
+    reg.add({"rpc",
+             "rpc[:servers=S,fanout=K,mode=...,window=W,think=T,rate=R,"
+             "service=S,dist=...]",
+             "frontends fan each request out to K dependent leaf requests",
+             build_rpc});
+    reg.add({"alltoall",
+             "alltoall[:burst=B,think=T]",
+             "rounds of personalized all-to-all exchange, B sends per cycle",
+             build_alltoall});
+    reg.add({"allreduce",
+             "allreduce[:steps=S,think=T]",
+             "ring allreduce as dependent packet waves (default 2(N-1))",
+             build_allreduce});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace smart

@@ -1,0 +1,394 @@
+#include "workload/request_reply.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace smart {
+
+namespace {
+
+// Seed salt separating workload streams from the NIC, Valiant, tree and
+// escape-selection streams derived from the same --seed.
+constexpr std::uint64_t kWorkloadSalt = 0x6c0ad5eedULL;
+
+const char* to_string(RequestReplyOptions::Mode mode) {
+  switch (mode) {
+    case RequestReplyOptions::Mode::kClosed: return "closed";
+    case RequestReplyOptions::Mode::kPartly: return "partly";
+    case RequestReplyOptions::Mode::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+const char* to_string(RequestReplyOptions::ServiceDist dist) {
+  switch (dist) {
+    case RequestReplyOptions::ServiceDist::kFixed: return "fixed";
+    case RequestReplyOptions::ServiceDist::kUniform: return "uniform";
+    case RequestReplyOptions::ServiceDist::kExp: return "exp";
+  }
+  return "unknown";
+}
+
+const char* to_string(RequestReplyOptions::Assign assign) {
+  switch (assign) {
+    case RequestReplyOptions::Assign::kRandom: return "random";
+    case RequestReplyOptions::Assign::kPin: return "pin";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+RequestReplyWorkload::RequestReplyWorkload(std::string name,
+                                           const RequestReplyOptions& options,
+                                           std::size_t nodes,
+                                           std::uint64_t seed)
+    : name_(std::move(name)), options_(options), nodes_(nodes) {
+  first_client_ = options_.family == RequestReplyOptions::Family::kEcho
+                      ? 0
+                      : static_cast<NodeId>(options_.servers);
+  SMART_CHECK_MSG(first_client_ < nodes_,
+                  "workload needs at least one client node");
+  client_count_ = nodes_ - first_client_;
+  rng_.reserve(nodes_);
+  for (NodeId node = 0; node < nodes_; ++node) {
+    rng_.emplace_back(mix_seed(seed ^ kWorkloadSalt, node));
+  }
+  clients_.resize(client_count_);
+  window_completions_.assign(client_count_, 0);
+}
+
+std::vector<std::pair<std::string, std::string>>
+RequestReplyWorkload::echo_params() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("mode", to_string(options_.mode));
+  out.emplace_back("window", std::to_string(options_.window));
+  out.emplace_back("think", std::to_string(options_.think));
+  if (options_.mode != RequestReplyOptions::Mode::kClosed) {
+    out.emplace_back("rate", std::to_string(options_.rate));
+  }
+  out.emplace_back("service", std::to_string(options_.service));
+  out.emplace_back("dist", to_string(options_.dist));
+  if (options_.family != RequestReplyOptions::Family::kEcho) {
+    out.emplace_back("servers", std::to_string(options_.servers));
+  }
+  if (options_.family == RequestReplyOptions::Family::kIncast) {
+    out.emplace_back("assign", to_string(options_.assign));
+    out.emplace_back("mute", std::to_string(options_.mute));
+  }
+  if (options_.family == RequestReplyOptions::Family::kRpc) {
+    out.emplace_back("fanout", std::to_string(options_.fanout));
+  }
+  return out;
+}
+
+void RequestReplyWorkload::stage(Event::Kind kind, std::uint32_t request,
+                                 NodeId node, std::uint64_t ready) {
+  Event event;
+  event.ready = ready;
+  event.seq = next_seq_++;
+  event.kind = kind;
+  event.request = request;
+  event.node = node;
+  if (kind != Event::Kind::kIssue) ++pending_service_events_;
+  events_.push(event);
+}
+
+std::uint64_t RequestReplyWorkload::service_draw(Rng& rng) {
+  const auto mean = static_cast<std::uint64_t>(options_.service);
+  switch (options_.dist) {
+    case RequestReplyOptions::ServiceDist::kFixed:
+      return mean;
+    case RequestReplyOptions::ServiceDist::kUniform:
+      // Uniform in [0, 2*mean] — same mean as the fixed draw.
+      return rng.below(2 * mean + 1);
+    case RequestReplyOptions::ServiceDist::kExp: {
+      // Exponential with the configured mean, rounded down.
+      const double u = rng.uniform01();
+      const double draw = -static_cast<double>(mean) * std::log1p(-u);
+      return static_cast<std::uint64_t>(draw);
+    }
+  }
+  return mean;
+}
+
+NodeId RequestReplyWorkload::pick_target(NodeId client) {
+  Rng& rng = rng_[client];
+  switch (options_.family) {
+    case RequestReplyOptions::Family::kEcho: {
+      // A uniform peer excluding self (the traffic layer's uniform draw).
+      auto dst = static_cast<NodeId>(rng.below(nodes_ - 1));
+      if (dst >= client) ++dst;
+      return dst;
+    }
+    case RequestReplyOptions::Family::kIncast:
+      if (options_.assign == RequestReplyOptions::Assign::kPin) {
+        return static_cast<NodeId>(client_index(client) % options_.servers);
+      }
+      return static_cast<NodeId>(rng.below(options_.servers));
+    case RequestReplyOptions::Family::kRpc:
+      return static_cast<NodeId>(rng.below(options_.servers));
+  }
+  return 0;
+}
+
+void RequestReplyWorkload::set_meta(PacketId id, std::uint32_t request,
+                                    PacketKind kind) {
+  if (id >= meta_.size()) meta_.resize(id + 1);
+  meta_[id].request = request;
+  meta_[id].kind = kind;
+}
+
+RequestReplyWorkload::PacketMeta RequestReplyWorkload::take_meta(PacketId id) {
+  if (id >= meta_.size()) return PacketMeta{};
+  const PacketMeta meta = meta_[id];
+  meta_[id] = PacketMeta{};
+  return meta;
+}
+
+std::uint32_t RequestReplyWorkload::issue_request(NodeId client,
+                                                  std::uint64_t cycle,
+                                                  const SendFn& send) {
+  const auto id = static_cast<std::uint32_t>(requests_.size());
+  RequestState req;
+  req.client = client;
+  req.issue_cycle = cycle;
+  const NodeId target = pick_target(client);
+  if (options_.family == RequestReplyOptions::Family::kRpc) {
+    req.frontend = target;
+  }
+  requests_.push_back(req);
+  ++issued_;
+  if (measuring_) ++window_issued_;
+  ++active_requests_;
+  ++clients_[client_index(client)].outstanding;
+  set_meta(send(client, target), id, PacketKind::kRequest);
+  return id;
+}
+
+void RequestReplyWorkload::complete_request(std::uint32_t request,
+                                            std::uint64_t cycle) {
+  RequestState& req = requests_[request];
+  req.phase = RequestPhase::kDone;
+  --active_requests_;
+  --clients_[client_index(req.client)].outstanding;
+  ++completed_;
+  if (draining_) {
+    ++drain_completed_;
+  } else if (measuring_) {
+    ++window_completed_;
+    completion_latency_.add(static_cast<double>(cycle - req.issue_cycle));
+    ++window_completions_[client_index(req.client)];
+  }
+  if (options_.mode == RequestReplyOptions::Mode::kClosed && !draining_) {
+    stage(Event::Kind::kIssue, kNoRequest, req.client,
+          cycle + 1 + options_.think);
+  }
+}
+
+void RequestReplyWorkload::dispatch(const Event& event, std::uint64_t cycle,
+                                    const SendFn& send) {
+  switch (event.kind) {
+    case Event::Kind::kIssue:
+      // Client slots are frozen past the horizon; the staged issue is
+      // simply discarded (the run is over for this client).
+      if (!draining_) issue_request(event.node, cycle, send);
+      return;
+    case Event::Kind::kServe: {
+      const RequestState& req = requests_[event.request];
+      if (req.phase != RequestPhase::kActive) return;
+      set_meta(send(event.node, req.client), event.request,
+               PacketKind::kReply);
+      return;
+    }
+    case Event::Kind::kFanout: {
+      RequestState& req = requests_[event.request];
+      if (req.phase != RequestPhase::kActive) return;
+      // Draw `fanout` distinct leaves from the storage set minus the
+      // frontend (partial Fisher-Yates over the scratch list, frontend's
+      // RNG stream).
+      leaf_scratch_.clear();
+      for (NodeId s = 0; s < options_.servers; ++s) {
+        if (s != event.node) leaf_scratch_.push_back(s);
+      }
+      Rng& rng = rng_[event.node];
+      req.pending_subs = static_cast<std::uint16_t>(options_.fanout);
+      for (unsigned i = 0; i < options_.fanout; ++i) {
+        const std::size_t pick =
+            i + static_cast<std::size_t>(rng.below(leaf_scratch_.size() - i));
+        std::swap(leaf_scratch_[i], leaf_scratch_[pick]);
+        set_meta(send(event.node, leaf_scratch_[i]), event.request,
+                 PacketKind::kSubRequest);
+      }
+      return;
+    }
+    case Event::Kind::kSubServe: {
+      const RequestState& req = requests_[event.request];
+      if (req.phase != RequestPhase::kActive) return;
+      set_meta(send(event.node, req.frontend), event.request,
+               PacketKind::kSubReply);
+      return;
+    }
+    case Event::Kind::kFrontendReply: {
+      const RequestState& req = requests_[event.request];
+      if (req.phase != RequestPhase::kActive) return;
+      set_meta(send(event.node, req.client), event.request,
+               PacketKind::kReply);
+      return;
+    }
+  }
+}
+
+void RequestReplyWorkload::begin_cycle(std::uint64_t cycle, bool measuring,
+                                       bool draining, const SendFn& send) {
+  measuring_ = measuring;
+  draining_ = draining;
+  if (!started_) {
+    started_ = true;
+    if (options_.mode == RequestReplyOptions::Mode::kClosed) {
+      // Ramp the closed loop one request per client-cycle instead of a
+      // window-sized cycle-1 burst; think time applies after completions.
+      for (std::size_t c = 0; c < client_count_; ++c) {
+        for (unsigned w = 0; w < options_.window; ++w) {
+          stage(Event::Kind::kIssue, kNoRequest,
+                static_cast<NodeId>(first_client_ + c), cycle + w);
+        }
+      }
+    }
+  }
+  while (!events_.empty() && events_.top().ready <= cycle) {
+    const Event event = events_.top();
+    events_.pop();
+    if (event.kind != Event::Kind::kIssue) --pending_service_events_;
+    dispatch(event, cycle, send);
+  }
+  if (!draining && options_.mode != RequestReplyOptions::Mode::kClosed) {
+    // Arrival draws in ascending node order (a serial, deterministic
+    // sweep, like the engine's own NIC generation order).
+    for (std::size_t c = 0; c < client_count_; ++c) {
+      const auto client = static_cast<NodeId>(first_client_ + c);
+      ClientState& state = clients_[c];
+      if (options_.mode == RequestReplyOptions::Mode::kPartly) {
+        while (state.backlog > 0 && state.outstanding < options_.window) {
+          --state.backlog;
+          issue_request(client, cycle, send);
+        }
+      }
+      if (rng_[client].bernoulli(options_.rate)) {
+        if (options_.mode == RequestReplyOptions::Mode::kOpen ||
+            state.outstanding < options_.window) {
+          issue_request(client, cycle, send);
+        } else {
+          ++state.backlog;
+        }
+      }
+    }
+  }
+  if (measuring) {
+    occupancy_accum_ += active_requests_;
+    ++measured_cycles_;
+  }
+}
+
+void RequestReplyWorkload::on_delivered(PacketId id, NodeId src, NodeId dst,
+                                        std::uint64_t cycle) {
+  (void)src;
+  const PacketMeta meta = take_meta(id);
+  if (meta.request == kNoRequest) return;
+  RequestState& req = requests_[meta.request];
+  switch (meta.kind) {
+    case PacketKind::kRequest:
+      if (req.phase != RequestPhase::kActive) return;
+      if (options_.family == RequestReplyOptions::Family::kRpc) {
+        stage(Event::Kind::kFanout, meta.request, dst,
+              cycle + 1 + service_draw(rng_[dst]));
+      } else if (!(options_.family == RequestReplyOptions::Family::kIncast &&
+                   muted(dst))) {
+        stage(Event::Kind::kServe, meta.request, dst,
+              cycle + 1 + service_draw(rng_[dst]));
+      }
+      // A muted server swallows the request: the window slot stays taken
+      // and the request lands in outstanding_end.
+      return;
+    case PacketKind::kSubRequest:
+      if (req.phase != RequestPhase::kActive) return;
+      stage(Event::Kind::kSubServe, meta.request, dst,
+            cycle + 1 + service_draw(rng_[dst]));
+      return;
+    case PacketKind::kSubReply:
+      if (req.phase != RequestPhase::kActive) return;
+      SMART_DCHECK(req.pending_subs > 0);
+      if (--req.pending_subs == 0) {
+        stage(Event::Kind::kFrontendReply, meta.request, dst, cycle + 1);
+      }
+      return;
+    case PacketKind::kReply:
+      if (req.phase != RequestPhase::kActive) return;
+      complete_request(meta.request, cycle);
+      return;
+  }
+}
+
+void RequestReplyWorkload::on_dropped(PacketId id, std::uint64_t cycle) {
+  const PacketMeta meta = take_meta(id);
+  if (meta.request == kNoRequest) return;
+  RequestState& req = requests_[meta.request];
+  if (req.phase != RequestPhase::kActive) return;
+  // Any lost packet is terminal for the whole request (rpc sub-requests
+  // included — stragglers of a lost request are ignored on delivery). The
+  // client's slot frees so the loop keeps running under faults.
+  req.phase = RequestPhase::kLost;
+  --active_requests_;
+  --clients_[client_index(req.client)].outstanding;
+  ++dropped_;
+  if (options_.mode == RequestReplyOptions::Mode::kClosed && !draining_) {
+    stage(Event::Kind::kIssue, kNoRequest, req.client,
+          cycle + 1 + options_.think);
+  }
+}
+
+std::uint64_t RequestReplyWorkload::queued_requests(NodeId node) const {
+  if (!is_client(node)) return 0;
+  return clients_[client_index(node)].backlog;
+}
+
+WorkloadReport RequestReplyWorkload::report() const {
+  WorkloadReport r;
+  r.enabled = true;
+  r.family = name_;
+  r.clients = client_count_;
+  r.servers = options_.family == RequestReplyOptions::Family::kEcho
+                  ? 0
+                  : options_.servers;
+  r.requests_issued = issued_;
+  r.requests_completed = completed_;
+  r.requests_dropped = dropped_;
+  r.outstanding_end = active_requests_;
+  r.drain_completed = drain_completed_;
+  for (const ClientState& c : clients_) r.backlog_end += c.backlog;
+  r.window_issued = window_issued_;
+  r.window_completed = window_completed_;
+  if (measured_cycles_ > 0 && client_count_ > 0) {
+    const double client_cycles = static_cast<double>(measured_cycles_) *
+                                 static_cast<double>(client_count_);
+    r.goodput =
+        static_cast<double>(window_completed_) * 1000.0 / client_cycles;
+    r.outstanding_mean =
+        static_cast<double>(occupancy_accum_) / client_cycles;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const std::uint64_t x : window_completions_) {
+    sum += static_cast<double>(x);
+    sum_sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  if (sum > 0.0) {
+    r.fairness_jain =
+        sum * sum / (static_cast<double>(client_count_) * sum_sq);
+  }
+  r.completion_latency = completion_latency_;
+  return r;
+}
+
+}  // namespace smart

@@ -1,0 +1,188 @@
+// Request/reply workload engine: the echo, incast and rpc families.
+//
+// One state machine covers all three — they differ only in who serves
+// (a random peer, a fixed storage set, a frontend that fans out to leaf
+// servers) and in how clients pace themselves:
+//
+//   * closed loop   each client keeps `window` requests outstanding; a
+//                   completion (or a fault drop) frees the slot and the
+//                   next request issues after `think` cycles.
+//   * partly open   requests arrive Bernoulli(rate) per client-cycle but
+//                   at most `window` may be outstanding; excess arrivals
+//                   queue in a per-client backlog (what queued_requests()
+//                   reports to the starvation scan).
+//   * open loop     arrivals issue unconditionally — the classic
+//                   generator shape, kept for calibration.
+//
+// Servers hold each request for a service-time draw (fixed / uniform /
+// exponential mean `service`), staged through the deterministic event heap
+// (workload.hpp header comment); incast can mute servers — requests
+// delivered to a muted node are never answered, modeling an application-
+// level dead server the fabric itself cannot see. The rpc family routes a
+// request to a random frontend which, after service, issues `fanout`
+// dependent sub-requests to distinct leaf servers and replies to the
+// client only when every sub-reply is in.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace smart {
+
+struct RequestReplyOptions {
+  enum class Family : std::uint8_t { kEcho, kIncast, kRpc };
+  enum class Mode : std::uint8_t { kClosed, kPartly, kOpen };
+  enum class ServiceDist : std::uint8_t { kFixed, kUniform, kExp };
+  /// Incast request targeting: a fresh uniform draw over the storage set
+  /// per request, or each client pinned to client_index % servers.
+  enum class Assign : std::uint8_t { kRandom, kPin };
+
+  Family family = Family::kEcho;
+  Mode mode = Mode::kClosed;
+  unsigned window = 4;   ///< outstanding requests per client (closed/partly)
+  unsigned think = 0;    ///< cycles between completion and the next issue
+  double rate = 0.05;    ///< arrivals per client-cycle (partly/open)
+  unsigned service = 8;  ///< mean service cycles at a server
+  ServiceDist dist = ServiceDist::kFixed;
+  unsigned servers = 0;  ///< incast/rpc: nodes [0, servers) serve
+  Assign assign = Assign::kRandom;
+  unsigned mute = 0;     ///< incast: servers [0, mute) never reply
+  unsigned fanout = 3;   ///< rpc: sub-requests per request
+};
+
+class RequestReplyWorkload final : public Workload {
+ public:
+  RequestReplyWorkload(std::string name, const RequestReplyOptions& options,
+                       std::size_t nodes, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> echo_params()
+      const override;
+  void begin_cycle(std::uint64_t cycle, bool measuring, bool draining,
+                   const SendFn& send) override;
+  void on_delivered(PacketId id, NodeId src, NodeId dst,
+                    std::uint64_t cycle) override;
+  void on_dropped(PacketId id, std::uint64_t cycle) override;
+  [[nodiscard]] std::uint64_t queued_requests(NodeId node) const override;
+  [[nodiscard]] bool quiescent() const override {
+    return pending_service_events_ == 0;
+  }
+  [[nodiscard]] WorkloadReport report() const override;
+
+ private:
+  static constexpr std::uint32_t kNoRequest = ~0U;
+
+  /// Role of a packet within its request's lifecycle (per-packet metadata,
+  /// keyed by the recycled pool id and cleared at delivery/drop).
+  enum class PacketKind : std::uint8_t {
+    kRequest,     ///< client -> server (or rpc frontend)
+    kSubRequest,  ///< rpc frontend -> leaf server
+    kSubReply,    ///< rpc leaf -> frontend
+    kReply,       ///< server/frontend -> client, completes the request
+  };
+  struct PacketMeta {
+    std::uint32_t request = kNoRequest;
+    PacketKind kind = PacketKind::kRequest;
+  };
+
+  enum class RequestPhase : std::uint8_t { kActive, kDone, kLost };
+  struct RequestState {
+    NodeId client = 0;
+    NodeId frontend = 0;  ///< rpc: the serving frontend
+    std::uint64_t issue_cycle = 0;
+    std::uint16_t pending_subs = 0;
+    RequestPhase phase = RequestPhase::kActive;
+  };
+
+  struct ClientState {
+    std::uint32_t outstanding = 0;
+    std::uint64_t backlog = 0;  ///< partly open: arrivals awaiting a slot
+  };
+
+  /// A staged action, executed by begin_cycle when `ready` is due. The
+  /// heap pops in (ready, seq) order with seq assigned at staging time —
+  /// a deterministic total order because all staging happens at the
+  /// engine's serial call sites.
+  struct Event {
+    std::uint64_t ready = 0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t {
+      kIssue,          ///< client issues its next request
+      kServe,          ///< server replies (echo/incast)
+      kFanout,         ///< rpc frontend issues its sub-requests
+      kSubServe,       ///< rpc leaf sub-replies to the frontend
+      kFrontendReply,  ///< rpc frontend replies to the client
+    } kind = Kind::kIssue;
+    std::uint32_t request = kNoRequest;
+    NodeId node = 0;  ///< the acting node
+    struct After {
+      bool operator()(const Event& a, const Event& b) const noexcept {
+        if (a.ready != b.ready) return a.ready > b.ready;
+        return a.seq > b.seq;
+      }
+    };
+  };
+
+  [[nodiscard]] bool is_client(NodeId node) const noexcept {
+    return node >= first_client_;
+  }
+  [[nodiscard]] std::size_t client_index(NodeId node) const noexcept {
+    return node - first_client_;
+  }
+  [[nodiscard]] bool muted(NodeId node) const noexcept {
+    return node < options_.mute;
+  }
+
+  void stage(Event::Kind kind, std::uint32_t request, NodeId node,
+             std::uint64_t ready);
+  void dispatch(const Event& event, std::uint64_t cycle, const SendFn& send);
+  std::uint32_t issue_request(NodeId client, std::uint64_t cycle,
+                              const SendFn& send);
+  void complete_request(std::uint32_t request, std::uint64_t cycle);
+  void set_meta(PacketId id, std::uint32_t request, PacketKind kind);
+  [[nodiscard]] PacketMeta take_meta(PacketId id);
+  [[nodiscard]] std::uint64_t service_draw(Rng& rng);
+  [[nodiscard]] NodeId pick_target(NodeId client);
+
+  std::string name_;
+  RequestReplyOptions options_;
+  std::size_t nodes_ = 0;
+  NodeId first_client_ = 0;  ///< 0 for echo, options_.servers otherwise
+  std::size_t client_count_ = 0;
+
+  std::vector<Rng> rng_;  ///< one decorrelated stream per node
+  std::priority_queue<Event, std::vector<Event>, Event::After> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pending_service_events_ = 0;  ///< non-kIssue events staged
+
+  std::vector<RequestState> requests_;  ///< append-only, indexed by id
+  std::vector<PacketMeta> meta_;        ///< indexed by (recycled) PacketId
+  std::vector<ClientState> clients_;
+  std::vector<std::uint64_t> window_completions_;  ///< per client, window
+  std::vector<NodeId> leaf_scratch_;  ///< rpc fan-out draw scratch
+
+  bool started_ = false;
+  bool measuring_ = false;
+  bool draining_ = false;
+
+  // Conservation counters (see WorkloadReport).
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t drain_completed_ = 0;
+  std::uint64_t active_requests_ = 0;
+
+  // Measurement-window accumulators.
+  std::uint64_t window_issued_ = 0;
+  std::uint64_t window_completed_ = 0;
+  std::uint64_t occupancy_accum_ = 0;
+  std::uint64_t measured_cycles_ = 0;
+  Histogram completion_latency_{20.0, 500};
+};
+
+}  // namespace smart

@@ -1,0 +1,142 @@
+#include "workload/spec.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace smart {
+
+const std::string* WorkloadSpec::find(const std::string& key) const {
+  for (const auto& [name, value] : params) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool parse_unsigned(const std::string& family, const std::string& key,
+                    const std::string& text, std::uint64_t min_value,
+                    unsigned* out, std::string* error) {
+  std::uint64_t value = 0;
+  bool ok = !text.empty();
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xffffffffULL) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok || value < min_value) {
+    if (error != nullptr) {
+      *error = "workload param " + key + "=" + text +
+               ": expected an integer in [" + std::to_string(min_value) +
+               ", 4294967295] (family '" + family + "')";
+    }
+    return false;
+  }
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+
+}  // namespace
+
+bool WorkloadSpec::get_unsigned(const std::string& key, unsigned* out,
+                                std::string* error) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return true;
+  return parse_unsigned(family, key, *text, /*min_value=*/1, out, error);
+}
+
+bool WorkloadSpec::get_unsigned_or_zero(const std::string& key, unsigned* out,
+                                        std::string* error) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return true;
+  return parse_unsigned(family, key, *text, /*min_value=*/0, out, error);
+}
+
+bool WorkloadSpec::get_fraction(const std::string& key, double* out,
+                                std::string* error) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return true;
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  if (end == nullptr || *end != '\0' || text->empty() || value < 0.0 ||
+      value > 1.0) {
+    if (error != nullptr) {
+      *error = "workload param " + key + "=" + *text +
+               ": expected a number in [0, 1] (family '" + family + "')";
+    }
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool WorkloadSpec::check_keys(std::initializer_list<const char*> allowed,
+                              std::string* error) const {
+  for (const auto& [name, value] : params) {
+    bool known = false;
+    for (const char* key : allowed) {
+      if (name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (error != nullptr) {
+        *error = "unknown param '" + name + "' for workload family '" +
+                 family + "' (accepted:";
+        for (const char* key : allowed) *error += std::string(" ") + key;
+        *error += ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_workload_spec(const std::string& text, WorkloadSpec* spec,
+                         std::string* error) {
+  spec->params.clear();
+  const std::size_t colon = text.find(':');
+  spec->family = text.substr(0, colon);
+  if (spec->family.empty()) {
+    if (error != nullptr) {
+      *error = "workload spec '" + text + "': empty family name";
+    }
+    return false;
+  }
+  if (colon == std::string::npos) return true;
+
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      if (error != nullptr) {
+        *error = "workload spec '" + text + "': malformed param '" + item +
+                 "' (expected key=value)";
+      }
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    if (spec->find(key) != nullptr) {
+      if (error != nullptr) {
+        *error = "workload spec '" + text + "': duplicate param '" + key + "'";
+      }
+      return false;
+    }
+    spec->params.emplace_back(key, item.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace smart

@@ -1,0 +1,69 @@
+// Parsed --workload specs.
+//
+// A workload spec names a family plus key=value parameters, exactly like a
+// --topology spec ("incast:servers=16,window=4,mode=closed"). The parse and
+// validation helpers mirror TopoSpec (src/topology/registry.hpp): unknown
+// keys error instead of silently falling back to defaults, and malformed or
+// duplicate pairs are rejected with the offending item named. An empty
+// family means "no workload" — the engine then runs the classic open-loop
+// synthetic traffic from src/traffic/.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smart {
+
+struct WorkloadSpec {
+  std::string family;  ///< empty = open-loop traffic, no workload layer
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// True when a --workload spec was configured.
+  [[nodiscard]] bool enabled() const noexcept { return !family.empty(); }
+
+  /// The canonical "family:key=val,..." form for manifests and logs.
+  [[nodiscard]] std::string spec_string() const {
+    std::string text = family;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      text += i == 0 ? ':' : ',';
+      text += params[i].first;
+      text += '=';
+      text += params[i].second;
+    }
+    return text;
+  }
+
+  /// The value of `key`, or null when absent.
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+
+  /// Overwrites *out with params[key] parsed as an integer in
+  /// [1, 2^32-1]; leaves *out untouched when the key is absent. Returns
+  /// false (message in *error) on a malformed or out-of-range value.
+  bool get_unsigned(const std::string& key, unsigned* out,
+                    std::string* error) const;
+
+  /// Like get_unsigned but accepts 0.
+  bool get_unsigned_or_zero(const std::string& key, unsigned* out,
+                            std::string* error) const;
+
+  /// Overwrites *out with params[key] parsed as a double in [0, 1];
+  /// leaves *out untouched when the key is absent.
+  bool get_fraction(const std::string& key, double* out,
+                    std::string* error) const;
+
+  /// Rejects parameters outside `allowed` — typos must error, not
+  /// silently fall back to defaults. Returns false with *error listing
+  /// the offending key and the allowed set.
+  bool check_keys(std::initializer_list<const char*> allowed,
+                  std::string* error) const;
+};
+
+/// Parses "family" or "family:key=val,key=val" into *spec. Returns false
+/// (message in *error) on an empty family name or a malformed/duplicate
+/// key=value pair. Does not check that the family exists — callers look
+/// it up in the WorkloadRegistry to get a usage listing on miss.
+bool parse_workload_spec(const std::string& text, WorkloadSpec* spec,
+                         std::string* error);
+
+}  // namespace smart

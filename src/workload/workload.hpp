@@ -1,0 +1,196 @@
+// Closed-loop workloads: client/server state machines above the fabric.
+//
+// Every generator in src/traffic/ is open-loop — packets appear at a
+// configured rate regardless of what the network delivers. A Workload
+// instead models the *users* of the fabric (ROADMAP north star): terminals
+// run request/reply state machines, clients issue requests open-, closed-
+// or partly-open-loop, servers reply after a service-time distribution,
+// and composite patterns express RPC fan-out, incast toward storage nodes
+// and collective dependence chains. The layer reports delivered service the
+// way a user sees it — request-completion latency (source queueing
+// included), goodput and per-client fairness — rather than flit acceptance.
+//
+// ## Engine contract and determinism
+//
+// The CycleEngine consults the workload at exactly three serial points, so
+// results stay bit-identical for any thread count (the PR 7 merge-order
+// discipline):
+//
+//   * begin_cycle() runs at the top of step(), after the measuring flip and
+//     before any phase — the one place a workload may inject packets (via
+//     the SendFn, which wraps CycleEngine::enqueue_packet). It is serial in
+//     both pipelines, like RoutingAlgorithm::begin_cycle and the throttle
+//     sweep.
+//   * on_delivered() fires when a packet's tail is consumed at its
+//     destination. consume() is serial by construction: inline in the
+//     serial pipeline, replayed from the staged per-shard consume lists in
+//     ascending shard order (= the serial visit order) in the sharded one.
+//   * on_dropped() fires when a fault-drained worm's tail is dropped —
+//     staged and replayed serially exactly like consumes.
+//
+// Reply generation is therefore *staged*: on_delivered never sends; it
+// records a future event (ready cycle drawn from the acting node's own
+// RNG stream), and the next begin_cycle at or after that cycle pops the
+// event queue in (ready, creation-seq) order and issues the reply. All RNG
+// draws happen at these serial points in a deterministic order, so a
+// workload run is a pure function of (config, seed) — the thread-matrix
+// goldens in tests/test_workload.cpp pin threads {1,2,4,7} bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "router/flit.hpp"
+#include "topology/topology.hpp"
+#include "util/stats.hpp"
+#include "workload/spec.hpp"
+
+namespace smart {
+
+/// User-visible service metrics of one workload run, filled into
+/// SimulationResult::workload. Request counters follow one conservation
+/// identity the tests pin:
+///
+///   requests_issued == requests_completed + requests_dropped
+///                      + outstanding_end
+///
+/// where outstanding_end counts requests still waiting on a reply when the
+/// run stopped (e.g. requests parked at a muted server).
+struct WorkloadReport {
+  bool enabled = false;
+  std::string family;
+  std::uint64_t clients = 0;  ///< nodes acting as request sources
+  std::uint64_t servers = 0;  ///< nodes acting as reply sources (0 = peer)
+
+  // Whole-run conservation counters.
+  std::uint64_t requests_issued = 0;
+  std::uint64_t requests_completed = 0;
+  /// Requests that lost a packet to a fault drain (terminal: the client
+  /// frees the window slot and moves on).
+  std::uint64_t requests_dropped = 0;
+  /// Requests still in flight (or parked at a dead server) at end of run.
+  std::uint64_t outstanding_end = 0;
+  /// Completions during the post-horizon drain (kept out of the window
+  /// rates below, like the engine's drain_delivered counters).
+  std::uint64_t drain_completed = 0;
+  /// Partly-open loop only: arrivals still waiting for a window slot at
+  /// end of run (the self-throttling backlog the starvation scan reads).
+  std::uint64_t backlog_end = 0;
+
+  // Measurement-window service metrics.
+  std::uint64_t window_issued = 0;
+  std::uint64_t window_completed = 0;
+  /// Completed requests per thousand cycles per client, over the window.
+  double goodput = 0.0;
+  /// Jain fairness index over per-client window completions: 1 = every
+  /// client served equally, 1/clients = one client served. 1 when idle.
+  double fairness_jain = 1.0;
+  /// Mean in-flight requests per client over the window (occupancy).
+  double outstanding_mean = 0.0;
+  /// Request-completion latency, creation to reply delivery — source
+  /// queueing *included*, unlike the engine's flit latency (20-cycle bins,
+  /// overflow above 10000 cycles).
+  Histogram completion_latency{20.0, 500};
+  [[nodiscard]] double completion_percentile(double q) const {
+    return completion_latency.quantile(q);
+  }
+};
+
+/// Interface the CycleEngine drives (see the header comment for the
+/// three serial call sites and the determinism argument).
+class Workload {
+ public:
+  /// Injects one packet at `src` bound for `dst`; returns its pool id
+  /// (dense and recycled — workloads key per-packet state off it).
+  using SendFn = std::function<PacketId(NodeId src, NodeId dst)>;
+
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// key=value pairs echoed into the run manifest's config block.
+  [[nodiscard]] virtual std::vector<std::pair<std::string, std::string>>
+  echo_params() const = 0;
+
+  /// Top-of-cycle serial phase: pop due staged events, issue replies and
+  /// new requests. `measuring` mirrors the engine's window flag;
+  /// `draining` is true past the horizon — clients must stop issuing new
+  /// requests but servers keep replying so in-flight requests finish.
+  virtual void begin_cycle(std::uint64_t cycle, bool measuring, bool draining,
+                           const SendFn& send) = 0;
+
+  /// A packet's tail was consumed at `dst` (serial, deterministic order).
+  /// Must not send — stage instead.
+  virtual void on_delivered(PacketId id, NodeId src, NodeId dst,
+                            std::uint64_t cycle) = 0;
+
+  /// A packet was dropped by a fault drain (serial, deterministic order).
+  virtual void on_dropped(PacketId id, std::uint64_t cycle) = 0;
+
+  /// Requests queued above the NIC at `node` (arrivals waiting for a
+  /// window slot). The engine adds this to the NIC source-queue depth in
+  /// the starvation scan: a client wedged behind a dead server looks the
+  /// same whether its requests wait below or above the injection queue.
+  [[nodiscard]] virtual std::uint64_t queued_requests(NodeId node) const = 0;
+
+  /// False while staged events that will still send packets are pending —
+  /// the post-horizon drain keeps cycling until the fabric is empty AND
+  /// the workload is quiescent, so replies in service still complete.
+  [[nodiscard]] virtual bool quiescent() const = 0;
+
+  [[nodiscard]] virtual WorkloadReport report() const = 0;
+};
+
+/// A registered workload family: spec grammar, one-line summary, builder.
+struct WorkloadFamily {
+  std::string name;
+  /// Spec grammar shown in usage listings, e.g.
+  /// "incast:servers=S,window=W,mode=closed|partly|open".
+  std::string grammar;
+  std::string summary;
+  /// Builds the workload for a parsed spec over `nodes` terminals, or
+  /// returns null with a message in *error on an invalid spec.
+  std::function<std::unique_ptr<Workload>(
+      const WorkloadSpec&, std::size_t nodes, std::uint64_t seed,
+      std::string* error)>
+      build;
+};
+
+/// String-keyed workload-family registry (the --topology registry pattern:
+/// one lookup path for the CLI, Network assembly and the benches; adding a
+/// family is one source file plus a registration call).
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& instance();
+
+  /// Registers (or replaces, by name) a family.
+  void add(WorkloadFamily family);
+
+  /// The family registered under `name`, or null.
+  [[nodiscard]] const WorkloadFamily* find(const std::string& name) const;
+
+  /// Registered family names, registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Multi-line usage listing for unknown-family error messages.
+  [[nodiscard]] std::string usage() const;
+
+  /// Looks up spec.family and builds it; null with a message in *error
+  /// (including the usage listing for unknown families).
+  [[nodiscard]] std::unique_ptr<Workload> build(const WorkloadSpec& spec,
+                                                std::size_t nodes,
+                                                std::uint64_t seed,
+                                                std::string* error) const;
+
+ private:
+  std::vector<WorkloadFamily> families_;
+};
+
+/// Registers the built-in families (echo, incast, rpc, alltoall,
+/// allreduce); idempotent, called by Network assembly and the CLI.
+void ensure_builtin_workloads();
+
+}  // namespace smart

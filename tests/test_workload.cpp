@@ -1,0 +1,351 @@
+// Closed-loop workload layer (src/workload/): spec parsing, family
+// validation, request conservation, drain semantics, the dead-server
+// self-throttling scenario, and the thread-count bit-identity matrix.
+//
+// The load-bearing invariants:
+//   * conservation — requests_issued == requests_completed +
+//     requests_dropped + outstanding_end, for every family, with and
+//     without a post-horizon drain;
+//   * self-throttling — a closed/partly-open client behind a dead server
+//     parks its window and backlogs instead of flooding the fabric: the
+//     starvation watchdog fires, the progress watchdog does NOT declare
+//     deadlock (idle clients are not a wedged fabric);
+//   * determinism — all workload decisions happen at the engine's serial
+//     call sites, so runs are bit-identical for threads {1,2,4,7} on a
+//     fabric large enough to actually shard.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "core/network.hpp"
+#include "obs/registry.hpp"
+#include "workload/workload.hpp"
+
+namespace smart {
+namespace {
+
+SimConfig base_config(const std::string& workload_spec) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.seed = 11;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  std::string error;
+  EXPECT_TRUE(parse_workload_spec(workload_spec, &config.workload, &error))
+      << error;
+  return config;
+}
+
+void expect_conservation(const WorkloadReport& w) {
+  EXPECT_EQ(w.requests_issued,
+            w.requests_completed + w.requests_dropped + w.outstanding_end);
+}
+
+// ---- Spec parsing ------------------------------------------------------
+
+TEST(WorkloadSpec, ParsesFamilyAndParams) {
+  WorkloadSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_workload_spec("incast:servers=8,window=2,mode=partly",
+                                  &spec, &error))
+      << error;
+  EXPECT_EQ(spec.family, "incast");
+  EXPECT_TRUE(spec.enabled());
+  ASSERT_NE(spec.find("servers"), nullptr);
+  EXPECT_EQ(*spec.find("servers"), "8");
+  EXPECT_EQ(spec.spec_string(), "incast:servers=8,window=2,mode=partly");
+}
+
+TEST(WorkloadSpec, RejectsMalformedSpecs) {
+  WorkloadSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_workload_spec("", &spec, &error));
+  EXPECT_FALSE(parse_workload_spec(":window=2", &spec, &error));
+  EXPECT_FALSE(parse_workload_spec("echo:window", &spec, &error));
+  EXPECT_FALSE(parse_workload_spec("echo:window=2,window=3", &spec, &error));
+  EXPECT_FALSE(parse_workload_spec("echo:=3", &spec, &error));
+}
+
+TEST(WorkloadSpec, DefaultConstructedIsDisabled) {
+  const WorkloadSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_EQ(spec.spec_string(), "");
+}
+
+// ---- Registry validation ----------------------------------------------
+
+std::unique_ptr<Workload> try_build(const std::string& text,
+                                    std::size_t nodes, std::string* error) {
+  ensure_builtin_workloads();
+  WorkloadSpec spec;
+  if (!parse_workload_spec(text, &spec, error)) return nullptr;
+  return WorkloadRegistry::instance().build(spec, nodes, 1, error);
+}
+
+TEST(WorkloadRegistry, BuildsEveryBuiltinFamily) {
+  for (const char* text :
+       {"echo", "incast:servers=4", "rpc:servers=6,fanout=3", "alltoall",
+        "allreduce"}) {
+    std::string error;
+    EXPECT_NE(try_build(text, 16, &error), nullptr)
+        << text << ": " << error;
+  }
+}
+
+TEST(WorkloadRegistry, RejectsUnknownFamilyWithUsage) {
+  std::string error;
+  EXPECT_EQ(try_build("nosuch", 16, &error), nullptr);
+  EXPECT_NE(error.find("unknown workload family"), std::string::npos);
+  EXPECT_NE(error.find("incast"), std::string::npos);  // usage listing
+}
+
+TEST(WorkloadRegistry, RejectsUnknownKeysAndBadValues) {
+  std::string error;
+  // Typo'd key must error, never silently fall back to a default.
+  EXPECT_EQ(try_build("incast:serversz=4", 16, &error), nullptr);
+  EXPECT_EQ(try_build("echo:mode=sideways", 16, &error), nullptr);
+  EXPECT_EQ(try_build("echo:dist=pareto", 16, &error), nullptr);
+  EXPECT_EQ(try_build("incast:assign=middle", 16, &error), nullptr);
+  EXPECT_EQ(try_build("echo:rate=1.5", 16, &error), nullptr);
+  EXPECT_EQ(try_build("echo:window=0", 16, &error), nullptr);
+  // Open/partly-open loops need a positive arrival rate.
+  EXPECT_EQ(try_build("echo:mode=open,rate=0", 16, &error), nullptr);
+}
+
+TEST(WorkloadRegistry, RejectsCrossParameterContradictions) {
+  std::string error;
+  // No clients left.
+  EXPECT_EQ(try_build("incast:servers=16", 16, &error), nullptr);
+  // More muted servers than servers.
+  EXPECT_EQ(try_build("incast:servers=4,mute=5", 16, &error), nullptr);
+  // Fan-out wider than the leaf set (frontend excluded).
+  EXPECT_EQ(try_build("rpc:servers=4,fanout=4", 16, &error), nullptr);
+  EXPECT_NE(try_build("rpc:servers=5,fanout=4", 16, &error), nullptr);
+}
+
+// ---- Conservation and drain -------------------------------------------
+
+TEST(WorkloadRun, ClosedIncastConservesRequests) {
+  Network network(base_config("incast:servers=4,window=2,service=4"));
+  const SimulationResult& result = network.run();
+  const WorkloadReport& w = result.workload;
+  ASSERT_TRUE(w.enabled);
+  EXPECT_EQ(w.family, "incast");
+  EXPECT_EQ(w.clients, 12u);
+  EXPECT_EQ(w.servers, 4u);
+  expect_conservation(w);
+  EXPECT_GT(w.requests_completed, 0u);
+  // A closed loop keeps the windows (nearly) full once primed — a slot
+  // whose reply landed on the final cycle re-issues next cycle, so the
+  // end-of-run count may sit just below clients x window, never above.
+  EXPECT_LE(w.outstanding_end, w.clients * 2);
+  EXPECT_GE(w.outstanding_end, w.clients);
+  EXPECT_GT(w.goodput, 0.0);
+  EXPECT_GT(w.fairness_jain, 0.8);
+  EXPECT_LE(w.fairness_jain, 1.0);
+  EXPECT_GT(w.completion_latency.total(), 0u);
+  // Completion latency includes source queueing plus a service hold, so it
+  // strictly dominates the flit-level network latency.
+  EXPECT_GT(w.completion_percentile(0.50), result.latency_percentile(0.50));
+}
+
+TEST(WorkloadRun, DrainCompletesEveryInFlightRequest) {
+  SimConfig config = base_config("echo:window=2,think=3,service=5");
+  config.timing.drain_after_horizon = true;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  const WorkloadReport& w = result.workload;
+  ASSERT_TRUE(w.enabled);
+  expect_conservation(w);
+  // The drain must wait out staged replies still in service (the engine's
+  // quiescence check), not just an empty fabric.
+  EXPECT_TRUE(result.drained_clean);
+  EXPECT_EQ(w.outstanding_end, 0u);
+  EXPECT_EQ(w.requests_issued, w.requests_completed);
+  EXPECT_GT(w.drain_completed, 0u);
+}
+
+TEST(WorkloadRun, RpcFanoutConserves) {
+  Network network(base_config("rpc:servers=6,fanout=3,service=4"));
+  const SimulationResult& result = network.run();
+  const WorkloadReport& w = result.workload;
+  ASSERT_TRUE(w.enabled);
+  expect_conservation(w);
+  EXPECT_GT(w.requests_completed, 0u);
+  EXPECT_EQ(w.clients, 10u);
+  EXPECT_EQ(w.servers, 6u);
+}
+
+TEST(WorkloadRun, CollectivesConserveIterations) {
+  for (const char* spec : {"alltoall:burst=2", "allreduce"}) {
+    Network network(base_config(spec));
+    const SimulationResult& result = network.run();
+    const WorkloadReport& w = result.workload;
+    ASSERT_TRUE(w.enabled) << spec;
+    expect_conservation(w);
+    EXPECT_GT(w.requests_completed, 0u) << spec;
+    // A deterministic symmetric schedule serves every node equally.
+    EXPECT_DOUBLE_EQ(w.fairness_jain, 1.0) << spec;
+  }
+}
+
+TEST(WorkloadRun, OpenModeMatchesConfiguredRate) {
+  SimConfig config = base_config("echo:mode=open,rate=0.01,service=1");
+  config.timing.horizon_cycles = 6000;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  const WorkloadReport& w = result.workload;
+  expect_conservation(w);
+  // 16 clients x 6000 cycles x 0.01 = 960 expected arrivals; Bernoulli
+  // noise stays well inside +-40%.
+  EXPECT_GT(w.requests_issued, 560u);
+  EXPECT_LT(w.requests_issued, 1360u);
+}
+
+// ---- Dead-server self-throttling --------------------------------------
+
+// Three of twelve clients are pinned to a muted server: their requests
+// deliver but are never answered. A correct closed loop parks those
+// windows and queues arrivals in the backlog; the starvation watchdog
+// must fire (skewed queue growth) while the progress watchdog stays
+// quiet — self-throttled idle clients are not a deadlocked fabric.
+TEST(WorkloadRun, DeadServerThrottlesWithoutDeadlock) {
+  SimConfig config = base_config(
+      "incast:servers=4,assign=pin,mute=1,mode=partly,rate=0.02,window=8");
+  config.timing.horizon_cycles = 20000;
+  Network network(config);
+  const SimulationResult& result = network.run();
+  const WorkloadReport& w = result.workload;
+  ASSERT_TRUE(w.enabled);
+  expect_conservation(w);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.stall_verdict, StallVerdict::kNone);
+  // The three starved clients' windows are parked at the muted server...
+  EXPECT_GE(w.outstanding_end, 3u * 8u);
+  // ...and their later arrivals wait above the NIC.
+  EXPECT_GT(w.backlog_end, 0u);
+  // The live servers kept serving the other nine clients.
+  EXPECT_GT(w.requests_completed, 0u);
+  ASSERT_TRUE(result.anomaly_enabled);
+  bool starvation = false;
+  for (const AnomalyVerdict& v : result.anomaly_verdicts) {
+    if (v.kind == AnomalyKind::kStarvation && v.triggered) starvation = true;
+    if (v.kind == AnomalyKind::kDeadlock) {
+      EXPECT_FALSE(v.triggered);
+    }
+  }
+  EXPECT_TRUE(starvation);
+}
+
+// ---- Metrics registration ---------------------------------------------
+
+TEST(WorkloadMetrics, RegisteredUnderWorkloadNamespace) {
+  Network network(base_config("incast:servers=4,window=2"));
+  const SimulationResult& result = network.run();
+  MetricsRegistry registry;
+  register_run_metrics(registry, result);
+  for (const char* name :
+       {"workload/requests_issued", "workload/requests_completed",
+        "workload/outstanding_end", "workload/goodput",
+        "workload/fairness_jain", "workload/completion_latency"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  const Metric* hist = registry.find("workload/completion_latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_GT(hist->hist.count, 0u);
+}
+
+TEST(WorkloadMetrics, AbsentWithoutWorkload) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 4;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.timing.warmup_cycles = 300;
+  config.timing.horizon_cycles = 2000;
+  Network network(config);
+  MetricsRegistry registry;
+  register_run_metrics(registry, network.run());
+  for (const Metric& m : registry.metrics()) {
+    EXPECT_FALSE(std::string_view(m.name).starts_with("workload/")) << m.name;
+  }
+}
+
+// ---- Thread-count bit-identity ----------------------------------------
+
+constexpr unsigned kThreadMatrix[] = {2, 4, 7};
+
+SimulationResult run_with_threads(SimConfig config, unsigned threads) {
+  config.engine_threads = threads;
+  Network network(config);
+  return network.run();
+}
+
+void expect_thread_invariant(const SimConfig& config) {
+  const SimulationResult serial = run_with_threads(config, 1);
+  MetricsRegistry serial_registry;
+  register_run_metrics(serial_registry, serial);
+  for (const unsigned threads : kThreadMatrix) {
+    const SimulationResult threaded = run_with_threads(config, threads);
+    // Non-vacuity: the 256-node fabric must actually shard.
+    EXPECT_TRUE(threaded.engine_parallel)
+        << "threads=" << threads
+        << " fell back: " << threaded.engine_path_reason;
+    MetricsRegistry threaded_registry;
+    register_run_metrics(threaded_registry, threaded);
+    ASSERT_EQ(serial_registry.size(), threaded_registry.size())
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < serial_registry.size(); ++i) {
+      const Metric& a = serial_registry.metrics()[i];
+      const Metric& b = threaded_registry.metrics()[i];
+      ASSERT_EQ(a.name, b.name) << "threads=" << threads;
+      if (std::string_view(a.name).starts_with("time/")) continue;
+      EXPECT_EQ(a.value, b.value) << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.count, b.hist.count)
+          << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.p50, b.hist.p50) << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.p95, b.hist.p95) << a.name << " threads=" << threads;
+      EXPECT_EQ(a.hist.p99, b.hist.p99) << a.name << " threads=" << threads;
+    }
+  }
+}
+
+SimConfig cube256_workload_config(const std::string& workload_spec) {
+  SimConfig config;
+  config.net.topology = std::string("cube");
+  config.net.k = 16;
+  config.net.n = 2;
+  config.net.routing = RoutingKind::kCubeDuato;
+  config.traffic.seed = 7;
+  config.timing.warmup_cycles = 400;
+  config.timing.horizon_cycles = 4000;
+  std::string error;
+  EXPECT_TRUE(parse_workload_spec(workload_spec, &config.workload, &error))
+      << error;
+  return config;
+}
+
+TEST(WorkloadThreads, IncastBitIdenticalAcrossThreadMatrix) {
+  // dist=exp exercises the per-node RNG streams; the staged-event heap
+  // must replay identically whichever pipeline delivers the packets.
+  expect_thread_invariant(cube256_workload_config(
+      "incast:servers=16,window=4,service=8,dist=exp"));
+}
+
+TEST(WorkloadThreads, RpcFanoutBitIdenticalAcrossThreadMatrix) {
+  expect_thread_invariant(
+      cube256_workload_config("rpc:servers=16,fanout=4,service=6,dist=exp"));
+}
+
+TEST(WorkloadThreads, AllreduceBitIdenticalAcrossThreadMatrix) {
+  expect_thread_invariant(
+      cube256_workload_config("allreduce:steps=16,think=2"));
+}
+
+}  // namespace
+}  // namespace smart

@@ -27,6 +27,7 @@
 #include "routing/selection.hpp"
 #include "synth/families.hpp"
 #include "topology/registry.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -59,6 +60,10 @@ void usage() {
       "            neighbor|randperm|hotspot            (default uniform)\n"
       "  --load <0..1>               offered fraction of capacity (default 0.5)\n"
       "  --sweep                     sweep the default load grid instead\n"
+      "  --workload <family[:k=v,...]>  closed-loop request/reply workload\n"
+      "                              replacing the open-loop traffic (single\n"
+      "                              run only; docs/WORKLOADS.md):\n"
+      "%s"
       "  --injection bernoulli|bursty  arrival process (default bernoulli)\n"
       "  --burst-factor <f>          bursty peak/average (default 8)\n"
       "  --packet-bytes <B>          (default 64)\n"
@@ -118,7 +123,8 @@ void usage() {
       "                              build provenance, metrics registry);\n"
       "                              default <csv>.manifest.json with --csv\n"
       "  --version                   print build provenance and exit\n"
-      "exit status: 0 ok, 1 usage, 2 deadlock, 3 unroutable traffic\n");
+      "exit status: 0 ok, 1 usage, 2 deadlock, 3 unroutable traffic\n",
+      WorkloadRegistry::instance().usage().c_str());
 }
 
 bool parse_pattern(const std::string& value, PatternKind& out) {
@@ -163,8 +169,11 @@ bool routing_compatible(const TopologyFamily& family,
 
 int main(int argc, char** argv) {
   ensure_builtin_families();
+  ensure_builtin_workloads();
   SimConfig config;
   std::string topology_arg = "cube";
+  std::string workload_arg;
+  bool pattern_set = false;
   std::string routing_key;
   bool routing_set = false;
   bool k_set = false;
@@ -238,6 +247,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown pattern\n");
         return 1;
       }
+      pattern_set = true;
+    } else if (arg == "--workload") {
+      workload_arg = next_value(i);
     } else if (arg == "--load") {
       config.traffic.offered_fraction = std::atof(next_value(i));
     } else if (arg == "--sweep") {
@@ -423,6 +435,46 @@ int main(int argc, char** argv) {
     // arrival stream but still fully determined by --seed.
     config.faults.add_random_fraction(
         fault_rate, config.traffic.seed ^ 0x9e3779b97f4a7c15ULL, fault_cycle);
+  }
+
+  // Resolve the workload spec against its registry, same discipline as
+  // --topology: unknown families and bad parameters are hard errors with
+  // a usage listing, and a probe build surfaces cross-parameter problems
+  // (servers >= nodes, fanout too wide) before the run starts.
+  if (!workload_arg.empty()) {
+    std::string error;
+    if (!parse_workload_spec(workload_arg, &config.workload, &error)) {
+      std::fprintf(stderr, "bad --workload '%s': %s\n", workload_arg.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (WorkloadRegistry::instance().find(config.workload.family) == nullptr) {
+      std::fprintf(stderr, "unknown workload family '%s'; known families:\n%s",
+                   config.workload.family.c_str(),
+                   WorkloadRegistry::instance().usage().c_str());
+      return 1;
+    }
+    const std::unique_ptr<Workload> workload_probe =
+        WorkloadRegistry::instance().build(config.workload,
+                                           probe->node_count(),
+                                           config.traffic.seed, &error);
+    if (workload_probe == nullptr) {
+      std::fprintf(stderr, "invalid --workload '%s': %s\n",
+                   workload_arg.c_str(), error.c_str());
+      return 1;
+    }
+    if (sweep) {
+      std::fprintf(stderr,
+                   "--workload paces itself (closed loop) and cannot be "
+                   "combined with --sweep\n");
+      return 1;
+    }
+    if (pattern_set) {
+      std::fprintf(stderr,
+                   "--workload chooses request targets itself and cannot be "
+                   "combined with --pattern\n");
+      return 1;
+    }
   }
 
   if (sweep && config.obs.trace_enabled()) {
@@ -634,6 +686,44 @@ int main(int argc, char** argv) {
         point.latency_percentile(0.50), point.latency_percentile(0.95),
         point.latency_percentile(0.99),
         static_cast<unsigned long long>(point.latency_cycles.count()));
+  }
+
+  // Workload service metrics: what a user of the fabric saw — request
+  // completion latency (source queueing included), goodput and fairness —
+  // next to the flit-level numbers above.
+  if (results.size() == 1 && results.front().workload.enabled) {
+    const WorkloadReport& w = results.front().workload;
+    std::printf("\nworkload %s: %llu client(s), %llu server(s)\n",
+                w.family.c_str(),
+                static_cast<unsigned long long>(w.clients),
+                static_cast<unsigned long long>(w.servers));
+    std::printf(
+        "  requests: %llu issued, %llu completed, %llu dropped, "
+        "%llu outstanding at end\n",
+        static_cast<unsigned long long>(w.requests_issued),
+        static_cast<unsigned long long>(w.requests_completed),
+        static_cast<unsigned long long>(w.requests_dropped),
+        static_cast<unsigned long long>(w.outstanding_end));
+    if (w.completion_latency.total() > 0) {
+      std::printf(
+          "  completion latency: p50 %.1f, p95 %.1f, p99 %.1f cycles "
+          "(%llu in window)\n",
+          w.completion_percentile(0.50), w.completion_percentile(0.95),
+          w.completion_percentile(0.99),
+          static_cast<unsigned long long>(w.completion_latency.total()));
+    }
+    std::printf(
+        "  goodput %.3f req/kcycle/client, fairness (Jain) %.3f, "
+        "outstanding mean %.2f req/client\n",
+        w.goodput, w.fairness_jain, w.outstanding_mean);
+    if (w.backlog_end > 0) {
+      std::printf("  backlog at end: %llu request(s) above the NICs\n",
+                  static_cast<unsigned long long>(w.backlog_end));
+    }
+    if (w.drain_completed > 0) {
+      std::printf("  drain: %llu request(s) completed while draining\n",
+                  static_cast<unsigned long long>(w.drain_completed));
+    }
   }
 
   if (config.prof.enabled) {
